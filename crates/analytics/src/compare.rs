@@ -1,0 +1,191 @@
+//! Run comparison: the Fig. 8 / §4.2 reading — two configurations on the
+//! same workload, side by side, with speedups and per-metric deltas.
+
+use crate::metrics::{throughput, utilization};
+use crate::timeline::{peak_concurrency, timeline};
+use rp_core::RunReport;
+use std::fmt::Write as _;
+
+/// A two-run comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Label of the baseline run (e.g. "srun").
+    pub base_label: String,
+    /// Label of the contender (e.g. "flux").
+    pub other_label: String,
+    /// Makespans (s): (base, other).
+    pub makespan_s: (f64, f64),
+    /// Average launch-active throughput (t/s): (base, other).
+    pub thr_avg: (f64, f64),
+    /// Core utilization [0,1]: (base, other).
+    pub util_cores: (f64, f64),
+    /// Peak task concurrency: (base, other).
+    pub peak_concurrency: (u64, u64),
+    /// Completed tasks: (base, other).
+    pub done: (usize, usize),
+}
+
+impl Comparison {
+    /// Makespan reduction of the contender vs the baseline, in `[0, 1]`
+    /// (negative when the contender is slower).
+    pub fn makespan_reduction(&self) -> f64 {
+        let (b, o) = self.makespan_s;
+        if b <= 0.0 {
+            return 0.0;
+        }
+        (b - o) / b
+    }
+
+    /// Throughput gain factor (contender / baseline).
+    pub fn throughput_gain(&self) -> f64 {
+        let (b, o) = self.thr_avg;
+        if b <= 0.0 {
+            return f64::INFINITY;
+        }
+        o / b
+    }
+
+    /// Render the comparison as an aligned table.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12} {:>10}",
+            "metric", self.base_label, self.other_label, "delta"
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12.1} {:>12.1} {:>9.0}%",
+            "makespan (s)",
+            self.makespan_s.0,
+            self.makespan_s.1,
+            -self.makespan_reduction() * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12.1} {:>12.1} {:>9.1}x",
+            "throughput (t/s)",
+            self.thr_avg.0,
+            self.thr_avg.1,
+            self.throughput_gain()
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:>11.1}% {:>11.1}% {:>9.1}pp",
+            "core util",
+            self.util_cores.0 * 100.0,
+            self.util_cores.1 * 100.0,
+            (self.util_cores.1 - self.util_cores.0) * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12}",
+            "peak concurrency", self.peak_concurrency.0, self.peak_concurrency.1
+        );
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12}",
+            "tasks done", self.done.0, self.done.1
+        );
+        s
+    }
+}
+
+/// Compare two runs of the same workload.
+pub fn compare(base_label: &str, base: &RunReport, other_label: &str, other: &RunReport) -> Comparison {
+    let t = |r: &RunReport| throughput(&r.tasks).map(|t| t.avg_active).unwrap_or(0.0);
+    let u = |r: &RunReport| utilization(r).map(|u| u.cores).unwrap_or(0.0);
+    Comparison {
+        base_label: base_label.to_string(),
+        other_label: other_label.to_string(),
+        makespan_s: (
+            base.makespan().unwrap_or(0.0),
+            other.makespan().unwrap_or(0.0),
+        ),
+        thr_avg: (t(base), t(other)),
+        util_cores: (u(base), u(other)),
+        peak_concurrency: (
+            peak_concurrency(&base.tasks),
+            peak_concurrency(&other.tasks),
+        ),
+        done: (base.done_tasks().count(), other.done_tasks().count()),
+    }
+}
+
+/// Interleave two runs' concurrency timelines into aligned CSV
+/// (`t_s,<base>_running,<other>_running,<base>_rate,<other>_rate`) for
+/// external Fig. 8-style plotting.
+pub fn paired_timeline_csv(
+    base_label: &str,
+    base: &RunReport,
+    other_label: &str,
+    other: &RunReport,
+    bucket_s: u64,
+) -> String {
+    let a = timeline(&base.tasks, bucket_s);
+    let b = timeline(&other.tasks, bucket_s);
+    let n = a.len().max(b.len());
+    let mut s = format!(
+        "t_s,{base_label}_running,{other_label}_running,{base_label}_rate,{other_label}_rate\n"
+    );
+    for i in 0..n {
+        let t = (i as u64 + 1) * bucket_s;
+        let (ar, arr) = a.get(i).map(|p| (p.running, p.start_rate)).unwrap_or((0, 0));
+        let (br, brr) = b.get(i).map(|p| (p.running, p.start_rate)).unwrap_or((0, 0));
+        let _ = writeln!(s, "{t},{ar},{br},{arr},{brr}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_core::{PilotConfig, SimSession, TaskDescription};
+    use rp_sim::SimDuration;
+
+    fn run(cfg: PilotConfig) -> RunReport {
+        let tasks: Vec<TaskDescription> = (0..400)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(60)))
+            .collect();
+        SimSession::with_tasks(cfg, tasks).run()
+    }
+
+    #[test]
+    fn flux_vs_srun_comparison_reads_right() {
+        let srun = run(PilotConfig::srun(4).with_srun_oversubscribe(4));
+        let flux = run(PilotConfig::flux(4, 1));
+        let c = compare("srun", &srun, "flux", &flux);
+        assert!(c.makespan_reduction() > 0.0, "flux must win: {c:?}");
+        assert!(c.throughput_gain() > 1.0);
+        assert_eq!(c.done, (400, 400));
+        let table = c.table();
+        assert!(table.contains("makespan"));
+        assert!(table.contains("srun"));
+        assert!(table.contains("flux"));
+    }
+
+    #[test]
+    fn paired_timeline_has_both_series() {
+        let a = run(PilotConfig::flux(4, 1));
+        let b = run(PilotConfig::flux(4, 2));
+        let csv = paired_timeline_csv("k1", &a, "k2", &b, 10);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "t_s,k1_running,k2_running,k1_rate,k2_rate");
+        assert!(csv.lines().count() > 5);
+    }
+
+    #[test]
+    fn degenerate_comparisons_dont_divide_by_zero() {
+        let c = Comparison {
+            base_label: "a".into(),
+            other_label: "b".into(),
+            makespan_s: (0.0, 10.0),
+            thr_avg: (0.0, 5.0),
+            util_cores: (0.0, 0.5),
+            peak_concurrency: (0, 1),
+            done: (0, 1),
+        };
+        assert_eq!(c.makespan_reduction(), 0.0);
+        assert!(c.throughput_gain().is_infinite());
+    }
+}

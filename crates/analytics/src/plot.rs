@@ -1,0 +1,141 @@
+//! ASCII rendering for the figure reproductions: line plots for timelines
+//! (Fig. 4, Fig. 8) and bar tables for throughput curves (Fig. 5, 6, 7).
+//! The experiment binaries print these next to the CSV dumps so a terminal
+//! is all you need to eyeball the shapes.
+
+/// Render a single series as an ASCII line plot.
+///
+/// `points` are `(x, y)`; the plot shows `height` rows and up to `width`
+/// columns (x is binned). Returns a multi-line string.
+pub fn line_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() {
+        return format!("{title}\n  (no data)\n");
+    }
+    let width = width.clamp(10, 200);
+    let height = height.clamp(3, 50);
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    let xspan = (xmax - xmin).max(1e-9);
+
+    // Bin points into columns, keeping each column's max y.
+    let mut cols = vec![f64::NAN; width];
+    for &(x, y) in points {
+        let c = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        if cols[c].is_nan() || y > cols[c] {
+            cols[c] = y;
+        }
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, y) in cols.iter().enumerate() {
+        if y.is_nan() {
+            continue;
+        }
+        let r = ((y / ymax) * (height - 1) as f64).round() as usize;
+        let r = height - 1 - r.min(height - 1);
+        grid[r][c] = '•';
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:9.1} ┤")
+        } else if i == height - 1 {
+            format!("{:9.1} ┤", 0.0)
+        } else {
+            format!("{:>9} │", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}└{}\n{:>11}{:<.1}{}{:>.1}\n",
+        "",
+        "─".repeat(width),
+        "",
+        xmin,
+        " ".repeat(width.saturating_sub(12)),
+        xmax
+    ));
+    out
+}
+
+/// Render a labeled horizontal bar chart (one row per label).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let max = if max <= 0.0 { 1.0 } else { max };
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} │{} {v:.1}\n",
+            "█".repeat(n.min(width))
+        ));
+    }
+    out
+}
+
+/// Format a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_renders_extremes() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i as f64).sin().abs())).collect();
+        let s = line_plot("wave", &pts, 60, 10);
+        assert!(s.starts_with("wave\n"));
+        assert!(s.contains('•'));
+        assert!(s.lines().count() >= 12);
+    }
+
+    #[test]
+    fn line_plot_empty() {
+        assert!(line_plot("x", &[], 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let rows = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = bar_chart("t", &rows, 20);
+        let a_bar = s.lines().nth(1).unwrap().matches('█').count();
+        let b_bar = s.lines().nth(2).unwrap().matches('█').count();
+        assert_eq!(a_bar, 20);
+        assert_eq!(b_bar, 10);
+    }
+
+    #[test]
+    fn md_table_shape() {
+        let t = md_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,141 @@
+//! CSV export and per-run textual summaries for the experiment binaries.
+
+use crate::metrics::{overheads, throughput, utilization};
+use crate::timeline::{peak_concurrency, timeline};
+use rp_core::RunReport;
+use std::fmt::Write as _;
+
+/// A one-run digest suitable for table rows and EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct RunDigest {
+    /// Pilot nodes.
+    pub nodes: u32,
+    /// Completed tasks.
+    pub done: usize,
+    /// Permanently failed tasks.
+    pub failed: usize,
+    /// Average throughput over launch-active seconds (tasks/s).
+    pub thr_avg: f64,
+    /// Peak one-second throughput (tasks/s).
+    pub thr_peak: f64,
+    /// Core utilization in `[0,1]`.
+    pub util_cores: f64,
+    /// GPU utilization in `[0,1]`.
+    pub util_gpus: f64,
+    /// Peak task concurrency.
+    pub peak_concurrency: u64,
+    /// Makespan (s).
+    pub makespan_s: f64,
+}
+
+/// Digest a run report.
+pub fn digest(report: &RunReport) -> RunDigest {
+    let thr = throughput(&report.tasks);
+    let util = utilization(report);
+    RunDigest {
+        nodes: report.nodes,
+        done: report.done_tasks().count(),
+        failed: report.failed_count(),
+        thr_avg: thr.map(|t| t.avg_active).unwrap_or(0.0),
+        thr_peak: thr.map(|t| t.peak).unwrap_or(0.0),
+        util_cores: util.map(|u| u.cores).unwrap_or(0.0),
+        util_gpus: util.map(|u| u.gpus).unwrap_or(0.0),
+        peak_concurrency: peak_concurrency(&report.tasks),
+        makespan_s: report.makespan().unwrap_or(0.0),
+    }
+}
+
+/// Render a full human-readable summary of a run.
+pub fn summarize_run(name: &str, report: &RunReport) -> String {
+    let d = digest(report);
+    let ov = overheads(report);
+    let mut s = String::new();
+    let _ = writeln!(s, "== {name} ==");
+    let _ = writeln!(
+        s,
+        "  nodes={} tasks_done={} failed={} makespan={:.1}s",
+        d.nodes, d.done, d.failed, d.makespan_s
+    );
+    let _ = writeln!(
+        s,
+        "  throughput avg={:.1}/s peak={:.0}/s  concurrency peak={}",
+        d.thr_avg, d.thr_peak, d.peak_concurrency
+    );
+    let _ = writeln!(
+        s,
+        "  utilization cores={:.1}% gpus={:.1}%",
+        d.util_cores * 100.0,
+        d.util_gpus * 100.0
+    );
+    for (kind, part, nodes, o) in &ov.instances {
+        let _ = writeln!(s, "  instance {kind}[{part}] nodes={nodes} bootstrap={o:.1}s");
+    }
+    s
+}
+
+/// Dump the run's timeline as CSV (`t_s,running,busy_cores,busy_gpus,start_rate`).
+pub fn timeline_csv(report: &RunReport, bucket_s: u64) -> String {
+    let mut s = String::from("t_s,running,busy_cores,busy_gpus,start_rate\n");
+    for p in timeline(&report.tasks, bucket_s) {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            p.t_s, p.running, p.busy_cores, p.busy_gpus, p.start_rate
+        );
+    }
+    s
+}
+
+/// Dump per-task records as CSV.
+pub fn tasks_csv(report: &RunReport) -> String {
+    let mut s = String::from(
+        "uid,kind,cores,gpus,backend,partition,submit_s,start_s,end_s,state,retries,label\n",
+    );
+    for t in &report.tasks {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{:.6},{},{},{:?},{},{}",
+            t.uid.0,
+            if t.is_function { "func" } else { "exec" },
+            t.cores,
+            t.gpus,
+            t.backend.map(|b| b.to_string()).unwrap_or_default(),
+            t.partition.map(|p| p.to_string()).unwrap_or_default(),
+            t.submitted.as_secs_f64(),
+            t.exec_start.map(|x| format!("{:.6}", x.as_secs_f64())).unwrap_or_default(),
+            t.exec_end.map(|x| format!("{:.6}", x.as_secs_f64())).unwrap_or_default(),
+            t.state,
+            t.retries,
+            t.label
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_core::{PilotConfig, SimSession, TaskDescription};
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn digest_and_csv_roundtrip() {
+        let tasks: Vec<TaskDescription> = (0..50)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(5)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(2, 1), tasks).run();
+        let d = digest(&report);
+        assert_eq!(d.done, 50);
+        assert_eq!(d.failed, 0);
+        assert!(d.thr_avg > 0.0);
+        assert!(d.makespan_s > 0.0);
+
+        let text = summarize_run("test", &report);
+        assert!(text.contains("tasks_done=50"));
+
+        let csv = tasks_csv(&report);
+        assert_eq!(csv.lines().count(), 51);
+        let tl = timeline_csv(&report, 1);
+        assert!(tl.lines().count() > 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Small summary-statistics helpers for aggregating across repetitions.
+
+/// Summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample; `None` when empty.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        n,
+        mean,
+        sd: var.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// Percentile (nearest-rank) of a sample; `None` when empty or `p` outside
+/// `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    Some(v[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.sd - 1.2909944487).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_sd_zero() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        // Nearest-rank on an even-sized sample: rank 49.5 rounds to 50,
+        // i.e. the 51st element.
+        assert_eq!(percentile(&xs, 50.0), Some(51.0));
+        assert!(percentile(&xs, 101.0).is_none());
+        assert!(percentile(&[], 50.0).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Trace persistence: serialize task records to CSV and read them back —
+//! the session-store role RADICAL-Analytics plays for RP (profiles are
+//! written at runtime and analyzed post-hoc, possibly elsewhere).
+//!
+//! The format is the one [`crate::report::tasks_csv`] emits; `parse_tasks_csv`
+//! is its inverse for the fields a record can faithfully round-trip.
+
+use rp_core::{BackendKind, TaskId, TaskRecord, TaskState};
+use rp_sim::SimTime;
+
+/// Parse errors, with the offending line number (1-based, header = 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_time(field: &str) -> Option<SimTime> {
+    if field.is_empty() {
+        return None;
+    }
+    let secs: f64 = field.parse().ok()?;
+    Some(SimTime::from_micros((secs * 1e6).round() as u64))
+}
+
+fn parse_backend(field: &str) -> Option<BackendKind> {
+    match field {
+        "srun" => Some(BackendKind::Srun),
+        "flux" => Some(BackendKind::Flux),
+        "dragon" => Some(BackendKind::Dragon),
+        "prrte" => Some(BackendKind::Prrte),
+        _ => None,
+    }
+}
+
+fn parse_state(field: &str) -> Option<TaskState> {
+    Some(match field {
+        "New" => TaskState::New,
+        "StagingInput" => TaskState::StagingInput,
+        "Scheduling" => TaskState::Scheduling,
+        "Submitting" => TaskState::Submitting,
+        "Submitted" => TaskState::Submitted,
+        "Executing" => TaskState::Executing,
+        "Done" => TaskState::Done,
+        "Failed" => TaskState::Failed,
+        "Canceled" => TaskState::Canceled,
+        _ => return None,
+    })
+}
+
+/// Parse a `tasks_csv` document back into task records.
+///
+/// Milestone timestamps other than submit/start/end are not in the CSV and
+/// come back as `None`; everything the paper's metrics need (identity,
+/// shape, backend, the execution interval, terminal state) round-trips.
+pub fn parse_tasks_csv(csv: &str) -> Result<Vec<TaskRecord>, ParseError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
+    if !header.starts_with("uid,kind,cores,gpus,backend,partition,") {
+        return Err(err(1, format!("unrecognized header: {header}")));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // label is the last field and may not contain commas (labels are
+        // workflow stage names); split exactly.
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 12 {
+            return Err(err(lineno, format!("expected 12 fields, got {}", fields.len())));
+        }
+        let uid: u64 = fields[0]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad uid {:?}", fields[0])))?;
+        let is_function = match fields[1] {
+            "func" => true,
+            "exec" => false,
+            other => return Err(err(lineno, format!("bad kind {other:?}"))),
+        };
+        let cores: u64 = fields[2]
+            .parse()
+            .map_err(|_| err(lineno, "bad cores"))?;
+        let gpus: u64 = fields[3].parse().map_err(|_| err(lineno, "bad gpus"))?;
+        let backend = parse_backend(fields[4]);
+        let partition: Option<u32> = if fields[5].is_empty() {
+            None
+        } else {
+            Some(fields[5].parse().map_err(|_| err(lineno, "bad partition"))?)
+        };
+        let submitted =
+            parse_time(fields[6]).ok_or_else(|| err(lineno, "bad submit time"))?;
+        let exec_start = parse_time(fields[7]);
+        let exec_end = parse_time(fields[8]);
+        let state =
+            parse_state(fields[9]).ok_or_else(|| err(lineno, format!("bad state {:?}", fields[9])))?;
+        let retries: u32 = fields[10].parse().map_err(|_| err(lineno, "bad retries"))?;
+        let label = fields[11].to_string();
+
+        out.push(TaskRecord {
+            uid: TaskId(uid),
+            is_function,
+            cores,
+            gpus,
+            state,
+            backend,
+            partition,
+            submitted,
+            staged: None,
+            scheduled: None,
+            backend_accepted: None,
+            exec_start,
+            exec_end,
+            retries,
+            label,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::tasks_csv;
+    use rp_core::{PilotConfig, SimSession, TaskDescription};
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn csv_roundtrip_preserves_metrics() {
+        let tasks: Vec<TaskDescription> = (0..60)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(20)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(2, 1), tasks).run();
+        let csv = tasks_csv(&report);
+        let parsed = parse_tasks_csv(&csv).expect("roundtrip");
+        assert_eq!(parsed.len(), report.tasks.len());
+        for (a, b) in report.tasks.iter().zip(&parsed) {
+            assert_eq!(a.uid, b.uid);
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.backend, b.backend);
+            assert_eq!(a.state, b.state);
+            // Timestamps round-trip to microsecond resolution.
+            assert_eq!(a.exec_start, b.exec_start);
+            assert_eq!(a.exec_end, b.exec_end);
+        }
+        // Derived metrics agree exactly.
+        let t1 = crate::metrics::throughput(&report.tasks).unwrap();
+        let t2 = crate::metrics::throughput(&parsed).unwrap();
+        assert_eq!(t1.started, t2.started);
+        assert!((t1.avg_active - t2.avg_active).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_tasks_csv("").is_err());
+        assert!(parse_tasks_csv("wrong,header\n").is_err());
+        let bad_row = "uid,kind,cores,gpus,backend,partition,submit_s,start_s,end_s,state,retries,label\nnot-a-uid,exec,1,0,flux,0,0.0,,,Done,0,x".to_string();
+        let e = parse_tasks_csv(&bad_row).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad uid"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let doc = "uid,kind,cores,gpus,backend,partition,submit_s,start_s,end_s,state,retries,label\n\n1,exec,2,0,prrte,0,1.5,2.0,3.0,Done,0,dock.01\n";
+        let rows = parse_tasks_csv(doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].backend, Some(BackendKind::Prrte));
+        assert_eq!(rows[0].label, "dock.01");
+        assert_eq!(rows[0].exec_span().unwrap().as_secs_f64(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the metrics layer: utilization bounds, throughput
+//! consistency, and timeline conservation against a brute-force model.
+
+use proptest::prelude::*;
+use rp_analytics::{peak_concurrency, throughput, timeline, utilization};
+use rp_core::{RunReport, TaskDescription, TaskRecord, TaskState};
+use rp_sim::{SimDuration, SimTime};
+
+fn record(uid: u64, start_s: u64, dur_s: u64, cores: u64) -> TaskRecord {
+    let desc = TaskDescription::dummy(uid, SimDuration::from_secs(dur_s));
+    let mut rec = TaskRecord::new(&desc, SimTime::ZERO);
+    rec.cores = cores;
+    rec.advance(TaskState::StagingInput, SimTime::ZERO);
+    rec.advance(TaskState::Scheduling, SimTime::ZERO);
+    rec.advance(TaskState::Submitting, SimTime::ZERO);
+    rec.advance(TaskState::Submitted, SimTime::ZERO);
+    rec.advance(TaskState::Executing, SimTime::from_secs(start_s));
+    rec.advance(TaskState::Done, SimTime::from_secs(start_s + dur_s));
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Utilization is always in [0, 1] when capacity covers the tasks, and
+    /// busy core-seconds equals the sum over tasks exactly.
+    #[test]
+    fn utilization_bounded_and_exact(
+        spans in prop::collection::vec((0u64..500, 1u64..200, 1u64..8), 1..40),
+    ) {
+        let tasks: Vec<TaskRecord> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, c))| record(i as u64, s, d, c))
+            .collect();
+        // Capacity: enough cores that concurrent usage can never exceed it.
+        let total_cores: u64 = spans.iter().map(|&(_, _, c)| c).sum::<u64>().max(1);
+        let report = RunReport {
+            nodes: 1,
+            total_cores,
+            total_gpus: 0,
+            tasks,
+            instances: vec![],
+            services: vec![],
+            pilot: Default::default(),
+            agent_ready: None,
+            end: SimTime::from_secs(1_000),
+        };
+        let u = utilization(&report).expect("tasks ran");
+        prop_assert!(u.cores >= 0.0 && u.cores <= 1.0 + 1e-9, "{}", u.cores);
+        let expected_busy: f64 = spans.iter().map(|&(_, d, c)| (d * c) as f64).sum();
+        prop_assert!((u.busy_core_s - expected_busy).abs() < 1e-6);
+    }
+
+    /// Peak concurrency from the sweep equals a brute-force per-second
+    /// count, and the timeline's running curve never exceeds it.
+    #[test]
+    fn concurrency_matches_bruteforce(
+        spans in prop::collection::vec((0u64..100, 1u64..50), 1..30),
+    ) {
+        let tasks: Vec<TaskRecord> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| record(i as u64, s, d, 1))
+            .collect();
+        let peak = peak_concurrency(&tasks);
+        // Brute force at 1-second resolution (intervals are integral).
+        let horizon = spans.iter().map(|&(s, d)| s + d).max().unwrap();
+        let mut brute_peak = 0u64;
+        for t in 0..horizon {
+            let c = spans
+                .iter()
+                .filter(|&&(s, d)| s <= t && t < s + d)
+                .count() as u64;
+            brute_peak = brute_peak.max(c);
+        }
+        prop_assert_eq!(peak, brute_peak);
+        for p in timeline(&tasks, 1) {
+            prop_assert!(p.running <= peak);
+        }
+    }
+
+    /// Throughput: started == task count; avg_active ≥ avg_span; peak ≥
+    /// ceil(avg_active).
+    #[test]
+    fn throughput_consistency(
+        starts in prop::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let tasks: Vec<TaskRecord> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| record(i as u64, s, 1, 1))
+            .collect();
+        let t = throughput(&tasks).expect("non-empty");
+        prop_assert_eq!(t.started, tasks.len() as u64);
+        prop_assert!(t.avg_active + 1e-9 >= t.avg_span * 0.99,
+            "active {} vs span {}", t.avg_active, t.avg_span);
+        prop_assert!(t.peak + 1e-9 >= t.avg_active.floor());
+    }
+}

@@ -1,0 +1,65 @@
+//! Microbench: scheduling-policy selection cost — FCFS vs EASY backfill on
+//! queues of increasing depth (the ablation behind the `policy` knob in
+//! `BackendSpec::Flux`). EASY's shadow-time computation is the expensive
+//! path; this quantifies what the richer policy costs per decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_fluxrt::{EasyBackfill, Fcfs, JobId, JobSpec, RunningJob, SchedPolicy};
+use rp_platform::{frontier, ResourcePool, ResourceRequest};
+use rp_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+fn setup(
+    nodes: u32,
+    queue_depth: usize,
+    running_count: usize,
+) -> (ResourcePool, VecDeque<JobSpec>, HashMap<JobId, RunningJob>) {
+    let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
+    // Fill most of the machine with running single-node jobs.
+    let mut running = HashMap::new();
+    for i in 0..running_count {
+        let placement = pool
+            .try_alloc(&ResourceRequest::mpi(1, 56, 0))
+            .expect("room for running jobs");
+        running.insert(
+            JobId(100_000 + i as u64),
+            RunningJob {
+                expected_end: SimTime::from_secs(100 + i as u64),
+                placement,
+            },
+        );
+    }
+    // Head job wants more than is free; the rest are narrow candidates.
+    let mut queue = VecDeque::new();
+    queue.push_back(JobSpec {
+        id: JobId(0),
+        req: ResourceRequest::mpi(nodes, 56, 0),
+        duration: SimDuration::from_secs(500),
+    });
+    for i in 1..queue_depth {
+        queue.push_back(JobSpec {
+            id: JobId(i as u64),
+            req: ResourceRequest::single(1, 0),
+            duration: SimDuration::from_secs(30),
+        });
+    }
+    (pool, queue, running)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_policy");
+    for &depth in &[8usize, 64, 512] {
+        let (pool, queue, running) = setup(64, depth, 48);
+        g.bench_with_input(BenchmarkId::new("fcfs", depth), &depth, |b, _| {
+            b.iter(|| Fcfs.select(SimTime::ZERO, &queue, &pool, &running));
+        });
+        g.bench_with_input(BenchmarkId::new("easy_backfill", depth), &depth, |b, _| {
+            let policy = EasyBackfill { depth: 64 };
+            b.iter(|| policy.select(SimTime::ZERO, &queue, &pool, &running));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment `dragon` (paper Fig. 5(c), Table 1 row 4): RP driving one
+//! Dragon runtime launching *executable* tasks (spawn mode, for
+//! comparability with srun/Flux).
+//!
+//! Paper shape targets: throughput roughly flat vs node count at small
+//! scale (343 t/s @4 nodes, 380 @16) and declining at 64 nodes (204 t/s;
+//! peak 622 → 272) — the centralized single-dispatcher limit.
+
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_sim::SimDuration;
+use rp_workloads::{dummy_workload, null_workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 3 };
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment dragon — single Dragon runtime, Fig. 5(c)\n\n");
+
+    for &nodes in &[1u32, 4, 16, 64] {
+        let (row, _) = repeat_static(
+            &format!("dragon null n={nodes}"),
+            reps,
+            move |seed| PilotConfig::dragon(nodes).with_seed(seed),
+            move || null_workload(nodes),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+        rows.push(row);
+
+        let (row, _) = repeat_static(
+            &format!("dragon dummy180 n={nodes}"),
+            reps,
+            move |seed| PilotConfig::dragon(nodes).with_seed(seed),
+            move || dummy_workload(nodes, SimDuration::from_secs(180)),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+        rows.push(row);
+    }
+
+    let series: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.label.contains("null"))
+        .map(|r| (r.label.clone(), r.thr_avg))
+        .collect();
+    let chart = rp_analytics::bar_chart(
+        "\navg throughput (tasks/s): flat then declining with node count",
+        &series,
+        50,
+    );
+    println!("{chart}");
+    text.push_str(&chart);
+
+    write_results("exp_dragon", &text, &rows);
+}

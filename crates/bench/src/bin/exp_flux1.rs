@@ -1,0 +1,63 @@
+//! Experiment `flux_1` (paper Fig. 5(b), Table 1 row 2): RP driving a
+//! single Flux instance at 1–1024 nodes, null + dummy(360 s) workloads of
+//! `nodes × 56 × 4` single-core executable tasks.
+//!
+//! Paper shape targets: throughput rises with node count, ≈28 t/s at one
+//! node to ≈300 t/s average at 1,024 nodes; single-instance peak ≈744 t/s;
+//! visible run-to-run variability.
+
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_sim::SimDuration;
+use rp_workloads::{dummy_workload, null_workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scales: &[u32] = if quick {
+        &[1, 4, 16, 64]
+    } else {
+        &[1, 4, 16, 64, 256, 1024]
+    };
+    let reps = if quick { 2 } else { 3 };
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment flux_1 — single Flux instance, Fig. 5(b)\n\n");
+
+    for &nodes in scales {
+        // Null workload: exposes raw middleware throughput.
+        let (row, _) = repeat_static(
+            &format!("flux_1 null n={nodes}"),
+            reps,
+            move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
+            move || null_workload(nodes),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+        rows.push(row);
+
+        // Dummy(360 s): the Table 1 configuration for utilization.
+        let (row, _) = repeat_static(
+            &format!("flux_1 dummy360 n={nodes}"),
+            reps,
+            move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
+            move || dummy_workload(nodes, SimDuration::from_secs(360)),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+        rows.push(row);
+    }
+
+    let series: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.label.contains("null"))
+        .map(|r| (r.label.clone(), r.thr_avg))
+        .collect();
+    let chart = rp_analytics::bar_chart("\navg throughput (tasks/s), null workload", &series, 50);
+    println!("{chart}");
+    text.push_str(&chart);
+
+    write_results("exp_flux1", &text, &rows);
+}

@@ -1,0 +1,87 @@
+//! Experiment `flux+dragon` (paper Fig. 5(d), Table 1 row 5): RP deploying
+//! Flux and Dragon concurrently — executables routed to Flux partitions,
+//! function tasks to Dragon partitions — with dummy(360 s) mixed batches.
+//!
+//! Paper shape targets: throughput grows with nodes/instances; 16 nodes /
+//! 8 instances per runtime averages 171 t/s (peak 573); 64 nodes peaks
+//! ≈1,547 t/s (the RP task-management ceiling); utilization ≥99.6 %.
+
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_sim::SimDuration;
+use rp_workloads::mixed_workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 3 };
+
+    // (nodes, instances per runtime); instances*2 <= nodes.
+    let grid: &[(u32, u32)] = if quick {
+        &[(2, 1), (16, 8), (64, 8)]
+    } else {
+        &[(2, 1), (4, 2), (16, 8), (64, 8), (64, 16), (64, 32)]
+    };
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment flux+dragon — hybrid runtimes, Fig. 5(d)\n\n");
+
+    for &(nodes, k) in grid {
+        // Null mixed stream: sustained hybrid launch rate (the 1,547 t/s
+        // headline regime — both adapters active simultaneously).
+        let (null_row, _) = repeat_static(
+            &format!("flux+dragon null n={nodes} k={k}x2"),
+            reps,
+            move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
+            move || mixed_workload(nodes, SimDuration::ZERO),
+        );
+        println!("{}", null_row.table_line());
+        text.push_str(&null_row.table_line());
+        text.push('\n');
+        rows.push(null_row);
+
+        let (row, reports) = repeat_static(
+            &format!("flux+dragon n={nodes} k={k}x2"),
+            reps,
+            move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
+            move || mixed_workload(nodes, SimDuration::from_secs(360)),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+
+        // Split throughput per backend for the report.
+        let r = &reports[0];
+        let flux_tasks: Vec<_> = r
+            .tasks
+            .iter()
+            .filter(|t| t.backend == Some(rp_core::BackendKind::Flux))
+            .cloned()
+            .collect();
+        let dragon_tasks: Vec<_> = r
+            .tasks
+            .iter()
+            .filter(|t| t.backend == Some(rp_core::BackendKind::Dragon))
+            .cloned()
+            .collect();
+        let ft = rp_analytics::throughput(&flux_tasks);
+        let dt = rp_analytics::throughput(&dragon_tasks);
+        let line = format!(
+            "    split: flux {} tasks avg {:.0}/s | dragon {} tasks avg {:.0}/s\n",
+            flux_tasks.len(),
+            ft.map(|t| t.avg_active).unwrap_or(0.0),
+            dragon_tasks.len(),
+            dt.map(|t| t.avg_active).unwrap_or(0.0),
+        );
+        print!("{line}");
+        text.push_str(&line);
+        rows.push(row);
+    }
+
+    let best = rows.iter().map(|r| r.thr_peak).fold(0.0, f64::max);
+    let line = format!("\nmax hybrid throughput: {best:.0} tasks/s (paper: 1,547)\n");
+    println!("{line}");
+    text.push_str(&line);
+
+    write_results("exp_flux_dragon", &text, &rows);
+}

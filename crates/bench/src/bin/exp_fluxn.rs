@@ -1,0 +1,68 @@
+//! Experiment `flux_n` (paper Fig. 6, Table 1 row 3): RP driving multiple
+//! concurrent Flux instances over disjoint partitions, dummy(180 s)
+//! workloads.
+//!
+//! Paper shape targets: partitioning raises throughput at small/medium
+//! scale (4 nodes: 56 → 98 t/s with 4 instances; 16 nodes: 43 → 195 with
+//! 16), diminishing returns at 256–1024 nodes (286.7 → 302.5 at 256/64;
+//! 160.6 → 232.9 at 1024/16), max ≈930 t/s, utilization ≥94.5 % up to 64
+//! nodes, dropping (≈75 %) at 1024/16.
+
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_sim::SimDuration;
+use rp_workloads::dummy_workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 3 };
+
+    // (nodes, partition counts) grid: Table 1 lists 64 and 1024 nodes with
+    // 1..64 partitions; the text also quotes 4, 16 and 256-node results.
+    let grid: Vec<(u32, Vec<u32>)> = if quick {
+        vec![(4, vec![1, 4]), (16, vec![1, 4, 16]), (64, vec![1, 16, 64])]
+    } else {
+        vec![
+            (4, vec![1, 4]),
+            (16, vec![1, 4, 16]),
+            (64, vec![1, 4, 16, 64]),
+            (256, vec![1, 4, 16, 64]),
+            (1024, vec![1, 4, 16, 64]),
+        ]
+    };
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment flux_n — multiple Flux instances, Fig. 6\n\n");
+
+    for (nodes, parts) in grid {
+        for &k in &parts {
+            let (row, _) = repeat_static(
+                &format!("flux_n n={nodes} k={k}"),
+                reps,
+                move |seed| PilotConfig::flux(nodes, k).with_seed(seed),
+                move || dummy_workload(nodes, SimDuration::from_secs(180)),
+            );
+            println!("{}", row.table_line());
+            text.push_str(&row.table_line());
+            text.push('\n');
+            rows.push(row);
+        }
+        text.push('\n');
+    }
+
+    let series: Vec<(String, f64)> = rows
+        .iter()
+        .map(|r| (r.label.clone(), r.thr_avg))
+        .collect();
+    let chart = rp_analytics::bar_chart("\navg throughput (tasks/s) by nodes × instances", &series, 50);
+    println!("{chart}");
+    text.push_str(&chart);
+
+    let best = rows.iter().map(|r| r.thr_peak).fold(0.0, f64::max);
+    let line = format!("max throughput across grid: {best:.0} tasks/s (paper: up to 930)\n");
+    println!("{line}");
+    text.push_str(&line);
+
+    write_results("exp_fluxn", &text, &rows);
+}

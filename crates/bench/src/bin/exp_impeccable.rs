@@ -1,0 +1,104 @@
+//! Experiments `impeccable_srun` / `impeccable_flux` (paper Fig. 8,
+//! Table 1 rows 6–7): the IMPECCABLE campaign with dummy 180 s tasks on
+//! 256 and 1,024 nodes, srun vs Flux backends.
+//!
+//! Paper shape targets: srun makespans ≈26,000 s (256 n) and ≈44,000 s
+//! (1,024 n) versus Flux ≈22,000 s and ≈17,500 s — a 30–60 % reduction;
+//! srun CPU utilization 30 %/15 % versus Flux 68 %/69 %; start rates >4×
+//! higher and steadier under Flux; concurrency tracks the schedulable load
+//! tightly under Flux and trails badly under srun.
+
+use rp_analytics::{compare, digest, line_plot, paired_timeline_csv, timeline, timeline_csv};
+use rp_bench::{write_results, ExpRow};
+use rp_core::{PilotConfig, SimSession};
+use rp_workloads::{impeccable_campaign, ImpeccableParams};
+use std::fmt::Write as _;
+
+fn run_one(
+    backend: &str,
+    nodes: u32,
+    seed: u64,
+    text: &mut String,
+) -> (rp_analytics::RunDigest, rp_core::RunReport) {
+    let cfg = match backend {
+        "srun" => PilotConfig::srun(nodes),
+        _ => PilotConfig::flux(nodes, 1),
+    }
+    .with_seed(seed);
+    let params = ImpeccableParams::for_nodes(nodes);
+    let report = SimSession::new(cfg, Box::new(impeccable_campaign(params))).run();
+    let d = digest(&report);
+    let line = format!(
+        "impeccable_{backend} n={nodes}: tasks={} makespan={:.0}s util_cpu={:.0}% util_gpu={:.0}% thr_avg={:.1}/s peak_conc={}\n",
+        d.done, d.makespan_s, d.util_cores * 100.0, d.util_gpus * 100.0, d.thr_avg, d.peak_concurrency
+    );
+    print!("{line}");
+    let _ = write!(text, "{line}");
+
+    // Fig. 8 panels: concurrency (running) + start rate over time.
+    let tl = timeline(&report.tasks, 60);
+    let running: Vec<(f64, f64)> = tl.iter().map(|p| (p.t_s, p.running as f64)).collect();
+    let rate: Vec<(f64, f64)> = tl
+        .iter()
+        .map(|p| (p.t_s, p.start_rate as f64 / 60.0))
+        .collect();
+    let plot = line_plot(
+        &format!("Fig.8 {backend} n={nodes}: running tasks (60 s buckets)"),
+        &running,
+        72,
+        10,
+    );
+    print!("{plot}");
+    let _ = write!(text, "{plot}");
+    let plot = line_plot(
+        &format!("Fig.8 {backend} n={nodes}: execution start rate (tasks/s)"),
+        &rate,
+        72,
+        8,
+    );
+    print!("{plot}");
+    let _ = write!(text, "{plot}");
+
+    // CSV timeline for external plotting.
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write(
+        format!("results/impeccable_{backend}_{nodes}_timeline.csv"),
+        timeline_csv(&report, 60),
+    );
+    (d, report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
+
+    let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
+    let mut digests = Vec::new();
+    for &nodes in scales {
+        let (ds, rs) = run_one("srun", nodes, 31, &mut text);
+        let (df, rf) = run_one("flux", nodes, 31, &mut text);
+        let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
+        let line = format!(
+            "  => flux reduces makespan by {reduction:.0}% at {nodes} nodes (paper: 30-60%)\n"
+        );
+        print!("{line}");
+        let _ = write!(text, "{line}");
+        // Side-by-side comparison table (the §4.2 reading).
+        let cmp = compare("srun", &rs, "flux", &rf).table();
+        println!("{cmp}");
+        let _ = write!(text, "{cmp}\n");
+        let _ = std::fs::write(
+            format!("results/impeccable_paired_{nodes}.csv"),
+            paired_timeline_csv("srun", &rs, "flux", &rf, 60),
+        );
+        digests.push((format!("impeccable_srun n={nodes}"), ds));
+        digests.push((format!("impeccable_flux n={nodes}"), df));
+    }
+
+    let rows: Vec<ExpRow> = digests
+        .iter()
+        .map(|(label, d)| ExpRow::from_digests(label.clone(), std::slice::from_ref(d)))
+        .collect();
+    write_results("exp_impeccable", &text, &rows);
+}

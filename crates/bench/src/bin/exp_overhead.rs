@@ -1,0 +1,55 @@
+//! Experiment `overheads` (paper Fig. 7): Flux and Dragon instance
+//! bootstrap overheads for instance sizes 1–64 nodes.
+//!
+//! Paper shape targets: ≈20 s per Flux instance, ≈9 s per Dragon instance,
+//! roughly independent of instance size; concurrent launches make total
+//! overhead non-additive in the instance count.
+
+use rp_bench::write_results;
+use rp_core::{PilotConfig, SimSession, TaskDescription};
+use rp_analytics::overheads;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut text = String::from("Experiment overheads — instance bootstrap, Fig. 7\n\n");
+
+    // Per-size overheads: one instance over n nodes, trivial workload.
+    for &nodes in &[1u32, 4, 16, 64] {
+        for kind in ["flux", "dragon"] {
+            let cfg = match kind {
+                "flux" => PilotConfig::flux(nodes, 1),
+                _ => PilotConfig::dragon(nodes),
+            };
+            let report =
+                SimSession::with_tasks(cfg.with_seed(17 + nodes as u64), vec![TaskDescription::null(0)])
+                    .run();
+            let ov = overheads(&report);
+            for (k, p, n, o) in &ov.instances {
+                let line = format!("{k}[{p}] nodes={n:<4} bootstrap={o:.1}s\n");
+                print!("{line}");
+                let _ = write!(text, "{line}");
+            }
+        }
+    }
+
+    // Non-additivity: 8 flux instances over 32 nodes launch concurrently.
+    let report = SimSession::with_tasks(
+        PilotConfig::flux(32, 8).with_seed(99),
+        vec![TaskDescription::null(0)],
+    )
+    .run();
+    let ov = overheads(&report);
+    let per_instance: Vec<f64> = ov.instances.iter().map(|i| i.3).collect();
+    let sum: f64 = per_instance.iter().sum();
+    let all_ready = ov.all_ready_s.unwrap_or(0.0);
+    let line = format!(
+        "\n8 concurrent flux instances: per-instance mean {:.1}s, sum {:.1}s, wall-clock-to-all-ready {:.1}s\n  (concurrent launches ⇒ total overhead is NOT additive; paper Fig. 7)\n",
+        sum / per_instance.len() as f64,
+        sum,
+        all_ready
+    );
+    println!("{line}");
+    text.push_str(&line);
+
+    write_results("exp_overhead", &text, &[]);
+}

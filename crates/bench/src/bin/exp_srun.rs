@@ -1,0 +1,67 @@
+//! Experiment `srun` (paper Fig. 4 + Fig. 5(a), Table 1 row 1): RP using
+//! Slurm's `srun` as the task launcher.
+//!
+//! Paper shape targets: concurrency rides the 112-step site ceiling
+//! (Fig. 4: 896 dummy 180 s tasks on 4 nodes ⇒ 50 % utilization);
+//! null-task throughput peaks ≈152 t/s at 1 node and *decreases* with node
+//! count (61 t/s at 4 nodes).
+
+use rp_analytics::{line_plot, timeline};
+use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_core::PilotConfig;
+use rp_sim::SimDuration;
+use rp_workloads::{dummy_workload, null_workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 3 };
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text = String::from("Experiment srun — Fig. 4 (utilization) and Fig. 5(a) (throughput)\n\n");
+
+    // ---- Fig. 5(a): null-task launch throughput vs node count ----------
+    for &nodes in &[1u32, 2, 4, 8, 16] {
+        let (row, _) = repeat_static(
+            &format!("srun null n={nodes}"),
+            reps,
+            move |seed| PilotConfig::srun(nodes).with_srun_oversubscribe(4).with_seed(seed),
+            move || null_workload(nodes),
+        );
+        println!("{}", row.table_line());
+        text.push_str(&row.table_line());
+        text.push('\n');
+        rows.push(row);
+    }
+
+    // ---- Fig. 4: 896 dummy(180 s) tasks on 4 nodes ----------------------
+    let (row, reports) = repeat_static(
+        "srun dummy180 n=4 (Fig.4)",
+        reps,
+        |seed| PilotConfig::srun(4).with_srun_oversubscribe(4).with_seed(seed),
+        || dummy_workload(4, SimDuration::from_secs(180)),
+    );
+    println!("{}", row.table_line());
+    text.push_str(&row.table_line());
+    text.push('\n');
+
+    let tl = timeline(&reports[0].tasks, 10);
+    let pts: Vec<(f64, f64)> = tl
+        .iter()
+        .map(|p| (p.t_s, p.busy_cores as f64 / 224.0 * 100.0))
+        .collect();
+    let plot = line_plot(
+        "\nFig.4: core utilization %, 896 dummy tasks, 4 nodes (ceiling ⇒ 50 %)",
+        &pts,
+        70,
+        12,
+    );
+    println!("{plot}");
+    text.push_str(&plot);
+    let peak_util = pts.iter().map(|p| p.1).fold(0.0, f64::max);
+    println!("peak utilization: {peak_util:.1}% (paper: 50%)");
+    text.push_str(&format!("peak utilization: {peak_util:.1}% (paper: 50%)\n"));
+    rows.push(row);
+
+    write_results("exp_srun", &text, &rows);
+}

@@ -1,0 +1,66 @@
+//! Run the whole experiment suite (Table 1 + every figure + ablations) and
+//! print the Table 1 matrix with measured headline numbers. Results land
+//! under `results/`; EXPERIMENTS.md records the paper-vs-measured
+//! comparison in detail.
+//!
+//! `--quick` trims node counts and repetitions for a fast smoke pass.
+
+use rp_analytics::md_table;
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // Table 1: the experiment matrix (printed up front, as in the paper).
+    let matrix = md_table(
+        &[
+            "Exp ID",
+            "Workload",
+            "launcher",
+            "#nodes/pilot",
+            "#partitions",
+            "task types",
+            "#tasks",
+            "#cores/task",
+        ],
+        &[
+            row(&["srun", "null, dummy(180s)", "srun", "1-16", "1", "exec", "n*cpn*4", "1"]),
+            row(&["flux_1", "null, dummy(360s)", "flux", "1,4,16,64,256,1024", "1", "exec", "n*cpn*4", "1"]),
+            row(&["flux_n", "dummy(180s)", "flux", "4,16,64,256,1024", "1,4,16,64", "exec", "n*cpn*4", "1"]),
+            row(&["dragon", "null, dummy(180s)", "dragon", "1,4,16,64", "1", "exec", "n*cpn*4", "1"]),
+            row(&["flux+dragon", "null, dummy(360s)", "flux & dragon", "2-64", "1-32 each", "exec & funcs", "n*cpn*4", "1"]),
+            row(&["impeccable_srun", "impeccable", "srun", "256,1024", "1", "exec", "~550,~1800", "56-7168"]),
+            row(&["impeccable_flux", "impeccable", "flux", "256,1024", "1", "exec", "~550,~1800", "56-7168"]),
+        ],
+    );
+    println!("Table 1 — experiment matrix\n\n{matrix}");
+
+    let exps = [
+        "exp_srun",
+        "exp_flux1",
+        "exp_fluxn",
+        "exp_dragon",
+        "exp_flux_dragon",
+        "exp_overhead",
+        "exp_impeccable",
+        "exp_prrte",
+        "exp_ablations",
+    ];
+    for exp in exps {
+        println!("\n================= {exp} =================");
+        let exe = std::env::current_exe().expect("own path");
+        let dir = exe.parent().expect("bin dir");
+        let mut cmd = Command::new(dir.join(exp));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nAll experiments complete; outputs under results/.");
+}
+
+fn row(cells: &[&str]) -> Vec<String> {
+    cells.iter().map(|s| s.to_string()).collect()
+}

@@ -1,0 +1,184 @@
+//! Shared experiment machinery: run a configuration over several seeds,
+//! digest each run, aggregate, and render table rows.
+
+use rp_analytics::{digest, RunDigest};
+use rp_core::{PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One aggregated experiment row (a cell of a paper figure/table).
+#[derive(Debug, Clone)]
+pub struct ExpRow {
+    /// Configuration label, e.g. `flux n=64 k=4`.
+    pub label: String,
+    /// Repetitions run.
+    pub reps: usize,
+    /// Mean of per-run average throughput (tasks/s, launch-active).
+    pub thr_avg: f64,
+    /// Standard deviation of the average throughput across reps.
+    pub thr_sd: f64,
+    /// Max of per-run peak throughput (tasks/s).
+    pub thr_peak: f64,
+    /// Mean core utilization `[0,1]`.
+    pub util_cores: f64,
+    /// Mean GPU utilization `[0,1]`.
+    pub util_gpus: f64,
+    /// Mean peak concurrency.
+    pub concurrency: f64,
+    /// Mean makespan (s).
+    pub makespan_s: f64,
+    /// Tasks completed per rep (mean).
+    pub done: f64,
+    /// Tasks failed per rep (mean).
+    pub failed: f64,
+}
+
+impl ExpRow {
+    /// Aggregate digests under a label.
+    pub fn from_digests(label: String, ds: &[RunDigest]) -> ExpRow {
+        let n = ds.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&RunDigest) -> f64| ds.iter().map(f).sum::<f64>() / n;
+        let thr_avg = mean(&|d| d.thr_avg);
+        let thr_var = ds
+            .iter()
+            .map(|d| (d.thr_avg - thr_avg).powi(2))
+            .sum::<f64>()
+            / (ds.len().saturating_sub(1).max(1)) as f64;
+        ExpRow {
+            label,
+            reps: ds.len(),
+            thr_avg,
+            thr_sd: thr_var.sqrt(),
+            thr_peak: ds.iter().map(|d| d.thr_peak).fold(0.0, f64::max),
+            util_cores: mean(&|d| d.util_cores),
+            util_gpus: mean(&|d| d.util_gpus),
+            concurrency: mean(&|d| d.peak_concurrency as f64),
+            makespan_s: mean(&|d| d.makespan_s),
+            done: mean(&|d| d.done as f64),
+            failed: mean(&|d| d.failed as f64),
+        }
+    }
+
+    /// Render as a fixed-width table line.
+    pub fn table_line(&self) -> String {
+        format!(
+            "{:<28} reps={} thr_avg={:>8.1}±{:<6.1} peak={:>7.0}  util={:>5.1}% gpu={:>5.1}%  conc={:>8.0}  makespan={:>9.1}s  done={:>8.0} fail={:>3.0}",
+            self.label,
+            self.reps,
+            self.thr_avg,
+            self.thr_sd,
+            self.thr_peak,
+            self.util_cores * 100.0,
+            self.util_gpus * 100.0,
+            self.concurrency,
+            self.makespan_s,
+            self.done,
+            self.failed,
+        )
+    }
+
+    /// CSV header matching [`ExpRow::csv_line`].
+    pub fn csv_header() -> &'static str {
+        "label,reps,thr_avg,thr_sd,thr_peak,util_cores,util_gpus,concurrency,makespan_s,done,failed"
+    }
+
+    /// Render as a CSV line.
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{},{:.3},{:.3},{:.1},{:.4},{:.4},{:.1},{:.1},{:.0},{:.0}",
+            self.label,
+            self.reps,
+            self.thr_avg,
+            self.thr_sd,
+            self.thr_peak,
+            self.util_cores,
+            self.util_gpus,
+            self.concurrency,
+            self.makespan_s,
+            self.done,
+            self.failed
+        )
+    }
+}
+
+/// Run `reps` repetitions of a configuration with distinct seeds, digesting
+/// each. `mk_workload` builds a fresh workload per rep (workload sources
+/// are consumed by the run); `mk_cfg` gets the rep's seed.
+pub fn repeat(
+    label: &str,
+    reps: usize,
+    mk_cfg: impl Fn(u64) -> PilotConfig,
+    mk_workload: impl Fn() -> Box<dyn WorkloadSource>,
+) -> (ExpRow, Vec<RunReport>) {
+    let mut digests = Vec::with_capacity(reps);
+    let mut reports = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let seed = 1000 + 7919 * rep as u64;
+        let cfg = mk_cfg(seed);
+        let report = SimSession::new(cfg, mk_workload()).run();
+        digests.push(digest(&report));
+        reports.push(report);
+    }
+    (ExpRow::from_digests(label.to_string(), &digests), reports)
+}
+
+/// Convenience: repeat with a static task batch.
+pub fn repeat_static(
+    label: &str,
+    reps: usize,
+    mk_cfg: impl Fn(u64) -> PilotConfig,
+    mk_tasks: impl Fn() -> Vec<TaskDescription>,
+) -> (ExpRow, Vec<RunReport>) {
+    repeat(label, reps, mk_cfg, || {
+        Box::new(rp_core::StaticWorkload::new(mk_tasks()))
+    })
+}
+
+/// Write experiment output under `results/` (text + csv side by side).
+pub fn write_results(name: &str, text: &str, rows: &[ExpRow]) {
+    let dir = Path::new("results");
+    let _ = fs::create_dir_all(dir);
+    let _ = fs::write(dir.join(format!("{name}.txt")), text);
+    let mut csv = String::from(ExpRow::csv_header());
+    csv.push('\n');
+    for r in rows {
+        let _ = writeln!(csv, "{}", r.csv_line());
+    }
+    let _ = fs::write(dir.join(format!("{name}.csv")), csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_core::PilotConfig;
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn repeat_aggregates_reps() {
+        let (row, reports) = repeat_static(
+            "tiny",
+            2,
+            |seed| PilotConfig::flux(2, 1).with_seed(seed),
+            || {
+                (0..40)
+                    .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
+                    .collect()
+            },
+        );
+        assert_eq!(row.reps, 2);
+        assert_eq!(reports.len(), 2);
+        assert!((row.done - 40.0).abs() < 1e-9);
+        assert!(row.thr_avg > 0.0);
+        // Different seeds ⇒ (almost surely) different makespans.
+        assert_ne!(
+            reports[0].makespan(),
+            reports[1].makespan(),
+            "seeds must decorrelate runs"
+        );
+        let line = row.table_line();
+        assert!(line.contains("tiny"));
+        assert!(ExpRow::csv_header().starts_with("label,"));
+        assert!(row.csv_line().starts_with("tiny,2,"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `rp-bench` — the experiment harness regenerating every table and figure
+//! of the paper (see DESIGN.md §4 for the experiment index).
+//!
+//! Each `exp_*` binary reproduces one artifact; `run_all` executes the full
+//! suite and emits an EXPERIMENTS.md-ready report. [`harness`] holds the
+//! shared repetition/aggregation machinery so binaries stay declarative.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{repeat, repeat_static, write_results, ExpRow};

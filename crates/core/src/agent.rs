@@ -1,0 +1,1483 @@
+//! The RP Agent (sim plane): one engine actor orchestrating the full task
+//! pipeline across concurrently deployed runtime backends.
+//!
+//! Pipeline, mirroring Fig. 1: task submission → input staging (N
+//! concurrent stagers) → agent scheduler (one decision server whose cost
+//! grows with partition count and pilot size — the coordination overhead
+//! behind `flux_n`'s diminishing returns) → per-backend executor adapter
+//! (the serialization servers whose combined rate is the paper's ≈1,550 t/s
+//! "RP task-management" ceiling) → backend submit.
+//!
+//! Backends run as reactive sub-machines owned by the agent: a site-wide
+//! [`SrunSim`] (which also carries Flux/Dragon instance bootstraps on
+//! persistent slots, so instance count interacts with the 112-step ceiling
+//! exactly as on Frontier), per-partition [`FluxInstanceSim`]s, and
+//! per-partition [`DragonSim`]s. Task state transitions are driven by their
+//! emitted events, never by polling — the event-driven integration of
+//! §3.2.
+
+use crate::backend::{BackendKind, BackendSpec};
+use crate::config::PilotConfig;
+use crate::pilot::PilotState;
+use crate::report::{InstanceReport, RunState};
+use crate::service::{ServiceDescription, ServiceRecord};
+use crate::router::{Router, RoutingPolicy};
+use crate::task::{TaskDescription, TaskId, TaskRecord, TaskState};
+use crate::workload::{ResourceView, WorkloadSource};
+use rp_dragonrt::{DragonAction, DragonSim, DragonTask, DragonToken};
+use rp_fluxrt::{
+    EasyBackfill, ExceptionKind, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId,
+    JobSpec, SchedPolicy,
+};
+use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
+use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
+use rp_sim::{Actor, Ctx, Dist, RngStream};
+use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Infra step-id base for Flux instance carriers.
+const FLUX_INFRA_BASE: u64 = 1 << 62;
+/// Infra step-id base for Dragon instance carriers.
+const DRAGON_INFRA_BASE: u64 = (1 << 62) + (1 << 61);
+/// Infra step-id base for PRRTE DVM carriers.
+const PRRTE_INFRA_BASE: u64 = (1 << 62) + (1 << 61) + (1 << 60);
+
+/// Messages driving the agent actor.
+#[derive(Debug)]
+pub enum AgentMsg {
+    /// Start the pilot (schedule agent bootstrap).
+    Init,
+    /// Agent bootstrap finished; deploy backends and pull initial workload.
+    BootstrapDone,
+    /// Externally injected tasks (beyond the workload source).
+    Submit(Vec<TaskDescription>),
+    /// A stager finished staging this task.
+    StagerDone(TaskId),
+    /// The agent scheduler finished deciding this task.
+    SchedDone(TaskId),
+    /// The executor adapter finished serializing this task.
+    AdapterDone(BackendKind, TaskId),
+    /// A sub-agent's scheduler finished deciding this task.
+    SubSchedDone(u32, TaskId),
+    /// A sub-agent's adapter finished serializing this task.
+    SubAdapterDone(u32, TaskId),
+    /// Site srun timer.
+    Srun(SrunToken),
+    /// Flux instance timer.
+    Flux(u32, FluxToken),
+    /// Dragon instance timer.
+    Dragon(u32, DragonToken),
+    /// PRRTE DVM timer.
+    Prrte(u32, PrrteToken),
+    /// The backend-kind watcher thread finished processing one event.
+    WatcherDone(BackendKind),
+    /// Cancel tasks (best effort; running payloads finish).
+    CancelTasks(Vec<TaskId>),
+    /// Failure injection: crash one backend instance.
+    KillInstance(BackendKind, u32),
+}
+
+/// An event awaiting the watcher thread of a backend kind.
+#[derive(Debug, Clone, Copy)]
+enum WatcherEvent {
+    /// Payload started (⇒ task Executing); carries the partition for
+    /// Dragon flow-control feeding.
+    Exec(TaskId, u32),
+    /// Payload finished (⇒ task Done + workload feedback).
+    Term(TaskId),
+}
+
+/// Executor-adapter server state for one backend kind.
+struct Adapter {
+    q: VecDeque<TaskId>,
+    busy: bool,
+    cost: Dist,
+}
+
+/// One per-partition sub-agent pipeline: its own scheduler and executor
+/// adapter servers (§4.1.2). `target` is the backend instance it manages.
+struct SubAgent {
+    target: (BackendKind, u32),
+    sched_q: VecDeque<TaskId>,
+    sched_busy: bool,
+    sched_cost: Dist,
+    adapter_q: VecDeque<TaskId>,
+    adapter_busy: bool,
+    adapter_cost: Dist,
+}
+
+/// Resources held by a running service.
+struct ServiceHold {
+    /// Index into `RunState::services`.
+    report_idx: usize,
+    backend: BackendKind,
+    partition: u32,
+    flux_placement: Option<rp_platform::Placement>,
+    dragon_workers: u64,
+}
+
+/// A PRRTE DVM partition: RP-side placement (PRRTE has no scheduler) plus
+/// the DVM launch machine.
+struct PrrteBackend {
+    dvm: PrrteDvm,
+    pool: ResourcePool,
+    waiting: VecDeque<TaskId>,
+    placements: HashMap<TaskId, Placement>,
+}
+
+/// The srun execution backend: agent-side capacity accounting plus the
+/// site launcher. srun places at node granularity itself, so RP tracks
+/// aggregate capacity (optionally oversubscribed, Table 1's "4 tasks per
+/// core") rather than per-core placements.
+struct SrunBackend {
+    free_core_slots: u64,
+    free_gpus: u64,
+    total_core_slots: u64,
+    oversubscribe: u64,
+    waiting: VecDeque<TaskId>,
+    holds: HashMap<TaskId, (u64, u64)>,
+}
+
+/// The simulated agent actor.
+pub struct SimAgent {
+    cfg: PilotConfig,
+    router: Router,
+    state: Rc<RefCell<RunState>>,
+    descs: HashMap<TaskId, TaskDescription>,
+    rng: RngStream,
+
+    // Pipeline servers.
+    stage_q: VecDeque<TaskId>,
+    stagers_free: usize,
+    stage_cost: Dist,
+    sched_q: VecDeque<TaskId>,
+    sched_busy: bool,
+    sched_cost: Dist,
+    adapters: BTreeMap<BackendKind, Adapter>,
+    /// Per-partition sub-agents (empty unless `cfg.sub_agents`).
+    subs: Vec<SubAgent>,
+
+    // Backends.
+    site_srun: SrunSim,
+    srun_backend: Option<SrunBackend>,
+    flux: Vec<FluxInstanceSim>,
+    dragon: Vec<DragonSim>,
+    dragon_allocs: Vec<Allocation>,
+    prrte: Vec<PrrteBackend>,
+    /// RunState instance-report index per flux / dragon / prrte partition.
+    flux_report: Vec<usize>,
+    dragon_report: Vec<usize>,
+    prrte_report: Vec<usize>,
+
+    assignment: HashMap<TaskId, (BackendKind, u32)>,
+    /// Tasks submitted but not yet terminal; when this drains to zero the
+    /// agent stops persistent services.
+    outstanding: usize,
+    /// Pending service descriptions (started at pilot activation) and the
+    /// resources held by running services.
+    pending_services: Vec<ServiceDescription>,
+    service_holds: Vec<ServiceHold>,
+    /// Backend instances still booting. The pilot goes ACTIVE — and the
+    /// agent scheduler starts releasing tasks — only when this reaches
+    /// zero, matching RP's pilot lifecycle.
+    instances_pending: usize,
+    /// Per-backend watcher threads: serial event servers (Fig. 3's watcher;
+    /// the Flux event subscription consumer of Fig. 2).
+    watcher_q: BTreeMap<BackendKind, VecDeque<WatcherEvent>>,
+    watcher_busy: BTreeMap<BackendKind, bool>,
+    watcher_cost: Dist,
+    /// Flow control for the Dragon pipe: in-flight (submitted, not yet
+    /// started) per instance, plus parked tasks waiting for window space.
+    dragon_inflight: Vec<usize>,
+    dragon_parked: Vec<VecDeque<TaskId>>,
+    dragon_window: usize,
+    workload: Box<dyn WorkloadSource>,
+    rr: HashMap<BackendKind, usize>,
+    total_partitions: u32,
+}
+
+impl SimAgent {
+    /// Build the agent for `cfg`, feeding from `workload`, reporting into
+    /// `state`.
+    pub fn new(
+        cfg: PilotConfig,
+        workload: Box<dyn WorkloadSource>,
+        state: Rc<RefCell<RunState>>,
+    ) -> Self {
+        cfg.validate();
+        let mut cluster = Cluster::new(rp_platform::frontier());
+        let alloc = cluster
+            .allocate(cfg.nodes)
+            .expect("machine too small for pilot");
+        let cal = cfg.cal.clone();
+        let mut rng = RngStream::derive(cfg.seed, "agent");
+
+        let router = Router::new(cfg.backends.iter().map(|b| b.kind()).collect());
+        let total_partitions = cfg.total_instances();
+
+        // Partition the allocation across all non-srun instances, in spec
+        // order (srun spans everything).
+        let mut flux = Vec::new();
+        let mut dragon = Vec::new();
+        let mut dragon_allocs = Vec::new();
+        let mut prrte = Vec::new();
+        let mut srun_backend = None;
+        let mut flux_report = Vec::new();
+        let mut dragon_report = Vec::new();
+        let mut prrte_report = Vec::new();
+        {
+            let mut st = state.borrow_mut();
+            let non_srun_instances: u32 = cfg
+                .backends
+                .iter()
+                .filter(|b| b.kind() != BackendKind::Srun)
+                .map(|b| b.partitions())
+                .sum();
+            let mut parts = if non_srun_instances > 0 {
+                alloc.partition(non_srun_instances).into_iter()
+            } else {
+                Vec::new().into_iter()
+            };
+            for spec in &cfg.backends {
+                match spec {
+                    BackendSpec::Srun => {
+                        let oversubscribe = cfg.srun_oversubscribe.max(1) as u64;
+                        let slots = alloc.total_cores() * oversubscribe;
+                        srun_backend = Some(SrunBackend {
+                            free_core_slots: slots,
+                            free_gpus: alloc.total_gpus(),
+                            total_core_slots: slots,
+                            oversubscribe,
+                            waiting: VecDeque::new(),
+                            holds: HashMap::new(),
+                        });
+                    }
+                    BackendSpec::Flux {
+                        partitions,
+                        backfill,
+                    } => {
+                        for p in 0..*partitions {
+                            let part = parts.next().expect("enough partitions");
+                            let policy: Box<dyn SchedPolicy> = if *backfill {
+                                Box::new(EasyBackfill::default())
+                            } else {
+                                Box::new(Fcfs)
+                            };
+                            let seed = rng.next_u64();
+                            flux_report.push(st.instances.len());
+                            st.instances.push(InstanceReport {
+                                kind: BackendKind::Flux,
+                                partition: p,
+                                nodes: part.count,
+                                srun_acquired: None,
+                                ready: None,
+                                killed: false,
+                            });
+                            flux.push(FluxInstanceSim::new(part, &cal, policy, seed));
+                        }
+                    }
+                    BackendSpec::Dragon { partitions } => {
+                        for p in 0..*partitions {
+                            let part = parts.next().expect("enough partitions");
+                            let seed = rng.next_u64();
+                            dragon_report.push(st.instances.len());
+                            st.instances.push(InstanceReport {
+                                kind: BackendKind::Dragon,
+                                partition: p,
+                                nodes: part.count,
+                                srun_acquired: None,
+                                ready: None,
+                                killed: false,
+                            });
+                            dragon.push(DragonSim::new(&part, &cal, seed));
+                            dragon_allocs.push(part);
+                        }
+                    }
+                    BackendSpec::Prrte { partitions } => {
+                        for p in 0..*partitions {
+                            let part = parts.next().expect("enough partitions");
+                            let seed = rng.next_u64();
+                            prrte_report.push(st.instances.len());
+                            st.instances.push(InstanceReport {
+                                kind: BackendKind::Prrte,
+                                partition: p,
+                                nodes: part.count,
+                                srun_acquired: None,
+                                ready: None,
+                                killed: false,
+                            });
+                            prrte.push(PrrteBackend {
+                                dvm: PrrteDvm::new(&part, &cal, seed),
+                                pool: part.pool(),
+                                waiting: VecDeque::new(),
+                                placements: HashMap::new(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut adapters = BTreeMap::new();
+        for spec in &cfg.backends {
+            let (kind, cost) = match spec.kind() {
+                BackendKind::Srun => (BackendKind::Srun, cal.rp_srun_adapter.clone()),
+                BackendKind::Flux => (BackendKind::Flux, cal.rp_flux_adapter.clone()),
+                BackendKind::Dragon => (BackendKind::Dragon, cal.rp_dragon_adapter.clone()),
+                BackendKind::Prrte => (BackendKind::Prrte, cal.rp_prrte_adapter.clone()),
+            };
+            adapters.insert(
+                kind,
+                Adapter {
+                    q: VecDeque::new(),
+                    busy: false,
+                    cost,
+                },
+            );
+        }
+
+        let stagers_free = cfg.stager_concurrency.max(1);
+        let n_dragon = dragon.len();
+        let n_instances = flux.len() + dragon.len() + prrte.len();
+
+        // Per-partition sub-agent pipelines. A sub-agent's scheduler pays
+        // only partition-local cost (no cross-partition term); its adapter
+        // matches its backend kind.
+        let mut subs: Vec<SubAgent> = Vec::new();
+        if cfg.sub_agents {
+            let mut push_sub = |kind: BackendKind, part: u32, nodes: u32| {
+                let adapter_cost = match kind {
+                    BackendKind::Srun => cal.rp_srun_adapter.clone(),
+                    BackendKind::Flux => cal.rp_flux_adapter.clone(),
+                    BackendKind::Dragon => cal.rp_dragon_adapter.clone(),
+                    BackendKind::Prrte => cal.rp_prrte_adapter.clone(),
+                };
+                subs.push(SubAgent {
+                    target: (kind, part),
+                    sched_q: VecDeque::new(),
+                    sched_busy: false,
+                    sched_cost: cal.rp_sched_cost(1, nodes),
+                    adapter_q: VecDeque::new(),
+                    adapter_busy: false,
+                    adapter_cost,
+                });
+            };
+            for (i, f) in flux.iter().enumerate() {
+                push_sub(BackendKind::Flux, i as u32, f.allocation().count);
+            }
+            for (i, a) in dragon_allocs.iter().enumerate() {
+                push_sub(BackendKind::Dragon, i as u32, a.count);
+            }
+            for (i, pb) in prrte.iter().enumerate() {
+                push_sub(BackendKind::Prrte, i as u32, pb.pool.node_count() as u32);
+            }
+        }
+        SimAgent {
+            router,
+            state,
+            descs: HashMap::new(),
+            stage_q: VecDeque::new(),
+            stagers_free,
+            stage_cost: cal.rp_stage.clone(),
+            sched_q: VecDeque::new(),
+            sched_busy: false,
+            sched_cost: cal.rp_sched_cost(total_partitions, cfg.nodes),
+            adapters,
+            subs,
+            site_srun: SrunSim::new(cfg.nodes, cal.clone(), rng.next_u64()),
+            srun_backend,
+            flux,
+            dragon,
+            dragon_allocs,
+            prrte,
+            flux_report,
+            dragon_report,
+            prrte_report,
+            assignment: HashMap::new(),
+            outstanding: 0,
+            pending_services: Vec::new(),
+            service_holds: Vec::new(),
+            instances_pending: n_instances,
+            watcher_q: BTreeMap::new(),
+            watcher_busy: BTreeMap::new(),
+            watcher_cost: cal.rp_watcher.clone(),
+            dragon_inflight: vec![0; n_dragon],
+            dragon_parked: (0..n_dragon).map(|_| VecDeque::new()).collect(),
+            dragon_window: cal.rp_dragon_window.max(1),
+            workload,
+            rr: HashMap::new(),
+            rng,
+            total_partitions,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    /// Total backend partitions (for reports and sched-cost sanity checks).
+    pub fn total_partitions(&self) -> u32 {
+        self.total_partitions
+    }
+
+    fn resource_view(&self) -> ResourceView {
+        let mut free_cores = 0u64;
+        let mut free_gpus = 0u64;
+        let mut total_cores = 0u64;
+        let mut total_gpus = 0u64;
+        if let Some(sb) = &self.srun_backend {
+            // Report logical (non-oversubscribed) capacity to workloads.
+            free_cores += sb.free_core_slots / sb.oversubscribe;
+            free_gpus += sb.free_gpus;
+            total_cores += sb.total_core_slots / sb.oversubscribe;
+            total_gpus += self.cfg.nodes as u64
+                * rp_platform::frontier().node.gpus as u64;
+        }
+        for f in &self.flux {
+            total_cores += f.allocation().total_cores();
+            total_gpus += f.allocation().total_gpus();
+            if f.is_alive() {
+                free_cores += f.allocation().total_cores() - f.busy_cores();
+                free_gpus += f.allocation().total_gpus() - f.busy_gpus();
+            }
+        }
+        for pb in &self.prrte {
+            total_cores += pb.pool.total_cores();
+            total_gpus += pb.pool.total_gpus();
+            if pb.dvm.is_alive() {
+                free_cores += pb.pool.free_cores();
+                free_gpus += pb.pool.free_gpus();
+            }
+        }
+        for (d, a) in self.dragon.iter().zip(&self.dragon_allocs) {
+            total_cores += a.total_cores();
+            total_gpus += a.total_gpus();
+            if d.is_alive() {
+                free_cores += d.worker_capacity() - d.busy_workers();
+                // Dragon manages GPUs implicitly; count its partition's
+                // GPUs as available for sizing purposes.
+                free_gpus += a.total_gpus();
+            }
+        }
+        ResourceView {
+            free_cores,
+            free_gpus,
+            total_cores,
+            total_gpus,
+            nodes: self.cfg.nodes,
+        }
+    }
+
+    fn with_task<R>(&self, uid: TaskId, f: impl FnOnce(&mut TaskRecord) -> R) -> R {
+        let mut st = self.state.borrow_mut();
+        let rec = st
+            .tasks
+            .get_mut(&uid)
+            .unwrap_or_else(|| panic!("unknown task {uid}"));
+        f(rec)
+    }
+
+    fn submit_tasks(&mut self, descs: Vec<TaskDescription>, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        for desc in descs {
+            let mut rec = TaskRecord::new(&desc, now);
+            rec.advance(TaskState::StagingInput, now);
+            {
+                let mut st = self.state.borrow_mut();
+                assert!(
+                    !st.tasks.contains_key(&desc.uid),
+                    "duplicate task uid {}",
+                    desc.uid
+                );
+                st.order.push(desc.uid);
+                st.tasks.insert(desc.uid, rec);
+            }
+            self.outstanding += 1;
+            self.stage_q.push_back(desc.uid);
+            self.descs.insert(desc.uid, desc);
+        }
+        self.pump_stagers(ctx);
+    }
+
+    fn pump_stagers(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        while self.stagers_free > 0 {
+            let Some(t) = self.stage_q.pop_front() else {
+                break;
+            };
+            self.stagers_free -= 1;
+            let cost = self.stage_cost.sample(&mut self.rng);
+            ctx.timer(cost, AgentMsg::StagerDone(t));
+        }
+    }
+
+    fn pump_sched(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        if self.sched_busy || self.instances_pending > 0 {
+            return;
+        }
+        let Some(t) = self.sched_q.pop_front() else {
+            return;
+        };
+        self.sched_busy = true;
+        let cost = self.sched_cost.sample(&mut self.rng);
+        ctx.timer(cost, AgentMsg::SchedDone(t));
+    }
+
+    fn pump_adapter(&mut self, kind: BackendKind, ctx: &mut Ctx<AgentMsg>) {
+        let adapter = self.adapters.get_mut(&kind).expect("adapter exists");
+        if adapter.busy {
+            return;
+        }
+        let Some(t) = adapter.q.pop_front() else {
+            return;
+        };
+        adapter.busy = true;
+        let cost = adapter.cost.sample(&mut self.rng);
+        ctx.timer(cost, AgentMsg::AdapterDone(kind, t));
+    }
+
+    fn pump_sub_sched(&mut self, idx: u32, ctx: &mut Ctx<AgentMsg>) {
+        if self.instances_pending > 0 {
+            return; // pilot not ACTIVE yet
+        }
+        let sub = &mut self.subs[idx as usize];
+        if sub.sched_busy {
+            return;
+        }
+        let Some(t) = sub.sched_q.pop_front() else {
+            return;
+        };
+        sub.sched_busy = true;
+        let cost = sub.sched_cost.sample(&mut self.rng);
+        ctx.timer(cost, AgentMsg::SubSchedDone(idx, t));
+    }
+
+    fn pump_sub_adapter(&mut self, idx: u32, ctx: &mut Ctx<AgentMsg>) {
+        let sub = &mut self.subs[idx as usize];
+        if sub.adapter_busy {
+            return;
+        }
+        let Some(t) = sub.adapter_q.pop_front() else {
+            return;
+        };
+        sub.adapter_busy = true;
+        let cost = sub.adapter_cost.sample(&mut self.rng);
+        ctx.timer(cost, AgentMsg::SubAdapterDone(idx, t));
+    }
+
+    /// Flat sub-agent index for a backend partition.
+    fn sub_index(&self, kind: BackendKind, part: u32) -> Option<usize> {
+        self.subs
+            .iter()
+            .position(|s| s.target == (kind, part))
+    }
+
+    /// Pick a backend and partition for a task. Under `TypeAware` routing
+    /// this is the paper's static mapping with round-robin over live
+    /// partitions; under `LeastLoaded` every hosting-capable backend
+    /// competes on queue pressure. Falls back across kinds when a whole
+    /// backend is dead.
+    fn select_backend(&mut self, t: TaskId) -> Option<(BackendKind, u32)> {
+        let desc = self.descs.get(&t).expect("desc exists");
+        if self.cfg.routing == RoutingPolicy::LeastLoaded && desc.backend_hint.is_none() {
+            let candidates = self.router.candidates(desc);
+            let mut best: Option<(f64, BackendKind, u32)> = None;
+            for kind in candidates {
+                if let Some((pressure, part)) = self.least_loaded_partition(kind) {
+                    if best.is_none_or(|(bp, _, _)| pressure < bp) {
+                        best = Some((pressure, kind, part));
+                    }
+                }
+            }
+            if let Some((_, kind, part)) = best {
+                return Some((kind, part));
+            }
+            return None;
+        }
+
+        let kind = self.router.route(desc).ok()?;
+        if let Some(p) = self.pick_partition(kind) {
+            return Some((kind, p));
+        }
+        // Routed kind has no live partitions (failover path): try others in
+        // the router's preference order by re-routing without hints.
+        for alt in [
+            BackendKind::Flux,
+            BackendKind::Prrte,
+            BackendKind::Dragon,
+            BackendKind::Srun,
+        ] {
+            if alt != kind && self.router.has(alt) {
+                if let Some(p) = self.pick_partition(alt) {
+                    return Some((alt, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// The live partition of `kind` with the lowest backlog, and that
+    /// backlog normalized by the partition's capacity.
+    fn least_loaded_partition(&self, kind: BackendKind) -> Option<(f64, u32)> {
+        match kind {
+            BackendKind::Srun => self.srun_backend.as_ref().map(|sb| {
+                let backlog = sb.waiting.len() + self.site_srun.queued();
+                (backlog as f64, 0)
+            }),
+            BackendKind::Flux => self
+                .flux
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.is_alive())
+                .map(|(i, f)| {
+                    let cap = f.allocation().total_cores().max(1) as f64;
+                    let pressure =
+                        (f.queued_count() + f.running_count()) as f64 / cap;
+                    (pressure, i as u32)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
+            BackendKind::Prrte => self
+                .prrte
+                .iter()
+                .enumerate()
+                .filter(|(_, pb)| pb.dvm.is_alive())
+                .map(|(i, pb)| {
+                    let cap = pb.pool.total_cores().max(1) as f64;
+                    let pressure = (pb.waiting.len() + pb.dvm.queued() + pb.dvm.running_count())
+                        as f64
+                        / cap;
+                    (pressure, i as u32)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
+            BackendKind::Dragon => self
+                .dragon
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_alive())
+                .map(|(i, d)| {
+                    let cap = d.worker_capacity().max(1) as f64;
+                    let parked = self.dragon_parked[i].len();
+                    let pressure =
+                        (d.queued() + parked + d.busy_workers() as usize) as f64 / cap;
+                    (pressure, i as u32)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
+        }
+    }
+
+    fn pick_partition(&mut self, kind: BackendKind) -> Option<u32> {
+        let count = match kind {
+            BackendKind::Srun => {
+                return self.srun_backend.as_ref().map(|_| 0);
+            }
+            BackendKind::Flux => self.flux.len(),
+            BackendKind::Dragon => self.dragon.len(),
+            BackendKind::Prrte => self.prrte.len(),
+        };
+        if count == 0 {
+            return None;
+        }
+        let start = *self.rr.get(&kind).unwrap_or(&0);
+        for off in 0..count {
+            let idx = (start + off) % count;
+            let alive = match kind {
+                BackendKind::Flux => self.flux[idx].is_alive(),
+                BackendKind::Dragon => self.dragon[idx].is_alive(),
+                BackendKind::Prrte => self.prrte[idx].dvm.is_alive(),
+                BackendKind::Srun => true,
+            };
+            if alive {
+                self.rr.insert(kind, idx + 1);
+                return Some(idx as u32);
+            }
+        }
+        None
+    }
+
+    // --------------------------------------------------- backend dispatch
+
+    fn dispatch_to_backend(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let (kind, part) = *self.assignment.get(&t).expect("assigned");
+        let now = ctx.now();
+        self.with_task(t, |rec| {
+            rec.advance(TaskState::Submitted, now);
+            rec.backend = Some(kind);
+            rec.partition = Some(part);
+        });
+        match kind {
+            BackendKind::Srun => {
+                self.srun_backend
+                    .as_mut()
+                    .expect("srun deployed")
+                    .waiting
+                    .push_back(t);
+                self.pump_srun_backend(ctx);
+            }
+            BackendKind::Flux => {
+                let desc = self.descs.get(&t).expect("desc");
+                let job = JobSpec {
+                    id: JobId(t.0),
+                    req: desc.req,
+                    duration: desc.duration,
+                };
+                let acts = self.flux[part as usize].submit(now, job);
+                self.process_flux_actions(part, acts, ctx);
+            }
+            BackendKind::Prrte => {
+                if self.prrte[part as usize].dvm.is_alive() {
+                    self.prrte[part as usize].waiting.push_back(t);
+                    self.pump_prrte(part, ctx);
+                } else {
+                    self.fail_task(t, true, ctx);
+                }
+            }
+            BackendKind::Dragon => {
+                if !self.dragon[part as usize].is_alive() {
+                    self.fail_task(t, true, ctx);
+                } else if self.dragon_inflight[part as usize] < self.dragon_window {
+                    self.push_to_dragon(part, t, ctx);
+                } else {
+                    // Flow control: the executor keeps at most `window`
+                    // tasks in the pipe per instance.
+                    self.dragon_parked[part as usize].push_back(t);
+                }
+            }
+        }
+    }
+
+    /// One backend instance finished booting; release the scheduler when
+    /// the pilot is fully active.
+    fn instance_ready(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        self.instances_pending = self.instances_pending.saturating_sub(1);
+        if self.instances_pending == 0 {
+            self.state
+                .borrow_mut()
+                .pilot
+                .advance(PilotState::Active, ctx.now());
+            self.start_services(ctx);
+            self.pump_sched(ctx);
+            for idx in 0..self.subs.len() {
+                self.pump_sub_sched(idx as u32, ctx);
+            }
+        }
+    }
+
+    /// Place every pending service (pilot just went active). Placement is
+    /// immediate reservation: services are few and sized by the user, so a
+    /// failure to fit is reported, not queued.
+    fn start_services(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        let services = std::mem::take(&mut self.pending_services);
+        for desc in services {
+            let kind = desc
+                .backend_hint
+                .filter(|k| self.router.has(*k))
+                .or_else(|| {
+                    [BackendKind::Flux, BackendKind::Prrte, BackendKind::Dragon]
+                        .into_iter()
+                        .find(|k| self.router.has(*k))
+                });
+            let mut record = ServiceRecord {
+                uid: desc.uid,
+                name: desc.name.clone(),
+                backend: kind,
+                partition: None,
+                started: None,
+                stopped: None,
+                cores: desc.req.total_cores(),
+                gpus: desc.req.total_gpus(),
+                failed: true,
+            };
+            if let Some(kind) = kind {
+                let parts = match kind {
+                    BackendKind::Flux => self.flux.len(),
+                    BackendKind::Dragon => self.dragon.len(),
+                    BackendKind::Prrte => self.prrte.len(),
+                    BackendKind::Srun => 0,
+                };
+                for p in 0..parts {
+                    let placed = match kind {
+                        BackendKind::Flux => self.flux[p]
+                            .reserve(&desc.req)
+                            .map(|pl| (Some(pl), 0u64)),
+                        BackendKind::Dragon => {
+                            let workers = desc.req.total_cores().max(1);
+                            self.dragon[p]
+                                .reserve_workers(workers)
+                                .then_some((None, workers))
+                        }
+                        BackendKind::Prrte => self.prrte[p]
+                            .pool
+                            .try_alloc(&desc.req)
+                            .map(|pl| (Some(pl), 0u64)),
+                        BackendKind::Srun => None,
+                    };
+                    if let Some((flux_placement, dragon_workers)) = placed {
+                        record.partition = Some(p as u32);
+                        record.started = Some(now);
+                        record.failed = false;
+                        let mut st = self.state.borrow_mut();
+                        let report_idx = st.services.len();
+                        st.services.push(record.clone());
+                        drop(st);
+                        self.service_holds.push(ServiceHold {
+                            report_idx,
+                            backend: kind,
+                            partition: p as u32,
+                            flux_placement,
+                            dragon_workers,
+                        });
+                        break;
+                    }
+                }
+            }
+            if record.failed {
+                self.state.borrow_mut().services.push(record);
+            }
+        }
+    }
+
+    /// Stop every running service (workload drained): release resources and
+    /// timestamp the records.
+    fn stop_services(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        for hold in self.service_holds.drain(..) {
+            match hold.backend {
+                BackendKind::Flux => {
+                    if let Some(pl) = &hold.flux_placement {
+                        self.flux[hold.partition as usize].release_reservation(pl);
+                    }
+                }
+                BackendKind::Dragon => {
+                    self.dragon[hold.partition as usize].release_workers(hold.dragon_workers);
+                }
+                BackendKind::Prrte => {
+                    if let Some(pl) = &hold.flux_placement {
+                        self.prrte[hold.partition as usize].pool.free(pl);
+                    }
+                }
+                BackendKind::Srun => {}
+            }
+            self.state.borrow_mut().services[hold.report_idx].stopped = Some(now);
+        }
+    }
+
+    /// Enqueue an event for `kind`'s watcher thread.
+    fn watch(&mut self, kind: BackendKind, ev: WatcherEvent, ctx: &mut Ctx<AgentMsg>) {
+        self.watcher_q.entry(kind).or_default().push_back(ev);
+        self.pump_watcher(kind, ctx);
+    }
+
+    fn pump_watcher(&mut self, kind: BackendKind, ctx: &mut Ctx<AgentMsg>) {
+        let busy = self.watcher_busy.entry(kind).or_insert(false);
+        if *busy {
+            return;
+        }
+        if self.watcher_q.entry(kind).or_default().is_empty() {
+            return;
+        }
+        *self.watcher_busy.get_mut(&kind).expect("entry") = true;
+        let cost = self.watcher_cost.sample(&mut self.rng);
+        ctx.timer(cost, AgentMsg::WatcherDone(kind));
+    }
+
+    /// Apply one watcher event. Tolerant of stale events (task already
+    /// failed over): transitions apply only when legal.
+    fn apply_watcher_event(&mut self, kind: BackendKind, ev: WatcherEvent, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        match ev {
+            WatcherEvent::Exec(t, part) => {
+                self.with_task(t, |rec| {
+                    if rec.state.can_transition(TaskState::Executing) {
+                        rec.advance(TaskState::Executing, now);
+                    }
+                });
+                if kind == BackendKind::Dragon {
+                    // Window slot freed: feed the next parked task.
+                    let p = part as usize;
+                    self.dragon_inflight[p] = self.dragon_inflight[p].saturating_sub(1);
+                    if let Some(next) = self.dragon_parked[p].pop_front() {
+                        if self.dragon[p].is_alive() {
+                            self.push_to_dragon(part, next, ctx);
+                        } else {
+                            self.fail_task(next, true, ctx);
+                        }
+                    }
+                }
+            }
+            WatcherEvent::Term(t) => {
+                let stale = self.with_task(t, |rec| {
+                    if rec.state.can_transition(TaskState::Done) {
+                        rec.advance(TaskState::Done, now);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !stale {
+                    self.on_terminal(t, ctx);
+                }
+            }
+        }
+    }
+
+    fn push_to_dragon(&mut self, part: u32, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let desc = self.descs.get(&t).expect("desc");
+        let task = DragonTask {
+            id: t.0,
+            workers: desc.req.total_cores().max(1) as u32,
+            duration: desc.duration,
+            is_function: desc.kind.is_function(),
+        };
+        self.dragon_inflight[part as usize] += 1;
+        let acts = self.dragon[part as usize].submit(task);
+        self.process_dragon_actions(part, acts, ctx);
+    }
+
+    /// Place and launch waiting PRRTE tasks (RP-side FCFS placement over
+    /// the partition's pool, then FIFO through the DVM's HNP).
+    fn pump_prrte(&mut self, part: u32, ctx: &mut Ctx<AgentMsg>) {
+        let mut acts = Vec::new();
+        {
+            let pb = &mut self.prrte[part as usize];
+            while let Some(&t) = pb.waiting.front() {
+                let desc = self.descs.get(&t).expect("desc");
+                let Some(pl) = pb.pool.try_alloc(&desc.req) else {
+                    break; // head-of-line wait for completions
+                };
+                pb.waiting.pop_front();
+                pb.placements.insert(t, pl);
+                acts.extend(pb.dvm.submit(PrrteTask {
+                    id: t.0,
+                    duration: desc.duration,
+                }));
+            }
+        }
+        self.process_prrte_actions(part, acts, ctx);
+    }
+
+    fn process_prrte_actions(&mut self, part: u32, acts: Vec<PrrteAction>, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        for a in acts {
+            match a {
+                PrrteAction::Timer { after, token } => {
+                    ctx.timer(after, AgentMsg::Prrte(part, token))
+                }
+                PrrteAction::Ready => {
+                    {
+                        let mut st = self.state.borrow_mut();
+                        let slot = self.prrte_report[part as usize];
+                        st.instances[slot].ready = Some(now);
+                    }
+                    self.instance_ready(ctx);
+                }
+                PrrteAction::Started(id) => {
+                    self.watch(BackendKind::Prrte, WatcherEvent::Exec(TaskId(id), part), ctx);
+                }
+                PrrteAction::Completed(id) => {
+                    // Free the RP-held placement immediately; the record
+                    // update flows through the watcher like other backends.
+                    let t = TaskId(id);
+                    let pb = &mut self.prrte[part as usize];
+                    if let Some(pl) = pb.placements.remove(&t) {
+                        pb.pool.free(&pl);
+                    }
+                    self.watch(BackendKind::Prrte, WatcherEvent::Term(t), ctx);
+                    self.pump_prrte(part, ctx);
+                }
+            }
+        }
+    }
+
+    fn pump_srun_backend(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        let mut acts = Vec::new();
+        loop {
+            let Some(sb) = self.srun_backend.as_mut() else {
+                return;
+            };
+            let Some(&t) = sb.waiting.front() else {
+                break;
+            };
+            let desc = self.descs.get(&t).expect("desc");
+            let need_cores = desc.req.total_cores();
+            let need_gpus = desc.req.total_gpus();
+            if need_cores > sb.free_core_slots || need_gpus > sb.free_gpus {
+                break; // wait for completions to free capacity
+            }
+            sb.waiting.pop_front();
+            sb.free_core_slots -= need_cores;
+            sb.free_gpus -= need_gpus;
+            sb.holds.insert(t, (need_cores, need_gpus));
+            // srun spans as many nodes as the request has spread ranks.
+            let step_nodes = match desc.req.policy {
+                rp_platform::PlacementPolicy::Spread
+                | rp_platform::PlacementPolicy::NodeExclusive => desc.req.ranks,
+                rp_platform::PlacementPolicy::Pack => {
+                    need_cores.div_ceil(56).max(1) as u32
+                }
+            };
+            acts.extend(self.site_srun.submit(StepRequest {
+                id: StepId(t.0),
+                step_nodes,
+                duration: desc.duration,
+            }));
+        }
+        self.process_srun_actions(acts, ctx);
+    }
+
+    // ----------------------------------------------------- action routing
+
+    fn process_srun_actions(&mut self, acts: Vec<SrunAction>, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        for a in acts {
+            match a {
+                SrunAction::Timer { after, token } => ctx.timer(after, AgentMsg::Srun(token)),
+                SrunAction::Started(StepId(id)) => {
+                    if id >= FLUX_INFRA_BASE {
+                        self.on_infra_carrier_live(id, ctx);
+                    } else {
+                        self.with_task(TaskId(id), |rec| rec.advance(TaskState::Executing, now));
+                    }
+                }
+                SrunAction::Completed(StepId(id)) => {
+                    debug_assert!(id < FLUX_INFRA_BASE, "infra steps never exit via timer");
+                    let t = TaskId(id);
+                    if let Some(sb) = self.srun_backend.as_mut() {
+                        if let Some((c, g)) = sb.holds.remove(&t) {
+                            sb.free_core_slots += c;
+                            sb.free_gpus += g;
+                        }
+                    }
+                    self.with_task(t, |rec| rec.advance(TaskState::Done, now));
+                    self.on_terminal(t, ctx);
+                    self.pump_srun_backend(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_infra_carrier_live(&mut self, infra_id: u64, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        if infra_id >= PRRTE_INFRA_BASE {
+            let idx = (infra_id - PRRTE_INFRA_BASE) as usize;
+            {
+                let mut st = self.state.borrow_mut();
+                let slot = self.prrte_report[idx];
+                st.instances[slot].srun_acquired = Some(now);
+            }
+            let acts = self.prrte[idx].dvm.boot();
+            self.process_prrte_actions(idx as u32, acts, ctx);
+        } else if infra_id >= DRAGON_INFRA_BASE {
+            let idx = (infra_id - DRAGON_INFRA_BASE) as usize;
+            {
+                let mut st = self.state.borrow_mut();
+                let slot = self.dragon_report[idx];
+                st.instances[slot].srun_acquired = Some(now);
+            }
+            let acts = self.dragon[idx].boot();
+            self.process_dragon_actions(idx as u32, acts, ctx);
+        } else {
+            let idx = (infra_id - FLUX_INFRA_BASE) as usize;
+            {
+                let mut st = self.state.borrow_mut();
+                let slot = self.flux_report[idx];
+                st.instances[slot].srun_acquired = Some(now);
+            }
+            let acts = self.flux[idx].boot();
+            self.process_flux_actions(idx as u32, acts, ctx);
+        }
+    }
+
+    fn process_flux_actions(&mut self, part: u32, acts: Vec<FluxAction>, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        for a in acts {
+            match a {
+                FluxAction::Timer { after, token } => {
+                    ctx.timer(after, AgentMsg::Flux(part, token))
+                }
+                FluxAction::Ready => {
+                    {
+                        let mut st = self.state.borrow_mut();
+                        let slot = self.flux_report[part as usize];
+                        st.instances[slot].ready = Some(now);
+                    }
+                    self.instance_ready(ctx);
+                }
+                FluxAction::Event(ev) => match ev {
+                    JobEvent::Submitted(_) | JobEvent::Alloc(_) => {}
+                    JobEvent::Start(JobId(id)) => {
+                        self.watch(BackendKind::Flux, WatcherEvent::Exec(TaskId(id), part), ctx);
+                    }
+                    JobEvent::Finish(JobId(id)) => {
+                        self.watch(BackendKind::Flux, WatcherEvent::Term(TaskId(id)), ctx);
+                    }
+                    JobEvent::Exception(JobId(id), kind) => {
+                        let retryable = kind == ExceptionKind::InstanceLost;
+                        self.fail_task(TaskId(id), retryable, ctx);
+                    }
+                },
+            }
+        }
+    }
+
+    fn process_dragon_actions(
+        &mut self,
+        part: u32,
+        acts: Vec<DragonAction>,
+        ctx: &mut Ctx<AgentMsg>,
+    ) {
+        let now = ctx.now();
+        for a in acts {
+            match a {
+                DragonAction::Timer { after, token } => {
+                    ctx.timer(after, AgentMsg::Dragon(part, token))
+                }
+                DragonAction::Ready => {
+                    {
+                        let mut st = self.state.borrow_mut();
+                        let slot = self.dragon_report[part as usize];
+                        st.instances[slot].ready = Some(now);
+                    }
+                    self.instance_ready(ctx);
+                }
+                DragonAction::Started(id) => {
+                    self.watch(BackendKind::Dragon, WatcherEvent::Exec(TaskId(id), part), ctx);
+                }
+                DragonAction::Completed(id) => {
+                    self.watch(BackendKind::Dragon, WatcherEvent::Term(TaskId(id)), ctx);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------- terminal & failure
+
+    fn on_terminal(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        self.assignment.remove(&t);
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let record = self.with_task(t, |rec| rec.clone());
+        let view = self.resource_view();
+        let follow_ups = self.workload.on_task_done(&record, &view);
+        if !follow_ups.is_empty() {
+            self.submit_tasks(follow_ups, ctx);
+        }
+        if self.outstanding == 0 && !self.service_holds.is_empty() {
+            // Workload drained: stop persistent services so the pilot can
+            // wind down.
+            self.stop_services(ctx);
+        }
+    }
+
+    fn fail_task(&mut self, t: TaskId, retryable: bool, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        let max_retries = self.cfg.max_retries;
+        let retry = self.with_task(t, |rec| {
+            rec.advance(TaskState::Failed, now);
+            if retryable && rec.retries < max_retries {
+                rec.retries += 1;
+                rec.advance(TaskState::StagingInput, now);
+                true
+            } else {
+                false
+            }
+        });
+        self.assignment.remove(&t);
+        if retry {
+            self.stage_q.push_back(t);
+            self.pump_stagers(ctx);
+        } else {
+            self.state.borrow_mut().failed += 1;
+            self.on_terminal(t, ctx);
+        }
+    }
+
+    /// Best-effort cancel: tasks still inside the agent pipeline or queued
+    /// at a backend move to `Canceled`; payloads already launched run to
+    /// completion (asynchronous-cancel semantics).
+    fn cancel_task(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        let state = {
+            let st = self.state.borrow();
+            match st.tasks.get(&t) {
+                Some(rec) => rec.state,
+                None => return, // unknown uid: ignore
+            }
+        };
+        if state.is_terminal() {
+            return;
+        }
+        // 1. Still in an agent-side queue?
+        let in_agent = remove_from(&mut self.stage_q, t)
+            || remove_from(&mut self.sched_q, t)
+            || self
+                .adapters
+                .values_mut()
+                .any(|a| remove_from(&mut a.q, t))
+            || self
+                .subs
+                .iter_mut()
+                .any(|s| remove_from(&mut s.sched_q, t) || remove_from(&mut s.adapter_q, t));
+        // 2. Queued at a backend?
+        let in_backend = !in_agent
+            && match self.assignment.get(&t) {
+                Some((BackendKind::Flux, part)) => {
+                    self.flux[*part as usize].cancel(JobId(t.0))
+                }
+                Some((BackendKind::Dragon, part)) => {
+                    let p = *part as usize;
+                    remove_from(&mut self.dragon_parked[p], t)
+                        || self.dragon[p].cancel(t.0)
+                }
+                Some((BackendKind::Prrte, part)) => {
+                    let p = *part as usize;
+                    let pb = &mut self.prrte[p];
+                    remove_from(&mut pb.waiting, t) || pb.dvm.cancel(t.0)
+                }
+                Some((BackendKind::Srun, _)) => {
+                    let canceled = {
+                        let sb = self.srun_backend.as_mut().expect("srun deployed");
+                        remove_from(&mut sb.waiting, t)
+                    } || self.site_srun.cancel(StepId(t.0));
+                    if canceled {
+                        // Free any capacity the agent already held for it.
+                        if let Some(sb) = self.srun_backend.as_mut() {
+                            if let Some((c, g)) = sb.holds.remove(&t) {
+                                sb.free_core_slots += c;
+                                sb.free_gpus += g;
+                            }
+                        }
+                    }
+                    canceled
+                }
+                None => false,
+            };
+        if in_agent || in_backend {
+            self.with_task(t, |rec| rec.advance(TaskState::Canceled, now));
+            self.assignment.remove(&t);
+            self.outstanding = self.outstanding.saturating_sub(1);
+            // Stop services if the cancel drained the workload.
+            if self.outstanding == 0 && !self.service_holds.is_empty() {
+                self.stop_services(ctx);
+            }
+        }
+        // else: task is mid-RPC or executing; it completes normally.
+    }
+
+    fn kill_instance(&mut self, kind: BackendKind, part: u32, ctx: &mut Ctx<AgentMsg>) {
+        let (lost, was_booting): (Vec<TaskId>, bool) = match kind {
+            BackendKind::Flux => {
+                let idx = part as usize;
+                let lost = self.flux[idx].kill();
+                let mut st = self.state.borrow_mut();
+                let slot = self.flux_report[idx];
+                let was_booting = st.instances[slot].ready.is_none();
+                st.instances[slot].killed = true;
+                drop(st);
+                (
+                    lost.into_iter().map(|JobId(id)| TaskId(id)).collect(),
+                    was_booting,
+                )
+            }
+            BackendKind::Dragon => {
+                let idx = part as usize;
+                let mut lost = self.dragon[idx].kill();
+                lost.extend(self.dragon_parked[idx].drain(..).map(|t| t.0));
+                self.dragon_inflight[idx] = 0;
+                let mut st = self.state.borrow_mut();
+                let slot = self.dragon_report[idx];
+                let was_booting = st.instances[slot].ready.is_none();
+                st.instances[slot].killed = true;
+                drop(st);
+                (lost.into_iter().map(TaskId).collect(), was_booting)
+            }
+            BackendKind::Prrte => {
+                let idx = part as usize;
+                let pb = &mut self.prrte[idx];
+                let mut lost: Vec<u64> = pb.dvm.kill();
+                lost.extend(pb.waiting.drain(..).map(|t| t.0));
+                // The partition's nodes are gone with the DVM.
+                pb.placements.clear();
+                let mut st = self.state.borrow_mut();
+                let slot = self.prrte_report[idx];
+                let was_booting = st.instances[slot].ready.is_none();
+                st.instances[slot].killed = true;
+                drop(st);
+                (lost.into_iter().map(TaskId).collect(), was_booting)
+            }
+            BackendKind::Srun => panic!("srun is not an instance-structured backend"),
+        };
+        if was_booting {
+            // The dead instance will never report Ready; release the
+            // pilot-activation gate on its behalf so the survivors proceed.
+            self.instance_ready(ctx);
+        }
+        for t in lost {
+            self.fail_task(t, true, ctx);
+        }
+    }
+}
+
+/// Remove `t` from a FIFO queue; true when it was present.
+fn remove_from(q: &mut VecDeque<TaskId>, t: TaskId) -> bool {
+    if let Some(pos) = q.iter().position(|&x| x == t) {
+        q.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+impl Actor<AgentMsg> for SimAgent {
+    fn handle(&mut self, msg: AgentMsg, ctx: &mut Ctx<AgentMsg>) {
+        match msg {
+            AgentMsg::Init => {
+                self.state
+                    .borrow_mut()
+                    .pilot
+                    .advance(PilotState::Launching, ctx.now());
+                let cost = self.cfg.cal.rp_agent_bootstrap.sample(&mut self.rng);
+                ctx.timer(cost, AgentMsg::BootstrapDone);
+            }
+            AgentMsg::BootstrapDone => {
+                {
+                    let mut st = self.state.borrow_mut();
+                    st.agent_ready = Some(ctx.now());
+                    st.pilot.advance(PilotState::Bootstrapping, ctx.now());
+                }
+                // Launch backend instances on persistent srun slots.
+                let mut acts = Vec::new();
+                for i in 0..self.flux.len() {
+                    let nodes = self.flux[i].allocation().count;
+                    acts.extend(
+                        self.site_srun
+                            .submit_persistent(StepId(FLUX_INFRA_BASE + i as u64), nodes),
+                    );
+                }
+                for i in 0..self.dragon.len() {
+                    let nodes = self.dragon_allocs[i].count;
+                    acts.extend(
+                        self.site_srun
+                            .submit_persistent(StepId(DRAGON_INFRA_BASE + i as u64), nodes),
+                    );
+                }
+                for i in 0..self.prrte.len() {
+                    let nodes = self.prrte[i].pool.node_count() as u32;
+                    acts.extend(
+                        self.site_srun
+                            .submit_persistent(StepId(PRRTE_INFRA_BASE + i as u64), nodes),
+                    );
+                }
+                self.process_srun_actions(acts, ctx);
+                // Collect services (started once the pilot is active) and
+                // the initial workload.
+                self.pending_services = self.workload.services();
+                let view = self.resource_view();
+                let tasks = self.workload.initial(&view);
+                self.submit_tasks(tasks, ctx);
+                // A pilot without non-srun instances is active immediately.
+                if self.instances_pending == 0 {
+                    self.state
+                        .borrow_mut()
+                        .pilot
+                        .advance(PilotState::Active, ctx.now());
+                    self.start_services(ctx);
+                }
+            }
+            AgentMsg::Submit(tasks) => self.submit_tasks(tasks, ctx),
+            AgentMsg::StagerDone(t) => {
+                self.stagers_free += 1;
+                let now = ctx.now();
+                self.with_task(t, |rec| rec.advance(TaskState::Scheduling, now));
+                if self.subs.is_empty() {
+                    self.sched_q.push_back(t);
+                    self.pump_sched(ctx);
+                } else {
+                    // Cheap top-level dispatch to the chosen partition's
+                    // sub-agent; the heavy scheduling happens there.
+                    match self.select_backend(t) {
+                        Some((kind, part)) => {
+                            self.assignment.insert(t, (kind, part));
+                            let idx = self
+                                .sub_index(kind, part)
+                                .expect("sub-agent for every partition");
+                            self.subs[idx].sched_q.push_back(t);
+                            self.pump_sub_sched(idx as u32, ctx);
+                        }
+                        None => self.fail_task(t, false, ctx),
+                    }
+                }
+                self.pump_stagers(ctx);
+            }
+            AgentMsg::SchedDone(t) => {
+                self.sched_busy = false;
+                let now = ctx.now();
+                match self.select_backend(t) {
+                    Some((kind, part)) => {
+                        self.assignment.insert(t, (kind, part));
+                        self.with_task(t, |rec| rec.advance(TaskState::Submitting, now));
+                        self.adapters
+                            .get_mut(&kind)
+                            .expect("adapter")
+                            .q
+                            .push_back(t);
+                        self.pump_adapter(kind, ctx);
+                    }
+                    None => {
+                        self.fail_task(t, false, ctx);
+                    }
+                }
+                self.pump_sched(ctx);
+            }
+            AgentMsg::AdapterDone(kind, t) => {
+                self.adapters.get_mut(&kind).expect("adapter").busy = false;
+                self.dispatch_to_backend(t, ctx);
+                self.pump_adapter(kind, ctx);
+            }
+            AgentMsg::SubSchedDone(idx, t) => {
+                let now = ctx.now();
+                let sub = &mut self.subs[idx as usize];
+                sub.sched_busy = false;
+                self.with_task(t, |rec| rec.advance(TaskState::Submitting, now));
+                self.subs[idx as usize].adapter_q.push_back(t);
+                self.pump_sub_adapter(idx, ctx);
+                self.pump_sub_sched(idx, ctx);
+            }
+            AgentMsg::SubAdapterDone(idx, t) => {
+                self.subs[idx as usize].adapter_busy = false;
+                self.dispatch_to_backend(t, ctx);
+                self.pump_sub_adapter(idx, ctx);
+            }
+            AgentMsg::Srun(token) => {
+                let acts = self.site_srun.on_token(token);
+                self.process_srun_actions(acts, ctx);
+            }
+            AgentMsg::Flux(part, token) => {
+                let acts = self.flux[part as usize].on_token(ctx.now(), token);
+                self.process_flux_actions(part, acts, ctx);
+            }
+            AgentMsg::Dragon(part, token) => {
+                let acts = self.dragon[part as usize].on_token(ctx.now(), token);
+                self.process_dragon_actions(part, acts, ctx);
+            }
+            AgentMsg::Prrte(part, token) => {
+                let acts = self.prrte[part as usize].dvm.on_token(ctx.now(), token);
+                self.process_prrte_actions(part, acts, ctx);
+            }
+            AgentMsg::WatcherDone(kind) => {
+                *self.watcher_busy.get_mut(&kind).expect("watcher was busy") = false;
+                if let Some(ev) = self.watcher_q.get_mut(&kind).expect("queue").pop_front() {
+                    self.apply_watcher_event(kind, ev, ctx);
+                }
+                self.pump_watcher(kind, ctx);
+            }
+            AgentMsg::CancelTasks(uids) => {
+                for t in uids {
+                    self.cancel_task(t, ctx);
+                }
+            }
+            AgentMsg::KillInstance(kind, part) => {
+                self.kill_instance(kind, part, ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Backend identities and configuration.
+
+use std::fmt;
+
+/// The task runtime systems RP's Agent can drive (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// Slurm's native `srun` launcher (the baseline).
+    Srun,
+    /// Flux hierarchical runtime.
+    Flux,
+    /// Dragon high-throughput runtime.
+    Dragon,
+    /// PRRTE distributed virtual machine (scheduler-less; RP places).
+    Prrte,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Srun => "srun",
+            BackendKind::Flux => "flux",
+            BackendKind::Dragon => "dragon",
+            BackendKind::Prrte => "prrte",
+        })
+    }
+}
+
+/// One backend's deployment shape inside the pilot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// `srun` over the whole allocation (no partitioning — Slurm offers
+    /// none). Mutually exclusive with other backends.
+    Srun,
+    /// `partitions` concurrent Flux instances over disjoint node sets.
+    Flux {
+        /// Number of instances.
+        partitions: u32,
+        /// Use EASY backfill (true) or strict FCFS (false).
+        backfill: bool,
+    },
+    /// `partitions` concurrent Dragon runtimes over disjoint node sets.
+    /// The paper's `dragon` experiment uses 1 (Dragon itself cannot
+    /// partition); the hybrid experiment deploys several.
+    Dragon {
+        /// Number of instances.
+        partitions: u32,
+    },
+    /// `partitions` PRRTE DVMs over disjoint node sets. PRRTE has no
+    /// internal scheduler, so RP's agent places tasks before launching.
+    Prrte {
+        /// Number of DVMs.
+        partitions: u32,
+    },
+}
+
+impl BackendSpec {
+    /// Which backend kind this deploys.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendSpec::Srun => BackendKind::Srun,
+            BackendSpec::Flux { .. } => BackendKind::Flux,
+            BackendSpec::Dragon { .. } => BackendKind::Dragon,
+            BackendSpec::Prrte { .. } => BackendKind::Prrte,
+        }
+    }
+
+    /// Number of instances this spec deploys.
+    pub fn partitions(&self) -> u32 {
+        match self {
+            BackendSpec::Srun => 1,
+            BackendSpec::Flux { partitions, .. }
+            | BackendSpec::Dragon { partitions }
+            | BackendSpec::Prrte { partitions } => (*partitions).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_partitions() {
+        assert_eq!(BackendSpec::Srun.kind(), BackendKind::Srun);
+        assert_eq!(BackendSpec::Srun.partitions(), 1);
+        let f = BackendSpec::Flux {
+            partitions: 4,
+            backfill: true,
+        };
+        assert_eq!(f.kind(), BackendKind::Flux);
+        assert_eq!(f.partitions(), 4);
+        assert_eq!(BackendSpec::Dragon { partitions: 0 }.partitions(), 1);
+        assert_eq!(format!("{}", BackendKind::Flux), "flux");
+    }
+}

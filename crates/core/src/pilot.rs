@@ -1,0 +1,161 @@
+//! The pilot state machine.
+//!
+//! RP models the pilot itself — the resource placeholder — through an
+//! explicit state machine, just like tasks (§3: "Each abstraction is
+//! modeled through a state machine and coordinated via an event-driven
+//! execution engine"). The agent drives these transitions:
+//!
+//! ```text
+//! New → Launching → Bootstrapping → Active → Done
+//!        └────────────┴──────────────┴─→ Failed / Canceled
+//! ```
+//!
+//! `Launching` covers batch-queue to agent start, `Bootstrapping` the agent
+//! plus backend-instance bring-up (the Fig. 7 overhead window), and
+//! `Active` the span in which the agent scheduler releases tasks.
+
+use rp_sim::SimTime;
+
+/// Pilot lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PilotState {
+    /// Described, not yet submitted.
+    New,
+    /// Batch allocation granted; agent process starting.
+    Launching,
+    /// Agent up; backend instances booting.
+    Bootstrapping,
+    /// All backends ready; tasks flowing.
+    Active,
+    /// Workload drained; pilot wound down (terminal).
+    Done,
+    /// Pilot died (terminal).
+    Failed,
+    /// Pilot canceled by the user (terminal).
+    Canceled,
+}
+
+impl PilotState {
+    /// Whether `self → to` is a legal transition.
+    pub fn can_transition(self, to: PilotState) -> bool {
+        use PilotState::*;
+        match (self, to) {
+            (New, Launching) => true,
+            (Launching, Bootstrapping) => true,
+            (Bootstrapping, Active) => true,
+            (Active, Done) => true,
+            (New | Launching | Bootstrapping | Active, Failed) => true,
+            (New | Launching | Bootstrapping | Active, Canceled) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, PilotState::Done | PilotState::Failed | PilotState::Canceled)
+    }
+}
+
+/// Timestamped pilot state trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct PilotTrajectory {
+    transitions: Vec<(SimTime, PilotState)>,
+}
+
+impl PilotTrajectory {
+    /// An empty trajectory (pilot in `New`, untimestamped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state (`New` before any transition).
+    pub fn current(&self) -> PilotState {
+        self.transitions
+            .last()
+            .map(|(_, s)| *s)
+            .unwrap_or(PilotState::New)
+    }
+
+    /// Record a transition; panics on illegal moves (agent bugs).
+    pub fn advance(&mut self, to: PilotState, at: SimTime) {
+        let from = self.current();
+        assert!(
+            from.can_transition(to),
+            "pilot: illegal transition {from:?} -> {to:?}"
+        );
+        debug_assert!(
+            self.transitions.last().map_or(true, |(t, _)| *t <= at),
+            "pilot transitions out of order"
+        );
+        self.transitions.push((at, to));
+    }
+
+    /// The full trajectory.
+    pub fn transitions(&self) -> &[(SimTime, PilotState)] {
+        &self.transitions
+    }
+
+    /// When the pilot entered `state`, if it did.
+    pub fn entered_at(&self, state: PilotState) -> Option<SimTime> {
+        self.transitions
+            .iter()
+            .find(|(_, s)| *s == state)
+            .map(|(t, _)| *t)
+    }
+
+    /// Bootstrap overhead: Launching → Active span (the §4 "runtime
+    /// overhead" metric at pilot granularity).
+    pub fn bootstrap_overhead_s(&self) -> Option<f64> {
+        let launch = self.entered_at(PilotState::Launching)?;
+        let active = self.entered_at(PilotState::Active)?;
+        Some(active.saturating_since(launch).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path() {
+        let mut tr = PilotTrajectory::new();
+        assert_eq!(tr.current(), PilotState::New);
+        tr.advance(PilotState::Launching, SimTime::from_secs(0));
+        tr.advance(PilotState::Bootstrapping, SimTime::from_secs(2));
+        tr.advance(PilotState::Active, SimTime::from_secs(27));
+        tr.advance(PilotState::Done, SimTime::from_secs(1000));
+        assert_eq!(tr.current(), PilotState::Done);
+        assert_eq!(tr.bootstrap_overhead_s(), Some(27.0));
+        assert_eq!(tr.transitions().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn cannot_skip_bootstrap() {
+        let mut tr = PilotTrajectory::new();
+        tr.advance(PilotState::Launching, SimTime::ZERO);
+        tr.advance(PilotState::Active, SimTime::ZERO);
+    }
+
+    #[test]
+    fn failure_reachable_everywhere_live() {
+        for s in [
+            PilotState::New,
+            PilotState::Launching,
+            PilotState::Bootstrapping,
+            PilotState::Active,
+        ] {
+            assert!(s.can_transition(PilotState::Failed));
+            assert!(s.can_transition(PilotState::Canceled));
+        }
+        assert!(!PilotState::Done.can_transition(PilotState::Failed));
+        assert!(PilotState::Done.is_terminal());
+    }
+
+    #[test]
+    fn entered_at_absent_state() {
+        let tr = PilotTrajectory::new();
+        assert!(tr.entered_at(PilotState::Active).is_none());
+        assert!(tr.bootstrap_overhead_s().is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Run reports: everything a session run produces for analysis.
+//!
+//! This is the boundary between `rp-core` (which *generates* events) and
+//! `rp-analytics` (which derives the paper's three metrics from them).
+
+use crate::backend::BackendKind;
+use crate::pilot::PilotTrajectory;
+use crate::service::ServiceRecord;
+use crate::task::{TaskId, TaskRecord, TaskState};
+use rp_sim::SimTime;
+use std::collections::HashMap;
+
+/// Bootstrap/readiness record for one backend instance (Fig. 7's data).
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Backend kind.
+    pub kind: BackendKind,
+    /// Partition index within the kind.
+    pub partition: u32,
+    /// Nodes in the partition.
+    pub nodes: u32,
+    /// When the instance's carrier `srun` acquired its slot.
+    pub srun_acquired: Option<SimTime>,
+    /// When bootstrap completed (instance ready for tasks).
+    pub ready: Option<SimTime>,
+    /// Whether the instance was killed by failure injection.
+    pub killed: bool,
+}
+
+impl InstanceReport {
+    /// The bootstrap overhead (ready − carrier start), the quantity Fig. 7
+    /// plots.
+    pub fn bootstrap_overhead(&self) -> Option<f64> {
+        match (self.srun_acquired, self.ready) {
+            (Some(a), Some(r)) => Some(r.saturating_since(a).as_secs_f64()),
+            _ => None,
+        }
+    }
+}
+
+/// Mutable run state shared between the session and the agent actor
+/// (single-threaded engine ⇒ `Rc<RefCell<RunState>>`).
+#[derive(Debug, Default)]
+pub struct RunState {
+    /// Per-task records, insertion-ordered by first submission.
+    pub tasks: HashMap<TaskId, TaskRecord>,
+    /// Insertion order, for stable reporting.
+    pub order: Vec<TaskId>,
+    /// Backend instance reports.
+    pub instances: Vec<InstanceReport>,
+    /// Persistent-service records.
+    pub services: Vec<ServiceRecord>,
+    /// Pilot lifecycle trajectory.
+    pub pilot: PilotTrajectory,
+    /// Agent bootstrap completion.
+    pub agent_ready: Option<SimTime>,
+    /// Permanently failed task count.
+    pub failed: u64,
+}
+
+/// The immutable result of a finished run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Pilot size (nodes).
+    pub nodes: u32,
+    /// Total cores in the pilot.
+    pub total_cores: u64,
+    /// Total GPUs in the pilot.
+    pub total_gpus: u64,
+    /// All task records, in submission order.
+    pub tasks: Vec<TaskRecord>,
+    /// Backend instance reports.
+    pub instances: Vec<InstanceReport>,
+    /// Persistent-service records.
+    pub services: Vec<ServiceRecord>,
+    /// Pilot lifecycle trajectory.
+    pub pilot: PilotTrajectory,
+    /// Agent bootstrap completion.
+    pub agent_ready: Option<SimTime>,
+    /// Virtual time when the simulation quiesced.
+    pub end: SimTime,
+}
+
+impl RunReport {
+    /// Records of tasks that completed successfully.
+    pub fn done_tasks(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.tasks.iter().filter(|t| t.state == TaskState::Done)
+    }
+
+    /// Count of permanently failed tasks.
+    pub fn failed_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Failed)
+            .count()
+    }
+
+    /// Earliest payload start across tasks.
+    pub fn first_start(&self) -> Option<SimTime> {
+        self.tasks.iter().filter_map(|t| t.exec_start).min()
+    }
+
+    /// Latest payload end across tasks.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.tasks.iter().filter_map(|t| t.exec_end).max()
+    }
+
+    /// Workflow makespan: first submission to last payload end.
+    pub fn makespan(&self) -> Option<f64> {
+        let first = self.tasks.iter().map(|t| t.submitted).min()?;
+        let last = self.last_end()?;
+        Some(last.saturating_since(first).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_overhead() {
+        let mut r = InstanceReport {
+            kind: BackendKind::Flux,
+            partition: 0,
+            nodes: 4,
+            srun_acquired: Some(SimTime::from_secs(5)),
+            ready: Some(SimTime::from_secs(26)),
+            killed: false,
+        };
+        assert_eq!(r.bootstrap_overhead(), Some(21.0));
+        r.ready = None;
+        assert_eq!(r.bootstrap_overhead(), None);
+    }
+}

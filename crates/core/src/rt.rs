@@ -1,0 +1,471 @@
+//! Real-threaded execution plane: a working pilot at laptop scale.
+//!
+//! The same architecture as the simulated Agent — task-type-aware routing
+//! across concurrently deployed backends, a watcher thread consuming
+//! serialized Dragon events, an `srun`-like ceiling-limited launcher — but
+//! payloads are real: `FnOnce` closures on a Flux-like scheduler thread,
+//! registered functions on a Dragon-like worker pool, both over actual OS
+//! threads. The examples and the quickstart run on this plane; it shares
+//! the routing and resource-algebra logic with the simulation, so what the
+//! experiments characterize is the same system the examples exercise.
+
+use crate::backend::BackendKind;
+use crate::router::{RouteError, Router};
+use crate::task::TaskId;
+use parking_lot::Mutex;
+use rp_dragonrt::{decode_event, DragonPool, FunctionCall, FunctionRegistry, PipeEvent};
+use rp_fluxrt::FluxRt;
+use rp_platform::{NodeSpec, ResourcePool, ResourceRequest};
+use rp_slurm::SrunRt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for a threaded pilot.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Cores managed by the Flux-like scheduler (one virtual node;
+    /// 0 disables the Flux backend).
+    pub flux_cores: u16,
+    /// Dragon worker threads (0 disables the Dragon backend).
+    pub dragon_workers: usize,
+    /// Dragon shmem queue capacity.
+    pub dragon_queue: usize,
+    /// srun-like launcher ceiling (0 disables the srun backend).
+    pub srun_ceiling: usize,
+    /// Per-launch overhead of the srun-like launcher.
+    pub srun_overhead: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            flux_cores: 8,
+            dragon_workers: 4,
+            dragon_queue: 1024,
+            srun_ceiling: 0,
+            srun_overhead: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A payload for the threaded pilot.
+pub enum RtPayload {
+    /// An "executable": an arbitrary closure (routed to Flux or srun).
+    Exec(Box<dyn FnOnce() + Send + 'static>),
+    /// A registered function call (routed to Dragon).
+    Func {
+        /// Registered function name.
+        name: String,
+        /// Opaque argument bytes.
+        args: Vec<u8>,
+    },
+}
+
+/// A task for the threaded pilot.
+pub struct RtTask {
+    /// Task uid.
+    pub uid: u64,
+    /// Cores the task occupies (Flux-routed payloads only).
+    pub cores: u16,
+    /// The payload.
+    pub payload: RtPayload,
+}
+
+/// One completion record.
+#[derive(Debug, Clone)]
+pub struct RtRecord {
+    /// Task uid.
+    pub uid: TaskId,
+    /// Backend that executed the task.
+    pub backend: BackendKind,
+    /// Start offset from pilot start.
+    pub started: Duration,
+    /// End offset from pilot start.
+    pub ended: Duration,
+    /// Whether the payload failed (Dragon function errors).
+    pub failed: bool,
+}
+
+/// Errors from [`RtPilot::submit`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// Router could not place the task.
+    Route(RouteError),
+    /// Backend rejected the task.
+    Backend(String),
+}
+
+struct Shared {
+    records: Mutex<Vec<RtRecord>>,
+    dragon_pending: AtomicU64,
+}
+
+/// The threaded pilot.
+///
+/// ```
+/// use rp_core::{RtConfig, RtPayload, RtPilot, RtTask};
+/// use rp_dragonrt::FunctionRegistry;
+///
+/// let registry = FunctionRegistry::new();
+/// registry.register("double", |args| {
+///     let x = args[0];
+///     vec![x * 2]
+/// });
+/// let pilot = RtPilot::start(RtConfig::default(), registry);
+/// pilot
+///     .submit(RtTask {
+///         uid: 0,
+///         cores: 1,
+///         payload: RtPayload::Func { name: "double".into(), args: vec![21] },
+///     })
+///     .unwrap();
+/// let records = pilot.shutdown();
+/// assert_eq!(records.len(), 1);
+/// assert!(!records[0].failed);
+/// ```
+pub struct RtPilot {
+    flux: Option<FluxRt>,
+    dragon: Option<DragonPool>,
+    srun: Option<SrunRt>,
+    srun_handles: Mutex<Vec<JoinHandle<()>>>,
+    router: Router,
+    shared: Arc<Shared>,
+    watcher: Option<JoinHandle<()>>,
+    t0: Instant,
+}
+
+impl RtPilot {
+    /// Start a pilot with the given backends and function registry.
+    pub fn start(cfg: RtConfig, registry: FunctionRegistry) -> Self {
+        let shared = Arc::new(Shared {
+            records: Mutex::new(Vec::new()),
+            dragon_pending: AtomicU64::new(0),
+        });
+        let t0 = Instant::now();
+        let mut deployed = Vec::new();
+
+        let flux = if cfg.flux_cores > 0 {
+            deployed.push(BackendKind::Flux);
+            let spec = NodeSpec {
+                cores: cfg.flux_cores,
+                gpus: 0,
+                mem_gb: 64,
+            };
+            Some(FluxRt::start(ResourcePool::over_range(spec, 0, 1)))
+        } else {
+            None
+        };
+
+        let (dragon, watcher) = if cfg.dragon_workers > 0 {
+            deployed.push(BackendKind::Dragon);
+            let pool = DragonPool::start(cfg.dragon_workers, cfg.dragon_queue, registry);
+            // The RP watcher thread (Fig. 3 ③): decode event frames and
+            // update the task registry.
+            let events = pool.events().clone();
+            let shared2 = shared.clone();
+            let watcher = std::thread::Builder::new()
+                .name("rp-watcher".into())
+                .spawn(move || {
+                    let mut starts: std::collections::HashMap<u64, Duration> =
+                        std::collections::HashMap::new();
+                    while let Ok(frame) = events.recv() {
+                        match decode_event(&frame) {
+                            Ok(PipeEvent::Started { id }) => {
+                                starts.insert(id, t0.elapsed());
+                            }
+                            Ok(PipeEvent::Completed { id, .. }) => {
+                                let started =
+                                    starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                shared2.records.lock().push(RtRecord {
+                                    uid: TaskId(id),
+                                    backend: BackendKind::Dragon,
+                                    started,
+                                    ended: t0.elapsed(),
+                                    failed: false,
+                                });
+                                shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Ok(PipeEvent::Failed { id, .. }) => {
+                                let started =
+                                    starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                shared2.records.lock().push(RtRecord {
+                                    uid: TaskId(id),
+                                    backend: BackendKind::Dragon,
+                                    started,
+                                    ended: t0.elapsed(),
+                                    failed: true,
+                                });
+                                shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                })
+                .expect("spawn watcher");
+            (Some(pool), Some(watcher))
+        } else {
+            (None, None)
+        };
+
+        let srun = if cfg.srun_ceiling > 0 {
+            deployed.push(BackendKind::Srun);
+            Some(SrunRt::new(cfg.srun_ceiling, cfg.srun_overhead))
+        } else {
+            None
+        };
+
+        RtPilot {
+            flux,
+            dragon,
+            srun,
+            srun_handles: Mutex::new(Vec::new()),
+            router: Router::new(deployed),
+            shared,
+            watcher,
+            t0,
+        }
+    }
+
+    /// Submit a task; it is routed by payload kind exactly as on the
+    /// simulated plane.
+    pub fn submit(&self, task: RtTask) -> Result<BackendKind, RtError> {
+        let is_function = matches!(task.payload, RtPayload::Func { .. });
+        // Build a minimal description for the shared router.
+        let desc = if is_function {
+            crate::task::TaskDescription::function(task.uid, "f", rp_sim::SimDuration::ZERO)
+        } else {
+            crate::task::TaskDescription::dummy(task.uid, rp_sim::SimDuration::ZERO)
+        };
+        let kind = self.router.route(&desc).map_err(RtError::Route)?;
+        match (kind, task.payload) {
+            (BackendKind::Dragon, RtPayload::Func { name, args }) => {
+                self.shared.dragon_pending.fetch_add(1, Ordering::AcqRel);
+                let call = FunctionCall {
+                    id: task.uid,
+                    name,
+                    args,
+                };
+                let pool = self.dragon.as_ref().expect("dragon deployed");
+                // Bounded queue: spin on backpressure, like the sim plane's
+                // flow-control window.
+                loop {
+                    match pool.submit(&call) {
+                        Ok(()) => break,
+                        Err(rp_dragonrt::PoolError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => {
+                            self.shared.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                            return Err(RtError::Backend(format!("{e:?}")));
+                        }
+                    }
+                }
+                Ok(BackendKind::Dragon)
+            }
+            (BackendKind::Flux, payload) => {
+                let f = match payload {
+                    RtPayload::Exec(f) => f,
+                    // Flux runs functions through a wrapper process in the
+                    // paper's setup; the threaded plane routes them to
+                    // Dragon whenever it is deployed, so this arm only
+                    // fires in flux-only pilots.
+                    RtPayload::Func { .. } => Box::new(|| {}),
+                };
+                let shared = self.shared.clone();
+                let t0 = self.t0;
+                let uid = TaskId(task.uid);
+                let req = ResourceRequest::single(task.cores.max(1), 0);
+                self.flux
+                    .as_ref()
+                    .expect("flux deployed")
+                    .submit(task.uid, req, move || {
+                        let started = t0.elapsed();
+                        f();
+                        shared.records.lock().push(RtRecord {
+                            uid,
+                            backend: BackendKind::Flux,
+                            started,
+                            ended: t0.elapsed(),
+                            failed: false,
+                        });
+                    })
+                    .map_err(|e| RtError::Backend(format!("{e:?}")))?;
+                Ok(BackendKind::Flux)
+            }
+            (BackendKind::Srun, payload) => {
+                let f = match payload {
+                    RtPayload::Exec(f) => f,
+                    RtPayload::Func { .. } => unreachable!("router rejects functions on srun"),
+                };
+                let shared = self.shared.clone();
+                let t0 = self.t0;
+                let uid = TaskId(task.uid);
+                let handle = self.srun.as_ref().expect("srun deployed").launch(move || {
+                    let started = t0.elapsed();
+                    f();
+                    shared.records.lock().push(RtRecord {
+                        uid,
+                        backend: BackendKind::Srun,
+                        started,
+                        ended: t0.elapsed(),
+                        failed: false,
+                    });
+                });
+                self.srun_handles.lock().push(handle);
+                Ok(BackendKind::Srun)
+            }
+            (kind, _) => Err(RtError::Backend(format!(
+                "payload/backend mismatch for {kind}"
+            ))),
+        }
+    }
+
+    /// Block until every submitted task has completed.
+    pub fn wait_idle(&self) {
+        if let Some(flux) = &self.flux {
+            flux.wait_idle();
+        }
+        while self.shared.dragon_pending.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let handles: Vec<_> = self.srun_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Completion records so far (cloned snapshot).
+    pub fn records(&self) -> Vec<RtRecord> {
+        self.shared.records.lock().clone()
+    }
+
+    /// Elapsed wall time since pilot start.
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    /// Drain everything, stop all backends, and return the records.
+    pub fn shutdown(mut self) -> Vec<RtRecord> {
+        self.wait_idle();
+        if let Some(f) = self.flux.take() {
+            f.shutdown();
+        }
+        if let Some(d) = self.dragon.take() {
+            d.shutdown(); // drops the event sender → watcher exits
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
+        }
+        let records = self.shared.records.lock().clone();
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn registry() -> FunctionRegistry {
+        let reg = FunctionRegistry::new();
+        reg.register("square", |args| {
+            let x = u64::from_le_bytes(args.try_into().expect("8 bytes"));
+            (x * x).to_le_bytes().to_vec()
+        });
+        reg
+    }
+
+    #[test]
+    fn hybrid_pilot_routes_and_completes() {
+        let pilot = RtPilot::start(RtConfig::default(), registry());
+        let counter = Arc::new(AtomicUsize::new(0));
+        for uid in 0..20 {
+            let c = counter.clone();
+            let backend = pilot
+                .submit(RtTask {
+                    uid,
+                    cores: 1,
+                    payload: RtPayload::Exec(Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })),
+                })
+                .unwrap();
+            assert_eq!(backend, BackendKind::Flux);
+        }
+        for uid in 20..40 {
+            let backend = pilot
+                .submit(RtTask {
+                    uid,
+                    cores: 1,
+                    payload: RtPayload::Func {
+                        name: "square".into(),
+                        args: 7u64.to_le_bytes().to_vec(),
+                    },
+                })
+                .unwrap();
+            assert_eq!(backend, BackendKind::Dragon);
+        }
+        let records = pilot.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert_eq!(records.len(), 40);
+        let dragon = records
+            .iter()
+            .filter(|r| r.backend == BackendKind::Dragon)
+            .count();
+        assert_eq!(dragon, 20);
+        assert!(records.iter().all(|r| !r.failed));
+        assert!(records.iter().all(|r| r.ended >= r.started));
+    }
+
+    #[test]
+    fn srun_only_pilot_rejects_functions() {
+        let cfg = RtConfig {
+            flux_cores: 0,
+            dragon_workers: 0,
+            srun_ceiling: 2,
+            ..RtConfig::default()
+        };
+        let pilot = RtPilot::start(cfg, FunctionRegistry::new());
+        let err = pilot.submit(RtTask {
+            uid: 0,
+            cores: 1,
+            payload: RtPayload::Func {
+                name: "f".into(),
+                args: vec![],
+            },
+        });
+        assert!(matches!(err, Err(RtError::Route(RouteError::NoBackend))));
+        let ok = pilot.submit(RtTask {
+            uid: 1,
+            cores: 1,
+            payload: RtPayload::Exec(Box::new(|| {})),
+        });
+        assert_eq!(ok, Ok(BackendKind::Srun));
+        pilot.wait_idle();
+        assert_eq!(pilot.records().len(), 1);
+    }
+
+    #[test]
+    fn failed_function_reported() {
+        let pilot = RtPilot::start(
+            RtConfig {
+                flux_cores: 0,
+                ..RtConfig::default()
+            },
+            FunctionRegistry::new(), // empty: every call fails
+        );
+        pilot
+            .submit(RtTask {
+                uid: 5,
+                cores: 1,
+                payload: RtPayload::Func {
+                    name: "missing".into(),
+                    args: vec![],
+                },
+            })
+            .unwrap();
+        let records = pilot.shutdown();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].failed);
+    }
+}

@@ -1,0 +1,108 @@
+//! Persistent services: long-running components held for the pilot's
+//! lifetime.
+//!
+//! RP's API accepts "pilot, task, or service descriptions" (Fig. 1 ①);
+//! the emerging workloads of §2 — reinforcement-learning agents, active
+//! learning loops, streaming pipelines — "require persistent services
+//! (e.g., learners, replay buffers)". A service differs from a task in two
+//! ways: it holds its resources from pilot activation until the workload
+//! drains (or an explicit stop), and it never completes on its own.
+
+use crate::backend::BackendKind;
+use rp_platform::ResourceRequest;
+use rp_sim::SimTime;
+use std::fmt;
+
+/// Identifies a service within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u64);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service.{:04}", self.0)
+    }
+}
+
+/// A user-facing service description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service identity.
+    pub uid: ServiceId,
+    /// Human-readable name ("learner", "replay-buffer", ...).
+    pub name: String,
+    /// Resources held while the service runs.
+    pub req: ResourceRequest,
+    /// Pin to a backend (otherwise Flux when deployed, else Dragon).
+    pub backend_hint: Option<BackendKind>,
+}
+
+impl ServiceDescription {
+    /// A single-node service.
+    pub fn new(uid: u64, name: &str, cores: u16, gpus: u16) -> Self {
+        ServiceDescription {
+            uid: ServiceId(uid),
+            name: name.into(),
+            req: ResourceRequest::single(cores, gpus),
+            backend_hint: None,
+        }
+    }
+}
+
+/// Session-side record of one service's lifetime.
+#[derive(Debug, Clone)]
+pub struct ServiceRecord {
+    /// Service identity.
+    pub uid: ServiceId,
+    /// Service name.
+    pub name: String,
+    /// Backend hosting the service (None if placement failed).
+    pub backend: Option<BackendKind>,
+    /// Partition index within the backend.
+    pub partition: Option<u32>,
+    /// When the service became ready.
+    pub started: Option<SimTime>,
+    /// When the service was stopped (workload drained or explicit stop).
+    pub stopped: Option<SimTime>,
+    /// Cores held while running.
+    pub cores: u64,
+    /// GPUs held while running.
+    pub gpus: u64,
+    /// True when the service could not be placed.
+    pub failed: bool,
+}
+
+impl ServiceRecord {
+    /// Service uptime in seconds, if it ran.
+    pub fn uptime_s(&self) -> Option<f64> {
+        match (self.started, self.stopped) {
+            (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn description_and_record_basics() {
+        let d = ServiceDescription::new(3, "learner", 8, 1);
+        assert_eq!(d.uid, ServiceId(3));
+        assert_eq!(d.req.total_cores(), 8);
+        assert_eq!(format!("{}", d.uid), "service.0003");
+
+        let r = ServiceRecord {
+            uid: d.uid,
+            name: d.name.clone(),
+            backend: Some(BackendKind::Flux),
+            partition: Some(0),
+            started: Some(SimTime::from_secs(25)),
+            stopped: Some(SimTime::from_secs(125)),
+            cores: 8,
+            gpus: 1,
+            failed: false,
+        };
+        assert_eq!(r.uptime_s(), Some(100.0));
+    }
+}

@@ -1,0 +1,630 @@
+//! Sessions: the top-level API for running a pilot + workload to completion
+//! on the simulated platform.
+
+use crate::agent::{AgentMsg, SimAgent};
+use crate::backend::BackendKind;
+use crate::config::PilotConfig;
+use crate::report::{RunReport, RunState};
+use crate::workload::{StaticWorkload, WorkloadSource};
+use crate::task::TaskDescription;
+use rp_sim::{Engine, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A scheduled failure injection: crash instance `partition` of `kind` at
+/// `at` (virtual time).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureInjection {
+    /// When the instance dies.
+    pub at: SimTime,
+    /// Which backend kind.
+    pub kind: BackendKind,
+    /// Which partition index.
+    pub partition: u32,
+}
+
+/// Builder/runner for one simulated pilot session.
+///
+/// ```
+/// use rp_core::{PilotConfig, SimSession, TaskDescription};
+/// use rp_sim::SimDuration;
+///
+/// // 4 simulated Frontier nodes under one Flux instance; 100 sleep tasks.
+/// let tasks: Vec<TaskDescription> = (0..100)
+///     .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
+///     .collect();
+/// let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks).run();
+/// assert_eq!(report.done_tasks().count(), 100);
+/// assert!(report.makespan().unwrap() > 30.0);
+/// ```
+pub struct SimSession {
+    cfg: PilotConfig,
+    workload: Box<dyn WorkloadSource>,
+    failures: Vec<FailureInjection>,
+    cancellations: Vec<(SimTime, Vec<crate::task::TaskId>)>,
+    timed_submissions: Vec<(SimTime, Vec<TaskDescription>)>,
+    max_events: u64,
+}
+
+impl SimSession {
+    /// A session over `cfg` fed by `workload`.
+    pub fn new(cfg: PilotConfig, workload: Box<dyn WorkloadSource>) -> Self {
+        SimSession {
+            cfg,
+            workload,
+            failures: Vec::new(),
+            cancellations: Vec::new(),
+            timed_submissions: Vec::new(),
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// Convenience: run a fixed batch of tasks.
+    pub fn with_tasks(cfg: PilotConfig, tasks: Vec<TaskDescription>) -> Self {
+        Self::new(cfg, Box::new(StaticWorkload::new(tasks)))
+    }
+
+    /// Schedule a failure injection.
+    pub fn inject_failure(mut self, f: FailureInjection) -> Self {
+        self.failures.push(f);
+        self
+    }
+
+    /// Schedule a task batch for submission at virtual time `at` (on top
+    /// of whatever the workload source emits) — the trace-replay path.
+    pub fn submit_at(mut self, at: SimTime, tasks: Vec<TaskDescription>) -> Self {
+        self.timed_submissions.push((at, tasks));
+        self
+    }
+
+    /// Schedule a best-effort cancellation of `uids` at virtual time `at`.
+    pub fn cancel_at(mut self, at: SimTime, uids: Vec<u64>) -> Self {
+        self.cancellations
+            .push((at, uids.into_iter().map(crate::task::TaskId).collect()));
+        self
+    }
+
+    /// Run to quiescence and report.
+    pub fn run(self) -> RunReport {
+        let state = Rc::new(RefCell::new(RunState::default()));
+        let nodes = self.cfg.nodes;
+        let spec = rp_platform::frontier().node;
+        let agent = SimAgent::new(self.cfg, self.workload, state.clone());
+
+        let mut engine: Engine<AgentMsg> = Engine::new();
+        let id = engine.add_actor(Box::new(agent));
+        engine.schedule(SimTime::ZERO, id, AgentMsg::Init);
+        for f in &self.failures {
+            engine.schedule(f.at, id, AgentMsg::KillInstance(f.kind, f.partition));
+        }
+        for (at, uids) in self.cancellations {
+            engine.schedule(at, id, AgentMsg::CancelTasks(uids));
+        }
+        for (at, tasks) in self.timed_submissions {
+            engine.schedule(at, id, AgentMsg::Submit(tasks));
+        }
+        let end = engine.run_until_idle(self.max_events);
+
+        let mut st = state.borrow_mut();
+        // Close out the pilot lifecycle if it is still live (quiescence
+        // with everything drained = Done).
+        if !st.pilot.current().is_terminal()
+            && st.pilot.current() == crate::pilot::PilotState::Active
+        {
+            st.pilot.advance(crate::pilot::PilotState::Done, end);
+        }
+        let tasks = st
+            .order
+            .iter()
+            .map(|uid| st.tasks.get(uid).expect("recorded").clone())
+            .collect();
+        RunReport {
+            nodes,
+            total_cores: nodes as u64 * spec.cores as u64,
+            total_gpus: nodes as u64 * spec.gpus as u64,
+            tasks,
+            instances: std::mem::take(&mut st.instances),
+            services: std::mem::take(&mut st.services),
+            pilot: std::mem::take(&mut st.pilot),
+            agent_ready: st.agent_ready,
+            end,
+        }
+    }
+}
+
+/// Monotonic uid generator for workload builders.
+#[derive(Debug, Default)]
+pub struct UidGen(u64);
+
+impl UidGen {
+    /// Start at zero.
+    pub fn new() -> Self {
+        UidGen(0)
+    }
+
+    /// Next unique id.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.0;
+        self.0 += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskDescription, TaskState};
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn null_batch_on_flux_completes() {
+        let tasks: Vec<TaskDescription> = (0..200).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks).run();
+        assert_eq!(report.tasks.len(), 200);
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        assert_eq!(report.failed_count(), 0);
+        // Flux instance bootstrap ≈ 20 s; everything flows after that.
+        let overhead = report.instances[0].bootstrap_overhead().unwrap();
+        assert!((14.0..27.0).contains(&overhead), "flux overhead {overhead}");
+    }
+
+    #[test]
+    fn dummy_batch_on_srun_hits_ceiling() {
+        // Fig. 4 reproduction in miniature: the running-task concurrency
+        // must plateau at the 112-step ceiling.
+        let tasks: Vec<TaskDescription> = (0..896)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(180)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::srun(4), tasks).run();
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        // Reconstruct peak concurrency from exec spans.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for t in &report.tasks {
+            events.push((t.exec_start.unwrap().as_micros(), 1));
+            events.push((t.exec_end.unwrap().as_micros(), -1));
+        }
+        events.sort();
+        let mut level = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            level += d;
+            peak = peak.max(level);
+        }
+        assert_eq!(peak, 112, "concurrency must ride the srun ceiling");
+    }
+
+    #[test]
+    fn hybrid_routes_by_task_kind() {
+        let mut tasks = Vec::new();
+        for i in 0..50 {
+            tasks.push(TaskDescription::dummy(i, SimDuration::ZERO));
+        }
+        for i in 50..100 {
+            tasks.push(TaskDescription::function(i, "f", SimDuration::ZERO));
+        }
+        let report = SimSession::with_tasks(PilotConfig::flux_dragon(4, 2), tasks).run();
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        for t in &report.tasks {
+            let expect = if t.is_function {
+                BackendKind::Dragon
+            } else {
+                BackendKind::Flux
+            };
+            assert_eq!(t.backend, Some(expect), "task {}", t.uid);
+        }
+    }
+
+    #[test]
+    fn flux_partitions_share_load() {
+        let tasks: Vec<TaskDescription> = (0..400).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 4), tasks).run();
+        let mut per_part = [0usize; 4];
+        for t in &report.tasks {
+            per_part[t.partition.unwrap() as usize] += 1;
+        }
+        assert_eq!(per_part.iter().sum::<usize>(), 400);
+        for (i, &n) in per_part.iter().enumerate() {
+            assert_eq!(n, 100, "partition {i} should get an equal share");
+        }
+    }
+
+    #[test]
+    fn instance_failure_triggers_failover() {
+        let tasks: Vec<TaskDescription> = (0..300)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(60)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks)
+            .inject_failure(FailureInjection {
+                at: SimTime::from_secs(40),
+                kind: BackendKind::Flux,
+                partition: 0,
+            })
+            .run();
+        let killed = report.instances.iter().filter(|i| i.killed).count();
+        assert_eq!(killed, 1);
+        // Everything still finishes: lost tasks retried on the survivor.
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        assert_eq!(done, 300, "all tasks must finish via failover");
+        let retried = report.tasks.iter().filter(|t| t.retries > 0).count();
+        assert!(retried > 0, "some tasks must have been retried");
+        // Retried tasks end on the surviving partition.
+        for t in report.tasks.iter().filter(|t| t.retries > 0) {
+            assert_eq!(t.partition, Some(1), "retries land on the survivor");
+        }
+    }
+
+    #[test]
+    fn function_on_srun_only_pilot_fails_permanently() {
+        let tasks = vec![TaskDescription::function(0, "f", SimDuration::ZERO)];
+        let report = SimSession::with_tasks(PilotConfig::srun(2), tasks).run();
+        assert_eq!(report.failed_count(), 1);
+        assert_eq!(report.tasks[0].state, TaskState::Failed);
+    }
+
+    #[test]
+    fn services_span_the_workload() {
+        use crate::service::ServiceDescription;
+        use crate::workload::{ResourceView, WorkloadSource};
+
+        struct RlLoop {
+            tasks: Vec<TaskDescription>,
+        }
+        impl WorkloadSource for RlLoop {
+            fn services(&mut self) -> Vec<ServiceDescription> {
+                vec![
+                    ServiceDescription::new(0, "learner", 16, 4),
+                    ServiceDescription::new(1, "replay-buffer", 8, 0),
+                    // Impossible footprint: must be reported as failed.
+                    ServiceDescription::new(2, "too-big", 16, 16),
+                ]
+            }
+            fn initial(&mut self, _view: &ResourceView) -> Vec<TaskDescription> {
+                std::mem::take(&mut self.tasks)
+            }
+        }
+
+        let tasks: Vec<TaskDescription> = (10..40)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
+            .collect();
+        let report = SimSession::new(
+            PilotConfig::flux(4, 1),
+            Box::new(RlLoop { tasks }),
+        )
+        .run();
+        assert_eq!(report.services.len(), 3);
+        let learner = &report.services[0];
+        assert!(!learner.failed);
+        assert_eq!(learner.backend, Some(BackendKind::Flux));
+        let uptime = learner.uptime_s().expect("ran");
+        assert!(uptime >= 30.0, "service must span the workload: {uptime}");
+        let too_big = report.services.iter().find(|s| s.name == "too-big").unwrap();
+        assert!(too_big.failed, "16 gpus/node never fits");
+        // Tasks all completed around the held resources.
+        assert_eq!(report.done_tasks().count(), 30);
+        // Service stop happens at the last task's terminal event.
+        let last_end = report.last_end().unwrap();
+        assert_eq!(learner.stopped, Some(last_end));
+    }
+
+    #[test]
+    fn least_loaded_routing_spreads_executables() {
+        use crate::router::RoutingPolicy;
+        // All-executable workload on a hybrid pilot: TypeAware sends
+        // everything to Flux; LeastLoaded spills onto Dragon's spawn mode.
+        let tasks = || -> Vec<TaskDescription> {
+            (0..400)
+                .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
+                .collect()
+        };
+        let static_run =
+            SimSession::with_tasks(PilotConfig::flux_dragon(4, 1), tasks()).run();
+        assert!(static_run
+            .tasks
+            .iter()
+            .all(|t| t.backend == Some(BackendKind::Flux)));
+
+        let dynamic_run = SimSession::with_tasks(
+            PilotConfig::flux_dragon(4, 1).with_routing(RoutingPolicy::LeastLoaded),
+            tasks(),
+        )
+        .run();
+        let on_dragon = dynamic_run
+            .tasks
+            .iter()
+            .filter(|t| t.backend == Some(BackendKind::Dragon))
+            .count();
+        let on_flux = dynamic_run
+            .tasks
+            .iter()
+            .filter(|t| t.backend == Some(BackendKind::Flux))
+            .count();
+        assert!(on_dragon > 20, "dragon must absorb load: {on_dragon}");
+        assert!(on_flux > 50, "flux must keep load: {on_flux}");
+        assert!(dynamic_run.tasks.iter().all(|t| t.state == TaskState::Done));
+    }
+
+    #[test]
+    fn cancellation_is_best_effort() {
+        // 2 nodes = 112 cores; 400 single-core 100 s tasks => the first
+        // wave of ~112 launches, the rest queue. Cancel everything at
+        // t=60 s: queued tasks cancel, the running wave completes.
+        let tasks: Vec<TaskDescription> = (0..400)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(100)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(2, 1).with_seed(2), tasks)
+            .cancel_at(SimTime::from_secs(60), (0..400).collect())
+            .run();
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        let canceled = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Canceled)
+            .count();
+        assert_eq!(done + canceled, 400);
+        assert!(done >= 100, "the running wave completes: done={done}");
+        assert!(canceled >= 200, "the backlog cancels: canceled={canceled}");
+        // Canceled tasks never started.
+        assert!(report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Canceled)
+            .all(|t| t.exec_start.is_none()));
+        // Makespan ends with the running wave, far before 400 tasks' worth.
+        assert!(report.makespan().unwrap() < 400.0);
+    }
+
+    #[test]
+    fn cancel_unknown_or_finished_is_harmless() {
+        let tasks: Vec<TaskDescription> = (0..10).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(1, 1), tasks)
+            .cancel_at(SimTime::from_secs(500), vec![3, 999])
+            .run();
+        assert_eq!(report.done_tasks().count(), 10);
+    }
+
+    #[test]
+    fn prrte_backend_runs_executables() {
+        let tasks: Vec<TaskDescription> = (0..300).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::prrte(4), tasks).run();
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        assert!(report
+            .tasks
+            .iter()
+            .all(|t| t.backend == Some(BackendKind::Prrte)));
+        // DVM bootstrap is faster than Flux's (paper §5: minimalist design).
+        let overhead = report.instances[0].bootstrap_overhead().unwrap();
+        assert!((2.0..8.0).contains(&overhead), "dvm overhead {overhead}");
+    }
+
+    #[test]
+    fn prrte_places_like_rp_should() {
+        // Multi-node MPI tasks must be placed by RP before launch: with 4
+        // nodes and 2-node tasks, at most 2 run concurrently.
+        let tasks: Vec<TaskDescription> = (0..8)
+            .map(|i| TaskDescription {
+                uid: crate::task::TaskId(i),
+                kind: crate::task::TaskKind::Executable { name: "mpi".into() },
+                req: rp_platform::ResourceRequest::mpi(2, 56, 0),
+                duration: SimDuration::from_secs(50),
+                backend_hint: None,
+                label: String::new(),
+            })
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::prrte(4), tasks).run();
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        // Peak concurrency bounded by placement (2 × 2 nodes = 4 nodes).
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for t in &report.tasks {
+            events.push((t.exec_start.unwrap().as_micros(), 1));
+            events.push((t.exec_end.unwrap().as_micros(), -1));
+        }
+        events.sort();
+        let mut level = 0;
+        let mut peak = 0;
+        for (_, d) in events {
+            level += d;
+            peak = peak.max(level);
+        }
+        assert!(peak <= 2, "placement must cap concurrency at 2, got {peak}");
+    }
+
+    #[test]
+    fn prrte_dvm_crash_fails_over_to_survivor() {
+        let tasks: Vec<TaskDescription> = (0..200)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(60)))
+            .collect();
+        let report = SimSession::with_tasks(
+            PilotConfig::new(
+                8,
+                vec![crate::backend::BackendSpec::Prrte { partitions: 2 }],
+            ),
+            tasks,
+        )
+        .inject_failure(FailureInjection {
+            at: SimTime::from_secs(30),
+            kind: BackendKind::Prrte,
+            partition: 0,
+        })
+        .run();
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        assert_eq!(done, 200, "failover recovers all PRRTE tasks");
+        assert!(report.tasks.iter().any(|t| t.retries > 0));
+    }
+
+    #[test]
+    fn three_backend_pilot_routes_each_kind() {
+        use crate::backend::BackendSpec;
+        // Flux + Dragon + PRRTE in one pilot; hints steer executables to
+        // PRRTE, functions go to Dragon, unhinted executables to Flux.
+        let cfg = PilotConfig::new(
+            12,
+            vec![
+                BackendSpec::Flux {
+                    partitions: 2,
+                    backfill: true,
+                },
+                BackendSpec::Dragon { partitions: 1 },
+                BackendSpec::Prrte { partitions: 1 },
+            ],
+        );
+        let mut tasks = Vec::new();
+        for i in 0..30 {
+            tasks.push(TaskDescription::dummy(i, SimDuration::from_secs(5)));
+        }
+        for i in 30..60 {
+            tasks.push(TaskDescription::function(i, "f", SimDuration::from_secs(5)));
+        }
+        for i in 60..90 {
+            let mut t = TaskDescription::dummy(i, SimDuration::from_secs(5));
+            t.backend_hint = Some(BackendKind::Prrte);
+            tasks.push(t);
+        }
+        let report = SimSession::with_tasks(cfg, tasks).run();
+        assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
+        let by = |k: BackendKind| {
+            report
+                .tasks
+                .iter()
+                .filter(|t| t.backend == Some(k))
+                .count()
+        };
+        assert_eq!(by(BackendKind::Flux), 30);
+        assert_eq!(by(BackendKind::Dragon), 30);
+        assert_eq!(by(BackendKind::Prrte), 30);
+        // All four instance reports exist and booted.
+        assert_eq!(report.instances.len(), 4);
+        assert!(report.instances.iter().all(|i| i.ready.is_some()));
+    }
+
+    #[test]
+    fn workload_sees_correct_resource_view() {
+        use crate::workload::{ResourceView, WorkloadSource};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct Probe {
+            seen: Rc<Cell<Option<ResourceView>>>,
+        }
+        impl WorkloadSource for Probe {
+            fn initial(&mut self, view: &ResourceView) -> Vec<TaskDescription> {
+                self.seen.set(Some(*view));
+                vec![TaskDescription::null(0)]
+            }
+        }
+        let seen = Rc::new(Cell::new(None));
+        let report = SimSession::new(
+            PilotConfig::flux_dragon(8, 2),
+            Box::new(Probe { seen: seen.clone() }),
+        )
+        .run();
+        assert_eq!(report.done_tasks().count(), 1);
+        let view = seen.get().expect("initial called");
+        // 8 Frontier nodes: 448 cores / 64 gpus, everything free at start.
+        assert_eq!(view.total_cores, 448);
+        assert_eq!(view.total_gpus, 64);
+        assert_eq!(view.free_cores, 448);
+        assert_eq!(view.nodes, 8);
+    }
+
+    #[test]
+    fn pilot_trajectory_recorded() {
+        use crate::pilot::PilotState;
+        let tasks: Vec<TaskDescription> = (0..20).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::flux_dragon(4, 1), tasks).run();
+        let pilot = &report.pilot;
+        assert_eq!(pilot.current(), PilotState::Done);
+        let launch = pilot.entered_at(PilotState::Launching).unwrap();
+        let boot = pilot.entered_at(PilotState::Bootstrapping).unwrap();
+        let active = pilot.entered_at(PilotState::Active).unwrap();
+        assert!(launch <= boot && boot <= active);
+        // Bootstrap overhead = agent (~5 s) + slowest instance (flux ~20 s
+        // behind a ~1 s srun carrier).
+        let ov = pilot.bootstrap_overhead_s().unwrap();
+        assert!((18.0..35.0).contains(&ov), "pilot bootstrap {ov}");
+        // Tasks only start after the pilot went ACTIVE.
+        for t in &report.tasks {
+            assert!(t.exec_start.unwrap() >= active);
+        }
+    }
+
+    #[test]
+    fn sub_agents_parallelize_the_pipeline() {
+        // flux_n-style config: 16 nodes, 8 instances, null tasks. With one
+        // global agent scheduler the decision server serializes; with
+        // per-partition sub-agents the pipelines run in parallel.
+        let tasks = || -> Vec<TaskDescription> {
+            (0..4000).map(TaskDescription::null).collect()
+        };
+        let run = |sub: bool| {
+            let report = SimSession::with_tasks(
+                PilotConfig::flux(16, 8).with_sub_agents(sub).with_seed(4),
+                tasks(),
+            )
+            .run();
+            assert_eq!(report.done_tasks().count(), 4000);
+            report.makespan().expect("ran")
+        };
+        let global = run(false);
+        let sub = run(true);
+        assert!(
+            sub < global,
+            "sub-agents must shorten the makespan: {sub:.1} vs {global:.1}"
+        );
+    }
+
+    #[test]
+    fn sub_agents_preserve_correctness_paths() {
+        // Hybrid + failure injection + cancellation, all under sub-agents.
+        let tasks: Vec<TaskDescription> = (0..400)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TaskDescription::dummy(i, SimDuration::from_secs(60))
+                } else {
+                    TaskDescription::function(i, "f", SimDuration::from_secs(60))
+                }
+            })
+            .collect();
+        let report = SimSession::with_tasks(
+            PilotConfig::flux_dragon(8, 2).with_sub_agents(true).with_seed(9),
+            tasks,
+        )
+        .inject_failure(FailureInjection {
+            at: SimTime::from_secs(50),
+            kind: BackendKind::Flux,
+            partition: 0,
+        })
+        .cancel_at(SimTime::from_secs(55), vec![399])
+        .run();
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        let canceled = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Canceled)
+            .count();
+        assert_eq!(done + canceled, 400, "no task lost under sub-agents");
+        assert!(report.tasks.iter().any(|t| t.retries > 0), "failover ran");
+    }
+
+    #[test]
+    fn uidgen_is_monotonic() {
+        let mut g = UidGen::new();
+        assert_eq!(g.next_id(), 0);
+        assert_eq!(g.next_id(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! The workload-source interface: how task streams (including adaptive
+//! campaigns) feed the agent.
+//!
+//! The paper's IMPECCABLE experiments "adjust the number of tasks
+//! instantiated by some workflows dynamically at runtime based on available
+//! system resources". That feedback loop is this trait: the agent calls
+//! [`WorkloadSource::on_task_done`] after every terminal task, handing the
+//! source a live view of free resources, and submits whatever comes back.
+
+use crate::service::ServiceDescription;
+use crate::task::{TaskDescription, TaskRecord};
+
+/// Snapshot of pilot-wide resource availability, as the agent scheduler
+/// sees it (summed over all live backend partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceView {
+    /// Free cores across live partitions.
+    pub free_cores: u64,
+    /// Free GPUs across live partitions.
+    pub free_gpus: u64,
+    /// Total cores in the pilot.
+    pub total_cores: u64,
+    /// Total GPUs in the pilot.
+    pub total_gpus: u64,
+    /// Nodes in the pilot.
+    pub nodes: u32,
+}
+
+/// A stream of tasks, possibly adaptive.
+pub trait WorkloadSource {
+    /// Persistent services to start when the pilot goes active (learners,
+    /// replay buffers, ...). Default: none.
+    fn services(&mut self) -> Vec<ServiceDescription> {
+        Vec::new()
+    }
+
+    /// Tasks to submit once the agent has bootstrapped.
+    fn initial(&mut self, view: &ResourceView) -> Vec<TaskDescription>;
+
+    /// Called after each task reaches a terminal state; returns follow-up
+    /// tasks (empty when the campaign has nothing ready).
+    fn on_task_done(&mut self, done: &TaskRecord, view: &ResourceView) -> Vec<TaskDescription> {
+        let _ = (done, view);
+        Vec::new()
+    }
+
+    /// Name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+/// The simplest source: a fixed batch submitted at bootstrap.
+pub struct StaticWorkload {
+    tasks: Vec<TaskDescription>,
+}
+
+impl StaticWorkload {
+    /// Wrap a fixed task list.
+    pub fn new(tasks: Vec<TaskDescription>) -> Self {
+        StaticWorkload { tasks }
+    }
+}
+
+impl WorkloadSource for StaticWorkload {
+    fn initial(&mut self, _view: &ResourceView) -> Vec<TaskDescription> {
+        std::mem::take(&mut self.tasks)
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn static_workload_hands_out_once() {
+        let mut w = StaticWorkload::new(vec![TaskDescription::dummy(1, SimDuration::ZERO)]);
+        let view = ResourceView {
+            free_cores: 56,
+            free_gpus: 8,
+            total_cores: 56,
+            total_gpus: 8,
+            nodes: 1,
+        };
+        assert_eq!(w.initial(&view).len(), 1);
+        assert!(w.initial(&view).is_empty(), "drained after first call");
+    }
+}

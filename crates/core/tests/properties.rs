@@ -1,0 +1,144 @@
+//! Property tests for the RP core: task state-machine soundness, session
+//! invariants under arbitrary workload mixes, and failover completeness
+//! under arbitrary failure-injection schedules.
+
+use proptest::prelude::*;
+use rp_core::{
+    BackendKind, FailureInjection, PilotConfig, SimSession, TaskDescription, TaskState,
+};
+use rp_platform::{PlacementPolicy, ResourceRequest};
+use rp_sim::{SimDuration, SimTime};
+
+/// Task ingredients; uids are assigned positionally after generation.
+fn arb_task_parts() -> impl Strategy<Value = (bool, u32, u16, u16, u64)> {
+    (any::<bool>(), 1u32..4, 1u16..57, 0u16..9, 0u64..120)
+}
+
+fn build_task(uid: u64, parts: (bool, u32, u16, u16, u64)) -> TaskDescription {
+    let (function, ranks, cores, gpus, secs) = parts;
+    if function {
+        let mut t = TaskDescription::function(uid, "f", SimDuration::from_secs(secs));
+        // Dragon path supports multi-worker function tasks.
+        t.req = ResourceRequest::single(cores.min(8), 0);
+        t
+    } else {
+        TaskDescription {
+            uid: rp_core::TaskId(uid),
+            kind: rp_core::TaskKind::Executable { name: "x".into() },
+            req: ResourceRequest {
+                mem_per_rank_gb: 0,
+                ranks,
+                cores_per_rank: cores,
+                gpus_per_rank: gpus,
+                policy: PlacementPolicy::Spread,
+            },
+            duration: SimDuration::from_secs(secs),
+            backend_hint: None,
+            label: String::new(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary heterogeneous mixes on the hybrid pilot: every task ends
+    /// in a terminal state, timestamps are monotone, resources are fully
+    /// accounted, and the simulation quiesces.
+    #[test]
+    fn session_total_under_arbitrary_mix(
+        parts in prop::collection::vec(arb_task_parts(), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let n = parts.len();
+        let tasks: Vec<TaskDescription> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(uid, p)| build_task(uid as u64, p))
+            .collect();
+        let report = SimSession::with_tasks(
+            PilotConfig::flux_dragon(8, 2).with_seed(seed),
+            tasks,
+        )
+        .run();
+        prop_assert_eq!(report.tasks.len(), n);
+        for t in &report.tasks {
+            prop_assert!(t.state.is_terminal(), "{}: {:?}", t.uid, t.state);
+            if t.state == TaskState::Done {
+                let s = t.exec_start.expect("done => started");
+                let e = t.exec_end.expect("done => ended");
+                prop_assert!(s <= e);
+                prop_assert!(t.submitted <= s);
+            }
+        }
+    }
+
+    /// Failure injections at arbitrary times never lose tasks: every task
+    /// is Done or Failed, and Done + Failed = submitted.
+    #[test]
+    fn failover_never_loses_tasks(
+        kill_at in 1u64..400,
+        kill_partition in 0u32..2,
+        kill_dragon in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let tasks: Vec<TaskDescription> = (0..120u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TaskDescription::dummy(i, SimDuration::from_secs(90))
+                } else {
+                    TaskDescription::function(i, "f", SimDuration::from_secs(90))
+                }
+            })
+            .collect();
+        let kind = if kill_dragon {
+            BackendKind::Dragon
+        } else {
+            BackendKind::Flux
+        };
+        let report = SimSession::with_tasks(
+            PilotConfig::flux_dragon(8, 2).with_seed(seed),
+            tasks,
+        )
+        .inject_failure(FailureInjection {
+            at: SimTime::from_secs(kill_at),
+            kind,
+            partition: kill_partition,
+        })
+        .run();
+        prop_assert_eq!(report.tasks.len(), 120);
+        let done = report.tasks.iter().filter(|t| t.state == TaskState::Done).count();
+        let failed = report.tasks.iter().filter(|t| t.state == TaskState::Failed).count();
+        prop_assert_eq!(done + failed, 120, "every task reaches a terminal state");
+        // With one retry and a surviving partition, everything completes.
+        prop_assert_eq!(failed, 0, "failover must recover all tasks");
+    }
+
+    /// The task state machine is a DAG plus the retry edge: no transition
+    /// sequence can revisit Done.
+    #[test]
+    fn state_machine_done_is_absorbing(path in prop::collection::vec(0usize..9, 1..30)) {
+        use TaskState::*;
+        let states = [
+            New, StagingInput, Scheduling, Submitting, Submitted, Executing, Done, Failed,
+            Canceled,
+        ];
+        let mut current = New;
+        let mut was_done = false;
+        for step in path {
+            let to = states[step];
+            if current.can_transition(to) {
+                if current == Done {
+                    prop_assert!(false, "transition out of Done allowed: {to:?}");
+                }
+                current = to;
+                if current == Done {
+                    was_done = true;
+                }
+            }
+        }
+        if was_done {
+            prop_assert_eq!(current, Done, "Done must be absorbing");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Data-coupling primitives: the "shared memory abstractions and
+//! lightweight coordination primitives" (§2) that intermediate coupling
+//! patterns — REINVENT-style asynchronous pipelines, learner/actor loops —
+//! need between tasks. Dragon provides these as managed multi-node shared
+//! memory; the in-process analog provides the same shapes over atomics and
+//! the shmem queue:
+//!
+//! - [`Channel`]: a typed, bounded, blocking MPMC channel;
+//! - [`SenseBarrier`]: a reusable sense-reversing barrier (no syscalls on
+//!   the fast path);
+//! - [`Broadcast`]: a single-writer/multi-reader latest-value cell with a
+//!   generation counter (the "model weights" pattern: writers publish, and
+//!   readers observe monotone versions).
+
+use crate::shmem::ShmemQueue;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A typed, bounded, blocking MPMC channel over the shmem queue.
+#[derive(Debug)]
+pub struct Channel<T> {
+    q: Arc<ShmemQueue<T>>,
+    closed: AtomicBool,
+}
+
+impl<T> Channel<T> {
+    /// A channel holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Channel {
+            q: ShmemQueue::new(capacity),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Blocking send; spins with yields under backpressure. Returns the
+    /// item if the channel was closed before space appeared.
+    pub fn send(&self, mut item: T) -> Result<(), T> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(item);
+            }
+            match self.q.push(item) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    item = back;
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.q.pop()
+    }
+
+    /// Blocking receive with a timeout. `None` on timeout, or when the
+    /// channel is closed *and* drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.q.pop() {
+                return Some(v);
+            }
+            if self.closed.load(Ordering::Acquire) && self.q.is_empty() {
+                return None;
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::yield_now();
+        }
+    }
+
+    /// Close the channel: senders fail fast, receivers drain what remains.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether the channel is closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// A reusable sense-reversing barrier for `n` participants.
+///
+/// Unlike `std::sync::Barrier`, the sense-reversing design has no
+/// generation lock: each arrival flips a thread-local sense and the last
+/// arrival releases the epoch — the classic HPC construction.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    n: usize,
+}
+
+impl SenseBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Arc<Self> {
+        assert!(n > 0, "barrier needs at least one participant");
+        Arc::new(SenseBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            n,
+        })
+    }
+
+    /// Enter the barrier; returns once all `n` participants arrived.
+    /// `local_sense` must start `false` and be owned per participant; the
+    /// barrier flips it on every epoch.
+    pub fn wait(&self, local_sense: &mut bool) {
+        *local_sense = !*local_sense;
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(*local_sense, Ordering::Release);
+        } else {
+            while self.sense.load(Ordering::Acquire) != *local_sense {
+                thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A single-writer/multi-reader published value with a version counter.
+#[derive(Debug)]
+pub struct Broadcast<T: Clone> {
+    value: RwLock<Option<T>>,
+    version: AtomicU64,
+}
+
+impl<T: Clone> Broadcast<T> {
+    /// An empty broadcast cell (version 0).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Broadcast {
+            value: RwLock::new(None),
+            version: AtomicU64::new(0),
+        })
+    }
+
+    /// Publish a new value; returns the new version (monotone, starts at 1).
+    pub fn publish(&self, value: T) -> u64 {
+        let mut guard = self.value.write();
+        *guard = Some(value);
+        // Version bump inside the write lock so readers never observe a
+        // version ahead of its value.
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Latest `(version, value)`, or `None` before the first publish.
+    pub fn latest(&self) -> Option<(u64, T)> {
+        let guard = self.value.read();
+        guard
+            .as_ref()
+            .map(|v| (self.version.load(Ordering::Acquire), v.clone()))
+    }
+
+    /// Current version (0 before the first publish).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Block until the version exceeds `seen`, returning the new pair;
+    /// `None` on timeout.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> Option<(u64, T)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.version() > seen {
+                return self.latest();
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::yield_now();
+        }
+    }
+}
+
+impl<T: Clone> Default for Broadcast<T> {
+    fn default() -> Self {
+        Broadcast {
+            value: RwLock::new(None),
+            version: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_moves_items_across_threads() {
+        let ch: Arc<Channel<u64>> = Channel::new(8);
+        let tx = ch.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).expect("open");
+            }
+            tx.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = ch.recv_timeout(Duration::from_secs(5)) {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got.len(), 1000);
+        // MPMC with one producer/consumer preserves FIFO.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn channel_close_fails_senders_drains_receivers() {
+        let ch: Arc<Channel<u8>> = Channel::new(4);
+        ch.send(1).unwrap();
+        ch.close();
+        assert_eq!(ch.send(2), Err(2));
+        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), Some(1));
+        assert_eq!(ch.recv_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn barrier_synchronizes_epochs() {
+        const N: usize = 6;
+        const EPOCHS: usize = 20;
+        let barrier = SenseBarrier::new(N);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    let mut sense = false;
+                    for epoch in 0..EPOCHS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(&mut sense);
+                        // After the barrier, everyone has incremented.
+                        let c = counter.load(Ordering::SeqCst);
+                        assert!(
+                            c >= (epoch + 1) * N,
+                            "epoch {epoch}: saw {c} < {}",
+                            (epoch + 1) * N
+                        );
+                        barrier.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), N * EPOCHS);
+    }
+
+    #[test]
+    fn broadcast_versions_are_monotone() {
+        let b: Arc<Broadcast<String>> = Broadcast::new();
+        assert_eq!(b.version(), 0);
+        assert!(b.latest().is_none());
+        assert_eq!(b.publish("w1".into()), 1);
+        assert_eq!(b.publish("w2".into()), 2);
+        let (v, val) = b.latest().unwrap();
+        assert_eq!((v, val.as_str()), (2, "w2"));
+    }
+
+    #[test]
+    fn broadcast_wait_newer() {
+        let b: Arc<Broadcast<u32>> = Broadcast::new();
+        let b2 = b.clone();
+        let waiter = thread::spawn(move || b2.wait_newer(0, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(5));
+        b.publish(99);
+        let got = waiter.join().unwrap();
+        assert_eq!(got, Some((1, 99)));
+        // Timeout path.
+        assert_eq!(b.wait_newer(1, Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn learner_actor_loop() {
+        // The RL shape from §2: actors push experience through a channel;
+        // the learner consumes batches and broadcasts new "weights".
+        let experience: Arc<Channel<u64>> = Channel::new(64);
+        let weights: Arc<Broadcast<u64>> = Broadcast::new();
+        weights.publish(0);
+
+        let learner = {
+            let experience = experience.clone();
+            let weights = weights.clone();
+            thread::spawn(move || {
+                let mut seen = 0u64;
+                while let Some(x) = experience.recv_timeout(Duration::from_secs(5)) {
+                    seen += x;
+                    if seen.is_multiple_of(7) {
+                        weights.publish(seen);
+                    }
+                }
+                weights.publish(seen);
+            })
+        };
+        let actors: Vec<_> = (0..4)
+            .map(|a| {
+                let experience = experience.clone();
+                let weights = weights.clone();
+                thread::spawn(move || {
+                    let mut version = 0;
+                    for i in 0..50u64 {
+                        experience.send(a + i % 3).expect("open");
+                        // Actors occasionally refresh their policy.
+                        if let Some((v, _)) = weights.latest() {
+                            assert!(v >= version, "versions must be monotone");
+                            version = v;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for a in actors {
+            a.join().unwrap();
+        }
+        experience.close();
+        learner.join().unwrap();
+        assert!(weights.version() >= 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Function-task representation.
+//!
+//! Dragon's native workload is the *Python function* — pickled callable plus
+//! arguments shipped to a pooled worker process. The Rust analog cannot ship
+//! closures across a process-style boundary either, so it does what Dragon
+//! does: a registry of named functions and a serialized call record. The
+//! registry is the application-side "Dragon module" of Fig. 3.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered function: bytes in, bytes out (serialization is the
+/// caller's business — the paper's workloads exchange opaque payloads).
+pub type DynFunction = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static>;
+
+/// A serialized function invocation, as carried over the pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCall {
+    /// Task uid, for event correlation.
+    pub id: u64,
+    /// Registered function name.
+    pub name: String,
+    /// Opaque argument bytes.
+    pub args: Vec<u8>,
+}
+
+/// Errors when executing a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// No function registered under this name.
+    Unknown(String),
+}
+
+/// A shared, thread-safe function registry.
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    inner: Arc<RwLock<HashMap<String, DynFunction>>>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `f` under `name`, replacing any previous registration.
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.inner.write().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Execute a call against the registry.
+    pub fn call(&self, call: &FunctionCall) -> Result<Vec<u8>, CallError> {
+        let f = self
+            .inner
+            .read()
+            .get(&call.name)
+            .cloned()
+            .ok_or_else(|| CallError::Unknown(call.name.clone()))?;
+        Ok(f(&call.args))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let reg = FunctionRegistry::new();
+        reg.register("double", |args| {
+            let x = u32::from_le_bytes(args.try_into().expect("4 bytes"));
+            (x * 2).to_le_bytes().to_vec()
+        });
+        assert!(reg.contains("double"));
+        let out = reg
+            .call(&FunctionCall {
+                id: 1,
+                name: "double".into(),
+                args: 21u32.to_le_bytes().to_vec(),
+            })
+            .unwrap();
+        assert_eq!(u32::from_le_bytes(out.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let reg = FunctionRegistry::new();
+        let err = reg
+            .call(&FunctionCall {
+                id: 1,
+                name: "nope".into(),
+                args: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, CallError::Unknown("nope".into()));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let reg = FunctionRegistry::new();
+        reg.register("f", |_| vec![1]);
+        reg.register("f", |_| vec![2]);
+        assert_eq!(reg.len(), 1);
+        let out = reg
+            .call(&FunctionCall {
+                id: 0,
+                name: "f".into(),
+                args: vec![],
+            })
+            .unwrap();
+        assert_eq!(out, vec![2]);
+    }
+}

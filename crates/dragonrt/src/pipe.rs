@@ -1,0 +1,238 @@
+//! The RP↔Dragon pipe: a length-prefixed binary codec over byte buffers —
+//! the analog of the ZeroMQ pipes in Fig. 3 (tasks serialized down, events
+//! serialized back). Hand-rolled over `bytes` so the workspace carries no
+//! JSON/bincode dependency; the format is versioned and round-trip tested.
+
+use crate::function::FunctionCall;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Codec version tag, first byte of every frame.
+const VERSION: u8 = 1;
+
+/// Frame type tags.
+const TAG_CALL: u8 = 1;
+const TAG_EVENT: u8 = 2;
+
+/// Events flowing back from the Dragon runtime to RP's watcher thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipeEvent {
+    /// Task started on a worker.
+    Started {
+        /// Task uid.
+        id: u64,
+    },
+    /// Task finished with a result payload.
+    Completed {
+        /// Task uid.
+        id: u64,
+        /// Opaque result bytes.
+        result: Vec<u8>,
+    },
+    /// Task failed.
+    Failed {
+        /// Task uid.
+        id: u64,
+        /// Error description.
+        error: String,
+    },
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame shorter than its header or declared lengths.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown frame/event tag.
+    BadTag(u8),
+    /// String field was not UTF-8.
+    BadUtf8,
+}
+
+/// Encode a function call frame.
+pub fn encode_call(call: &FunctionCall) -> Bytes {
+    let mut b = BytesMut::with_capacity(2 + 8 + 4 + call.name.len() + 4 + call.args.len());
+    b.put_u8(VERSION);
+    b.put_u8(TAG_CALL);
+    b.put_u64_le(call.id);
+    b.put_u32_le(call.name.len() as u32);
+    b.put_slice(call.name.as_bytes());
+    b.put_u32_le(call.args.len() as u32);
+    b.put_slice(&call.args);
+    b.freeze()
+}
+
+/// Decode a function call frame.
+pub fn decode_call(mut buf: &[u8]) -> Result<FunctionCall, CodecError> {
+    check_header(&mut buf, TAG_CALL)?;
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let id = buf.get_u64_le();
+    let name = get_bytes(&mut buf)?;
+    let name = String::from_utf8(name).map_err(|_| CodecError::BadUtf8)?;
+    let args = get_bytes(&mut buf)?;
+    Ok(FunctionCall { id, name, args })
+}
+
+/// Encode an event frame.
+pub fn encode_event(ev: &PipeEvent) -> Bytes {
+    let mut b = BytesMut::with_capacity(32);
+    b.put_u8(VERSION);
+    b.put_u8(TAG_EVENT);
+    match ev {
+        PipeEvent::Started { id } => {
+            b.put_u8(0);
+            b.put_u64_le(*id);
+        }
+        PipeEvent::Completed { id, result } => {
+            b.put_u8(1);
+            b.put_u64_le(*id);
+            b.put_u32_le(result.len() as u32);
+            b.put_slice(result);
+        }
+        PipeEvent::Failed { id, error } => {
+            b.put_u8(2);
+            b.put_u64_le(*id);
+            b.put_u32_le(error.len() as u32);
+            b.put_slice(error.as_bytes());
+        }
+    }
+    b.freeze()
+}
+
+/// Decode an event frame.
+pub fn decode_event(mut buf: &[u8]) -> Result<PipeEvent, CodecError> {
+    check_header(&mut buf, TAG_EVENT)?;
+    if buf.remaining() < 9 {
+        return Err(CodecError::Truncated);
+    }
+    let kind = buf.get_u8();
+    let id = buf.get_u64_le();
+    match kind {
+        0 => Ok(PipeEvent::Started { id }),
+        1 => {
+            let result = get_bytes(&mut buf)?;
+            Ok(PipeEvent::Completed { id, result })
+        }
+        2 => {
+            let error = get_bytes(&mut buf)?;
+            let error = String::from_utf8(error).map_err(|_| CodecError::BadUtf8)?;
+            Ok(PipeEvent::Failed { id, error })
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn check_header(buf: &mut &[u8], want_tag: u8) -> Result<(), CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let v = buf.get_u8();
+    if v != VERSION {
+        return Err(CodecError::BadVersion(v));
+    }
+    let tag = buf.get_u8();
+    if tag != want_tag {
+        return Err(CodecError::BadTag(tag));
+    }
+    Ok(())
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let call = FunctionCall {
+            id: 0xDEADBEEF,
+            name: "sst_inference".into(),
+            args: vec![1, 2, 3, 255],
+        };
+        let enc = encode_call(&call);
+        assert_eq!(decode_call(&enc).unwrap(), call);
+    }
+
+    #[test]
+    fn event_roundtrips() {
+        for ev in [
+            PipeEvent::Started { id: 7 },
+            PipeEvent::Completed {
+                id: 8,
+                result: vec![9; 100],
+            },
+            PipeEvent::Failed {
+                id: 9,
+                error: "worker died".into(),
+            },
+        ] {
+            let enc = encode_event(&ev);
+            assert_eq!(decode_event(&enc).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = encode_call(&FunctionCall {
+            id: 1,
+            name: "f".into(),
+            args: vec![0; 10],
+        });
+        for cut in 0..enc.len() {
+            assert!(
+                decode_call(&enc[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let call_frame = encode_call(&FunctionCall {
+            id: 1,
+            name: "f".into(),
+            args: vec![],
+        });
+        assert_eq!(
+            decode_event(&call_frame).unwrap_err(),
+            CodecError::BadTag(TAG_CALL)
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = encode_event(&PipeEvent::Started { id: 1 }).to_vec();
+        frame[0] = 99;
+        assert_eq!(
+            decode_event(&frame).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(VERSION);
+        b.put_u8(TAG_CALL);
+        b.put_u64_le(1);
+        b.put_u32_le(2);
+        b.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
+        b.put_u32_le(0);
+        assert_eq!(decode_call(&b).unwrap_err(), CodecError::BadUtf8);
+    }
+}

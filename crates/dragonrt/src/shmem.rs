@@ -1,0 +1,154 @@
+//! The shared-memory queue analog ('Shmem Queue' in Fig. 3): a bounded MPMC
+//! queue with occupancy statistics, built on `crossbeam`'s `ArrayQueue`.
+//! In Dragon this is the managed-memory channel pooled worker processes pull
+//! tasks from; here it is the hand-off between the dispatcher and the
+//! worker pool of the real-threaded plane, and the coordination primitive
+//! data-coupled example workloads use.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A bounded multi-producer/multi-consumer queue with counters.
+#[derive(Debug)]
+pub struct ShmemQueue<T> {
+    q: ArrayQueue<T>,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl<T> ShmemQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "shmem queue capacity must be positive");
+        Arc::new(ShmemQueue {
+            q: ArrayQueue::new(capacity),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Push; on a full queue the item is returned (backpressure).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        match self.q.push(item) {
+            Ok(()) => {
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(item) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(item)
+            }
+        }
+    }
+
+    /// Pop the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let item = self.q.pop();
+        if item.is_some() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Total successful pushes.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total pops.
+    pub fn popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes rejected due to a full queue.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_counters() {
+        let q = ShmemQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pushed(), 2);
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn full_queue_backpressure() {
+        let q = ShmemQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.rejected(), 1);
+        q.pop();
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let q = ShmemQueue::new(1024);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..250 {
+                        let mut v = p * 1000 + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => v = back,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = 0;
+                    while got < 250 {
+                        if q.pop().is_some() {
+                            got += 1;
+                        } else {
+                            thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 1000);
+        assert_eq!(q.popped(), 1000);
+    }
+}

@@ -1,0 +1,438 @@
+//! The simulated Dragon runtime: one centralized dispatcher over a pooled
+//! set of workers.
+//!
+//! Dragon's design point (Fig. 3, §3.2.2): no internal scheduler, no
+//! partitioning — a single dispatcher pushes tasks to pooled workers as
+//! fast as it can serialize them. That buys the highest small-scale launch
+//! rates in the paper, and it is also exactly why throughput *declines*
+//! at 64 nodes: remote spawns stretch the one dispatcher's service time
+//! (`× (1 + 0.012·(n−1))`), and there is no second dispatcher to hide it.
+//!
+//! Resource management is implicit, as in the real system: one worker per
+//! usable core, no placement bookkeeping, FIFO dispatch with worker-pool
+//! backpressure.
+
+use rp_platform::{Allocation, Calibration};
+use rp_sim::{Dist, RngStream, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// A task submitted to the Dragon runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DragonTask {
+    /// Task uid.
+    pub id: u64,
+    /// Workers (≈ cores) the task occupies.
+    pub workers: u32,
+    /// Payload runtime.
+    pub duration: SimDuration,
+    /// Function task (in-memory dispatch) vs executable (process spawn).
+    pub is_function: bool,
+}
+
+/// Timer tokens for [`DragonSim::on_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DragonToken {
+    /// Bootstrap finished.
+    Booted,
+    /// Dispatcher finished shipping this task to a worker.
+    Dispatched(u64),
+    /// Task payload finished.
+    Done(u64),
+}
+
+/// Effects requested by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DragonAction {
+    /// Deliver `token` after `after`.
+    Timer {
+        /// Delay until delivery.
+        after: SimDuration,
+        /// Token to deliver.
+        token: DragonToken,
+    },
+    /// Runtime finished booting.
+    Ready,
+    /// Task began executing (throughput counts these).
+    Started(u64),
+    /// Task finished; its workers freed.
+    Completed(u64),
+}
+
+/// The simulated runtime.
+#[derive(Debug)]
+pub struct DragonSim {
+    worker_capacity: u64,
+    free_workers: u64,
+    ready: bool,
+    dispatch_busy: bool,
+    queue: VecDeque<DragonTask>,
+    exec_cost: Dist,
+    func_cost: Dist,
+    boot_cost: Dist,
+    rng: RngStream,
+    in_flight: HashMap<u64, DragonTask>,
+    completed: u64,
+    alive: bool,
+}
+
+impl DragonSim {
+    /// A runtime spanning `alloc` (one worker per usable core), calibrated
+    /// by `cal`.
+    pub fn new(alloc: &Allocation, cal: &Calibration, seed: u64) -> Self {
+        DragonSim {
+            worker_capacity: alloc.total_cores(),
+            free_workers: alloc.total_cores(),
+            ready: false,
+            dispatch_busy: false,
+            queue: VecDeque::new(),
+            exec_cost: cal.dragon_dispatch_cost(alloc.count, false),
+            func_cost: cal.dragon_dispatch_cost(alloc.count, true),
+            boot_cost: cal.dragon_bootstrap.clone(),
+            rng: RngStream::derive(seed, "dragon"),
+            in_flight: HashMap::new(),
+            completed: 0,
+            alive: true,
+        }
+    }
+
+    /// Total workers in the pool.
+    pub fn worker_capacity(&self) -> u64 {
+        self.worker_capacity
+    }
+
+    /// Workers currently busy.
+    pub fn busy_workers(&self) -> u64 {
+        self.worker_capacity - self.free_workers
+    }
+
+    /// Tasks waiting for dispatch.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks completed.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the runtime has drained.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Whether the runtime is alive (not killed by failure injection).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Simulate a runtime crash: every queued/in-flight task is lost and
+    /// returned for the caller's failover logic (the paper's §3.2.2 error
+    /// handling: "if the runtime crashes, RP triggers failover and moves
+    /// affected tasks to error states").
+    pub fn kill(&mut self) -> Vec<u64> {
+        self.alive = false;
+        let mut lost: Vec<u64> = Vec::new();
+        lost.extend(self.queue.drain(..).map(|t| t.id));
+        lost.extend(self.in_flight.drain().map(|(id, _)| id));
+        self.dispatch_busy = false;
+        self.free_workers = self.worker_capacity;
+        lost.sort_unstable();
+        lost
+    }
+
+    /// Best-effort cancellation: removes the task if it is still queued for
+    /// dispatch. Dispatched/running tasks are not cancelable.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
+            self.queue.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// Reserve `n` workers for a persistent service (e.g. a learner or a
+    /// replay buffer held for the pilot's lifetime). Returns false when not
+    /// enough workers are free.
+    pub fn reserve_workers(&mut self, n: u64) -> bool {
+        if !self.alive || n > self.free_workers {
+            return false;
+        }
+        self.free_workers -= n;
+        true
+    }
+
+    /// Release workers reserved with [`DragonSim::reserve_workers`].
+    pub fn release_workers(&mut self, n: u64) {
+        if self.alive {
+            self.free_workers = (self.free_workers + n).min(self.worker_capacity);
+        }
+    }
+
+    /// Begin bootstrap (≈9 s on Frontier).
+    pub fn boot(&mut self) -> Vec<DragonAction> {
+        let cost = self.boot_cost.sample(&mut self.rng);
+        vec![DragonAction::Timer {
+            after: cost,
+            token: DragonToken::Booted,
+        }]
+    }
+
+    /// Submit a task (FIFO).
+    pub fn submit(&mut self, task: DragonTask) -> Vec<DragonAction> {
+        assert!(
+            task.workers as u64 <= self.worker_capacity,
+            "task {} wants {} workers, pool has {}",
+            task.id,
+            task.workers,
+            self.worker_capacity
+        );
+        self.queue.push_back(task);
+        self.pump()
+    }
+
+    /// Deliver a timer token.
+    pub fn on_token(&mut self, _now: SimTime, token: DragonToken) -> Vec<DragonAction> {
+        if !self.alive {
+            return Vec::new(); // stale timers from before the crash
+        }
+        match token {
+            DragonToken::Booted => {
+                self.ready = true;
+                let mut out = vec![DragonAction::Ready];
+                out.extend(self.pump());
+                out
+            }
+            DragonToken::Dispatched(id) => {
+                self.dispatch_busy = false;
+                let task = self.in_flight.get(&id).expect("dispatched unknown task");
+                let mut out = vec![
+                    DragonAction::Started(id),
+                    DragonAction::Timer {
+                        after: task.duration,
+                        token: DragonToken::Done(id),
+                    },
+                ];
+                out.extend(self.pump());
+                out
+            }
+            DragonToken::Done(id) => {
+                let task = self.in_flight.remove(&id).expect("done unknown task");
+                self.free_workers += task.workers as u64;
+                self.completed += 1;
+                let mut out = vec![DragonAction::Completed(id)];
+                out.extend(self.pump());
+                out
+            }
+        }
+    }
+
+    /// Dispatch the head task if the dispatcher and enough workers are free.
+    fn pump(&mut self) -> Vec<DragonAction> {
+        if !self.ready || self.dispatch_busy {
+            return Vec::new();
+        }
+        let Some(head) = self.queue.front() else {
+            return Vec::new();
+        };
+        if head.workers as u64 > self.free_workers {
+            return Vec::new(); // pool backpressure; wait for a Done
+        }
+        let task = self.queue.pop_front().expect("non-empty");
+        self.free_workers -= task.workers as u64;
+        self.dispatch_busy = true;
+        let cost = if task.is_function {
+            self.func_cost.sample(&mut self.rng)
+        } else {
+            self.exec_cost.sample(&mut self.rng)
+        };
+        self.in_flight.insert(task.id, task);
+        vec![DragonAction::Timer {
+            after: cost,
+            token: DragonToken::Dispatched(task.id),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_platform::frontier;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn alloc(nodes: u32) -> Allocation {
+        Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: nodes,
+        }
+    }
+
+    fn runtime(nodes: u32) -> DragonSim {
+        DragonSim::new(&alloc(nodes), &Calibration::frontier(), 11)
+    }
+
+    /// Boot, submit everything at t=0, run to idle; returns start times (s).
+    fn drive(mut sim: DragonSim, tasks: Vec<DragonTask>) -> (Vec<f64>, u64, DragonSim) {
+        let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut starts = Vec::new();
+        let mut peak_busy = 0u64;
+        let sink = |acts: Vec<DragonAction>,
+                        now: u64,
+                        heap: &mut BinaryHeap<Reverse<(u64, u64, DragonToken)>>,
+                        seq: &mut u64,
+                        starts: &mut Vec<f64>| {
+            for a in acts {
+                match a {
+                    DragonAction::Timer { after, token } => {
+                        heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                        *seq += 1;
+                    }
+                    DragonAction::Started(_) => starts.push(now as f64 / 1e6),
+                    _ => {}
+                }
+            }
+        };
+        let acts = sim.boot();
+        sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        for t in tasks {
+            let acts = sim.submit(t);
+            sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            let acts = sim.on_token(SimTime::from_micros(t), tok);
+            sink(acts, t, &mut heap, &mut seq, &mut starts);
+            peak_busy = peak_busy.max(sim.busy_workers());
+        }
+        assert!(sim.is_idle());
+        (starts, peak_busy, sim)
+    }
+
+    fn null_tasks(n: u64) -> Vec<DragonTask> {
+        (0..n)
+            .map(|id| DragonTask {
+                id,
+                workers: 1,
+                duration: SimDuration::ZERO,
+                is_function: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boots_in_about_9s() {
+        let (starts, _, _) = drive(runtime(4), null_tasks(1));
+        assert!((6.0..12.0).contains(&starts[0]), "first start {}", starts[0]);
+    }
+
+    #[test]
+    fn exec_throughput_flat_then_declining() {
+        let rate = |nodes: u32| {
+            let (starts, _, _) = drive(runtime(nodes), null_tasks(3000));
+            (starts.len() - 1) as f64 / (starts.last().unwrap() - starts.first().unwrap())
+        };
+        let r4 = rate(4);
+        let r16 = rate(16);
+        let r64 = rate(64);
+        assert!((320.0..430.0).contains(&r4), "4-node rate {r4}");
+        assert!((280.0..390.0).contains(&r16), "16-node rate {r16}");
+        assert!((170.0..260.0).contains(&r64), "64-node rate {r64}");
+        assert!(r64 < r16, "centralized dispatch must degrade at 64 nodes");
+    }
+
+    #[test]
+    fn function_dispatch_is_faster() {
+        let tasks: Vec<DragonTask> = (0..2000)
+            .map(|id| DragonTask {
+                id,
+                workers: 1,
+                duration: SimDuration::ZERO,
+                is_function: true,
+            })
+            .collect();
+        let (f_starts, _, _) = drive(runtime(4), tasks);
+        let f_rate =
+            (f_starts.len() - 1) as f64 / (f_starts.last().unwrap() - f_starts.first().unwrap());
+        assert!(f_rate > 550.0, "function rate {f_rate}");
+    }
+
+    #[test]
+    fn worker_pool_backpressure() {
+        // 1 node = 56 workers; 224 tasks of 10 s: exactly 4 waves, peak 56.
+        let tasks: Vec<DragonTask> = (0..224)
+            .map(|id| DragonTask {
+                id,
+                workers: 1,
+                duration: SimDuration::from_secs(10),
+                is_function: false,
+            })
+            .collect();
+        let (starts, peak, sim) = drive(runtime(1), tasks);
+        assert_eq!(starts.len(), 224);
+        assert_eq!(peak, 56, "all workers busy at peak");
+        assert_eq!(sim.completed_count(), 224);
+    }
+
+    #[test]
+    #[should_panic(expected = "wants")]
+    fn oversized_task_rejected() {
+        let mut sim = runtime(1);
+        sim.submit(DragonTask {
+            id: 0,
+            workers: 57,
+            duration: SimDuration::ZERO,
+            is_function: false,
+        });
+    }
+
+    #[test]
+    fn fifo_no_reordering() {
+        // Unlike Flux there is no scheduler: a wide head task blocks
+        // narrower ones even if they'd fit (documented Dragon behavior).
+        let mut sim = runtime(1);
+        let mut acts = sim.boot();
+        acts.extend(sim.submit(DragonTask {
+            id: 0,
+            workers: 56,
+            duration: SimDuration::from_secs(100),
+            is_function: false,
+        }));
+        acts.extend(sim.submit(DragonTask {
+            id: 1,
+            workers: 56,
+            duration: SimDuration::from_secs(100),
+            is_function: false,
+        }));
+        acts.extend(sim.submit(DragonTask {
+            id: 2,
+            workers: 1,
+            duration: SimDuration::ZERO,
+            is_function: false,
+        }));
+        // After boot+dispatch of task 0, the queue must still be [1, 2].
+        let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
+        let mut seq = 0;
+        for a in acts {
+            if let DragonAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        // Process boot + first dispatch only.
+        for _ in 0..2 {
+            if let Some(Reverse((t, _, tok))) = heap.pop() {
+                for a in sim.on_token(SimTime::from_micros(t), tok) {
+                    if let DragonAction::Timer { after, token } = a {
+                        heap.push(Reverse((t + after.as_micros(), seq, token)));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(sim.queued(), 2, "tasks 1 and 2 both wait behind the head");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the Dragon substrate: codec robustness against
+//! arbitrary bytes (never panics, never mis-decodes), worker conservation
+//! in the sim runtime, and shmem-queue capacity discipline.
+
+use proptest::prelude::*;
+use rp_dragonrt::{
+    decode_call, decode_event, encode_call, encode_event, DragonAction, DragonSim, DragonTask,
+    DragonToken, FunctionCall, PipeEvent, ShmemQueue,
+};
+use rp_platform::{frontier, Allocation, Calibration};
+use rp_sim::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoding arbitrary bytes must never panic, and any successful decode
+    /// of an encoded frame is the identity.
+    #[test]
+    fn codec_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_call(&bytes);
+        let _ = decode_event(&bytes);
+    }
+
+    /// Round-trips are exact for arbitrary payloads.
+    #[test]
+    fn codec_roundtrip_exact(
+        id in any::<u64>(),
+        name in "[a-zA-Z0-9_.]{0,40}",
+        args in prop::collection::vec(any::<u8>(), 0..2048),
+        result in prop::collection::vec(any::<u8>(), 0..512),
+        error in "[ -~]{0,60}",
+    ) {
+        let call = FunctionCall { id, name, args };
+        prop_assert_eq!(decode_call(&encode_call(&call)).unwrap(), call);
+        for ev in [
+            PipeEvent::Started { id },
+            PipeEvent::Completed { id, result: result.clone() },
+            PipeEvent::Failed { id, error: error.clone() },
+        ] {
+            prop_assert_eq!(decode_event(&encode_event(&ev)).unwrap(), ev);
+        }
+    }
+
+    /// Mutating a single byte of a frame either fails to decode or decodes
+    /// to something — but never panics (header/version/length checks hold).
+    #[test]
+    fn codec_survives_bitflips(
+        id in any::<u64>(),
+        args in prop::collection::vec(any::<u8>(), 0..64),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let frame = encode_call(&FunctionCall { id, name: "f".into(), args });
+        let mut bytes = frame.to_vec();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        let _ = decode_call(&bytes);
+        let _ = decode_event(&bytes);
+    }
+
+    /// The sim runtime conserves tasks and workers under arbitrary loads.
+    #[test]
+    fn dragon_sim_conserves(
+        tasks in prop::collection::vec((1u32..20, 0u64..100, any::<bool>()), 1..60),
+    ) {
+        let alloc = Allocation { spec: frontier().node, first: 0, count: 1 };
+        let mut sim = DragonSim::new(&alloc, &Calibration::frontier(), 3);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut started = 0usize;
+        let mut completed = 0usize;
+        let mut peak_busy = 0u64;
+
+        let sink = |acts: Vec<DragonAction>, now: u64,
+                        heap: &mut BinaryHeap<Reverse<(u64, u64, DragonToken)>>,
+                        seq: &mut u64, started: &mut usize, completed: &mut usize| {
+            for a in acts {
+                match a {
+                    DragonAction::Timer { after, token } => {
+                        heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                        *seq += 1;
+                    }
+                    DragonAction::Started(_) => *started += 1,
+                    DragonAction::Completed(_) => *completed += 1,
+                    DragonAction::Ready => {}
+                }
+            }
+        };
+
+        let acts = sim.boot();
+        sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+        for (i, (workers, secs, is_function)) in tasks.iter().enumerate() {
+            let acts = sim.submit(DragonTask {
+                id: i as u64,
+                workers: *workers,
+                duration: SimDuration::from_secs(*secs),
+                is_function: *is_function,
+            });
+            sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            let acts = sim.on_token(SimTime::from_micros(t), tok);
+            sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+            peak_busy = peak_busy.max(sim.busy_workers());
+        }
+        prop_assert!(sim.is_idle());
+        prop_assert_eq!(started, tasks.len());
+        prop_assert_eq!(completed, tasks.len());
+        prop_assert_eq!(sim.busy_workers(), 0, "workers all returned");
+        prop_assert!(peak_busy <= sim.worker_capacity(), "pool never oversubscribed");
+    }
+
+    /// Shmem queue: never exceeds capacity, conserves items.
+    #[test]
+    fn shmem_capacity_discipline(
+        capacity in 1usize..32,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let q = ShmemQueue::new(capacity);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                match q.push(next) {
+                    Ok(()) => {
+                        model.push_back(next);
+                        prop_assert!(model.len() <= capacity);
+                    }
+                    Err(v) => {
+                        prop_assert_eq!(v, next);
+                        prop_assert_eq!(model.len(), capacity, "reject only when full");
+                    }
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Flux job descriptions and lifecycle.
+//!
+//! Mirrors the Flux job state machine (DEPEND → PRIORITY → SCHED → RUN →
+//! CLEANUP → INACTIVE) at the granularity the paper's experiments observe:
+//! submission, scheduling (resource match), start, and completion, with an
+//! exception path. RP subscribes to the emitted [`JobEvent`]s exactly as it
+//! subscribes to Flux's job-manager events in the real integration.
+
+use rp_platform::ResourceRequest;
+use rp_sim::SimDuration;
+use std::fmt;
+
+/// Identifies a job within one Flux instance (the submitting RP executor's
+/// task uid, so event correlation is trivial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ƒ{}", self.0)
+    }
+}
+
+/// A jobspec: what RP's Flux executor serializes a task into (Fig. 2 ②).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Job identity.
+    pub id: JobId,
+    /// Resource shape.
+    pub req: ResourceRequest,
+    /// Payload runtime (the walltime estimate; also used by EASY backfill).
+    pub duration: SimDuration,
+}
+
+/// Flux job states, reduced to the transitions the experiments measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, before the scheduler has considered it.
+    Sched,
+    /// Resources matched and start in progress or running.
+    Run,
+    /// Finished, resources released.
+    Inactive,
+    /// Failed (exception raised).
+    Failed,
+}
+
+/// Lifecycle events published by an instance (Fig. 2 ④).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Accepted by rank 0 and enqueued for scheduling.
+    Submitted(JobId),
+    /// Resources allocated (scheduler match done).
+    Alloc(JobId),
+    /// Payload started executing.
+    Start(JobId),
+    /// Payload finished; resources freed.
+    Finish(JobId),
+    /// Job failed with an exception note.
+    Exception(JobId, ExceptionKind),
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceptionKind {
+    /// The request can never fit this instance's resources.
+    Unsatisfiable,
+    /// The instance is shutting down / crashed.
+    InstanceLost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_platform::ResourceRequest;
+
+    #[test]
+    fn jobspec_shape() {
+        let j = JobSpec {
+            id: JobId(3),
+            req: ResourceRequest::single(1, 0),
+            duration: SimDuration::from_secs(180),
+        };
+        assert_eq!(j.req.total_cores(), 1);
+        assert_eq!(format!("{}", j.id), "ƒ3");
+    }
+}

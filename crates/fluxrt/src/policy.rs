@@ -1,0 +1,263 @@
+//! Scheduling policies for a Flux instance: FCFS and EASY backfill.
+//!
+//! A policy answers one question: *given the queue, the pool, and the
+//! currently running jobs, which queued job should be matched next?* The
+//! instance machine handles everything else (servers, events, bookkeeping),
+//! so policies are pure and unit-testable. Both planes (sim and real
+//! threads) share these implementations — this is scheduler logic, not
+//! calibration.
+
+use crate::job::{JobId, JobSpec};
+use rp_platform::ResourcePool;
+use rp_sim::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// A running job's remaining footprint, as visible to backfill.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// When the job is expected to release its resources (start + walltime).
+    pub expected_end: SimTime,
+    /// The placement it holds.
+    pub placement: rp_platform::Placement,
+}
+
+/// Picks the index (into `queue`) of the next job to match, or `None` to
+/// wait for a completion.
+pub trait SchedPolicy: Send {
+    /// See trait docs. Must not mutate anything.
+    fn select(
+        &self,
+        now: SimTime,
+        queue: &VecDeque<JobSpec>,
+        pool: &ResourcePool,
+        running: &HashMap<JobId, RunningJob>,
+    ) -> Option<usize>;
+
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Strict first-come-first-served: only ever considers the queue head.
+/// Simple and starvation-free, but head-of-line blocking wastes resources
+/// when a wide job waits in front of narrow ones.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fcfs;
+
+impl SchedPolicy for Fcfs {
+    fn select(
+        &self,
+        _now: SimTime,
+        queue: &VecDeque<JobSpec>,
+        pool: &ResourcePool,
+        _running: &HashMap<JobId, RunningJob>,
+    ) -> Option<usize> {
+        let head = queue.front()?;
+        pool.fits_now(&head.req).then_some(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+/// EASY backfill: the head job gets a reservation at the earliest time it
+/// could start (the *shadow time*, computed by draining running jobs in
+/// end-time order); later jobs may jump ahead only if they fit now and
+/// cannot delay that reservation — either they finish before the shadow
+/// time, or they fit alongside the head's reserved placement.
+#[derive(Debug, Clone, Copy)]
+pub struct EasyBackfill {
+    /// How deep into the queue to search for backfill candidates; bounds
+    /// scheduler cost on long queues (Flux's `queue-depth` knob).
+    pub depth: usize,
+}
+
+impl Default for EasyBackfill {
+    fn default() -> Self {
+        EasyBackfill { depth: 64 }
+    }
+}
+
+impl SchedPolicy for EasyBackfill {
+    fn select(
+        &self,
+        now: SimTime,
+        queue: &VecDeque<JobSpec>,
+        pool: &ResourcePool,
+        running: &HashMap<JobId, RunningJob>,
+    ) -> Option<usize> {
+        let head = queue.front()?;
+        if pool.fits_now(&head.req) {
+            return Some(0);
+        }
+
+        // Compute the shadow time: clone the pool, free running placements
+        // in end-time order until the head fits. (Only reached when the
+        // head is blocked — the hot path above never touches `running`.)
+        let mut shadow_pool = pool.clone();
+        let mut order: Vec<&RunningJob> = running.values().collect();
+        order.sort_by_key(|r| r.expected_end);
+        let mut shadow_time = None;
+        for r in &order {
+            shadow_pool.free(&r.placement);
+            if shadow_pool.fits_now(&head.req) {
+                shadow_time = Some(r.expected_end);
+                break;
+            }
+        }
+        // Head can never start (infeasible even when everything drains):
+        // do not let it block the queue — the instance machine rejects
+        // infeasible jobs at submit time, so this is only reachable when
+        // *other queued-but-matched* state holds resources; wait.
+        let shadow_time = shadow_time?;
+        // Reserve the head's future placement inside the shadow pool.
+        let reservation = shadow_pool.try_alloc(&head.req);
+        debug_assert!(reservation.is_some(), "shadow pool must fit head");
+
+        for (idx, job) in queue.iter().enumerate().skip(1).take(self.depth) {
+            if !pool.fits_now(&job.req) {
+                continue;
+            }
+            // Backfill rule 1: finishes before the head's reservation.
+            if now + job.duration <= shadow_time {
+                return Some(idx);
+            }
+            // Backfill rule 2: runs past the shadow time but does not
+            // intersect the reserved placement (conservative first-fit
+            // approximation of node-level disjointness).
+            if shadow_pool.fits_now(&job.req) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "easy-backfill"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use rp_platform::{frontier, ResourcePool, ResourceRequest};
+    use rp_sim::SimDuration;
+
+    fn job(id: u64, cores: u16, secs: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            req: ResourceRequest::single(cores, 0),
+            duration: SimDuration::from_secs(secs),
+        }
+    }
+
+    fn mpi_job(id: u64, nodes: u32, secs: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            req: ResourceRequest::mpi(nodes, 56, 0),
+            duration: SimDuration::from_secs(secs),
+        }
+    }
+
+    #[test]
+    fn fcfs_only_looks_at_head() {
+        let pool = ResourcePool::over_range(frontier().node, 0, 1); // 56 cores
+        let queue: VecDeque<JobSpec> = vec![job(0, 57, 10), job(1, 1, 10)].into();
+        let none = HashMap::new();
+        // job 0 can never fit one node; FCFS refuses to skip it.
+        assert_eq!(Fcfs.select(SimTime::ZERO, &queue, &pool, &none), None);
+        let queue2: VecDeque<JobSpec> = vec![job(1, 1, 10)].into();
+        assert_eq!(Fcfs.select(SimTime::ZERO, &queue2, &pool, &none), Some(0));
+    }
+
+    #[test]
+    fn backfill_skips_blocked_head_with_short_job() {
+        // 2 nodes; a running job holds node 1 entirely until t=100.
+        let mut pool = ResourcePool::over_range(frontier().node, 0, 2);
+        let big = pool
+            .try_alloc(&ResourceRequest::mpi(1, 56, 0))
+            .expect("fits");
+        let running = HashMap::from([(JobId(90), RunningJob {
+            expected_end: SimTime::from_secs(100),
+            placement: big,
+        })]);
+        // Head wants both nodes -> must wait for t=100. A 50 s single-core
+        // job can backfill; a 200 s *two-node-wide* job cannot.
+        let queue: VecDeque<JobSpec> =
+            vec![mpi_job(0, 2, 500), job(1, 2000, 0), job(2, 1, 50)].into();
+        // job(1) has absurd core count so fits_now fails; job(2) backfills.
+        let pick = EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running);
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn backfill_rejects_job_that_would_delay_reservation() {
+        let mut pool = ResourcePool::over_range(frontier().node, 0, 2);
+        let big = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
+        let running = HashMap::from([(JobId(90), RunningJob {
+            expected_end: SimTime::from_secs(100),
+            placement: big,
+        })]);
+        // Head wants both nodes at t=100. Candidate is single-core but runs
+        // 500 s and (with the head reserving both full nodes at shadow
+        // time) would collide with the reservation.
+        let queue: VecDeque<JobSpec> = vec![mpi_job(0, 2, 500), job(1, 1, 500)].into();
+        let pick = EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running);
+        assert_eq!(pick, None, "long backfill would delay the head");
+    }
+
+    #[test]
+    fn backfill_allows_long_job_on_unreserved_resources() {
+        // 3 nodes; node 2 fully busy until t=100. Head wants 2 whole nodes;
+        // it fits NOW? nodes 0,1 free => head fits immediately.
+        let mut pool = ResourcePool::over_range(frontier().node, 0, 3);
+        let filler = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
+        let running = HashMap::from([(JobId(90), RunningJob {
+            expected_end: SimTime::from_secs(100),
+            placement: filler,
+        })]);
+        let queue: VecDeque<JobSpec> = vec![mpi_job(0, 2, 500)].into();
+        let pick = EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running);
+        assert_eq!(pick, Some(0), "head fits now");
+    }
+
+    #[test]
+    fn backfill_honors_depth_limit() {
+        let mut pool = ResourcePool::over_range(frontier().node, 0, 1);
+        let filler = pool
+            .try_alloc(&ResourceRequest::single(56, 0))
+            .expect("fill the node");
+        let running = HashMap::from([(JobId(90), RunningJob {
+            expected_end: SimTime::from_secs(100),
+            placement: filler,
+        })]);
+        // Head blocked; the only backfillable job sits at depth 3.
+        let queue: VecDeque<JobSpec> =
+            vec![job(0, 56, 50), job(1, 56, 50), job(2, 56, 50), job(3, 1, 10)].into();
+        let shallow = EasyBackfill { depth: 2 };
+        assert_eq!(
+            shallow.select(SimTime::ZERO, &queue, &pool, &running),
+            None
+        );
+        // Pool is full, so even the deep policy can't start job 3 *now*.
+        let deep = EasyBackfill { depth: 8 };
+        assert_eq!(deep.select(SimTime::ZERO, &queue, &pool, &running), None);
+        // Free half the node: now job 3 fits and deep finds it.
+        let mut pool2 = ResourcePool::over_range(frontier().node, 0, 1);
+        let half = pool2.try_alloc(&ResourceRequest::single(28, 0)).unwrap();
+        let running2 = HashMap::from([(JobId(91), RunningJob {
+            expected_end: SimTime::from_secs(100),
+            placement: half,
+        })]);
+        assert_eq!(
+            shallow.select(SimTime::ZERO, &queue, &pool2, &running2),
+            None,
+            "depth 2 misses it"
+        );
+        assert_eq!(
+            deep.select(SimTime::ZERO, &queue, &pool2, &running2),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Real-threaded Flux plane: an in-process hierarchical scheduler that
+//! executes actual closures against a live [`ResourcePool`].
+//!
+//! Same placement semantics as the simulated instance (resources are held
+//! for the payload's lifetime; first-fit scan over the queue, i.e. a
+//! depth-unlimited backfill without reservations), but payloads are real
+//! `FnOnce` closures on OS threads. This is the plane the examples and the
+//! quickstart run on.
+
+use parking_lot::{Condvar, Mutex};
+use rp_platform::{Placement, ResourcePool, ResourceRequest};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+type Payload = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queued {
+    id: u64,
+    req: ResourceRequest,
+    payload: Payload,
+}
+
+struct St {
+    pool: ResourcePool,
+    queue: VecDeque<Queued>,
+    running: usize,
+    completed: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    st: Mutex<St>,
+    cv: Condvar,
+}
+
+/// Errors from [`FluxRt::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request can never fit this instance's resources.
+    Unsatisfiable,
+    /// The instance has been shut down.
+    ShuttingDown,
+}
+
+/// A threaded Flux-like instance.
+pub struct FluxRt {
+    inner: Arc<Inner>,
+    sched: Option<JoinHandle<()>>,
+}
+
+impl FluxRt {
+    /// Start an instance scheduling over `pool`.
+    pub fn start(pool: ResourcePool) -> Self {
+        let inner = Arc::new(Inner {
+            st: Mutex::new(St {
+                pool,
+                queue: VecDeque::new(),
+                running: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let sched_inner = inner.clone();
+        let sched = thread::Builder::new()
+            .name("fluxrt-sched".into())
+            .spawn(move || scheduler_loop(sched_inner))
+            .expect("spawn scheduler");
+        FluxRt {
+            inner,
+            sched: Some(sched),
+        }
+    }
+
+    /// Submit a payload with a resource shape; it runs once placed.
+    pub fn submit<F>(&self, id: u64, req: ResourceRequest, payload: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut st = self.inner.st.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if !st.pool.can_ever_fit(&req) {
+            return Err(SubmitError::Unsatisfiable);
+        }
+        st.queue.push_back(Queued {
+            id,
+            req,
+            payload: Box::new(payload),
+        });
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Block until the queue is empty and nothing is running.
+    pub fn wait_idle(&self) {
+        let mut st = self.inner.st.lock();
+        while !(st.queue.is_empty() && st.running == 0) {
+            self.inner.cv.wait(&mut st);
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.st.lock().completed
+    }
+
+    /// Cores currently held by running jobs.
+    pub fn busy_cores(&self) -> u64 {
+        self.inner.st.lock().pool.busy_cores()
+    }
+
+    /// Drain and stop the scheduler thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn do_shutdown(&self) {
+        let mut st = self.inner.st.lock();
+        st.shutdown = true;
+        drop(st);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl Drop for FluxRt {
+    fn drop(&mut self) {
+        self.do_shutdown();
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn scheduler_loop(inner: Arc<Inner>) {
+    loop {
+        let (id, placement, payload) = {
+            let mut st = inner.st.lock();
+            loop {
+                if st.shutdown && st.queue.is_empty() && st.running == 0 {
+                    return;
+                }
+                // First-fit scan (unlimited-depth backfill, no reservation).
+                let mut pick = None;
+                for (i, q) in st.queue.iter().enumerate() {
+                    if st.pool.fits_now(&q.req) {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+                if let Some(i) = pick {
+                    let q = st.queue.remove(i).expect("valid index");
+                    let placement = st.pool.try_alloc(&q.req).expect("fits_now said yes");
+                    st.running += 1;
+                    break (q.id, placement, q.payload);
+                }
+                inner.cv.wait(&mut st);
+            }
+        };
+        spawn_job(inner.clone(), id, placement, payload);
+    }
+}
+
+fn spawn_job(inner: Arc<Inner>, id: u64, placement: Placement, payload: Payload) {
+    thread::Builder::new()
+        .name(format!("fluxrt-job-{id}"))
+        .spawn(move || {
+            payload();
+            let mut st = inner.st.lock();
+            st.pool.free(&placement);
+            st.running -= 1;
+            st.completed += 1;
+            drop(st);
+            inner.cv.notify_all();
+        })
+        .expect("spawn job thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_platform::frontier;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn pool(nodes: u32) -> ResourcePool {
+        ResourcePool::over_range(frontier().node, 0, nodes)
+    }
+
+    #[test]
+    fn runs_every_payload() {
+        let rt = FluxRt::start(pool(1));
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..100 {
+            let count = count.clone();
+            rt.submit(i, ResourceRequest::single(1, 0), move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        rt.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert_eq!(rt.completed(), 100);
+        assert_eq!(rt.busy_cores(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn respects_core_capacity() {
+        // 1 node / 56 cores; 8-core jobs => at most 7 concurrent.
+        let rt = FluxRt::start(pool(1));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for i in 0..30 {
+            let live = live.clone();
+            let peak = peak.clone();
+            rt.submit(i, ResourceRequest::single(8, 0), move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(3));
+                live.fetch_sub(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        rt.wait_idle();
+        assert!(peak.load(Ordering::SeqCst) <= 7, "peak {:?}", peak);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unsatisfiable_rejected_eagerly() {
+        let rt = FluxRt::start(pool(1));
+        let err = rt.submit(0, ResourceRequest::single(57, 0), || {});
+        assert_eq!(err, Err(SubmitError::Unsatisfiable));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn narrow_jobs_backfill_past_wide_blocker() {
+        // 56-core node: a 40-core long job runs; a second 40-core job
+        // blocks; 16-core short jobs must still flow.
+        let rt = FluxRt::start(pool(1));
+        let short_done = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicU64::new(0));
+        let g1 = gate.clone();
+        rt.submit(0, ResourceRequest::single(40, 0), move || {
+            while g1.load(Ordering::SeqCst) == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .unwrap();
+        let g2 = gate.clone();
+        rt.submit(1, ResourceRequest::single(40, 0), move || {
+            while g2.load(Ordering::SeqCst) == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .unwrap();
+        for i in 0..4 {
+            let sd = short_done.clone();
+            rt.submit(2 + i, ResourceRequest::single(16, 0), move || {
+                sd.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Shorts can only run beside job 0 (40+16=56); give them time.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while short_done.load(Ordering::SeqCst) < 4 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shorts starved behind wide blocker"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        gate.store(1, Ordering::SeqCst);
+        rt.wait_idle();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let rt = FluxRt::start(pool(1));
+        rt.do_shutdown();
+        assert_eq!(
+            rt.submit(0, ResourceRequest::single(1, 0), || {}),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+}

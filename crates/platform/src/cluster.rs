@@ -1,0 +1,171 @@
+//! Cluster-level allocation: carving pilot allocations out of a machine and
+//! partitioning an allocation across runtime instances.
+
+use crate::node::{MachineSpec, NodeId, NodeSpec};
+use crate::resources::ResourcePool;
+
+/// A contiguous set of nodes granted to one pilot (one batch job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Node shape.
+    pub spec: NodeSpec,
+    /// First node id.
+    pub first: u32,
+    /// Node count.
+    pub count: u32,
+}
+
+impl Allocation {
+    /// The node ids in this allocation.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.first..self.first + self.count).map(NodeId)
+    }
+
+    /// Total usable cores.
+    pub fn total_cores(&self) -> u64 {
+        self.count as u64 * self.spec.cores as u64
+    }
+
+    /// Total usable GPUs.
+    pub fn total_gpus(&self) -> u64 {
+        self.count as u64 * self.spec.gpus as u64
+    }
+
+    /// A fresh, fully free resource pool over this allocation.
+    pub fn pool(&self) -> ResourcePool {
+        ResourcePool::over_range(self.spec, self.first, self.count)
+    }
+
+    /// Split into `k` disjoint partitions covering every node: the first
+    /// `count % k` partitions get one extra node. Panics if `k == 0`;
+    /// partitions beyond `count` come back empty-free (`k` is clamped so
+    /// every partition holds at least one node).
+    pub fn partition(&self, k: u32) -> Vec<Allocation> {
+        assert!(k > 0, "cannot partition into zero parts");
+        let k = k.min(self.count.max(1));
+        let base = self.count / k;
+        let extra = self.count % k;
+        let mut out = Vec::with_capacity(k as usize);
+        let mut cursor = self.first;
+        for i in 0..k {
+            let size = base + u32::from(i < extra);
+            out.push(Allocation {
+                spec: self.spec,
+                first: cursor,
+                count: size,
+            });
+            cursor += size;
+        }
+        out
+    }
+}
+
+/// Hands out allocations from a machine, batch-scheduler style.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machine: MachineSpec,
+    next_free: u32,
+}
+
+impl Cluster {
+    /// A cluster with all nodes free.
+    pub fn new(machine: MachineSpec) -> Self {
+        Cluster {
+            machine,
+            next_free: 0,
+        }
+    }
+
+    /// The machine description.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Allocate `nodes` nodes, or `None` if the machine is exhausted or the
+    /// request exceeds the machine's job limit.
+    pub fn allocate(&mut self, nodes: u32) -> Option<Allocation> {
+        if nodes == 0 || nodes > self.machine.max_nodes {
+            return None;
+        }
+        if self.next_free + nodes > self.machine.max_nodes {
+            return None;
+        }
+        let alloc = Allocation {
+            spec: self.machine.node,
+            first: self.next_free,
+            count: nodes,
+        };
+        self.next_free += nodes;
+        Some(alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::frontier;
+
+    #[test]
+    fn allocate_and_exhaust() {
+        let mut c = Cluster::new(frontier());
+        let a = c.allocate(1024).unwrap();
+        assert_eq!(a.count, 1024);
+        assert_eq!(a.total_cores(), 1024 * 56);
+        assert_eq!(a.total_gpus(), 1024 * 8);
+        assert!(c.allocate(9_000).is_none(), "machine exhausted");
+        assert!(c.allocate(0).is_none());
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut c = Cluster::new(frontier());
+        let a = c.allocate(16).unwrap();
+        let b = c.allocate(16).unwrap();
+        let ai: Vec<_> = a.node_ids().collect();
+        let bi: Vec<_> = b.node_ids().collect();
+        assert!(ai.iter().all(|n| !bi.contains(n)));
+    }
+
+    #[test]
+    fn partition_covers_all_nodes_disjointly() {
+        let a = Allocation {
+            spec: frontier().node,
+            first: 10,
+            count: 13,
+        };
+        let parts = a.partition(4);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<u32> = parts.iter().map(|p| p.count).collect();
+        assert_eq!(sizes, vec![4, 3, 3, 3]);
+        let mut all: Vec<_> = parts.iter().flat_map(|p| p.node_ids()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 13);
+        assert_eq!(all.first(), Some(&NodeId(10)));
+        assert_eq!(all.last(), Some(&NodeId(22)));
+    }
+
+    #[test]
+    fn partition_clamps_k_to_node_count() {
+        let a = Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: 2,
+        };
+        let parts = a.partition(64);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.count == 1));
+    }
+
+    #[test]
+    fn pool_matches_allocation_geometry() {
+        let a = Allocation {
+            spec: frontier().node,
+            first: 5,
+            count: 3,
+        };
+        let p = a.pool();
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.free_cores(), 168);
+    }
+}

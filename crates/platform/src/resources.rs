@@ -1,0 +1,684 @@
+//! The resource algebra: requests, placements, and the bookkeeping pool.
+//!
+//! Everything that schedules in this reproduction — the Flux-like instance
+//! scheduler, the Dragon-like runtime, RP's agent scheduler — does so against
+//! a [`ResourcePool`]: a set of nodes with per-core and per-GPU occupancy
+//! bitmaps. Correctness here (no double-booking, exact free/alloc inverses)
+//! is what makes the utilization numbers of the experiments meaningful, so
+//! the invariants are enforced with debug assertions and property tests.
+
+use crate::node::{NodeId, NodeSpec};
+
+/// How ranks of a request may be laid out across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Fill nodes in order (maximizes packing; the default for
+    /// high-throughput single-core tasks).
+    #[default]
+    Pack,
+    /// One rank per node at most (MPI-style spread).
+    Spread,
+    /// Ranks get whole nodes regardless of per-rank core count.
+    NodeExclusive,
+}
+
+/// A resource request for one task: `ranks` identical ranks, each needing
+/// `cores_per_rank` cores and `gpus_per_rank` GPUs, co-scheduled atomically
+/// (all ranks or none — the paper's tightly coupled MPI semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceRequest {
+    /// Number of ranks (processes).
+    pub ranks: u32,
+    /// Cores per rank.
+    pub cores_per_rank: u16,
+    /// GPUs per rank.
+    pub gpus_per_rank: u16,
+    /// Memory per rank, GiB (0 = unconstrained). Jobspecs carry memory
+    /// requirements (§3.2.1); the pool refuses placements whose summed
+    /// per-node memory would exceed the node's capacity.
+    pub mem_per_rank_gb: u32,
+    /// Layout policy.
+    pub policy: PlacementPolicy,
+}
+
+impl ResourceRequest {
+    /// A single-rank request (the shape of every synthetic-workload task).
+    pub fn single(cores: u16, gpus: u16) -> Self {
+        ResourceRequest {
+            ranks: 1,
+            cores_per_rank: cores,
+            gpus_per_rank: gpus,
+            mem_per_rank_gb: 0,
+            policy: PlacementPolicy::Pack,
+        }
+    }
+
+    /// Builder: set the per-rank memory requirement.
+    pub fn with_mem(mut self, mem_per_rank_gb: u32) -> Self {
+        self.mem_per_rank_gb = mem_per_rank_gb;
+        self
+    }
+
+    /// An MPI-style request: `ranks` ranks spread one per node.
+    pub fn mpi(ranks: u32, cores_per_rank: u16, gpus_per_rank: u16) -> Self {
+        ResourceRequest {
+            ranks,
+            cores_per_rank,
+            gpus_per_rank,
+            mem_per_rank_gb: 0,
+            policy: PlacementPolicy::Spread,
+        }
+    }
+
+    /// Total cores this request occupies while running.
+    pub fn total_cores(&self) -> u64 {
+        self.ranks as u64 * self.cores_per_rank as u64
+    }
+
+    /// Total GPUs this request occupies while running.
+    pub fn total_gpus(&self) -> u64 {
+        self.ranks as u64 * self.gpus_per_rank as u64
+    }
+}
+
+/// The concrete resources backing one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPlacement {
+    /// Global node id.
+    pub node: NodeId,
+    /// Pool-local node index (used by [`ResourcePool::free`]).
+    pub node_idx: u32,
+    /// Bitmask of occupied cores on that node.
+    pub core_mask: u64,
+    /// Bitmask of occupied GPUs on that node.
+    pub gpu_mask: u16,
+    /// Memory held on that node, GiB.
+    pub mem_gb: u32,
+}
+
+/// The concrete resources backing one task; returned by a successful
+/// allocation and required to free it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// One entry per rank.
+    pub ranks: Vec<RankPlacement>,
+}
+
+impl Placement {
+    /// Total cores held.
+    pub fn cores(&self) -> u64 {
+        self.ranks.iter().map(|r| r.core_mask.count_ones() as u64).sum()
+    }
+
+    /// Total GPUs held.
+    pub fn gpus(&self) -> u64 {
+        self.ranks.iter().map(|r| r.gpu_mask.count_ones() as u64).sum()
+    }
+
+    /// Distinct nodes touched.
+    pub fn node_count(&self) -> usize {
+        let mut nodes: Vec<u32> = self.ranks.iter().map(|r| r.node_idx).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeFree {
+    id: NodeId,
+    /// 1-bits are FREE cores.
+    cores: u64,
+    /// 1-bits are FREE gpus.
+    gpus: u16,
+    /// Free memory, GiB.
+    mem_gb: u32,
+}
+
+/// Occupancy bookkeeping over a fixed set of nodes.
+///
+/// ```
+/// use rp_platform::{frontier, ResourcePool, ResourceRequest};
+///
+/// // Two Frontier nodes: 112 cores, 16 GPUs.
+/// let mut pool = ResourcePool::over_range(frontier().node, 0, 2);
+/// let task = pool
+///     .try_alloc(&ResourceRequest::mpi(2, 56, 8)) // whole machine
+///     .expect("fits an empty pool");
+/// assert_eq!(pool.free_cores(), 0);
+/// assert!(pool.try_alloc(&ResourceRequest::single(1, 0)).is_none());
+/// pool.free(&task);
+/// assert_eq!(pool.free_cores(), 112);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    spec: NodeSpec,
+    nodes: Vec<NodeFree>,
+    free_cores: u64,
+    free_gpus: u64,
+    /// Index of the first node that is not *completely* occupied; nodes
+    /// below it are fully busy, so Pack planning may skip them. Purely a
+    /// scan accelerator — never changes placement decisions, because only
+    /// exhausted nodes are skipped.
+    first_not_full: usize,
+}
+
+impl ResourcePool {
+    /// A pool over `node_ids`, all initially free, each shaped by `spec`.
+    pub fn new(spec: NodeSpec, node_ids: impl IntoIterator<Item = NodeId>) -> Self {
+        spec.validate();
+        let full_cores = mask_of(spec.cores);
+        let full_gpus = mask_of(spec.gpus) as u16;
+        let nodes: Vec<NodeFree> = node_ids
+            .into_iter()
+            .map(|id| NodeFree {
+                id,
+                cores: full_cores,
+                gpus: full_gpus,
+                mem_gb: spec.mem_gb,
+            })
+            .collect();
+        let free_cores = nodes.len() as u64 * spec.cores as u64;
+        let free_gpus = nodes.len() as u64 * spec.gpus as u64;
+        ResourcePool {
+            spec,
+            nodes,
+            free_cores,
+            free_gpus,
+            first_not_full: 0,
+        }
+    }
+
+    /// Convenience: a pool over nodes `first..first+count`.
+    pub fn over_range(spec: NodeSpec, first: u32, count: u32) -> Self {
+        Self::new(spec, (first..first + count).map(NodeId))
+    }
+
+    /// The node shape.
+    pub fn spec(&self) -> NodeSpec {
+        self.spec
+    }
+
+    /// Number of nodes in the pool.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Currently free cores across the pool.
+    pub fn free_cores(&self) -> u64 {
+        self.free_cores
+    }
+
+    /// Currently free GPUs across the pool.
+    pub fn free_gpus(&self) -> u64 {
+        self.free_gpus
+    }
+
+    /// Total cores in the pool (free + busy).
+    pub fn total_cores(&self) -> u64 {
+        self.nodes.len() as u64 * self.spec.cores as u64
+    }
+
+    /// Total GPUs in the pool (free + busy).
+    pub fn total_gpus(&self) -> u64 {
+        self.nodes.len() as u64 * self.spec.gpus as u64
+    }
+
+    /// Cores currently allocated.
+    pub fn busy_cores(&self) -> u64 {
+        self.total_cores() - self.free_cores
+    }
+
+    /// GPUs currently allocated.
+    pub fn busy_gpus(&self) -> u64 {
+        self.total_gpus() - self.free_gpus
+    }
+
+    /// Whether `req` could ever fit in an empty pool of this shape — the
+    /// feasibility check schedulers run before queueing, so an oversized
+    /// task fails fast instead of wedging a FIFO queue forever.
+    pub fn can_ever_fit(&self, req: &ResourceRequest) -> bool {
+        if req.ranks == 0 {
+            return false;
+        }
+        if req.cores_per_rank == 0 && req.gpus_per_rank == 0 {
+            return false;
+        }
+        if req.cores_per_rank > self.spec.cores
+            || req.gpus_per_rank > self.spec.gpus
+            || req.mem_per_rank_gb > self.spec.mem_gb
+        {
+            return false;
+        }
+        let nodes = self.nodes.len() as u64;
+        match req.policy {
+            PlacementPolicy::Spread | PlacementPolicy::NodeExclusive => {
+                req.ranks as u64 <= nodes
+            }
+            PlacementPolicy::Pack => {
+                let per_node = self.ranks_fitting_empty_node(req);
+                per_node > 0 && req.ranks as u64 <= nodes * per_node
+            }
+        }
+    }
+
+    fn ranks_fitting_empty_node(&self, req: &ResourceRequest) -> u64 {
+        let by_cores = if req.cores_per_rank == 0 {
+            u64::MAX
+        } else {
+            self.spec.cores as u64 / req.cores_per_rank as u64
+        };
+        let by_gpus = if req.gpus_per_rank == 0 {
+            u64::MAX
+        } else if self.spec.gpus == 0 {
+            0
+        } else {
+            self.spec.gpus as u64 / req.gpus_per_rank as u64
+        };
+        let by_mem = if req.mem_per_rank_gb == 0 {
+            u64::MAX
+        } else {
+            self.spec.mem_gb as u64 / req.mem_per_rank_gb as u64
+        };
+        by_cores.min(by_gpus).min(by_mem)
+    }
+
+    /// Try to place `req`. On success every rank's cores/GPUs are marked
+    /// busy and the exact placement is returned; on failure the pool is
+    /// untouched. Placement is deterministic: first-fit in node order.
+    pub fn try_alloc(&mut self, req: &ResourceRequest) -> Option<Placement> {
+        if req.ranks == 0 {
+            return None;
+        }
+        // Fast reject on aggregate counts.
+        if req.total_cores() > self.free_cores || req.total_gpus() > self.free_gpus {
+            return None;
+        }
+
+        let plan = self.plan(req)?;
+        // Commit.
+        for r in &plan.ranks {
+            let n = &mut self.nodes[r.node_idx as usize];
+            debug_assert_eq!(n.cores & r.core_mask, r.core_mask, "double-booked cores");
+            debug_assert_eq!(n.gpus & r.gpu_mask, r.gpu_mask, "double-booked gpus");
+            debug_assert!(n.mem_gb >= r.mem_gb, "double-booked memory");
+            n.cores &= !r.core_mask;
+            n.gpus &= !r.gpu_mask;
+            n.mem_gb -= r.mem_gb;
+            self.free_cores -= r.core_mask.count_ones() as u64;
+            self.free_gpus -= r.gpu_mask.count_ones() as u64;
+        }
+        while self.first_not_full < self.nodes.len() {
+            let n = &self.nodes[self.first_not_full];
+            if n.cores == 0 && n.gpus == 0 {
+                self.first_not_full += 1;
+            } else {
+                break;
+            }
+        }
+        Some(plan)
+    }
+
+    /// Plan without committing (used by backfill look-ahead).
+    fn plan(&self, req: &ResourceRequest) -> Option<Placement> {
+        let mut ranks = Vec::with_capacity(req.ranks as usize);
+        match req.policy {
+            PlacementPolicy::Pack => {
+                let mut remaining = req.ranks;
+                // Skip the fully-busy prefix (pure acceleration).
+                let start = self.first_not_full;
+                for (idx, n) in self.nodes.iter().enumerate().skip(start) {
+                    if remaining == 0 {
+                        break;
+                    }
+                    // Local shadow masks so later ranks of this same request
+                    // see the resources its earlier ranks already carved.
+                    let mut cores = n.cores;
+                    let mut gpus = n.gpus;
+                    let mut mem = n.mem_gb;
+                    while remaining > 0 {
+                        let Some((cm, gm)) = carve(
+                            cores,
+                            gpus,
+                            mem,
+                            req.cores_per_rank,
+                            req.gpus_per_rank,
+                            req.mem_per_rank_gb,
+                        ) else {
+                            break;
+                        };
+                        cores &= !cm;
+                        gpus &= !gm;
+                        mem -= req.mem_per_rank_gb;
+                        ranks.push(RankPlacement {
+                            node: n.id,
+                            node_idx: idx as u32,
+                            core_mask: cm,
+                            gpu_mask: gm,
+                            mem_gb: req.mem_per_rank_gb,
+                        });
+                        remaining -= 1;
+                    }
+                }
+                if remaining > 0 {
+                    return None;
+                }
+            }
+            PlacementPolicy::Spread => {
+                let mut remaining = req.ranks;
+                for (idx, n) in self.nodes.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if let Some((cm, gm)) = carve(
+                        n.cores,
+                        n.gpus,
+                        n.mem_gb,
+                        req.cores_per_rank,
+                        req.gpus_per_rank,
+                        req.mem_per_rank_gb,
+                    ) {
+                        ranks.push(RankPlacement {
+                            node: n.id,
+                            node_idx: idx as u32,
+                            core_mask: cm,
+                            gpu_mask: gm,
+                            mem_gb: req.mem_per_rank_gb,
+                        });
+                        remaining -= 1;
+                    }
+                }
+                if remaining > 0 {
+                    return None;
+                }
+            }
+            PlacementPolicy::NodeExclusive => {
+                let full_cores = mask_of(self.spec.cores);
+                let full_gpus = mask_of(self.spec.gpus) as u16;
+                let mut remaining = req.ranks;
+                for (idx, n) in self.nodes.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if n.cores == full_cores
+                        && n.gpus == full_gpus
+                        && n.mem_gb == self.spec.mem_gb
+                    {
+                        ranks.push(RankPlacement {
+                            node: n.id,
+                            node_idx: idx as u32,
+                            core_mask: full_cores,
+                            gpu_mask: full_gpus,
+                            mem_gb: self.spec.mem_gb,
+                        });
+                        remaining -= 1;
+                    }
+                }
+                if remaining > 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Placement { ranks })
+    }
+
+    /// Whether `req` fits *right now* without committing.
+    pub fn fits_now(&self, req: &ResourceRequest) -> bool {
+        if req.ranks == 0
+            || req.total_cores() > self.free_cores
+            || req.total_gpus() > self.free_gpus
+        {
+            return false;
+        }
+        self.plan(req).is_some()
+    }
+
+    /// Return a placement's resources to the pool. Freeing resources that
+    /// are not currently busy is a bookkeeping bug and panics.
+    pub fn free(&mut self, placement: &Placement) {
+        for r in &placement.ranks {
+            let n = &mut self.nodes[r.node_idx as usize];
+            assert_eq!(
+                n.cores & r.core_mask,
+                0,
+                "freeing cores that were not busy on {}",
+                n.id
+            );
+            assert_eq!(
+                n.gpus & r.gpu_mask,
+                0,
+                "freeing gpus that were not busy on {}",
+                n.id
+            );
+            n.cores |= r.core_mask;
+            n.gpus |= r.gpu_mask;
+            n.mem_gb += r.mem_gb;
+            assert!(
+                n.mem_gb <= self.spec.mem_gb,
+                "freeing more memory than the node has on {}",
+                n.id
+            );
+            self.free_cores += r.core_mask.count_ones() as u64;
+            self.free_gpus += r.gpu_mask.count_ones() as u64;
+            self.first_not_full = self.first_not_full.min(r.node_idx as usize);
+        }
+        debug_assert!(self.free_cores <= self.total_cores());
+        debug_assert!(self.free_gpus <= self.total_gpus());
+    }
+}
+
+/// Lowest `n` bits set.
+fn mask_of(n: u16) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Carve `cores`/`gpus`/`mem` out of a node's free resources, lowest bit
+/// indices first. Returns the occupied masks, or `None` if they don't fit.
+fn carve(
+    free_cores: u64,
+    free_gpus: u16,
+    free_mem: u32,
+    cores: u16,
+    gpus: u16,
+    mem: u32,
+) -> Option<(u64, u16)> {
+    if (free_cores.count_ones() as u16) < cores
+        || (free_gpus.count_ones() as u16) < gpus
+        || free_mem < mem
+    {
+        return None;
+    }
+    Some((
+        lowest_bits(free_cores, cores as u32),
+        lowest_bits(free_gpus as u64, gpus as u32) as u16,
+    ))
+}
+
+/// The lowest `want` set bits of `mask` (caller guarantees enough bits).
+fn lowest_bits(mut mask: u64, want: u32) -> u64 {
+    let mut out = 0u64;
+    for _ in 0..want {
+        let bit = mask & mask.wrapping_neg(); // lowest set bit
+        out |= bit;
+        mask ^= bit;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::frontier;
+
+    fn pool(nodes: u32) -> ResourcePool {
+        ResourcePool::over_range(frontier().node, 0, nodes)
+    }
+
+    #[test]
+    fn single_core_pack_fills_node_in_order() {
+        let mut p = pool(2);
+        let req = ResourceRequest::single(1, 0);
+        for i in 0..56 {
+            let pl = p.try_alloc(&req).expect("fits");
+            assert_eq!(pl.ranks[0].node, NodeId(0), "task {i} should pack node 0");
+        }
+        let pl = p.try_alloc(&req).unwrap();
+        assert_eq!(pl.ranks[0].node, NodeId(1));
+        assert_eq!(p.busy_cores(), 57);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_pool() {
+        let mut p = pool(4);
+        let req = ResourceRequest::mpi(4, 56, 8);
+        let before = (p.free_cores(), p.free_gpus());
+        let pl = p.try_alloc(&req).expect("fits");
+        assert_eq!(p.free_cores(), 0);
+        assert_eq!(p.free_gpus(), 0);
+        p.free(&pl);
+        assert_eq!((p.free_cores(), p.free_gpus()), before);
+    }
+
+    #[test]
+    fn atomic_coscheduling_all_or_nothing() {
+        let mut p = pool(2);
+        // Occupy one core on node 1 so a 2-node exclusive request can't fit.
+        let filler = p
+            .try_alloc(&ResourceRequest {
+                mem_per_rank_gb: 0,
+                ranks: 1,
+                cores_per_rank: 1,
+                gpus_per_rank: 0,
+                policy: PlacementPolicy::Pack,
+            })
+            .unwrap();
+        let req = ResourceRequest {
+            mem_per_rank_gb: 0,
+            ranks: 2,
+            cores_per_rank: 1,
+            gpus_per_rank: 0,
+            policy: PlacementPolicy::NodeExclusive,
+        };
+        let free_before = p.free_cores();
+        assert!(p.try_alloc(&req).is_none(), "partial placement must fail");
+        assert_eq!(p.free_cores(), free_before, "failed alloc must not leak");
+        p.free(&filler);
+        assert!(p.try_alloc(&req).is_some());
+    }
+
+    #[test]
+    fn spread_places_one_rank_per_node() {
+        let mut p = pool(3);
+        let pl = p.try_alloc(&ResourceRequest::mpi(3, 8, 1)).unwrap();
+        let mut nodes: Vec<_> = pl.ranks.iter().map(|r| r.node).collect();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(pl.cores(), 24);
+        assert_eq!(pl.gpus(), 3);
+    }
+
+    #[test]
+    fn spread_needs_enough_nodes() {
+        let mut p = pool(2);
+        assert!(p.try_alloc(&ResourceRequest::mpi(3, 1, 0)).is_none());
+        assert!(!p.can_ever_fit(&ResourceRequest::mpi(3, 1, 0)));
+    }
+
+    #[test]
+    fn gpu_exhaustion_blocks() {
+        let mut p = pool(1);
+        let req = ResourceRequest::single(1, 8);
+        assert!(p.try_alloc(&req).is_some());
+        assert!(p.try_alloc(&req).is_none(), "no gpus left");
+        // but a cpu-only task still fits
+        assert!(p.try_alloc(&ResourceRequest::single(1, 0)).is_some());
+    }
+
+    #[test]
+    fn can_ever_fit_rejects_oversized() {
+        let p = pool(4);
+        assert!(!p.can_ever_fit(&ResourceRequest::single(57, 0)));
+        assert!(!p.can_ever_fit(&ResourceRequest::single(1, 9)));
+        assert!(!p.can_ever_fit(&ResourceRequest::single(0, 0)));
+        assert!(p.can_ever_fit(&ResourceRequest::mpi(4, 56, 8)));
+        // 4 nodes * 56 cores = 224 single-core ranks max
+        assert!(p.can_ever_fit(&ResourceRequest {
+            mem_per_rank_gb: 0,
+            ranks: 224,
+            cores_per_rank: 1,
+            gpus_per_rank: 0,
+            policy: PlacementPolicy::Pack,
+        }));
+        assert!(!p.can_ever_fit(&ResourceRequest {
+            mem_per_rank_gb: 0,
+            ranks: 225,
+            cores_per_rank: 1,
+            gpus_per_rank: 0,
+            policy: PlacementPolicy::Pack,
+        }));
+    }
+
+    #[test]
+    fn fits_now_is_side_effect_free() {
+        let mut p = pool(1);
+        let req = ResourceRequest::single(56, 0);
+        assert!(p.fits_now(&req));
+        assert_eq!(p.free_cores(), 56);
+        p.try_alloc(&req).unwrap();
+        assert!(!p.fits_now(&ResourceRequest::single(1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not busy")]
+    fn double_free_panics() {
+        let mut p = pool(1);
+        let pl = p.try_alloc(&ResourceRequest::single(2, 0)).unwrap();
+        p.free(&pl);
+        p.free(&pl);
+    }
+
+    #[test]
+    fn lowest_bits_picks_low_indices() {
+        assert_eq!(lowest_bits(0b1011, 2), 0b0011);
+        assert_eq!(lowest_bits(0b1100, 1), 0b0100);
+        assert_eq!(lowest_bits(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn memory_constrains_placement() {
+        // Frontier node: 512 GiB. Two 256 GiB ranks fill it; a third must
+        // go to the next node even though cores remain.
+        let mut p = pool(2);
+        let req = ResourceRequest::single(1, 0).with_mem(256);
+        let a = p.try_alloc(&req).unwrap();
+        let b = p.try_alloc(&req).unwrap();
+        assert_eq!(a.ranks[0].node, b.ranks[0].node, "both fit node 0");
+        let c = p.try_alloc(&req).unwrap();
+        assert_ne!(c.ranks[0].node, a.ranks[0].node, "memory spills to node 1");
+        // A 513 GiB rank can never fit.
+        assert!(!p.can_ever_fit(&ResourceRequest::single(1, 0).with_mem(513)));
+        // Freeing returns the memory.
+        let free_before_drop = p.free_cores();
+        p.free(&a);
+        p.free(&b);
+        p.free(&c);
+        assert_eq!(p.free_cores(), free_before_drop + 3);
+        let big = ResourceRequest::single(1, 0).with_mem(512);
+        assert!(p.try_alloc(&big).is_some(), "full-node memory free again");
+    }
+
+    #[test]
+    fn seven_k_core_task_geometry() {
+        // The IMPECCABLE upper bound: 7,168 cores = 128 Frontier nodes.
+        let mut p = pool(128);
+        let req = ResourceRequest::mpi(128, 56, 0);
+        assert_eq!(req.total_cores(), 7_168);
+        let pl = p.try_alloc(&req).unwrap();
+        assert_eq!(pl.node_count(), 128);
+        assert_eq!(p.free_cores(), 0);
+    }
+}

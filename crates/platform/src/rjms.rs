@@ -1,0 +1,97 @@
+//! System-level RJMS policy: the accounting for Frontier's cap on
+//! concurrently active `srun` job steps.
+//!
+//! The ceiling is the single most consequential platform constraint in the
+//! paper: it bounds task concurrency at 112 regardless of allocation size
+//! (Fig. 4), capping utilization at 50 % on 4 nodes and wrecking IMPECCABLE
+//! makespans at scale. Every simulated `srun` invocation — application task
+//! steps *and* the steps that bootstrap Flux/Dragon instances — must hold
+//! one of these slots for its full lifetime.
+
+/// Slot accounting for the site-wide concurrent-`srun` ceiling.
+#[derive(Debug, Clone)]
+pub struct SrunSlots {
+    capacity: usize,
+    in_use: usize,
+    high_water: usize,
+}
+
+impl SrunSlots {
+    /// A fresh slot pool with the given ceiling.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "srun ceiling must be positive");
+        SrunSlots {
+            capacity,
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The ceiling.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// The maximum concurrent occupancy seen so far (for assertions that an
+    /// experiment really did hit the ceiling).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Take one slot; `false` if the ceiling is reached.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.high_water = self.high_water.max(self.in_use);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one slot. Panics on underflow — releasing a slot that was
+    /// never acquired is a launcher bug.
+    pub fn release(&mut self) {
+        assert!(self.in_use > 0, "srun slot release without acquire");
+        self.in_use -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_enforced() {
+        let mut s = SrunSlots::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire(), "third acquire must fail");
+        assert_eq!(s.available(), 0);
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without acquire")]
+    fn release_underflow_panics() {
+        SrunSlots::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        SrunSlots::new(0);
+    }
+}

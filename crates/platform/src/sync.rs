@@ -1,0 +1,149 @@
+//! Small synchronization primitives shared by the real-threaded planes of
+//! the launcher/runtime crates (the std/parking_lot toolbox has no counting
+//! semaphore, and the ceiling semantics here must match `rjms::SrunSlots`).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A counting semaphore with FIFO-ish wakeup, used to enforce concurrency
+/// ceilings (srun slots, worker pools) on real threads.
+#[derive(Debug)]
+pub struct Semaphore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct State {
+    permits: usize,
+    high_water_in_use: usize,
+    capacity: usize,
+}
+
+/// RAII permit; releasing happens on drop.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Semaphore {
+    /// A semaphore with `capacity` permits.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "semaphore capacity must be positive");
+        Semaphore {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    permits: capacity,
+                    high_water_in_use: 0,
+                    capacity,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Block until a permit is available.
+    pub fn acquire(&self) -> Permit {
+        let mut st = self.inner.state.lock();
+        while st.permits == 0 {
+            self.inner.cv.wait(&mut st);
+        }
+        st.permits -= 1;
+        let in_use = st.capacity - st.permits;
+        st.high_water_in_use = st.high_water_in_use.max(in_use);
+        Permit {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Take a permit only if one is free right now.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        let mut st = self.inner.state.lock();
+        if st.permits == 0 {
+            return None;
+        }
+        st.permits -= 1;
+        let in_use = st.capacity - st.permits;
+        st.high_water_in_use = st.high_water_in_use.max(in_use);
+        Some(Permit {
+            inner: self.inner.clone(),
+        })
+    }
+
+    /// Permits currently held.
+    pub fn in_use(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.capacity - st.permits
+    }
+
+    /// Highest concurrent holders seen.
+    pub fn high_water(&self) -> usize {
+        self.inner.state.lock().high_water_in_use
+    }
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.permits += 1;
+        drop(st);
+        self.inner.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn ceiling_holds_under_threads() {
+        let sem = Semaphore::new(3);
+        let live = StdArc::new(AtomicUsize::new(0));
+        let peak = StdArc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..24 {
+            let sem = sem.clone();
+            let live = live.clone();
+            let peak = peak.clone();
+            handles.push(thread::spawn(move || {
+                let _p = sem.acquire();
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(sem.in_use(), 0);
+        assert_eq!(sem.high_water(), 3);
+    }
+
+    #[test]
+    fn try_acquire_respects_capacity() {
+        let sem = Semaphore::new(1);
+        let p = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_none());
+        drop(p);
+        assert!(sem.try_acquire().is_some());
+    }
+}

@@ -1,0 +1,315 @@
+//! The PRRTE distributed virtual machine (DVM), simulated.
+//!
+//! PRRTE occupies a distinct design point (paper §5): a persistent daemon
+//! per node forming a *scheduler-less* launch fabric. Once the DVM is up,
+//! `prun` launches are cheap and flat — but PRRTE "delegates coordination
+//! and scheduling to external systems", so placement and queueing are the
+//! caller's job (RP's agent supplies them, exactly as in the paper's prior
+//! RP+PRRTE integration).
+//!
+//! Consequently this machine is simpler than the Flux instance: a single
+//! HNP (head-node process) launch server and a running set. It refuses
+//! nothing except what physically cannot run concurrently — the caller is
+//! expected to have placed tasks already.
+
+use rp_platform::{Allocation, Calibration};
+use rp_sim::{Dist, RngStream, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// A task handed to the DVM (already placed by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrrteTask {
+    /// Task uid.
+    pub id: u64,
+    /// Payload runtime.
+    pub duration: SimDuration,
+}
+
+/// Timer tokens for [`PrrteDvm::on_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PrrteToken {
+    /// DVM daemons are up.
+    DvmReady,
+    /// The HNP finished launching this task.
+    Launched(u64),
+    /// Task payload finished.
+    Done(u64),
+}
+
+/// Effects requested by the DVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrrteAction {
+    /// Deliver `token` after `after`.
+    Timer {
+        /// Delay until delivery.
+        after: SimDuration,
+        /// Token to deliver.
+        token: PrrteToken,
+    },
+    /// DVM ready for `prun` traffic.
+    Ready,
+    /// Task payload started.
+    Started(u64),
+    /// Task payload finished.
+    Completed(u64),
+}
+
+/// The simulated DVM.
+#[derive(Debug)]
+pub struct PrrteDvm {
+    ready: bool,
+    hnp_busy: bool,
+    queue: VecDeque<PrrteTask>,
+    launch_cost: Dist,
+    boot_cost: Dist,
+    rng: RngStream,
+    in_flight: HashMap<u64, PrrteTask>,
+    completed: u64,
+    alive: bool,
+}
+
+impl PrrteDvm {
+    /// A DVM spanning `alloc`.
+    pub fn new(alloc: &Allocation, cal: &Calibration, seed: u64) -> Self {
+        PrrteDvm {
+            ready: false,
+            hnp_busy: false,
+            queue: VecDeque::new(),
+            launch_cost: cal.prrte_launch_cost(alloc.count),
+            boot_cost: cal.prrte_bootstrap(alloc.count),
+            rng: RngStream::derive(seed, "prrte-dvm"),
+            in_flight: HashMap::new(),
+            completed: 0,
+            alive: true,
+        }
+    }
+
+    /// Whether the DVM survived so far.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Tasks waiting at the HNP.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks launched and still running.
+    pub fn running_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Tasks completed.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the DVM drained.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Start the DVM daemons.
+    pub fn boot(&mut self) -> Vec<PrrteAction> {
+        let cost = self.boot_cost.sample(&mut self.rng);
+        vec![PrrteAction::Timer {
+            after: cost,
+            token: PrrteToken::DvmReady,
+        }]
+    }
+
+    /// Submit a placed task for launch (FIFO through the HNP).
+    pub fn submit(&mut self, task: PrrteTask) -> Vec<PrrteAction> {
+        self.queue.push_back(task);
+        self.pump()
+    }
+
+    /// Best-effort cancel of a queued (unlaunched) task.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Simulate a DVM crash; returns all lost task ids (PRRTE supplies no
+    /// fault tolerance of its own — recovery is RP's job, §5).
+    pub fn kill(&mut self) -> Vec<u64> {
+        self.alive = false;
+        let mut lost: Vec<u64> = Vec::new();
+        lost.extend(self.queue.drain(..).map(|t| t.id));
+        lost.extend(self.in_flight.drain().map(|(id, _)| id));
+        self.hnp_busy = false;
+        lost.sort_unstable();
+        lost
+    }
+
+    /// Deliver a timer token.
+    pub fn on_token(&mut self, _now: SimTime, token: PrrteToken) -> Vec<PrrteAction> {
+        if !self.alive {
+            return Vec::new();
+        }
+        match token {
+            PrrteToken::DvmReady => {
+                self.ready = true;
+                let mut out = vec![PrrteAction::Ready];
+                out.extend(self.pump());
+                out
+            }
+            PrrteToken::Launched(id) => {
+                self.hnp_busy = false;
+                let task = self.in_flight.get(&id).expect("launched unknown task");
+                let mut out = vec![
+                    PrrteAction::Started(id),
+                    PrrteAction::Timer {
+                        after: task.duration,
+                        token: PrrteToken::Done(id),
+                    },
+                ];
+                out.extend(self.pump());
+                out
+            }
+            PrrteToken::Done(id) => {
+                self.in_flight.remove(&id).expect("done unknown task");
+                self.completed += 1;
+                vec![PrrteAction::Completed(id)]
+            }
+        }
+    }
+
+    fn pump(&mut self) -> Vec<PrrteAction> {
+        if !self.ready || self.hnp_busy {
+            return Vec::new();
+        }
+        let Some(task) = self.queue.pop_front() else {
+            return Vec::new();
+        };
+        self.hnp_busy = true;
+        let cost = self.launch_cost.sample(&mut self.rng);
+        self.in_flight.insert(task.id, task);
+        vec![PrrteAction::Timer {
+            after: cost,
+            token: PrrteToken::Launched(task.id),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_platform::frontier;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn alloc(nodes: u32) -> Allocation {
+        Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: nodes,
+        }
+    }
+
+    fn dvm(nodes: u32) -> PrrteDvm {
+        PrrteDvm::new(&alloc(nodes), &Calibration::frontier(), 5)
+    }
+
+    fn drive(mut d: PrrteDvm, tasks: Vec<PrrteTask>) -> (Vec<f64>, PrrteDvm) {
+        let mut heap: BinaryHeap<Reverse<(u64, u64, PrrteToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut starts = Vec::new();
+        let sink = |acts: Vec<PrrteAction>,
+                        now: u64,
+                        heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
+                        seq: &mut u64,
+                        starts: &mut Vec<f64>| {
+            for a in acts {
+                match a {
+                    PrrteAction::Timer { after, token } => {
+                        heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                        *seq += 1;
+                    }
+                    PrrteAction::Started(_) => starts.push(now as f64 / 1e6),
+                    _ => {}
+                }
+            }
+        };
+        let acts = d.boot();
+        sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        for t in tasks {
+            let acts = d.submit(t);
+            sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            let acts = d.on_token(SimTime::from_micros(t), tok);
+            sink(acts, t, &mut heap, &mut seq, &mut starts);
+        }
+        assert!(d.is_idle());
+        (starts, d)
+    }
+
+    fn nulls(n: u64) -> Vec<PrrteTask> {
+        (0..n)
+            .map(|id| PrrteTask {
+                id,
+                duration: SimDuration::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dvm_boots_fast_relative_to_flux() {
+        let (starts, _) = drive(dvm(16), nulls(1));
+        assert!(
+            (3.0..7.0).contains(&starts[0]),
+            "DVM up in a few seconds, got {}",
+            starts[0]
+        );
+    }
+
+    #[test]
+    fn launch_rate_flat_across_scales() {
+        let rate = |nodes| {
+            let (starts, _) = drive(dvm(nodes), nulls(2000));
+            (starts.len() - 1) as f64 / (starts.last().unwrap() - starts.first().unwrap())
+        };
+        let r1 = rate(1);
+        let r64 = rate(64);
+        let r1024 = rate(1024);
+        assert!((110.0..145.0).contains(&r1), "1-node rate {r1}");
+        assert!(r64 > 0.85 * r1, "64-node rate {r64} stays near {r1}");
+        // Mild decline at 1024 from HNP contention, far gentler than srun.
+        assert!(r1024 > 0.3 * r1, "1024-node rate {r1024}");
+        assert!(r1024 < r1);
+    }
+
+    #[test]
+    fn kill_loses_everything_for_rp_to_recover() {
+        let mut d = dvm(4);
+        let _ = d.boot();
+        for t in nulls(5) {
+            let _ = d.submit(t);
+        }
+        let lost = d.kill();
+        assert_eq!(lost.len(), 5);
+        assert!(!d.is_alive());
+        assert!(d.submit(PrrteTask { id: 99, duration: SimDuration::ZERO }).is_empty()
+            || !d.is_alive());
+    }
+
+    #[test]
+    fn cancel_removes_queued_only() {
+        let mut d = dvm(4);
+        let _ = d.boot();
+        let _ = d.submit(PrrteTask {
+            id: 1,
+            duration: SimDuration::from_secs(10),
+        });
+        assert!(d.cancel(1), "still queued pre-ready");
+        assert!(!d.cancel(1), "already gone");
+    }
+}

@@ -1,0 +1,59 @@
+//! Real-threaded PRRTE plane: a DVM-like launcher — no ceiling, no
+//! scheduler, just a small per-launch cost — for comparison against the
+//! ceiling-limited srun launcher in examples and tests.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A threaded scheduler-less launcher.
+#[derive(Debug)]
+pub struct PrrteRt {
+    launch_overhead: Duration,
+}
+
+impl PrrteRt {
+    /// A launcher paying `launch_overhead` per task (the `prun` cost).
+    pub fn new(launch_overhead: Duration) -> Self {
+        PrrteRt { launch_overhead }
+    }
+
+    /// Launch a payload on its own thread after the launch overhead.
+    /// Placement/coordination is the caller's job, as with the real DVM.
+    pub fn launch<F>(&self, payload: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let overhead = self.launch_overhead;
+        thread::spawn(move || {
+            if !overhead.is_zero() {
+                thread::sleep(overhead);
+            }
+            payload();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn launches_without_ceiling() {
+        let rt = PrrteRt::new(Duration::from_micros(200));
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let c = count.clone();
+                rt.launch(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the PRRTE DVM: task conservation under arbitrary
+//! loads, serial HNP launch behavior, and kill/cancel accounting.
+
+use proptest::prelude::*;
+use rp_platform::{frontier, Allocation, Calibration};
+use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
+use rp_sim::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+fn drive(mut dvm: PrrteDvm, tasks: Vec<PrrteTask>) -> (usize, usize, PrrteDvm) {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, PrrteToken)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut started = 0usize;
+    let mut completed = 0usize;
+    let mut sink = |acts: Vec<PrrteAction>,
+                    now: u64,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
+                    seq: &mut u64,
+                    started: &mut usize,
+                    completed: &mut usize| {
+        for a in acts {
+            match a {
+                PrrteAction::Timer { after, token } => {
+                    heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                    *seq += 1;
+                }
+                PrrteAction::Started(_) => *started += 1,
+                PrrteAction::Completed(_) => *completed += 1,
+                PrrteAction::Ready => {}
+            }
+        }
+    };
+    let acts = dvm.boot();
+    sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+    for t in tasks {
+        let acts = dvm.submit(t);
+        sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+    }
+    while let Some(Reverse((t, _, tok))) = heap.pop() {
+        let acts = dvm.on_token(SimTime::from_micros(t), tok);
+        sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+    }
+    (started, completed, dvm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted task starts and completes exactly once; the DVM
+    /// drains fully.
+    #[test]
+    fn dvm_conserves_tasks(
+        durations in prop::collection::vec(0u64..200, 1..80),
+        nodes in 1u32..128,
+    ) {
+        let alloc = Allocation { spec: frontier().node, first: 0, count: nodes };
+        let dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
+        let tasks: Vec<PrrteTask> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| PrrteTask {
+                id: i as u64,
+                duration: SimDuration::from_secs(d),
+            })
+            .collect();
+        let n = tasks.len();
+        let (started, completed, dvm) = drive(dvm, tasks);
+        prop_assert_eq!(started, n);
+        prop_assert_eq!(completed, n);
+        prop_assert!(dvm.is_idle());
+        prop_assert_eq!(dvm.completed_count(), n as u64);
+    }
+
+    /// Cancelling a random prefix before boot removes exactly those tasks.
+    #[test]
+    fn cancel_accounting(
+        n in 1usize..40,
+        cancel_count in 0usize..40,
+    ) {
+        let alloc = Allocation { spec: frontier().node, first: 0, count: 4 };
+        let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
+        let _ = dvm.boot();
+        for i in 0..n as u64 {
+            let _ = dvm.submit(PrrteTask { id: i, duration: SimDuration::ZERO });
+        }
+        let cancel_count = cancel_count.min(n);
+        let mut canceled = 0;
+        for i in 0..cancel_count as u64 {
+            if dvm.cancel(i) {
+                canceled += 1;
+            }
+        }
+        // Pre-boot, nothing launched: every cancel hits the queue.
+        prop_assert_eq!(canceled, cancel_count);
+        prop_assert_eq!(dvm.queued(), n - cancel_count);
+        // A second cancel of the same ids always fails.
+        for i in 0..cancel_count as u64 {
+            prop_assert!(!dvm.cancel(i));
+        }
+    }
+
+    /// Kill returns every in-flight or queued task id exactly once.
+    #[test]
+    fn kill_returns_everything(n in 1usize..50) {
+        let alloc = Allocation { spec: frontier().node, first: 0, count: 4 };
+        let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
+        let _ = dvm.boot();
+        for i in 0..n as u64 {
+            let _ = dvm.submit(PrrteTask { id: i, duration: SimDuration::from_secs(60) });
+        }
+        let mut lost = dvm.kill();
+        lost.sort_unstable();
+        let expect: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(lost, expect);
+        prop_assert!(!dvm.is_alive());
+    }
+}

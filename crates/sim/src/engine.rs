@@ -1,0 +1,368 @@
+//! The actor-based discrete-event engine.
+//!
+//! A simulation is a set of [`Actor`]s exchanging timestamped messages. The
+//! engine pops the earliest message, advances the virtual clock to its
+//! timestamp, and delivers it; the receiving actor may schedule further
+//! messages (to itself or others) at or after the current time. Ties in
+//! timestamp are broken by scheduling order (FIFO), which makes every run a
+//! pure function of the initial messages and the actors' logic — the property
+//! the experiment harness relies on for reproducibility.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies an actor registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The raw index, for diagnostics.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A simulation component. `M` is the simulation-wide message type.
+pub trait Actor<M> {
+    /// Deliver one message. `ctx` exposes the clock and outgoing mail.
+    fn handle(&mut self, msg: M, ctx: &mut Ctx<M>);
+}
+
+/// Delivery context handed to [`Actor::handle`].
+pub struct Ctx<M> {
+    now: SimTime,
+    self_id: ActorId,
+    outbox: Vec<(SimTime, ActorId, M)>,
+}
+
+impl<M> Ctx<M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor handling this message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Send `msg` to `dst` for delivery at the current time (after all
+    /// messages already queued for this instant — FIFO).
+    pub fn send(&mut self, dst: ActorId, msg: M) {
+        self.outbox.push((self.now, dst, msg));
+    }
+
+    /// Send `msg` to `dst` for delivery after `delay`.
+    pub fn send_after(&mut self, delay: SimDuration, dst: ActorId, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Send `msg` to `dst` at absolute time `at` (clamped to now if earlier:
+    /// the past is immutable).
+    pub fn send_at(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        self.outbox.push((at.max(self.now), dst, msg));
+    }
+
+    /// Schedule a message to this actor after `delay` (a timer).
+    pub fn timer(&mut self, delay: SimDuration, msg: M) {
+        let dst = self.self_id;
+        self.send_after(delay, dst, msg);
+    }
+}
+
+struct Envelope<M> {
+    at: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Envelope<M> {}
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Envelope<M> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the earliest
+    /// `(at, seq)` first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event loop: owns the actors, the clock, and the pending-message heap.
+///
+/// ```
+/// use rp_sim::{Actor, Ctx, Engine, SimDuration, SimTime};
+///
+/// struct Countdown(u32);
+/// impl Actor<u32> for Countdown {
+///     fn handle(&mut self, n: u32, ctx: &mut Ctx<u32>) {
+///         if n > 0 {
+///             ctx.timer(SimDuration::from_secs(1), n - 1);
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// let actor = engine.add_actor(Box::new(Countdown(3)));
+/// engine.schedule(SimTime::ZERO, actor, 3);
+/// let end = engine.run_until_idle(100);
+/// assert_eq!(end, SimTime::from_secs(3)); // three 1 s timers elapsed
+/// ```
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    delivered: u64,
+    heap: BinaryHeap<Envelope<M>>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// An empty engine at `t = 0`.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+            heap: BinaryHeap::new(),
+            actors: Vec::new(),
+        }
+    }
+
+    /// Register an actor and return its address.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.actors.push(Some(actor));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Inject a message from outside the simulation (e.g. the experiment
+    /// driver seeding initial work) at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        let at = at.max(self.now);
+        self.heap.push(Envelope {
+            at,
+            seq: self.seq,
+            dst,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    /// Deliver the next message, if any. Returns `false` when the heap is
+    /// empty. Panics if a message addresses an unknown actor — that is a
+    /// wiring bug, not a runtime condition.
+    pub fn step(&mut self) -> bool {
+        let Some(env) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(env.at >= self.now, "event time went backwards");
+        self.now = env.at;
+        self.delivered += 1;
+
+        let slot = env.dst.0;
+        let mut actor = self.actors[slot]
+            .take()
+            .unwrap_or_else(|| panic!("message to actor {slot} during its own handle()"));
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: env.dst,
+            outbox: Vec::new(),
+        };
+        actor.handle(env.msg, &mut ctx);
+        self.actors[slot] = Some(actor);
+
+        for (at, dst, msg) in ctx.outbox {
+            self.heap.push(Envelope {
+                at,
+                seq: self.seq,
+                dst,
+                msg,
+            });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Run until no messages remain. Returns the final virtual time.
+    /// `max_events` bounds runaway simulations (panics when exceeded, with a
+    /// message pointing at the likely livelock).
+    pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
+        let limit = self.delivered + max_events;
+        while self.step() {
+            if self.delivered > limit {
+                panic!(
+                    "simulation exceeded {max_events} events without quiescing \
+                     (t = {}); livelocked actor loop?",
+                    self.now
+                );
+            }
+        }
+        self.now
+    }
+
+    /// Run until the clock would pass `horizon` (messages at exactly
+    /// `horizon` are delivered). Undelivered later messages stay queued.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(head) = self.heap.peek() {
+            if head.at > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(horizon.min(
+            self.heap
+                .peek()
+                .map(|e| e.at)
+                .unwrap_or(horizon),
+        ));
+        self.now
+    }
+
+    /// Borrow a registered actor for post-run inspection.
+    ///
+    /// Returns `None` for out-of-range ids. The experiment harness uses this
+    /// to pull collected metrics out of actors after `run_until_idle`.
+    pub fn actor(&self, id: ActorId) -> Option<&dyn Actor<M>> {
+        self.actors.get(id.0).and_then(|a| a.as_deref())
+    }
+
+    /// Mutably borrow a registered actor (e.g. to extract owned results).
+    pub fn actor_mut(&mut self, id: ActorId) -> Option<&mut (dyn Actor<M> + 'static)> {
+        match self.actors.get_mut(id.0) {
+            Some(Some(a)) => Some(a.as_mut()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Msg {
+        Ping(u32),
+        Tick,
+    }
+
+    /// Records every delivery; replies to Ping(n) with Ping(n-1) after 1 s.
+    struct Echo {
+        log: Vec<(SimTime, Msg)>,
+    }
+
+    impl Actor<Msg> for Echo {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<Msg>) {
+            self.log.push((ctx.now(), msg.clone()));
+            if let Msg::Ping(n) = msg {
+                if n > 0 {
+                    ctx.timer(SimDuration::from_secs(1), Msg::Ping(n - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_advances_clock() {
+        let mut eng = Engine::new();
+        let id = eng.add_actor(Box::new(Echo { log: vec![] }));
+        eng.schedule(SimTime::ZERO, id, Msg::Ping(3));
+        let end = eng.run_until_idle(1_000);
+        assert_eq!(end, SimTime::from_secs(3));
+        assert_eq!(eng.delivered(), 4);
+    }
+
+    #[test]
+    fn fifo_tie_breaking() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Collect {
+            seen: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Actor<u32> for Collect {
+            fn handle(&mut self, msg: u32, _ctx: &mut Ctx<u32>) {
+                self.seen.borrow_mut().push(msg);
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut eng: Engine<u32> = Engine::new();
+        let id = eng.add_actor(Box::new(Collect { seen: seen.clone() }));
+        for i in 0..100 {
+            eng.schedule(SimTime::from_secs(5), id, i);
+        }
+        eng.run_until_idle(1_000);
+        // Deliveries at the same instant arrive in scheduling order.
+        assert_eq!(*seen.borrow(), (0..100).collect::<Vec<u32>>());
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut eng = Engine::new();
+        let id = eng.add_actor(Box::new(Echo { log: vec![] }));
+        eng.schedule(SimTime::ZERO, id, Msg::Ping(10));
+        eng.run_until(SimTime::from_secs(4));
+        assert_eq!(eng.now(), SimTime::from_secs(4));
+        // remaining messages still pending
+        let end = eng.run_until_idle(1_000);
+        assert_eq!(end, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn send_at_clamps_to_now() {
+        struct PastSender;
+        impl Actor<Msg> for PastSender {
+            fn handle(&mut self, msg: Msg, ctx: &mut Ctx<Msg>) {
+                if matches!(msg, Msg::Ping(1)) {
+                    // attempt to send into the past
+                    let me = ctx.self_id();
+                    ctx.send_at(SimTime::ZERO, me, Msg::Tick);
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        let id = eng.add_actor(Box::new(PastSender));
+        eng.schedule(SimTime::from_secs(2), id, Msg::Ping(1));
+        let end = eng.run_until_idle(100);
+        assert_eq!(end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn livelock_guard_fires() {
+        struct Loopy;
+        impl Actor<Msg> for Loopy {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<Msg>) {
+                ctx.timer(SimDuration::ZERO, Msg::Tick);
+            }
+        }
+        let mut eng = Engine::new();
+        let id = eng.add_actor(Box::new(Loopy));
+        eng.schedule(SimTime::ZERO, id, Msg::Tick);
+        eng.run_until_idle(50);
+    }
+}

@@ -1,0 +1,34 @@
+//! `rp-sim` — the discrete-event simulation kernel underlying the
+//! `radical-rs` reproduction of the RADICAL-Pilot + Flux + Dragon
+//! characterization study.
+//!
+//! The original paper measures task runtimes on OLCF Frontier. This crate is
+//! the substitute for that machine: a deterministic, virtual-time event
+//! engine on which the launcher and runtime substrates are built. It
+//! provides:
+//!
+//! - [`time`]: integer-microsecond virtual clock types;
+//! - [`engine`]: an actor-based event loop with FIFO tie-breaking, making
+//!   every simulation a pure function of its inputs;
+//! - [`rng`]: named, seeded random streams so components stay statistically
+//!   decoupled and runs stay reproducible;
+//! - [`dist`]: non-negative latency distributions (the calibration
+//!   vocabulary of `rp-platform`);
+//! - [`record`]: timestamped sample collection for post-run analytics.
+//!
+//! Scheduling and placement *logic* lives in the substrate crates and is
+//! shared with their real-threaded planes; only *time* is virtual here.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod record;
+pub mod rng;
+pub mod time;
+
+pub use dist::Dist;
+pub use engine::{Actor, ActorId, Ctx, Engine};
+pub use record::Recorder;
+pub use rng::RngStream;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,85 @@
+//! Timestamped sample recording.
+//!
+//! Actors append `(time, value)` samples while the simulation runs; the
+//! analytics crate consumes the series afterwards. Kept deliberately dumb —
+//! derivation (rates, integrals, windows) belongs to `rp-analytics`.
+
+use crate::time::SimTime;
+
+/// An append-only series of timestamped samples.
+#[derive(Debug, Clone)]
+pub struct Recorder<T> {
+    samples: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for Recorder<T> {
+    fn default() -> Self {
+        Recorder {
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl<T> Recorder<T> {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one sample. Samples must arrive in non-decreasing time order
+    /// (enforced in debug builds), which holds by construction when recording
+    /// from a single actor.
+    pub fn push(&mut self, at: SimTime, value: T) {
+        debug_assert!(
+            self.samples.last().is_none_or(|(t, _)| *t <= at),
+            "recorder samples out of order"
+        );
+        self.samples.push((at, value));
+    }
+
+    /// All samples, in time order.
+    pub fn samples(&self) -> &[(SimTime, T)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consume the recorder, yielding its samples.
+    pub fn into_samples(self) -> Vec<(SimTime, T)> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut r = Recorder::new();
+        assert!(r.is_empty());
+        r.push(SimTime::from_secs(1), 10u32);
+        r.push(SimTime::from_secs(1), 11);
+        r.push(SimTime::from_secs(2), 12);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.samples()[2], (SimTime::from_secs(2), 12));
+        assert_eq!(r.into_samples().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    #[cfg(debug_assertions)]
+    fn rejects_time_travel() {
+        let mut r = Recorder::new();
+        r.push(SimTime::from_secs(2), ());
+        r.push(SimTime::from_secs(1), ());
+    }
+}

@@ -1,0 +1,104 @@
+//! Real-threaded `srun` plane: the same ceiling semantics as [`crate::sim`],
+//! but launching actual closures on OS threads with a (scaled-down) launch
+//! overhead. Used by the examples and integration tests to demonstrate that
+//! the public API is a working runtime, not only a simulator.
+
+use rp_platform::sync::Semaphore;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A threaded launcher enforcing a concurrent-step ceiling.
+#[derive(Debug)]
+pub struct SrunRt {
+    slots: Semaphore,
+    overhead: Duration,
+}
+
+impl SrunRt {
+    /// `ceiling` concurrent steps; each launch pays `overhead` (wall time)
+    /// while holding its slot, mirroring the simulated step lifecycle.
+    pub fn new(ceiling: usize, overhead: Duration) -> Self {
+        SrunRt {
+            slots: Semaphore::new(ceiling),
+            overhead,
+        }
+    }
+
+    /// Launch a payload. Returns immediately; the payload runs on its own
+    /// thread once a slot frees. The slot is held, as on Frontier, for the
+    /// payload's full lifetime.
+    pub fn launch<F>(&self, payload: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let slots = self.slots.clone();
+        let overhead = self.overhead;
+        thread::spawn(move || {
+            let _permit = slots.acquire();
+            if !overhead.is_zero() {
+                thread::sleep(overhead);
+            }
+            payload();
+        })
+    }
+
+    /// Steps currently holding slots.
+    pub fn in_flight(&self) -> usize {
+        self.slots.in_use()
+    }
+
+    /// Highest concurrency observed.
+    pub fn high_water(&self) -> usize {
+        self.slots.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ceiling_limits_real_concurrency() {
+        let srun = SrunRt::new(4, Duration::from_millis(1));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let live = live.clone();
+                let peak = peak.clone();
+                srun.launch(move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(3));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4, "ceiling violated");
+        assert_eq!(srun.in_flight(), 0);
+        assert_eq!(srun.high_water(), 4);
+    }
+
+    #[test]
+    fn all_payloads_run() {
+        let srun = SrunRt::new(2, Duration::ZERO);
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..20)
+            .map(|_| {
+                let count = count.clone();
+                srun.launch(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+    }
+}

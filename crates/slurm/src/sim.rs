@@ -1,0 +1,323 @@
+//! The simulated `srun` launcher: a reactive, time-agnostic state machine.
+//!
+//! The machine owns the two mechanisms the paper identifies behind srun's
+//! poor scaling:
+//!
+//! 1. the **site concurrency ceiling** — every step (application task or
+//!    runtime-instance bootstrap) holds one of the 112 slots from invocation
+//!    until exit, capping task concurrency irrespective of node count;
+//! 2. **central-controller contention** — per-step overhead grows with the
+//!    allocation's node count (`n^0.66`, fitted to the measured
+//!    152 → 61 t/s drop from 1 to 4 nodes).
+//!
+//! Being reactive (methods return [`SrunAction`]s instead of touching a
+//! clock), the machine is driven by the DES engine in experiments and by
+//! plain unit tests without any engine at all.
+
+use crate::step::{StepId, StepRequest};
+use rp_platform::{Calibration, SrunSlots};
+use rp_sim::{RngStream, SimDuration};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer tokens the driver must deliver back via [`SrunSim::on_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SrunToken {
+    /// Launch overhead elapsed; the payload starts now.
+    Launched(StepId),
+    /// Payload finished; the step exits and its slot frees.
+    Exited(StepId),
+}
+
+/// Effects requested by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrunAction {
+    /// Deliver `token` back after `after`.
+    Timer {
+        /// Delay until delivery.
+        after: SimDuration,
+        /// Token to deliver.
+        token: SrunToken,
+    },
+    /// The step's payload began executing (the paper's "execution start"
+    /// event — throughput counts these).
+    Started(StepId),
+    /// The step completed and released its slot.
+    Completed(StepId),
+}
+
+/// The simulated launcher.
+#[derive(Debug)]
+pub struct SrunSim {
+    alloc_nodes: u32,
+    slots: SrunSlots,
+    cal: Calibration,
+    rng: RngStream,
+    queue: VecDeque<StepRequest>,
+    /// Steps past slot-acquisition, keyed by id: payload duration (None for
+    /// persistent holds, which release only via `release_persistent`).
+    in_flight: HashMap<StepId, Option<SimDuration>>,
+}
+
+impl SrunSim {
+    /// A launcher for an allocation of `alloc_nodes` nodes, with the
+    /// ceiling and cost model taken from `cal`.
+    pub fn new(alloc_nodes: u32, cal: Calibration, seed: u64) -> Self {
+        SrunSim {
+            alloc_nodes,
+            slots: SrunSlots::new(cal.srun_concurrency_ceiling),
+            rng: RngStream::derive(seed, "srun"),
+            cal,
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// Steps waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Slots currently held.
+    pub fn slots_in_use(&self) -> usize {
+        self.slots.in_use()
+    }
+
+    /// Highest concurrent slot occupancy observed.
+    pub fn slots_high_water(&self) -> usize {
+        self.slots.high_water()
+    }
+
+    /// Submit a step; it launches immediately if a slot is free, otherwise
+    /// it queues FIFO.
+    pub fn submit(&mut self, step: StepRequest) -> Vec<SrunAction> {
+        self.queue.push_back(step);
+        self.pump()
+    }
+
+    /// Acquire a slot held indefinitely (used for the `srun`s that carry
+    /// Flux/Dragon instance bootstraps). Queues like any other step; the
+    /// driver gets `Started` when the slot is live.
+    pub fn submit_persistent(&mut self, id: StepId, step_nodes: u32) -> Vec<SrunAction> {
+        self.queue.push_back(StepRequest {
+            id,
+            step_nodes,
+            duration: SimDuration::ZERO,
+        });
+        // Mark as persistent before the pump can see it launch.
+        self.in_flight.insert(id, None);
+        self.pump()
+    }
+
+    /// Release a persistent slot (instance teardown).
+    pub fn release_persistent(&mut self, id: StepId) -> Vec<SrunAction> {
+        match self.in_flight.remove(&id) {
+            Some(None) => {
+                self.slots.release();
+                self.pump()
+            }
+            other => panic!("release_persistent({id:?}) on non-persistent entry {other:?}"),
+        }
+    }
+
+    /// Best-effort cancellation (`scancel` on a pending step): removes the
+    /// step if it is still waiting for a slot. Launched steps run to
+    /// completion.
+    pub fn cancel(&mut self, id: StepId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deliver a timer token.
+    pub fn on_token(&mut self, token: SrunToken) -> Vec<SrunAction> {
+        match token {
+            SrunToken::Launched(id) => match self.in_flight.get(&id) {
+                Some(Some(duration)) => {
+                    let d = *duration;
+                    vec![
+                        SrunAction::Started(id),
+                        SrunAction::Timer {
+                            after: d,
+                            token: SrunToken::Exited(id),
+                        },
+                    ]
+                }
+                Some(None) => vec![SrunAction::Started(id)], // persistent hold
+                None => panic!("Launched token for unknown step {id:?}"),
+            },
+            SrunToken::Exited(id) => {
+                let entry = self
+                    .in_flight
+                    .remove(&id)
+                    .unwrap_or_else(|| panic!("Exited token for unknown step {id:?}"));
+                assert!(entry.is_some(), "persistent step exited via timer");
+                self.slots.release();
+                let mut out = vec![SrunAction::Completed(id)];
+                out.extend(self.pump());
+                out
+            }
+        }
+    }
+
+    /// Launch queued steps while slots are free.
+    fn pump(&mut self) -> Vec<SrunAction> {
+        let mut out = Vec::new();
+        while let Some(head) = self.queue.front() {
+            let _ = head;
+            if !self.slots.try_acquire() {
+                break;
+            }
+            let step = self.queue.pop_front().expect("non-empty queue");
+            let overhead = self
+                .cal
+                .srun_step_cost(self.alloc_nodes, step.step_nodes)
+                .sample(&mut self.rng);
+            // Persistent entries were pre-registered with None.
+            self.in_flight.entry(step.id).or_insert(Some(step.duration));
+            out.push(SrunAction::Timer {
+                after: overhead,
+                token: SrunToken::Launched(step.id),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launcher(nodes: u32) -> SrunSim {
+        SrunSim::new(nodes, Calibration::frontier(), 42)
+    }
+
+    /// Drive the machine to completion by hand, tracking virtual time, and
+    /// return (start_times, completion_times) in seconds.
+    fn drive(mut sim: SrunSim, steps: Vec<StepRequest>) -> (Vec<f64>, Vec<f64>, usize) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, SrunToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut starts = Vec::new();
+        let mut ends = Vec::new();
+        let mut high_water = 0usize;
+
+        let apply = |actions: Vec<SrunAction>,
+                         now: u64,
+                         heap: &mut BinaryHeap<Reverse<(u64, u64, SrunToken)>>,
+                         seq: &mut u64,
+                         starts: &mut Vec<f64>,
+                         ends: &mut Vec<f64>| {
+            for a in actions {
+                match a {
+                    SrunAction::Timer { after, token } => {
+                        heap.push(Reverse((now + after.as_micros(), *seq, token)));
+                        *seq += 1;
+                    }
+                    SrunAction::Started(_) => starts.push(now as f64 / 1e6),
+                    SrunAction::Completed(_) => ends.push(now as f64 / 1e6),
+                }
+            }
+        };
+
+        for s in steps {
+            let acts = sim.submit(s);
+            apply(acts, now, &mut heap, &mut seq, &mut starts, &mut ends);
+        }
+        while let Some(Reverse((t, _, token))) = heap.pop() {
+            now = t;
+            high_water = high_water.max(sim.slots_in_use());
+            let acts = sim.on_token(token);
+            apply(acts, now, &mut heap, &mut seq, &mut starts, &mut ends);
+        }
+        (starts, ends, high_water.max(sim.slots_high_water()))
+    }
+
+    #[test]
+    fn ceiling_caps_concurrency_at_112() {
+        // Fig. 4 setup: 896 single-core 180 s tasks on 4 nodes.
+        let steps: Vec<StepRequest> = (0..896)
+            .map(|i| StepRequest::serial(i, SimDuration::from_secs(180)))
+            .collect();
+        let (starts, ends, high_water) = drive(launcher(4), steps);
+        assert_eq!(starts.len(), 896);
+        assert_eq!(ends.len(), 896);
+        assert_eq!(high_water, 112, "must ride the ceiling exactly");
+        // 896 tasks in waves of 112 => ~8 * (180 + overhead) seconds.
+        let makespan = ends.last().unwrap() - 0.0;
+        assert!(
+            (1440.0..1800.0).contains(&makespan),
+            "makespan {makespan} outside the 8-wave envelope"
+        );
+    }
+
+    #[test]
+    fn null_task_throughput_declines_with_nodes() {
+        let rate = |nodes: u32| {
+            let steps: Vec<StepRequest> = (0..2000)
+                .map(|i| StepRequest::serial(i, SimDuration::ZERO))
+                .collect();
+            let (starts, _, _) = drive(launcher(nodes), steps);
+            let span = starts.last().unwrap() - starts.first().unwrap();
+            (starts.len() - 1) as f64 / span
+        };
+        let r1 = rate(1);
+        let r4 = rate(4);
+        let r16 = rate(16);
+        assert!((130.0..180.0).contains(&r1), "1-node rate {r1}");
+        assert!((50.0..75.0).contains(&r4), "4-node rate {r4}");
+        assert!(r16 < r4 && r4 < r1, "rates must decline: {r1} {r4} {r16}");
+    }
+
+    #[test]
+    fn persistent_slots_reduce_capacity() {
+        let mut sim = launcher(4);
+        for i in 0..112 {
+            let acts = sim.submit_persistent(StepId(10_000 + i), 1);
+            assert!(!acts.is_empty());
+        }
+        assert_eq!(sim.slots_in_use(), 112);
+        // A regular step now queues.
+        let acts = sim.submit(StepRequest::serial(1, SimDuration::ZERO));
+        assert!(acts.is_empty(), "no slot -> no timer yet");
+        assert_eq!(sim.queued(), 1);
+        // Releasing one persistent slot lets it launch.
+        let acts = sim.release_persistent(StepId(10_000));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, SrunAction::Timer { token: SrunToken::Launched(StepId(1)), .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-persistent")]
+    fn release_of_regular_step_panics() {
+        let mut sim = launcher(1);
+        sim.submit(StepRequest::serial(3, SimDuration::ZERO));
+        sim.release_persistent(StepId(3));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut sim = launcher(1);
+        let mut launched = Vec::new();
+        for i in 0..200 {
+            for a in sim.submit(StepRequest::serial(i, SimDuration::ZERO)) {
+                if let SrunAction::Timer {
+                    token: SrunToken::Launched(id),
+                    ..
+                } = a
+                {
+                    launched.push(id.0);
+                }
+            }
+        }
+        // First 112 launch immediately, in submit order.
+        assert_eq!(launched, (0..112).collect::<Vec<u64>>());
+        assert_eq!(sim.queued(), 88);
+    }
+}

@@ -1,0 +1,48 @@
+//! Job-step descriptions: what one `srun` invocation asks for.
+
+use rp_sim::SimDuration;
+
+/// Identifies a job step (one `srun` invocation) to the launcher. The RP
+/// executor uses its task uid here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StepId(pub u64);
+
+/// One `srun` job step: a task payload plus its geometry.
+///
+/// Only the fields that affect launcher behavior are modeled: the node span
+/// (drives step-credential fan-out cost) and the payload duration (drives
+/// slot-holding time under the site concurrency ceiling). Core/GPU binding
+/// is the agent scheduler's job and never reaches the launcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRequest {
+    /// Step identity (the submitting executor's task uid).
+    pub id: StepId,
+    /// Number of nodes the step spans (1 for serial tasks, >1 for MPI).
+    pub step_nodes: u32,
+    /// Payload runtime (zero for null tasks).
+    pub duration: SimDuration,
+}
+
+impl StepRequest {
+    /// A single-node step running for `duration`.
+    pub fn serial(id: u64, duration: SimDuration) -> Self {
+        StepRequest {
+            id: StepId(id),
+            step_nodes: 1,
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_constructor() {
+        let s = StepRequest::serial(9, SimDuration::from_secs(180));
+        assert_eq!(s.id, StepId(9));
+        assert_eq!(s.step_nodes, 1);
+        assert_eq!(s.duration.as_secs_f64(), 180.0);
+    }
+}

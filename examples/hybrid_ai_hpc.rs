@@ -1,0 +1,124 @@
+//! A hybrid AI-HPC workflow on real threads: simulation tasks (closures)
+//! feed an inference stage (registered functions) through a shared-memory
+//! queue — the intermediate "data-coupled" pattern of §2 (REINVENT-style
+//! asynchronous pipelines communicating through in-memory structures).
+//!
+//! Structure:
+//!
+//! ```text
+//!   [ md_sim × N ]  --samples-->  ShmemQueue  --batches-->  [ surrogate × M ]
+//!    (flux-like scheduler)                          (dragon-like pool)
+//! ```
+//!
+//! Run with: `cargo run --release --example hybrid_ai_hpc`
+
+use radical_rs::core::{BackendKind, RtConfig, RtPayload, RtPilot, RtTask};
+use radical_rs::dragonrt::{FunctionRegistry, ShmemQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A "molecular dynamics sample": conformer id + pretend energy.
+fn encode_sample(conformer: u64, energy: u64) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&conformer.to_le_bytes());
+    out[8..].copy_from_slice(&energy.to_le_bytes());
+    out
+}
+
+fn main() {
+    const SIMS: u64 = 24;
+    const SAMPLES_PER_SIM: u64 = 8;
+
+    // The data-coupled channel between the HPC and AI halves.
+    let samples: Arc<ShmemQueue<[u8; 16]>> = ShmemQueue::new(4096);
+
+    // Surrogate model state: an atomic "best energy seen" the inference
+    // functions update — the in-memory feedback loop of the campaign.
+    let best = Arc::new(AtomicU64::new(u64::MAX));
+
+    let registry = FunctionRegistry::new();
+    {
+        let best = best.clone();
+        registry.register("surrogate_score", move |args| {
+            // args = one sample; score it and update the running best.
+            let energy = u64::from_le_bytes(args[8..16].try_into().expect("16-byte sample"));
+            best.fetch_min(energy, Ordering::SeqCst);
+            energy.to_le_bytes().to_vec()
+        });
+    }
+
+    let pilot = RtPilot::start(
+        RtConfig {
+            flux_cores: 8,
+            dragon_workers: 4,
+            ..RtConfig::default()
+        },
+        registry,
+    );
+
+    // Stage 1: MD simulations produce samples into the shmem queue.
+    for sim_id in 0..SIMS {
+        let q = samples.clone();
+        pilot
+            .submit(RtTask {
+                uid: sim_id,
+                cores: 2,
+                payload: RtPayload::Exec(Box::new(move || {
+                    // Deterministic pretend-MD: energies derived from ids.
+                    for s in 0..SAMPLES_PER_SIM {
+                        let conformer = sim_id * SAMPLES_PER_SIM + s;
+                        let energy = (conformer * 2654435761) % 10_000;
+                        let mut sample = encode_sample(conformer, energy);
+                        loop {
+                            match q.push(sample) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    sample = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })),
+            })
+            .expect("submit md sim");
+    }
+
+    // Wait for the producers, then fan the samples out as function tasks.
+    pilot.wait_idle();
+    let produced = samples.pushed();
+    let mut uid = 1_000;
+    while let Some(sample) = samples.pop() {
+        pilot
+            .submit(RtTask {
+                uid,
+                cores: 1,
+                payload: RtPayload::Func {
+                    name: "surrogate_score".into(),
+                    args: sample.to_vec(),
+                },
+            })
+            .expect("submit inference");
+        uid += 1;
+    }
+    let records = pilot.shutdown();
+
+    let n_sims = records
+        .iter()
+        .filter(|r| r.backend == BackendKind::Flux)
+        .count();
+    let n_inference = records
+        .iter()
+        .filter(|r| r.backend == BackendKind::Dragon)
+        .count();
+    println!("hybrid AI-HPC pipeline:");
+    println!("  MD simulations run        : {n_sims}");
+    println!("  samples through shmem     : {produced}");
+    println!("  surrogate inferences run  : {n_inference}");
+    println!("  best energy found         : {}", best.load(Ordering::SeqCst));
+
+    assert_eq!(n_sims as u64, SIMS);
+    assert_eq!(n_inference as u64, SIMS * SAMPLES_PER_SIM);
+    assert!(best.load(Ordering::SeqCst) < 10_000);
+    assert!(records.iter().all(|r| !r.failed));
+}

@@ -1,0 +1,38 @@
+//! `radical-rs` — a Rust reproduction of *"Integrating and Characterizing
+//! HPC Task Runtime Systems for hybrid AI-HPC workloads"* (SC Workshops
+//! '25): RADICAL-Pilot integrated with Flux-like and Dragon-like task
+//! runtimes over a simulated Frontier substrate.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`core`]: the RADICAL-Pilot analog — pilots, tasks, the multi-backend
+//!   Agent, sessions, and the real-threaded pilot ([`core::RtPilot`]);
+//! - [`fluxrt`] / [`dragonrt`] / [`slurm`]: the runtime substrates;
+//! - [`platform`]: the simulated machine, resource algebra, calibration;
+//! - [`sim`]: the discrete-event kernel;
+//! - [`workloads`]: synthetic batches and the IMPECCABLE campaign;
+//! - [`analytics`]: throughput/utilization/overhead metrics and timelines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use radical_rs::core::{PilotConfig, SimSession, TaskDescription};
+//! use radical_rs::sim::SimDuration;
+//!
+//! // A 4-node pilot driving one Flux instance, running 100 dummy tasks.
+//! let tasks: Vec<TaskDescription> = (0..100)
+//!     .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
+//!     .collect();
+//! let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks).run();
+//! assert_eq!(report.done_tasks().count(), 100);
+//! ```
+
+pub use rp_analytics as analytics;
+pub use rp_core as core;
+pub use rp_dragonrt as dragonrt;
+pub use rp_fluxrt as fluxrt;
+pub use rp_platform as platform;
+pub use rp_prrte as prrte;
+pub use rp_sim as sim;
+pub use rp_slurm as slurm;
+pub use rp_workloads as workloads;
