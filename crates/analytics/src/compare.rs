@@ -92,7 +92,12 @@ impl Comparison {
 }
 
 /// Compare two runs of the same workload.
-pub fn compare(base_label: &str, base: &RunReport, other_label: &str, other: &RunReport) -> Comparison {
+pub fn compare(
+    base_label: &str,
+    base: &RunReport,
+    other_label: &str,
+    other: &RunReport,
+) -> Comparison {
     let t = |r: &RunReport| throughput(&r.tasks).map(|t| t.avg_active).unwrap_or(0.0);
     let u = |r: &RunReport| utilization(r).map(|u| u.cores).unwrap_or(0.0);
     Comparison {
@@ -130,8 +135,14 @@ pub fn paired_timeline_csv(
     );
     for i in 0..n {
         let t = (i as u64 + 1) * bucket_s;
-        let (ar, arr) = a.get(i).map(|p| (p.running, p.start_rate)).unwrap_or((0, 0));
-        let (br, brr) = b.get(i).map(|p| (p.running, p.start_rate)).unwrap_or((0, 0));
+        let (ar, arr) = a
+            .get(i)
+            .map(|p| (p.running, p.start_rate))
+            .unwrap_or((0, 0));
+        let (br, brr) = b
+            .get(i)
+            .map(|p| (p.running, p.start_rate))
+            .unwrap_or((0, 0));
         let _ = writeln!(s, "{t},{ar},{br},{arr},{brr}");
     }
     s

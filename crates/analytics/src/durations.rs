@@ -85,9 +85,8 @@ impl DurationBreakdown {
 
     /// Render as an aligned text table.
     pub fn table(&self) -> String {
-        let mut out = String::from(
-            "interval        n       mean(s)      sd(s)      min(s)      max(s)\n",
-        );
+        let mut out =
+            String::from("interval        n       mean(s)      sd(s)      min(s)      max(s)\n");
         for (label, s) in &self.intervals {
             out.push_str(&format!(
                 "{label:<14} {:>4}  {:>10.4} {:>10.4}  {:>10.4}  {:>10.4}\n",
@@ -184,7 +183,11 @@ mod tests {
     fn grouped_breakdown() {
         let mut tasks: Vec<TaskRecord> = (0..6).map(|i| record_with_milestones(i, 0)).collect();
         for (i, t) in tasks.iter_mut().enumerate() {
-            t.label = if i % 2 == 0 { "dock".into() } else { "infer".into() };
+            t.label = if i % 2 == 0 {
+                "dock".into()
+            } else {
+                "infer".into()
+            };
         }
         let by = duration_breakdown_by(&tasks, |t| t.label.clone());
         assert_eq!(by.len(), 2);

@@ -13,6 +13,7 @@ pub mod compare;
 pub mod durations;
 pub mod metrics;
 pub mod plot;
+pub mod profile;
 pub mod report;
 pub mod stats;
 pub mod timeline;
@@ -22,6 +23,9 @@ pub use compare::{compare, paired_timeline_csv, Comparison};
 pub use durations::{duration_breakdown, duration_breakdown_by, DurationBreakdown, Interval};
 pub use metrics::{overheads, throughput, utilization, Overheads, Throughput, Utilization};
 pub use plot::{bar_chart, line_plot, md_table};
+pub use profile::{
+    ovh_breakdown, parse_profile_csv, task_timelines, OvhBreakdown, ProfileRow, TaskTimeline,
+};
 pub use report::{digest, summarize_run, tasks_csv, timeline_csv, RunDigest};
 pub use stats::{percentile, summarize, Summary};
 pub use timeline::{peak_concurrency, timeline, TimelinePoint};

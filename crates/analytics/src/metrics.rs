@@ -61,11 +61,7 @@ pub fn throughput(tasks: &[TaskRecord]) -> Option<Throughput> {
     Some(Throughput {
         started: n,
         avg_active: n as f64 / active as f64,
-        avg_span: if n > 1 {
-            (n - 1) as f64 / span_s
-        } else {
-            0.0
-        },
+        avg_span: if n > 1 { (n - 1) as f64 / span_s } else { 0.0 },
         peak,
     })
 }
@@ -138,9 +134,10 @@ pub fn overheads(report: &RunReport) -> Overheads {
         .iter()
         .map(|i| i.ready.map(|r| r.as_secs_f64()))
         .collect::<Option<Vec<f64>>>()
-        .and_then(|v| v.into_iter().fold(None, |m: Option<f64>, x| {
-            Some(m.map_or(x, |m| m.max(x)))
-        }));
+        .and_then(|v| {
+            v.into_iter()
+                .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+        });
     Overheads {
         instances,
         all_ready_s,
@@ -202,6 +199,7 @@ mod tests {
             pilot: Default::default(),
             agent_ready: None,
             end: SimTime::from_secs(100),
+            profile: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-9, "{u:?}");
@@ -229,6 +227,7 @@ mod tests {
             pilot: Default::default(),
             agent_ready: None,
             end: SimTime::from_secs(720),
+            profile: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-6, "{}", u.cores);

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn line_plot_renders_extremes() {
-        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i as f64).sin().abs())).collect();
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, (i as f64).sin().abs()))
+            .collect();
         let s = line_plot("wave", &pts, 60, 10);
         assert!(s.starts_with("wave\n"));
         assert!(s.contains('•'));

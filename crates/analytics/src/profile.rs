@@ -1,0 +1,270 @@
+//! Profile mining: parse the runtime profiler's CSV back into events,
+//! reconstruct per-task milestone timelines from the agent's state-
+//! transition instants, and derive the per-component overhead (OVH)
+//! breakdown — the RADICAL-Analytics role for profiles, mirroring what
+//! [`crate::trace`] does for task records.
+//!
+//! The input format is the one [`rp_profiler::ProfileData::csv`] emits:
+//! `time,kind,comp,uid,event,detail`, one event per line, time in seconds
+//! at microsecond precision, `kind` ∈ {I,B,E,G}.
+
+use crate::trace::{err, ParseError};
+use rp_profiler::Phase;
+use std::collections::BTreeMap;
+
+/// One parsed profile event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Event time, seconds of virtual time.
+    pub at: f64,
+    /// Event phase (instant, span edge, gauge sample).
+    pub phase: Phase,
+    /// Component track (`agent`, `flux.0`, `srun`, …).
+    pub comp: String,
+    /// Entity uid, when the event concerns one.
+    pub uid: Option<u64>,
+    /// Event name (`DONE`, `SLOT_ACQUIRE`, `BUSY_CORES`, …).
+    pub what: String,
+    /// Numeric payload (gauge value or hook-site detail).
+    pub detail: f64,
+}
+
+/// Parse a profile CSV document back into rows.
+pub fn parse_profile_csv(csv: &str) -> Result<Vec<ProfileRow>, ParseError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
+    if header != "time,kind,comp,uid,event,detail" {
+        return Err(err(1, format!("unrecognized header: {header}")));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(err(
+                lineno,
+                format!("expected 6 fields, got {}", fields.len()),
+            ));
+        }
+        let at: f64 = fields[0]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad time {:?}", fields[0])))?;
+        let phase = fields[1]
+            .chars()
+            .next()
+            .filter(|_| fields[1].len() == 1)
+            .and_then(Phase::from_code)
+            .ok_or_else(|| err(lineno, format!("bad kind {:?}", fields[1])))?;
+        let uid: Option<u64> = if fields[3].is_empty() {
+            None
+        } else {
+            Some(
+                fields[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad uid {:?}", fields[3])))?,
+            )
+        };
+        let detail: f64 = fields[5]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad detail {:?}", fields[5])))?;
+        out.push(ProfileRow {
+            at,
+            phase,
+            comp: fields[2].to_string(),
+            uid,
+            what: fields[4].to_string(),
+            detail,
+        });
+    }
+    Ok(out)
+}
+
+/// Per-task milestone timestamps reconstructed from the agent's
+/// state-transition instants — the profile-side mirror of the timestamp
+/// fields on `rp_core::TaskRecord` (seconds of virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskTimeline {
+    /// Submission (`NEW`).
+    pub submitted: Option<f64>,
+    /// Staging complete (`SCHEDULING` entry; latest, so retries match the
+    /// record's overwrite semantics).
+    pub staged: Option<f64>,
+    /// Scheduler decision complete (`SUBMITTING` entry).
+    pub scheduled: Option<f64>,
+    /// Backend accepted (`SUBMITTED` entry).
+    pub backend_accepted: Option<f64>,
+    /// Payload start (`EXECUTING` entry).
+    pub exec_start: Option<f64>,
+    /// Payload end (first `DONE`).
+    pub exec_end: Option<f64>,
+}
+
+/// Reconstruct per-task timelines from the `agent` track's state instants.
+pub fn task_timelines(rows: &[ProfileRow]) -> BTreeMap<u64, TaskTimeline> {
+    let mut out: BTreeMap<u64, TaskTimeline> = BTreeMap::new();
+    for row in rows {
+        if row.phase != Phase::Instant || row.comp != "agent" {
+            continue;
+        }
+        let Some(uid) = row.uid else {
+            continue; // pilot lifecycle instants carry no uid
+        };
+        let tl = out.entry(uid).or_default();
+        match row.what.as_str() {
+            "NEW" => {
+                tl.submitted.get_or_insert(row.at);
+            }
+            "SCHEDULING" => tl.staged = Some(row.at),
+            "SUBMITTING" => tl.scheduled = Some(row.at),
+            "SUBMITTED" => tl.backend_accepted = Some(row.at),
+            "EXECUTING" => tl.exec_start = Some(row.at),
+            "DONE" => {
+                tl.exec_end.get_or_insert(row.at);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-component overhead breakdown over the tasks of a profile: for every
+/// task with a complete milestone set, the time between submission and
+/// payload start is attributed to the pipeline component that held it, so
+/// the components sum (exactly, up to CSV rounding) to end-to-end time
+/// minus busy time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OvhBreakdown {
+    /// Input staging: submission → staged.
+    pub staging_s: f64,
+    /// Agent scheduler: staged → scheduler decision.
+    pub scheduling_s: f64,
+    /// Executor adapter: decision → backend accepted.
+    pub submitting_s: f64,
+    /// Backend queue + launch: accepted → payload start.
+    pub backend_s: f64,
+    /// Payload execution (busy time, not overhead).
+    pub busy_s: f64,
+    /// End-to-end: submission → payload end.
+    pub end_to_end_s: f64,
+    /// Tasks with a complete milestone set (others are skipped).
+    pub tasks: usize,
+}
+
+impl OvhBreakdown {
+    /// Total overhead across components — everything that is not payload.
+    pub fn overhead_total(&self) -> f64 {
+        self.staging_s + self.scheduling_s + self.submitting_s + self.backend_s
+    }
+
+    /// Named components, for tables and plots.
+    pub fn components(&self) -> [(&'static str, f64); 4] {
+        [
+            ("staging", self.staging_s),
+            ("scheduling", self.scheduling_s),
+            ("submitting", self.submitting_s),
+            ("backend", self.backend_s),
+        ]
+    }
+}
+
+/// Derive the OVH breakdown from reconstructed task timelines.
+pub fn ovh_breakdown(timelines: &BTreeMap<u64, TaskTimeline>) -> OvhBreakdown {
+    let mut b = OvhBreakdown::default();
+    for tl in timelines.values() {
+        let (Some(sub), Some(staged), Some(sched), Some(acc), Some(start), Some(end)) = (
+            tl.submitted,
+            tl.staged,
+            tl.scheduled,
+            tl.backend_accepted,
+            tl.exec_start,
+            tl.exec_end,
+        ) else {
+            continue;
+        };
+        b.staging_s += staged - sub;
+        b.scheduling_s += sched - staged;
+        b.submitting_s += acc - sched;
+        b.backend_s += start - acc;
+        b.busy_s += end - start;
+        b.end_to_end_s += end - sub;
+        b.tasks += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+time,kind,comp,uid,event,detail
+0.000000,I,agent,7,NEW,0.000000
+0.000000,I,agent,7,STAGING_INPUT,0.000000
+0.200000,I,agent,7,SCHEDULING,0.000000
+0.500000,I,agent,7,SUBMITTING,0.000000
+0.700000,I,agent,7,SUBMITTED,0.000000
+1.000000,B,agent.sched,8,schedule,0.000000
+1.100000,E,agent.sched,8,schedule,0.000000
+1.500000,I,agent,7,EXECUTING,0.000000
+2.500000,G,srun,,SRUN_INFLIGHT,3.000000
+4.500000,I,agent,7,DONE,0.000000
+";
+
+    #[test]
+    fn parses_all_phases_and_empty_uid() {
+        let rows = parse_profile_csv(DOC).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[5].phase, Phase::Begin);
+        assert_eq!(rows[6].phase, Phase::End);
+        let gauge = &rows[8];
+        assert_eq!(gauge.phase, Phase::Gauge);
+        assert_eq!(gauge.uid, None);
+        assert_eq!(gauge.comp, "srun");
+        assert!((gauge.detail - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_profile_csv("").is_err());
+        assert!(parse_profile_csv("wrong,header\n").is_err());
+        let e = parse_profile_csv("time,kind,comp,uid,event,detail\n1.0,X,a,,b,0.0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad kind"));
+        let e =
+            parse_profile_csv("time,kind,comp,uid,event,detail\nnope,I,a,,b,0.0\n").unwrap_err();
+        assert!(e.message.contains("bad time"));
+    }
+
+    #[test]
+    fn timelines_and_ovh_sum_to_non_busy_time() {
+        let rows = parse_profile_csv(DOC).unwrap();
+        let tls = task_timelines(&rows);
+        assert_eq!(tls.len(), 1);
+        let tl = tls[&7];
+        assert_eq!(tl.submitted, Some(0.0));
+        assert_eq!(tl.staged, Some(0.2));
+        assert_eq!(tl.scheduled, Some(0.5));
+        assert_eq!(tl.backend_accepted, Some(0.7));
+        assert_eq!(tl.exec_start, Some(1.5));
+        assert_eq!(tl.exec_end, Some(4.5));
+        let b = ovh_breakdown(&tls);
+        assert_eq!(b.tasks, 1);
+        assert!((b.busy_s - 3.0).abs() < 1e-9);
+        assert!((b.end_to_end_s - 4.5).abs() < 1e-9);
+        // Components account exactly for end-to-end minus busy.
+        assert!((b.overhead_total() - (b.end_to_end_s - b.busy_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_tasks_are_skipped() {
+        let doc = "time,kind,comp,uid,event,detail\n\
+                   0.000000,I,agent,1,NEW,0.000000\n\
+                   0.100000,I,agent,1,SCHEDULING,0.000000\n";
+        let tls = task_timelines(&parse_profile_csv(doc).unwrap());
+        assert_eq!(tls.len(), 1);
+        assert_eq!(ovh_breakdown(&tls).tasks, 0);
+    }
+}

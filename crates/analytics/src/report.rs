@@ -68,7 +68,10 @@ pub fn summarize_run(name: &str, report: &RunReport) -> String {
         d.util_gpus * 100.0
     );
     for (kind, part, nodes, o) in &ov.instances {
-        let _ = writeln!(s, "  instance {kind}[{part}] nodes={nodes} bootstrap={o:.1}s");
+        let _ = writeln!(
+            s,
+            "  instance {kind}[{part}] nodes={nodes} bootstrap={o:.1}s"
+        );
     }
     s
 }
@@ -102,8 +105,12 @@ pub fn tasks_csv(report: &RunReport) -> String {
             t.backend.map(|b| b.to_string()).unwrap_or_default(),
             t.partition.map(|p| p.to_string()).unwrap_or_default(),
             t.submitted.as_secs_f64(),
-            t.exec_start.map(|x| format!("{:.6}", x.as_secs_f64())).unwrap_or_default(),
-            t.exec_end.map(|x| format!("{:.6}", x.as_secs_f64())).unwrap_or_default(),
+            t.exec_start
+                .map(|x| format!("{:.6}", x.as_secs_f64()))
+                .unwrap_or_default(),
+            t.exec_end
+                .map(|x| format!("{:.6}", x.as_secs_f64()))
+                .unwrap_or_default(),
             t.state,
             t.retries,
             t.label

@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn concurrency_steps_up_and_down() {
-        let tasks = vec![record(0, 0, 10, 2), record(1, 2, 12, 3), record(2, 20, 30, 1)];
+        let tasks = vec![
+            record(0, 0, 10, 2),
+            record(1, 2, 12, 3),
+            record(2, 20, 30, 1),
+        ];
         let tl = timeline(&tasks, 1);
         // At t in [3,9]: both task 0 and 1 run => 5 cores.
         let p = &tl[5];

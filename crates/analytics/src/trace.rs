@@ -8,25 +8,41 @@
 use rp_core::{BackendKind, TaskId, TaskRecord, TaskState};
 use rp_sim::SimTime;
 
-/// Parse errors, with the offending line number (1-based, header = 1).
+/// Parse errors, with the offending line number (1-based, header = 1) and,
+/// when known, the source document's path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// Source path, when the caller attached one via [`Self::with_path`].
+    pub path: Option<String>,
+}
+
+impl ParseError {
+    /// Attach the source document's path, so Display reads like a compiler
+    /// diagnostic (`results/tasks.csv:17: bad uid`).
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match &self.path {
+            Some(p) => write!(f, "{p}:{}: {}", self.line, self.message),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),
+        path: None,
     }
 }
 
@@ -84,7 +100,10 @@ pub fn parse_tasks_csv(csv: &str) -> Result<Vec<TaskRecord>, ParseError> {
         // workflow stage names); split exactly.
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 12 {
-            return Err(err(lineno, format!("expected 12 fields, got {}", fields.len())));
+            return Err(err(
+                lineno,
+                format!("expected 12 fields, got {}", fields.len()),
+            ));
         }
         let uid: u64 = fields[0]
             .parse()
@@ -94,22 +113,23 @@ pub fn parse_tasks_csv(csv: &str) -> Result<Vec<TaskRecord>, ParseError> {
             "exec" => false,
             other => return Err(err(lineno, format!("bad kind {other:?}"))),
         };
-        let cores: u64 = fields[2]
-            .parse()
-            .map_err(|_| err(lineno, "bad cores"))?;
+        let cores: u64 = fields[2].parse().map_err(|_| err(lineno, "bad cores"))?;
         let gpus: u64 = fields[3].parse().map_err(|_| err(lineno, "bad gpus"))?;
         let backend = parse_backend(fields[4]);
         let partition: Option<u32> = if fields[5].is_empty() {
             None
         } else {
-            Some(fields[5].parse().map_err(|_| err(lineno, "bad partition"))?)
+            Some(
+                fields[5]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad partition"))?,
+            )
         };
-        let submitted =
-            parse_time(fields[6]).ok_or_else(|| err(lineno, "bad submit time"))?;
+        let submitted = parse_time(fields[6]).ok_or_else(|| err(lineno, "bad submit time"))?;
         let exec_start = parse_time(fields[7]);
         let exec_end = parse_time(fields[8]);
-        let state =
-            parse_state(fields[9]).ok_or_else(|| err(lineno, format!("bad state {:?}", fields[9])))?;
+        let state = parse_state(fields[9])
+            .ok_or_else(|| err(lineno, format!("bad state {:?}", fields[9])))?;
         let retries: u32 = fields[10].parse().map_err(|_| err(lineno, "bad retries"))?;
         let label = fields[11].to_string();
 
@@ -174,6 +194,17 @@ mod tests {
         let e = parse_tasks_csv(&bad_row).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("bad uid"));
+    }
+
+    #[test]
+    fn display_includes_source_path() {
+        let e = parse_tasks_csv("wrong,header\n").unwrap_err();
+        assert_eq!(format!("{e}"), format!("line 1: {}", e.message));
+        let e = e.with_path("results/tasks.csv");
+        assert_eq!(
+            format!("{e}"),
+            format!("results/tasks.csv:1: {}", e.message)
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Property tests for the metrics layer: utilization bounds, throughput
-//! consistency, and timeline conservation against a brute-force model.
+//! Randomized invariant tests for the metrics layer: utilization bounds,
+//! throughput consistency, and timeline conservation against a
+//! brute-force model. Cases come from fixed-seed [`RngStream`]s so
+//! failures replay exactly.
 
-use proptest::prelude::*;
 use rp_analytics::{peak_concurrency, throughput, timeline, utilization};
 use rp_core::{RunReport, TaskDescription, TaskRecord, TaskState};
-use rp_sim::{SimDuration, SimTime};
+use rp_sim::{RngStream, SimDuration, SimTime};
 
 fn record(uid: u64, start_s: u64, dur_s: u64, cores: u64) -> TaskRecord {
     let desc = TaskDescription::dummy(uid, SimDuration::from_secs(dur_s));
@@ -19,15 +20,21 @@ fn record(uid: u64, start_s: u64, dur_s: u64, cores: u64) -> TaskRecord {
     rec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Utilization is always in [0, 1] when capacity covers the tasks, and
-    /// busy core-seconds equals the sum over tasks exactly.
-    #[test]
-    fn utilization_bounded_and_exact(
-        spans in prop::collection::vec((0u64..500, 1u64..200, 1u64..8), 1..40),
-    ) {
+/// Utilization is always in [0, 1] when capacity covers the tasks, and
+/// busy core-seconds equals the sum over tasks exactly.
+#[test]
+fn utilization_bounded_and_exact() {
+    let mut rng = RngStream::derive(0x0717, "utilization_bounded_and_exact");
+    for case in 0..128 {
+        let spans: Vec<(u64, u64, u64)> = (0..1 + rng.index(39))
+            .map(|_| {
+                (
+                    rng.next_u64() % 500,
+                    1 + rng.next_u64() % 199,
+                    1 + rng.next_u64() % 7,
+                )
+            })
+            .collect();
         let tasks: Vec<TaskRecord> = spans
             .iter()
             .enumerate()
@@ -45,19 +52,28 @@ proptest! {
             pilot: Default::default(),
             agent_ready: None,
             end: SimTime::from_secs(1_000),
+            profile: None,
         };
         let u = utilization(&report).expect("tasks ran");
-        prop_assert!(u.cores >= 0.0 && u.cores <= 1.0 + 1e-9, "{}", u.cores);
+        assert!(
+            u.cores >= 0.0 && u.cores <= 1.0 + 1e-9,
+            "case {case}: {}",
+            u.cores
+        );
         let expected_busy: f64 = spans.iter().map(|&(_, d, c)| (d * c) as f64).sum();
-        prop_assert!((u.busy_core_s - expected_busy).abs() < 1e-6);
+        assert!((u.busy_core_s - expected_busy).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Peak concurrency from the sweep equals a brute-force per-second
-    /// count, and the timeline's running curve never exceeds it.
-    #[test]
-    fn concurrency_matches_bruteforce(
-        spans in prop::collection::vec((0u64..100, 1u64..50), 1..30),
-    ) {
+/// Peak concurrency from the sweep equals a brute-force per-second
+/// count, and the timeline's running curve never exceeds it.
+#[test]
+fn concurrency_matches_bruteforce() {
+    let mut rng = RngStream::derive(0xB07E, "concurrency_matches_bruteforce");
+    for case in 0..128 {
+        let spans: Vec<(u64, u64)> = (0..1 + rng.index(29))
+            .map(|_| (rng.next_u64() % 100, 1 + rng.next_u64() % 49))
+            .collect();
         let tasks: Vec<TaskRecord> = spans
             .iter()
             .enumerate()
@@ -68,33 +84,38 @@ proptest! {
         let horizon = spans.iter().map(|&(s, d)| s + d).max().unwrap();
         let mut brute_peak = 0u64;
         for t in 0..horizon {
-            let c = spans
-                .iter()
-                .filter(|&&(s, d)| s <= t && t < s + d)
-                .count() as u64;
+            let c = spans.iter().filter(|&&(s, d)| s <= t && t < s + d).count() as u64;
             brute_peak = brute_peak.max(c);
         }
-        prop_assert_eq!(peak, brute_peak);
+        assert_eq!(peak, brute_peak, "case {case}");
         for p in timeline(&tasks, 1) {
-            prop_assert!(p.running <= peak);
+            assert!(p.running <= peak, "case {case}");
         }
     }
+}
 
-    /// Throughput: started == task count; avg_active ≥ avg_span; peak ≥
-    /// ceil(avg_active).
-    #[test]
-    fn throughput_consistency(
-        starts in prop::collection::vec(0u64..10_000, 1..200),
-    ) {
+/// Throughput: started == task count; avg_active ≥ avg_span; peak ≥
+/// ceil(avg_active).
+#[test]
+fn throughput_consistency() {
+    let mut rng = RngStream::derive(0x7499, "throughput_consistency");
+    for case in 0..128 {
+        let starts: Vec<u64> = (0..1 + rng.index(199))
+            .map(|_| rng.next_u64() % 10_000)
+            .collect();
         let tasks: Vec<TaskRecord> = starts
             .iter()
             .enumerate()
             .map(|(i, &s)| record(i as u64, s, 1, 1))
             .collect();
         let t = throughput(&tasks).expect("non-empty");
-        prop_assert_eq!(t.started, tasks.len() as u64);
-        prop_assert!(t.avg_active + 1e-9 >= t.avg_span * 0.99,
-            "active {} vs span {}", t.avg_active, t.avg_span);
-        prop_assert!(t.peak + 1e-9 >= t.avg_active.floor());
+        assert_eq!(t.started, tasks.len() as u64, "case {case}");
+        assert!(
+            t.avg_active + 1e-9 >= t.avg_span * 0.99,
+            "case {case}: active {} vs span {}",
+            t.avg_active,
+            t.avg_span
+        );
+        assert!(t.peak + 1e-9 >= t.avg_active.floor(), "case {case}");
     }
 }

@@ -3,7 +3,7 @@
 //! must deliver events orders of magnitude faster than the modeled
 //! middleware rates so kernel overhead never contaminates the shapes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rp_bench::Micro;
 use rp_sim::{Actor, Ctx, Engine, SimDuration, SimTime};
 
 /// An actor that re-arms a timer `remaining` times.
@@ -20,44 +20,29 @@ impl Actor<u64> for Chain {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    for &events in &[10_000u64, 100_000] {
-        g.throughput(Throughput::Elements(events));
-        g.bench_with_input(
-            BenchmarkId::new("timer_chain", events),
-            &events,
-            |b, &events| {
-                b.iter(|| {
-                    let mut eng = Engine::new();
-                    let id = eng.add_actor(Box::new(Chain { remaining: events }));
-                    eng.schedule(SimTime::ZERO, id, 0);
-                    eng.run_until_idle(events + 10)
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("heap_fanout", events),
-            &events,
-            |b, &events| {
-                // All events pre-scheduled: stresses heap ordering.
-                struct Sink;
-                impl Actor<u64> for Sink {
-                    fn handle(&mut self, _m: u64, _c: &mut Ctx<u64>) {}
-                }
-                b.iter(|| {
-                    let mut eng = Engine::new();
-                    let id = eng.add_actor(Box::new(Sink));
-                    for i in 0..events {
-                        eng.schedule(SimTime::from_micros(i % 1000), id, i);
-                    }
-                    eng.run_until_idle(events + 10)
-                });
-            },
-        );
-    }
-    g.finish();
+/// All events pre-scheduled: stresses heap ordering.
+struct Sink;
+
+impl Actor<u64> for Sink {
+    fn handle(&mut self, _m: u64, _c: &mut Ctx<u64>) {}
 }
 
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);
+fn main() {
+    let m = Micro::new("engine");
+    for &events in &[10_000u64, 100_000] {
+        m.throughput(&format!("timer_chain/{events}"), events, || {
+            let mut eng = Engine::new();
+            let id = eng.add_actor(Box::new(Chain { remaining: events }));
+            eng.schedule(SimTime::ZERO, id, 0);
+            eng.run_until_idle(events + 10)
+        });
+        m.throughput(&format!("heap_fanout/{events}"), events, || {
+            let mut eng = Engine::new();
+            let id = eng.add_actor(Box::new(Sink));
+            for i in 0..events {
+                eng.schedule(SimTime::from_micros(i % 1000), id, i);
+            }
+            eng.run_until_idle(events + 10)
+        });
+    }
+}

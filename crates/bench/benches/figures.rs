@@ -1,118 +1,97 @@
-//! Figure-regression benches: one criterion target per paper artifact,
+//! Figure-regression benches: one timing target per paper artifact,
 //! running a scaled-down instance of each experiment end to end. Wall time
 //! here tracks the cost of regenerating each figure; asserts inside each
 //! closure keep the headline *shape* from regressing silently.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rp_analytics::{digest, peak_concurrency};
+use rp_bench::Micro;
 use rp_core::{PilotConfig, SimSession};
 use rp_sim::SimDuration;
 use rp_workloads::{
     dummy_workload, impeccable_campaign, mixed_workload, null_workload, ImpeccableParams,
 };
+use std::time::Duration;
 
-/// Fig. 4: srun utilization ceiling (4 nodes, 896 dummy tasks).
-fn fig4_srun_ceiling(c: &mut Criterion) {
-    c.bench_function("fig4_srun_ceiling", |b| {
-        b.iter(|| {
-            let report = SimSession::with_tasks(
-                PilotConfig::srun(4).with_srun_oversubscribe(4),
-                dummy_workload(4, SimDuration::from_secs(180)),
-            )
-            .run();
-            assert_eq!(peak_concurrency(&report.tasks), 112);
-            report
-        });
+fn main() {
+    // End-to-end sims take real wall time; keep the sample budget small.
+    let m = Micro::new("figures").budget(Duration::from_millis(500));
+
+    // Fig. 4: srun utilization ceiling (4 nodes, 896 dummy tasks).
+    m.bench("fig4_srun_ceiling", || {
+        let report = SimSession::with_tasks(
+            PilotConfig::srun(4).with_srun_oversubscribe(4),
+            dummy_workload(4, SimDuration::from_secs(180)),
+        )
+        .run();
+        assert_eq!(peak_concurrency(&report.tasks), 112);
+        report
     });
-}
 
-/// Fig. 5(a)/(b): srun vs flux throughput at 4 nodes.
-fn fig5_throughput(c: &mut Criterion) {
-    c.bench_function("fig5ab_srun_vs_flux_4n", |b| {
-        b.iter(|| {
-            let s = SimSession::with_tasks(
-                PilotConfig::srun(4).with_srun_oversubscribe(4),
-                null_workload(4),
-            )
-            .run();
-            let f = SimSession::with_tasks(PilotConfig::flux(4, 1), null_workload(4)).run();
-            assert_eq!(s.failed_count() + f.failed_count(), 0);
-            (s, f)
-        });
+    // Fig. 5(a)/(b): srun vs flux throughput at 4 nodes.
+    m.bench("fig5ab_srun_vs_flux_4n", || {
+        let s = SimSession::with_tasks(
+            PilotConfig::srun(4).with_srun_oversubscribe(4),
+            null_workload(4),
+        )
+        .run();
+        let f = SimSession::with_tasks(PilotConfig::flux(4, 1), null_workload(4)).run();
+        assert_eq!(s.failed_count() + f.failed_count(), 0);
+        (s, f)
     });
-}
 
-/// Fig. 5(c): dragon at 16 nodes.
-fn fig5c_dragon(c: &mut Criterion) {
-    c.bench_function("fig5c_dragon_16n", |b| {
-        b.iter(|| {
-            let report =
-                SimSession::with_tasks(PilotConfig::dragon(16), null_workload(16)).run();
-            assert_eq!(report.failed_count(), 0);
-            report
-        });
+    // Fig. 5(c): dragon at 16 nodes.
+    m.bench("fig5c_dragon_16n", || {
+        let report = SimSession::with_tasks(PilotConfig::dragon(16), null_workload(16)).run();
+        assert_eq!(report.failed_count(), 0);
+        report
     });
-}
 
-/// Fig. 5(d): hybrid flux+dragon at 16 nodes.
-fn fig5d_hybrid(c: &mut Criterion) {
-    c.bench_function("fig5d_hybrid_16n", |b| {
-        b.iter(|| {
-            let report = SimSession::with_tasks(
-                PilotConfig::flux_dragon(16, 8),
-                mixed_workload(16, SimDuration::from_secs(360)),
-            )
-            .run();
-            let d = digest(&report);
-            assert!(d.util_cores > 0.99, "hybrid utilization regressed");
-            report
-        });
+    // Fig. 5(d): hybrid flux+dragon at 16 nodes.
+    m.bench("fig5d_hybrid_16n", || {
+        let report = SimSession::with_tasks(
+            PilotConfig::flux_dragon(16, 8),
+            mixed_workload(16, SimDuration::from_secs(360)),
+        )
+        .run();
+        let d = digest(&report);
+        assert!(d.util_cores > 0.99, "hybrid utilization regressed");
+        report
     });
-}
 
-/// Fig. 6: flux_n partitioning at 16 nodes.
-fn fig6_partitions(c: &mut Criterion) {
-    c.bench_function("fig6_fluxn_16n_4k", |b| {
-        b.iter(|| {
-            let r1 = SimSession::with_tasks(
-                PilotConfig::flux(16, 1),
-                dummy_workload(16, SimDuration::from_secs(180)),
-            )
-            .run();
-            let r4 = SimSession::with_tasks(
-                PilotConfig::flux(16, 4),
-                dummy_workload(16, SimDuration::from_secs(180)),
-            )
-            .run();
-            let (d1, d4) = (digest(&r1), digest(&r4));
-            assert!(
-                d4.thr_avg > d1.thr_avg,
-                "partitioning must help at small scale"
-            );
-            (r1, r4)
-        });
+    // Fig. 6: flux_n partitioning at 16 nodes.
+    m.bench("fig6_fluxn_16n_4k", || {
+        let r1 = SimSession::with_tasks(
+            PilotConfig::flux(16, 1),
+            dummy_workload(16, SimDuration::from_secs(180)),
+        )
+        .run();
+        let r4 = SimSession::with_tasks(
+            PilotConfig::flux(16, 4),
+            dummy_workload(16, SimDuration::from_secs(180)),
+        )
+        .run();
+        let (d1, d4) = (digest(&r1), digest(&r4));
+        assert!(
+            d4.thr_avg > d1.thr_avg,
+            "partitioning must help at small scale"
+        );
+        (r1, r4)
     });
-}
 
-/// Fig. 7: instance bootstrap overheads.
-fn fig7_overheads(c: &mut Criterion) {
-    c.bench_function("fig7_bootstrap", |b| {
-        b.iter(|| {
-            let report = SimSession::with_tasks(
-                PilotConfig::flux_dragon(8, 2),
-                vec![rp_core::TaskDescription::null(0)],
-            )
-            .run();
-            for i in &report.instances {
-                assert!(i.bootstrap_overhead().expect("booted") > 5.0);
-            }
-            report
-        });
+    // Fig. 7: instance bootstrap overheads.
+    m.bench("fig7_bootstrap", || {
+        let report = SimSession::with_tasks(
+            PilotConfig::flux_dragon(8, 2),
+            vec![rp_core::TaskDescription::null(0)],
+        )
+        .run();
+        for i in &report.instances {
+            assert!(i.bootstrap_overhead().expect("booted") > 5.0);
+        }
+        report
     });
-}
 
-/// Fig. 8: miniature IMPECCABLE, srun vs flux.
-fn fig8_impeccable(c: &mut Criterion) {
+    // Fig. 8: miniature IMPECCABLE, srun vs flux.
     let mut params = ImpeccableParams::for_nodes(64);
     params.iterations = 2;
     params.dock_task_nodes = 8;
@@ -121,31 +100,21 @@ fn fig8_impeccable(c: &mut Criterion) {
     params.esmacs_task_nodes = 8;
     params.infer_task_nodes = 4;
     params.ampl_nodes = 8;
-    c.bench_function("fig8_impeccable_mini", |b| {
-        b.iter(|| {
-            let s = SimSession::new(
-                PilotConfig::srun(64),
-                Box::new(impeccable_campaign(params.clone())),
-            )
-            .run();
-            let f = SimSession::new(
-                PilotConfig::flux(64, 1),
-                Box::new(impeccable_campaign(params.clone())),
-            )
-            .run();
-            assert!(
-                f.makespan().expect("ran") < s.makespan().expect("ran"),
-                "flux must beat srun on the campaign"
-            );
-            (s, f)
-        });
+    m.bench("fig8_impeccable_mini", || {
+        let s = SimSession::new(
+            PilotConfig::srun(64),
+            Box::new(impeccable_campaign(params.clone())),
+        )
+        .run();
+        let f = SimSession::new(
+            PilotConfig::flux(64, 1),
+            Box::new(impeccable_campaign(params.clone())),
+        )
+        .run();
+        assert!(
+            f.makespan().expect("ran") < s.makespan().expect("ran"),
+            "flux must beat srun on the campaign"
+        );
+        (s, f)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig4_srun_ceiling, fig5_throughput, fig5c_dragon, fig5d_hybrid,
-              fig6_partitions, fig7_overheads, fig8_impeccable
-}
-criterion_main!(benches);

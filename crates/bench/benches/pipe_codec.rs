@@ -2,26 +2,23 @@
 //! the function path (the real-plane analog of the calibrated
 //! `rp_dragon_adapter` service time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rp_bench::Micro;
 use rp_dragonrt::{decode_call, decode_event, encode_call, encode_event, FunctionCall, PipeEvent};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipe_codec");
+fn main() {
+    let m = Micro::new("pipe_codec");
     for &args_len in &[16usize, 1024, 65_536] {
         let call = FunctionCall {
             id: 42,
             name: "sst_inference".into(),
             args: vec![7u8; args_len],
         };
-        g.throughput(Throughput::Bytes(args_len as u64));
-        g.bench_with_input(
-            BenchmarkId::new("call_roundtrip", args_len),
-            &call,
-            |b, call| {
-                b.iter(|| {
-                    let frame = encode_call(call);
-                    decode_call(&frame).expect("roundtrip")
-                });
+        m.throughput(
+            &format!("call_roundtrip/{args_len}"),
+            args_len as u64,
+            || {
+                let frame = encode_call(&call);
+                decode_call(&frame).expect("roundtrip")
             },
         );
     }
@@ -29,14 +26,8 @@ fn bench_codec(c: &mut Criterion) {
         id: 42,
         result: vec![1u8; 256],
     };
-    g.bench_function("event_roundtrip", |b| {
-        b.iter(|| {
-            let frame = encode_event(&ev);
-            decode_event(&frame).expect("roundtrip")
-        });
+    m.bench("event_roundtrip", || {
+        let frame = encode_event(&ev);
+        decode_event(&frame).expect("roundtrip")
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -3,75 +3,51 @@
 //! single-core fast path (with the full-prefix skip), MPI spread placement,
 //! and the alloc/free churn of a steady-state wave.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rp_bench::Micro;
 use rp_platform::{frontier, ResourcePool, ResourceRequest};
 
-fn bench_pool(c: &mut Criterion) {
-    let mut g = c.benchmark_group("resource_pool");
+fn main() {
+    let m = Micro::new("resource_pool");
 
     for &nodes in &[16u32, 256, 1024] {
         // Fill-and-drain of single-core tasks (the synthetic workloads).
         let capacity = nodes as u64 * 56;
-        g.throughput(Throughput::Elements(capacity));
-        g.bench_with_input(
-            BenchmarkId::new("pack_fill_drain", nodes),
-            &nodes,
-            |b, &nodes| {
-                let req = ResourceRequest::single(1, 0);
-                b.iter(|| {
-                    let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
-                    let mut held = Vec::with_capacity(capacity as usize);
-                    while let Some(p) = pool.try_alloc(&req) {
-                        held.push(p);
-                    }
-                    for p in &held {
-                        pool.free(p);
-                    }
-                    held.len()
-                });
-            },
-        );
+        let req = ResourceRequest::single(1, 0);
+        m.throughput(&format!("pack_fill_drain/{nodes}"), capacity, || {
+            let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
+            let mut held = Vec::with_capacity(capacity as usize);
+            while let Some(p) = pool.try_alloc(&req) {
+                held.push(p);
+            }
+            for p in &held {
+                pool.free(p);
+            }
+            held.len()
+        });
 
         // Steady-state churn on a nearly full pool: free one, alloc one —
         // the regime the 1024-node dummy experiments live in.
-        g.bench_with_input(
-            BenchmarkId::new("churn_nearly_full", nodes),
-            &nodes,
-            |b, &nodes| {
-                let req = ResourceRequest::single(1, 0);
-                let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
-                let mut held = Vec::new();
-                while let Some(p) = pool.try_alloc(&req) {
-                    held.push(p);
-                }
-                let mut i = 0usize;
-                b.iter(|| {
-                    let idx = i % held.len();
-                    pool.free(&held[idx]);
-                    held[idx] = pool.try_alloc(&req).expect("refits");
-                    i += 1;
-                });
-            },
-        );
+        let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
+        let mut held = Vec::new();
+        while let Some(p) = pool.try_alloc(&req) {
+            held.push(p);
+        }
+        let mut i = 0usize;
+        m.bench(&format!("churn_nearly_full/{nodes}"), || {
+            let idx = i % held.len();
+            pool.free(&held[idx]);
+            held[idx] = pool.try_alloc(&req).expect("refits");
+            i += 1;
+        });
     }
 
     // MPI spread placement at campaign shapes.
     for &(nodes, ranks) in &[(256u32, 64u32), (1024, 128)] {
-        g.bench_with_input(
-            BenchmarkId::new("mpi_spread", format!("{ranks}r_{nodes}n")),
-            &(nodes, ranks),
-            |b, &(nodes, ranks)| {
-                let req = ResourceRequest::mpi(ranks, 56, 8);
-                let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
-                b.iter(|| {
-                    let p = pool.try_alloc(&req).expect("fits");
-                    pool.free(&p);
-                });
-            },
-        );
+        let req = ResourceRequest::mpi(ranks, 56, 8);
+        let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
+        m.bench(&format!("mpi_spread/{ranks}r_{nodes}n"), || {
+            let p = pool.try_alloc(&req).expect("fits");
+            pool.free(&p);
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pool);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! `BackendSpec::Flux`). EASY's shadow-time computation is the expensive
 //! path; this quantifies what the richer policy costs per decision.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::Micro;
 use rp_fluxrt::{EasyBackfill, Fcfs, JobId, JobSpec, RunningJob, SchedPolicy};
 use rp_platform::{frontier, ResourcePool, ResourceRequest};
 use rp_sim::{SimDuration, SimTime};
@@ -46,20 +46,16 @@ fn setup(
     (pool, queue, running)
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sched_policy");
+fn main() {
+    let m = Micro::new("sched_policy");
     for &depth in &[8usize, 64, 512] {
         let (pool, queue, running) = setup(64, depth, 48);
-        g.bench_with_input(BenchmarkId::new("fcfs", depth), &depth, |b, _| {
-            b.iter(|| Fcfs.select(SimTime::ZERO, &queue, &pool, &running));
+        m.bench(&format!("fcfs/{depth}"), || {
+            Fcfs.select(SimTime::ZERO, &queue, &pool, &running)
         });
-        g.bench_with_input(BenchmarkId::new("easy_backfill", depth), &depth, |b, _| {
-            let policy = EasyBackfill { depth: 64 };
-            b.iter(|| policy.select(SimTime::ZERO, &queue, &pool, &running));
+        let policy = EasyBackfill { depth: 64 };
+        m.bench(&format!("easy_backfill/{depth}"), || {
+            policy.select(SimTime::ZERO, &queue, &pool, &running)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

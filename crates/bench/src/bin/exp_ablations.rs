@@ -7,8 +7,8 @@
 //! 3. **RP dispatch-cost sweep**: scales the agent/adapter service times to
 //!    locate the task-management ceiling the hybrid experiment hits.
 
-use rp_bench::write_results;
 use rp_analytics::digest;
+use rp_bench::write_results;
 use rp_core::{BackendKind, BackendSpec, PilotConfig, SimSession, TaskDescription};
 use rp_platform::Calibration;
 use rp_sim::SimDuration;
@@ -28,6 +28,8 @@ fn campaign_params() -> ImpeccableParams {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile_dir = rp_bench::profile_dir_from_args(&args);
     let mut text = String::from("Ablation experiments (DESIGN.md §7)\n\n");
 
     // ---- 1. FCFS vs EASY backfill -----------------------------------------
@@ -42,7 +44,9 @@ fn main() {
             // FCFS would hold behind it.
             tasks.push(TaskDescription {
                 uid: rp_core::TaskId(uid),
-                kind: rp_core::TaskKind::Executable { name: "wide_mpi".into() },
+                kind: rp_core::TaskKind::Executable {
+                    name: "wide_mpi".into(),
+                },
                 req: rp_platform::ResourceRequest::mpi(64, 56, 0),
                 duration: SimDuration::from_secs(300),
                 backend_hint: None,
@@ -150,8 +154,7 @@ fn main() {
         let cfg = PilotConfig::flux_dragon(64, 16)
             .with_calibration(cal)
             .with_seed(5);
-        let report =
-            SimSession::with_tasks(cfg, mixed_workload(64, SimDuration::ZERO)).run();
+        let report = SimSession::with_tasks(cfg, mixed_workload(64, SimDuration::ZERO)).run();
         let d = digest(&report);
         let line = format!(
             "   rp-cost x{scale:<4} peak={:>6.0} tasks/s  avg={:>6.1}\n",
@@ -202,6 +205,7 @@ fn main() {
                         .map(TaskDescription::null)
                         .collect()
                 },
+                profile_dir.as_deref(),
             );
             let line = format!(
                 "   {:<22} thr_avg={:>7.1}/s peak={:>6.0}\n",
@@ -243,11 +247,11 @@ fn tree_null_rate(nodes: u32, depth: u32, fanout: u32, n_tasks: u64) -> f64 {
     let mut seq = 0u64;
     let mut starts: Vec<f64> = Vec::new();
     let sink = |acts: Vec<TreeAction>,
-                    now: u64,
-                    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                    tokens: &mut HashMap<u64, TreeToken>,
-                    seq: &mut u64,
-                    starts: &mut Vec<f64>| {
+                now: u64,
+                heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                tokens: &mut HashMap<u64, TreeToken>,
+                seq: &mut u64,
+                starts: &mut Vec<f64>| {
         for a in acts {
             match a {
                 TreeAction::Timer { after, token } => {

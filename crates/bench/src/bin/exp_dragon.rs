@@ -6,7 +6,7 @@
 //! scale (343 t/s @4 nodes, 380 @16) and declining at 64 nodes (204 t/s;
 //! peak 622 → 272) — the centralized single-dispatcher limit.
 
-use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -14,6 +14,7 @@ use rp_workloads::{dummy_workload, null_workload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile_dir = profile_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -25,6 +26,7 @@ fn main() {
             reps,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || null_workload(nodes),
+            profile_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -36,6 +38,7 @@ fn main() {
             reps,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(180)),
+            profile_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

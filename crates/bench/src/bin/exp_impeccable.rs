@@ -19,6 +19,7 @@ fn run_one(
     nodes: u32,
     seed: u64,
     text: &mut String,
+    profile_dir: Option<&std::path::Path>,
 ) -> (rp_analytics::RunDigest, rp_core::RunReport) {
     let cfg = match backend {
         "srun" => PilotConfig::srun(nodes),
@@ -26,7 +27,16 @@ fn run_one(
     }
     .with_seed(seed);
     let params = ImpeccableParams::for_nodes(nodes);
-    let report = SimSession::new(cfg, Box::new(impeccable_campaign(params))).run();
+    let mut session = SimSession::new(cfg, Box::new(impeccable_campaign(params)));
+    if profile_dir.is_some() {
+        // Campaign makespans run to tens of thousands of virtual seconds;
+        // sample gauges coarsely to keep the profile ring within bounds.
+        session = session.with_profiling(rp_sim::SimDuration::from_secs(60));
+    }
+    let report = session.run();
+    if let (Some(dir), Some(p)) = (profile_dir, &report.profile) {
+        rp_bench::write_profile(dir, &format!("impeccable {backend} n={nodes}"), p);
+    }
     let d = digest(&report);
     let line = format!(
         "impeccable_{backend} n={nodes}: tasks={} makespan={:.0}s util_cpu={:.0}% util_gpu={:.0}% thr_avg={:.1}/s peak_conc={}\n",
@@ -71,13 +81,14 @@ fn run_one(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile_dir = rp_bench::profile_dir_from_args(&args);
     let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
 
     let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
     let mut digests = Vec::new();
     for &nodes in scales {
-        let (ds, rs) = run_one("srun", nodes, 31, &mut text);
-        let (df, rf) = run_one("flux", nodes, 31, &mut text);
+        let (ds, rs) = run_one("srun", nodes, 31, &mut text, profile_dir.as_deref());
+        let (df, rf) = run_one("flux", nodes, 31, &mut text, profile_dir.as_deref());
         let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
         let line = format!(
             "  => flux reduces makespan by {reduction:.0}% at {nodes} nodes (paper: 30-60%)\n"
@@ -87,7 +98,7 @@ fn main() {
         // Side-by-side comparison table (the §4.2 reading).
         let cmp = compare("srun", &rs, "flux", &rf).table();
         println!("{cmp}");
-        let _ = write!(text, "{cmp}\n");
+        let _ = writeln!(text, "{cmp}");
         let _ = std::fs::write(
             format!("results/impeccable_paired_{nodes}.csv"),
             paired_timeline_csv("srun", &rs, "flux", &rf, 60),

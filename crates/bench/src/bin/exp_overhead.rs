@@ -5,12 +5,15 @@
 //! roughly independent of instance size; concurrent launches make total
 //! overhead non-additive in the instance count.
 
-use rp_bench::write_results;
-use rp_core::{PilotConfig, SimSession, TaskDescription};
 use rp_analytics::overheads;
+use rp_bench::{profile_dir_from_args, write_profile, write_results};
+use rp_core::{PilotConfig, SimSession, TaskDescription};
+use rp_sim::SimDuration;
 use std::fmt::Write as _;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile_dir = profile_dir_from_args(&args);
     let mut text = String::from("Experiment overheads — instance bootstrap, Fig. 7\n\n");
 
     // Per-size overheads: one instance over n nodes, trivial workload.
@@ -20,9 +23,17 @@ fn main() {
                 "flux" => PilotConfig::flux(nodes, 1),
                 _ => PilotConfig::dragon(nodes),
             };
-            let report =
-                SimSession::with_tasks(cfg.with_seed(17 + nodes as u64), vec![TaskDescription::null(0)])
-                    .run();
+            let mut session = SimSession::with_tasks(
+                cfg.with_seed(17 + nodes as u64),
+                vec![TaskDescription::null(0)],
+            );
+            if profile_dir.is_some() {
+                session = session.with_profiling(SimDuration::from_secs(1));
+            }
+            let report = session.run();
+            if let (Some(dir), Some(p)) = (&profile_dir, &report.profile) {
+                write_profile(dir, &format!("overhead {kind} n={nodes}"), p);
+            }
             let ov = overheads(&report);
             for (k, p, n, o) in &ov.instances {
                 let line = format!("{k}[{p}] nodes={n:<4} bootstrap={o:.1}s\n");

@@ -7,7 +7,7 @@
 //! count (61 t/s at 4 nodes).
 
 use rp_analytics::{line_plot, timeline};
-use rp_bench::{repeat_static, write_results, ExpRow};
+use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -15,18 +15,25 @@ use rp_workloads::{dummy_workload, null_workload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile_dir = profile_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
-    let mut text = String::from("Experiment srun — Fig. 4 (utilization) and Fig. 5(a) (throughput)\n\n");
+    let mut text =
+        String::from("Experiment srun — Fig. 4 (utilization) and Fig. 5(a) (throughput)\n\n");
 
     // ---- Fig. 5(a): null-task launch throughput vs node count ----------
     for &nodes in &[1u32, 2, 4, 8, 16] {
         let (row, _) = repeat_static(
             &format!("srun null n={nodes}"),
             reps,
-            move |seed| PilotConfig::srun(nodes).with_srun_oversubscribe(4).with_seed(seed),
+            move |seed| {
+                PilotConfig::srun(nodes)
+                    .with_srun_oversubscribe(4)
+                    .with_seed(seed)
+            },
             move || null_workload(nodes),
+            profile_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -38,8 +45,13 @@ fn main() {
     let (row, reports) = repeat_static(
         "srun dummy180 n=4 (Fig.4)",
         reps,
-        |seed| PilotConfig::srun(4).with_srun_oversubscribe(4).with_seed(seed),
+        |seed| {
+            PilotConfig::srun(4)
+                .with_srun_oversubscribe(4)
+                .with_seed(seed)
+        },
         || dummy_workload(4, SimDuration::from_secs(180)),
+        profile_dir.as_deref(),
     );
     println!("{}", row.table_line());
     text.push_str(&row.table_line());

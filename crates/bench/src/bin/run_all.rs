@@ -3,7 +3,9 @@
 //! under `results/`; EXPERIMENTS.md records the paper-vs-measured
 //! comparison in detail.
 //!
-//! `--quick` trims node counts and repetitions for a fast smoke pass.
+//! `--quick` trims node counts and repetitions for a fast smoke pass;
+//! `--profile-dir <dir>` is forwarded so every experiment also writes
+//! runtime profiles (CSV + Chrome trace) for one rep per configuration.
 
 use rp_analytics::md_table;
 use std::process::Command;
@@ -11,6 +13,7 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile_dir = rp_bench::profile_dir_from_args(&args);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
     let matrix = md_table(
@@ -25,13 +28,76 @@ fn main() {
             "#cores/task",
         ],
         &[
-            row(&["srun", "null, dummy(180s)", "srun", "1-16", "1", "exec", "n*cpn*4", "1"]),
-            row(&["flux_1", "null, dummy(360s)", "flux", "1,4,16,64,256,1024", "1", "exec", "n*cpn*4", "1"]),
-            row(&["flux_n", "dummy(180s)", "flux", "4,16,64,256,1024", "1,4,16,64", "exec", "n*cpn*4", "1"]),
-            row(&["dragon", "null, dummy(180s)", "dragon", "1,4,16,64", "1", "exec", "n*cpn*4", "1"]),
-            row(&["flux+dragon", "null, dummy(360s)", "flux & dragon", "2-64", "1-32 each", "exec & funcs", "n*cpn*4", "1"]),
-            row(&["impeccable_srun", "impeccable", "srun", "256,1024", "1", "exec", "~550,~1800", "56-7168"]),
-            row(&["impeccable_flux", "impeccable", "flux", "256,1024", "1", "exec", "~550,~1800", "56-7168"]),
+            row(&[
+                "srun",
+                "null, dummy(180s)",
+                "srun",
+                "1-16",
+                "1",
+                "exec",
+                "n*cpn*4",
+                "1",
+            ]),
+            row(&[
+                "flux_1",
+                "null, dummy(360s)",
+                "flux",
+                "1,4,16,64,256,1024",
+                "1",
+                "exec",
+                "n*cpn*4",
+                "1",
+            ]),
+            row(&[
+                "flux_n",
+                "dummy(180s)",
+                "flux",
+                "4,16,64,256,1024",
+                "1,4,16,64",
+                "exec",
+                "n*cpn*4",
+                "1",
+            ]),
+            row(&[
+                "dragon",
+                "null, dummy(180s)",
+                "dragon",
+                "1,4,16,64",
+                "1",
+                "exec",
+                "n*cpn*4",
+                "1",
+            ]),
+            row(&[
+                "flux+dragon",
+                "null, dummy(360s)",
+                "flux & dragon",
+                "2-64",
+                "1-32 each",
+                "exec & funcs",
+                "n*cpn*4",
+                "1",
+            ]),
+            row(&[
+                "impeccable_srun",
+                "impeccable",
+                "srun",
+                "256,1024",
+                "1",
+                "exec",
+                "~550,~1800",
+                "56-7168",
+            ]),
+            row(&[
+                "impeccable_flux",
+                "impeccable",
+                "flux",
+                "256,1024",
+                "1",
+                "exec",
+                "~550,~1800",
+                "56-7168",
+            ]),
         ],
     );
     println!("Table 1 — experiment matrix\n\n{matrix}");
@@ -54,6 +120,9 @@ fn main() {
         let mut cmd = Command::new(dir.join(exp));
         if quick {
             cmd.arg("--quick");
+        }
+        if let Some(dir) = &profile_dir {
+            cmd.arg("--profile-dir").arg(dir);
         }
         let status = cmd.status().unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
         assert!(status.success(), "{exp} failed");

@@ -3,9 +3,11 @@
 
 use rp_analytics::{digest, RunDigest};
 use rp_core::{PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
+use rp_profiler::ProfileData;
+use rp_sim::SimDuration;
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One aggregated experiment row (a cell of a paper figure/table).
 #[derive(Debug, Clone)]
@@ -102,21 +104,75 @@ impl ExpRow {
     }
 }
 
+/// Gauge sampling period used when an experiment rep runs profiled.
+const PROFILE_PERIOD: SimDuration = SimDuration::from_secs(1);
+
+/// Parse `--profile-dir <dir>` (or `--profile-dir=<dir>`) from argv. When
+/// present, the repetition helpers profile rep 0 of every configuration and
+/// write the profiles there, next to the `results/*.csv` outputs.
+pub fn profile_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--profile-dir" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(dir) = a.strip_prefix("--profile-dir=") {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    None
+}
+
+/// File-name-safe form of an experiment label.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Write one run's profile under `dir`: the RP-style CSV
+/// (`<label>.prof.csv`) and a Chrome `trace_event` JSON
+/// (`<label>.trace.json`, viewable in Perfetto / `chrome://tracing`).
+pub fn write_profile(dir: &Path, label: &str, data: &ProfileData) {
+    let _ = fs::create_dir_all(dir);
+    let base = sanitize(label);
+    let _ = fs::write(dir.join(format!("{base}.prof.csv")), data.csv());
+    let _ = fs::write(dir.join(format!("{base}.trace.json")), data.chrome_trace());
+}
+
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
 /// each. `mk_workload` builds a fresh workload per rep (workload sources
-/// are consumed by the run); `mk_cfg` gets the rep's seed.
+/// are consumed by the run); `mk_cfg` gets the rep's seed. With a
+/// `profile_dir`, rep 0 runs with profiling enabled and its profile CSV +
+/// Chrome trace land in that directory under the experiment label.
 pub fn repeat(
     label: &str,
     reps: usize,
     mk_cfg: impl Fn(u64) -> PilotConfig,
     mk_workload: impl Fn() -> Box<dyn WorkloadSource>,
+    profile_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     let mut digests = Vec::with_capacity(reps);
     let mut reports = Vec::with_capacity(reps);
     for rep in 0..reps {
         let seed = 1000 + 7919 * rep as u64;
         let cfg = mk_cfg(seed);
-        let report = SimSession::new(cfg, mk_workload()).run();
+        let mut session = SimSession::new(cfg, mk_workload());
+        let profile_this = profile_dir.filter(|_| rep == 0);
+        if profile_this.is_some() {
+            session = session.with_profiling(PROFILE_PERIOD);
+        }
+        let report = session.run();
+        if let (Some(dir), Some(data)) = (profile_this, &report.profile) {
+            write_profile(dir, label, data);
+        }
         digests.push(digest(&report));
         reports.push(report);
     }
@@ -129,10 +185,15 @@ pub fn repeat_static(
     reps: usize,
     mk_cfg: impl Fn(u64) -> PilotConfig,
     mk_tasks: impl Fn() -> Vec<TaskDescription>,
+    profile_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
-    repeat(label, reps, mk_cfg, || {
-        Box::new(rp_core::StaticWorkload::new(mk_tasks()))
-    })
+    repeat(
+        label,
+        reps,
+        mk_cfg,
+        || Box::new(rp_core::StaticWorkload::new(mk_tasks())),
+        profile_dir,
+    )
 }
 
 /// Write experiment output under `results/` (text + csv side by side).
@@ -165,6 +226,7 @@ mod tests {
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
+            None,
         );
         assert_eq!(row.reps, 2);
         assert_eq!(reports.len(), 2);

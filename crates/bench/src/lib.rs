@@ -8,5 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod microbench;
 
-pub use harness::{repeat, repeat_static, write_results, ExpRow};
+pub use harness::{
+    profile_dir_from_args, repeat, repeat_static, write_profile, write_results, ExpRow,
+};
+pub use microbench::Micro;

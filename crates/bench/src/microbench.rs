@@ -1,0 +1,133 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! The `benches/*.rs` targets are `harness = false` binaries built on this
+//! module: each benchmark closure is warmed up once, then sampled
+//! repeatedly until a per-benchmark time budget is spent (with floor and
+//! ceiling sample counts), and the min/median per-iteration times are
+//! printed. Medians make the numbers robust to scheduler noise without
+//! needing any statistics machinery; `std::hint::black_box` keeps the
+//! optimizer from deleting the measured work.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Fewest samples we accept regardless of budget (median needs a few).
+const MIN_SAMPLES: usize = 5;
+/// Most samples per benchmark, so fast closures don't spin forever.
+const MAX_SAMPLES: usize = 10_000;
+
+/// A named group of micro-benchmarks sharing a time budget per entry.
+pub struct Micro {
+    group: String,
+    budget: Duration,
+}
+
+impl Micro {
+    /// New group with the default 200 ms per-benchmark budget.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.into(),
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Override the per-benchmark sampling budget (e.g. for end-to-end
+    /// figure regressions that take seconds per iteration).
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Time `f`, print a report line, and return the median per-iteration
+    /// duration.
+    pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) -> Duration {
+        self.run(name, None, f)
+    }
+
+    /// Like [`bench`](Self::bench), annotating the report with an
+    /// elements-per-second rate computed from the median.
+    pub fn throughput<R>(&self, name: &str, elements: u64, f: impl FnMut() -> R) -> Duration {
+        self.run(name, Some(elements), f)
+    }
+
+    fn run<R>(&self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> Duration {
+        black_box(f()); // warmup
+        let mut samples = Vec::new();
+        let started = Instant::now();
+        while (started.elapsed() < self.budget || samples.len() < MIN_SAMPLES)
+            && samples.len() < MAX_SAMPLES
+        {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let rate = elements
+            .map(|n| format!("  {:>12}/s", si(n as f64 / med.as_secs_f64())))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:<28} min {:>12}  med {:>12}{}  ({} samples)",
+            self.group,
+            name,
+            fmt(min),
+            fmt(med),
+            rate,
+            samples.len()
+        );
+        med
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_positive_median() {
+        let m = Micro::new("t").budget(Duration::from_millis(5));
+        let med = m.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(med > Duration::ZERO);
+    }
+
+    #[test]
+    fn formatting_covers_the_ranges() {
+        assert!(fmt(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt(Duration::from_micros(123)).ends_with("us"));
+        assert!(fmt(Duration::from_millis(123)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(12)).ends_with('s'));
+        assert_eq!(si(2.5e6), "2.50 M");
+    }
+}

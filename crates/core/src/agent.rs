@@ -20,8 +20,8 @@ use crate::backend::{BackendKind, BackendSpec};
 use crate::config::PilotConfig;
 use crate::pilot::PilotState;
 use crate::report::{InstanceReport, RunState};
-use crate::service::{ServiceDescription, ServiceRecord};
 use crate::router::{Router, RoutingPolicy};
+use crate::service::{ServiceDescription, ServiceRecord};
 use crate::task::{TaskDescription, TaskId, TaskRecord, TaskState};
 use crate::workload::{ResourceView, WorkloadSource};
 use rp_dragonrt::{DragonAction, DragonSim, DragonTask, DragonToken};
@@ -30,10 +30,11 @@ use rp_fluxrt::{
     JobSpec, SchedPolicy,
 };
 use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
+use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
-use rp_sim::{Actor, Ctx, Dist, RngStream};
+use rp_sim::{Actor, Ctx, Dist, RngStream, SimTime};
 use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -140,6 +141,78 @@ struct SrunBackend {
     holds: HashMap<TaskId, (u64, u64)>,
 }
 
+/// Interned profiler symbols for the agent's hook sites: task-state and
+/// pilot-lifecycle instants on the `agent` track, scheduler/adapter spans on
+/// their own tracks (those servers are serial, so B/E pairs never overlap
+/// within a track), and the gauge names the engine sampler emits.
+struct AgentProfSyms {
+    comp: Sym,
+    /// Task-state instants, indexed by [`state_index`].
+    states: [Sym; 9],
+    pilot_launching: Sym,
+    pilot_bootstrapping: Sym,
+    pilot_active: Sym,
+    /// Global scheduler server track + span name.
+    t_sched: Sym,
+    schedule: Sym,
+    /// Executor-adapter track per backend kind + span name.
+    t_adapter: BTreeMap<BackendKind, Sym>,
+    submit: Sym,
+    /// Gauge tracks and names.
+    srun_track: Sym,
+    queue_depth: Sym,
+    busy_cores: Sym,
+    busy_gpus: Sym,
+    srun_inflight: Sym,
+    srun_ceiling: Sym,
+    /// Gauge track per backend partition, in [`AgentGauges::parts`] order
+    /// (flux, then dragon, then prrte).
+    part_tracks: Vec<Sym>,
+}
+
+/// Dense index of a task state into [`AgentProfSyms::states`].
+fn state_index(s: TaskState) -> usize {
+    match s {
+        TaskState::New => 0,
+        TaskState::StagingInput => 1,
+        TaskState::Scheduling => 2,
+        TaskState::Submitting => 3,
+        TaskState::Submitted => 4,
+        TaskState::Executing => 5,
+        TaskState::Done => 6,
+        TaskState::Failed => 7,
+        TaskState::Canceled => 8,
+    }
+}
+
+/// RP-profile event name for a task state.
+fn state_event_name(s: TaskState) -> &'static str {
+    match s {
+        TaskState::New => "NEW",
+        TaskState::StagingInput => "STAGING_INPUT",
+        TaskState::Scheduling => "SCHEDULING",
+        TaskState::Submitting => "SUBMITTING",
+        TaskState::Submitted => "SUBMITTED",
+        TaskState::Executing => "EXECUTING",
+        TaskState::Done => "DONE",
+        TaskState::Failed => "FAILED",
+        TaskState::Canceled => "CANCELED",
+    }
+}
+
+/// Live utilization counters shared with the engine's periodic sampler: the
+/// agent refreshes them after every message it handles, the sampler turns
+/// them into gauge events on the profile timeline (so samples always reflect
+/// the state the simulation actually held at the sample instant).
+#[derive(Debug, Default)]
+pub struct AgentGauges {
+    queue_depth: Cell<f64>,
+    srun_inflight: Cell<f64>,
+    /// `(busy cores, busy gpus)` per backend partition, flux → dragon →
+    /// prrte, matching [`AgentProfSyms::part_tracks`].
+    parts: RefCell<Vec<(f64, f64)>>,
+}
+
 /// The simulated agent actor.
 pub struct SimAgent {
     cfg: PilotConfig,
@@ -196,6 +269,10 @@ pub struct SimAgent {
     workload: Box<dyn WorkloadSource>,
     rr: HashMap<BackendKind, usize>,
     total_partitions: u32,
+    /// Runtime profiler (disabled unless [`Self::attach_profiler`] ran).
+    prof: Profiler,
+    psyms: Option<AgentProfSyms>,
+    gauges: Rc<AgentGauges>,
 }
 
 impl SimAgent {
@@ -411,6 +488,129 @@ impl SimAgent {
             rng,
             total_partitions,
             cfg,
+            prof: Profiler::disabled(),
+            psyms: None,
+            gauges: Rc::new(AgentGauges::default()),
+        }
+    }
+
+    /// Attach a profiler: task-state and pilot-lifecycle instants plus
+    /// scheduler/adapter spans flow from the agent itself, and every backend
+    /// sub-machine is wired onto its own component track (`srun`, `flux.N`,
+    /// `dragon.N`, `prrte.N`). All names are interned here, once.
+    pub fn attach_profiler(&mut self, prof: Profiler) {
+        use TaskState::*;
+        let states = [
+            New,
+            StagingInput,
+            Scheduling,
+            Submitting,
+            Submitted,
+            Executing,
+            Done,
+            Failed,
+            Canceled,
+        ]
+        .map(|st| prof.intern(state_event_name(st)));
+        let mut t_adapter = BTreeMap::new();
+        for kind in self.adapters.keys() {
+            t_adapter.insert(*kind, prof.intern(&format!("agent.adapter.{kind}")));
+        }
+        self.site_srun.attach_profiler(prof.clone(), "srun");
+        let mut part_tracks = Vec::new();
+        for (i, f) in self.flux.iter_mut().enumerate() {
+            let name = format!("flux.{i}");
+            f.attach_profiler(prof.clone(), &name);
+            part_tracks.push(prof.intern(&name));
+        }
+        for (i, d) in self.dragon.iter_mut().enumerate() {
+            let name = format!("dragon.{i}");
+            d.attach_profiler(prof.clone(), &name);
+            part_tracks.push(prof.intern(&name));
+        }
+        for (i, pb) in self.prrte.iter_mut().enumerate() {
+            let name = format!("prrte.{i}");
+            pb.dvm.attach_profiler(prof.clone(), &name);
+            part_tracks.push(prof.intern(&name));
+        }
+        self.psyms = Some(AgentProfSyms {
+            comp: prof.intern("agent"),
+            states,
+            pilot_launching: prof.intern("PILOT_LAUNCHING"),
+            pilot_bootstrapping: prof.intern("PILOT_BOOTSTRAPPING"),
+            pilot_active: prof.intern("PILOT_ACTIVE"),
+            t_sched: prof.intern("agent.sched"),
+            schedule: prof.intern("schedule"),
+            t_adapter,
+            submit: prof.intern("submit"),
+            srun_track: prof.intern("srun"),
+            queue_depth: prof.intern("QUEUE_DEPTH"),
+            busy_cores: prof.intern("BUSY_CORES"),
+            busy_gpus: prof.intern("BUSY_GPUS"),
+            srun_inflight: prof.intern("SRUN_INFLIGHT"),
+            srun_ceiling: prof.intern("SRUN_CEILING"),
+            part_tracks,
+        });
+        self.prof = prof;
+        self.update_gauges();
+    }
+
+    /// A sampler closure for [`rp_sim::Engine::add_sampler`]: emits the
+    /// agent-queue, srun-concurrency and per-partition utilization gauges
+    /// from the shared counters. Call after [`Self::attach_profiler`].
+    pub fn gauge_sampler(&self) -> Box<dyn FnMut(SimTime)> {
+        let s = self.psyms.as_ref().expect("attach_profiler first");
+        let prof = self.prof.clone();
+        let gauges = Rc::clone(&self.gauges);
+        let comp = s.comp;
+        let srun_track = s.srun_track;
+        let queue_depth = s.queue_depth;
+        let busy_cores = s.busy_cores;
+        let busy_gpus = s.busy_gpus;
+        let srun_inflight = s.srun_inflight;
+        let srun_ceiling_name = s.srun_ceiling;
+        let part_tracks = s.part_tracks.clone();
+        let ceiling = self.site_srun.ceiling() as f64;
+        Box::new(move |_now| {
+            prof.gauge(comp, queue_depth, gauges.queue_depth.get());
+            prof.gauge(srun_track, srun_inflight, gauges.srun_inflight.get());
+            prof.gauge(srun_track, srun_ceiling_name, ceiling);
+            for (track, &(cores, gpus)) in part_tracks.iter().zip(gauges.parts.borrow().iter()) {
+                prof.gauge(*track, busy_cores, cores);
+                prof.gauge(*track, busy_gpus, gpus);
+            }
+        })
+    }
+
+    /// Refresh the shared gauge counters from live agent/backend state.
+    fn update_gauges(&self) {
+        if self.psyms.is_none() {
+            return;
+        }
+        let mut depth = self.stage_q.len() + self.sched_q.len();
+        depth += self.adapters.values().map(|a| a.q.len()).sum::<usize>();
+        depth += self
+            .subs
+            .iter()
+            .map(|s| s.sched_q.len() + s.adapter_q.len())
+            .sum::<usize>();
+        self.gauges.queue_depth.set(depth as f64);
+        self.gauges
+            .srun_inflight
+            .set(self.site_srun.slots_in_use() as f64);
+        let mut parts = self.gauges.parts.borrow_mut();
+        parts.clear();
+        for f in &self.flux {
+            parts.push((f.busy_cores() as f64, f.busy_gpus() as f64));
+        }
+        for d in &self.dragon {
+            parts.push((d.busy_workers() as f64, 0.0));
+        }
+        for pb in &self.prrte {
+            parts.push((
+                (pb.pool.total_cores() - pb.pool.free_cores()) as f64,
+                (pb.pool.total_gpus() - pb.pool.free_gpus()) as f64,
+            ));
         }
     }
 
@@ -431,8 +631,7 @@ impl SimAgent {
             free_cores += sb.free_core_slots / sb.oversubscribe;
             free_gpus += sb.free_gpus;
             total_cores += sb.total_core_slots / sb.oversubscribe;
-            total_gpus += self.cfg.nodes as u64
-                * rp_platform::frontier().node.gpus as u64;
+            total_gpus += self.cfg.nodes as u64 * rp_platform::frontier().node.gpus as u64;
         }
         for f in &self.flux {
             total_cores += f.allocation().total_cores();
@@ -475,7 +674,18 @@ impl SimAgent {
             .tasks
             .get_mut(&uid)
             .unwrap_or_else(|| panic!("unknown task {uid}"));
-        f(rec)
+        let before = rec.state;
+        let out = f(rec);
+        // Every state transition funnels through here (except initial
+        // submission, instrumented in `submit_tasks`), so one hook covers
+        // the whole pipeline.
+        if rec.state != before {
+            if let Some(s) = &self.psyms {
+                self.prof
+                    .instant(s.comp, uid.0, s.states[state_index(rec.state)]);
+            }
+        }
+        out
     }
 
     fn submit_tasks(&mut self, descs: Vec<TaskDescription>, ctx: &mut Ctx<AgentMsg>) {
@@ -483,6 +693,15 @@ impl SimAgent {
         for desc in descs {
             let mut rec = TaskRecord::new(&desc, now);
             rec.advance(TaskState::StagingInput, now);
+            if let Some(s) = &self.psyms {
+                self.prof
+                    .instant(s.comp, desc.uid.0, s.states[state_index(TaskState::New)]);
+                self.prof.instant(
+                    s.comp,
+                    desc.uid.0,
+                    s.states[state_index(TaskState::StagingInput)],
+                );
+            }
             {
                 let mut st = self.state.borrow_mut();
                 assert!(
@@ -519,6 +738,9 @@ impl SimAgent {
             return;
         };
         self.sched_busy = true;
+        if let Some(s) = &self.psyms {
+            self.prof.begin(s.t_sched, t.0, s.schedule);
+        }
         let cost = self.sched_cost.sample(&mut self.rng);
         ctx.timer(cost, AgentMsg::SchedDone(t));
     }
@@ -533,6 +755,9 @@ impl SimAgent {
         };
         adapter.busy = true;
         let cost = adapter.cost.sample(&mut self.rng);
+        if let Some(s) = &self.psyms {
+            self.prof.begin(s.t_adapter[&kind], t.0, s.submit);
+        }
         ctx.timer(cost, AgentMsg::AdapterDone(kind, t));
     }
 
@@ -567,9 +792,7 @@ impl SimAgent {
 
     /// Flat sub-agent index for a backend partition.
     fn sub_index(&self, kind: BackendKind, part: u32) -> Option<usize> {
-        self.subs
-            .iter()
-            .position(|s| s.target == (kind, part))
+        self.subs.iter().position(|s| s.target == (kind, part))
     }
 
     /// Pick a backend and partition for a task. Under `TypeAware` routing
@@ -631,8 +854,7 @@ impl SimAgent {
                 .filter(|(_, f)| f.is_alive())
                 .map(|(i, f)| {
                     let cap = f.allocation().total_cores().max(1) as f64;
-                    let pressure =
-                        (f.queued_count() + f.running_count()) as f64 / cap;
+                    let pressure = (f.queued_count() + f.running_count()) as f64 / cap;
                     (pressure, i as u32)
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
@@ -643,9 +865,8 @@ impl SimAgent {
                 .filter(|(_, pb)| pb.dvm.is_alive())
                 .map(|(i, pb)| {
                     let cap = pb.pool.total_cores().max(1) as f64;
-                    let pressure = (pb.waiting.len() + pb.dvm.queued() + pb.dvm.running_count())
-                        as f64
-                        / cap;
+                    let pressure =
+                        (pb.waiting.len() + pb.dvm.queued() + pb.dvm.running_count()) as f64 / cap;
                     (pressure, i as u32)
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
@@ -657,8 +878,7 @@ impl SimAgent {
                 .map(|(i, d)| {
                     let cap = d.worker_capacity().max(1) as f64;
                     let parked = self.dragon_parked[i].len();
-                    let pressure =
-                        (d.queued() + parked + d.busy_workers() as usize) as f64 / cap;
+                    let pressure = (d.queued() + parked + d.busy_workers() as usize) as f64 / cap;
                     (pressure, i as u32)
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN")),
@@ -754,6 +974,10 @@ impl SimAgent {
                 .borrow_mut()
                 .pilot
                 .advance(PilotState::Active, ctx.now());
+            if let Some(s) = &self.psyms {
+                self.prof
+                    .instant(s.comp, rp_profiler::NO_UID, s.pilot_active);
+            }
             self.start_services(ctx);
             self.pump_sched(ctx);
             for idx in 0..self.subs.len() {
@@ -797,9 +1021,9 @@ impl SimAgent {
                 };
                 for p in 0..parts {
                     let placed = match kind {
-                        BackendKind::Flux => self.flux[p]
-                            .reserve(&desc.req)
-                            .map(|pl| (Some(pl), 0u64)),
+                        BackendKind::Flux => {
+                            self.flux[p].reserve(&desc.req).map(|pl| (Some(pl), 0u64))
+                        }
                         BackendKind::Dragon => {
                             let workers = desc.req.total_cores().max(1);
                             self.dragon[p]
@@ -883,7 +1107,12 @@ impl SimAgent {
 
     /// Apply one watcher event. Tolerant of stale events (task already
     /// failed over): transitions apply only when legal.
-    fn apply_watcher_event(&mut self, kind: BackendKind, ev: WatcherEvent, ctx: &mut Ctx<AgentMsg>) {
+    fn apply_watcher_event(
+        &mut self,
+        kind: BackendKind,
+        ev: WatcherEvent,
+        ctx: &mut Ctx<AgentMsg>,
+    ) {
         let now = ctx.now();
         match ev {
             WatcherEvent::Exec(t, part) => {
@@ -956,7 +1185,12 @@ impl SimAgent {
         self.process_prrte_actions(part, acts, ctx);
     }
 
-    fn process_prrte_actions(&mut self, part: u32, acts: Vec<PrrteAction>, ctx: &mut Ctx<AgentMsg>) {
+    fn process_prrte_actions(
+        &mut self,
+        part: u32,
+        acts: Vec<PrrteAction>,
+        ctx: &mut Ctx<AgentMsg>,
+    ) {
         let now = ctx.now();
         for a in acts {
             match a {
@@ -972,7 +1206,11 @@ impl SimAgent {
                     self.instance_ready(ctx);
                 }
                 PrrteAction::Started(id) => {
-                    self.watch(BackendKind::Prrte, WatcherEvent::Exec(TaskId(id), part), ctx);
+                    self.watch(
+                        BackendKind::Prrte,
+                        WatcherEvent::Exec(TaskId(id), part),
+                        ctx,
+                    );
                 }
                 PrrteAction::Completed(id) => {
                     // Free the RP-held placement immediately; the record
@@ -1012,9 +1250,7 @@ impl SimAgent {
             let step_nodes = match desc.req.policy {
                 rp_platform::PlacementPolicy::Spread
                 | rp_platform::PlacementPolicy::NodeExclusive => desc.req.ranks,
-                rp_platform::PlacementPolicy::Pack => {
-                    need_cores.div_ceil(56).max(1) as u32
-                }
+                rp_platform::PlacementPolicy::Pack => need_cores.div_ceil(56).max(1) as u32,
             };
             acts.extend(self.site_srun.submit(StepRequest {
                 id: StepId(t.0),
@@ -1092,9 +1328,7 @@ impl SimAgent {
         let now = ctx.now();
         for a in acts {
             match a {
-                FluxAction::Timer { after, token } => {
-                    ctx.timer(after, AgentMsg::Flux(part, token))
-                }
+                FluxAction::Timer { after, token } => ctx.timer(after, AgentMsg::Flux(part, token)),
                 FluxAction::Ready => {
                     {
                         let mut st = self.state.borrow_mut();
@@ -1141,7 +1375,11 @@ impl SimAgent {
                     self.instance_ready(ctx);
                 }
                 DragonAction::Started(id) => {
-                    self.watch(BackendKind::Dragon, WatcherEvent::Exec(TaskId(id), part), ctx);
+                    self.watch(
+                        BackendKind::Dragon,
+                        WatcherEvent::Exec(TaskId(id), part),
+                        ctx,
+                    );
                 }
                 DragonAction::Completed(id) => {
                     self.watch(BackendKind::Dragon, WatcherEvent::Term(TaskId(id)), ctx);
@@ -1171,16 +1409,19 @@ impl SimAgent {
     fn fail_task(&mut self, t: TaskId, retryable: bool, ctx: &mut Ctx<AgentMsg>) {
         let now = ctx.now();
         let max_retries = self.cfg.max_retries;
-        let retry = self.with_task(t, |rec| {
-            rec.advance(TaskState::Failed, now);
-            if retryable && rec.retries < max_retries {
-                rec.retries += 1;
-                rec.advance(TaskState::StagingInput, now);
-                true
-            } else {
-                false
-            }
-        });
+        // Two separate record touches so the profiler sees both the FAILED
+        // and the retry STAGING_INPUT transitions, not just the net state.
+        self.with_task(t, |rec| rec.advance(TaskState::Failed, now));
+        let retry = retryable
+            && self.with_task(t, |rec| {
+                if rec.retries < max_retries {
+                    rec.retries += 1;
+                    rec.advance(TaskState::StagingInput, now);
+                    true
+                } else {
+                    false
+                }
+            });
         self.assignment.remove(&t);
         if retry {
             self.stage_q.push_back(t);
@@ -1209,10 +1450,7 @@ impl SimAgent {
         // 1. Still in an agent-side queue?
         let in_agent = remove_from(&mut self.stage_q, t)
             || remove_from(&mut self.sched_q, t)
-            || self
-                .adapters
-                .values_mut()
-                .any(|a| remove_from(&mut a.q, t))
+            || self.adapters.values_mut().any(|a| remove_from(&mut a.q, t))
             || self
                 .subs
                 .iter_mut()
@@ -1220,13 +1458,10 @@ impl SimAgent {
         // 2. Queued at a backend?
         let in_backend = !in_agent
             && match self.assignment.get(&t) {
-                Some((BackendKind::Flux, part)) => {
-                    self.flux[*part as usize].cancel(JobId(t.0))
-                }
+                Some((BackendKind::Flux, part)) => self.flux[*part as usize].cancel(JobId(t.0)),
                 Some((BackendKind::Dragon, part)) => {
                     let p = *part as usize;
-                    remove_from(&mut self.dragon_parked[p], t)
-                        || self.dragon[p].cancel(t.0)
+                    remove_from(&mut self.dragon_parked[p], t) || self.dragon[p].cancel(t.0)
                 }
                 Some((BackendKind::Prrte, part)) => {
                     let p = *part as usize;
@@ -1335,6 +1570,10 @@ impl Actor<AgentMsg> for SimAgent {
                     .borrow_mut()
                     .pilot
                     .advance(PilotState::Launching, ctx.now());
+                if let Some(s) = &self.psyms {
+                    self.prof
+                        .instant(s.comp, rp_profiler::NO_UID, s.pilot_launching);
+                }
                 let cost = self.cfg.cal.rp_agent_bootstrap.sample(&mut self.rng);
                 ctx.timer(cost, AgentMsg::BootstrapDone);
             }
@@ -1343,6 +1582,10 @@ impl Actor<AgentMsg> for SimAgent {
                     let mut st = self.state.borrow_mut();
                     st.agent_ready = Some(ctx.now());
                     st.pilot.advance(PilotState::Bootstrapping, ctx.now());
+                }
+                if let Some(s) = &self.psyms {
+                    self.prof
+                        .instant(s.comp, rp_profiler::NO_UID, s.pilot_bootstrapping);
                 }
                 // Launch backend instances on persistent srun slots.
                 let mut acts = Vec::new();
@@ -1380,6 +1623,10 @@ impl Actor<AgentMsg> for SimAgent {
                         .borrow_mut()
                         .pilot
                         .advance(PilotState::Active, ctx.now());
+                    if let Some(s) = &self.psyms {
+                        self.prof
+                            .instant(s.comp, rp_profiler::NO_UID, s.pilot_active);
+                    }
                     self.start_services(ctx);
                 }
             }
@@ -1410,6 +1657,9 @@ impl Actor<AgentMsg> for SimAgent {
             }
             AgentMsg::SchedDone(t) => {
                 self.sched_busy = false;
+                if let Some(s) = &self.psyms {
+                    self.prof.end(s.t_sched, t.0, s.schedule);
+                }
                 let now = ctx.now();
                 match self.select_backend(t) {
                     Some((kind, part)) => {
@@ -1430,6 +1680,9 @@ impl Actor<AgentMsg> for SimAgent {
             }
             AgentMsg::AdapterDone(kind, t) => {
                 self.adapters.get_mut(&kind).expect("adapter").busy = false;
+                if let Some(s) = &self.psyms {
+                    self.prof.end(s.t_adapter[&kind], t.0, s.submit);
+                }
                 self.dispatch_to_backend(t, ctx);
                 self.pump_adapter(kind, ctx);
             }
@@ -1479,5 +1732,8 @@ impl Actor<AgentMsg> for SimAgent {
                 self.kill_instance(kind, part, ctx);
             }
         }
+        // Gauge counters reflect post-message state; the engine's sampler
+        // reads them between deliveries.
+        self.update_gauges();
     }
 }

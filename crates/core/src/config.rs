@@ -88,7 +88,10 @@ impl PilotConfig {
     /// Panic on inconsistent configurations (these are harness bugs).
     pub fn validate(&self) {
         assert!(self.nodes > 0, "pilot needs nodes");
-        assert!(!self.backends.is_empty(), "pilot needs at least one backend");
+        assert!(
+            !self.backends.is_empty(),
+            "pilot needs at least one backend"
+        );
         let has_srun = self.backends.iter().any(|b| b.kind() == BackendKind::Srun);
         if has_srun {
             assert_eq!(

@@ -34,8 +34,8 @@ pub use config::PilotConfig;
 pub use pilot::{PilotState, PilotTrajectory};
 pub use report::{InstanceReport, RunReport, RunState};
 pub use router::{RouteError, Router, RoutingPolicy};
+pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask};
 pub use service::{ServiceDescription, ServiceId, ServiceRecord};
 pub use session::{FailureInjection, SimSession, UidGen};
 pub use task::{TaskDescription, TaskId, TaskKind, TaskRecord, TaskState};
-pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask};
 pub use workload::{ResourceView, StaticWorkload, WorkloadSource};

@@ -39,20 +39,22 @@ impl PilotState {
     /// Whether `self → to` is a legal transition.
     pub fn can_transition(self, to: PilotState) -> bool {
         use PilotState::*;
-        match (self, to) {
-            (New, Launching) => true,
-            (Launching, Bootstrapping) => true,
-            (Bootstrapping, Active) => true,
-            (Active, Done) => true,
-            (New | Launching | Bootstrapping | Active, Failed) => true,
-            (New | Launching | Bootstrapping | Active, Canceled) => true,
-            _ => false,
-        }
+        matches!(
+            (self, to),
+            (New, Launching)
+                | (Launching, Bootstrapping)
+                | (Bootstrapping, Active)
+                | (Active, Done)
+                | (New | Launching | Bootstrapping | Active, Failed | Canceled)
+        )
     }
 
     /// Whether this state is terminal.
     pub fn is_terminal(self) -> bool {
-        matches!(self, PilotState::Done | PilotState::Failed | PilotState::Canceled)
+        matches!(
+            self,
+            PilotState::Done | PilotState::Failed | PilotState::Canceled
+        )
     }
 }
 
@@ -84,7 +86,7 @@ impl PilotTrajectory {
             "pilot: illegal transition {from:?} -> {to:?}"
         );
         debug_assert!(
-            self.transitions.last().map_or(true, |(t, _)| *t <= at),
+            self.transitions.last().is_none_or(|(t, _)| *t <= at),
             "pilot transitions out of order"
         );
         self.transitions.push((at, to));

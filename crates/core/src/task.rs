@@ -155,7 +155,10 @@ impl TaskState {
 
     /// Whether the state is terminal (absent retry).
     pub fn is_terminal(self) -> bool {
-        matches!(self, TaskState::Done | TaskState::Failed | TaskState::Canceled)
+        matches!(
+            self,
+            TaskState::Done | TaskState::Failed | TaskState::Canceled
+        )
     }
 }
 

@@ -1,17 +1,21 @@
-//! Property tests for the RP core: task state-machine soundness, session
-//! invariants under arbitrary workload mixes, and failover completeness
-//! under arbitrary failure-injection schedules.
+//! Randomized invariant tests for the RP core: task state-machine
+//! soundness, session invariants under arbitrary workload mixes, and
+//! failover completeness under arbitrary failure-injection schedules.
+//! Cases come from fixed-seed [`RngStream`]s so failures replay exactly.
 
-use proptest::prelude::*;
-use rp_core::{
-    BackendKind, FailureInjection, PilotConfig, SimSession, TaskDescription, TaskState,
-};
+use rp_core::{BackendKind, FailureInjection, PilotConfig, SimSession, TaskDescription, TaskState};
 use rp_platform::{PlacementPolicy, ResourceRequest};
-use rp_sim::{SimDuration, SimTime};
+use rp_sim::{RngStream, SimDuration, SimTime};
 
 /// Task ingredients; uids are assigned positionally after generation.
-fn arb_task_parts() -> impl Strategy<Value = (bool, u32, u16, u16, u64)> {
-    (any::<bool>(), 1u32..4, 1u16..57, 0u16..9, 0u64..120)
+fn random_task_parts(rng: &mut RngStream) -> (bool, u32, u16, u16, u64) {
+    (
+        rng.chance(0.5),
+        1 + rng.index(3) as u32,
+        1 + rng.index(56) as u16,
+        rng.index(9) as u16,
+        rng.next_u64() % 120,
+    )
 }
 
 fn build_task(uid: u64, parts: (bool, u32, u16, u16, u64)) -> TaskDescription {
@@ -39,49 +43,51 @@ fn build_task(uid: u64, parts: (bool, u32, u16, u16, u64)) -> TaskDescription {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Arbitrary heterogeneous mixes on the hybrid pilot: every task ends
-    /// in a terminal state, timestamps are monotone, resources are fully
-    /// accounted, and the simulation quiesces.
-    #[test]
-    fn session_total_under_arbitrary_mix(
-        parts in prop::collection::vec(arb_task_parts(), 1..60),
-        seed in 0u64..1000,
-    ) {
-        let n = parts.len();
-        let tasks: Vec<TaskDescription> = parts
-            .into_iter()
-            .enumerate()
-            .map(|(uid, p)| build_task(uid as u64, p))
+/// Arbitrary heterogeneous mixes on the hybrid pilot: every task ends in
+/// a terminal state, timestamps are monotone, resources are fully
+/// accounted, and the simulation quiesces.
+#[test]
+fn session_total_under_arbitrary_mix() {
+    let mut rng = RngStream::derive(0xC04E, "session_total_under_arbitrary_mix");
+    for case in 0..24 {
+        let n = 1 + rng.index(59);
+        let tasks: Vec<TaskDescription> = (0..n as u64)
+            .map(|uid| {
+                let parts = random_task_parts(&mut rng);
+                build_task(uid, parts)
+            })
             .collect();
-        let report = SimSession::with_tasks(
-            PilotConfig::flux_dragon(8, 2).with_seed(seed),
-            tasks,
-        )
-        .run();
-        prop_assert_eq!(report.tasks.len(), n);
+        let seed = rng.next_u64() % 1000;
+        let report =
+            SimSession::with_tasks(PilotConfig::flux_dragon(8, 2).with_seed(seed), tasks).run();
+        assert_eq!(report.tasks.len(), n, "case {case}");
         for t in &report.tasks {
-            prop_assert!(t.state.is_terminal(), "{}: {:?}", t.uid, t.state);
+            assert!(
+                t.state.is_terminal(),
+                "case {case}: {}: {:?}",
+                t.uid,
+                t.state
+            );
             if t.state == TaskState::Done {
                 let s = t.exec_start.expect("done => started");
                 let e = t.exec_end.expect("done => ended");
-                prop_assert!(s <= e);
-                prop_assert!(t.submitted <= s);
+                assert!(s <= e, "case {case}");
+                assert!(t.submitted <= s, "case {case}");
             }
         }
     }
+}
 
-    /// Failure injections at arbitrary times never lose tasks: every task
-    /// is Done or Failed, and Done + Failed = submitted.
-    #[test]
-    fn failover_never_loses_tasks(
-        kill_at in 1u64..400,
-        kill_partition in 0u32..2,
-        kill_dragon in any::<bool>(),
-        seed in 0u64..100,
-    ) {
+/// Failure injections at arbitrary times never lose tasks: every task is
+/// Done or Failed, and Done + Failed = submitted.
+#[test]
+fn failover_never_loses_tasks() {
+    let mut rng = RngStream::derive(0xFA11, "failover_never_loses_tasks");
+    for case in 0..16 {
+        let kill_at = 1 + rng.next_u64() % 399;
+        let kill_partition = rng.index(2) as u32;
+        let kill_dragon = rng.chance(0.5);
+        let seed = rng.next_u64() % 100;
         let tasks: Vec<TaskDescription> = (0..120u64)
             .map(|i| {
                 if i % 2 == 0 {
@@ -96,41 +102,62 @@ proptest! {
         } else {
             BackendKind::Flux
         };
-        let report = SimSession::with_tasks(
-            PilotConfig::flux_dragon(8, 2).with_seed(seed),
-            tasks,
-        )
-        .inject_failure(FailureInjection {
-            at: SimTime::from_secs(kill_at),
-            kind,
-            partition: kill_partition,
-        })
-        .run();
-        prop_assert_eq!(report.tasks.len(), 120);
-        let done = report.tasks.iter().filter(|t| t.state == TaskState::Done).count();
-        let failed = report.tasks.iter().filter(|t| t.state == TaskState::Failed).count();
-        prop_assert_eq!(done + failed, 120, "every task reaches a terminal state");
+        let report = SimSession::with_tasks(PilotConfig::flux_dragon(8, 2).with_seed(seed), tasks)
+            .inject_failure(FailureInjection {
+                at: SimTime::from_secs(kill_at),
+                kind,
+                partition: kill_partition,
+            })
+            .run();
+        assert_eq!(report.tasks.len(), 120, "case {case}");
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        let failed = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Failed)
+            .count();
+        assert_eq!(
+            done + failed,
+            120,
+            "case {case}: every task reaches a terminal state"
+        );
         // With one retry and a surviving partition, everything completes.
-        prop_assert_eq!(failed, 0, "failover must recover all tasks");
+        assert_eq!(failed, 0, "case {case}: failover must recover all tasks");
     }
+}
 
-    /// The task state machine is a DAG plus the retry edge: no transition
-    /// sequence can revisit Done.
-    #[test]
-    fn state_machine_done_is_absorbing(path in prop::collection::vec(0usize..9, 1..30)) {
-        use TaskState::*;
-        let states = [
-            New, StagingInput, Scheduling, Submitting, Submitted, Executing, Done, Failed,
-            Canceled,
-        ];
+/// The task state machine is a DAG plus the retry edge: no transition
+/// sequence can revisit Done.
+#[test]
+fn state_machine_done_is_absorbing() {
+    use TaskState::*;
+    let states = [
+        New,
+        StagingInput,
+        Scheduling,
+        Submitting,
+        Submitted,
+        Executing,
+        Done,
+        Failed,
+        Canceled,
+    ];
+    let mut rng = RngStream::derive(0xABBA, "state_machine_done_is_absorbing");
+    for case in 0..256 {
+        let path_len = 1 + rng.index(29);
         let mut current = New;
         let mut was_done = false;
-        for step in path {
-            let to = states[step];
+        for _ in 0..path_len {
+            let to = states[rng.index(states.len())];
             if current.can_transition(to) {
-                if current == Done {
-                    prop_assert!(false, "transition out of Done allowed: {to:?}");
-                }
+                assert_ne!(
+                    current, Done,
+                    "case {case}: transition out of Done allowed: {to:?}"
+                );
                 current = to;
                 if current == Done {
                     was_done = true;
@@ -138,7 +165,7 @@ proptest! {
             }
         }
         if was_done {
-            prop_assert_eq!(current, Done, "Done must be absorbing");
+            assert_eq!(current, Done, "case {case}: Done must be absorbing");
         }
     }
 }

@@ -13,9 +13,8 @@
 //!   readers observe monotone versions).
 
 use crate::shmem::ShmemQueue;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -154,7 +153,7 @@ impl<T: Clone> Broadcast<T> {
 
     /// Publish a new value; returns the new version (monotone, starts at 1).
     pub fn publish(&self, value: T) -> u64 {
-        let mut guard = self.value.write();
+        let mut guard = self.value.write().expect("broadcast poisoned");
         *guard = Some(value);
         // Version bump inside the write lock so readers never observe a
         // version ahead of its value.
@@ -163,7 +162,7 @@ impl<T: Clone> Broadcast<T> {
 
     /// Latest `(version, value)`, or `None` before the first publish.
     pub fn latest(&self) -> Option<(u64, T)> {
-        let guard = self.value.read();
+        let guard = self.value.read().expect("broadcast poisoned");
         guard
             .as_ref()
             .map(|v| (self.version.load(Ordering::Acquire), v.clone()))

@@ -6,9 +6,8 @@
 //! does: a registry of named functions and a serialized call record. The
 //! registry is the application-side "Dragon module" of Fig. 3.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A registered function: bytes in, bytes out (serialization is the
 /// caller's business — the paper's workloads exchange opaque payloads).
@@ -49,12 +48,18 @@ impl FunctionRegistry {
     where
         F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
     {
-        self.inner.write().insert(name.to_string(), Arc::new(f));
+        self.inner
+            .write()
+            .expect("registry poisoned")
+            .insert(name.to_string(), Arc::new(f));
     }
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .contains_key(name)
     }
 
     /// Execute a call against the registry.
@@ -62,6 +67,7 @@ impl FunctionRegistry {
         let f = self
             .inner
             .read()
+            .expect("registry poisoned")
             .get(&call.name)
             .cloned()
             .ok_or_else(|| CallError::Unknown(call.name.clone()))?;
@@ -70,12 +76,12 @@ impl FunctionRegistry {
 
     /// Number of registered functions.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("registry poisoned").len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().expect("registry poisoned").is_empty()
     }
 }
 

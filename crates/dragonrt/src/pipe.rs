@@ -1,10 +1,10 @@
 //! The RP↔Dragon pipe: a length-prefixed binary codec over byte buffers —
 //! the analog of the ZeroMQ pipes in Fig. 3 (tasks serialized down, events
-//! serialized back). Hand-rolled over `bytes` so the workspace carries no
-//! JSON/bincode dependency; the format is versioned and round-trip tested.
+//! serialized back). Hand-rolled over plain `Vec<u8>` so the workspace
+//! carries no JSON/bincode dependency; the format is versioned and
+//! round-trip tested.
 
 use crate::function::FunctionCall;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Codec version tag, first byte of every frame.
 const VERSION: u8 = 1;
@@ -50,26 +50,55 @@ pub enum CodecError {
     BadUtf8,
 }
 
+fn put_u32_le(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    let (&first, rest) = buf.split_first().ok_or(CodecError::Truncated)?;
+    *buf = rest;
+    Ok(first)
+}
+
+fn get_u32_le(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn get_u64_le(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    if buf.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
 /// Encode a function call frame.
-pub fn encode_call(call: &FunctionCall) -> Bytes {
-    let mut b = BytesMut::with_capacity(2 + 8 + 4 + call.name.len() + 4 + call.args.len());
-    b.put_u8(VERSION);
-    b.put_u8(TAG_CALL);
-    b.put_u64_le(call.id);
-    b.put_u32_le(call.name.len() as u32);
-    b.put_slice(call.name.as_bytes());
-    b.put_u32_le(call.args.len() as u32);
-    b.put_slice(&call.args);
-    b.freeze()
+pub fn encode_call(call: &FunctionCall) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + 8 + 4 + call.name.len() + 4 + call.args.len());
+    b.push(VERSION);
+    b.push(TAG_CALL);
+    put_u64_le(&mut b, call.id);
+    put_u32_le(&mut b, call.name.len() as u32);
+    b.extend_from_slice(call.name.as_bytes());
+    put_u32_le(&mut b, call.args.len() as u32);
+    b.extend_from_slice(&call.args);
+    b
 }
 
 /// Decode a function call frame.
 pub fn decode_call(mut buf: &[u8]) -> Result<FunctionCall, CodecError> {
     check_header(&mut buf, TAG_CALL)?;
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    let id = buf.get_u64_le();
+    let id = get_u64_le(&mut buf)?;
     let name = get_bytes(&mut buf)?;
     let name = String::from_utf8(name).map_err(|_| CodecError::BadUtf8)?;
     let args = get_bytes(&mut buf)?;
@@ -77,39 +106,36 @@ pub fn decode_call(mut buf: &[u8]) -> Result<FunctionCall, CodecError> {
 }
 
 /// Encode an event frame.
-pub fn encode_event(ev: &PipeEvent) -> Bytes {
-    let mut b = BytesMut::with_capacity(32);
-    b.put_u8(VERSION);
-    b.put_u8(TAG_EVENT);
+pub fn encode_event(ev: &PipeEvent) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.push(VERSION);
+    b.push(TAG_EVENT);
     match ev {
         PipeEvent::Started { id } => {
-            b.put_u8(0);
-            b.put_u64_le(*id);
+            b.push(0);
+            put_u64_le(&mut b, *id);
         }
         PipeEvent::Completed { id, result } => {
-            b.put_u8(1);
-            b.put_u64_le(*id);
-            b.put_u32_le(result.len() as u32);
-            b.put_slice(result);
+            b.push(1);
+            put_u64_le(&mut b, *id);
+            put_u32_le(&mut b, result.len() as u32);
+            b.extend_from_slice(result);
         }
         PipeEvent::Failed { id, error } => {
-            b.put_u8(2);
-            b.put_u64_le(*id);
-            b.put_u32_le(error.len() as u32);
-            b.put_slice(error.as_bytes());
+            b.push(2);
+            put_u64_le(&mut b, *id);
+            put_u32_le(&mut b, error.len() as u32);
+            b.extend_from_slice(error.as_bytes());
         }
     }
-    b.freeze()
+    b
 }
 
 /// Decode an event frame.
 pub fn decode_event(mut buf: &[u8]) -> Result<PipeEvent, CodecError> {
     check_header(&mut buf, TAG_EVENT)?;
-    if buf.remaining() < 9 {
-        return Err(CodecError::Truncated);
-    }
-    let kind = buf.get_u8();
-    let id = buf.get_u64_le();
+    let kind = get_u8(&mut buf)?;
+    let id = get_u64_le(&mut buf)?;
     match kind {
         0 => Ok(PipeEvent::Started { id }),
         1 => {
@@ -126,14 +152,11 @@ pub fn decode_event(mut buf: &[u8]) -> Result<PipeEvent, CodecError> {
 }
 
 fn check_header(buf: &mut &[u8], want_tag: u8) -> Result<(), CodecError> {
-    if buf.remaining() < 2 {
-        return Err(CodecError::Truncated);
-    }
-    let v = buf.get_u8();
+    let v = get_u8(buf)?;
     if v != VERSION {
         return Err(CodecError::BadVersion(v));
     }
-    let tag = buf.get_u8();
+    let tag = get_u8(buf)?;
     if tag != want_tag {
         return Err(CodecError::BadTag(tag));
     }
@@ -141,16 +164,13 @@ fn check_header(buf: &mut &[u8], want_tag: u8) -> Result<(), CodecError> {
 }
 
 fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CodecError> {
-    if buf.remaining() < 4 {
+    let len = get_u32_le(buf)? as usize;
+    if buf.len() < len {
         return Err(CodecError::Truncated);
     }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(CodecError::Truncated);
-    }
-    let out = buf[..len].to_vec();
-    buf.advance(len);
-    Ok(out)
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(head.to_vec())
 }
 
 #[cfg(test)]
@@ -216,7 +236,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut frame = encode_event(&PipeEvent::Started { id: 1 }).to_vec();
+        let mut frame = encode_event(&PipeEvent::Started { id: 1 });
         frame[0] = 99;
         assert_eq!(
             decode_event(&frame).unwrap_err(),
@@ -226,13 +246,13 @@ mod tests {
 
     #[test]
     fn bad_utf8_rejected() {
-        let mut b = BytesMut::new();
-        b.put_u8(VERSION);
-        b.put_u8(TAG_CALL);
-        b.put_u64_le(1);
-        b.put_u32_le(2);
-        b.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
-        b.put_u32_le(0);
+        let mut b = Vec::new();
+        b.push(VERSION);
+        b.push(TAG_CALL);
+        put_u64_le(&mut b, 1);
+        put_u32_le(&mut b, 2);
+        b.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
+        put_u32_le(&mut b, 0);
         assert_eq!(decode_call(&b).unwrap_err(), CodecError::BadUtf8);
     }
 }

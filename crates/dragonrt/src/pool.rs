@@ -8,8 +8,7 @@
 use crate::function::{FunctionCall, FunctionRegistry};
 use crate::pipe::{decode_call, encode_call, encode_event, PipeEvent};
 use crate::shmem::ShmemQueue;
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use rp_platform::sync::{mpmc_channel, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -25,8 +24,8 @@ pub enum PoolError {
 
 /// A pooled-worker Dragon runtime.
 pub struct DragonPool {
-    tasks: Arc<ShmemQueue<Bytes>>,
-    events_rx: Receiver<Bytes>,
+    tasks: Arc<ShmemQueue<Vec<u8>>>,
+    events_rx: Receiver<Vec<u8>>,
     shutdown: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -37,7 +36,7 @@ impl DragonPool {
     pub fn start(workers: usize, queue_capacity: usize, registry: FunctionRegistry) -> Self {
         assert!(workers > 0, "need at least one worker");
         let tasks = ShmemQueue::new(queue_capacity);
-        let (tx, events_rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
+        let (tx, events_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = mpmc_channel();
         let shutdown = Arc::new(AtomicBool::new(false));
         let handles = (0..workers)
             .map(|w| {
@@ -51,6 +50,9 @@ impl DragonPool {
                     .expect("spawn worker")
             })
             .collect();
+        // Workers hold the only senders: once they exit, the event stream
+        // disconnects and watchers drain out.
+        drop(tx);
         DragonPool {
             tasks,
             events_rx,
@@ -73,7 +75,7 @@ impl DragonPool {
 
     /// The event stream (encoded frames; decode with
     /// [`crate::pipe::decode_event`]).
-    pub fn events(&self) -> &Receiver<Bytes> {
+    pub fn events(&self) -> &Receiver<Vec<u8>> {
         &self.events_rx
     }
 
@@ -101,8 +103,8 @@ impl Drop for DragonPool {
 }
 
 fn worker_loop(
-    tasks: Arc<ShmemQueue<Bytes>>,
-    tx: Sender<Bytes>,
+    tasks: Arc<ShmemQueue<Vec<u8>>>,
+    tx: Sender<Vec<u8>>,
     registry: FunctionRegistry,
     shutdown: Arc<AtomicBool>,
 ) {
@@ -112,7 +114,7 @@ fn worker_loop(
                 let ev = match decode_call(&frame) {
                     Ok(call) => {
                         let started = PipeEvent::Started { id: call.id };
-                        let _ = tx.send(encode_event(&started));
+                        tx.send(encode_event(&started));
                         match registry.call(&call) {
                             Ok(result) => PipeEvent::Completed {
                                 id: call.id,
@@ -129,7 +131,7 @@ fn worker_loop(
                         error: format!("undecodable frame: {e:?}"),
                     },
                 };
-                let _ = tx.send(encode_event(&ev));
+                tx.send(encode_event(&ev));
             }
             None => {
                 // Drain-then-exit: only stop once the queue is empty.

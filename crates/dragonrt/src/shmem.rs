@@ -1,18 +1,18 @@
 //! The shared-memory queue analog ('Shmem Queue' in Fig. 3): a bounded MPMC
-//! queue with occupancy statistics, built on `crossbeam`'s `ArrayQueue`.
-//! In Dragon this is the managed-memory channel pooled worker processes pull
-//! tasks from; here it is the hand-off between the dispatcher and the
-//! worker pool of the real-threaded plane, and the coordination primitive
-//! data-coupled example workloads use.
+//! queue with occupancy statistics. In Dragon this is the managed-memory
+//! channel pooled worker processes pull tasks from; here it is the hand-off
+//! between the dispatcher and the worker pool of the real-threaded plane,
+//! and the coordination primitive data-coupled example workloads use.
 
-use crossbeam::queue::ArrayQueue;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A bounded multi-producer/multi-consumer queue with counters.
 #[derive(Debug)]
 pub struct ShmemQueue<T> {
-    q: ArrayQueue<T>,
+    q: Mutex<VecDeque<T>>,
+    capacity: usize,
     pushed: AtomicU64,
     popped: AtomicU64,
     rejected: AtomicU64,
@@ -23,7 +23,8 @@ impl<T> ShmemQueue<T> {
     pub fn new(capacity: usize) -> Arc<Self> {
         assert!(capacity > 0, "shmem queue capacity must be positive");
         Arc::new(ShmemQueue {
-            q: ArrayQueue::new(capacity),
+            q: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
             pushed: AtomicU64::new(0),
             popped: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -32,21 +33,21 @@ impl<T> ShmemQueue<T> {
 
     /// Push; on a full queue the item is returned (backpressure).
     pub fn push(&self, item: T) -> Result<(), T> {
-        match self.q.push(item) {
-            Ok(()) => {
-                self.pushed.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(item) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(item)
-            }
+        let mut q = self.q.lock().expect("shmem queue poisoned");
+        if q.len() >= self.capacity {
+            drop(q);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(item);
         }
+        q.push_back(item);
+        drop(q);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Pop the oldest item, if any.
     pub fn pop(&self) -> Option<T> {
-        let item = self.q.pop();
+        let item = self.q.lock().expect("shmem queue poisoned").pop_front();
         if item.is_some() {
             self.popped.fetch_add(1, Ordering::Relaxed);
         }
@@ -55,12 +56,12 @@ impl<T> ShmemQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.q.len()
+        self.q.lock().expect("shmem queue poisoned").len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.q.is_empty()
+        self.len() == 0
     }
 
     /// Total successful pushes.

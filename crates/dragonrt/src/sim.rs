@@ -13,8 +13,23 @@
 //! backpressure.
 
 use rp_platform::{Allocation, Calibration};
+use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+
+/// Interned profiler symbols: dispatch spans on `<comp>.dispatch` (the
+/// dispatcher is serial, so spans never overlap), lifecycle instants on
+/// the base track with function/process distinguished by event name.
+#[derive(Debug, Clone)]
+struct ProfSyms {
+    comp: Sym,
+    t_dispatch: Sym,
+    dispatch: Sym,
+    func_start: Sym,
+    func_finish: Sym,
+    proc_start: Sym,
+    proc_finish: Sym,
+}
 
 /// A task submitted to the Dragon runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +88,10 @@ pub struct DragonSim {
     in_flight: HashMap<u64, DragonTask>,
     completed: u64,
     alive: bool,
+    prof: Profiler,
+    syms: Option<ProfSyms>,
+    /// Uid in the dispatcher, closed on kill to keep B/E pairs matched.
+    open_dispatch: Option<u64>,
 }
 
 impl DragonSim {
@@ -92,7 +111,25 @@ impl DragonSim {
             in_flight: HashMap::new(),
             completed: 0,
             alive: true,
+            prof: Profiler::disabled(),
+            syms: None,
+            open_dispatch: None,
         }
+    }
+
+    /// Attach a profiler; dispatch spans and start/finish instants are
+    /// recorded relative to the `comp` track from here on.
+    pub fn attach_profiler(&mut self, prof: Profiler, comp: &str) {
+        self.syms = Some(ProfSyms {
+            comp: prof.intern(comp),
+            t_dispatch: prof.intern(&format!("{comp}.dispatch")),
+            dispatch: prof.intern("dispatch"),
+            func_start: prof.intern("FUNC_START"),
+            func_finish: prof.intern("FUNC_FINISH"),
+            proc_start: prof.intern("PROC_START"),
+            proc_finish: prof.intern("PROC_FINISH"),
+        });
+        self.prof = prof;
     }
 
     /// Total workers in the pool.
@@ -131,6 +168,11 @@ impl DragonSim {
     /// affected tasks to error states").
     pub fn kill(&mut self) -> Vec<u64> {
         self.alive = false;
+        if let Some(s) = &self.syms {
+            if let Some(uid) = self.open_dispatch.take() {
+                self.prof.end(s.t_dispatch, uid, s.dispatch);
+            }
+        }
         let mut lost: Vec<u64> = Vec::new();
         lost.extend(self.queue.drain(..).map(|t| t.id));
         lost.extend(self.in_flight.drain().map(|(id, _)| id));
@@ -208,6 +250,17 @@ impl DragonSim {
             DragonToken::Dispatched(id) => {
                 self.dispatch_busy = false;
                 let task = self.in_flight.get(&id).expect("dispatched unknown task");
+                if let Some(s) = &self.syms {
+                    self.prof.end(s.t_dispatch, id, s.dispatch);
+                    self.open_dispatch = None;
+                    let what = if task.is_function {
+                        s.func_start
+                    } else {
+                        s.proc_start
+                    };
+                    self.prof
+                        .instant_detail(s.comp, id, what, self.busy_workers() as f64);
+                }
                 let mut out = vec![
                     DragonAction::Started(id),
                     DragonAction::Timer {
@@ -222,6 +275,15 @@ impl DragonSim {
                 let task = self.in_flight.remove(&id).expect("done unknown task");
                 self.free_workers += task.workers as u64;
                 self.completed += 1;
+                if let Some(s) = &self.syms {
+                    let what = if task.is_function {
+                        s.func_finish
+                    } else {
+                        s.proc_finish
+                    };
+                    self.prof
+                        .instant_detail(s.comp, id, what, self.busy_workers() as f64);
+                }
                 let mut out = vec![DragonAction::Completed(id)];
                 out.extend(self.pump());
                 out
@@ -243,6 +305,10 @@ impl DragonSim {
         let task = self.queue.pop_front().expect("non-empty");
         self.free_workers -= task.workers as u64;
         self.dispatch_busy = true;
+        if let Some(s) = &self.syms {
+            self.prof.begin(s.t_dispatch, task.id, s.dispatch);
+            self.open_dispatch = Some(task.id);
+        }
         let cost = if task.is_function {
             self.func_cost.sample(&mut self.rng)
         } else {
@@ -282,10 +348,10 @@ mod tests {
         let mut starts = Vec::new();
         let mut peak_busy = 0u64;
         let sink = |acts: Vec<DragonAction>,
-                        now: u64,
-                        heap: &mut BinaryHeap<Reverse<(u64, u64, DragonToken)>>,
-                        seq: &mut u64,
-                        starts: &mut Vec<f64>| {
+                    now: u64,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, DragonToken)>>,
+                    seq: &mut u64,
+                    starts: &mut Vec<f64>| {
             for a in acts {
                 match a {
                     DragonAction::Timer { after, token } => {
@@ -326,7 +392,11 @@ mod tests {
     #[test]
     fn boots_in_about_9s() {
         let (starts, _, _) = drive(runtime(4), null_tasks(1));
-        assert!((6.0..12.0).contains(&starts[0]), "first start {}", starts[0]);
+        assert!(
+            (6.0..12.0).contains(&starts[0]),
+            "first start {}",
+            starts[0]
+        );
     }
 
     #[test]

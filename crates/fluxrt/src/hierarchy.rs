@@ -111,10 +111,7 @@ impl FluxTreeSim {
             }
             frontier = next;
         }
-        let root = frontier
-            .first()
-            .copied()
-            .unwrap_or(NodeRef::Leaf(0));
+        let root = frontier.first().copied().unwrap_or(NodeRef::Leaf(0));
 
         FluxTreeSim {
             routers,
@@ -338,11 +335,11 @@ mod tests {
         let mut seq = 0u64;
         let mut starts = Vec::new();
         let sink = |acts: Vec<TreeAction>,
-                        now: u64,
-                        heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                        tokens: &mut std::collections::HashMap<u64, TreeToken>,
-                        seq: &mut u64,
-                        starts: &mut Vec<f64>| {
+                    now: u64,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    tokens: &mut std::collections::HashMap<u64, TreeToken>,
+                    seq: &mut u64,
+                    starts: &mut Vec<f64>| {
             for a in acts {
                 match a {
                     TreeAction::Timer { after, token } => {

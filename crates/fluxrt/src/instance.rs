@@ -22,8 +22,27 @@
 use crate::job::{ExceptionKind, JobEvent, JobId, JobSpec};
 use crate::policy::{RunningJob, SchedPolicy};
 use rp_platform::{Allocation, Calibration, Placement, ResourcePool};
+use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+
+/// Interned profiler symbols. The three serial servers each get their own
+/// track (`<comp>.ingest` / `.match` / `.start`) so their B/E spans never
+/// overlap within a track; lifecycle instants go on the base track.
+#[derive(Debug, Clone)]
+struct ProfSyms {
+    comp: Sym,
+    t_ingest: Sym,
+    t_match: Sym,
+    t_start: Sym,
+    enqueue: Sym,
+    alloc: Sym,
+    start: Sym,
+    finish: Sym,
+    ingest: Sym,
+    matching: Sym,
+    launch: Sym,
+}
 
 /// Timer tokens the driver delivers back via [`FluxInstanceSim::on_token`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -87,6 +106,13 @@ pub struct FluxInstanceSim {
     completed: u64,
     /// False once killed by failure injection.
     alive: bool,
+    prof: Profiler,
+    syms: Option<ProfSyms>,
+    /// Open server spans (uid per busy server), closed on kill so Chrome
+    /// B/E pairs stay matched even across failure injection.
+    open_ingest: Option<u64>,
+    open_match: Option<u64>,
+    open_start: Option<u64>,
 }
 
 impl FluxInstanceSim {
@@ -119,7 +145,31 @@ impl FluxInstanceSim {
             running: HashMap::new(),
             completed: 0,
             alive: true,
+            prof: Profiler::disabled(),
+            syms: None,
+            open_ingest: None,
+            open_match: None,
+            open_start: None,
         }
+    }
+
+    /// Attach a profiler; job lifecycle instants land on the `comp` track
+    /// and each serial server's service spans on `<comp>.<server>`.
+    pub fn attach_profiler(&mut self, prof: Profiler, comp: &str) {
+        self.syms = Some(ProfSyms {
+            comp: prof.intern(comp),
+            t_ingest: prof.intern(&format!("{comp}.ingest")),
+            t_match: prof.intern(&format!("{comp}.match")),
+            t_start: prof.intern(&format!("{comp}.start")),
+            enqueue: prof.intern("ENQUEUE"),
+            alloc: prof.intern("ALLOC"),
+            start: prof.intern("START"),
+            finish: prof.intern("FINISH"),
+            ingest: prof.intern("ingest"),
+            matching: prof.intern("match"),
+            launch: prof.intern("launch"),
+        });
+        self.prof = prof;
     }
 
     /// The allocation this instance manages.
@@ -172,6 +222,18 @@ impl FluxInstanceSim {
     /// with [`ExceptionKind::InstanceLost`].
     pub fn kill(&mut self) -> Vec<JobId> {
         self.alive = false;
+        if let Some(s) = &self.syms {
+            // Close any open server spans: the crash ends them.
+            if let Some(uid) = self.open_ingest.take() {
+                self.prof.end(s.t_ingest, uid, s.ingest);
+            }
+            if let Some(uid) = self.open_match.take() {
+                self.prof.end(s.t_match, uid, s.matching);
+            }
+            if let Some(uid) = self.open_start.take() {
+                self.prof.end(s.t_start, uid, s.launch);
+            }
+        }
         let mut lost: Vec<JobId> = Vec::new();
         lost.extend(self.pending_ingest.drain(..).map(|j| j.id));
         lost.extend(self.queue.drain(..).map(|j| j.id));
@@ -264,6 +326,9 @@ impl FluxInstanceSim {
                 ExceptionKind::Unsatisfiable,
             ))];
         }
+        if let Some(s) = &self.syms {
+            self.prof.instant(s.comp, job.id.0, s.enqueue);
+        }
         self.pending_ingest.push_back(job);
         let mut out = vec![FluxAction::Event(JobEvent::Submitted(job.id))];
         out.extend(self.pump_ingest());
@@ -289,6 +354,10 @@ impl FluxInstanceSim {
                     .pending_ingest
                     .pop_front()
                     .expect("ingest completed with empty queue");
+                if let Some(s) = &self.syms {
+                    self.prof.end(s.t_ingest, job.id.0, s.ingest);
+                    self.open_ingest = None;
+                }
                 self.queue.push_back(job);
                 let mut out = self.pump_ingest();
                 out.extend(self.pump_match(now));
@@ -300,6 +369,12 @@ impl FluxInstanceSim {
                     .matched
                     .remove(&id)
                     .expect("match token for unknown job");
+                if let Some(s) = &self.syms {
+                    self.prof.end(s.t_match, id.0, s.matching);
+                    self.open_match = None;
+                    self.prof
+                        .instant_detail(s.comp, id.0, s.alloc, self.pool.busy_cores() as f64);
+                }
                 self.start_queue.push_back((job, placement));
                 let mut out = vec![FluxAction::Event(JobEvent::Alloc(id))];
                 out.extend(self.pump_start(now));
@@ -308,6 +383,11 @@ impl FluxInstanceSim {
             }
             FluxToken::Started(id) => {
                 self.start_busy = false;
+                if let Some(s) = &self.syms {
+                    self.prof.end(s.t_start, id.0, s.launch);
+                    self.open_start = None;
+                    self.prof.instant(s.comp, id.0, s.start);
+                }
                 // expected_end was fixed when the start timer was created
                 // (start completion time + payload duration), so the
                 // remaining span from `now` is exactly the payload duration.
@@ -333,6 +413,10 @@ impl FluxInstanceSim {
                     .expect("done token for unknown job");
                 self.pool.free(&run.placement);
                 self.completed += 1;
+                if let Some(s) = &self.syms {
+                    self.prof
+                        .instant_detail(s.comp, id.0, s.finish, self.pool.busy_cores() as f64);
+                }
                 let mut out = vec![FluxAction::Event(JobEvent::Finish(id))];
                 out.extend(self.pump_match(now));
                 out
@@ -346,6 +430,11 @@ impl FluxInstanceSim {
             return Vec::new();
         }
         self.ingest_busy = true;
+        if let Some(s) = &self.syms {
+            let uid = self.pending_ingest.front().expect("non-empty").id.0;
+            self.prof.begin(s.t_ingest, uid, s.ingest);
+            self.open_ingest = Some(uid);
+        }
         let cost = self.ingest_cost.sample(&mut self.rng);
         vec![FluxAction::Timer {
             after: cost,
@@ -371,6 +460,10 @@ impl FluxInstanceSim {
             .expect("policy selected a job that fits");
         self.matched.insert(job.id, (job, placement));
         self.match_busy = true;
+        if let Some(s) = &self.syms {
+            self.prof.begin(s.t_match, job.id.0, s.matching);
+            self.open_match = Some(job.id.0);
+        }
         let cost = self.match_cost.sample(&mut self.rng);
         vec![FluxAction::Timer {
             after: cost,
@@ -385,6 +478,10 @@ impl FluxInstanceSim {
         }
         let (job, placement) = self.start_queue.pop_front().expect("non-empty");
         self.start_busy = true;
+        if let Some(s) = &self.syms {
+            self.prof.begin(s.t_start, job.id.0, s.launch);
+            self.open_start = Some(job.id.0);
+        }
         let cost = self.start_cost.sample(&mut self.rng);
         // Register as running with its final expected end (start-server
         // completion + payload duration) so backfill sees it immediately.
@@ -435,10 +532,10 @@ mod tests {
         let mut seq = 0u64;
         let mut events = Vec::new();
         let apply = |acts: Vec<FluxAction>,
-                         now: u64,
-                         heap: &mut BinaryHeap<Reverse<(u64, u64, FluxToken)>>,
-                         seq: &mut u64,
-                         events: &mut Vec<(f64, JobEvent)>| {
+                     now: u64,
+                     heap: &mut BinaryHeap<Reverse<(u64, u64, FluxToken)>>,
+                     seq: &mut u64,
+                     events: &mut Vec<(f64, JobEvent)>| {
             for a in acts {
                 match a {
                     FluxAction::Timer { after, token } => {
@@ -583,11 +680,12 @@ mod tests {
 
     #[test]
     fn backfill_beats_fcfs_on_mixed_width() {
-        // One node. Stream: wide(56c, 100s), wide(56c, 100s), then 55
-        // narrow(1c, 100s). FCFS serializes the wides then the narrows;
-        // EASY backfills narrows beside nothing? (node is full during each
-        // wide) — instead use: wide(30c), wide(30c), narrow(20c)*  — the
-        // second wide blocks; narrows fit beside the first wide.
+        // One node (56 cores). Stream: wide(30c, 100s), full(56c, 100s),
+        // then 5 narrow(5c, 50s). The full-width job blocks at the head
+        // while the wide runs. FCFS holds the narrows behind it, so they
+        // only run after the full job drains (~250 s total). EASY reserves
+        // the full job at t=100 and backfills the narrows beside the wide
+        // (they finish by t=50, before the shadow), ending at ~200 s.
         let mk = |backfill: bool| {
             let mut jobs = vec![
                 JobSpec {
@@ -597,7 +695,7 @@ mod tests {
                 },
                 JobSpec {
                     id: JobId(1),
-                    req: ResourceRequest::single(30, 0),
+                    req: ResourceRequest::single(56, 0),
                     duration: SimDuration::from_secs(100),
                 },
             ];

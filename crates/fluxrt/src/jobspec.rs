@@ -157,9 +157,6 @@ mod tests {
             parse_jobspec("jobspec/1 id=1 ranks=1 cores=1 gpus=0 policy=wat walltime_us=0"),
             Err(JobspecError::Policy("wat".into()))
         );
-        assert_eq!(
-            parse_jobspec("nope"),
-            Err(JobspecError::Field("header"))
-        );
+        assert_eq!(parse_jobspec("nope"), Err(JobspecError::Field("header")));
     }
 }

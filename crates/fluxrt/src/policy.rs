@@ -178,10 +178,13 @@ mod tests {
         let big = pool
             .try_alloc(&ResourceRequest::mpi(1, 56, 0))
             .expect("fits");
-        let running = HashMap::from([(JobId(90), RunningJob {
-            expected_end: SimTime::from_secs(100),
-            placement: big,
-        })]);
+        let running = HashMap::from([(
+            JobId(90),
+            RunningJob {
+                expected_end: SimTime::from_secs(100),
+                placement: big,
+            },
+        )]);
         // Head wants both nodes -> must wait for t=100. A 50 s single-core
         // job can backfill; a 200 s *two-node-wide* job cannot.
         let queue: VecDeque<JobSpec> =
@@ -195,10 +198,13 @@ mod tests {
     fn backfill_rejects_job_that_would_delay_reservation() {
         let mut pool = ResourcePool::over_range(frontier().node, 0, 2);
         let big = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
-        let running = HashMap::from([(JobId(90), RunningJob {
-            expected_end: SimTime::from_secs(100),
-            placement: big,
-        })]);
+        let running = HashMap::from([(
+            JobId(90),
+            RunningJob {
+                expected_end: SimTime::from_secs(100),
+                placement: big,
+            },
+        )]);
         // Head wants both nodes at t=100. Candidate is single-core but runs
         // 500 s and (with the head reserving both full nodes at shadow
         // time) would collide with the reservation.
@@ -213,10 +219,13 @@ mod tests {
         // it fits NOW? nodes 0,1 free => head fits immediately.
         let mut pool = ResourcePool::over_range(frontier().node, 0, 3);
         let filler = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
-        let running = HashMap::from([(JobId(90), RunningJob {
-            expected_end: SimTime::from_secs(100),
-            placement: filler,
-        })]);
+        let running = HashMap::from([(
+            JobId(90),
+            RunningJob {
+                expected_end: SimTime::from_secs(100),
+                placement: filler,
+            },
+        )]);
         let queue: VecDeque<JobSpec> = vec![mpi_job(0, 2, 500)].into();
         let pick = EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running);
         assert_eq!(pick, Some(0), "head fits now");
@@ -228,28 +237,36 @@ mod tests {
         let filler = pool
             .try_alloc(&ResourceRequest::single(56, 0))
             .expect("fill the node");
-        let running = HashMap::from([(JobId(90), RunningJob {
-            expected_end: SimTime::from_secs(100),
-            placement: filler,
-        })]);
+        let running = HashMap::from([(
+            JobId(90),
+            RunningJob {
+                expected_end: SimTime::from_secs(100),
+                placement: filler,
+            },
+        )]);
         // Head blocked; the only backfillable job sits at depth 3.
-        let queue: VecDeque<JobSpec> =
-            vec![job(0, 56, 50), job(1, 56, 50), job(2, 56, 50), job(3, 1, 10)].into();
+        let queue: VecDeque<JobSpec> = vec![
+            job(0, 56, 50),
+            job(1, 56, 50),
+            job(2, 56, 50),
+            job(3, 1, 10),
+        ]
+        .into();
         let shallow = EasyBackfill { depth: 2 };
-        assert_eq!(
-            shallow.select(SimTime::ZERO, &queue, &pool, &running),
-            None
-        );
+        assert_eq!(shallow.select(SimTime::ZERO, &queue, &pool, &running), None);
         // Pool is full, so even the deep policy can't start job 3 *now*.
         let deep = EasyBackfill { depth: 8 };
         assert_eq!(deep.select(SimTime::ZERO, &queue, &pool, &running), None);
         // Free half the node: now job 3 fits and deep finds it.
         let mut pool2 = ResourcePool::over_range(frontier().node, 0, 1);
         let half = pool2.try_alloc(&ResourceRequest::single(28, 0)).unwrap();
-        let running2 = HashMap::from([(JobId(91), RunningJob {
-            expected_end: SimTime::from_secs(100),
-            placement: half,
-        })]);
+        let running2 = HashMap::from([(
+            JobId(91),
+            RunningJob {
+                expected_end: SimTime::from_secs(100),
+                placement: half,
+            },
+        )]);
         assert_eq!(
             shallow.select(SimTime::ZERO, &queue, &pool2, &running2),
             None,

@@ -7,10 +7,9 @@
 //! `FnOnce` closures on OS threads. This is the plane the examples and the
 //! quickstart run on.
 
-use parking_lot::{Condvar, Mutex};
 use rp_platform::{Placement, ResourcePool, ResourceRequest};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 
 type Payload = Box<dyn FnOnce() + Send + 'static>;
@@ -78,7 +77,7 @@ impl FluxRt {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut st = self.inner.st.lock();
+        let mut st = self.inner.st.lock().expect("fluxrt poisoned");
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -97,20 +96,25 @@ impl FluxRt {
 
     /// Block until the queue is empty and nothing is running.
     pub fn wait_idle(&self) {
-        let mut st = self.inner.st.lock();
+        let mut st = self.inner.st.lock().expect("fluxrt poisoned");
         while !(st.queue.is_empty() && st.running == 0) {
-            self.inner.cv.wait(&mut st);
+            st = self.inner.cv.wait(st).expect("fluxrt poisoned");
         }
     }
 
     /// Jobs completed so far.
     pub fn completed(&self) -> u64 {
-        self.inner.st.lock().completed
+        self.inner.st.lock().expect("fluxrt poisoned").completed
     }
 
     /// Cores currently held by running jobs.
     pub fn busy_cores(&self) -> u64 {
-        self.inner.st.lock().pool.busy_cores()
+        self.inner
+            .st
+            .lock()
+            .expect("fluxrt poisoned")
+            .pool
+            .busy_cores()
     }
 
     /// Drain and stop the scheduler thread.
@@ -122,7 +126,7 @@ impl FluxRt {
     }
 
     fn do_shutdown(&self) {
-        let mut st = self.inner.st.lock();
+        let mut st = self.inner.st.lock().expect("fluxrt poisoned");
         st.shutdown = true;
         drop(st);
         self.inner.cv.notify_all();
@@ -141,7 +145,7 @@ impl Drop for FluxRt {
 fn scheduler_loop(inner: Arc<Inner>) {
     loop {
         let (id, placement, payload) = {
-            let mut st = inner.st.lock();
+            let mut st = inner.st.lock().expect("fluxrt poisoned");
             loop {
                 if st.shutdown && st.queue.is_empty() && st.running == 0 {
                     return;
@@ -160,7 +164,7 @@ fn scheduler_loop(inner: Arc<Inner>) {
                     st.running += 1;
                     break (q.id, placement, q.payload);
                 }
-                inner.cv.wait(&mut st);
+                st = inner.cv.wait(st).expect("fluxrt poisoned");
             }
         };
         spawn_job(inner.clone(), id, placement, payload);
@@ -172,7 +176,7 @@ fn spawn_job(inner: Arc<Inner>, id: u64, placement: Placement, payload: Payload)
         .name(format!("fluxrt-job-{id}"))
         .spawn(move || {
             payload();
-            let mut st = inner.st.lock();
+            let mut st = inner.st.lock().expect("fluxrt poisoned");
             st.pool.free(&placement);
             st.running -= 1;
             st.completed += 1;

@@ -1,53 +1,41 @@
-//! Property tests for Flux scheduling invariants:
+//! Randomized invariant tests for Flux scheduling:
 //! - any policy selection must denote a job that fits *now*;
 //! - FCFS never skips the head;
-//! - EASY backfill never selects a job that would provably delay the
-//!   head's reservation (checked against a brute-force shadow);
 //! - the instance pipeline conserves jobs under arbitrary workloads.
+//!
+//! Cases come from fixed-seed [`RngStream`]s so failures replay exactly.
 
-use proptest::prelude::*;
 use rp_fluxrt::{
     EasyBackfill, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId, JobSpec,
     RunningJob, SchedPolicy,
 };
-use rp_platform::{frontier, Allocation, Calibration, PlacementPolicy, ResourcePool,
-    ResourceRequest};
-use rp_sim::{SimDuration, SimTime};
+use rp_platform::{
+    frontier, Allocation, Calibration, PlacementPolicy, ResourcePool, ResourceRequest,
+};
+use rp_sim::{RngStream, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-fn arb_req() -> impl Strategy<Value = ResourceRequest> {
-    (1u32..4, 1u16..57, 0u16..9).prop_map(|(ranks, cores, gpus)| ResourceRequest {
+fn random_req(rng: &mut RngStream) -> ResourceRequest {
+    ResourceRequest {
         mem_per_rank_gb: 0,
-        ranks,
-        cores_per_rank: cores,
-        gpus_per_rank: gpus,
+        ranks: 1 + rng.index(3) as u32,
+        cores_per_rank: 1 + rng.index(56) as u16,
+        gpus_per_rank: rng.index(9) as u16,
         policy: PlacementPolicy::Pack,
-    })
+    }
 }
 
-fn arb_job(id: u64) -> impl Strategy<Value = JobSpec> {
-    (arb_req(), 1u64..500).prop_map(move |(req, secs)| JobSpec {
-        id: JobId(id),
-        req,
-        duration: SimDuration::from_secs(secs),
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever a policy picks fits the pool right now; FCFS picks only 0.
-    #[test]
-    fn selection_always_fits(
-        jobs in prop::collection::vec(arb_job(0), 1..20),
-        warm in prop::collection::vec(arb_req(), 0..10),
-        backfill in any::<bool>(),
-    ) {
+/// Whatever a policy picks fits the pool right now; FCFS picks only 0.
+#[test]
+fn selection_always_fits() {
+    let mut rng = RngStream::derive(0xF10C, "selection_always_fits");
+    for case in 0..128 {
         let mut pool = ResourcePool::over_range(frontier().node, 0, 4);
         let mut running = std::collections::HashMap::new();
-        for (i, r) in warm.iter().enumerate() {
-            if let Some(p) = pool.try_alloc(r) {
+        for i in 0..rng.index(10) {
+            let r = random_req(&mut rng);
+            if let Some(p) = pool.try_alloc(&r) {
                 running.insert(
                     JobId(1000 + i as u64),
                     RunningJob {
@@ -57,39 +45,48 @@ proptest! {
                 );
             }
         }
-        let queue: VecDeque<JobSpec> = jobs
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut j)| {
-                j.id = JobId(i as u64);
-                j
+        let n_jobs = 1 + rng.index(19);
+        let queue: VecDeque<JobSpec> = (0..n_jobs)
+            .map(|i| JobSpec {
+                id: JobId(i as u64),
+                req: random_req(&mut rng),
+                duration: SimDuration::from_secs(1 + rng.next_u64() % 499),
             })
             .collect();
+        let backfill = rng.chance(0.5);
         let pick = if backfill {
             EasyBackfill::default().select(SimTime::ZERO, &queue, &pool, &running)
         } else {
             Fcfs.select(SimTime::ZERO, &queue, &pool, &running)
         };
         if let Some(idx) = pick {
-            prop_assert!(idx < queue.len());
-            prop_assert!(pool.fits_now(&queue[idx].req), "selected job must fit");
+            assert!(idx < queue.len(), "case {case}");
+            assert!(
+                pool.fits_now(&queue[idx].req),
+                "case {case}: selected job must fit"
+            );
             if !backfill {
-                prop_assert_eq!(idx, 0, "FCFS only ever picks the head");
+                assert_eq!(idx, 0, "case {case}: FCFS only ever picks the head");
             }
         }
-        // Policies must not mutate the pool.
-        let total = pool.free_cores();
-        let _ = total;
     }
+}
 
-    /// The instance conserves jobs: every submitted feasible job eventually
-    /// emits Start and Finish exactly once, infeasible ones exactly one
-    /// exception — under arbitrary job mixes.
-    #[test]
-    fn instance_conserves_jobs(
-        specs in prop::collection::vec((arb_req(), 0u64..50), 1..40),
-    ) {
-        let alloc = Allocation { spec: frontier().node, first: 0, count: 2 };
+/// The instance conserves jobs: every submitted feasible job eventually
+/// emits Start and Finish exactly once, infeasible ones exactly one
+/// exception — under arbitrary job mixes.
+#[test]
+fn instance_conserves_jobs() {
+    let mut rng = RngStream::derive(0xF10D, "instance_conserves_jobs");
+    for case in 0..64 {
+        let specs: Vec<(ResourceRequest, u64)> = (0..1 + rng.index(39))
+            .map(|_| (random_req(&mut rng), rng.next_u64() % 50))
+            .collect();
+        let alloc = Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: 2,
+        };
         let mut inst = FluxInstanceSim::new(
             alloc,
             &Calibration::frontier(),
@@ -103,7 +100,13 @@ proptest! {
         let mut exceptions = 0usize;
         let mut feasible = 0usize;
 
-        let push = |acts: Vec<FluxAction>, now: u64, heap: &mut BinaryHeap<Reverse<(u64,u64,FluxToken)>>, seq: &mut u64, s: &mut usize, f: &mut usize, e: &mut usize| {
+        let push = |acts: Vec<FluxAction>,
+                    now: u64,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, FluxToken)>>,
+                    seq: &mut u64,
+                    s: &mut usize,
+                    f: &mut usize,
+                    e: &mut usize| {
             for a in acts {
                 match a {
                     FluxAction::Timer { after, token } => {
@@ -119,7 +122,15 @@ proptest! {
         };
 
         let acts = inst.boot();
-        push(acts, 0, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+        push(
+            acts,
+            0,
+            &mut heap,
+            &mut seq,
+            &mut starts,
+            &mut finishes,
+            &mut exceptions,
+        );
         let pool_probe = ResourcePool::over_range(frontier().node, 0, 2);
         for (i, (req, secs)) in specs.iter().enumerate() {
             if pool_probe.can_ever_fit(req) {
@@ -131,16 +142,35 @@ proptest! {
                 duration: SimDuration::from_secs(*secs),
             };
             let acts = inst.submit(SimTime::ZERO, job);
-            push(acts, 0, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+            push(
+                acts,
+                0,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+                &mut finishes,
+                &mut exceptions,
+            );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
             let acts = inst.on_token(SimTime::from_micros(t), tok);
-            push(acts, t, &mut heap, &mut seq, &mut starts, &mut finishes, &mut exceptions);
+            push(
+                acts,
+                t,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+                &mut finishes,
+                &mut exceptions,
+            );
         }
-        prop_assert!(inst.is_idle(), "pipeline must drain");
-        prop_assert_eq!(starts, feasible, "every feasible job starts once");
-        prop_assert_eq!(finishes, feasible);
-        prop_assert_eq!(exceptions, specs.len() - feasible);
-        prop_assert_eq!(inst.busy_cores(), 0, "all resources returned");
+        assert!(inst.is_idle(), "case {case}: pipeline must drain");
+        assert_eq!(
+            starts, feasible,
+            "case {case}: every feasible job starts once"
+        );
+        assert_eq!(finishes, feasible, "case {case}");
+        assert_eq!(exceptions, specs.len() - feasible, "case {case}");
+        assert_eq!(inst.busy_cores(), 0, "case {case}: all resources returned");
     }
 }

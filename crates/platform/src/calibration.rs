@@ -314,9 +314,8 @@ mod tests {
     fn srun_rates_match_paper_anchors() {
         let cal = Calibration::frontier();
         // Steady-state launch rate = ceiling / mean step cost.
-        let rate = |nodes| {
-            cal.srun_concurrency_ceiling as f64 / cal.srun_step_cost(nodes, 1).mean_secs()
-        };
+        let rate =
+            |nodes| cal.srun_concurrency_ceiling as f64 / cal.srun_step_cost(nodes, 1).mean_secs();
         let r1 = rate(1);
         let r4 = rate(4);
         assert!((145.0..165.0).contains(&r1), "1-node rate {r1}");
@@ -335,12 +334,18 @@ mod tests {
         let p1 = pipeline(1);
         assert!((24.0..34.0).contains(&p1), "1-node flux rate {p1}");
         let p1024 = pipeline(1024);
-        assert!((140.0..340.0).contains(&p1024), "1024-node flux rate {p1024}");
+        assert!(
+            (140.0..340.0).contains(&p1024),
+            "1024-node flux rate {p1024}"
+        );
         // Monotone through mid-scale:
         assert!(pipeline(4) > p1);
         assert!(pipeline(64) > pipeline(16));
         // Ingest ceiling near the 744 t/s peak:
-        assert!((700.0..800.0).contains(&ingest_rate), "ingest {ingest_rate}");
+        assert!(
+            (700.0..800.0).contains(&ingest_rate),
+            "ingest {ingest_rate}"
+        );
     }
 
     #[test]

@@ -107,12 +107,18 @@ pub struct Placement {
 impl Placement {
     /// Total cores held.
     pub fn cores(&self) -> u64 {
-        self.ranks.iter().map(|r| r.core_mask.count_ones() as u64).sum()
+        self.ranks
+            .iter()
+            .map(|r| r.core_mask.count_ones() as u64)
+            .sum()
     }
 
     /// Total GPUs held.
     pub fn gpus(&self) -> u64 {
-        self.ranks.iter().map(|r| r.gpu_mask.count_ones() as u64).sum()
+        self.ranks
+            .iter()
+            .map(|r| r.gpu_mask.count_ones() as u64)
+            .sum()
     }
 
     /// Distinct nodes touched.
@@ -252,9 +258,7 @@ impl ResourcePool {
         }
         let nodes = self.nodes.len() as u64;
         match req.policy {
-            PlacementPolicy::Spread | PlacementPolicy::NodeExclusive => {
-                req.ranks as u64 <= nodes
-            }
+            PlacementPolicy::Spread | PlacementPolicy::NodeExclusive => req.ranks as u64 <= nodes,
             PlacementPolicy::Pack => {
                 let per_node = self.ranks_fitting_empty_node(req);
                 per_node > 0 && req.ranks as u64 <= nodes * per_node
@@ -400,9 +404,7 @@ impl ResourcePool {
                     if remaining == 0 {
                         break;
                     }
-                    if n.cores == full_cores
-                        && n.gpus == full_gpus
-                        && n.mem_gb == self.spec.mem_gb
+                    if n.cores == full_cores && n.gpus == full_gpus && n.mem_gb == self.spec.mem_gb
                     {
                         ranks.push(RankPlacement {
                             node: n.id,

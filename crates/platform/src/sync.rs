@@ -1,9 +1,10 @@
 //! Small synchronization primitives shared by the real-threaded planes of
-//! the launcher/runtime crates (the std/parking_lot toolbox has no counting
-//! semaphore, and the ceiling semantics here must match `rjms::SrunSlots`).
+//! the launcher/runtime crates (std has no counting semaphore or clonable
+//! MPMC channel, and the ceiling semantics here must match `rjms::SrunSlots`).
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A counting semaphore with FIFO-ish wakeup, used to enforce concurrency
 /// ceilings (srun slots, worker pools) on real threads.
@@ -49,9 +50,9 @@ impl Semaphore {
 
     /// Block until a permit is available.
     pub fn acquire(&self) -> Permit {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().expect("semaphore poisoned");
         while st.permits == 0 {
-            self.inner.cv.wait(&mut st);
+            st = self.inner.cv.wait(st).expect("semaphore poisoned");
         }
         st.permits -= 1;
         let in_use = st.capacity - st.permits;
@@ -63,7 +64,7 @@ impl Semaphore {
 
     /// Take a permit only if one is free right now.
     pub fn try_acquire(&self) -> Option<Permit> {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().expect("semaphore poisoned");
         if st.permits == 0 {
             return None;
         }
@@ -77,13 +78,17 @@ impl Semaphore {
 
     /// Permits currently held.
     pub fn in_use(&self) -> usize {
-        let st = self.inner.state.lock();
+        let st = self.inner.state.lock().expect("semaphore poisoned");
         st.capacity - st.permits
     }
 
     /// Highest concurrent holders seen.
     pub fn high_water(&self) -> usize {
-        self.inner.state.lock().high_water_in_use
+        self.inner
+            .state
+            .lock()
+            .expect("semaphore poisoned")
+            .high_water_in_use
     }
 }
 
@@ -97,10 +102,163 @@ impl Clone for Semaphore {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().expect("semaphore poisoned");
         st.permits += 1;
         drop(st);
         self.inner.cv.notify_one();
+    }
+}
+
+/// Receive errors for the MPMC channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+    /// No message arrived within the timeout (the channel may still be open).
+    Timeout,
+    /// `try_recv` found the queue empty but senders still live.
+    Empty,
+}
+
+#[derive(Debug)]
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+}
+
+#[derive(Debug)]
+struct Chan<T> {
+    st: Mutex<ChanState<T>>,
+    cv: Condvar,
+}
+
+/// Sending half of [`mpmc_channel`]; clonable. Dropping the last sender
+/// disconnects the channel (receivers drain what remains, then error).
+#[derive(Debug)]
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of [`mpmc_channel`]; clonable — any receiver may consume
+/// any message (the watcher-thread hand-off pattern).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// An unbounded multi-producer/multi-consumer channel with disconnect
+/// semantics: `recv` blocks while senders are live and returns
+/// [`RecvError::Disconnected`] once every sender dropped and the queue is
+/// drained.
+pub fn mpmc_channel<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        st: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+        }),
+        cv: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message (never blocks; the channel is unbounded).
+    pub fn send(&self, item: T) {
+        let mut st = self.chan.st.lock().expect("channel poisoned");
+        st.queue.push_back(item);
+        drop(st);
+        self.chan.cv.notify_one();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.st.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.st.lock().expect("channel poisoned");
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.st.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            st = self.chan.cv.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Block with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.chan.st.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("channel poisoned");
+            st = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.st.lock().expect("channel poisoned");
+        if let Some(v) = st.queue.pop_front() {
+            Ok(v)
+        } else if st.senders == 0 {
+            Err(RecvError::Disconnected)
+        } else {
+            Err(RecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.st.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: self.chan.clone(),
+        }
     }
 }
 
@@ -145,5 +303,63 @@ mod tests {
         assert!(sem.try_acquire().is_none());
         drop(p);
         assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn mpmc_moves_items_and_disconnects() {
+        let (tx, rx) = mpmc_channel::<u64>();
+        let producer = thread::spawn(move || {
+            for i in 0..500 {
+                tx.send(i);
+            }
+            // tx drops here → disconnect
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got.len(), 500);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "single-consumer FIFO");
+        assert_eq!(rx.recv(), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn mpmc_cloned_receivers_share_the_stream() {
+        let (tx, rx) = mpmc_channel::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i);
+        }
+        drop(tx);
+        let a = thread::spawn(move || {
+            let mut n = 0;
+            while rx.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        let b = thread::spawn(move || {
+            let mut n = 0;
+            while rx2.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn mpmc_timeout_and_try_recv() {
+        let (tx, rx) = mpmc_channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Timeout)
+        );
+        tx.send(9);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(RecvError::Disconnected));
     }
 }

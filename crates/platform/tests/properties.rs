@@ -1,31 +1,27 @@
-//! Property tests for the resource algebra — the invariants every
-//! utilization number in the experiments depends on:
-//! conservation (free + busy = total), no double-booking, and
-//! alloc/free inverse behavior under arbitrary interleavings.
+//! Randomized invariant tests for the resource algebra — the invariants
+//! every utilization number in the experiments depends on: conservation
+//! (free + busy = total), no double-booking, and alloc/free inverse
+//! behavior under arbitrary interleavings. Cases come from fixed-seed
+//! [`RngStream`]s so failures replay exactly.
 
-use proptest::prelude::*;
 use rp_platform::{
     frontier, Allocation, Placement, PlacementPolicy, ResourcePool, ResourceRequest,
 };
+use rp_sim::RngStream;
 
-fn arb_request() -> impl Strategy<Value = ResourceRequest> {
-    (
-        1u32..6,
-        1u16..20,
-        0u16..4,
-        prop_oneof![
-            Just(PlacementPolicy::Pack),
-            Just(PlacementPolicy::Spread),
-            Just(PlacementPolicy::NodeExclusive),
-        ],
-    )
-        .prop_map(|(ranks, cores, gpus, policy)| ResourceRequest {
-            mem_per_rank_gb: 0,
-            ranks,
-            cores_per_rank: cores,
-            gpus_per_rank: gpus,
-            policy,
-        })
+fn random_request(rng: &mut RngStream) -> ResourceRequest {
+    let policy = match rng.index(3) {
+        0 => PlacementPolicy::Pack,
+        1 => PlacementPolicy::Spread,
+        _ => PlacementPolicy::NodeExclusive,
+    };
+    ResourceRequest {
+        mem_per_rank_gb: 0,
+        ranks: 1 + rng.index(5) as u32,
+        cores_per_rank: 1 + rng.index(19) as u16,
+        gpus_per_rank: rng.index(4) as u16,
+        policy,
+    }
 }
 
 /// Check that no two live placements share a core or GPU on any node.
@@ -36,31 +32,41 @@ fn assert_disjoint(live: &[Placement]) {
     for p in live {
         for r in &p.ranks {
             let c = cores.entry(r.node_idx).or_default();
-            assert_eq!(*c & r.core_mask, 0, "core double-booking on node {}", r.node_idx);
+            assert_eq!(
+                *c & r.core_mask,
+                0,
+                "core double-booking on node {}",
+                r.node_idx
+            );
             *c |= r.core_mask;
             let g = gpus.entry(r.node_idx).or_default();
-            assert_eq!(*g & r.gpu_mask, 0, "gpu double-booking on node {}", r.node_idx);
+            assert_eq!(
+                *g & r.gpu_mask,
+                0,
+                "gpu double-booking on node {}",
+                r.node_idx
+            );
             *g |= r.gpu_mask;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Random alloc/free interleavings preserve conservation and
-    /// disjointness, and draining everything restores the empty pool.
-    #[test]
-    fn pool_conservation(
-        nodes in 1u32..12,
-        ops in prop::collection::vec((arb_request(), any::<bool>()), 1..120),
-    ) {
+/// Random alloc/free interleavings preserve conservation and disjointness,
+/// and draining everything restores the empty pool.
+#[test]
+fn pool_conservation() {
+    let mut rng = RngStream::derive(0x9001, "pool_conservation");
+    for case in 0..128 {
+        let nodes = 1 + rng.index(11) as u32;
+        let n_ops = 1 + rng.index(119);
         let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
         let total_c = pool.total_cores();
         let total_g = pool.total_gpus();
         let mut live: Vec<Placement> = Vec::new();
 
-        for (req, free_one) in ops {
+        for _ in 0..n_ops {
+            let req = random_request(&mut rng);
+            let free_one = rng.chance(0.5);
             if free_one && !live.is_empty() {
                 let p = live.swap_remove(live.len() / 2);
                 pool.free(&p);
@@ -68,56 +74,71 @@ proptest! {
                 // NodeExclusive occupies whole nodes by design; the others
                 // occupy exactly what was asked.
                 if req.policy == PlacementPolicy::NodeExclusive {
-                    prop_assert_eq!(p.cores(), req.ranks as u64 * pool.spec().cores as u64);
-                    prop_assert_eq!(p.gpus(), req.ranks as u64 * pool.spec().gpus as u64);
+                    assert_eq!(p.cores(), req.ranks as u64 * pool.spec().cores as u64);
+                    assert_eq!(p.gpus(), req.ranks as u64 * pool.spec().gpus as u64);
                 } else {
-                    prop_assert_eq!(p.cores(), req.total_cores());
-                    prop_assert_eq!(p.gpus(), req.total_gpus());
+                    assert_eq!(p.cores(), req.total_cores());
+                    assert_eq!(p.gpus(), req.total_gpus());
                 }
                 live.push(p);
             }
             // Conservation at every step.
             let live_c: u64 = live.iter().map(|p| p.cores()).sum();
             let live_g: u64 = live.iter().map(|p| p.gpus()).sum();
-            prop_assert_eq!(pool.busy_cores(), live_c);
-            prop_assert_eq!(pool.busy_gpus(), live_g);
-            prop_assert_eq!(pool.free_cores() + live_c, total_c);
-            prop_assert_eq!(pool.free_gpus() + live_g, total_g);
+            assert_eq!(pool.busy_cores(), live_c, "case {case}");
+            assert_eq!(pool.busy_gpus(), live_g, "case {case}");
+            assert_eq!(pool.free_cores() + live_c, total_c, "case {case}");
+            assert_eq!(pool.free_gpus() + live_g, total_g, "case {case}");
             assert_disjoint(&live);
         }
 
         for p in &live {
             pool.free(p);
         }
-        prop_assert_eq!(pool.free_cores(), total_c);
-        prop_assert_eq!(pool.free_gpus(), total_g);
+        assert_eq!(pool.free_cores(), total_c, "case {case}");
+        assert_eq!(pool.free_gpus(), total_g, "case {case}");
     }
+}
 
-    /// `fits_now` is consistent with `try_alloc`: if it says yes, the alloc
-    /// succeeds; if it says no, the alloc fails — and neither mutates when
-    /// it shouldn't.
-    #[test]
-    fn fits_now_agrees_with_alloc(
-        nodes in 1u32..8,
-        warm in prop::collection::vec(arb_request(), 0..20),
-        probe in arb_request(),
-    ) {
+/// `fits_now` is consistent with `try_alloc`: if it says yes, the alloc
+/// succeeds; if it says no, the alloc fails — and neither mutates when it
+/// shouldn't.
+#[test]
+fn fits_now_agrees_with_alloc() {
+    let mut rng = RngStream::derive(0x9002, "fits_now_agrees_with_alloc");
+    for case in 0..256 {
+        let nodes = 1 + rng.index(7) as u32;
         let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
-        for r in warm {
+        for _ in 0..rng.index(20) {
+            let r = random_request(&mut rng);
             let _ = pool.try_alloc(&r);
         }
+        let probe = random_request(&mut rng);
         let free_before = (pool.free_cores(), pool.free_gpus());
         let predicted = pool.fits_now(&probe);
-        prop_assert_eq!((pool.free_cores(), pool.free_gpus()), free_before,
-            "fits_now must not mutate");
+        assert_eq!(
+            (pool.free_cores(), pool.free_gpus()),
+            free_before,
+            "case {case}: fits_now must not mutate"
+        );
         let got = pool.try_alloc(&probe);
-        prop_assert_eq!(predicted, got.is_some());
+        assert_eq!(predicted, got.is_some(), "case {case}");
     }
+}
 
-    /// Partitioning an allocation always covers every node exactly once.
-    #[test]
-    fn partition_is_exact_cover(first in 0u32..100, count in 1u32..300, k in 1u32..80) {
-        let a = Allocation { spec: frontier().node, first, count };
+/// Partitioning an allocation always covers every node exactly once.
+#[test]
+fn partition_is_exact_cover() {
+    let mut rng = RngStream::derive(0x9003, "partition_is_exact_cover");
+    for case in 0..256 {
+        let first = rng.index(100) as u32;
+        let count = 1 + rng.index(299) as u32;
+        let k = 1 + rng.index(79) as u32;
+        let a = Allocation {
+            spec: frontier().node,
+            first,
+            count,
+        };
         let parts = a.partition(k);
         let mut all: Vec<u32> = parts
             .iter()
@@ -125,10 +146,16 @@ proptest! {
             .collect();
         all.sort_unstable();
         let expected: Vec<u32> = (first..first + count).collect();
-        prop_assert_eq!(all, expected);
+        assert_eq!(
+            all, expected,
+            "case {case} (first {first}, count {count}, k {k})"
+        );
         // Balanced: sizes differ by at most one.
         let sizes: Vec<u32> = parts.iter().map(|p| p.count).collect();
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(max - min <= 1);
+        assert!(
+            max - min <= 1,
+            "case {case}: unbalanced partition {sizes:?}"
+        );
     }
 }

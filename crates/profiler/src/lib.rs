@@ -1,0 +1,552 @@
+//! `rp-profiler` — the runtime observability layer of the reproduction.
+//!
+//! RADICAL-Pilot writes per-component `.prof` files: one state-timestamp
+//! event per line, mined post-hoc by RADICAL-Analytics to produce every
+//! figure in the source paper (throughput, utilization, OVH decomposition).
+//! This crate is the analog for the simulated stack: a low-overhead event
+//! collector driven by the virtual clock ([`rp_sim::SimClock`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Cheap when off.** Every hook site costs one branch when profiling
+//!    is disabled ([`Profiler::disabled`] is a `None` inside).
+//! 2. **No allocation on the hot path.** Component and state names are
+//!    interned once at attach time ([`Profiler::intern`]); recording an
+//!    event copies five words into a ring buffer.
+//! 3. **Bounded memory.** The ring drops the *oldest* events once full and
+//!    counts what it dropped, so a runaway run degrades instead of OOMing.
+//!
+//! Exporters ([`ProfileData::csv`], [`ProfileData::chrome_trace`]) run
+//! after the simulation, off the hot path. The CSV mirrors RP's profile
+//! schema; the Chrome `trace_event` JSON opens directly in Perfetto with
+//! one track per component.
+
+#![warn(missing_docs)]
+
+use rp_sim::{SimClock, SimTime};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Sentinel uid for events not tied to a task/entity.
+pub const NO_UID: u64 = u64::MAX;
+
+/// An interned name (component, state, or gauge). `Sym`s are only
+/// meaningful relative to the profiler that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw interner index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What shape of event a record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A point event: a state transition or a one-shot occurrence.
+    Instant,
+    /// The opening edge of a span (serial-server activity like a scheduler
+    /// pass; spans on one component must nest trivially, i.e. not overlap).
+    Begin,
+    /// The closing edge of a span.
+    End,
+    /// A sampled gauge value (`detail` carries the sample).
+    Gauge,
+}
+
+impl Phase {
+    /// One-letter code used in the profile CSV.
+    pub fn code(self) -> char {
+        match self {
+            Phase::Instant => 'I',
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Gauge => 'G',
+        }
+    }
+
+    /// Parse the one-letter CSV code.
+    pub fn from_code(c: char) -> Option<Phase> {
+        match c {
+            'I' => Some(Phase::Instant),
+            'B' => Some(Phase::Begin),
+            'E' => Some(Phase::End),
+            'G' => Some(Phase::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: the RP profile tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual timestamp.
+    pub at: SimTime,
+    /// Emitting component (interned).
+    pub comp: Sym,
+    /// Entity (task/job/step) uid, or [`NO_UID`].
+    pub uid: u64,
+    /// State or event name (interned); gauge name for [`Phase::Gauge`].
+    pub what: Sym,
+    /// Event shape.
+    pub phase: Phase,
+    /// Free numeric payload: gauge value, count, or 0.
+    pub detail: f64,
+}
+
+struct Inner {
+    clock: SimClock,
+    names: Vec<String>,
+    index: HashMap<String, Sym>,
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Inner {
+    fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), s);
+        s
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// The collector handle. Cloning is cheap (shared ring); a disabled
+/// profiler records nothing and costs one branch per hook.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Profiler(disabled)"),
+            Some(i) => {
+                let i = i.borrow();
+                f.debug_struct("Profiler")
+                    .field("events", &i.events.len())
+                    .field("dropped", &i.dropped)
+                    .finish()
+            }
+        }
+    }
+}
+
+impl Profiler {
+    /// Default ring capacity: ~1M events, a few runs of the largest
+    /// experiment scale.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An active profiler timestamping from `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Self::with_capacity(clock, Self::DEFAULT_CAPACITY)
+    }
+
+    /// An active profiler with an explicit ring capacity.
+    pub fn with_capacity(clock: SimClock, capacity: usize) -> Self {
+        assert!(capacity > 0, "profiler capacity must be positive");
+        Profiler {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                clock,
+                names: Vec::new(),
+                index: HashMap::new(),
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// A no-op profiler: every hook is a single `None` check.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern `name`, returning a stable symbol for hot-path use. On a
+    /// disabled profiler this returns a dummy symbol.
+    pub fn intern(&self, name: &str) -> Sym {
+        match &self.inner {
+            None => Sym(0),
+            Some(i) => i.borrow_mut().intern(name),
+        }
+    }
+
+    fn record(&self, comp: Sym, uid: u64, what: Sym, phase: Phase, detail: f64) {
+        if let Some(i) = &self.inner {
+            let mut i = i.borrow_mut();
+            let at = i.clock.now();
+            i.push(Event {
+                at,
+                comp,
+                uid,
+                what,
+                phase,
+                detail,
+            });
+        }
+    }
+
+    /// A point event (state transition) for entity `uid`.
+    pub fn instant(&self, comp: Sym, uid: u64, what: Sym) {
+        self.record(comp, uid, what, Phase::Instant, 0.0);
+    }
+
+    /// A point event with a numeric payload.
+    pub fn instant_detail(&self, comp: Sym, uid: u64, what: Sym, detail: f64) {
+        self.record(comp, uid, what, Phase::Instant, detail);
+    }
+
+    /// Open a span on `comp`. Spans on one component must not overlap
+    /// (serial-server activities), which keeps Chrome B/E pairs matched by
+    /// construction.
+    pub fn begin(&self, comp: Sym, uid: u64, what: Sym) {
+        self.record(comp, uid, what, Phase::Begin, 0.0);
+    }
+
+    /// Close the span opened by the matching [`Profiler::begin`].
+    pub fn end(&self, comp: Sym, uid: u64, what: Sym) {
+        self.record(comp, uid, what, Phase::End, 0.0);
+    }
+
+    /// Record one gauge sample on track `track`.
+    pub fn gauge(&self, track: Sym, name: Sym, value: f64) {
+        self.record(track, NO_UID, name, Phase::Gauge, value);
+    }
+
+    /// Events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().events.len())
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Oldest events evicted by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().dropped)
+    }
+
+    /// Snapshot the collected data for export (clones; the profiler keeps
+    /// recording).
+    pub fn snapshot(&self) -> ProfileData {
+        match &self.inner {
+            None => ProfileData::default(),
+            Some(i) => {
+                let i = i.borrow();
+                ProfileData {
+                    names: i.names.clone(),
+                    events: i.events.iter().copied().collect(),
+                    dropped: i.dropped,
+                }
+            }
+        }
+    }
+}
+
+/// An exported, self-contained profile: the interner table plus the event
+/// stream in record order (which is time order — the ring preserves it).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileData {
+    /// Interned names; index by [`Sym::index`].
+    pub names: Vec<String>,
+    /// Events in time order.
+    pub events: Vec<Event>,
+    /// Events lost to ring eviction before the snapshot.
+    pub dropped: u64,
+}
+
+impl ProfileData {
+    /// Resolve an interned symbol.
+    pub fn name(&self, s: Sym) -> &str {
+        self.names
+            .get(s.index())
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// The RP-style profile CSV: `time,kind,comp,uid,event,detail`, one
+    /// event per line, time in seconds at microsecond precision. The uid
+    /// column is empty for [`NO_UID`] events.
+    pub fn csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.events.len() + 1));
+        out.push_str("time,kind,comp,uid,event,detail\n");
+        for ev in &self.events {
+            let _ = write!(
+                out,
+                "{:.6},{},{},",
+                ev.at.as_secs_f64(),
+                ev.phase.code(),
+                self.name(ev.comp),
+            );
+            if ev.uid != NO_UID {
+                let _ = write!(out, "{}", ev.uid);
+            }
+            let _ = writeln!(out, ",{},{:.6}", self.name(ev.what), ev.detail);
+        }
+        out
+    }
+
+    /// A Chrome `trace_event` JSON document (the "JSON array format"),
+    /// viewable in Perfetto / `chrome://tracing`. One track (`tid`) per
+    /// component; instants map to `ph:"i"`, spans to `ph:"B"/"E"`, gauges
+    /// to counter events `ph:"C"`. One event per line, so tests (and
+    /// `grep`) can process it without a JSON parser.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.events.len() + self.names.len()) + 2);
+        out.push_str("[\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+        // Name each track after its component.
+        for (tid, name) in self.names.iter().enumerate() {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
+                tid,
+                json_escape(name)
+            );
+        }
+        for ev in &self.events {
+            sep(&mut out);
+            let ts = ev.at.as_micros();
+            let tid = ev.comp.index();
+            let name = json_escape(self.name(ev.what));
+            match ev.phase {
+                Phase::Instant => {
+                    let _ = write!(
+                        out,
+                        r#"{{"name":"{}","ph":"i","ts":{},"pid":1,"tid":{},"s":"t","args":{{"uid":{},"detail":{}}}}}"#,
+                        name,
+                        ts,
+                        tid,
+                        json_uid(ev.uid),
+                        json_f64(ev.detail)
+                    );
+                }
+                Phase::Begin | Phase::End => {
+                    let ph = if ev.phase == Phase::Begin { 'B' } else { 'E' };
+                    let _ = write!(
+                        out,
+                        r#"{{"name":"{}","ph":"{}","ts":{},"pid":1,"tid":{},"args":{{"uid":{}}}}}"#,
+                        name,
+                        ph,
+                        ts,
+                        tid,
+                        json_uid(ev.uid)
+                    );
+                }
+                Phase::Gauge => {
+                    let _ = write!(
+                        out,
+                        r#"{{"name":"{}","ph":"C","ts":{},"pid":1,"tid":{},"args":{{"value":{}}}}}"#,
+                        name,
+                        ts,
+                        tid,
+                        json_f64(ev.detail)
+                    );
+                }
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Count events matching a `(component, event-name, phase)` filter —
+    /// the building block for "observed transitions == reported
+    /// transitions" assertions.
+    pub fn count(&self, comp: Option<&str>, what: Option<&str>, phase: Option<Phase>) -> usize {
+        self.events
+            .iter()
+            .filter(|ev| {
+                comp.is_none_or(|c| self.name(ev.comp) == c)
+                    && what.is_none_or(|w| self.name(ev.what) == w)
+                    && phase.is_none_or(|p| ev.phase == p)
+            })
+            .count()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_uid(uid: u64) -> String {
+    if uid == NO_UID {
+        "null".to_string()
+    } else {
+        uid.to_string()
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_sim::SimTime;
+
+    fn active() -> (Profiler, SimClock) {
+        let clock = SimClock::new();
+        (Profiler::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        let c = p.intern("agent");
+        let s = p.intern("EXEC_START");
+        p.instant(c, 1, s);
+        p.gauge(c, s, 3.0);
+        assert!(!p.is_enabled());
+        assert!(p.is_empty());
+        assert!(p.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn events_carry_the_clock_time() {
+        let (p, clock) = active();
+        let comp = p.intern("agent");
+        let st = p.intern("SCHEDULED");
+        clock.set(SimTime::from_secs(3));
+        p.instant(comp, 42, st);
+        let data = p.snapshot();
+        assert_eq!(data.events.len(), 1);
+        let ev = data.events[0];
+        assert_eq!(ev.at, SimTime::from_secs(3));
+        assert_eq!(ev.uid, 42);
+        assert_eq!(data.name(ev.comp), "agent");
+        assert_eq!(data.name(ev.what), "SCHEDULED");
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let (p, _clock) = active();
+        let a = p.intern("fluxrt");
+        let b = p.intern("fluxrt");
+        assert_eq!(a, b);
+        assert_ne!(a, p.intern("dragonrt"));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let clock = SimClock::new();
+        let p = Profiler::with_capacity(clock.clone(), 4);
+        let c = p.intern("x");
+        let s = p.intern("e");
+        for i in 0..10u64 {
+            clock.set(SimTime::from_secs(i));
+            p.instant(c, i, s);
+        }
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.dropped(), 6);
+        let data = p.snapshot();
+        assert_eq!(data.events[0].uid, 6, "oldest events evicted first");
+        assert_eq!(data.dropped, 6);
+    }
+
+    #[test]
+    fn csv_schema_and_uid_sentinel() {
+        let (p, clock) = active();
+        let c = p.intern("agent");
+        let s = p.intern("QUEUE_DEPTH");
+        clock.set(SimTime::from_micros(1_500_000));
+        p.instant(c, 7, s);
+        p.gauge(c, s, 12.5);
+        let csv = p.snapshot().csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,kind,comp,uid,event,detail");
+        assert_eq!(lines[1], "1.500000,I,agent,7,QUEUE_DEPTH,0.000000");
+        assert_eq!(lines[2], "1.500000,G,agent,,QUEUE_DEPTH,12.500000");
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_sound() {
+        let (p, clock) = active();
+        let sched = p.intern("scheduler");
+        let pass = p.intern("schedule_pass");
+        clock.set(SimTime::from_secs(1));
+        p.begin(sched, NO_UID, pass);
+        clock.set(SimTime::from_secs(2));
+        p.end(sched, NO_UID, pass);
+        p.gauge(sched, p.intern("busy_cores"), 56.0);
+        let json = p.snapshot().chrome_trace();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""ph":"B""#));
+        assert!(json.contains(r#""ph":"E""#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""name":"thread_name""#));
+        // One event object per line between the brackets.
+        for line in json.lines().filter(|l| l.starts_with('{')) {
+            let l = line.trim_end_matches(',');
+            assert!(l.ends_with('}'), "line is a full object: {l}");
+        }
+    }
+
+    #[test]
+    fn count_filters_events() {
+        let (p, _clock) = active();
+        let a = p.intern("agent");
+        let f = p.intern("fluxrt");
+        let exec = p.intern("EXEC_START");
+        let done = p.intern("DONE");
+        p.instant(a, 1, exec);
+        p.instant(a, 2, exec);
+        p.instant(f, 2, done);
+        let data = p.snapshot();
+        assert_eq!(data.count(Some("agent"), None, None), 2);
+        assert_eq!(data.count(None, Some("EXEC_START"), None), 2);
+        assert_eq!(
+            data.count(Some("fluxrt"), Some("DONE"), Some(Phase::Instant)),
+            1
+        );
+        assert_eq!(data.count(Some("fluxrt"), Some("EXEC_START"), None), 0);
+    }
+}

@@ -13,8 +13,23 @@
 //! expected to have placed tasks already.
 
 use rp_platform::{Allocation, Calibration};
+use rp_profiler::{Profiler, Sym, NO_UID};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+
+/// Interned profiler symbols: HNP launch spans on `<comp>.hnp` (the HNP is
+/// serial, so spans never overlap), DVM lifecycle and task instants on the
+/// base track.
+#[derive(Debug, Clone)]
+struct ProfSyms {
+    comp: Sym,
+    t_hnp: Sym,
+    launch: Sym,
+    dvm_boot: Sym,
+    dvm_ready: Sym,
+    start: Sym,
+    finish: Sym,
+}
 
 /// A task handed to the DVM (already placed by the caller).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +81,10 @@ pub struct PrrteDvm {
     in_flight: HashMap<u64, PrrteTask>,
     completed: u64,
     alive: bool,
+    prof: Profiler,
+    syms: Option<ProfSyms>,
+    /// Uid in the HNP launch server, closed on kill so B/E pairs match.
+    open_launch: Option<u64>,
 }
 
 impl PrrteDvm {
@@ -81,7 +100,25 @@ impl PrrteDvm {
             in_flight: HashMap::new(),
             completed: 0,
             alive: true,
+            prof: Profiler::disabled(),
+            syms: None,
+            open_launch: None,
         }
+    }
+
+    /// Attach a profiler; DVM lifecycle instants land on the `comp` track
+    /// and HNP launch spans on `<comp>.hnp`.
+    pub fn attach_profiler(&mut self, prof: Profiler, comp: &str) {
+        self.syms = Some(ProfSyms {
+            comp: prof.intern(comp),
+            t_hnp: prof.intern(&format!("{comp}.hnp")),
+            launch: prof.intern("launch"),
+            dvm_boot: prof.intern("DVM_BOOT"),
+            dvm_ready: prof.intern("DVM_READY"),
+            start: prof.intern("START"),
+            finish: prof.intern("FINISH"),
+        });
+        self.prof = prof;
     }
 
     /// Whether the DVM survived so far.
@@ -111,6 +148,9 @@ impl PrrteDvm {
 
     /// Start the DVM daemons.
     pub fn boot(&mut self) -> Vec<PrrteAction> {
+        if let Some(s) = &self.syms {
+            self.prof.instant(s.comp, NO_UID, s.dvm_boot);
+        }
         let cost = self.boot_cost.sample(&mut self.rng);
         vec![PrrteAction::Timer {
             after: cost,
@@ -141,6 +181,11 @@ impl PrrteDvm {
     /// fault tolerance of its own — recovery is RP's job, §5).
     pub fn kill(&mut self) -> Vec<u64> {
         self.alive = false;
+        if let Some(s) = &self.syms {
+            if let Some(uid) = self.open_launch.take() {
+                self.prof.end(s.t_hnp, uid, s.launch);
+            }
+        }
         let mut lost: Vec<u64> = Vec::new();
         lost.extend(self.queue.drain(..).map(|t| t.id));
         lost.extend(self.in_flight.drain().map(|(id, _)| id));
@@ -157,6 +202,9 @@ impl PrrteDvm {
         match token {
             PrrteToken::DvmReady => {
                 self.ready = true;
+                if let Some(s) = &self.syms {
+                    self.prof.instant(s.comp, NO_UID, s.dvm_ready);
+                }
                 let mut out = vec![PrrteAction::Ready];
                 out.extend(self.pump());
                 out
@@ -164,6 +212,11 @@ impl PrrteDvm {
             PrrteToken::Launched(id) => {
                 self.hnp_busy = false;
                 let task = self.in_flight.get(&id).expect("launched unknown task");
+                if let Some(s) = &self.syms {
+                    self.prof.end(s.t_hnp, id, s.launch);
+                    self.open_launch = None;
+                    self.prof.instant(s.comp, id, s.start);
+                }
                 let mut out = vec![
                     PrrteAction::Started(id),
                     PrrteAction::Timer {
@@ -177,6 +230,10 @@ impl PrrteDvm {
             PrrteToken::Done(id) => {
                 self.in_flight.remove(&id).expect("done unknown task");
                 self.completed += 1;
+                if let Some(s) = &self.syms {
+                    self.prof
+                        .instant_detail(s.comp, id, s.finish, self.in_flight.len() as f64);
+                }
                 vec![PrrteAction::Completed(id)]
             }
         }
@@ -190,6 +247,10 @@ impl PrrteDvm {
             return Vec::new();
         };
         self.hnp_busy = true;
+        if let Some(s) = &self.syms {
+            self.prof.begin(s.t_hnp, task.id, s.launch);
+            self.open_launch = Some(task.id);
+        }
         let cost = self.launch_cost.sample(&mut self.rng);
         self.in_flight.insert(task.id, task);
         vec![PrrteAction::Timer {
@@ -223,10 +284,10 @@ mod tests {
         let mut seq = 0u64;
         let mut starts = Vec::new();
         let sink = |acts: Vec<PrrteAction>,
-                        now: u64,
-                        heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
-                        seq: &mut u64,
-                        starts: &mut Vec<f64>| {
+                    now: u64,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
+                    seq: &mut u64,
+                    starts: &mut Vec<f64>| {
             for a in acts {
                 match a {
                     PrrteAction::Timer { after, token } => {
@@ -297,8 +358,14 @@ mod tests {
         let lost = d.kill();
         assert_eq!(lost.len(), 5);
         assert!(!d.is_alive());
-        assert!(d.submit(PrrteTask { id: 99, duration: SimDuration::ZERO }).is_empty()
-            || !d.is_alive());
+        assert!(
+            d.submit(PrrteTask {
+                id: 99,
+                duration: SimDuration::ZERO
+            })
+            .is_empty()
+                || !d.is_alive()
+        );
     }
 
     #[test]

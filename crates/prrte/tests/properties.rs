@@ -1,10 +1,10 @@
-//! Property tests for the PRRTE DVM: task conservation under arbitrary
-//! loads, serial HNP launch behavior, and kill/cancel accounting.
+//! Randomized invariant tests for the PRRTE DVM: task conservation under
+//! arbitrary loads, serial HNP launch behavior, and kill/cancel accounting.
+//! Cases come from a fixed-seed [`RngStream`] so failures replay exactly.
 
-use proptest::prelude::*;
 use rp_platform::{frontier, Allocation, Calibration};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
-use rp_sim::{SimDuration, SimTime};
+use rp_sim::{RngStream, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -13,12 +13,12 @@ fn drive(mut dvm: PrrteDvm, tasks: Vec<PrrteTask>) -> (usize, usize, PrrteDvm) {
     let mut seq = 0u64;
     let mut started = 0usize;
     let mut completed = 0usize;
-    let mut sink = |acts: Vec<PrrteAction>,
-                    now: u64,
-                    heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
-                    seq: &mut u64,
-                    started: &mut usize,
-                    completed: &mut usize| {
+    let sink = |acts: Vec<PrrteAction>,
+                now: u64,
+                heap: &mut BinaryHeap<Reverse<(u64, u64, PrrteToken)>>,
+                seq: &mut u64,
+                started: &mut usize,
+                completed: &mut usize| {
         for a in acts {
             match a {
                 PrrteAction::Timer { after, token } => {
@@ -44,47 +44,54 @@ fn drive(mut dvm: PrrteDvm, tasks: Vec<PrrteTask>) -> (usize, usize, PrrteDvm) {
     (started, completed, dvm)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every submitted task starts and completes exactly once; the DVM
-    /// drains fully.
-    #[test]
-    fn dvm_conserves_tasks(
-        durations in prop::collection::vec(0u64..200, 1..80),
-        nodes in 1u32..128,
-    ) {
-        let alloc = Allocation { spec: frontier().node, first: 0, count: nodes };
+/// Every submitted task starts and completes exactly once; the DVM drains
+/// fully.
+#[test]
+fn dvm_conserves_tasks() {
+    let mut rng = RngStream::derive(0x9447, "dvm_conserves_tasks");
+    for case in 0..64 {
+        let nodes = 1 + rng.index(127) as u32;
+        let n = 1 + rng.index(79);
+        let alloc = Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: nodes,
+        };
         let dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
-        let tasks: Vec<PrrteTask> = durations
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| PrrteTask {
+        let tasks: Vec<PrrteTask> = (0..n)
+            .map(|i| PrrteTask {
                 id: i as u64,
-                duration: SimDuration::from_secs(d),
+                duration: SimDuration::from_secs(rng.next_u64() % 200),
             })
             .collect();
-        let n = tasks.len();
         let (started, completed, dvm) = drive(dvm, tasks);
-        prop_assert_eq!(started, n);
-        prop_assert_eq!(completed, n);
-        prop_assert!(dvm.is_idle());
-        prop_assert_eq!(dvm.completed_count(), n as u64);
+        assert_eq!(started, n, "case {case}");
+        assert_eq!(completed, n, "case {case}");
+        assert!(dvm.is_idle(), "case {case}");
+        assert_eq!(dvm.completed_count(), n as u64, "case {case}");
     }
+}
 
-    /// Cancelling a random prefix before boot removes exactly those tasks.
-    #[test]
-    fn cancel_accounting(
-        n in 1usize..40,
-        cancel_count in 0usize..40,
-    ) {
-        let alloc = Allocation { spec: frontier().node, first: 0, count: 4 };
+/// Cancelling a random prefix before boot removes exactly those tasks.
+#[test]
+fn cancel_accounting() {
+    let mut rng = RngStream::derive(0x9448, "cancel_accounting");
+    for case in 0..128 {
+        let n = 1 + rng.index(39);
+        let cancel_count = rng.index(40).min(n);
+        let alloc = Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: 4,
+        };
         let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
         let _ = dvm.boot();
         for i in 0..n as u64 {
-            let _ = dvm.submit(PrrteTask { id: i, duration: SimDuration::ZERO });
+            let _ = dvm.submit(PrrteTask {
+                id: i,
+                duration: SimDuration::ZERO,
+            });
         }
-        let cancel_count = cancel_count.min(n);
         let mut canceled = 0;
         for i in 0..cancel_count as u64 {
             if dvm.cancel(i) {
@@ -92,27 +99,38 @@ proptest! {
             }
         }
         // Pre-boot, nothing launched: every cancel hits the queue.
-        prop_assert_eq!(canceled, cancel_count);
-        prop_assert_eq!(dvm.queued(), n - cancel_count);
+        assert_eq!(canceled, cancel_count, "case {case}");
+        assert_eq!(dvm.queued(), n - cancel_count, "case {case}");
         // A second cancel of the same ids always fails.
         for i in 0..cancel_count as u64 {
-            prop_assert!(!dvm.cancel(i));
+            assert!(!dvm.cancel(i), "case {case}: double-cancel of {i}");
         }
     }
+}
 
-    /// Kill returns every in-flight or queued task id exactly once.
-    #[test]
-    fn kill_returns_everything(n in 1usize..50) {
-        let alloc = Allocation { spec: frontier().node, first: 0, count: 4 };
+/// Kill returns every in-flight or queued task id exactly once.
+#[test]
+fn kill_returns_everything() {
+    let mut rng = RngStream::derive(0x9449, "kill_returns_everything");
+    for case in 0..128 {
+        let n = 1 + rng.index(49);
+        let alloc = Allocation {
+            spec: frontier().node,
+            first: 0,
+            count: 4,
+        };
         let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
         let _ = dvm.boot();
         for i in 0..n as u64 {
-            let _ = dvm.submit(PrrteTask { id: i, duration: SimDuration::from_secs(60) });
+            let _ = dvm.submit(PrrteTask {
+                id: i,
+                duration: SimDuration::from_secs(60),
+            });
         }
         let mut lost = dvm.kill();
         lost.sort_unstable();
         let expect: Vec<u64> = (0..n as u64).collect();
-        prop_assert_eq!(lost, expect);
-        prop_assert!(!dvm.is_alive());
+        assert_eq!(lost, expect, "case {case}");
+        assert!(!dvm.is_alive(), "case {case}");
     }
 }

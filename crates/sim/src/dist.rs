@@ -176,10 +176,7 @@ mod tests {
     fn empirical_means_match_analytic() {
         let cases = [
             Dist::Uniform { lo: 1.0, hi: 3.0 },
-            Dist::Normal {
-                mean: 2.0,
-                sd: 0.3,
-            },
+            Dist::Normal { mean: 2.0, sd: 0.3 },
             Dist::Exp { mean: 0.5 },
             Dist::LogNormal {
                 median: 1.0,
@@ -214,10 +211,7 @@ mod tests {
 
     #[test]
     fn scaled_scales_mean() {
-        let d = Dist::Normal {
-            mean: 2.0,
-            sd: 0.1,
-        };
+        let d = Dist::Normal { mean: 2.0, sd: 0.1 };
         assert!((d.scaled(3.0).mean_secs() - 6.0).abs() < 1e-12);
         assert_eq!(d.scaled(-1.0).mean_secs(), 0.0);
     }

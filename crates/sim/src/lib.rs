@@ -10,6 +10,8 @@
 //! - [`time`]: integer-microsecond virtual clock types;
 //! - [`engine`]: an actor-based event loop with FIFO tie-breaking, making
 //!   every simulation a pure function of its inputs;
+//! - [`clock`]: a shared read-only clock handle the engine keeps current,
+//!   so instrumentation can timestamp without signature plumbing;
 //! - [`rng`]: named, seeded random streams so components stay statistically
 //!   decoupled and runs stay reproducible;
 //! - [`dist`]: non-negative latency distributions (the calibration
@@ -21,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod dist;
 pub mod engine;
 pub mod record;
 pub mod rng;
 pub mod time;
 
+pub use clock::SimClock;
 pub use dist::Dist;
 pub use engine::{Actor, ActorId, Ctx, Engine};
 pub use record::Recorder;

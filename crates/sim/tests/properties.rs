@@ -1,8 +1,9 @@
-//! Property-based tests for the simulation kernel's core invariants:
-//! deterministic replay, monotone clock, FIFO tie-breaking under arbitrary
-//! schedules, and distribution sanity.
+//! Randomized invariant tests for the simulation kernel: deterministic
+//! replay, monotone clock, FIFO tie-breaking under arbitrary schedules, and
+//! distribution sanity. Cases are generated from fixed-seed [`RngStream`]s,
+//! so failures replay exactly (no external property-testing framework: the
+//! workspace builds offline).
 
-use proptest::prelude::*;
 use rp_sim::{Actor, Ctx, Dist, Engine, RngStream, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -39,66 +40,95 @@ fn run_schedule(schedule: &[(u64, u32)], echo_delay_us: Option<u64>) -> Vec<(u64
     out
 }
 
-proptest! {
-    /// The same schedule replays to the identical delivery log.
-    #[test]
-    fn engine_is_deterministic(
-        schedule in prop::collection::vec((0u64..10_000, 0u32..50), 0..200),
-        delay in prop::option::of(0u64..100),
-    ) {
-        // Bound echo chains: cap payloads when delay could be zero to avoid
-        // the livelock guard (payload n spawns n echoes).
-        let schedule: Vec<_> = schedule
+fn random_schedule(rng: &mut RngStream, max_len: usize, t_max: u64, m_max: u32) -> Vec<(u64, u32)> {
+    let len = rng.index(max_len + 1);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() % t_max,
+                (rng.next_u64() % m_max as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+/// The same schedule replays to the identical delivery log.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = RngStream::derive(0xD15C0, "engine_is_deterministic");
+    for case in 0..64 {
+        let schedule: Vec<_> = random_schedule(&mut rng, 200, 10_000, 50)
             .into_iter()
+            // Bound echo chains: cap payloads when delay could be zero to
+            // avoid the livelock guard (payload n spawns n echoes).
             .map(|(t, m)| (t, m.min(30)))
             .collect();
+        let delay = if rng.chance(0.5) {
+            Some(rng.next_u64() % 100)
+        } else {
+            None
+        };
         let a = run_schedule(&schedule, delay);
         let b = run_schedule(&schedule, delay);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case} diverged (delay {delay:?})");
     }
+}
 
-    /// Delivery times never decrease, and equal-time deliveries preserve
-    /// scheduling order.
-    #[test]
-    fn clock_is_monotone_and_ties_fifo(
-        schedule in prop::collection::vec((0u64..1_000, 0u32..1000), 1..300),
-    ) {
+/// Delivery times never decrease, and equal-time deliveries preserve
+/// scheduling order.
+#[test]
+fn clock_is_monotone_and_ties_fifo() {
+    let mut rng = RngStream::derive(0xF1F0, "clock_is_monotone_and_ties_fifo");
+    for case in 0..64 {
+        let mut schedule = random_schedule(&mut rng, 300, 1_000, 1_000);
+        if schedule.is_empty() {
+            schedule.push((0, 0));
+        }
         let log = run_schedule(&schedule, None);
-        prop_assert_eq!(log.len(), schedule.len());
+        assert_eq!(log.len(), schedule.len(), "case {case}");
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "clock went backwards: {w:?}");
+            assert!(w[0].0 <= w[1].0, "case {case}: clock went backwards: {w:?}");
         }
         // Group by time; within a group, order must match schedule order.
-        let mut sorted = schedule.clone();
-        sorted.sort_by_key(|&(t, _)| t); // stable: preserves insertion order per t
-        let expected: Vec<(u64, u32)> = sorted;
-        prop_assert_eq!(log, expected);
+        let mut expected = schedule.clone();
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves insertion order per t
+        assert_eq!(log, expected, "case {case}");
     }
+}
 
-    /// Every distribution yields non-negative finite samples, and scaling by
-    /// k scales the empirical mean by ~k.
-    #[test]
-    fn dists_sample_sane(
-        seed in any::<u64>(),
-        mean in 0.001f64..10.0,
-        k in 0.1f64..5.0,
-    ) {
+/// Every distribution yields non-negative finite samples, and scaling by
+/// k scales the empirical mean by ~k.
+#[test]
+fn dists_sample_sane() {
+    let mut rng = RngStream::derive(0xD157, "dists_sample_sane");
+    for case in 0..32 {
+        let seed = rng.next_u64();
+        let mean = rng.uniform_range(0.001, 10.0);
+        let k = rng.uniform_range(0.1, 5.0);
         let d = Dist::Exp { mean };
-        let mut rng = RngStream::derive(seed, "prop");
+        let mut r1 = RngStream::derive(seed, "prop");
         let n = 4_000;
-        let base: f64 = (0..n).map(|_| d.sample_secs(&mut rng)).sum::<f64>() / n as f64;
-        let mut rng2 = RngStream::derive(seed, "prop");
-        let scaled: f64 =
-            (0..n).map(|_| d.scaled(k).sample_secs(&mut rng2)).sum::<f64>() / n as f64;
-        prop_assert!(base.is_finite() && base >= 0.0);
-        prop_assert!((scaled / base - k).abs() < 0.05 * k + 1e-9,
-            "scaled mean {scaled} vs base {base} * k {k}");
+        let base: f64 = (0..n).map(|_| d.sample_secs(&mut r1)).sum::<f64>() / n as f64;
+        let mut r2 = RngStream::derive(seed, "prop");
+        let scaled: f64 = (0..n)
+            .map(|_| d.scaled(k).sample_secs(&mut r2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(base.is_finite() && base >= 0.0, "case {case}");
+        assert!(
+            (scaled / base - k).abs() < 0.05 * k + 1e-9,
+            "case {case}: scaled mean {scaled} vs base {base} * k {k}"
+        );
     }
+}
 
-    /// SimDuration::from_secs_f64 round-trips within 1 µs for sane inputs.
-    #[test]
-    fn duration_roundtrip(s in 0.0f64..1.0e6) {
+/// SimDuration::from_secs_f64 round-trips within 1 µs for sane inputs.
+#[test]
+fn duration_roundtrip() {
+    let mut rng = RngStream::derive(0xD0, "duration_roundtrip");
+    for _ in 0..10_000 {
+        let s = rng.uniform_range(0.0, 1.0e6);
         let d = SimDuration::from_secs_f64(s);
-        prop_assert!((d.as_secs_f64() - s).abs() <= 1e-6);
+        assert!((d.as_secs_f64() - s).abs() <= 1e-6, "input {s}");
     }
 }

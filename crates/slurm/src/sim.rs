@@ -16,8 +16,17 @@
 
 use crate::step::{StepId, StepRequest};
 use rp_platform::{Calibration, SrunSlots};
+use rp_profiler::{Profiler, Sym};
 use rp_sim::{RngStream, SimDuration};
 use std::collections::{HashMap, VecDeque};
+
+/// Interned profiler symbols for the launcher's hook sites.
+#[derive(Debug, Clone)]
+struct ProfSyms {
+    comp: Sym,
+    acquire: Sym,
+    release: Sym,
+}
 
 /// Timer tokens the driver must deliver back via [`SrunSim::on_token`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -56,6 +65,8 @@ pub struct SrunSim {
     /// Steps past slot-acquisition, keyed by id: payload duration (None for
     /// persistent holds, which release only via `release_persistent`).
     in_flight: HashMap<StepId, Option<SimDuration>>,
+    prof: Profiler,
+    syms: Option<ProfSyms>,
 }
 
 impl SrunSim {
@@ -69,7 +80,21 @@ impl SrunSim {
             cal,
             queue: VecDeque::new(),
             in_flight: HashMap::new(),
+            prof: Profiler::disabled(),
+            syms: None,
         }
+    }
+
+    /// Attach a profiler; slot acquire/release events are recorded on the
+    /// `comp` track from here on. Names are interned once, so hook sites
+    /// stay allocation-free.
+    pub fn attach_profiler(&mut self, prof: Profiler, comp: &str) {
+        self.syms = Some(ProfSyms {
+            comp: prof.intern(comp),
+            acquire: prof.intern("SLOT_ACQUIRE"),
+            release: prof.intern("SLOT_RELEASE"),
+        });
+        self.prof = prof;
     }
 
     /// Steps waiting for a slot.
@@ -85,6 +110,11 @@ impl SrunSim {
     /// Highest concurrent slot occupancy observed.
     pub fn slots_high_water(&self) -> usize {
         self.slots.high_water()
+    }
+
+    /// The site concurrency ceiling this launcher enforces.
+    pub fn ceiling(&self) -> usize {
+        self.cal.srun_concurrency_ceiling
     }
 
     /// Submit a step; it launches immediately if a slot is free, otherwise
@@ -113,6 +143,10 @@ impl SrunSim {
         match self.in_flight.remove(&id) {
             Some(None) => {
                 self.slots.release();
+                if let Some(s) = &self.syms {
+                    self.prof
+                        .instant_detail(s.comp, id.0, s.release, self.slots.in_use() as f64);
+                }
                 self.pump()
             }
             other => panic!("release_persistent({id:?}) on non-persistent entry {other:?}"),
@@ -155,6 +189,10 @@ impl SrunSim {
                     .unwrap_or_else(|| panic!("Exited token for unknown step {id:?}"));
                 assert!(entry.is_some(), "persistent step exited via timer");
                 self.slots.release();
+                if let Some(s) = &self.syms {
+                    self.prof
+                        .instant_detail(s.comp, id.0, s.release, self.slots.in_use() as f64);
+                }
                 let mut out = vec![SrunAction::Completed(id)];
                 out.extend(self.pump());
                 out
@@ -171,6 +209,10 @@ impl SrunSim {
                 break;
             }
             let step = self.queue.pop_front().expect("non-empty queue");
+            if let Some(s) = &self.syms {
+                self.prof
+                    .instant_detail(s.comp, step.id.0, s.acquire, self.slots.in_use() as f64);
+            }
             let overhead = self
                 .cal
                 .srun_step_cost(self.alloc_nodes, step.step_nodes)
@@ -208,11 +250,11 @@ mod tests {
         let mut high_water = 0usize;
 
         let apply = |actions: Vec<SrunAction>,
-                         now: u64,
-                         heap: &mut BinaryHeap<Reverse<(u64, u64, SrunToken)>>,
-                         seq: &mut u64,
-                         starts: &mut Vec<f64>,
-                         ends: &mut Vec<f64>| {
+                     now: u64,
+                     heap: &mut BinaryHeap<Reverse<(u64, u64, SrunToken)>>,
+                     seq: &mut u64,
+                     starts: &mut Vec<f64>,
+                     ends: &mut Vec<f64>| {
             for a in actions {
                 match a {
                     SrunAction::Timer { after, token } => {
@@ -288,9 +330,13 @@ mod tests {
         assert_eq!(sim.queued(), 1);
         // Releasing one persistent slot lets it launch.
         let acts = sim.release_persistent(StepId(10_000));
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, SrunAction::Timer { token: SrunToken::Launched(StepId(1)), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            SrunAction::Timer {
+                token: SrunToken::Launched(StepId(1)),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
             .iter()
             .filter(|t| t.label.starts_with("actor."))
             .count();
-        assert!(actors as f64 * 0.02 >= 1.0, "converged with {actors} actors");
+        assert!(
+            actors as f64 * 0.02 >= 1.0,
+            "converged with {actors} actors"
+        );
     }
 
     #[test]

@@ -315,7 +315,10 @@ mod tests {
     fn cycle_detected() {
         let dag = DagWorkload::new(
             "cyclic",
-            vec![fixed_stage("a", vec![1], 1, 1), fixed_stage("b", vec![0], 1, 1)],
+            vec![
+                fixed_stage("a", vec![1], 1, 1),
+                fixed_stage("b", vec![0], 1, 1),
+            ],
         );
         assert!(!dag.validate_acyclic());
     }

@@ -343,7 +343,9 @@ mod tests {
             "all campaign tasks must finish"
         );
         // Labels cover all six workflows.
-        for wf in ["dock", "train", "infer", "score", "ampl", "esmacs", "reinvent"] {
+        for wf in [
+            "dock", "train", "infer", "score", "ampl", "esmacs", "reinvent",
+        ] {
             assert!(
                 report.tasks.iter().any(|t| t.label.starts_with(wf)),
                 "missing workflow {wf}"
@@ -364,7 +366,10 @@ mod tests {
             .map(|t| t.exec_start.unwrap())
             .min()
             .unwrap();
-        assert!(r1_dock_start >= r0_reinvent_end, "learn–sample loop ordering");
+        assert!(
+            r1_dock_start >= r0_reinvent_end,
+            "learn–sample loop ordering"
+        );
     }
 
     #[test]

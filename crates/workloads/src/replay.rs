@@ -22,9 +22,7 @@ pub struct ReplayBatch {
 /// core count is node-sized, else packed single-rank requests — the same
 /// convention the campaign generator uses.
 pub fn description_from_record(rec: &TaskRecord) -> TaskDescription {
-    let duration = rec
-        .exec_span()
-        .unwrap_or(SimDuration::ZERO);
+    let duration = rec.exec_span().unwrap_or(SimDuration::ZERO);
     let cores = rec.cores.max(1);
     let req = if cores >= 56 && cores.is_multiple_of(56) {
         ResourceRequest {

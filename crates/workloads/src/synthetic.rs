@@ -22,9 +22,7 @@ pub fn task_count(nodes: u32) -> u64 {
 /// Null workload: `task_count(nodes)` single-core tasks that return
 /// immediately — stresses only the middleware stack.
 pub fn null_workload(nodes: u32) -> Vec<TaskDescription> {
-    (0..task_count(nodes))
-        .map(TaskDescription::null)
-        .collect()
+    (0..task_count(nodes)).map(TaskDescription::null).collect()
 }
 
 /// Dummy workload: single-core `sleep duration` tasks — saturates queues

@@ -115,7 +115,10 @@ fn main() {
     println!("  MD simulations run        : {n_sims}");
     println!("  samples through shmem     : {produced}");
     println!("  surrogate inferences run  : {n_inference}");
-    println!("  best energy found         : {}", best.load(Ordering::SeqCst));
+    println!(
+        "  best energy found         : {}",
+        best.load(Ordering::SeqCst)
+    );
 
     assert_eq!(n_sims as u64, SIMS);
     assert_eq!(n_inference as u64, SIMS * SAMPLES_PER_SIM);

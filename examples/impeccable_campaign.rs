@@ -56,7 +56,9 @@ fn main() {
 
     // Per-workflow accounting, demonstrating the heterogeneity (§2).
     println!("\nper-workflow tasks (flux run):");
-    for wf in ["dock", "train", "infer", "score", "ampl", "esmacs", "reinvent"] {
+    for wf in [
+        "dock", "train", "infer", "score", "ampl", "esmacs", "reinvent",
+    ] {
         let n = flux_report
             .tasks
             .iter()

@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example partitioned_flux`
 
 use radical_rs::analytics::{digest, throughput};
-use radical_rs::core::{
-    BackendKind, FailureInjection, PilotConfig, SimSession, TaskDescription,
-};
+use radical_rs::core::{BackendKind, FailureInjection, PilotConfig, SimSession, TaskDescription};
 use radical_rs::sim::{SimDuration, SimTime};
 use radical_rs::workloads::dummy_workload;
 

@@ -88,7 +88,10 @@ fn main() {
     println!("  executables via flux-like scheduler : {flux}");
     println!("  functions via dragon-like pool      : {dragon}");
     println!("  failures                            : {failed}");
-    println!("  simulated work units completed      : {}", sim_work.load(Ordering::SeqCst));
+    println!(
+        "  simulated work units completed      : {}",
+        sim_work.load(Ordering::SeqCst)
+    );
     println!("  wall time                           : {last_end:?}");
     assert_eq!(flux, 32);
     assert_eq!(dragon, 64);

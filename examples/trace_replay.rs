@@ -43,7 +43,10 @@ fn main() {
     //    wide enough for the campaign's 32-node scoring jobs — partitioning
     //    trades launch parallelism against the widest placeable task.)
     let batches = replay_batches(&records, 60, true);
-    println!("replaying {} submission batches on flux k=2 ...", batches.len());
+    println!(
+        "replaying {} submission batches on flux k=2 ...",
+        batches.len()
+    );
     let mut session = SimSession::new(
         PilotConfig::flux(64, 2).with_seed(3),
         Box::new(StaticWorkload::new(Vec::new())),
@@ -70,8 +73,6 @@ fn main() {
         .iter()
         .filter_map(|t| t.exec_span().map(|s| s.as_secs_f64() * t.cores as f64))
         .sum();
-    println!(
-        "busy core-seconds: original {orig_busy:.0}, replay {replay_busy:.0} (must match)"
-    );
+    println!("busy core-seconds: original {orig_busy:.0}, replay {replay_busy:.0} (must match)");
     assert!((orig_busy - replay_busy).abs() / orig_busy < 1e-6);
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate, runnable with no network and an empty cargo registry
+# (the workspace is std-only). Mirrors .github/workflows/ci.yml.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

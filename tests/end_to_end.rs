@@ -43,7 +43,10 @@ fn flux_scales_where_srun_degrades() {
     let flux_1 = rate(PilotConfig::flux(1, 1), 1);
     let flux_16 = rate(PilotConfig::flux(16, 1), 16);
 
-    assert!(srun_4 < srun_1, "srun degrades with nodes: {srun_1} -> {srun_4}");
+    assert!(
+        srun_4 < srun_1,
+        "srun degrades with nodes: {srun_1} -> {srun_4}"
+    );
     assert!(flux_16 > 2.0 * flux_1, "flux scales: {flux_1} -> {flux_16}");
     assert!(
         srun_1 > flux_1,
@@ -113,14 +116,8 @@ fn impeccable_flux_beats_srun() {
     .run();
     assert_eq!(srun.failed_count(), 0);
     assert_eq!(flux.failed_count(), 0);
-    let (ms, mf) = (
-        srun.makespan().expect("ran"),
-        flux.makespan().expect("ran"),
-    );
-    assert!(
-        mf < ms,
-        "flux makespan {mf:.0}s must beat srun {ms:.0}s"
-    );
+    let (ms, mf) = (srun.makespan().expect("ran"), flux.makespan().expect("ran"));
+    assert!(mf < ms, "flux makespan {mf:.0}s must beat srun {ms:.0}s");
 }
 
 /// Failure injection: killing a Dragon runtime mid-burst moves its tasks to
@@ -137,11 +134,7 @@ fn dragon_crash_failover() {
             partition: 1,
         })
         .run();
-    assert_eq!(
-        report.tasks.len(),
-        600,
-        "no tasks lost from the records"
-    );
+    assert_eq!(report.tasks.len(), 600, "no tasks lost from the records");
     let done = report
         .tasks
         .iter()
@@ -211,7 +204,10 @@ fn bootstrap_overheads_match_fig7() {
     for nodes in [1u32, 16, 64] {
         let report = SimSession::with_tasks(
             PilotConfig::flux_dragon(nodes.max(2), 1).with_seed(nodes as u64),
-            vec![TaskDescription::null(0), TaskDescription::function(1, "f", SimDuration::ZERO)],
+            vec![
+                TaskDescription::null(0),
+                TaskDescription::function(1, "f", SimDuration::ZERO),
+            ],
         )
         .run();
         for inst in &report.instances {
