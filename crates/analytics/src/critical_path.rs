@@ -1,0 +1,381 @@
+//! Critical-path extraction and makespan attribution from span trees.
+//!
+//! The agent records one `task` root span per uid whose children
+//! (`schedule`, `launch`, `execute`, `collect`) tile the root interval
+//! exactly (see `rp_metrics::span`). This module reconstructs those trees
+//! from a snapshot, attributes every task's end-to-end time to its phase
+//! components — the paper's OVH decomposition, but derived from spans
+//! instead of state instants — and extracts the critical path: the chain
+//! of intervals that decides the span-side makespan (pending time until
+//! the last-finishing task opened, then that task's own phases).
+//!
+//! Because the phases tile each root by construction, two identities hold
+//! exactly (up to float summation): per-task components sum to the task's
+//! end-to-end time, and the non-`execute` components sum to total
+//! end-to-end minus busy time.
+
+use rp_metrics::SpanData;
+use std::fmt::Write as _;
+
+/// Attribution of one task's end-to-end interval to its phase components.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskAttribution {
+    /// Task uid.
+    pub uid: u64,
+    /// Root open time, seconds of virtual time.
+    pub start_s: f64,
+    /// Root close time, seconds of virtual time.
+    pub end_s: f64,
+    /// `(phase, seconds)` in phase start order.
+    pub components: Vec<(String, f64)>,
+}
+
+impl TaskAttribution {
+    /// The task's end-to-end time.
+    pub fn end_to_end_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Seconds attributed to `name` (0 when the phase never ran).
+    pub fn component(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Whole-run critical-path analysis over a span snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Closed `task` roots analyzed.
+    pub tasks: usize,
+    /// Roots skipped because they never closed before the snapshot.
+    pub unclosed: usize,
+    /// Spans the sink dropped at capacity (attribution may be partial).
+    pub dropped: u64,
+    /// First root open → last root close.
+    pub makespan_s: f64,
+    /// Sum of root durations across analyzed tasks.
+    pub end_to_end_s: f64,
+    /// Seconds in the `execute` phase (payload, not overhead).
+    pub busy_s: f64,
+    /// Total seconds per phase across tasks, in first-seen phase order.
+    pub component_totals: Vec<(String, f64)>,
+    /// The last-finishing task's attribution — the chain deciding the
+    /// makespan.
+    pub critical: Option<TaskAttribution>,
+    /// Time before the critical task's root opened, relative to the first
+    /// root open (the "pending" segment of the critical path).
+    pub critical_pending_s: f64,
+}
+
+impl CriticalPath {
+    /// Total overhead: every component that is not payload execution.
+    pub fn overhead_s(&self) -> f64 {
+        self.component_totals
+            .iter()
+            .filter(|(n, _)| n != "execute")
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Relative error of the attribution identity
+    /// `overhead == end_to_end − busy` (0 for a well-formed span tree;
+    /// the acceptance gate requires < 1%).
+    pub fn attribution_error(&self) -> f64 {
+        let expect = self.end_to_end_s - self.busy_s;
+        (self.overhead_s() - expect).abs() / expect.abs().max(1e-9)
+    }
+
+    /// The critical-path segments in order: `pending`, then the critical
+    /// task's phases. Their sum is the makespan by construction.
+    pub fn segments(&self) -> Vec<(String, f64)> {
+        let mut out = vec![("pending".to_string(), self.critical_pending_s)];
+        if let Some(c) = &self.critical {
+            out.extend(c.components.iter().cloned());
+        }
+        out
+    }
+
+    /// Render the derived families as an OpenMetrics body fragment, meant
+    /// to be appended to `Snapshot::openmetrics_body()` before `# EOF`.
+    pub fn openmetrics_body(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE rp_ovh_component_seconds gauge");
+        let _ = writeln!(
+            out,
+            "# HELP rp_ovh_component_seconds Total seconds attributed to each task phase"
+        );
+        for (name, v) in &self.component_totals {
+            let _ = writeln!(out, "rp_ovh_component_seconds{{component=\"{name}\"}} {v}");
+        }
+        let scalars: [(&str, &str, f64); 5] = [
+            (
+                "rp_ovh_end_to_end_seconds",
+                "Sum of per-task end-to-end times",
+                self.end_to_end_s,
+            ),
+            (
+                "rp_ovh_busy_seconds",
+                "Seconds spent executing payloads",
+                self.busy_s,
+            ),
+            (
+                "rp_span_makespan_seconds",
+                "First task open to last task close",
+                self.makespan_s,
+            ),
+            (
+                "rp_ovh_tasks",
+                "Closed task span trees analyzed",
+                self.tasks as f64,
+            ),
+            (
+                "rp_ovh_unclosed_tasks",
+                "Task roots still open at snapshot",
+                self.unclosed as f64,
+            ),
+        ];
+        for (name, help, v) in scalars {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let _ = writeln!(out, "# TYPE rp_critical_path_seconds gauge");
+        let _ = writeln!(
+            out,
+            "# HELP rp_critical_path_seconds Segments of the makespan-deciding chain"
+        );
+        for (name, v) in self.segments() {
+            let _ = writeln!(out, "rp_critical_path_seconds{{segment=\"{name}\"}} {v}");
+        }
+        let _ = writeln!(out, "# TYPE rp_spans_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "# HELP rp_spans_dropped_total Spans discarded by the bounded sink"
+        );
+        let _ = writeln!(out, "rp_spans_dropped_total {}", self.dropped);
+        out
+    }
+
+    /// Human-readable attribution table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- overhead attribution ({} tasks, {} unclosed, {} spans dropped) --",
+            self.tasks, self.unclosed, self.dropped
+        );
+        let denom = self.end_to_end_s.max(1e-9);
+        for (name, v) in &self.component_totals {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14.6} s  {:>6.2}%",
+                name,
+                v,
+                100.0 * v / denom
+            );
+        }
+        let _ = writeln!(out, "{:<12} {:>14.6} s", "end-to-end", self.end_to_end_s);
+        let _ = writeln!(out, "{:<12} {:>14.6} s", "overhead", self.overhead_s());
+        let _ = writeln!(
+            out,
+            "-- critical path (makespan {:.6} s) --",
+            self.makespan_s
+        );
+        if let Some(c) = &self.critical {
+            let _ = writeln!(out, "task {} finishes last:", c.uid);
+        }
+        let denom = self.makespan_s.max(1e-9);
+        for (name, v) in self.segments() {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14.6} s  {:>6.2}%",
+                name,
+                v,
+                100.0 * v / denom
+            );
+        }
+        out
+    }
+}
+
+fn add_component(vec: &mut Vec<(String, f64)>, name: &str, v: f64) {
+    if let Some((_, total)) = vec.iter_mut().find(|(n, _)| n == name) {
+        *total += v;
+    } else {
+        vec.push((name.to_string(), v));
+    }
+}
+
+/// Analyze a span snapshot: reconstruct per-task trees, attribute
+/// end-to-end time to components, and extract the critical path.
+pub fn critical_path(spans: &SpanData) -> CriticalPath {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.spans.len()];
+    for (i, s) in spans.spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            if p.index() < children.len() {
+                children[p.index()].push(i);
+            }
+        }
+    }
+    let mut cp = CriticalPath {
+        dropped: spans.dropped,
+        ..CriticalPath::default()
+    };
+    let mut first_open: Option<f64> = None;
+    let mut last_close: Option<f64> = None;
+    let mut critical: Option<TaskAttribution> = None;
+    for (i, root) in spans.spans.iter().enumerate() {
+        if spans.name(root) != "task" || root.parent.is_some() {
+            continue;
+        }
+        let start = root.start.as_secs_f64();
+        first_open = Some(first_open.map_or(start, |f: f64| f.min(start)));
+        let Some(end) = root.end else {
+            cp.unclosed += 1;
+            continue;
+        };
+        let end = end.as_secs_f64();
+        last_close = Some(last_close.map_or(end, |l: f64| l.max(end)));
+        let mut attr = TaskAttribution {
+            uid: root.uid,
+            start_s: start,
+            end_s: end,
+            components: Vec::new(),
+        };
+        // Children are recorded in open order, which is start order: the
+        // phases are contiguous, each opening when the previous closes.
+        for &ci in &children[i] {
+            let c = &spans.spans[ci];
+            let c_end = c.end.unwrap_or(root.end.expect("root closed"));
+            let dur = c_end.saturating_since(c.start).as_secs_f64();
+            let name = spans.name(c);
+            add_component(&mut attr.components, name, dur);
+            add_component(&mut cp.component_totals, name, dur);
+            if name == "execute" {
+                cp.busy_s += dur;
+            }
+        }
+        cp.end_to_end_s += attr.end_to_end_s();
+        cp.tasks += 1;
+        let is_critical = critical.as_ref().is_none_or(|c| end > c.end_s);
+        if is_critical {
+            critical = Some(attr);
+        }
+    }
+    if let (Some(first), Some(last)) = (first_open, last_close) {
+        cp.makespan_s = last - first;
+        if let Some(c) = &critical {
+            cp.critical_pending_s = c.start_s - first;
+        }
+    }
+    cp.critical = critical;
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_metrics::Registry;
+    use rp_sim::{SimClock, SimTime};
+
+    /// Two tasks: uid 1 runs 0→10 (2 s schedule, 1 s launch, 6 s execute,
+    /// 1 s collect); uid 2 opens at 4, closes at 16.
+    fn sample() -> SpanData {
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        let at = |s: u64| clock.set(SimTime::from_secs(s));
+        let r1 = reg.span_root("task", 1);
+        let c = reg.span_child("schedule", 1, r1);
+        at(2);
+        reg.span_end(c);
+        let c = reg.span_child("launch", 1, r1);
+        at(3);
+        reg.span_end(c);
+        let c = reg.span_child("execute", 1, r1);
+        at(4);
+        let r2 = reg.span_root("task", 2);
+        let c2 = reg.span_child("schedule", 2, r2);
+        at(9);
+        reg.span_end(c);
+        let c = reg.span_child("collect", 1, r1);
+        at(10);
+        reg.span_end(c);
+        reg.span_end(r1);
+        reg.span_end(c2);
+        let c2 = reg.span_child("execute", 2, r2);
+        at(16);
+        reg.span_end(c2);
+        let c2 = reg.span_child("collect", 2, r2);
+        reg.span_end(c2);
+        reg.span_end(r2);
+        reg.snapshot().spans
+    }
+
+    #[test]
+    fn attribution_identities_hold() {
+        let cp = critical_path(&sample());
+        assert_eq!(cp.tasks, 2);
+        assert_eq!(cp.unclosed, 0);
+        assert!((cp.makespan_s - 16.0).abs() < 1e-9);
+        // Overhead == end-to-end − busy, exactly.
+        assert!(cp.attribution_error() < 1e-9, "{}", cp.attribution_error());
+        assert!((cp.end_to_end_s - 22.0).abs() < 1e-9);
+        assert!((cp.busy_s - (6.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_chain_sums_to_makespan() {
+        let cp = critical_path(&sample());
+        let c = cp.critical.as_ref().expect("critical task");
+        assert_eq!(c.uid, 2);
+        assert!((cp.critical_pending_s - 4.0).abs() < 1e-9);
+        let chain: f64 = cp.segments().iter().map(|(_, v)| v).sum();
+        assert!(
+            (chain - cp.makespan_s).abs() < 1e-9,
+            "chain {chain} vs makespan {}",
+            cp.makespan_s
+        );
+    }
+
+    #[test]
+    fn unclosed_roots_are_counted_not_attributed() {
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        let r = reg.span_root("task", 1);
+        let c = reg.span_child("schedule", 1, r);
+        clock.set(SimTime::from_secs(5));
+        reg.span_end(c);
+        // Root never closes (task in flight at snapshot).
+        let cp = critical_path(&reg.snapshot().spans);
+        assert_eq!(cp.tasks, 0);
+        assert_eq!(cp.unclosed, 1);
+        assert!(cp.critical.is_none());
+    }
+
+    #[test]
+    fn exports_render_every_family() {
+        let cp = critical_path(&sample());
+        let om = cp.openmetrics_body();
+        for family in [
+            "rp_ovh_component_seconds{component=\"execute\"}",
+            "rp_ovh_end_to_end_seconds",
+            "rp_ovh_busy_seconds",
+            "rp_span_makespan_seconds",
+            "rp_critical_path_seconds{segment=\"pending\"}",
+            "rp_spans_dropped_total",
+        ] {
+            assert!(om.contains(family), "missing {family}");
+        }
+        // The fragment parses as OpenMetrics once terminated.
+        let doc = format!("{om}# EOF\n");
+        let parsed = rp_metrics::parse_openmetrics(&doc).unwrap();
+        assert_eq!(parsed["rp_ovh_tasks"], 2.0);
+        let table = cp.summary_table();
+        assert!(table.contains("critical path"));
+        assert!(table.contains("schedule"));
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod critical_path;
 pub mod durations;
 pub mod metrics;
 pub mod plot;
@@ -20,11 +21,13 @@ pub mod timeline;
 pub mod trace;
 
 pub use compare::{compare, paired_timeline_csv, Comparison};
+pub use critical_path::{critical_path, CriticalPath, TaskAttribution};
 pub use durations::{duration_breakdown, duration_breakdown_by, DurationBreakdown, Interval};
 pub use metrics::{overheads, throughput, utilization, Overheads, Throughput, Utilization};
 pub use plot::{bar_chart, line_plot, md_table};
 pub use profile::{
-    ovh_breakdown, parse_profile_csv, task_timelines, OvhBreakdown, ProfileRow, TaskTimeline,
+    ovh_breakdown, parse_profile_csv, parse_profile_csv_with_meta, task_timelines, OvhBreakdown,
+    ProfileRow, TaskTimeline,
 };
 pub use report::{digest, summarize_run, tasks_csv, timeline_csv, RunDigest};
 pub use stats::{percentile, summarize, Summary};

@@ -200,6 +200,7 @@ mod tests {
             agent_ready: None,
             end: SimTime::from_secs(100),
             profile: None,
+            metrics: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-9, "{u:?}");
@@ -228,6 +229,7 @@ mod tests {
             agent_ready: None,
             end: SimTime::from_secs(720),
             profile: None,
+            metrics: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-6, "{}", u.cores);

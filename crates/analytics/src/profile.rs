@@ -31,15 +31,36 @@ pub struct ProfileRow {
 
 /// Parse a profile CSV document back into rows.
 pub fn parse_profile_csv(csv: &str) -> Result<Vec<ProfileRow>, ParseError> {
-    let mut lines = csv.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
-    if header != "time,kind,comp,uid,event,detail" {
-        return Err(err(1, format!("unrecognized header: {header}")));
-    }
+    parse_profile_csv_with_meta(csv).map(|(rows, _)| rows)
+}
+
+/// Parse a profile CSV document, also returning the number of events the
+/// profiler ring dropped before the snapshot (from the `# dropped=<n>`
+/// comment the exporter emits on truncated streams; 0 when absent).
+/// Comment lines (`#`-prefixed) are tolerated anywhere in the document.
+pub fn parse_profile_csv_with_meta(csv: &str) -> Result<(Vec<ProfileRow>, u64), ParseError> {
+    let mut dropped = 0u64;
+    let mut saw_header = false;
     let mut out = Vec::new();
-    for (i, line) in lines {
+    for (i, line) in csv.lines().enumerate() {
         let lineno = i + 1;
         if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(n) = comment.trim().strip_prefix("dropped=") {
+                dropped = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad dropped count {n:?}")))?;
+            }
+            continue;
+        }
+        if !saw_header {
+            if line != "time,kind,comp,uid,event,detail" {
+                return Err(err(lineno, format!("unrecognized header: {line}")));
+            }
+            saw_header = true;
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
@@ -79,7 +100,10 @@ pub fn parse_profile_csv(csv: &str) -> Result<Vec<ProfileRow>, ParseError> {
             detail,
         });
     }
-    Ok(out)
+    if !saw_header {
+        return Err(err(1, "empty document"));
+    }
+    Ok((out, dropped))
 }
 
 /// Per-task milestone timestamps reconstructed from the agent's
@@ -100,9 +124,29 @@ pub struct TaskTimeline {
     pub exec_start: Option<f64>,
     /// Payload end (first `DONE`).
     pub exec_end: Option<f64>,
+    /// A later milestone was observed without an earlier one: the ring
+    /// evicted the front of this task's event stream, so the timeline is
+    /// partial (and excluded from OVH sums) rather than merely in-flight.
+    pub truncated: bool,
+}
+
+impl TaskTimeline {
+    /// Milestones in pipeline order.
+    fn milestones(&self) -> [Option<f64>; 6] {
+        [
+            self.submitted,
+            self.staged,
+            self.scheduled,
+            self.backend_accepted,
+            self.exec_start,
+            self.exec_end,
+        ]
+    }
 }
 
 /// Reconstruct per-task timelines from the `agent` track's state instants.
+/// Tasks whose earliest milestones were lost to ring eviction come back
+/// with [`TaskTimeline::truncated`] set instead of poisoning the parse.
 pub fn task_timelines(rows: &[ProfileRow]) -> BTreeMap<u64, TaskTimeline> {
     let mut out: BTreeMap<u64, TaskTimeline> = BTreeMap::new();
     for row in rows {
@@ -125,6 +169,14 @@ pub fn task_timelines(rows: &[ProfileRow]) -> BTreeMap<u64, TaskTimeline> {
                 tl.exec_end.get_or_insert(row.at);
             }
             _ => {}
+        }
+    }
+    for tl in out.values_mut() {
+        // Front-truncation signature: a gap before a present milestone.
+        let ms = tl.milestones();
+        let first_present = ms.iter().position(|m| m.is_some());
+        if let Some(first) = first_present {
+            tl.truncated = first > 0;
         }
     }
     out
@@ -151,6 +203,8 @@ pub struct OvhBreakdown {
     pub end_to_end_s: f64,
     /// Tasks with a complete milestone set (others are skipped).
     pub tasks: usize,
+    /// Tasks excluded because ring eviction truncated their timeline.
+    pub truncated: usize,
 }
 
 impl OvhBreakdown {
@@ -174,6 +228,10 @@ impl OvhBreakdown {
 pub fn ovh_breakdown(timelines: &BTreeMap<u64, TaskTimeline>) -> OvhBreakdown {
     let mut b = OvhBreakdown::default();
     for tl in timelines.values() {
+        if tl.truncated {
+            b.truncated += 1;
+            continue;
+        }
         let (Some(sub), Some(staged), Some(sched), Some(acc), Some(start), Some(end)) = (
             tl.submitted,
             tl.staged,
@@ -265,6 +323,48 @@ time,kind,comp,uid,event,detail
                    0.100000,I,agent,1,SCHEDULING,0.000000\n";
         let tls = task_timelines(&parse_profile_csv(doc).unwrap());
         assert_eq!(tls.len(), 1);
-        assert_eq!(ovh_breakdown(&tls).tasks, 0);
+        assert!(!tls[&1].truncated, "in-flight, not truncated");
+        let b = ovh_breakdown(&tls);
+        assert_eq!(b.tasks, 0);
+        assert_eq!(b.truncated, 0);
+    }
+
+    #[test]
+    fn dropped_comment_and_truncated_timelines_degrade_gracefully() {
+        // Ring eviction removed task 1's earliest milestones; the exporter
+        // flagged it with the `# dropped=` comment. Task 2 is complete.
+        let doc = "\
+# dropped=3
+time,kind,comp,uid,event,detail
+0.400000,I,agent,1,SUBMITTED,0.000000
+0.500000,I,agent,1,EXECUTING,0.000000
+2.500000,I,agent,1,DONE,0.000000
+0.000000,I,agent,2,NEW,0.000000
+0.100000,I,agent,2,SCHEDULING,0.000000
+0.200000,I,agent,2,SUBMITTING,0.000000
+0.300000,I,agent,2,SUBMITTED,0.000000
+0.600000,I,agent,2,EXECUTING,0.000000
+3.600000,I,agent,2,DONE,0.000000
+";
+        let (rows, dropped) = parse_profile_csv_with_meta(doc).unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(rows.len(), 9);
+        // Plain parse tolerates the comment too.
+        assert_eq!(parse_profile_csv(doc).unwrap().len(), 9);
+        let tls = task_timelines(&rows);
+        assert!(tls[&1].truncated, "front-evicted task flagged");
+        assert_eq!(tls[&1].exec_end, Some(2.5), "partial data kept");
+        assert!(!tls[&2].truncated);
+        let b = ovh_breakdown(&tls);
+        assert_eq!(b.tasks, 1, "only the complete task contributes");
+        assert_eq!(b.truncated, 1);
+        assert!((b.busy_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_dropped_comment_is_an_error() {
+        let doc = "# dropped=many\ntime,kind,comp,uid,event,detail\n";
+        let e = parse_profile_csv(doc).unwrap_err();
+        assert!(e.message.contains("bad dropped count"));
     }
 }

@@ -1,0 +1,170 @@
+//! Randomized invariant tests for critical-path attribution: random
+//! interleaved span forests driven through a real registry must satisfy
+//! the tiling identities — components sum to makespan-side totals within
+//! 1% (the acceptance bound; in practice they match to float precision).
+//! Cases come from fixed-seed [`RngStream`]s so failures replay exactly.
+
+use rp_analytics::critical_path;
+use rp_metrics::Registry;
+use rp_sim::{RngStream, SimClock, SimTime};
+
+const PHASES: [&str; 4] = ["schedule", "launch", "execute", "collect"];
+
+/// One generated task: root open time plus the four phase durations, all
+/// in integer microseconds so the simulated clock events sort exactly.
+struct Case {
+    uid: u64,
+    start_us: u64,
+    phase_us: [u64; 4],
+}
+
+/// Replay the cases through a registry, interleaving events across tasks
+/// in global time order the way a real run would.
+fn record(clock: &SimClock, reg: &Registry, cases: &[Case]) {
+    // (time, case index, step): step 0 opens root + first phase, steps
+    // 1..=3 roll to the next phase, step 4 closes the last phase + root.
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    for (i, c) in cases.iter().enumerate() {
+        let mut t = c.start_us;
+        events.push((t, i, 0));
+        for (step, d) in c.phase_us.iter().enumerate() {
+            t += d;
+            events.push((t, i, step + 1));
+        }
+    }
+    // Stable sort keeps each task's own events in step order on ties
+    // (zero-length phases), matching the contiguous-phase convention.
+    events.sort_by_key(|&(t, _, _)| t);
+    let mut roots = vec![rp_metrics::SpanId::INVALID; cases.len()];
+    let mut open = vec![rp_metrics::SpanId::INVALID; cases.len()];
+    for (t, i, step) in events {
+        clock.set(SimTime::from_micros(t));
+        let uid = cases[i].uid;
+        if step == 0 {
+            roots[i] = reg.span_root("task", uid);
+            open[i] = reg.span_child(PHASES[0], uid, roots[i]);
+        } else {
+            reg.span_end(open[i]);
+            if step < PHASES.len() {
+                open[i] = reg.span_child(PHASES[step], uid, roots[i]);
+            } else {
+                reg.span_end(roots[i]);
+            }
+        }
+    }
+}
+
+/// Components sum to each task's end-to-end time, overhead equals
+/// end-to-end minus busy, and the critical chain sums to the makespan —
+/// all within the 1% acceptance bound (checked much tighter here).
+#[test]
+fn attribution_sums_to_makespan() {
+    let mut rng = RngStream::derive(0x0842, "attribution_sums_to_makespan");
+    for case in 0..64 {
+        let n = 1 + rng.index(40);
+        let cases: Vec<Case> = (0..n)
+            .map(|i| Case {
+                uid: i as u64,
+                start_us: rng.next_u64() % 30_000_000,
+                phase_us: [
+                    rng.next_u64() % 2_000_000,
+                    rng.next_u64() % 2_000_000,
+                    // Execute dominates, like a real payload; may be 0.
+                    rng.next_u64() % 60_000_000,
+                    rng.next_u64() % 1_000_000,
+                ],
+            })
+            .collect();
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        record(&clock, &reg, &cases);
+        let cp = critical_path(&reg.snapshot().spans);
+        assert_eq!(cp.tasks, n, "case {case}");
+        assert_eq!(cp.unclosed, 0, "case {case}");
+
+        // Identity 1: overhead == end_to_end − busy within 1%.
+        assert!(
+            cp.attribution_error() < 0.01,
+            "case {case}: attribution error {}",
+            cp.attribution_error()
+        );
+        // Identity 2: component totals tile the summed end-to-end time.
+        let total: f64 = cp.component_totals.iter().map(|(_, v)| v).sum();
+        assert!(
+            (total - cp.end_to_end_s).abs() <= 0.01 * cp.end_to_end_s.max(1e-9),
+            "case {case}: components {total} vs end-to-end {}",
+            cp.end_to_end_s
+        );
+        // Identity 3: pending + critical components == makespan.
+        let chain: f64 = cp.segments().iter().map(|(_, v)| v).sum();
+        assert!(
+            (chain - cp.makespan_s).abs() <= 0.01 * cp.makespan_s.max(1e-9),
+            "case {case}: chain {chain} vs makespan {}",
+            cp.makespan_s
+        );
+
+        // Ground truth from the generator, independent of span plumbing.
+        let end = |c: &Case| c.start_us + c.phase_us.iter().sum::<u64>();
+        let first = cases.iter().map(|c| c.start_us).min().unwrap();
+        let last = cases.iter().map(end).max().unwrap();
+        let expect_makespan = (last - first) as f64 / 1e6;
+        assert!(
+            (cp.makespan_s - expect_makespan).abs() < 1e-9,
+            "case {case}: makespan {} vs model {expect_makespan}",
+            cp.makespan_s
+        );
+        let expect_busy: f64 = cases.iter().map(|c| c.phase_us[2] as f64 / 1e6).sum();
+        assert!(
+            (cp.busy_s - expect_busy).abs() < 1e-6,
+            "case {case}: busy {} vs model {expect_busy}",
+            cp.busy_s
+        );
+        let critical = cp.critical.as_ref().expect("closed tasks");
+        assert_eq!(
+            end(&cases[critical.uid as usize]),
+            cases.iter().map(end).max().unwrap(),
+            "case {case}: critical task is not last-finishing"
+        );
+    }
+}
+
+/// Roots still open at snapshot are counted but never attributed, and
+/// the identities keep holding over the closed subset.
+#[test]
+fn unclosed_roots_do_not_break_identities() {
+    let mut rng = RngStream::derive(0x0843, "unclosed_roots");
+    for case in 0..32 {
+        let n = 2 + rng.index(20);
+        let cases: Vec<Case> = (0..n)
+            .map(|i| Case {
+                uid: i as u64,
+                start_us: rng.next_u64() % 10_000_000,
+                phase_us: [
+                    rng.next_u64() % 1_000_000,
+                    rng.next_u64() % 1_000_000,
+                    rng.next_u64() % 20_000_000,
+                    rng.next_u64() % 500_000,
+                ],
+            })
+            .collect();
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        record(&clock, &reg, &cases);
+        // A straggler that never closes before the snapshot.
+        let r = reg.span_root("task", 999);
+        reg.span_child("schedule", 999, r);
+        let cp = critical_path(&reg.snapshot().spans);
+        assert_eq!(cp.tasks, n, "case {case}");
+        assert_eq!(cp.unclosed, 1, "case {case}");
+        assert!(
+            cp.attribution_error() < 0.01,
+            "case {case}: {}",
+            cp.attribution_error()
+        );
+        let chain: f64 = cp.segments().iter().map(|(_, v)| v).sum();
+        assert!(
+            (chain - cp.makespan_s).abs() <= 0.01 * cp.makespan_s.max(1e-9),
+            "case {case}"
+        );
+    }
+}

@@ -53,6 +53,7 @@ fn utilization_bounded_and_exact() {
             agent_ready: None,
             end: SimTime::from_secs(1_000),
             profile: None,
+            metrics: None,
         };
         let u = utilization(&report).expect("tasks ran");
         assert!(

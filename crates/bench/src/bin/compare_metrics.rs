@@ -1,0 +1,109 @@
+//! Snapshot-diff two OpenMetrics documents produced by `--metrics-dir`
+//! runs and flag performance regressions.
+//!
+//! Usage: `compare_metrics <base.om.txt> <cand.om.txt> [--tolerance 0.05]
+//! [--warn-only]`
+//!
+//! Samples whose family reads "bigger is worse" (latency `_seconds`
+//! families, drop/failure/contention/retry counters) that grew beyond the
+//! tolerance are regressions; the process exits non-zero on any unless
+//! `--warn-only` is given (the CI mode, where the baseline is a
+//! checked-in reference from a different machine-independent run shape).
+
+use rp_metrics::{diff_openmetrics, DiffEntry};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("compare_metrics: {msg}");
+    eprintln!(
+        "usage: compare_metrics <base.om.txt> <cand.om.txt> [--tolerance 0.05] [--warn-only]"
+    );
+    ExitCode::from(2)
+}
+
+fn print_entries(heading: &str, entries: &[DiffEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    println!("{heading}:");
+    for e in entries {
+        println!(
+            "  {:<60} {:>14.6} -> {:>14.6}  ({:+.1}%)",
+            e.key,
+            e.base,
+            e.cand,
+            e.rel * 100.0
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tolerance = 0.05_f64;
+    let mut warn_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--warn-only" => warn_only = true,
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return fail("--tolerance needs a number");
+                };
+                tolerance = v;
+            }
+            _ if a.starts_with("--tolerance=") => {
+                let Some(v) = a["--tolerance=".len()..].parse().ok() else {
+                    return fail("--tolerance needs a number");
+                };
+                tolerance = v;
+            }
+            _ if a.starts_with("--") => return fail(&format!("unknown flag {a}")),
+            _ => paths.push(a),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        return fail("expected exactly two documents");
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let (base, cand) = match (read(base_path), read(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let diff = match diff_openmetrics(&base, &cand, tolerance) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("parse: {e}")),
+    };
+
+    println!(
+        "compare_metrics: {} vs {} (tolerance {:.1}%)",
+        base_path,
+        cand_path,
+        tolerance * 100.0
+    );
+    print_entries("regressions (higher-is-worse grew)", &diff.regressions);
+    print_entries("improvements", &diff.improvements);
+    print_entries("changed (direction-neutral)", &diff.changed);
+    if !diff.only_base.is_empty() {
+        println!("only in baseline: {}", diff.only_base.join(", "));
+    }
+    if !diff.only_cand.is_empty() {
+        println!("only in candidate: {}", diff.only_cand.join(", "));
+    }
+    if diff.is_clean() {
+        println!("OK: no regressions beyond tolerance");
+        ExitCode::SUCCESS
+    } else if warn_only {
+        println!(
+            "WARN: {} regression(s) beyond tolerance (warn-only mode)",
+            diff.regressions.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} regression(s) beyond tolerance",
+            diff.regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

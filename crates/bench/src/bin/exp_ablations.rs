@@ -30,6 +30,7 @@ fn campaign_params() -> ImpeccableParams {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile_dir = rp_bench::profile_dir_from_args(&args);
+    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
     let mut text = String::from("Ablation experiments (DESIGN.md §7)\n\n");
 
     // ---- 1. FCFS vs EASY backfill -----------------------------------------
@@ -206,6 +207,7 @@ fn main() {
                         .collect()
                 },
                 profile_dir.as_deref(),
+                metrics_dir.as_deref(),
             );
             let line = format!(
                 "   {:<22} thr_avg={:>7.1}/s peak={:>6.0}\n",

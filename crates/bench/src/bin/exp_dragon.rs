@@ -6,7 +6,9 @@
 //! scale (343 t/s @4 nodes, 380 @16) and declining at 64 nodes (204 t/s;
 //! peak 622 → 272) — the centralized single-dispatcher limit.
 
-use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -15,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -27,6 +30,7 @@ fn main() {
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || null_workload(nodes),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -39,6 +43,7 @@ fn main() {
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(180)),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

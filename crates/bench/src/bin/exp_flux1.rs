@@ -6,7 +6,9 @@
 //! node to ≈300 t/s average at 1,024 nodes; single-instance peak ≈744 t/s;
 //! visible run-to-run variability.
 
-use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -15,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let scales: &[u32] = if quick {
         &[1, 4, 16, 64]
     } else {
@@ -33,6 +36,7 @@ fn main() {
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || null_workload(nodes),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -46,6 +50,7 @@ fn main() {
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(360)),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

@@ -6,7 +6,9 @@
 //! 8 instances per runtime averages 171 t/s (peak 573); 64 nodes peaks
 //! ≈1,547 t/s (the RP task-management ceiling); utilization ≥99.6 %.
 
-use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::mixed_workload;
@@ -15,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, instances per runtime); instances*2 <= nodes.
@@ -36,6 +39,7 @@ fn main() {
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::ZERO),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", null_row.table_line());
         text.push_str(&null_row.table_line());
@@ -48,6 +52,7 @@ fn main() {
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::from_secs(360)),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

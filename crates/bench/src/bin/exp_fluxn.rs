@@ -8,7 +8,9 @@
 //! 160.6 → 232.9 at 1024/16), max ≈930 t/s, utilization ≥94.5 % up to 64
 //! nodes, dropping (≈75 %) at 1024/16.
 
-use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::dummy_workload;
@@ -17,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, partition counts) grid: Table 1 lists 64 and 1024 nodes with
@@ -44,6 +47,7 @@ fn main() {
                 move |seed| PilotConfig::flux(nodes, k).with_seed(seed),
                 move || dummy_workload(nodes, SimDuration::from_secs(180)),
                 profile_dir.as_deref(),
+                metrics_dir.as_deref(),
             );
             println!("{}", row.table_line());
             text.push_str(&row.table_line());

@@ -20,6 +20,7 @@ fn run_one(
     seed: u64,
     text: &mut String,
     profile_dir: Option<&std::path::Path>,
+    metrics_dir: Option<&std::path::Path>,
 ) -> (rp_analytics::RunDigest, rp_core::RunReport) {
     let cfg = match backend {
         "srun" => PilotConfig::srun(nodes),
@@ -33,9 +34,15 @@ fn run_one(
         // sample gauges coarsely to keep the profile ring within bounds.
         session = session.with_profiling(rp_sim::SimDuration::from_secs(60));
     }
+    if metrics_dir.is_some() {
+        session = session.with_metrics(rp_sim::SimDuration::from_secs(60));
+    }
     let report = session.run();
     if let (Some(dir), Some(p)) = (profile_dir, &report.profile) {
         rp_bench::write_profile(dir, &format!("impeccable {backend} n={nodes}"), p);
+    }
+    if let Some(dir) = metrics_dir {
+        rp_bench::write_metrics(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
     let d = digest(&report);
     let line = format!(
@@ -82,13 +89,28 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = rp_bench::profile_dir_from_args(&args);
+    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
     let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
 
     let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
     let mut digests = Vec::new();
     for &nodes in scales {
-        let (ds, rs) = run_one("srun", nodes, 31, &mut text, profile_dir.as_deref());
-        let (df, rf) = run_one("flux", nodes, 31, &mut text, profile_dir.as_deref());
+        let (ds, rs) = run_one(
+            "srun",
+            nodes,
+            31,
+            &mut text,
+            profile_dir.as_deref(),
+            metrics_dir.as_deref(),
+        );
+        let (df, rf) = run_one(
+            "flux",
+            nodes,
+            31,
+            &mut text,
+            profile_dir.as_deref(),
+            metrics_dir.as_deref(),
+        );
         let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
         let line = format!(
             "  => flux reduces makespan by {reduction:.0}% at {nodes} nodes (paper: 30-60%)\n"

@@ -4,20 +4,30 @@
 //! Paper shape targets: ≈20 s per Flux instance, ≈9 s per Dragon instance,
 //! roughly independent of instance size; concurrent launches make total
 //! overhead non-additive in the instance count.
+//!
+//! `--quick` trims the size sweep; `--metrics-dir <dir>` additionally runs
+//! every configuration with the metrics registry attached and writes an
+//! OpenMetrics document + summary (including the span-derived critical
+//! path and per-component overhead attribution) per configuration.
 
 use rp_analytics::overheads;
-use rp_bench::{profile_dir_from_args, write_profile, write_results};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, write_metrics, write_profile, write_results,
+};
 use rp_core::{PilotConfig, SimSession, TaskDescription};
 use rp_sim::SimDuration;
 use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let mut text = String::from("Experiment overheads — instance bootstrap, Fig. 7\n\n");
 
     // Per-size overheads: one instance over n nodes, trivial workload.
-    for &nodes in &[1u32, 4, 16, 64] {
+    let sizes: &[u32] = if quick { &[1, 4] } else { &[1, 4, 16, 64] };
+    for &nodes in sizes {
         for kind in ["flux", "dragon"] {
             let cfg = match kind {
                 "flux" => PilotConfig::flux(nodes, 1),
@@ -30,9 +40,16 @@ fn main() {
             if profile_dir.is_some() {
                 session = session.with_profiling(SimDuration::from_secs(1));
             }
+            if metrics_dir.is_some() {
+                session = session.with_metrics(SimDuration::from_secs(1));
+            }
             let report = session.run();
+            let label = format!("overhead {kind} n={nodes}");
             if let (Some(dir), Some(p)) = (&profile_dir, &report.profile) {
-                write_profile(dir, &format!("overhead {kind} n={nodes}"), p);
+                write_profile(dir, &label, p);
+            }
+            if let Some(dir) = &metrics_dir {
+                write_metrics(dir, &label, &report);
             }
             let ov = overheads(&report);
             for (k, p, n, o) in &ov.instances {
@@ -44,11 +61,17 @@ fn main() {
     }
 
     // Non-additivity: 8 flux instances over 32 nodes launch concurrently.
-    let report = SimSession::with_tasks(
+    let mut session = SimSession::with_tasks(
         PilotConfig::flux(32, 8).with_seed(99),
         vec![TaskDescription::null(0)],
-    )
-    .run();
+    );
+    if metrics_dir.is_some() {
+        session = session.with_metrics(SimDuration::from_secs(1));
+    }
+    let report = session.run();
+    if let Some(dir) = &metrics_dir {
+        write_metrics(dir, "overhead flux concurrent", &report);
+    }
     let ov = overheads(&report);
     let per_instance: Vec<f64> = ov.instances.iter().map(|i| i.3).collect();
     let sum: f64 = per_instance.iter().sum();

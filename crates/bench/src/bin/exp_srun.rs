@@ -7,7 +7,9 @@
 //! count (61 t/s at 4 nodes).
 
 use rp_analytics::{line_plot, timeline};
-use rp_bench::{profile_dir_from_args, repeat_static, write_results, ExpRow};
+use rp_bench::{
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -16,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
+    let metrics_dir = metrics_dir_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -34,6 +37,7 @@ fn main() {
             },
             move || null_workload(nodes),
             profile_dir.as_deref(),
+            metrics_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -52,6 +56,7 @@ fn main() {
         },
         || dummy_workload(4, SimDuration::from_secs(180)),
         profile_dir.as_deref(),
+        metrics_dir.as_deref(),
     );
     println!("{}", row.table_line());
     text.push_str(&row.table_line());

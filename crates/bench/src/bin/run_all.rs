@@ -5,7 +5,9 @@
 //!
 //! `--quick` trims node counts and repetitions for a fast smoke pass;
 //! `--profile-dir <dir>` is forwarded so every experiment also writes
-//! runtime profiles (CSV + Chrome trace) for one rep per configuration.
+//! runtime profiles (CSV + Chrome trace) for one rep per configuration;
+//! `--metrics-dir <dir>` is forwarded so every experiment also writes
+//! OpenMetrics documents + summary tables for one rep per configuration.
 
 use rp_analytics::md_table;
 use std::process::Command;
@@ -14,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = rp_bench::profile_dir_from_args(&args);
+    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
     let matrix = md_table(
@@ -123,6 +126,9 @@ fn main() {
         }
         if let Some(dir) = &profile_dir {
             cmd.arg("--profile-dir").arg(dir);
+        }
+        if let Some(dir) = &metrics_dir {
+            cmd.arg("--metrics-dir").arg(dir);
         }
         let status = cmd.status().unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
         assert!(status.success(), "{exp} failed");

@@ -1,7 +1,7 @@
 //! Shared experiment machinery: run a configuration over several seeds,
 //! digest each run, aggregate, and render table rows.
 
-use rp_analytics::{digest, RunDigest};
+use rp_analytics::{critical_path, digest, RunDigest};
 use rp_core::{PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
 use rp_profiler::ProfileData;
 use rp_sim::SimDuration;
@@ -107,20 +107,34 @@ impl ExpRow {
 /// Gauge sampling period used when an experiment rep runs profiled.
 const PROFILE_PERIOD: SimDuration = SimDuration::from_secs(1);
 
-/// Parse `--profile-dir <dir>` (or `--profile-dir=<dir>`) from argv. When
-/// present, the repetition helpers profile rep 0 of every configuration and
-/// write the profiles there, next to the `results/*.csv` outputs.
-pub fn profile_dir_from_args(args: &[String]) -> Option<PathBuf> {
+/// Parse `--<flag> <dir>` (or `--<flag>=<dir>`) from argv.
+fn dir_from_args(args: &[String], flag: &str) -> Option<PathBuf> {
+    let eq = format!("--{flag}=");
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--profile-dir" {
+        if a == &format!("--{flag}") {
             return it.next().map(PathBuf::from);
         }
-        if let Some(dir) = a.strip_prefix("--profile-dir=") {
+        if let Some(dir) = a.strip_prefix(&eq) {
             return Some(PathBuf::from(dir));
         }
     }
     None
+}
+
+/// Parse `--profile-dir <dir>` (or `--profile-dir=<dir>`) from argv. When
+/// present, the repetition helpers profile rep 0 of every configuration and
+/// write the profiles there, next to the `results/*.csv` outputs.
+pub fn profile_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    dir_from_args(args, "profile-dir")
+}
+
+/// Parse `--metrics-dir <dir>` (or `--metrics-dir=<dir>`) from argv. When
+/// present, the repetition helpers run rep 0 of every configuration with
+/// the metrics registry attached and write an OpenMetrics document plus a
+/// human-readable summary table there.
+pub fn metrics_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    dir_from_args(args, "metrics-dir")
 }
 
 /// File-name-safe form of an experiment label.
@@ -147,17 +161,39 @@ pub fn write_profile(dir: &Path, label: &str, data: &ProfileData) {
     let _ = fs::write(dir.join(format!("{base}.trace.json")), data.chrome_trace());
 }
 
+/// Write one run's metrics under `dir`: the OpenMetrics text document
+/// (`<label>.om.txt`, registry families plus the derived critical-path
+/// families appended before `# EOF`) and a human-readable summary
+/// (`<label>.summary.txt`). No-op when the report carries no snapshot.
+pub fn write_metrics(dir: &Path, label: &str, report: &RunReport) {
+    let Some(snap) = &report.metrics else { return };
+    let _ = fs::create_dir_all(dir);
+    let base = sanitize(label);
+    let cp = critical_path(&snap.spans);
+    let om = format!(
+        "{}{}# EOF\n",
+        snap.openmetrics_body(),
+        cp.openmetrics_body()
+    );
+    let _ = fs::write(dir.join(format!("{base}.om.txt")), om);
+    let summary = format!("{}\n{}", snap.summary_table(), cp.summary_table());
+    let _ = fs::write(dir.join(format!("{base}.summary.txt")), summary);
+}
+
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
 /// each. `mk_workload` builds a fresh workload per rep (workload sources
 /// are consumed by the run); `mk_cfg` gets the rep's seed. With a
 /// `profile_dir`, rep 0 runs with profiling enabled and its profile CSV +
-/// Chrome trace land in that directory under the experiment label.
+/// Chrome trace land in that directory under the experiment label; with a
+/// `metrics_dir`, rep 0 runs with metrics attached and its OpenMetrics
+/// document + summary land there the same way.
 pub fn repeat(
     label: &str,
     reps: usize,
     mk_cfg: impl Fn(u64) -> PilotConfig,
     mk_workload: impl Fn() -> Box<dyn WorkloadSource>,
     profile_dir: Option<&Path>,
+    metrics_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     let mut digests = Vec::with_capacity(reps);
     let mut reports = Vec::with_capacity(reps);
@@ -169,9 +205,16 @@ pub fn repeat(
         if profile_this.is_some() {
             session = session.with_profiling(PROFILE_PERIOD);
         }
+        let metrics_this = metrics_dir.filter(|_| rep == 0);
+        if metrics_this.is_some() {
+            session = session.with_metrics(PROFILE_PERIOD);
+        }
         let report = session.run();
         if let (Some(dir), Some(data)) = (profile_this, &report.profile) {
             write_profile(dir, label, data);
+        }
+        if let Some(dir) = metrics_this {
+            write_metrics(dir, label, &report);
         }
         digests.push(digest(&report));
         reports.push(report);
@@ -186,6 +229,7 @@ pub fn repeat_static(
     mk_cfg: impl Fn(u64) -> PilotConfig,
     mk_tasks: impl Fn() -> Vec<TaskDescription>,
     profile_dir: Option<&Path>,
+    metrics_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     repeat(
         label,
@@ -193,6 +237,7 @@ pub fn repeat_static(
         mk_cfg,
         || Box::new(rp_core::StaticWorkload::new(mk_tasks())),
         profile_dir,
+        metrics_dir,
     )
 }
 
@@ -227,6 +272,7 @@ mod tests {
                     .collect()
             },
             None,
+            None,
         );
         assert_eq!(row.reps, 2);
         assert_eq!(reports.len(), 2);
@@ -242,5 +288,44 @@ mod tests {
         assert!(line.contains("tiny"));
         assert!(ExpRow::csv_header().starts_with("label,"));
         assert!(row.csv_line().starts_with("tiny,2,"));
+    }
+
+    /// `--metrics-dir` plumbing end to end: rep 0 runs with the registry
+    /// attached, the OpenMetrics document parses, and the derived
+    /// overhead attribution satisfies `overhead == end_to_end − busy`
+    /// within the 1% acceptance bound.
+    #[test]
+    fn write_metrics_emits_parseable_attribution() {
+        let dir = std::env::temp_dir().join(format!("rp-bench-metrics-{}", std::process::id()));
+        let (_, reports) = repeat_static(
+            "tiny metrics",
+            1,
+            |seed| PilotConfig::flux(2, 1).with_seed(seed),
+            || {
+                (0..20)
+                    .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
+                    .collect()
+            },
+            None,
+            Some(&dir),
+        );
+        assert!(reports[0].metrics.is_some(), "rep 0 must carry a snapshot");
+        let om = fs::read_to_string(dir.join("tiny_metrics.om.txt")).expect("om written");
+        let samples = rp_metrics::parse_openmetrics(&om).expect("document parses");
+        let end_to_end = samples["rp_ovh_end_to_end_seconds"];
+        let busy = samples["rp_ovh_busy_seconds"];
+        let overhead: f64 = samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("rp_ovh_component_seconds") && !k.contains("execute"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(
+            (overhead - (end_to_end - busy)).abs() <= 0.01 * (end_to_end - busy).max(1e-9),
+            "attribution {overhead} vs end-to-end−busy {}",
+            end_to_end - busy
+        );
+        let summary = fs::read_to_string(dir.join("tiny_metrics.summary.txt")).expect("summary");
+        assert!(summary.contains("critical path"));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -11,6 +11,7 @@ pub mod harness;
 pub mod microbench;
 
 pub use harness::{
-    profile_dir_from_args, repeat, repeat_static, write_profile, write_results, ExpRow,
+    metrics_dir_from_args, profile_dir_from_args, repeat, repeat_static, write_metrics,
+    write_profile, write_results, ExpRow,
 };
 pub use microbench::Micro;

@@ -29,6 +29,7 @@ use rp_fluxrt::{
     EasyBackfill, ExceptionKind, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId,
     JobSpec, SchedPolicy,
 };
+use rp_metrics::{Counter as MCounter, Gauge as MGauge, Histogram as MHistogram, Registry, SpanId};
 use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
@@ -213,6 +214,181 @@ pub struct AgentGauges {
     parts: RefCell<Vec<(f64, f64)>>,
 }
 
+/// Which lifecycle child span is currently open for a task. The four
+/// phases tile the `task` root span exactly (see `rp_metrics::span`):
+/// `schedule` covers NEW→Submitting (staging + scheduler queue+service),
+/// `launch` covers Submitting→Executing, `execute` covers the payload,
+/// and `collect` covers launcher-completion→Done (watcher latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpanPhase {
+    Schedule,
+    Launch,
+    Execute,
+    Collect,
+}
+
+impl SpanPhase {
+    fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Schedule => "schedule",
+            SpanPhase::Launch => "launch",
+            SpanPhase::Execute => "execute",
+            SpanPhase::Collect => "collect",
+        }
+    }
+}
+
+/// Open span handles for one in-flight task.
+struct TaskSpans {
+    root: SpanId,
+    child: SpanId,
+    phase: SpanPhase,
+}
+
+/// Metrics instruments for the agent pipeline (built by
+/// [`SimAgent::attach_metrics`]). Interior mutability throughout so the
+/// `with_task` transition hook (`&self`) can drive span trees and dwell
+/// histograms.
+struct AgentMetrics {
+    reg: Registry,
+    /// Dwell-time histogram per task state, indexed by [`state_index`].
+    dwell: [MHistogram; 9],
+    /// Timestamp of each in-flight task's last state transition.
+    entered: RefCell<HashMap<u64, SimTime>>,
+    /// Pipeline server service times (sampled cost, not queue wait —
+    /// queueing shows up in the state dwell histograms).
+    stage_seconds: MHistogram,
+    sched_seconds: MHistogram,
+    adapter_seconds: BTreeMap<BackendKind, MHistogram>,
+    watcher_seconds: MHistogram,
+    /// Scheduling decisions per backend kind, plus unroutable tasks.
+    routed: BTreeMap<BackendKind, MCounter>,
+    routing_failed: MCounter,
+    /// Task lifecycle counters.
+    submitted: MCounter,
+    completed: MCounter,
+    failed: MCounter,
+    canceled: MCounter,
+    retried: MCounter,
+    /// Live pipeline gauges (mirror of [`AgentGauges`] for OpenMetrics).
+    queue_depth: MGauge,
+    srun_inflight: MGauge,
+    busy_cores: MGauge,
+    busy_gpus: MGauge,
+    /// Open spans per in-flight task.
+    spans: RefCell<HashMap<u64, TaskSpans>>,
+}
+
+impl AgentMetrics {
+    /// First submission: open the `task` root with its `schedule` child and
+    /// stamp the dwell clock.
+    fn task_open(&self, uid: u64) {
+        self.submitted.inc();
+        let root = self.reg.span_root("task", uid);
+        let child = self.reg.span_child(SpanPhase::Schedule.name(), uid, root);
+        self.spans.borrow_mut().insert(
+            uid,
+            TaskSpans {
+                root,
+                child,
+                phase: SpanPhase::Schedule,
+            },
+        );
+        self.entered.borrow_mut().insert(uid, self.reg.now());
+    }
+
+    /// Close the open child and start `phase` at the same instant, keeping
+    /// the phases contiguous under the root.
+    fn enter_phase(&self, uid: u64, phase: SpanPhase) {
+        let mut spans = self.spans.borrow_mut();
+        let Some(ts) = spans.get_mut(&uid) else {
+            return;
+        };
+        if ts.phase == phase && ts.child.is_valid() {
+            return;
+        }
+        self.reg.span_end(ts.child);
+        ts.child = self.reg.span_child(phase.name(), uid, ts.root);
+        ts.phase = phase;
+    }
+
+    /// Launcher-side completion observed (watcher event enqueued): the
+    /// remaining time to the record update is collection overhead.
+    fn mark_collect(&self, uid: u64) {
+        self.enter_phase(uid, SpanPhase::Collect);
+    }
+
+    /// Close a task's span tree. `through_collect` is the Done path: a
+    /// (possibly zero-length) `collect` child is guaranteed so the four
+    /// phases always tile the root.
+    fn close_task(&self, uid: u64, through_collect: bool) {
+        let Some(ts) = self.spans.borrow_mut().remove(&uid) else {
+            return;
+        };
+        self.reg.span_end(ts.child);
+        if through_collect && ts.phase != SpanPhase::Collect {
+            let c = self.reg.span_child(SpanPhase::Collect.name(), uid, ts.root);
+            self.reg.span_end(c);
+        }
+        self.reg.span_end(ts.root);
+        self.entered.borrow_mut().remove(&uid);
+    }
+
+    /// Permanent failure: close the tree where it stands.
+    fn abandon(&self, uid: u64) {
+        self.failed.inc();
+        self.close_task(uid, false);
+    }
+
+    /// Observe the dwell time in the state being left and restamp.
+    fn observe_dwell(&self, uid: u64, leaving: TaskState) {
+        let now = self.reg.now();
+        if let Some(prev) = self.entered.borrow_mut().insert(uid, now) {
+            self.dwell[state_index(leaving)].observe(now.saturating_since(prev).as_secs_f64());
+        }
+    }
+
+    /// One recorded state transition (called from the `with_task` funnel).
+    fn on_transition(&self, uid: u64, from: TaskState, to: TaskState) {
+        self.observe_dwell(uid, from);
+        match to {
+            TaskState::Submitting => self.enter_phase(uid, SpanPhase::Launch),
+            TaskState::Executing => self.enter_phase(uid, SpanPhase::Execute),
+            TaskState::StagingInput => {
+                // Retry path (initial submission never funnels through
+                // `with_task`): reopen `schedule` under the surviving root.
+                self.retried.inc();
+                self.enter_phase(uid, SpanPhase::Schedule);
+            }
+            TaskState::Done => {
+                self.completed.inc();
+                self.close_task(uid, true);
+            }
+            TaskState::Failed => {
+                // Close the open child only; `fail_task` then either
+                // retries (StagingInput reopens `schedule`) or abandons.
+                let mut spans = self.spans.borrow_mut();
+                if let Some(ts) = spans.get_mut(&uid) {
+                    self.reg.span_end(ts.child);
+                    ts.child = SpanId::INVALID;
+                }
+            }
+            TaskState::Canceled => {
+                self.canceled.inc();
+                self.close_task(uid, false);
+            }
+            _ => {}
+        }
+    }
+
+    /// Count one routing decision.
+    fn note_routed(&self, kind: BackendKind) {
+        if let Some(c) = self.routed.get(&kind) {
+            c.inc();
+        }
+    }
+}
+
 /// The simulated agent actor.
 pub struct SimAgent {
     cfg: PilotConfig,
@@ -273,6 +449,8 @@ pub struct SimAgent {
     prof: Profiler,
     psyms: Option<AgentProfSyms>,
     gauges: Rc<AgentGauges>,
+    /// Metrics instruments (None unless [`Self::attach_metrics`] ran).
+    metrics: Option<AgentMetrics>,
 }
 
 impl SimAgent {
@@ -491,6 +669,7 @@ impl SimAgent {
             prof: Profiler::disabled(),
             psyms: None,
             gauges: Rc::new(AgentGauges::default()),
+            metrics: None,
         }
     }
 
@@ -582,9 +761,164 @@ impl SimAgent {
         })
     }
 
+    /// Attach a metrics registry: dwell-time histograms and per-task span
+    /// trees flow from the agent's state funnel, pipeline-server service
+    /// times from the pump sites, and every backend sub-machine records
+    /// submit/launch/complete latencies under its kind label (partitions
+    /// of one kind merge into a single distribution by registry dedup).
+    pub fn attach_metrics(&mut self, reg: &Registry) {
+        use TaskState::*;
+        let dwell = [
+            New,
+            StagingInput,
+            Scheduling,
+            Submitting,
+            Submitted,
+            Executing,
+            Done,
+            Failed,
+            Canceled,
+        ]
+        .map(|st| {
+            reg.histogram(
+                "rp_task_state_seconds",
+                &[("state", state_event_name(st))],
+                "Time tasks dwell in each lifecycle state",
+            )
+        });
+        let mut adapter_seconds = BTreeMap::new();
+        let mut routed = BTreeMap::new();
+        for kind in self.adapters.keys() {
+            let k = format!("{kind}");
+            adapter_seconds.insert(
+                *kind,
+                reg.histogram(
+                    "rp_adapter_seconds",
+                    &[("backend", k.as_str())],
+                    "Executor-adapter serialization service time",
+                ),
+            );
+            routed.insert(
+                *kind,
+                reg.counter(
+                    "rp_routed_total",
+                    &[("backend", k.as_str())],
+                    "Scheduling decisions routed to this backend kind",
+                ),
+            );
+        }
+        self.site_srun.attach_metrics(reg, "srun");
+        for f in &mut self.flux {
+            f.attach_metrics(reg, "flux");
+        }
+        for d in &mut self.dragon {
+            d.attach_metrics(reg, "dragon");
+        }
+        for pb in &mut self.prrte {
+            pb.dvm.attach_metrics(reg, "prrte");
+        }
+        self.metrics = Some(AgentMetrics {
+            dwell,
+            entered: RefCell::new(HashMap::new()),
+            stage_seconds: reg.histogram(
+                "rp_stage_seconds",
+                &[],
+                "Input-stager service time per task",
+            ),
+            sched_seconds: reg.histogram(
+                "rp_sched_seconds",
+                &[],
+                "Agent-scheduler decision service time per task",
+            ),
+            adapter_seconds,
+            watcher_seconds: reg.histogram(
+                "rp_watcher_seconds",
+                &[],
+                "Watcher-thread service time per backend event",
+            ),
+            routed,
+            routing_failed: reg.counter(
+                "rp_routing_failed_total",
+                &[],
+                "Tasks no live backend could host",
+            ),
+            submitted: reg.counter(
+                "rp_tasks_submitted_total",
+                &[],
+                "Tasks submitted to the agent",
+            ),
+            completed: reg.counter(
+                "rp_tasks_completed_total",
+                &[],
+                "Tasks finished successfully",
+            ),
+            failed: reg.counter("rp_tasks_failed_total", &[], "Tasks failed permanently"),
+            canceled: reg.counter(
+                "rp_tasks_canceled_total",
+                &[],
+                "Tasks canceled before running",
+            ),
+            retried: reg.counter("rp_task_retries_total", &[], "Task retry attempts"),
+            queue_depth: reg.gauge(
+                "rp_agent_queue_depth",
+                &[],
+                "Tasks waiting in agent pipeline queues",
+            ),
+            srun_inflight: reg.gauge(
+                "rp_srun_inflight",
+                &[],
+                "Site srun steps currently in flight",
+            ),
+            busy_cores: reg.gauge(
+                "rp_busy_cores",
+                &[],
+                "Busy cores/workers across non-srun partitions",
+            ),
+            busy_gpus: reg.gauge("rp_busy_gpus", &[], "Busy GPUs across non-srun partitions"),
+            spans: RefCell::new(HashMap::new()),
+            reg: reg.clone(),
+        });
+        self.update_gauges();
+    }
+
+    /// A sampler closure for [`rp_sim::Engine::add_sampler`]: folds the
+    /// live pipeline gauges into sampled distributions (queue depth and
+    /// partition utilization over virtual time). Call after
+    /// [`Self::attach_metrics`].
+    pub fn metrics_sampler(&self) -> Box<dyn FnMut(SimTime)> {
+        let m = self.metrics.as_ref().expect("attach_metrics first");
+        let queue_depth = m.queue_depth.clone();
+        let busy_cores = m.busy_cores.clone();
+        let depth_hist = m.reg.histogram(
+            "rp_agent_queue_depth_sampled",
+            &[],
+            "Agent pipeline queue depth, sampled periodically",
+        );
+        let util_hist = m.reg.histogram(
+            "rp_utilization_sampled",
+            &[],
+            "Busy fraction of non-srun partition cores, sampled periodically",
+        );
+        let mut capacity = 0.0f64;
+        for f in &self.flux {
+            capacity += f.allocation().total_cores() as f64;
+        }
+        for d in &self.dragon {
+            capacity += d.worker_capacity() as f64;
+        }
+        for pb in &self.prrte {
+            capacity += pb.pool.total_cores() as f64;
+        }
+        let capacity = capacity.max(1.0);
+        Box::new(move |_now| {
+            depth_hist.observe(queue_depth.get());
+            util_hist.observe(busy_cores.get() / capacity);
+        })
+    }
+
     /// Refresh the shared gauge counters from live agent/backend state.
     fn update_gauges(&self) {
-        if self.psyms.is_none() {
+        if self.psyms.is_none() && self.metrics.is_none() {
             return;
         }
         let mut depth = self.stage_q.len() + self.sched_q.len();
@@ -611,6 +945,15 @@ impl SimAgent {
                 (pb.pool.total_cores() - pb.pool.free_cores()) as f64,
                 (pb.pool.total_gpus() - pb.pool.free_gpus()) as f64,
             ));
+        }
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(depth as f64);
+            m.srun_inflight.set(self.site_srun.slots_in_use() as f64);
+            let (cores, gpus) = parts
+                .iter()
+                .fold((0.0, 0.0), |(c, g), &(pc, pg)| (c + pc, g + pg));
+            m.busy_cores.set(cores);
+            m.busy_gpus.set(gpus);
         }
     }
 
@@ -684,6 +1027,9 @@ impl SimAgent {
                 self.prof
                     .instant(s.comp, uid.0, s.states[state_index(rec.state)]);
             }
+            if let Some(m) = &self.metrics {
+                m.on_transition(uid.0, before, rec.state);
+            }
         }
         out
     }
@@ -701,6 +1047,9 @@ impl SimAgent {
                     desc.uid.0,
                     s.states[state_index(TaskState::StagingInput)],
                 );
+            }
+            if let Some(m) = &self.metrics {
+                m.task_open(desc.uid.0);
             }
             {
                 let mut st = self.state.borrow_mut();
@@ -726,6 +1075,9 @@ impl SimAgent {
             };
             self.stagers_free -= 1;
             let cost = self.stage_cost.sample(&mut self.rng);
+            if let Some(m) = &self.metrics {
+                m.stage_seconds.observe(cost.as_secs_f64());
+            }
             ctx.timer(cost, AgentMsg::StagerDone(t));
         }
     }
@@ -742,6 +1094,9 @@ impl SimAgent {
             self.prof.begin(s.t_sched, t.0, s.schedule);
         }
         let cost = self.sched_cost.sample(&mut self.rng);
+        if let Some(m) = &self.metrics {
+            m.sched_seconds.observe(cost.as_secs_f64());
+        }
         ctx.timer(cost, AgentMsg::SchedDone(t));
     }
 
@@ -757,6 +1112,11 @@ impl SimAgent {
         let cost = adapter.cost.sample(&mut self.rng);
         if let Some(s) = &self.psyms {
             self.prof.begin(s.t_adapter[&kind], t.0, s.submit);
+        }
+        if let Some(m) = &self.metrics {
+            if let Some(h) = m.adapter_seconds.get(&kind) {
+                h.observe(cost.as_secs_f64());
+            }
         }
         ctx.timer(cost, AgentMsg::AdapterDone(kind, t));
     }
@@ -774,6 +1134,9 @@ impl SimAgent {
         };
         sub.sched_busy = true;
         let cost = sub.sched_cost.sample(&mut self.rng);
+        if let Some(m) = &self.metrics {
+            m.sched_seconds.observe(cost.as_secs_f64());
+        }
         ctx.timer(cost, AgentMsg::SubSchedDone(idx, t));
     }
 
@@ -787,6 +1150,12 @@ impl SimAgent {
         };
         sub.adapter_busy = true;
         let cost = sub.adapter_cost.sample(&mut self.rng);
+        let kind = sub.target.0;
+        if let Some(m) = &self.metrics {
+            if let Some(h) = m.adapter_seconds.get(&kind) {
+                h.observe(cost.as_secs_f64());
+            }
+        }
         ctx.timer(cost, AgentMsg::SubAdapterDone(idx, t));
     }
 
@@ -1088,6 +1457,20 @@ impl SimAgent {
 
     /// Enqueue an event for `kind`'s watcher thread.
     fn watch(&mut self, kind: BackendKind, ev: WatcherEvent, ctx: &mut Ctx<AgentMsg>) {
+        if let (Some(m), WatcherEvent::Term(t)) = (&self.metrics, &ev) {
+            // The launcher is done; everything until the record update is
+            // collection overhead. Guard against stale events for tasks
+            // already failed over elsewhere.
+            let executing = self
+                .state
+                .borrow()
+                .tasks
+                .get(t)
+                .is_some_and(|r| r.state == TaskState::Executing);
+            if executing {
+                m.mark_collect(t.0);
+            }
+        }
         self.watcher_q.entry(kind).or_default().push_back(ev);
         self.pump_watcher(kind, ctx);
     }
@@ -1102,6 +1485,9 @@ impl SimAgent {
         }
         *self.watcher_busy.get_mut(&kind).expect("entry") = true;
         let cost = self.watcher_cost.sample(&mut self.rng);
+        if let Some(m) = &self.metrics {
+            m.watcher_seconds.observe(cost.as_secs_f64());
+        }
         ctx.timer(cost, AgentMsg::WatcherDone(kind));
     }
 
@@ -1427,6 +1813,9 @@ impl SimAgent {
             self.stage_q.push_back(t);
             self.pump_stagers(ctx);
         } else {
+            if let Some(m) = &self.metrics {
+                m.abandon(t.0);
+            }
             self.state.borrow_mut().failed += 1;
             self.on_terminal(t, ctx);
         }
@@ -1643,6 +2032,9 @@ impl Actor<AgentMsg> for SimAgent {
                     // sub-agent; the heavy scheduling happens there.
                     match self.select_backend(t) {
                         Some((kind, part)) => {
+                            if let Some(m) = &self.metrics {
+                                m.note_routed(kind);
+                            }
                             self.assignment.insert(t, (kind, part));
                             let idx = self
                                 .sub_index(kind, part)
@@ -1650,7 +2042,12 @@ impl Actor<AgentMsg> for SimAgent {
                             self.subs[idx].sched_q.push_back(t);
                             self.pump_sub_sched(idx as u32, ctx);
                         }
-                        None => self.fail_task(t, false, ctx),
+                        None => {
+                            if let Some(m) = &self.metrics {
+                                m.routing_failed.inc();
+                            }
+                            self.fail_task(t, false, ctx);
+                        }
                     }
                 }
                 self.pump_stagers(ctx);
@@ -1663,6 +2060,9 @@ impl Actor<AgentMsg> for SimAgent {
                 let now = ctx.now();
                 match self.select_backend(t) {
                     Some((kind, part)) => {
+                        if let Some(m) = &self.metrics {
+                            m.note_routed(kind);
+                        }
                         self.assignment.insert(t, (kind, part));
                         self.with_task(t, |rec| rec.advance(TaskState::Submitting, now));
                         self.adapters
@@ -1673,6 +2073,9 @@ impl Actor<AgentMsg> for SimAgent {
                         self.pump_adapter(kind, ctx);
                     }
                     None => {
+                        if let Some(m) = &self.metrics {
+                            m.routing_failed.inc();
+                        }
                         self.fail_task(t, false, ctx);
                     }
                 }

@@ -82,6 +82,9 @@ pub struct RunReport {
     /// Runtime profile, when the session ran with
     /// [`crate::SimSession::with_profiling`].
     pub profile: Option<rp_profiler::ProfileData>,
+    /// Metrics snapshot (counters, histograms, span trees), when the
+    /// session ran with [`crate::SimSession::with_metrics`].
+    pub metrics: Option<rp_metrics::Snapshot>,
 }
 
 impl RunReport {
@@ -106,6 +109,13 @@ impl RunReport {
     /// Latest payload end across tasks.
     pub fn last_end(&self) -> Option<SimTime> {
         self.tasks.iter().filter_map(|t| t.exec_end).max()
+    }
+
+    /// Profile events lost to ring eviction (0 when profiling was off or
+    /// nothing was dropped). Non-zero means the profile CSV/trace are
+    /// truncated at the front and timeline reconstruction may be partial.
+    pub fn profile_dropped(&self) -> u64 {
+        self.profile.as_ref().map_or(0, |p| p.dropped)
     }
 
     /// Workflow makespan: first submission to last payload end.

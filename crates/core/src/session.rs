@@ -46,6 +46,7 @@ pub struct SimSession {
     timed_submissions: Vec<(SimTime, Vec<TaskDescription>)>,
     max_events: u64,
     profile_every: Option<SimDuration>,
+    metrics_every: Option<SimDuration>,
 }
 
 impl SimSession {
@@ -59,6 +60,7 @@ impl SimSession {
             timed_submissions: Vec::new(),
             max_events: 2_000_000_000,
             profile_every: None,
+            metrics_every: None,
         }
     }
 
@@ -95,6 +97,15 @@ impl SimSession {
         self
     }
 
+    /// Enable the metrics subsystem: counters, latency histograms and
+    /// per-task span trees from the agent and every backend, plus queue
+    /// depth / utilization distributions sampled every `period` of virtual
+    /// time. The snapshot lands in [`RunReport::metrics`].
+    pub fn with_metrics(mut self, period: SimDuration) -> Self {
+        self.metrics_every = Some(period);
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
@@ -111,10 +122,20 @@ impl SimSession {
             agent.attach_profiler(prof.clone());
             (prof, period, agent.gauge_sampler())
         });
+        // Metrics ride the same clock and sampling machinery.
+        let registry = self.metrics_every.map(|period| {
+            let reg = rp_metrics::Registry::new(engine.clock());
+            agent.attach_metrics(&reg);
+            (reg, period, agent.metrics_sampler())
+        });
         let id = engine.add_actor(Box::new(agent));
         let profiler = profiler.map(|(prof, period, sampler)| {
             engine.add_sampler(period, sampler);
             prof
+        });
+        let registry = registry.map(|(reg, period, sampler)| {
+            engine.add_sampler(period, sampler);
+            reg
         });
         engine.schedule(SimTime::ZERO, id, AgentMsg::Init);
         for f in &self.failures {
@@ -157,6 +178,23 @@ impl SimSession {
             agent_ready: st.agent_ready,
             end,
             profile: profiler.map(|p| p.snapshot()),
+            metrics: registry.map(|reg| {
+                // Fold engine-level stats in just before the snapshot so
+                // they reflect the whole run.
+                reg.counter(
+                    "rp_engine_events_total",
+                    &[],
+                    "Discrete events the engine delivered",
+                )
+                .add(engine.delivered());
+                reg.gauge(
+                    "rp_engine_peak_queue_depth",
+                    &[],
+                    "Peak length of the engine's pending-event queue",
+                )
+                .set(engine.peak_queue_depth() as f64);
+                reg.snapshot()
+            }),
         }
     }
 }
@@ -655,6 +693,70 @@ mod tests {
             .count();
         assert_eq!(done + canceled, 400, "no task lost under sub-agents");
         assert!(report.tasks.iter().any(|t| t.retries > 0), "failover ran");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_lifecycle_and_spans_tile() {
+        let tasks: Vec<TaskDescription> = (0..50)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(10)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks)
+            .with_metrics(SimDuration::from_secs(1))
+            .run();
+        assert_eq!(report.done_tasks().count(), 50);
+        let snap = report.metrics.as_ref().expect("metrics enabled");
+        assert_eq!(snap.counter("rp_tasks_submitted_total"), Some(50));
+        assert_eq!(snap.counter("rp_tasks_completed_total"), Some(50));
+        assert_eq!(snap.counter("rp_routed_total{backend=\"flux\"}"), Some(50));
+        // Both flux partitions merge into one distribution by dedup.
+        let launch = snap
+            .histogram("rp_backend_launch_seconds{backend=\"flux\"}")
+            .expect("backend kit attached");
+        assert_eq!(launch.count(), 50);
+        let dwell = snap
+            .histogram("rp_task_state_seconds{state=\"EXECUTING\"}")
+            .expect("dwell histograms attached");
+        assert_eq!(dwell.count(), 50);
+        // Dwell is measured between watcher-mediated transitions, so it
+        // tracks the 10 s payload to within the watcher latencies.
+        assert!(dwell.min() > 9.5, "payload runs 10 s: {}", dwell.min());
+        assert!(snap.counter("rp_engine_events_total").unwrap() > 0);
+        // Span trees: one closed `task` root per uid whose four phases
+        // tile the root interval exactly.
+        let spans = &snap.spans;
+        let roots: Vec<_> = spans
+            .spans
+            .iter()
+            .filter(|s| spans.name(s) == "task")
+            .collect();
+        assert_eq!(roots.len(), 50);
+        for root in roots {
+            let dur = root
+                .end
+                .expect("root closed")
+                .saturating_since(root.start)
+                .as_secs_f64();
+            let children: Vec<_> = spans
+                .spans
+                .iter()
+                .filter(|s| s.uid == root.uid && s.parent.is_some())
+                .collect();
+            assert_eq!(children.len(), 4, "schedule/launch/execute/collect");
+            let sum: f64 = children
+                .iter()
+                .map(|s| {
+                    s.end
+                        .expect("closed")
+                        .saturating_since(s.start)
+                        .as_secs_f64()
+                })
+                .sum();
+            assert!(
+                (sum - dur).abs() < 1e-6,
+                "phases must tile the root: {sum} vs {dur} (uid {})",
+                root.uid
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! usable core, no placement bookkeeping, FIFO dispatch with worker-pool
 //! backpressure.
 
+use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
@@ -92,6 +93,7 @@ pub struct DragonSim {
     syms: Option<ProfSyms>,
     /// Uid in the dispatcher, closed on kill to keep B/E pairs matched.
     open_dispatch: Option<u64>,
+    metrics: Option<BackendInstruments>,
 }
 
 impl DragonSim {
@@ -114,6 +116,7 @@ impl DragonSim {
             prof: Profiler::disabled(),
             syms: None,
             open_dispatch: None,
+            metrics: None,
         }
     }
 
@@ -130,6 +133,12 @@ impl DragonSim {
             proc_finish: prof.intern("PROC_FINISH"),
         });
         self.prof = prof;
+    }
+
+    /// Attach metrics under the `backend` label: dispatch/launch latency,
+    /// execution time, queue depth and worker-pool contention.
+    pub fn attach_metrics(&mut self, reg: &Registry, backend: &str) {
+        self.metrics = Some(BackendInstruments::new(reg, backend));
     }
 
     /// Total workers in the pool.
@@ -179,6 +188,11 @@ impl DragonSim {
         self.dispatch_busy = false;
         self.free_workers = self.worker_capacity;
         lost.sort_unstable();
+        if let Some(m) = &self.metrics {
+            for id in &lost {
+                m.forget(*id);
+            }
+        }
         lost
     }
 
@@ -190,6 +204,9 @@ impl DragonSim {
         }
         if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
             self.queue.remove(pos);
+            if let Some(m) = &self.metrics {
+                m.forget(id);
+            }
             return true;
         }
         false
@@ -231,6 +248,13 @@ impl DragonSim {
             task.workers,
             self.worker_capacity
         );
+        if let Some(m) = &self.metrics {
+            let contended = !self.ready
+                || self.dispatch_busy
+                || !self.queue.is_empty()
+                || task.workers as u64 > self.free_workers;
+            m.on_submit(task.id, self.queue.len(), contended);
+        }
         self.queue.push_back(task);
         self.pump()
     }
@@ -261,6 +285,9 @@ impl DragonSim {
                     self.prof
                         .instant_detail(s.comp, id, what, self.busy_workers() as f64);
                 }
+                if let Some(m) = &self.metrics {
+                    m.on_started(id);
+                }
                 let mut out = vec![
                     DragonAction::Started(id),
                     DragonAction::Timer {
@@ -275,6 +302,9 @@ impl DragonSim {
                 let task = self.in_flight.remove(&id).expect("done unknown task");
                 self.free_workers += task.workers as u64;
                 self.completed += 1;
+                if let Some(m) = &self.metrics {
+                    m.on_completed(id);
+                }
                 if let Some(s) = &self.syms {
                     let what = if task.is_function {
                         s.func_finish
@@ -305,6 +335,9 @@ impl DragonSim {
         let task = self.queue.pop_front().expect("non-empty");
         self.free_workers -= task.workers as u64;
         self.dispatch_busy = true;
+        if let Some(m) = &self.metrics {
+            m.on_accepted(task.id);
+        }
         if let Some(s) = &self.syms {
             self.prof.begin(s.t_dispatch, task.id, s.dispatch);
             self.open_dispatch = Some(task.id);

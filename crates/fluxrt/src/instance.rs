@@ -21,6 +21,7 @@
 
 use crate::job::{ExceptionKind, JobEvent, JobId, JobSpec};
 use crate::policy::{RunningJob, SchedPolicy};
+use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
@@ -113,6 +114,7 @@ pub struct FluxInstanceSim {
     open_ingest: Option<u64>,
     open_match: Option<u64>,
     open_start: Option<u64>,
+    metrics: Option<BackendInstruments>,
 }
 
 impl FluxInstanceSim {
@@ -150,6 +152,7 @@ impl FluxInstanceSim {
             open_ingest: None,
             open_match: None,
             open_start: None,
+            metrics: None,
         }
     }
 
@@ -170,6 +173,13 @@ impl FluxInstanceSim {
             launch: prof.intern("launch"),
         });
         self.prof = prof;
+    }
+
+    /// Attach metrics under the `backend` label. Partitioned deployments
+    /// pass the same label for every instance; the registry merges their
+    /// samples into one distribution per metric.
+    pub fn attach_metrics(&mut self, reg: &Registry, backend: &str) {
+        self.metrics = Some(BackendInstruments::new(reg, backend));
     }
 
     /// The allocation this instance manages.
@@ -245,6 +255,11 @@ impl FluxInstanceSim {
         self.match_busy = false;
         self.start_busy = false;
         lost.sort_unstable();
+        if let Some(m) = &self.metrics {
+            for id in &lost {
+                m.forget(id.0);
+            }
+        }
         lost
     }
 
@@ -267,20 +282,29 @@ impl FluxInstanceSim {
             .find_map(|(i, j)| (j.id == id).then_some(i))
         {
             self.pending_ingest.remove(pos);
+            self.forget_metrics(id);
             return true;
         }
         // Waiting for the scheduler.
         if let Some(pos) = self.queue.iter().position(|j| j.id == id) {
             self.queue.remove(pos);
+            self.forget_metrics(id);
             return true;
         }
         // Matched and waiting for the start server: free its resources.
         if let Some(pos) = self.start_queue.iter().position(|(j, _)| j.id == id) {
             let (_, placement) = self.start_queue.remove(pos).expect("position valid");
             self.pool.free(&placement);
+            self.forget_metrics(id);
             return true;
         }
         false
+    }
+
+    fn forget_metrics(&self, id: JobId) {
+        if let Some(m) = &self.metrics {
+            m.forget(id.0);
+        }
     }
 
     /// Reserve resources for a persistent service, bypassing the job queue
@@ -329,6 +353,11 @@ impl FluxInstanceSim {
         if let Some(s) = &self.syms {
             self.prof.instant(s.comp, job.id.0, s.enqueue);
         }
+        if let Some(m) = &self.metrics {
+            let depth = self.pending_ingest.len() + self.queue.len();
+            let contended = !self.ready || self.ingest_busy || depth > 0;
+            m.on_submit(job.id.0, depth, contended);
+        }
         self.pending_ingest.push_back(job);
         let mut out = vec![FluxAction::Event(JobEvent::Submitted(job.id))];
         out.extend(self.pump_ingest());
@@ -375,6 +404,9 @@ impl FluxInstanceSim {
                     self.prof
                         .instant_detail(s.comp, id.0, s.alloc, self.pool.busy_cores() as f64);
                 }
+                if let Some(m) = &self.metrics {
+                    m.on_accepted(id.0);
+                }
                 self.start_queue.push_back((job, placement));
                 let mut out = vec![FluxAction::Event(JobEvent::Alloc(id))];
                 out.extend(self.pump_start(now));
@@ -387,6 +419,9 @@ impl FluxInstanceSim {
                     self.prof.end(s.t_start, id.0, s.launch);
                     self.open_start = None;
                     self.prof.instant(s.comp, id.0, s.start);
+                }
+                if let Some(m) = &self.metrics {
+                    m.on_started(id.0);
                 }
                 // expected_end was fixed when the start timer was created
                 // (start completion time + payload duration), so the
@@ -413,6 +448,9 @@ impl FluxInstanceSim {
                     .expect("done token for unknown job");
                 self.pool.free(&run.placement);
                 self.completed += 1;
+                if let Some(m) = &self.metrics {
+                    m.on_completed(id.0);
+                }
                 if let Some(s) = &self.syms {
                     self.prof
                         .instant_detail(s.comp, id.0, s.finish, self.pool.busy_cores() as f64);

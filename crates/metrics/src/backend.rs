@@ -1,0 +1,187 @@
+//! Shared instrumentation kit for task backends.
+//!
+//! All four backend simulations (srun, Flux, Dragon, PRRTE) expose the
+//! same externally meaningful lifecycle — *submit* → (queue) → *accepted
+//! by the launch fabric* → *started* → *completed* — so they share one
+//! instrument set under a `backend` label instead of four ad-hoc ones:
+//!
+//! | sample | meaning |
+//! |---|---|
+//! | `rp_backend_launch_seconds{backend=…}` | submit → payload start |
+//! | `rp_backend_queue_wait_seconds{backend=…}` | submit → accepted (slot/allocation granted) |
+//! | `rp_backend_exec_seconds{backend=…}` | payload start → completion |
+//! | `rp_backend_queue_depth{backend=…}` | backend queue length observed at each submit |
+//! | `rp_backend_contended_submits_total{backend=…}` | submits that could not start immediately |
+//! | `rp_backend_submitted_total` / `rp_backend_completed_total` | lifecycle counts |
+//!
+//! Because [`crate::Registry`] deduplicates on `(name, labels)`, the
+//! per-partition instances of a partitioned backend (64 Flux instances,
+//! say) all record into the *same* histograms — the merge the fixed
+//! bucket layout exists for.
+
+use crate::registry::{Counter, Histogram, Registry};
+use rp_sim::SimTime;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Instrument bundle a backend holds while metrics are attached.
+///
+/// Timestamps are read from the registry's sim clock, so reactive
+/// backends whose entry points lack a `now` argument can still measure
+/// latencies. Ids unknown to the bundle (infrastructure steps submitted
+/// outside the instrumented path) are ignored by every hook.
+#[derive(Debug)]
+pub struct BackendInstruments {
+    reg: Registry,
+    launch: Histogram,
+    queue_wait: Histogram,
+    exec: Histogram,
+    queue_depth: Histogram,
+    contended: Counter,
+    submitted: Counter,
+    completed: Counter,
+    submitted_at: RefCell<HashMap<u64, SimTime>>,
+    started_at: RefCell<HashMap<u64, SimTime>>,
+}
+
+impl BackendInstruments {
+    /// Register the bundle's instruments under `backend`.
+    pub fn new(reg: &Registry, backend: &str) -> Self {
+        let l = [("backend", backend)];
+        BackendInstruments {
+            launch: reg.histogram(
+                "rp_backend_launch_seconds",
+                &l,
+                "Latency from backend submit to payload start",
+            ),
+            queue_wait: reg.histogram(
+                "rp_backend_queue_wait_seconds",
+                &l,
+                "Latency from backend submit to slot/allocation grant",
+            ),
+            exec: reg.histogram(
+                "rp_backend_exec_seconds",
+                &l,
+                "Payload execution time as observed by the backend",
+            ),
+            queue_depth: reg.histogram(
+                "rp_backend_queue_depth",
+                &l,
+                "Backend queue length sampled at each submit",
+            ),
+            contended: reg.counter(
+                "rp_backend_contended_submits_total",
+                &l,
+                "Submits that queued behind a full slot pool or busy server",
+            ),
+            submitted: reg.counter("rp_backend_submitted_total", &l, "Tasks submitted"),
+            completed: reg.counter("rp_backend_completed_total", &l, "Tasks completed"),
+            reg: reg.clone(),
+            submitted_at: RefCell::new(HashMap::new()),
+            started_at: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A task entered the backend queue. `queue_depth` is the queue length
+    /// it joined; `contended` whether it could not start immediately.
+    pub fn on_submit(&self, id: u64, queue_depth: usize, contended: bool) {
+        self.submitted.inc();
+        self.queue_depth.observe(queue_depth as f64);
+        if contended {
+            self.contended.inc();
+        }
+        self.submitted_at.borrow_mut().insert(id, self.reg.now());
+    }
+
+    /// The launch fabric accepted the task (slot acquired / resources
+    /// matched / launch server picked it up).
+    pub fn on_accepted(&self, id: u64) {
+        if let Some(&t) = self.submitted_at.borrow().get(&id) {
+            self.queue_wait
+                .observe(self.reg.now().saturating_since(t).as_secs_f64());
+        }
+    }
+
+    /// The task's payload started.
+    pub fn on_started(&self, id: u64) {
+        let now = self.reg.now();
+        if let Some(t) = self.submitted_at.borrow_mut().remove(&id) {
+            self.launch.observe(now.saturating_since(t).as_secs_f64());
+            self.started_at.borrow_mut().insert(id, now);
+        }
+    }
+
+    /// The task completed.
+    pub fn on_completed(&self, id: u64) {
+        if let Some(t) = self.started_at.borrow_mut().remove(&id) {
+            self.exec
+                .observe(self.reg.now().saturating_since(t).as_secs_f64());
+            self.completed.inc();
+        }
+    }
+
+    /// Drop bookkeeping for a task that will never start or complete
+    /// (cancelled, or lost to a backend failure).
+    pub fn forget(&self, id: u64) {
+        self.submitted_at.borrow_mut().remove(&id);
+        self.started_at.borrow_mut().remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_sim::SimClock;
+
+    #[test]
+    fn lifecycle_latencies_land_in_the_shared_histograms() {
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        let a = BackendInstruments::new(&reg, "flux");
+        let b = BackendInstruments::new(&reg, "flux"); // second partition
+        a.on_submit(1, 0, false);
+        b.on_submit(2, 3, true);
+        clock.set(SimTime::from_secs(2));
+        a.on_accepted(1);
+        a.on_started(1);
+        b.on_started(2);
+        clock.set(SimTime::from_secs(5));
+        a.on_completed(1);
+        b.on_completed(2);
+        let snap = reg.snapshot();
+        let launch = snap
+            .histogram("rp_backend_launch_seconds{backend=\"flux\"}")
+            .unwrap();
+        assert_eq!(launch.count(), 2, "partitions merge into one histogram");
+        assert_eq!(launch.max(), 2.0);
+        assert_eq!(
+            snap.counter("rp_backend_contended_submits_total{backend=\"flux\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("rp_backend_completed_total{backend=\"flux\"}"),
+            Some(2)
+        );
+        let exec = snap
+            .histogram("rp_backend_exec_seconds{backend=\"flux\"}")
+            .unwrap();
+        assert_eq!(exec.count(), 2);
+        assert_eq!(exec.max(), 3.0);
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored() {
+        let reg = Registry::new(SimClock::new());
+        let m = BackendInstruments::new(&reg, "srun");
+        m.on_started(99);
+        m.on_completed(99);
+        m.forget(99);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("rp_backend_launch_seconds{backend=\"srun\"}")
+                .unwrap()
+                .count(),
+            0
+        );
+    }
+}

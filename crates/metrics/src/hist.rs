@@ -1,0 +1,222 @@
+//! Log-bucketed histograms with a fixed global bucket layout.
+//!
+//! Every histogram in the system shares one bucket geometry: 64 buckets
+//! whose upper bounds grow by a factor of √2 from ~1 µs to ~2048 s, with
+//! a catch-all top bucket. A *fixed* layout is the property that makes
+//! histograms mergeable by element-wise addition — merging is associative
+//! and commutative, and no sample is ever lost or re-bucketed — which in
+//! turn lets per-partition backend instances record into independent
+//! handles that aggregate into one distribution at snapshot time.
+//!
+//! Quantiles are estimated as the upper bound of the bucket containing
+//! the requested rank, clamped into `[min, max]` of the observed samples.
+//! The estimate is monotone non-decreasing in `q` and exact at the
+//! extremes (`q = 0` → `min`, `q = 1` → `max`).
+
+/// Number of buckets in the fixed layout.
+pub const BUCKETS: usize = 64;
+
+/// `log2` of the upper bound of bucket 0 (~0.95 µs). Two buckets per
+/// octave from there: bucket `i` has upper bound `2^(MIN_LOG2 + i/2)`.
+const MIN_LOG2: f64 = -20.0;
+
+/// Buckets per factor-of-two, i.e. √2 bucket growth.
+const PER_OCTAVE: f64 = 2.0;
+
+/// A fixed-layout log-bucketed histogram.
+///
+/// Records non-negative `f64` samples (seconds, counts, ratios — the
+/// layout spans ~1e-6 to ~2e3 at √2 resolution, which covers every
+/// latency and queue depth the simulation produces). Non-finite and
+/// negative samples clamp into the lowest bucket so the sample count
+/// stays an exact record of observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistData {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        HistData {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Index of the bucket a sample lands in.
+    pub fn bucket_index(v: f64) -> usize {
+        let floor = Self::bucket_upper(0);
+        if v.is_nan() || v <= floor {
+            return 0;
+        }
+        let i = ((v.log2() - MIN_LOG2) * PER_OCTAVE).ceil();
+        if i >= (BUCKETS - 1) as f64 {
+            BUCKETS - 1
+        } else {
+            i as usize
+        }
+    }
+
+    /// Upper bound of bucket `i`; the last bucket is unbounded.
+    pub fn bucket_upper(i: usize) -> f64 {
+        if i >= BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (MIN_LOG2 + i as f64 / PER_OCTAVE).exp2()
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Fold `other` into `self`. Element-wise bucket addition: associative,
+    /// commutative, and lossless because every histogram shares the layout.
+    pub fn merge(&mut self, other: &HistData) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (index `i` counted samples `≤ bucket_upper(i)`).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`): the upper bound of
+    /// the bucket holding rank `⌈q·count⌉`, clamped into `[min, max]`.
+    /// Monotone non-decreasing in `q`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        // Rank 1 is the smallest sample itself — exact, and keeps the
+        // estimate monotone (every later rank clamps to ≥ min).
+        if rank == 1 {
+            return self.min;
+        }
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let bound = if i == BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_upper(i)
+                };
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_monotone_and_covers_the_latency_range() {
+        for i in 1..BUCKETS {
+            assert!(HistData::bucket_upper(i) > HistData::bucket_upper(i - 1));
+        }
+        assert!(HistData::bucket_upper(0) < 1e-6);
+        assert!(HistData::bucket_upper(BUCKETS - 2) > 1e3);
+        assert!(HistData::bucket_upper(BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn every_sample_lands_at_or_below_its_bucket_bound() {
+        for v in [1e-9, 1e-6, 0.001, 0.5, 1.0, 3.7, 100.0, 5000.0] {
+            let i = HistData::bucket_index(v);
+            assert!(v <= HistData::bucket_upper(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > HistData::bucket_upper(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_samples_clamp_instead_of_corrupting() {
+        let mut h = HistData::new();
+        h.record(f64::NAN);
+        h.record(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets()[0] + h.buckets()[1], 2);
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact() {
+        let mut h = HistData::new();
+        for v in [0.5, 1.0, 2.0, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.quantile(1.0), 8.0);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 8.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The metrics registry and its cheap-clone instrument handles.
+//!
+//! One [`Registry`] per run, threaded (by clone) through the agent and
+//! every backend. Mirrors the profiler's cost model: a disabled registry
+//! is a `None` inside, so each instrument call costs one branch when
+//! metrics are off, and instruments are registered once at attach time —
+//! the hot path only bumps an `Rc<Cell<_>>` or records into a histogram.
+//!
+//! The registry carries the shared [`SimClock`]: reactive backend state
+//! machines do not receive `now` on every entry point, so latency
+//! instrumentation reads [`Registry::now`] instead of re-plumbing time
+//! through every signature (the same trick `rp-profiler` uses).
+//!
+//! Registration deduplicates on `(name, labels)` and returns the
+//! *existing* handle, which is what merges per-partition backend
+//! instances into one distribution: every Flux partition asking for
+//! `rp_backend_launch_seconds{backend="flux"}` records into the same
+//! histogram.
+
+use crate::hist::HistData;
+use crate::span::{SpanData, SpanId, SpanSink};
+use rp_sim::{SimClock, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identity and documentation of one registered instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricMeta {
+    /// Metric family name, e.g. `rp_backend_launch_seconds`.
+    pub name: String,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// One-line help string for the OpenMetrics `# HELP` line.
+    pub help: String,
+}
+
+impl MetricMeta {
+    /// Render `name{k="v",…}` (just `name` when unlabeled), the sample
+    /// identity used in OpenMetrics output and snapshot diffs.
+    pub fn sample_name(&self) -> String {
+        crate::openmetrics::sample_name(&self.name, &self.labels)
+    }
+}
+
+/// A monotonic counter handle. Default-constructed handles are disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Rc<Cell<u64>>>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.set(c.get() + n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// A gauge handle (last-write-wins). Default-constructed handles are disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Rc<Cell<f64>>>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |g| g.get())
+    }
+}
+
+/// A histogram handle. Default-constructed handles are disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Rc<RefCell<HistData>>>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.borrow_mut().record(v);
+        }
+    }
+
+    /// Record a [`rp_sim::SimDuration`]-style seconds value computed by the
+    /// caller; alias of [`Histogram::observe`] kept for call-site clarity.
+    pub fn observe_seconds(&self, secs: f64) {
+        self.observe(secs);
+    }
+
+    /// Copy of the current distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistData {
+        self.0
+            .as_ref()
+            .map_or_else(HistData::new, |h| h.borrow().clone())
+    }
+}
+
+enum Slot {
+    Counter(Rc<Cell<u64>>),
+    Gauge(Rc<Cell<f64>>),
+    Hist(Rc<RefCell<HistData>>),
+}
+
+struct Entry {
+    meta: MetricMeta,
+    slot: Slot,
+}
+
+struct RegInner {
+    clock: SimClock,
+    entries: Vec<Entry>,
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+    spans: SpanSink,
+}
+
+/// The per-run metrics registry. Cloning shares the underlying store.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Rc<RefCell<RegInner>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An enabled registry reading timestamps from `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Registry {
+            inner: Some(Rc::new(RefCell::new(RegInner {
+                clock,
+                entries: Vec::new(),
+                index: HashMap::new(),
+                spans: SpanSink::new(),
+            }))),
+        }
+    }
+
+    /// A disabled registry: every operation is a cheap no-op.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current virtual time ([`SimTime::ZERO`] when disabled).
+    pub fn now(&self) -> SimTime {
+        self.inner
+            .as_ref()
+            .map_or(SimTime::ZERO, |i| i.borrow().clock.now())
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
+        (
+            name.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    /// Register (or fetch) a counter. Same `(name, labels)` → same handle.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let mut inner = inner.borrow_mut();
+        let key = Self::key(name, labels);
+        if let Some(&i) = inner.index.get(&key) {
+            match &inner.entries[i].slot {
+                Slot::Counter(c) => return Counter(Some(c.clone())),
+                _ => panic!("metric {name} re-registered with a different type"),
+            }
+        }
+        let cell = Rc::new(Cell::new(0u64));
+        let idx = inner.entries.len();
+        inner.entries.push(Entry {
+            meta: MetricMeta {
+                name: key.0.clone(),
+                labels: key.1.clone(),
+                help: help.to_string(),
+            },
+            slot: Slot::Counter(cell.clone()),
+        });
+        inner.index.insert(key, idx);
+        Counter(Some(cell))
+    }
+
+    /// Register (or fetch) a gauge. Same `(name, labels)` → same handle.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let mut inner = inner.borrow_mut();
+        let key = Self::key(name, labels);
+        if let Some(&i) = inner.index.get(&key) {
+            match &inner.entries[i].slot {
+                Slot::Gauge(g) => return Gauge(Some(g.clone())),
+                _ => panic!("metric {name} re-registered with a different type"),
+            }
+        }
+        let cell = Rc::new(Cell::new(0f64));
+        let idx = inner.entries.len();
+        inner.entries.push(Entry {
+            meta: MetricMeta {
+                name: key.0.clone(),
+                labels: key.1.clone(),
+                help: help.to_string(),
+            },
+            slot: Slot::Gauge(cell.clone()),
+        });
+        inner.index.insert(key, idx);
+        Gauge(Some(cell))
+    }
+
+    /// Register (or fetch) a histogram. Same `(name, labels)` → same
+    /// handle, so independent components recording under one identity
+    /// build a single merged distribution.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::default();
+        };
+        let mut inner = inner.borrow_mut();
+        let key = Self::key(name, labels);
+        if let Some(&i) = inner.index.get(&key) {
+            match &inner.entries[i].slot {
+                Slot::Hist(h) => return Histogram(Some(h.clone())),
+                _ => panic!("metric {name} re-registered with a different type"),
+            }
+        }
+        let cell = Rc::new(RefCell::new(HistData::new()));
+        let idx = inner.entries.len();
+        inner.entries.push(Entry {
+            meta: MetricMeta {
+                name: key.0.clone(),
+                labels: key.1.clone(),
+                help: help.to_string(),
+            },
+            slot: Slot::Hist(cell.clone()),
+        });
+        inner.index.insert(key, idx);
+        Histogram(Some(cell))
+    }
+
+    /// Open a root span named `name` for entity `uid` at the current time.
+    pub fn span_root(&self, name: &str, uid: u64) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::INVALID;
+        };
+        let mut inner = inner.borrow_mut();
+        let now = inner.clock.now();
+        inner.spans.open(name, uid, None, now)
+    }
+
+    /// Open a child span below `parent` at the current time. A no-op
+    /// (returning [`SpanId::INVALID`]) when `parent` is invalid.
+    pub fn span_child(&self, name: &str, uid: u64, parent: SpanId) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::INVALID;
+        };
+        let mut inner = inner.borrow_mut();
+        let now = inner.clock.now();
+        inner.spans.open(name, uid, Some(parent), now)
+    }
+
+    /// Close a span at the current time. Closing an already-closed or
+    /// invalid span is a no-op.
+    pub fn span_end(&self, id: SpanId) {
+        if !id.is_valid() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            let now = inner.clock.now();
+            inner.spans.close(id, now);
+        }
+    }
+
+    /// Copy out every instrument value and all spans.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let inner = inner.borrow();
+        let mut snap = Snapshot::default();
+        for e in &inner.entries {
+            match &e.slot {
+                Slot::Counter(c) => snap.counters.push((e.meta.clone(), c.get())),
+                Slot::Gauge(g) => snap.gauges.push((e.meta.clone(), g.get())),
+                Slot::Hist(h) => snap.histograms.push((e.meta.clone(), h.borrow().clone())),
+            }
+        }
+        snap.spans = inner.spans.snapshot();
+        snap
+    }
+}
+
+/// Point-in-time copy of a registry: instrument values plus span data.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counters in registration order.
+    pub counters: Vec<(MetricMeta, u64)>,
+    /// Gauges in registration order.
+    pub gauges: Vec<(MetricMeta, f64)>,
+    /// Histograms in registration order.
+    pub histograms: Vec<(MetricMeta, HistData)>,
+    /// All recorded spans.
+    pub spans: SpanData,
+}
+
+impl Snapshot {
+    /// Look up a counter by sample identity (`name{labels}`).
+    pub fn counter(&self, sample: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(m, _)| m.sample_name() == sample)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by sample identity.
+    pub fn gauge(&self, sample: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(m, _)| m.sample_name() == sample)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by sample identity.
+    pub fn histogram(&self, sample: &str) -> Option<&HistData> {
+        self.histograms
+            .iter()
+            .find(|(m, _)| m.sample_name() == sample)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x_total", &[], "x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let root = reg.span_root("task", 1);
+        assert!(!root.is_valid());
+        reg.span_end(root);
+        assert!(reg.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn dedup_returns_the_same_handle() {
+        let reg = Registry::new(SimClock::new());
+        let a = reg.counter("n_total", &[("backend", "flux")], "n");
+        let b = reg.counter("n_total", &[("backend", "flux")], "n");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counters.len(), 1);
+        let other = reg.counter("n_total", &[("backend", "dragon")], "n");
+        other.inc();
+        assert_eq!(reg.snapshot().counters.len(), 2);
+    }
+
+    #[test]
+    fn spans_stamp_clock_time_and_link_parents() {
+        let clock = SimClock::new();
+        let reg = Registry::new(clock.clone());
+        let root = reg.span_root("task", 7);
+        clock.set(rp_sim::SimTime::from_secs(2));
+        let child = reg.span_child("schedule", 7, root);
+        clock.set(rp_sim::SimTime::from_secs(5));
+        reg.span_end(child);
+        reg.span_end(root);
+        let spans = reg.snapshot().spans;
+        assert_eq!(spans.spans.len(), 2);
+        let c = &spans.spans[1];
+        assert_eq!(spans.name(c), "schedule");
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.start, rp_sim::SimTime::from_secs(2));
+        assert_eq!(c.end, Some(rp_sim::SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Hierarchical spans with explicit parent links.
+//!
+//! A discrete-event simulation has no call stack to infer nesting from: a
+//! task's "schedule" interval opens in one message handler and closes in
+//! another, with unrelated work interleaved. Spans therefore carry their
+//! parent link explicitly — [`crate::Registry::span_root`] opens a tree
+//! root, [`crate::Registry::span_child`] attaches below any live span,
+//! and [`crate::Registry::span_end`] stamps the close time from the
+//! shared sim clock.
+//!
+//! The per-task convention used by the agent (and consumed by
+//! `analytics::critical_path`) is one `task` root per uid with children
+//! `schedule` / `launch` / `execute` / `collect` that exactly tile the
+//! root interval, so component attributions sum to the end-to-end time
+//! by construction.
+
+use rp_sim::SimTime;
+use std::collections::HashMap;
+
+/// Handle on a recorded span. Copyable; `SpanId::INVALID` is the handle
+/// a disabled registry (or an over-capacity sink) returns, and every
+/// span operation on it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u32);
+
+impl SpanId {
+    /// The no-op handle: returned when recording is off or the sink is full.
+    pub const INVALID: SpanId = SpanId(u32::MAX);
+
+    /// Whether this handle refers to a recorded span.
+    pub fn is_valid(self) -> bool {
+        self != SpanId::INVALID
+    }
+
+    /// The index into [`SpanData::spans`] this handle refers to.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One recorded span (interned name; resolve via [`SpanData::name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Interned name index into [`SpanData::names`].
+    pub name: u32,
+    /// Entity (task uid) the span belongs to.
+    pub uid: u64,
+    /// Parent span, if any.
+    pub parent: Option<SpanId>,
+    /// Open time.
+    pub start: SimTime,
+    /// Close time; `None` if the span never closed before snapshot.
+    pub end: Option<SimTime>,
+}
+
+/// Bounded append-only span storage inside the registry.
+#[derive(Debug)]
+pub(crate) struct SpanSink {
+    names: Vec<String>,
+    name_index: HashMap<String, u32>,
+    spans: Vec<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default span capacity: parents must stay addressable, so the sink
+/// stops recording (rather than evicting) past this many spans.
+pub(crate) const DEFAULT_SPAN_CAPACITY: usize = 1 << 21;
+
+impl SpanSink {
+    pub(crate) fn new() -> Self {
+        SpanSink {
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            spans: Vec::new(),
+            capacity: DEFAULT_SPAN_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.name_index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_index.insert(name.to_string(), i);
+        i
+    }
+
+    pub(crate) fn open(
+        &mut self,
+        name: &str,
+        uid: u64,
+        parent: Option<SpanId>,
+        now: SimTime,
+    ) -> SpanId {
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return SpanId::INVALID;
+        }
+        let name = self.intern(name);
+        let id = SpanId(self.spans.len() as u32);
+        self.spans.push(SpanRecord {
+            name,
+            uid,
+            parent: parent.filter(|p| p.is_valid()),
+            start: now,
+            end: None,
+        });
+        id
+    }
+
+    pub(crate) fn close(&mut self, id: SpanId, now: SimTime) {
+        if let Some(rec) = self.spans.get_mut(id.0 as usize) {
+            if rec.end.is_none() {
+                rec.end = Some(now);
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> SpanData {
+        SpanData {
+            names: self.names.clone(),
+            spans: self.spans.clone(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Immutable copy of all recorded spans, taken at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct SpanData {
+    /// Interned span names.
+    pub names: Vec<String>,
+    /// All spans in open order; a [`SpanId`] indexes this vector.
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded because the sink hit capacity.
+    pub dropped: u64,
+}
+
+impl SpanData {
+    /// Resolve a span's name.
+    pub fn name(&self, rec: &SpanRecord) -> &str {
+        self.names
+            .get(rec.name as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether any spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}

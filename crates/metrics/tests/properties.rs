@@ -1,0 +1,168 @@
+//! Property tests for the histogram layer (ISSUE 2 satellite): merge
+//! associativity, quantile monotonicity, and conservation of samples
+//! across merges — the invariants that make per-partition histograms
+//! safe to aggregate.
+//!
+//! No property-testing dependency exists in the std-only workspace, so
+//! cases are driven by a small deterministic LCG over many seeds.
+
+use rp_metrics::{HistData, BUCKETS};
+
+/// Deterministic pseudo-random stream (LCG, constants from Numerical
+/// Recipes) — reproducible across platforms, no external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A sample spread over the full bucket range, ~1e-7 .. ~1e4.
+    fn sample(&mut self) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        10f64.powf(u * 11.0 - 7.0)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn record_all(samples: &[f64]) -> HistData {
+    let mut h = HistData::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn merge_is_associative_and_loses_no_sample() {
+    for seed in 0..50u64 {
+        let mut rng = Lcg(seed * 2 + 1);
+        let n = 1 + rng.below(400);
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample()).collect();
+
+        // Random 3-way split of the sample stream.
+        let mut parts: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for &v in &samples {
+            parts[rng.below(3)].push(v);
+        }
+        let [a, b, c] = parts.map(|p| record_all(&p));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        let direct = record_all(&samples);
+        for h in [&left, &right] {
+            assert_eq!(h.buckets(), direct.buckets(), "seed {seed}: buckets differ");
+            assert_eq!(h.count(), direct.count(), "seed {seed}: count differs");
+            assert!(
+                (h.sum() - direct.sum()).abs() <= 1e-9 * direct.sum().abs().max(1.0),
+                "seed {seed}: sum differs"
+            );
+            assert_eq!(h.min(), direct.min(), "seed {seed}");
+            assert_eq!(h.max(), direct.max(), "seed {seed}");
+        }
+
+        // Conservation: every sample is in exactly one bucket.
+        let total: u64 = direct.buckets().iter().sum();
+        assert_eq!(total, samples.len() as u64, "seed {seed}: sample lost");
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    for seed in 0..20u64 {
+        let mut rng = Lcg(seed + 1000);
+        let a = record_all(&(0..100).map(|_| rng.sample()).collect::<Vec<_>>());
+        let b = record_all(&(0..37).map(|_| rng.sample()).collect::<Vec<_>>());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.buckets(), ba.buckets());
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    for seed in 0..50u64 {
+        let mut rng = Lcg(seed * 7 + 3);
+        let n = 1 + rng.below(300);
+        let h = record_all(&(0..n).map(|_| rng.sample()).collect::<Vec<_>>());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "seed {seed}: quantile({q}) = {v} < {prev}");
+            assert!(
+                (h.min()..=h.max()).contains(&v),
+                "seed {seed}: quantile({q}) = {v} outside [{}, {}]",
+                h.min(),
+                h.max()
+            );
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), h.min(), "seed {seed}");
+        assert_eq!(h.quantile(1.0), h.max(), "seed {seed}");
+    }
+}
+
+#[test]
+fn quantile_error_is_bounded_by_bucket_resolution() {
+    // The estimate is the bucket upper bound, so it can overshoot the true
+    // quantile by at most one √2 bucket step (and never undershoots the
+    // bucket's lower bound).
+    let mut rng = Lcg(42);
+    let mut samples: Vec<f64> = (0..1000).map(|_| rng.sample()).collect();
+    let h = record_all(&samples);
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for q in [0.5, 0.9, 0.99] {
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+        let truth = samples[rank];
+        let est = h.quantile(q);
+        assert!(est >= truth * 0.999, "q={q}: est {est} < truth {truth}");
+        assert!(
+            est <= truth * std::f64::consts::SQRT_2 * 1.001,
+            "q={q}: est {est} > √2·truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn empty_and_singleton_edge_cases() {
+    let empty = HistData::new();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.5), 0.0);
+    assert_eq!(empty.min(), 0.0);
+    assert_eq!(empty.max(), 0.0);
+
+    let mut one = HistData::new();
+    one.record(3.25);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(one.quantile(q), 3.25);
+    }
+
+    // Merging empty is the identity.
+    let mut h = one.clone();
+    h.merge(&empty);
+    assert_eq!(h, one);
+
+    // Bucket layout sanity: shared by construction.
+    assert_eq!(BUCKETS, 64);
+}

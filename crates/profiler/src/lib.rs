@@ -290,9 +290,14 @@ impl ProfileData {
 
     /// The RP-style profile CSV: `time,kind,comp,uid,event,detail`, one
     /// event per line, time in seconds at microsecond precision. The uid
-    /// column is empty for [`NO_UID`] events.
+    /// column is empty for [`NO_UID`] events. When the ring evicted events
+    /// before the snapshot, a `# dropped=<n>` comment precedes the header
+    /// so consumers know the stream is truncated at the front.
     pub fn csv(&self) -> String {
         let mut out = String::with_capacity(64 * (self.events.len() + 1));
+        if self.dropped > 0 {
+            let _ = writeln!(out, "# dropped={}", self.dropped);
+        }
         out.push_str("time,kind,comp,uid,event,detail\n");
         for ev in &self.events {
             let _ = write!(
@@ -326,6 +331,16 @@ impl ProfileData {
                 out.push_str(",\n");
             }
         };
+        // Flag ring eviction up front so trace viewers (and tooling) can
+        // tell a truncated stream from a complete one.
+        if self.dropped > 0 {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                r#"{{"name":"profile_dropped","ph":"M","pid":1,"tid":0,"args":{{"dropped":{}}}}}"#,
+                self.dropped
+            );
+        }
         // Name each track after its component.
         for (tid, name) in self.names.iter().enumerate() {
             sep(&mut out);
@@ -489,6 +504,15 @@ mod tests {
         let data = p.snapshot();
         assert_eq!(data.events[0].uid, 6, "oldest events evicted first");
         assert_eq!(data.dropped, 6);
+        // Exports advertise the truncation.
+        assert!(data.csv().starts_with("# dropped=6\n"));
+        assert!(data
+            .chrome_trace()
+            .contains(r#""name":"profile_dropped","ph":"M","pid":1,"tid":0,"args":{"dropped":6}"#));
+        // A complete stream stays comment-free.
+        let clean = Profiler::with_capacity(SimClock::new(), 4).snapshot();
+        assert!(clean.csv().starts_with("time,"));
+        assert!(!clean.chrome_trace().contains("profile_dropped"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! nothing except what physically cannot run concurrently — the caller is
 //! expected to have placed tasks already.
 
+use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym, NO_UID};
 use rp_sim::{Dist, RngStream, SimDuration, SimTime};
@@ -85,6 +86,7 @@ pub struct PrrteDvm {
     syms: Option<ProfSyms>,
     /// Uid in the HNP launch server, closed on kill so B/E pairs match.
     open_launch: Option<u64>,
+    metrics: Option<BackendInstruments>,
 }
 
 impl PrrteDvm {
@@ -103,6 +105,7 @@ impl PrrteDvm {
             prof: Profiler::disabled(),
             syms: None,
             open_launch: None,
+            metrics: None,
         }
     }
 
@@ -119,6 +122,12 @@ impl PrrteDvm {
             finish: prof.intern("FINISH"),
         });
         self.prof = prof;
+    }
+
+    /// Attach metrics under the `backend` label: HNP launch latency,
+    /// execution time, queue depth and launch-server contention.
+    pub fn attach_metrics(&mut self, reg: &Registry, backend: &str) {
+        self.metrics = Some(BackendInstruments::new(reg, backend));
     }
 
     /// Whether the DVM survived so far.
@@ -160,6 +169,10 @@ impl PrrteDvm {
 
     /// Submit a placed task for launch (FIFO through the HNP).
     pub fn submit(&mut self, task: PrrteTask) -> Vec<PrrteAction> {
+        if let Some(m) = &self.metrics {
+            let contended = !self.ready || self.hnp_busy || !self.queue.is_empty();
+            m.on_submit(task.id, self.queue.len(), contended);
+        }
         self.queue.push_back(task);
         self.pump()
     }
@@ -171,6 +184,9 @@ impl PrrteDvm {
         }
         if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
             self.queue.remove(pos);
+            if let Some(m) = &self.metrics {
+                m.forget(id);
+            }
             true
         } else {
             false
@@ -191,6 +207,11 @@ impl PrrteDvm {
         lost.extend(self.in_flight.drain().map(|(id, _)| id));
         self.hnp_busy = false;
         lost.sort_unstable();
+        if let Some(m) = &self.metrics {
+            for id in &lost {
+                m.forget(*id);
+            }
+        }
         lost
     }
 
@@ -217,6 +238,9 @@ impl PrrteDvm {
                     self.open_launch = None;
                     self.prof.instant(s.comp, id, s.start);
                 }
+                if let Some(m) = &self.metrics {
+                    m.on_started(id);
+                }
                 let mut out = vec![
                     PrrteAction::Started(id),
                     PrrteAction::Timer {
@@ -230,6 +254,9 @@ impl PrrteDvm {
             PrrteToken::Done(id) => {
                 self.in_flight.remove(&id).expect("done unknown task");
                 self.completed += 1;
+                if let Some(m) = &self.metrics {
+                    m.on_completed(id);
+                }
                 if let Some(s) = &self.syms {
                     self.prof
                         .instant_detail(s.comp, id, s.finish, self.in_flight.len() as f64);
@@ -247,6 +274,9 @@ impl PrrteDvm {
             return Vec::new();
         };
         self.hnp_busy = true;
+        if let Some(m) = &self.metrics {
+            m.on_accepted(task.id);
+        }
         if let Some(s) = &self.syms {
             self.prof.begin(s.t_hnp, task.id, s.launch);
             self.open_launch = Some(task.id);

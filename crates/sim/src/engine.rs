@@ -122,6 +122,7 @@ pub struct Engine<M> {
     now: SimTime,
     seq: u64,
     delivered: u64,
+    peak_queue: usize,
     heap: BinaryHeap<Envelope<M>>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     clock: SimClock,
@@ -148,6 +149,7 @@ impl<M> Engine<M> {
             now: SimTime::ZERO,
             seq: 0,
             delivered: 0,
+            peak_queue: 0,
             heap: BinaryHeap::new(),
             actors: Vec::new(),
             clock: SimClock::new(),
@@ -193,6 +195,17 @@ impl<M> Engine<M> {
         self.delivered
     }
 
+    /// Pending messages right now (event-queue depth).
+    pub fn queue_depth(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Highest event-queue depth observed — a load indicator for the
+    /// engine itself (how much concurrent future the simulation carries).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue
+    }
+
     /// Inject a message from outside the simulation (e.g. the experiment
     /// driver seeding initial work) at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
@@ -204,6 +217,7 @@ impl<M> Engine<M> {
             msg,
         });
         self.seq += 1;
+        self.peak_queue = self.peak_queue.max(self.heap.len());
     }
 
     /// Deliver the next message, if any. Returns `false` when the heap is
@@ -240,6 +254,7 @@ impl<M> Engine<M> {
             });
             self.seq += 1;
         }
+        self.peak_queue = self.peak_queue.max(self.heap.len());
         true
     }
 

@@ -15,6 +15,7 @@
 //! plain unit tests without any engine at all.
 
 use crate::step::{StepId, StepRequest};
+use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Calibration, SrunSlots};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{RngStream, SimDuration};
@@ -67,6 +68,7 @@ pub struct SrunSim {
     in_flight: HashMap<StepId, Option<SimDuration>>,
     prof: Profiler,
     syms: Option<ProfSyms>,
+    metrics: Option<BackendInstruments>,
 }
 
 impl SrunSim {
@@ -82,6 +84,7 @@ impl SrunSim {
             in_flight: HashMap::new(),
             prof: Profiler::disabled(),
             syms: None,
+            metrics: None,
         }
     }
 
@@ -95,6 +98,14 @@ impl SrunSim {
             release: prof.intern("SLOT_RELEASE"),
         });
         self.prof = prof;
+    }
+
+    /// Attach metrics; submit/launch/complete latencies and slot
+    /// contention are recorded under the `backend` label. Only regular
+    /// steps are instrumented — persistent instance-bootstrap holds are
+    /// infrastructure, not task traffic.
+    pub fn attach_metrics(&mut self, reg: &Registry, backend: &str) {
+        self.metrics = Some(BackendInstruments::new(reg, backend));
     }
 
     /// Steps waiting for a slot.
@@ -120,6 +131,11 @@ impl SrunSim {
     /// Submit a step; it launches immediately if a slot is free, otherwise
     /// it queues FIFO.
     pub fn submit(&mut self, step: StepRequest) -> Vec<SrunAction> {
+        if let Some(m) = &self.metrics {
+            let contended =
+                !self.queue.is_empty() || self.slots.in_use() >= self.cal.srun_concurrency_ceiling;
+            m.on_submit(step.id.0, self.queue.len(), contended);
+        }
         self.queue.push_back(step);
         self.pump()
     }
@@ -159,6 +175,9 @@ impl SrunSim {
     pub fn cancel(&mut self, id: StepId) -> bool {
         if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
             self.queue.remove(pos);
+            if let Some(m) = &self.metrics {
+                m.forget(id.0);
+            }
             true
         } else {
             false
@@ -171,6 +190,9 @@ impl SrunSim {
             SrunToken::Launched(id) => match self.in_flight.get(&id) {
                 Some(Some(duration)) => {
                     let d = *duration;
+                    if let Some(m) = &self.metrics {
+                        m.on_started(id.0);
+                    }
                     vec![
                         SrunAction::Started(id),
                         SrunAction::Timer {
@@ -188,6 +210,9 @@ impl SrunSim {
                     .remove(&id)
                     .unwrap_or_else(|| panic!("Exited token for unknown step {id:?}"));
                 assert!(entry.is_some(), "persistent step exited via timer");
+                if let Some(m) = &self.metrics {
+                    m.on_completed(id.0);
+                }
                 self.slots.release();
                 if let Some(s) = &self.syms {
                     self.prof
@@ -209,6 +234,9 @@ impl SrunSim {
                 break;
             }
             let step = self.queue.pop_front().expect("non-empty queue");
+            if let Some(m) = &self.metrics {
+                m.on_accepted(step.id.0);
+            }
             if let Some(s) = &self.syms {
                 self.prof
                     .instant_detail(s.comp, step.id.0, s.acquire, self.slots.in_use() as f64);

@@ -9,3 +9,13 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Metrics smoke: a quick deterministic run must produce a parseable
+# OpenMetrics document, and the snapshot diff vs the checked-in baseline
+# runs warn-only (real regressions are caught by same-machine diffs).
+METRICS_DIR="$(mktemp -d)"
+./target/release/exp_overhead --quick --metrics-dir "$METRICS_DIR" > /dev/null
+test -s "$METRICS_DIR/overhead_flux_n_4.om.txt"
+./target/release/compare_metrics baselines/metrics.txt \
+    "$METRICS_DIR/overhead_flux_n_4.om.txt" --warn-only
+rm -rf "$METRICS_DIR"
