@@ -6,17 +6,21 @@
 use rp_bench::Micro;
 use rp_fluxrt::{EasyBackfill, Fcfs, JobId, JobSpec, RunningJob, SchedPolicy};
 use rp_platform::{frontier, ResourcePool, ResourceRequest};
-use rp_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{FxHashMap, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 fn setup(
     nodes: u32,
     queue_depth: usize,
     running_count: usize,
-) -> (ResourcePool, VecDeque<JobSpec>, HashMap<JobId, RunningJob>) {
+) -> (
+    ResourcePool,
+    VecDeque<JobSpec>,
+    FxHashMap<JobId, RunningJob>,
+) {
     let mut pool = ResourcePool::over_range(frontier().node, 0, nodes);
     // Fill most of the machine with running single-node jobs.
-    let mut running = HashMap::new();
+    let mut running = FxHashMap::default();
     for i in 0..running_count {
         let placement = pool
             .try_alloc(&ResourceRequest::mpi(1, 56, 0))

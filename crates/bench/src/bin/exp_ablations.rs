@@ -31,6 +31,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let mut text = String::from("Ablation experiments (DESIGN.md §7)\n\n");
 
     // ---- 1. FCFS vs EASY backfill -----------------------------------------
@@ -196,6 +197,7 @@ fn main() {
                     if sub { "sub-agents" } else { "global    " }
                 ),
                 2,
+                jobs,
                 move |seed| {
                     PilotConfig::flux(nodes, k)
                         .with_sub_agents(sub)

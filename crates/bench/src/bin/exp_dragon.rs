@@ -18,6 +18,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -27,6 +28,7 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("dragon null n={nodes}"),
             reps,
+            jobs,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || null_workload(nodes),
             profile_dir.as_deref(),
@@ -40,6 +42,7 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("dragon dummy180 n={nodes}"),
             reps,
+            jobs,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(180)),
             profile_dir.as_deref(),

@@ -18,6 +18,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let scales: &[u32] = if quick {
         &[1, 4, 16, 64]
     } else {
@@ -33,6 +34,7 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("flux_1 null n={nodes}"),
             reps,
+            jobs,
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || null_workload(nodes),
             profile_dir.as_deref(),
@@ -47,6 +49,7 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("flux_1 dummy360 n={nodes}"),
             reps,
+            jobs,
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(360)),
             profile_dir.as_deref(),

@@ -18,6 +18,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, instances per runtime); instances*2 <= nodes.
@@ -36,6 +37,7 @@ fn main() {
         let (null_row, _) = repeat_static(
             &format!("flux+dragon null n={nodes} k={k}x2"),
             reps,
+            jobs,
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::ZERO),
             profile_dir.as_deref(),
@@ -49,6 +51,7 @@ fn main() {
         let (row, reports) = repeat_static(
             &format!("flux+dragon n={nodes} k={k}x2"),
             reps,
+            jobs,
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::from_secs(360)),
             profile_dir.as_deref(),

@@ -20,6 +20,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, partition counts) grid: Table 1 lists 64 and 1024 nodes with
@@ -44,6 +45,7 @@ fn main() {
             let (row, _) = repeat_static(
                 &format!("flux_n n={nodes} k={k}"),
                 reps,
+                jobs,
                 move |seed| PilotConfig::flux(nodes, k).with_seed(seed),
                 move || dummy_workload(nodes, SimDuration::from_secs(180)),
                 profile_dir.as_deref(),

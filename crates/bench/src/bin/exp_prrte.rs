@@ -17,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let mut rows: Vec<ExpRow> = Vec::new();
     let mut text = String::from("Experiment prrte — §5 backend comparison\n\n");
 
@@ -25,6 +26,7 @@ fn main() {
             let (row, _) = repeat_static(
                 &format!("{backend} null n={nodes}"),
                 3,
+                jobs,
                 move |seed| {
                     match backend {
                         "prrte" => PilotConfig::prrte(nodes),

@@ -19,6 +19,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -30,6 +31,7 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("srun null n={nodes}"),
             reps,
+            jobs,
             move |seed| {
                 PilotConfig::srun(nodes)
                     .with_srun_oversubscribe(4)
@@ -49,6 +51,7 @@ fn main() {
     let (row, reports) = repeat_static(
         "srun dummy180 n=4 (Fig.4)",
         reps,
+        jobs,
         |seed| {
             PilotConfig::srun(4)
                 .with_srun_oversubscribe(4)

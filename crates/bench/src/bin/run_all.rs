@@ -7,7 +7,13 @@
 //! `--profile-dir <dir>` is forwarded so every experiment also writes
 //! runtime profiles (CSV + Chrome trace) for one rep per configuration;
 //! `--metrics-dir <dir>` is forwarded so every experiment also writes
-//! OpenMetrics documents + summary tables for one rep per configuration.
+//! OpenMetrics documents + summary tables for one rep per configuration;
+//! `--jobs N` runs up to N experiment binaries concurrently (each
+//! simulation is single-threaded and seeded, so configurations are
+//! embarrassingly parallel) and is forwarded so each experiment also
+//! spreads its independent repetitions over N worker threads. Output is
+//! buffered per experiment and printed in matrix order, so the transcript
+//! and the `results/` contents are identical at any job count.
 
 use rp_analytics::md_table;
 use std::process::Command;
@@ -17,6 +23,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
+    let jobs = rp_bench::jobs_from_args(&args);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
     let matrix = md_table(
@@ -116,11 +123,10 @@ fn main() {
         "exp_prrte",
         "exp_ablations",
     ];
-    for exp in exps {
-        println!("\n================= {exp} =================");
-        let exe = std::env::current_exe().expect("own path");
-        let dir = exe.parent().expect("bin dir");
-        let mut cmd = Command::new(dir.join(exp));
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let command = |exp: &str| {
+        let mut cmd = Command::new(bin_dir.join(exp));
         if quick {
             cmd.arg("--quick");
         }
@@ -130,8 +136,49 @@ fn main() {
         if let Some(dir) = &metrics_dir {
             cmd.arg("--metrics-dir").arg(dir);
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
-        assert!(status.success(), "{exp} failed");
+        cmd.arg("--jobs").arg(jobs.to_string());
+        cmd
+    };
+
+    if jobs <= 1 {
+        // Sequential: stream each experiment's output live.
+        for exp in exps {
+            println!("\n================= {exp} =================");
+            let status = command(exp)
+                .status()
+                .unwrap_or_else(|e| panic!("spawn {exp}: {e}"));
+            assert!(status.success(), "{exp} failed");
+        }
+    } else {
+        // Parallel: capture each experiment's output and replay it in
+        // matrix order once everything finishes, so the transcript does
+        // not depend on completion order.
+        let outputs = std::sync::Mutex::new(vec![None; exps.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(exps.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= exps.len() {
+                        break;
+                    }
+                    let out = command(exps[i])
+                        .output()
+                        .unwrap_or_else(|e| panic!("spawn {}: {e}", exps[i]));
+                    outputs.lock().expect("worker panicked")[i] = Some(out);
+                });
+            }
+        });
+        for (exp, out) in exps
+            .iter()
+            .zip(outputs.into_inner().expect("worker panicked"))
+        {
+            let out = out.expect("every experiment ran");
+            println!("\n================= {exp} =================");
+            print!("{}", String::from_utf8_lossy(&out.stdout));
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+            assert!(out.status.success(), "{exp} failed");
+        }
     }
     println!("\nAll experiments complete; outputs under results/.");
 }

@@ -137,6 +137,25 @@ pub fn metrics_dir_from_args(args: &[String]) -> Option<PathBuf> {
     dir_from_args(args, "metrics-dir")
 }
 
+/// Parse `--jobs <n>` (or `--jobs=<n>`) from argv: the number of worker
+/// threads the repetition helpers may use. Defaults to 1 (sequential);
+/// values below 1 are clamped up. Every simulation is single-threaded and
+/// seeded, so repetitions are embarrassingly parallel and the aggregated
+/// rows are identical at any job count.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            if let Some(v) = it.next() {
+                return v.parse().map(|n: usize| n.max(1)).unwrap_or(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().map(|n: usize| n.max(1)).unwrap_or(1);
+        }
+    }
+    1
+}
+
 /// File-name-safe form of an experiment label.
 fn sanitize(label: &str) -> String {
     label
@@ -187,38 +206,66 @@ pub fn write_metrics(dir: &Path, label: &str, report: &RunReport) {
 /// Chrome trace land in that directory under the experiment label; with a
 /// `metrics_dir`, rep 0 runs with metrics attached and its OpenMetrics
 /// document + summary land there the same way.
+/// `jobs > 1` runs repetitions across that many scoped worker threads.
+/// Each rep's seed depends only on its index and each simulation is
+/// single-threaded and deterministic, so the reports are identical to the
+/// sequential run's; results are collected into per-rep slots and
+/// aggregated in rep order, making the output independent of completion
+/// order.
 pub fn repeat(
     label: &str,
     reps: usize,
-    mk_cfg: impl Fn(u64) -> PilotConfig,
-    mk_workload: impl Fn() -> Box<dyn WorkloadSource>,
+    jobs: usize,
+    mk_cfg: impl Fn(u64) -> PilotConfig + Sync,
+    mk_workload: impl (Fn() -> Box<dyn WorkloadSource>) + Sync,
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
-    let mut digests = Vec::with_capacity(reps);
-    let mut reports = Vec::with_capacity(reps);
-    for rep in 0..reps {
+    let run_rep = |rep: usize| -> RunReport {
         let seed = 1000 + 7919 * rep as u64;
         let cfg = mk_cfg(seed);
         let mut session = SimSession::new(cfg, mk_workload());
-        let profile_this = profile_dir.filter(|_| rep == 0);
-        if profile_this.is_some() {
+        if rep == 0 && profile_dir.is_some() {
             session = session.with_profiling(PROFILE_PERIOD);
         }
-        let metrics_this = metrics_dir.filter(|_| rep == 0);
-        if metrics_this.is_some() {
+        if rep == 0 && metrics_dir.is_some() {
             session = session.with_metrics(PROFILE_PERIOD);
         }
-        let report = session.run();
-        if let (Some(dir), Some(data)) = (profile_this, &report.profile) {
+        session.run()
+    };
+    let reports: Vec<RunReport> = if jobs <= 1 || reps <= 1 {
+        (0..reps).map(run_rep).collect()
+    } else {
+        let slots = std::sync::Mutex::new((0..reps).map(|_| None).collect::<Vec<_>>());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(reps) {
+                s.spawn(|| loop {
+                    let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if rep >= reps {
+                        break;
+                    }
+                    let report = run_rep(rep);
+                    slots.lock().expect("worker panicked")[rep] = Some(report);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("worker panicked")
+            .into_iter()
+            .map(|r| r.expect("every rep slot filled"))
+            .collect()
+    };
+    if let Some(dir) = profile_dir {
+        if let Some(data) = &reports[0].profile {
             write_profile(dir, label, data);
         }
-        if let Some(dir) = metrics_this {
-            write_metrics(dir, label, &report);
-        }
-        digests.push(digest(&report));
-        reports.push(report);
     }
+    if let Some(dir) = metrics_dir {
+        write_metrics(dir, label, &reports[0]);
+    }
+    let digests: Vec<RunDigest> = reports.iter().map(digest).collect();
     (ExpRow::from_digests(label.to_string(), &digests), reports)
 }
 
@@ -226,14 +273,16 @@ pub fn repeat(
 pub fn repeat_static(
     label: &str,
     reps: usize,
-    mk_cfg: impl Fn(u64) -> PilotConfig,
-    mk_tasks: impl Fn() -> Vec<TaskDescription>,
+    jobs: usize,
+    mk_cfg: impl Fn(u64) -> PilotConfig + Sync,
+    mk_tasks: impl Fn() -> Vec<TaskDescription> + Sync,
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     repeat(
         label,
         reps,
+        jobs,
         mk_cfg,
         || Box::new(rp_core::StaticWorkload::new(mk_tasks())),
         profile_dir,
@@ -265,6 +314,7 @@ mod tests {
         let (row, reports) = repeat_static(
             "tiny",
             2,
+            1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {
                 (0..40)
@@ -299,6 +349,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rp-bench-metrics-{}", std::process::id()));
         let (_, reports) = repeat_static(
             "tiny metrics",
+            1,
             1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {

@@ -11,7 +11,7 @@ pub mod harness;
 pub mod microbench;
 
 pub use harness::{
-    metrics_dir_from_args, profile_dir_from_args, repeat, repeat_static, write_metrics,
-    write_profile, write_results, ExpRow,
+    jobs_from_args, metrics_dir_from_args, profile_dir_from_args, repeat, repeat_static,
+    write_metrics, write_profile, write_results, ExpRow,
 };
 pub use microbench::Micro;

@@ -16,7 +16,7 @@
 //! emitted events, never by polling — the event-driven integration of
 //! §3.2.
 
-use crate::backend::{BackendKind, BackendSpec};
+use crate::backend::{BackendKind, BackendSpec, ALL_BACKENDS};
 use crate::config::PilotConfig;
 use crate::pilot::PilotState;
 use crate::report::{InstanceReport, RunState};
@@ -33,10 +33,10 @@ use rp_metrics::{Counter as MCounter, Gauge as MGauge, Histogram as MHistogram, 
 use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
-use rp_sim::{Actor, Ctx, Dist, RngStream, SimTime};
+use rp_sim::{Actor, Ctx, Dist, FxHashMap, RngStream, SimTime, UidMap};
 use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Infra step-id base for Flux instance carriers.
@@ -126,7 +126,7 @@ struct PrrteBackend {
     dvm: PrrteDvm,
     pool: ResourcePool,
     waiting: VecDeque<TaskId>,
-    placements: HashMap<TaskId, Placement>,
+    placements: UidMap<Placement>,
 }
 
 /// The srun execution backend: agent-side capacity accounting plus the
@@ -139,7 +139,7 @@ struct SrunBackend {
     total_core_slots: u64,
     oversubscribe: u64,
     waiting: VecDeque<TaskId>,
-    holds: HashMap<TaskId, (u64, u64)>,
+    holds: UidMap<(u64, u64)>,
 }
 
 /// Interned profiler symbols for the agent's hook sites: task-state and
@@ -156,8 +156,10 @@ struct AgentProfSyms {
     /// Global scheduler server track + span name.
     t_sched: Sym,
     schedule: Sym,
-    /// Executor-adapter track per backend kind + span name.
-    t_adapter: BTreeMap<BackendKind, Sym>,
+    /// Executor-adapter track per backend kind (indexed by
+    /// `BackendKind as usize`; `None` for kinds without an adapter, so
+    /// absent kinds intern nothing and the profile output is unchanged).
+    t_adapter: [Option<Sym>; 4],
     submit: Sym,
     /// Gauge tracks and names.
     srun_track: Sym,
@@ -254,15 +256,21 @@ struct AgentMetrics {
     /// Dwell-time histogram per task state, indexed by [`state_index`].
     dwell: [MHistogram; 9],
     /// Timestamp of each in-flight task's last state transition.
-    entered: RefCell<HashMap<u64, SimTime>>,
+    entered: RefCell<FxHashMap<u64, SimTime>>,
     /// Pipeline server service times (sampled cost, not queue wait —
     /// queueing shows up in the state dwell histograms).
     stage_seconds: MHistogram,
     sched_seconds: MHistogram,
-    adapter_seconds: BTreeMap<BackendKind, MHistogram>,
+    /// Adapter service time per backend kind, indexed by
+    /// `BackendKind as usize`. Kinds without an adapter hold a disabled
+    /// (default) handle, so the per-event path is an unconditional array
+    /// index — no keyed map probe per observation.
+    adapter_seconds: [MHistogram; 4],
     watcher_seconds: MHistogram,
-    /// Scheduling decisions per backend kind, plus unroutable tasks.
-    routed: BTreeMap<BackendKind, MCounter>,
+    /// Scheduling decisions per backend kind (same indexing and
+    /// disabled-handle convention as `adapter_seconds`), plus unroutable
+    /// tasks.
+    routed: [MCounter; 4],
     routing_failed: MCounter,
     /// Task lifecycle counters.
     submitted: MCounter,
@@ -276,7 +284,7 @@ struct AgentMetrics {
     busy_cores: MGauge,
     busy_gpus: MGauge,
     /// Open spans per in-flight task.
-    spans: RefCell<HashMap<u64, TaskSpans>>,
+    spans: RefCell<FxHashMap<u64, TaskSpans>>,
 }
 
 impl AgentMetrics {
@@ -383,9 +391,7 @@ impl AgentMetrics {
 
     /// Count one routing decision.
     fn note_routed(&self, kind: BackendKind) {
-        if let Some(c) = self.routed.get(&kind) {
-            c.inc();
-        }
+        self.routed[kind as usize].inc();
     }
 }
 
@@ -394,7 +400,7 @@ pub struct SimAgent {
     cfg: PilotConfig,
     router: Router,
     state: Rc<RefCell<RunState>>,
-    descs: HashMap<TaskId, TaskDescription>,
+    descs: UidMap<TaskDescription>,
     rng: RngStream,
 
     // Pipeline servers.
@@ -404,7 +410,9 @@ pub struct SimAgent {
     sched_q: VecDeque<TaskId>,
     sched_busy: bool,
     sched_cost: Dist,
-    adapters: BTreeMap<BackendKind, Adapter>,
+    /// Executor adapters, indexed by `BackendKind as usize` (probed on
+    /// every SchedDone/AdapterDone, so a flat array beats a map).
+    adapters: [Option<Adapter>; 4],
     /// Per-partition sub-agents (empty unless `cfg.sub_agents`).
     subs: Vec<SubAgent>,
 
@@ -420,7 +428,7 @@ pub struct SimAgent {
     dragon_report: Vec<usize>,
     prrte_report: Vec<usize>,
 
-    assignment: HashMap<TaskId, (BackendKind, u32)>,
+    assignment: UidMap<(BackendKind, u32)>,
     /// Tasks submitted but not yet terminal; when this drains to zero the
     /// agent stops persistent services.
     outstanding: usize,
@@ -434,8 +442,8 @@ pub struct SimAgent {
     instances_pending: usize,
     /// Per-backend watcher threads: serial event servers (Fig. 3's watcher;
     /// the Flux event subscription consumer of Fig. 2).
-    watcher_q: BTreeMap<BackendKind, VecDeque<WatcherEvent>>,
-    watcher_busy: BTreeMap<BackendKind, bool>,
+    watcher_q: [VecDeque<WatcherEvent>; 4],
+    watcher_busy: [bool; 4],
     watcher_cost: Dist,
     /// Flow control for the Dragon pipe: in-flight (submitted, not yet
     /// started) per instance, plus parked tasks waiting for window space.
@@ -443,7 +451,17 @@ pub struct SimAgent {
     dragon_parked: Vec<VecDeque<TaskId>>,
     dragon_window: usize,
     workload: Box<dyn WorkloadSource>,
-    rr: HashMap<BackendKind, usize>,
+    /// Round-robin cursors, indexed by `BackendKind as usize`.
+    rr: [usize; 4],
+    /// Reusable backend action buffers. Backends append into these
+    /// (out-param API) and `process_*_actions` drains them, so
+    /// steady-state event handling allocates nothing. Taken with
+    /// `std::mem::take` around each use; a rare reentrant call (failure
+    /// retry paths) simply works on a fresh buffer.
+    scratch_srun: Vec<SrunAction>,
+    scratch_flux: Vec<FluxAction>,
+    scratch_dragon: Vec<DragonAction>,
+    scratch_prrte: Vec<PrrteAction>,
     total_partitions: u32,
     /// Runtime profiler (disabled unless [`Self::attach_profiler`] ran).
     prof: Profiler,
@@ -506,7 +524,7 @@ impl SimAgent {
                             total_core_slots: slots,
                             oversubscribe,
                             waiting: VecDeque::new(),
-                            holds: HashMap::new(),
+                            holds: UidMap::default(),
                         });
                     }
                     BackendSpec::Flux {
@@ -567,7 +585,7 @@ impl SimAgent {
                                 dvm: PrrteDvm::new(&part, &cal, seed),
                                 pool: part.pool(),
                                 waiting: VecDeque::new(),
-                                placements: HashMap::new(),
+                                placements: UidMap::default(),
                             });
                         }
                     }
@@ -575,7 +593,7 @@ impl SimAgent {
             }
         }
 
-        let mut adapters = BTreeMap::new();
+        let mut adapters: [Option<Adapter>; 4] = [None, None, None, None];
         for spec in &cfg.backends {
             let (kind, cost) = match spec.kind() {
                 BackendKind::Srun => (BackendKind::Srun, cal.rp_srun_adapter.clone()),
@@ -583,14 +601,11 @@ impl SimAgent {
                 BackendKind::Dragon => (BackendKind::Dragon, cal.rp_dragon_adapter.clone()),
                 BackendKind::Prrte => (BackendKind::Prrte, cal.rp_prrte_adapter.clone()),
             };
-            adapters.insert(
-                kind,
-                Adapter {
-                    q: VecDeque::new(),
-                    busy: false,
-                    cost,
-                },
-            );
+            adapters[kind as usize] = Some(Adapter {
+                q: VecDeque::new(),
+                busy: false,
+                cost,
+            });
         }
 
         let stagers_free = cfg.stager_concurrency.max(1);
@@ -632,7 +647,7 @@ impl SimAgent {
         SimAgent {
             router,
             state,
-            descs: HashMap::new(),
+            descs: UidMap::default(),
             stage_q: VecDeque::new(),
             stagers_free,
             stage_cost: cal.rp_stage.clone(),
@@ -650,19 +665,23 @@ impl SimAgent {
             flux_report,
             dragon_report,
             prrte_report,
-            assignment: HashMap::new(),
+            assignment: UidMap::default(),
             outstanding: 0,
             pending_services: Vec::new(),
             service_holds: Vec::new(),
             instances_pending: n_instances,
-            watcher_q: BTreeMap::new(),
-            watcher_busy: BTreeMap::new(),
+            watcher_q: [const { VecDeque::new() }; 4],
+            watcher_busy: [false; 4],
             watcher_cost: cal.rp_watcher.clone(),
             dragon_inflight: vec![0; n_dragon],
             dragon_parked: (0..n_dragon).map(|_| VecDeque::new()).collect(),
             dragon_window: cal.rp_dragon_window.max(1),
             workload,
-            rr: HashMap::new(),
+            rr: [0; 4],
+            scratch_srun: Vec::new(),
+            scratch_flux: Vec::new(),
+            scratch_dragon: Vec::new(),
+            scratch_prrte: Vec::new(),
             rng,
             total_partitions,
             cfg,
@@ -691,9 +710,11 @@ impl SimAgent {
             Canceled,
         ]
         .map(|st| prof.intern(state_event_name(st)));
-        let mut t_adapter = BTreeMap::new();
-        for kind in self.adapters.keys() {
-            t_adapter.insert(*kind, prof.intern(&format!("agent.adapter.{kind}")));
+        let mut t_adapter = [None; 4];
+        for kind in ALL_BACKENDS {
+            if self.adapters[kind as usize].is_some() {
+                t_adapter[kind as usize] = Some(prof.intern(&format!("agent.adapter.{kind}")));
+            }
         }
         self.site_srun.attach_profiler(prof.clone(), "srun");
         let mut part_tracks = Vec::new();
@@ -786,25 +807,22 @@ impl SimAgent {
                 "Time tasks dwell in each lifecycle state",
             )
         });
-        let mut adapter_seconds = BTreeMap::new();
-        let mut routed = BTreeMap::new();
-        for kind in self.adapters.keys() {
+        let mut adapter_seconds: [MHistogram; 4] = Default::default();
+        let mut routed: [MCounter; 4] = Default::default();
+        for kind in ALL_BACKENDS
+            .iter()
+            .filter(|k| self.adapters[**k as usize].is_some())
+        {
             let k = format!("{kind}");
-            adapter_seconds.insert(
-                *kind,
-                reg.histogram(
-                    "rp_adapter_seconds",
-                    &[("backend", k.as_str())],
-                    "Executor-adapter serialization service time",
-                ),
+            adapter_seconds[*kind as usize] = reg.histogram(
+                "rp_adapter_seconds",
+                &[("backend", k.as_str())],
+                "Executor-adapter serialization service time",
             );
-            routed.insert(
-                *kind,
-                reg.counter(
-                    "rp_routed_total",
-                    &[("backend", k.as_str())],
-                    "Scheduling decisions routed to this backend kind",
-                ),
+            routed[*kind as usize] = reg.counter(
+                "rp_routed_total",
+                &[("backend", k.as_str())],
+                "Scheduling decisions routed to this backend kind",
             );
         }
         self.site_srun.attach_metrics(reg, "srun");
@@ -819,7 +837,7 @@ impl SimAgent {
         }
         self.metrics = Some(AgentMetrics {
             dwell,
-            entered: RefCell::new(HashMap::new()),
+            entered: RefCell::new(FxHashMap::default()),
             stage_seconds: reg.histogram(
                 "rp_stage_seconds",
                 &[],
@@ -875,7 +893,7 @@ impl SimAgent {
                 "Busy cores/workers across non-srun partitions",
             ),
             busy_gpus: reg.gauge("rp_busy_gpus", &[], "Busy GPUs across non-srun partitions"),
-            spans: RefCell::new(HashMap::new()),
+            spans: RefCell::new(FxHashMap::default()),
             reg: reg.clone(),
         });
         self.update_gauges();
@@ -922,7 +940,12 @@ impl SimAgent {
             return;
         }
         let mut depth = self.stage_q.len() + self.sched_q.len();
-        depth += self.adapters.values().map(|a| a.q.len()).sum::<usize>();
+        depth += self
+            .adapters
+            .iter()
+            .flatten()
+            .map(|a| a.q.len())
+            .sum::<usize>();
         depth += self
             .subs
             .iter()
@@ -1015,7 +1038,7 @@ impl SimAgent {
         let mut st = self.state.borrow_mut();
         let rec = st
             .tasks
-            .get_mut(&uid)
+            .get_mut(uid.0)
             .unwrap_or_else(|| panic!("unknown task {uid}"));
         let before = rec.state;
         let out = f(rec);
@@ -1036,6 +1059,15 @@ impl SimAgent {
 
     fn submit_tasks(&mut self, descs: Vec<TaskDescription>, ctx: &mut Ctx<AgentMsg>) {
         let now = ctx.now();
+        // Bulk submission (initial workloads arrive in one batch): size the
+        // task-keyed tables up front so the insert loop never rehashes.
+        {
+            let mut st = self.state.borrow_mut();
+            st.tasks.reserve(descs.len());
+            st.order.reserve(descs.len());
+        }
+        self.descs.reserve(descs.len());
+        self.stage_q.reserve(descs.len());
         for desc in descs {
             let mut rec = TaskRecord::new(&desc, now);
             rec.advance(TaskState::StagingInput, now);
@@ -1054,16 +1086,16 @@ impl SimAgent {
             {
                 let mut st = self.state.borrow_mut();
                 assert!(
-                    !st.tasks.contains_key(&desc.uid),
+                    !st.tasks.contains_key(desc.uid.0),
                     "duplicate task uid {}",
                     desc.uid
                 );
                 st.order.push(desc.uid);
-                st.tasks.insert(desc.uid, rec);
+                st.tasks.insert(desc.uid.0, rec);
             }
             self.outstanding += 1;
             self.stage_q.push_back(desc.uid);
-            self.descs.insert(desc.uid, desc);
+            self.descs.insert(desc.uid.0, desc);
         }
         self.pump_stagers(ctx);
     }
@@ -1101,7 +1133,9 @@ impl SimAgent {
     }
 
     fn pump_adapter(&mut self, kind: BackendKind, ctx: &mut Ctx<AgentMsg>) {
-        let adapter = self.adapters.get_mut(&kind).expect("adapter exists");
+        let adapter = self.adapters[kind as usize]
+            .as_mut()
+            .expect("adapter exists");
         if adapter.busy {
             return;
         }
@@ -1111,12 +1145,14 @@ impl SimAgent {
         adapter.busy = true;
         let cost = adapter.cost.sample(&mut self.rng);
         if let Some(s) = &self.psyms {
-            self.prof.begin(s.t_adapter[&kind], t.0, s.submit);
+            self.prof.begin(
+                s.t_adapter[kind as usize].expect("adapter profiled"),
+                t.0,
+                s.submit,
+            );
         }
         if let Some(m) = &self.metrics {
-            if let Some(h) = m.adapter_seconds.get(&kind) {
-                h.observe(cost.as_secs_f64());
-            }
+            m.adapter_seconds[kind as usize].observe(cost.as_secs_f64());
         }
         ctx.timer(cost, AgentMsg::AdapterDone(kind, t));
     }
@@ -1152,9 +1188,7 @@ impl SimAgent {
         let cost = sub.adapter_cost.sample(&mut self.rng);
         let kind = sub.target.0;
         if let Some(m) = &self.metrics {
-            if let Some(h) = m.adapter_seconds.get(&kind) {
-                h.observe(cost.as_secs_f64());
-            }
+            m.adapter_seconds[kind as usize].observe(cost.as_secs_f64());
         }
         ctx.timer(cost, AgentMsg::SubAdapterDone(idx, t));
     }
@@ -1170,7 +1204,7 @@ impl SimAgent {
     /// competes on queue pressure. Falls back across kinds when a whole
     /// backend is dead.
     fn select_backend(&mut self, t: TaskId) -> Option<(BackendKind, u32)> {
-        let desc = self.descs.get(&t).expect("desc exists");
+        let desc = self.descs.get(t.0).expect("desc exists");
         if self.cfg.routing == RoutingPolicy::LeastLoaded && desc.backend_hint.is_none() {
             let candidates = self.router.candidates(desc);
             let mut best: Option<(f64, BackendKind, u32)> = None;
@@ -1266,7 +1300,7 @@ impl SimAgent {
         if count == 0 {
             return None;
         }
-        let start = *self.rr.get(&kind).unwrap_or(&0);
+        let start = self.rr[kind as usize];
         for off in 0..count {
             let idx = (start + off) % count;
             let alive = match kind {
@@ -1276,7 +1310,7 @@ impl SimAgent {
                 BackendKind::Srun => true,
             };
             if alive {
-                self.rr.insert(kind, idx + 1);
+                self.rr[kind as usize] = idx + 1;
                 return Some(idx as u32);
             }
         }
@@ -1286,7 +1320,7 @@ impl SimAgent {
     // --------------------------------------------------- backend dispatch
 
     fn dispatch_to_backend(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
-        let (kind, part) = *self.assignment.get(&t).expect("assigned");
+        let (kind, part) = *self.assignment.get(t.0).expect("assigned");
         let now = ctx.now();
         self.with_task(t, |rec| {
             rec.advance(TaskState::Submitted, now);
@@ -1303,14 +1337,16 @@ impl SimAgent {
                 self.pump_srun_backend(ctx);
             }
             BackendKind::Flux => {
-                let desc = self.descs.get(&t).expect("desc");
+                let desc = self.descs.get(t.0).expect("desc");
                 let job = JobSpec {
                     id: JobId(t.0),
                     req: desc.req,
                     duration: desc.duration,
                 };
-                let acts = self.flux[part as usize].submit(now, job);
-                self.process_flux_actions(part, acts, ctx);
+                let mut acts = std::mem::take(&mut self.scratch_flux);
+                self.flux[part as usize].submit(now, job, &mut acts);
+                self.process_flux_actions(part, &mut acts, ctx);
+                self.scratch_flux = acts;
             }
             BackendKind::Prrte => {
                 if self.prrte[part as usize].dvm.is_alive() {
@@ -1465,25 +1501,21 @@ impl SimAgent {
                 .state
                 .borrow()
                 .tasks
-                .get(t)
+                .get(t.0)
                 .is_some_and(|r| r.state == TaskState::Executing);
             if executing {
                 m.mark_collect(t.0);
             }
         }
-        self.watcher_q.entry(kind).or_default().push_back(ev);
+        self.watcher_q[kind as usize].push_back(ev);
         self.pump_watcher(kind, ctx);
     }
 
     fn pump_watcher(&mut self, kind: BackendKind, ctx: &mut Ctx<AgentMsg>) {
-        let busy = self.watcher_busy.entry(kind).or_insert(false);
-        if *busy {
+        if self.watcher_busy[kind as usize] || self.watcher_q[kind as usize].is_empty() {
             return;
         }
-        if self.watcher_q.entry(kind).or_default().is_empty() {
-            return;
-        }
-        *self.watcher_busy.get_mut(&kind).expect("entry") = true;
+        self.watcher_busy[kind as usize] = true;
         let cost = self.watcher_cost.sample(&mut self.rng);
         if let Some(m) = &self.metrics {
             m.watcher_seconds.observe(cost.as_secs_f64());
@@ -1537,7 +1569,7 @@ impl SimAgent {
     }
 
     fn push_to_dragon(&mut self, part: u32, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
-        let desc = self.descs.get(&t).expect("desc");
+        let desc = self.descs.get(t.0).expect("desc");
         let task = DragonTask {
             id: t.0,
             workers: desc.req.total_cores().max(1) as u32,
@@ -1545,40 +1577,46 @@ impl SimAgent {
             is_function: desc.kind.is_function(),
         };
         self.dragon_inflight[part as usize] += 1;
-        let acts = self.dragon[part as usize].submit(task);
-        self.process_dragon_actions(part, acts, ctx);
+        let mut acts = std::mem::take(&mut self.scratch_dragon);
+        self.dragon[part as usize].submit(task, &mut acts);
+        self.process_dragon_actions(part, &mut acts, ctx);
+        self.scratch_dragon = acts;
     }
 
     /// Place and launch waiting PRRTE tasks (RP-side FCFS placement over
     /// the partition's pool, then FIFO through the DVM's HNP).
     fn pump_prrte(&mut self, part: u32, ctx: &mut Ctx<AgentMsg>) {
-        let mut acts = Vec::new();
+        let mut acts = std::mem::take(&mut self.scratch_prrte);
         {
             let pb = &mut self.prrte[part as usize];
             while let Some(&t) = pb.waiting.front() {
-                let desc = self.descs.get(&t).expect("desc");
+                let desc = self.descs.get(t.0).expect("desc");
                 let Some(pl) = pb.pool.try_alloc(&desc.req) else {
                     break; // head-of-line wait for completions
                 };
                 pb.waiting.pop_front();
-                pb.placements.insert(t, pl);
-                acts.extend(pb.dvm.submit(PrrteTask {
-                    id: t.0,
-                    duration: desc.duration,
-                }));
+                pb.placements.insert(t.0, pl);
+                pb.dvm.submit(
+                    PrrteTask {
+                        id: t.0,
+                        duration: desc.duration,
+                    },
+                    &mut acts,
+                );
             }
         }
-        self.process_prrte_actions(part, acts, ctx);
+        self.process_prrte_actions(part, &mut acts, ctx);
+        self.scratch_prrte = acts;
     }
 
     fn process_prrte_actions(
         &mut self,
         part: u32,
-        acts: Vec<PrrteAction>,
+        acts: &mut Vec<PrrteAction>,
         ctx: &mut Ctx<AgentMsg>,
     ) {
         let now = ctx.now();
-        for a in acts {
+        for a in acts.drain(..) {
             match a {
                 PrrteAction::Timer { after, token } => {
                     ctx.timer(after, AgentMsg::Prrte(part, token))
@@ -1603,7 +1641,7 @@ impl SimAgent {
                     // update flows through the watcher like other backends.
                     let t = TaskId(id);
                     let pb = &mut self.prrte[part as usize];
-                    if let Some(pl) = pb.placements.remove(&t) {
+                    if let Some(pl) = pb.placements.remove(t.0) {
                         pb.pool.free(&pl);
                     }
                     self.watch(BackendKind::Prrte, WatcherEvent::Term(t), ctx);
@@ -1614,7 +1652,7 @@ impl SimAgent {
     }
 
     fn pump_srun_backend(&mut self, ctx: &mut Ctx<AgentMsg>) {
-        let mut acts = Vec::new();
+        let mut acts = std::mem::take(&mut self.scratch_srun);
         loop {
             let Some(sb) = self.srun_backend.as_mut() else {
                 return;
@@ -1622,7 +1660,7 @@ impl SimAgent {
             let Some(&t) = sb.waiting.front() else {
                 break;
             };
-            let desc = self.descs.get(&t).expect("desc");
+            let desc = self.descs.get(t.0).expect("desc");
             let need_cores = desc.req.total_cores();
             let need_gpus = desc.req.total_gpus();
             if need_cores > sb.free_core_slots || need_gpus > sb.free_gpus {
@@ -1631,27 +1669,31 @@ impl SimAgent {
             sb.waiting.pop_front();
             sb.free_core_slots -= need_cores;
             sb.free_gpus -= need_gpus;
-            sb.holds.insert(t, (need_cores, need_gpus));
+            sb.holds.insert(t.0, (need_cores, need_gpus));
             // srun spans as many nodes as the request has spread ranks.
             let step_nodes = match desc.req.policy {
                 rp_platform::PlacementPolicy::Spread
                 | rp_platform::PlacementPolicy::NodeExclusive => desc.req.ranks,
                 rp_platform::PlacementPolicy::Pack => need_cores.div_ceil(56).max(1) as u32,
             };
-            acts.extend(self.site_srun.submit(StepRequest {
-                id: StepId(t.0),
-                step_nodes,
-                duration: desc.duration,
-            }));
+            self.site_srun.submit(
+                StepRequest {
+                    id: StepId(t.0),
+                    step_nodes,
+                    duration: desc.duration,
+                },
+                &mut acts,
+            );
         }
-        self.process_srun_actions(acts, ctx);
+        self.process_srun_actions(&mut acts, ctx);
+        self.scratch_srun = acts;
     }
 
     // ----------------------------------------------------- action routing
 
-    fn process_srun_actions(&mut self, acts: Vec<SrunAction>, ctx: &mut Ctx<AgentMsg>) {
+    fn process_srun_actions(&mut self, acts: &mut Vec<SrunAction>, ctx: &mut Ctx<AgentMsg>) {
         let now = ctx.now();
-        for a in acts {
+        for a in acts.drain(..) {
             match a {
                 SrunAction::Timer { after, token } => ctx.timer(after, AgentMsg::Srun(token)),
                 SrunAction::Started(StepId(id)) => {
@@ -1665,7 +1707,7 @@ impl SimAgent {
                     debug_assert!(id < FLUX_INFRA_BASE, "infra steps never exit via timer");
                     let t = TaskId(id);
                     if let Some(sb) = self.srun_backend.as_mut() {
-                        if let Some((c, g)) = sb.holds.remove(&t) {
+                        if let Some((c, g)) = sb.holds.remove(t.0) {
                             sb.free_core_slots += c;
                             sb.free_gpus += g;
                         }
@@ -1687,8 +1729,10 @@ impl SimAgent {
                 let slot = self.prrte_report[idx];
                 st.instances[slot].srun_acquired = Some(now);
             }
-            let acts = self.prrte[idx].dvm.boot();
-            self.process_prrte_actions(idx as u32, acts, ctx);
+            let mut acts = std::mem::take(&mut self.scratch_prrte);
+            self.prrte[idx].dvm.boot(&mut acts);
+            self.process_prrte_actions(idx as u32, &mut acts, ctx);
+            self.scratch_prrte = acts;
         } else if infra_id >= DRAGON_INFRA_BASE {
             let idx = (infra_id - DRAGON_INFRA_BASE) as usize;
             {
@@ -1696,8 +1740,10 @@ impl SimAgent {
                 let slot = self.dragon_report[idx];
                 st.instances[slot].srun_acquired = Some(now);
             }
-            let acts = self.dragon[idx].boot();
-            self.process_dragon_actions(idx as u32, acts, ctx);
+            let mut acts = std::mem::take(&mut self.scratch_dragon);
+            self.dragon[idx].boot(&mut acts);
+            self.process_dragon_actions(idx as u32, &mut acts, ctx);
+            self.scratch_dragon = acts;
         } else {
             let idx = (infra_id - FLUX_INFRA_BASE) as usize;
             {
@@ -1705,14 +1751,21 @@ impl SimAgent {
                 let slot = self.flux_report[idx];
                 st.instances[slot].srun_acquired = Some(now);
             }
-            let acts = self.flux[idx].boot();
-            self.process_flux_actions(idx as u32, acts, ctx);
+            let mut acts = std::mem::take(&mut self.scratch_flux);
+            self.flux[idx].boot(&mut acts);
+            self.process_flux_actions(idx as u32, &mut acts, ctx);
+            self.scratch_flux = acts;
         }
     }
 
-    fn process_flux_actions(&mut self, part: u32, acts: Vec<FluxAction>, ctx: &mut Ctx<AgentMsg>) {
+    fn process_flux_actions(
+        &mut self,
+        part: u32,
+        acts: &mut Vec<FluxAction>,
+        ctx: &mut Ctx<AgentMsg>,
+    ) {
         let now = ctx.now();
-        for a in acts {
+        for a in acts.drain(..) {
             match a {
                 FluxAction::Timer { after, token } => ctx.timer(after, AgentMsg::Flux(part, token)),
                 FluxAction::Ready => {
@@ -1743,11 +1796,11 @@ impl SimAgent {
     fn process_dragon_actions(
         &mut self,
         part: u32,
-        acts: Vec<DragonAction>,
+        acts: &mut Vec<DragonAction>,
         ctx: &mut Ctx<AgentMsg>,
     ) {
         let now = ctx.now();
-        for a in acts {
+        for a in acts.drain(..) {
             match a {
                 DragonAction::Timer { after, token } => {
                     ctx.timer(after, AgentMsg::Dragon(part, token))
@@ -1777,11 +1830,18 @@ impl SimAgent {
     // ------------------------------------------------- terminal & failure
 
     fn on_terminal(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
-        self.assignment.remove(&t);
+        self.assignment.remove(t.0);
         self.outstanding = self.outstanding.saturating_sub(1);
-        let record = self.with_task(t, |rec| rec.clone());
         let view = self.resource_view();
-        let follow_ups = self.workload.on_task_done(&record, &view);
+        // Swap the workload out so its callback can borrow the record
+        // in place (no per-task clone); the placeholder is a ZST.
+        let mut wl = std::mem::replace(&mut self.workload, Box::new(IdleWorkload));
+        let follow_ups = {
+            let st = self.state.borrow();
+            let rec = st.tasks.get(t.0).expect("recorded task");
+            wl.on_task_done(rec, &view)
+        };
+        self.workload = wl;
         if !follow_ups.is_empty() {
             self.submit_tasks(follow_ups, ctx);
         }
@@ -1808,7 +1868,7 @@ impl SimAgent {
                     false
                 }
             });
-        self.assignment.remove(&t);
+        self.assignment.remove(t.0);
         if retry {
             self.stage_q.push_back(t);
             self.pump_stagers(ctx);
@@ -1828,7 +1888,7 @@ impl SimAgent {
         let now = ctx.now();
         let state = {
             let st = self.state.borrow();
-            match st.tasks.get(&t) {
+            match st.tasks.get(t.0) {
                 Some(rec) => rec.state,
                 None => return, // unknown uid: ignore
             }
@@ -1839,14 +1899,18 @@ impl SimAgent {
         // 1. Still in an agent-side queue?
         let in_agent = remove_from(&mut self.stage_q, t)
             || remove_from(&mut self.sched_q, t)
-            || self.adapters.values_mut().any(|a| remove_from(&mut a.q, t))
+            || self
+                .adapters
+                .iter_mut()
+                .flatten()
+                .any(|a| remove_from(&mut a.q, t))
             || self
                 .subs
                 .iter_mut()
                 .any(|s| remove_from(&mut s.sched_q, t) || remove_from(&mut s.adapter_q, t));
         // 2. Queued at a backend?
         let in_backend = !in_agent
-            && match self.assignment.get(&t) {
+            && match self.assignment.get(t.0) {
                 Some((BackendKind::Flux, part)) => self.flux[*part as usize].cancel(JobId(t.0)),
                 Some((BackendKind::Dragon, part)) => {
                     let p = *part as usize;
@@ -1865,7 +1929,7 @@ impl SimAgent {
                     if canceled {
                         // Free any capacity the agent already held for it.
                         if let Some(sb) = self.srun_backend.as_mut() {
-                            if let Some((c, g)) = sb.holds.remove(&t) {
+                            if let Some((c, g)) = sb.holds.remove(t.0) {
                                 sb.free_core_slots += c;
                                 sb.free_gpus += g;
                             }
@@ -1877,7 +1941,7 @@ impl SimAgent {
             };
         if in_agent || in_backend {
             self.with_task(t, |rec| rec.advance(TaskState::Canceled, now));
-            self.assignment.remove(&t);
+            self.assignment.remove(t.0);
             self.outstanding = self.outstanding.saturating_sub(1);
             // Stop services if the cancel drained the workload.
             if self.outstanding == 0 && !self.service_holds.is_empty() {
@@ -1951,6 +2015,16 @@ fn remove_from(q: &mut VecDeque<TaskId>, t: TaskId) -> bool {
     }
 }
 
+/// Zero-sized placeholder standing in while the real workload's
+/// `on_task_done` borrows the run state (see `on_terminal`).
+struct IdleWorkload;
+
+impl WorkloadSource for IdleWorkload {
+    fn initial(&mut self, _view: &ResourceView) -> Vec<TaskDescription> {
+        Vec::new()
+    }
+}
+
 impl Actor<AgentMsg> for SimAgent {
     fn handle(&mut self, msg: AgentMsg, ctx: &mut Ctx<AgentMsg>) {
         match msg {
@@ -1977,29 +2051,33 @@ impl Actor<AgentMsg> for SimAgent {
                         .instant(s.comp, rp_profiler::NO_UID, s.pilot_bootstrapping);
                 }
                 // Launch backend instances on persistent srun slots.
-                let mut acts = Vec::new();
+                let mut acts = std::mem::take(&mut self.scratch_srun);
                 for i in 0..self.flux.len() {
                     let nodes = self.flux[i].allocation().count;
-                    acts.extend(
-                        self.site_srun
-                            .submit_persistent(StepId(FLUX_INFRA_BASE + i as u64), nodes),
+                    self.site_srun.submit_persistent(
+                        StepId(FLUX_INFRA_BASE + i as u64),
+                        nodes,
+                        &mut acts,
                     );
                 }
                 for i in 0..self.dragon.len() {
                     let nodes = self.dragon_allocs[i].count;
-                    acts.extend(
-                        self.site_srun
-                            .submit_persistent(StepId(DRAGON_INFRA_BASE + i as u64), nodes),
+                    self.site_srun.submit_persistent(
+                        StepId(DRAGON_INFRA_BASE + i as u64),
+                        nodes,
+                        &mut acts,
                     );
                 }
                 for i in 0..self.prrte.len() {
                     let nodes = self.prrte[i].pool.node_count() as u32;
-                    acts.extend(
-                        self.site_srun
-                            .submit_persistent(StepId(PRRTE_INFRA_BASE + i as u64), nodes),
+                    self.site_srun.submit_persistent(
+                        StepId(PRRTE_INFRA_BASE + i as u64),
+                        nodes,
+                        &mut acts,
                     );
                 }
-                self.process_srun_actions(acts, ctx);
+                self.process_srun_actions(&mut acts, ctx);
+                self.scratch_srun = acts;
                 // Collect services (started once the pilot is active) and
                 // the initial workload.
                 self.pending_services = self.workload.services();
@@ -2035,7 +2113,7 @@ impl Actor<AgentMsg> for SimAgent {
                             if let Some(m) = &self.metrics {
                                 m.note_routed(kind);
                             }
-                            self.assignment.insert(t, (kind, part));
+                            self.assignment.insert(t.0, (kind, part));
                             let idx = self
                                 .sub_index(kind, part)
                                 .expect("sub-agent for every partition");
@@ -2063,10 +2141,10 @@ impl Actor<AgentMsg> for SimAgent {
                         if let Some(m) = &self.metrics {
                             m.note_routed(kind);
                         }
-                        self.assignment.insert(t, (kind, part));
+                        self.assignment.insert(t.0, (kind, part));
                         self.with_task(t, |rec| rec.advance(TaskState::Submitting, now));
-                        self.adapters
-                            .get_mut(&kind)
+                        self.adapters[kind as usize]
+                            .as_mut()
                             .expect("adapter")
                             .q
                             .push_back(t);
@@ -2082,9 +2160,13 @@ impl Actor<AgentMsg> for SimAgent {
                 self.pump_sched(ctx);
             }
             AgentMsg::AdapterDone(kind, t) => {
-                self.adapters.get_mut(&kind).expect("adapter").busy = false;
+                self.adapters[kind as usize].as_mut().expect("adapter").busy = false;
                 if let Some(s) = &self.psyms {
-                    self.prof.end(s.t_adapter[&kind], t.0, s.submit);
+                    self.prof.end(
+                        s.t_adapter[kind as usize].expect("adapter profiled"),
+                        t.0,
+                        s.submit,
+                    );
                 }
                 self.dispatch_to_backend(t, ctx);
                 self.pump_adapter(kind, ctx);
@@ -2104,24 +2186,34 @@ impl Actor<AgentMsg> for SimAgent {
                 self.pump_sub_adapter(idx, ctx);
             }
             AgentMsg::Srun(token) => {
-                let acts = self.site_srun.on_token(token);
-                self.process_srun_actions(acts, ctx);
+                let mut acts = std::mem::take(&mut self.scratch_srun);
+                self.site_srun.on_token(token, &mut acts);
+                self.process_srun_actions(&mut acts, ctx);
+                self.scratch_srun = acts;
             }
             AgentMsg::Flux(part, token) => {
-                let acts = self.flux[part as usize].on_token(ctx.now(), token);
-                self.process_flux_actions(part, acts, ctx);
+                let mut acts = std::mem::take(&mut self.scratch_flux);
+                self.flux[part as usize].on_token(ctx.now(), token, &mut acts);
+                self.process_flux_actions(part, &mut acts, ctx);
+                self.scratch_flux = acts;
             }
             AgentMsg::Dragon(part, token) => {
-                let acts = self.dragon[part as usize].on_token(ctx.now(), token);
-                self.process_dragon_actions(part, acts, ctx);
+                let mut acts = std::mem::take(&mut self.scratch_dragon);
+                self.dragon[part as usize].on_token(ctx.now(), token, &mut acts);
+                self.process_dragon_actions(part, &mut acts, ctx);
+                self.scratch_dragon = acts;
             }
             AgentMsg::Prrte(part, token) => {
-                let acts = self.prrte[part as usize].dvm.on_token(ctx.now(), token);
-                self.process_prrte_actions(part, acts, ctx);
+                let mut acts = std::mem::take(&mut self.scratch_prrte);
+                self.prrte[part as usize]
+                    .dvm
+                    .on_token(ctx.now(), token, &mut acts);
+                self.process_prrte_actions(part, &mut acts, ctx);
+                self.scratch_prrte = acts;
             }
             AgentMsg::WatcherDone(kind) => {
-                *self.watcher_busy.get_mut(&kind).expect("watcher was busy") = false;
-                if let Some(ev) = self.watcher_q.get_mut(&kind).expect("queue").pop_front() {
+                self.watcher_busy[kind as usize] = false;
+                if let Some(ev) = self.watcher_q[kind as usize].pop_front() {
                     self.apply_watcher_event(kind, ev, ctx);
                 }
                 self.pump_watcher(kind, ctx);

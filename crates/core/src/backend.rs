@@ -15,6 +15,14 @@ pub enum BackendKind {
     Prrte,
 }
 
+/// All backend kinds in `as usize` / `Ord` order (array-table iteration).
+pub const ALL_BACKENDS: [BackendKind; 4] = [
+    BackendKind::Srun,
+    BackendKind::Flux,
+    BackendKind::Dragon,
+    BackendKind::Prrte,
+];
+
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

@@ -7,8 +7,7 @@ use crate::backend::BackendKind;
 use crate::pilot::PilotTrajectory;
 use crate::service::ServiceRecord;
 use crate::task::{TaskId, TaskRecord, TaskState};
-use rp_sim::SimTime;
-use std::collections::HashMap;
+use rp_sim::{SimTime, UidMap};
 
 /// Bootstrap/readiness record for one backend instance (Fig. 7's data).
 #[derive(Debug, Clone)]
@@ -43,7 +42,13 @@ impl InstanceReport {
 #[derive(Debug, Default)]
 pub struct RunState {
     /// Per-task records, insertion-ordered by first submission.
-    pub tasks: HashMap<TaskId, TaskRecord>,
+    ///
+    /// [`UidMap`] because every state transition probes this table (the
+    /// `with_task` funnel): uids are dense, so direct indexing turns the
+    /// hottest lookup in the pipeline into one bounds check, and the
+    /// order-free API keeps reporting deterministic (readers go through
+    /// `order`).
+    pub tasks: UidMap<TaskRecord>,
     /// Insertion order, for stable reporting.
     pub order: Vec<TaskId>,
     /// Backend instance reports.

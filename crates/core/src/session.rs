@@ -165,7 +165,7 @@ impl SimSession {
         let tasks = st
             .order
             .iter()
-            .map(|uid| st.tasks.get(uid).expect("recorded").clone())
+            .map(|uid| st.tasks.get(uid.0).expect("recorded").clone())
             .collect();
         RunReport {
             nodes,

@@ -15,8 +15,8 @@
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{Dist, RngStream, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// Interned profiler symbols: dispatch spans on `<comp>.dispatch` (the
 /// dispatcher is serial, so spans never overlap), lifecycle instants on
@@ -86,7 +86,7 @@ pub struct DragonSim {
     func_cost: Dist,
     boot_cost: Dist,
     rng: RngStream,
-    in_flight: HashMap<u64, DragonTask>,
+    in_flight: FxHashMap<u64, DragonTask>,
     completed: u64,
     alive: bool,
     prof: Profiler,
@@ -110,7 +110,7 @@ impl DragonSim {
             func_cost: cal.dragon_dispatch_cost(alloc.count, true),
             boot_cost: cal.dragon_bootstrap.clone(),
             rng: RngStream::derive(seed, "dragon"),
-            in_flight: HashMap::new(),
+            in_flight: FxHashMap::default(),
             completed: 0,
             alive: true,
             prof: Profiler::disabled(),
@@ -230,17 +230,18 @@ impl DragonSim {
         }
     }
 
-    /// Begin bootstrap (≈9 s on Frontier).
-    pub fn boot(&mut self) -> Vec<DragonAction> {
+    /// Begin bootstrap (≈9 s on Frontier). Actions are appended to `out`
+    /// — callers reuse one buffer so the hot path stays allocation-free.
+    pub fn boot(&mut self, out: &mut Vec<DragonAction>) {
         let cost = self.boot_cost.sample(&mut self.rng);
-        vec![DragonAction::Timer {
+        out.push(DragonAction::Timer {
             after: cost,
             token: DragonToken::Booted,
-        }]
+        });
     }
 
-    /// Submit a task (FIFO).
-    pub fn submit(&mut self, task: DragonTask) -> Vec<DragonAction> {
+    /// Submit a task (FIFO). Actions are appended to `out`.
+    pub fn submit(&mut self, task: DragonTask, out: &mut Vec<DragonAction>) {
         assert!(
             task.workers as u64 <= self.worker_capacity,
             "task {} wants {} workers, pool has {}",
@@ -256,20 +257,19 @@ impl DragonSim {
             m.on_submit(task.id, self.queue.len(), contended);
         }
         self.queue.push_back(task);
-        self.pump()
+        self.pump(out);
     }
 
-    /// Deliver a timer token.
-    pub fn on_token(&mut self, _now: SimTime, token: DragonToken) -> Vec<DragonAction> {
+    /// Deliver a timer token. Actions are appended to `out`.
+    pub fn on_token(&mut self, _now: SimTime, token: DragonToken, out: &mut Vec<DragonAction>) {
         if !self.alive {
-            return Vec::new(); // stale timers from before the crash
+            return; // stale timers from before the crash
         }
         match token {
             DragonToken::Booted => {
                 self.ready = true;
-                let mut out = vec![DragonAction::Ready];
-                out.extend(self.pump());
-                out
+                out.push(DragonAction::Ready);
+                self.pump(out);
             }
             DragonToken::Dispatched(id) => {
                 self.dispatch_busy = false;
@@ -288,15 +288,12 @@ impl DragonSim {
                 if let Some(m) = &self.metrics {
                     m.on_started(id);
                 }
-                let mut out = vec![
-                    DragonAction::Started(id),
-                    DragonAction::Timer {
-                        after: task.duration,
-                        token: DragonToken::Done(id),
-                    },
-                ];
-                out.extend(self.pump());
-                out
+                out.push(DragonAction::Started(id));
+                out.push(DragonAction::Timer {
+                    after: task.duration,
+                    token: DragonToken::Done(id),
+                });
+                self.pump(out);
             }
             DragonToken::Done(id) => {
                 let task = self.in_flight.remove(&id).expect("done unknown task");
@@ -314,23 +311,22 @@ impl DragonSim {
                     self.prof
                         .instant_detail(s.comp, id, what, self.busy_workers() as f64);
                 }
-                let mut out = vec![DragonAction::Completed(id)];
-                out.extend(self.pump());
-                out
+                out.push(DragonAction::Completed(id));
+                self.pump(out);
             }
         }
     }
 
     /// Dispatch the head task if the dispatcher and enough workers are free.
-    fn pump(&mut self) -> Vec<DragonAction> {
+    fn pump(&mut self, out: &mut Vec<DragonAction>) {
         if !self.ready || self.dispatch_busy {
-            return Vec::new();
+            return;
         }
         let Some(head) = self.queue.front() else {
-            return Vec::new();
+            return;
         };
         if head.workers as u64 > self.free_workers {
-            return Vec::new(); // pool backpressure; wait for a Done
+            return; // pool backpressure; wait for a Done
         }
         let task = self.queue.pop_front().expect("non-empty");
         self.free_workers -= task.workers as u64;
@@ -348,10 +344,10 @@ impl DragonSim {
             self.exec_cost.sample(&mut self.rng)
         };
         self.in_flight.insert(task.id, task);
-        vec![DragonAction::Timer {
+        out.push(DragonAction::Timer {
             after: cost,
             token: DragonToken::Dispatched(task.id),
-        }]
+        });
     }
 }
 
@@ -396,15 +392,34 @@ mod tests {
                 }
             }
         };
-        let acts = sim.boot();
-        sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        let mut acts = Vec::new();
+        sim.boot(&mut acts);
+        sink(
+            std::mem::take(&mut acts),
+            0,
+            &mut heap,
+            &mut seq,
+            &mut starts,
+        );
         for t in tasks {
-            let acts = sim.submit(t);
-            sink(acts, 0, &mut heap, &mut seq, &mut starts);
+            sim.submit(t, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                0,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+            );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = sim.on_token(SimTime::from_micros(t), tok);
-            sink(acts, t, &mut heap, &mut seq, &mut starts);
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+            );
             peak_busy = peak_busy.max(sim.busy_workers());
         }
         assert!(sim.is_idle());
@@ -484,12 +499,15 @@ mod tests {
     #[should_panic(expected = "wants")]
     fn oversized_task_rejected() {
         let mut sim = runtime(1);
-        sim.submit(DragonTask {
-            id: 0,
-            workers: 57,
-            duration: SimDuration::ZERO,
-            is_function: false,
-        });
+        sim.submit(
+            DragonTask {
+                id: 0,
+                workers: 57,
+                duration: SimDuration::ZERO,
+                is_function: false,
+            },
+            &mut Vec::new(),
+        );
     }
 
     #[test]
@@ -497,25 +515,19 @@ mod tests {
         // Unlike Flux there is no scheduler: a wide head task blocks
         // narrower ones even if they'd fit (documented Dragon behavior).
         let mut sim = runtime(1);
-        let mut acts = sim.boot();
-        acts.extend(sim.submit(DragonTask {
-            id: 0,
-            workers: 56,
-            duration: SimDuration::from_secs(100),
-            is_function: false,
-        }));
-        acts.extend(sim.submit(DragonTask {
-            id: 1,
-            workers: 56,
-            duration: SimDuration::from_secs(100),
-            is_function: false,
-        }));
-        acts.extend(sim.submit(DragonTask {
-            id: 2,
-            workers: 1,
-            duration: SimDuration::ZERO,
-            is_function: false,
-        }));
+        let mut acts = Vec::new();
+        sim.boot(&mut acts);
+        for (id, workers, secs) in [(0, 56, 100), (1, 56, 100), (2, 1, 0)] {
+            sim.submit(
+                DragonTask {
+                    id,
+                    workers,
+                    duration: SimDuration::from_secs(secs),
+                    is_function: false,
+                },
+                &mut acts,
+            );
+        }
         // After boot+dispatch of task 0, the queue must still be [1, 2].
         let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
         let mut seq = 0;
@@ -526,9 +538,11 @@ mod tests {
             }
         }
         // Process boot + first dispatch only.
+        let mut step_acts = Vec::new();
         for _ in 0..2 {
             if let Some(Reverse((t, _, tok))) = heap.pop() {
-                for a in sim.on_token(SimTime::from_micros(t), tok) {
+                sim.on_token(SimTime::from_micros(t), tok, &mut step_acts);
+                for a in step_acts.drain(..) {
                     if let DragonAction::Timer { after, token } = a {
                         heap.push(Reverse((t + after.as_micros(), seq, token)));
                         seq += 1;

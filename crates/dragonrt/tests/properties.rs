@@ -136,20 +136,45 @@ fn dragon_sim_conserves() {
             }
         };
 
-        let acts = sim.boot();
-        sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+        let mut acts = Vec::new();
+        sim.boot(&mut acts);
+        sink(
+            std::mem::take(&mut acts),
+            0,
+            &mut heap,
+            &mut seq,
+            &mut started,
+            &mut completed,
+        );
         for (i, (workers, secs, is_function)) in tasks.iter().enumerate() {
-            let acts = sim.submit(DragonTask {
-                id: i as u64,
-                workers: *workers,
-                duration: SimDuration::from_secs(*secs),
-                is_function: *is_function,
-            });
-            sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+            sim.submit(
+                DragonTask {
+                    id: i as u64,
+                    workers: *workers,
+                    duration: SimDuration::from_secs(*secs),
+                    is_function: *is_function,
+                },
+                &mut acts,
+            );
+            sink(
+                std::mem::take(&mut acts),
+                0,
+                &mut heap,
+                &mut seq,
+                &mut started,
+                &mut completed,
+            );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = sim.on_token(SimTime::from_micros(t), tok);
-            sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut started,
+                &mut completed,
+            );
             peak_busy = peak_busy.max(sim.busy_workers());
         }
         assert!(sim.is_idle(), "case {case}");

@@ -158,9 +158,10 @@ impl FluxTreeSim {
     /// Boot every leaf concurrently.
     pub fn boot(&mut self) -> Vec<TreeAction> {
         let mut out = Vec::new();
+        let mut acts = Vec::new();
         for i in 0..self.leaves.len() {
-            let acts = self.leaves[i].boot();
-            out.extend(self.map_leaf_actions(i as u32, acts));
+            self.leaves[i].boot(&mut acts);
+            self.map_leaf_actions(i as u32, &mut acts, &mut out);
         }
         out
     }
@@ -181,8 +182,11 @@ impl FluxTreeSim {
         }
         match self.root {
             NodeRef::Leaf(l) => {
-                let acts = self.leaves[l as usize].submit(now, job);
-                self.map_leaf_actions(l, acts)
+                let mut acts = Vec::new();
+                let mut out = Vec::new();
+                self.leaves[l as usize].submit(now, job, &mut acts);
+                self.map_leaf_actions(l, &mut acts, &mut out);
+                out
             }
             NodeRef::Router(r) => {
                 self.routers[r as usize].q.push_back(job);
@@ -195,8 +199,11 @@ impl FluxTreeSim {
     pub fn on_token(&mut self, now: SimTime, token: TreeToken) -> Vec<TreeAction> {
         match token {
             TreeToken::Leaf(l, tok) => {
-                let acts = self.leaves[l as usize].on_token(now, tok);
-                self.map_leaf_actions(l, acts)
+                let mut acts = Vec::new();
+                let mut out = Vec::new();
+                self.leaves[l as usize].on_token(now, tok, &mut acts);
+                self.map_leaf_actions(l, &mut acts, &mut out);
+                out
             }
             TreeToken::RouterDone(r) => {
                 let (job, children, start) = {
@@ -247,8 +254,11 @@ impl FluxTreeSim {
             }
             TreeToken::Deliver(idx, is_leaf, job) => {
                 if is_leaf {
-                    let acts = self.leaves[idx as usize].submit(now, job);
-                    self.map_leaf_actions(idx, acts)
+                    let mut acts = Vec::new();
+                    let mut out = Vec::new();
+                    self.leaves[idx as usize].submit(now, job, &mut acts);
+                    self.map_leaf_actions(idx, &mut acts, &mut out);
+                    out
                 } else {
                     self.routers[idx as usize].q.push_back(job);
                     self.pump_router(idx)
@@ -278,9 +288,13 @@ impl FluxTreeSim {
         }]
     }
 
-    fn map_leaf_actions(&mut self, leaf: u32, acts: Vec<FluxAction>) -> Vec<TreeAction> {
-        let mut out = Vec::new();
-        for a in acts {
+    fn map_leaf_actions(
+        &mut self,
+        leaf: u32,
+        acts: &mut Vec<FluxAction>,
+        out: &mut Vec<TreeAction>,
+    ) {
+        for a in acts.drain(..) {
             match a {
                 FluxAction::Timer { after, token } => out.push(TreeAction::Timer {
                     after,
@@ -295,7 +309,6 @@ impl FluxTreeSim {
                 FluxAction::Event(e) => out.push(TreeAction::Event(e)),
             }
         }
-        out
     }
 }
 

@@ -24,8 +24,8 @@ use crate::policy::{RunningJob, SchedPolicy};
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{Dist, RngStream, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// Interned profiler symbols. The three serial servers each get their own
 /// track (`<comp>.ingest` / `.match` / `.start`) so their B/E spans never
@@ -100,9 +100,9 @@ pub struct FluxInstanceSim {
     start_queue: VecDeque<(JobSpec, Placement)>,
     start_busy: bool,
     /// Matched-but-not-yet-started placements, keyed by job.
-    matched: HashMap<JobId, (JobSpec, Placement)>,
+    matched: FxHashMap<JobId, (JobSpec, Placement)>,
     /// Running jobs: placement + expected end (for backfill).
-    running: HashMap<JobId, RunningJob>,
+    running: FxHashMap<JobId, RunningJob>,
     /// Completed job count (diagnostics).
     completed: u64,
     /// False once killed by failure injection.
@@ -143,8 +143,8 @@ impl FluxInstanceSim {
             match_busy: false,
             start_queue: VecDeque::new(),
             start_busy: false,
-            matched: HashMap::new(),
-            running: HashMap::new(),
+            matched: FxHashMap::default(),
+            running: FxHashMap::default(),
             completed: 0,
             alive: true,
             prof: Profiler::disabled(),
@@ -327,28 +327,32 @@ impl FluxInstanceSim {
     }
 
     /// Begin bootstrap (broker tree + modules; ≈20 s on Frontier).
-    pub fn boot(&mut self) -> Vec<FluxAction> {
+    /// Actions are appended to `out` — callers reuse one buffer across
+    /// every call so the per-event hot path stays allocation-free.
+    pub fn boot(&mut self, out: &mut Vec<FluxAction>) {
         let cost = self.bootstrap_cost.sample(&mut self.rng);
-        vec![FluxAction::Timer {
+        out.push(FluxAction::Timer {
             after: cost,
             token: FluxToken::Booted,
-        }]
+        });
     }
 
     /// Submit a jobspec (RP Flux executor, Fig. 2 ②). Infeasible requests
     /// fail immediately with an exception rather than wedging the queue.
-    pub fn submit(&mut self, now: SimTime, job: JobSpec) -> Vec<FluxAction> {
+    pub fn submit(&mut self, now: SimTime, job: JobSpec, out: &mut Vec<FluxAction>) {
         if !self.alive {
-            return vec![FluxAction::Event(JobEvent::Exception(
+            out.push(FluxAction::Event(JobEvent::Exception(
                 job.id,
                 ExceptionKind::InstanceLost,
-            ))];
+            )));
+            return;
         }
         if !self.pool.can_ever_fit(&job.req) {
-            return vec![FluxAction::Event(JobEvent::Exception(
+            out.push(FluxAction::Event(JobEvent::Exception(
                 job.id,
                 ExceptionKind::Unsatisfiable,
-            ))];
+            )));
+            return;
         }
         if let Some(s) = &self.syms {
             self.prof.instant(s.comp, job.id.0, s.enqueue);
@@ -359,23 +363,21 @@ impl FluxInstanceSim {
             m.on_submit(job.id.0, depth, contended);
         }
         self.pending_ingest.push_back(job);
-        let mut out = vec![FluxAction::Event(JobEvent::Submitted(job.id))];
-        out.extend(self.pump_ingest());
+        out.push(FluxAction::Event(JobEvent::Submitted(job.id)));
+        self.pump_ingest(out);
         let _ = now;
-        out
     }
 
-    /// Deliver a timer token.
-    pub fn on_token(&mut self, now: SimTime, token: FluxToken) -> Vec<FluxAction> {
+    /// Deliver a timer token. Actions are appended to `out`.
+    pub fn on_token(&mut self, now: SimTime, token: FluxToken, out: &mut Vec<FluxAction>) {
         if !self.alive {
-            return Vec::new(); // stale timers from before the crash
+            return; // stale timers from before the crash
         }
         match token {
             FluxToken::Booted => {
                 self.ready = true;
-                let mut out = vec![FluxAction::Ready];
-                out.extend(self.pump_ingest());
-                out
+                out.push(FluxAction::Ready);
+                self.pump_ingest(out);
             }
             FluxToken::Ingested => {
                 self.ingest_busy = false;
@@ -388,9 +390,8 @@ impl FluxInstanceSim {
                     self.open_ingest = None;
                 }
                 self.queue.push_back(job);
-                let mut out = self.pump_ingest();
-                out.extend(self.pump_match(now));
-                out
+                self.pump_ingest(out);
+                self.pump_match(now, out);
             }
             FluxToken::Matched(id) => {
                 self.match_busy = false;
@@ -408,10 +409,9 @@ impl FluxInstanceSim {
                     m.on_accepted(id.0);
                 }
                 self.start_queue.push_back((job, placement));
-                let mut out = vec![FluxAction::Event(JobEvent::Alloc(id))];
-                out.extend(self.pump_start(now));
-                out.extend(self.pump_match(now));
-                out
+                out.push(FluxAction::Event(JobEvent::Alloc(id)));
+                self.pump_start(now, out);
+                self.pump_match(now, out);
             }
             FluxToken::Started(id) => {
                 self.start_busy = false;
@@ -431,15 +431,12 @@ impl FluxInstanceSim {
                     .get(&id)
                     .expect("started job must be registered");
                 let duration = run.expected_end.saturating_since(now);
-                let mut out = vec![
-                    FluxAction::Event(JobEvent::Start(id)),
-                    FluxAction::Timer {
-                        after: duration,
-                        token: FluxToken::Done(id),
-                    },
-                ];
-                out.extend(self.pump_start(now));
-                out
+                out.push(FluxAction::Event(JobEvent::Start(id)));
+                out.push(FluxAction::Timer {
+                    after: duration,
+                    token: FluxToken::Done(id),
+                });
+                self.pump_start(now, out);
             }
             FluxToken::Done(id) => {
                 let run = self
@@ -455,17 +452,16 @@ impl FluxInstanceSim {
                     self.prof
                         .instant_detail(s.comp, id.0, s.finish, self.pool.busy_cores() as f64);
                 }
-                let mut out = vec![FluxAction::Event(JobEvent::Finish(id))];
-                out.extend(self.pump_match(now));
-                out
+                out.push(FluxAction::Event(JobEvent::Finish(id)));
+                self.pump_match(now, out);
             }
         }
     }
 
     /// Keep the ingest server busy while jobs are pending.
-    fn pump_ingest(&mut self) -> Vec<FluxAction> {
+    fn pump_ingest(&mut self, out: &mut Vec<FluxAction>) {
         if !self.ready || self.ingest_busy || self.pending_ingest.is_empty() {
-            return Vec::new();
+            return;
         }
         self.ingest_busy = true;
         if let Some(s) = &self.syms {
@@ -474,22 +470,22 @@ impl FluxInstanceSim {
             self.open_ingest = Some(uid);
         }
         let cost = self.ingest_cost.sample(&mut self.rng);
-        vec![FluxAction::Timer {
+        out.push(FluxAction::Timer {
             after: cost,
             token: FluxToken::Ingested,
-        }]
+        });
     }
 
     /// Ask the policy for the next match while the match server is free.
-    fn pump_match(&mut self, now: SimTime) -> Vec<FluxAction> {
+    fn pump_match(&mut self, now: SimTime, out: &mut Vec<FluxAction>) {
         if !self.ready || self.match_busy || self.queue.is_empty() {
-            return Vec::new();
+            return;
         }
         let Some(idx) = self
             .policy
             .select(now, &self.queue, &self.pool, &self.running)
         else {
-            return Vec::new(); // wait for a completion to free resources
+            return; // wait for a completion to free resources
         };
         let job = self.queue.remove(idx).expect("policy returned valid index");
         let placement = self
@@ -503,16 +499,16 @@ impl FluxInstanceSim {
             self.open_match = Some(job.id.0);
         }
         let cost = self.match_cost.sample(&mut self.rng);
-        vec![FluxAction::Timer {
+        out.push(FluxAction::Timer {
             after: cost,
             token: FluxToken::Matched(job.id),
-        }]
+        });
     }
 
     /// Keep the start server busy while matched jobs wait.
-    fn pump_start(&mut self, now: SimTime) -> Vec<FluxAction> {
+    fn pump_start(&mut self, now: SimTime, out: &mut Vec<FluxAction>) {
         if self.start_busy || self.start_queue.is_empty() {
-            return Vec::new();
+            return;
         }
         let (job, placement) = self.start_queue.pop_front().expect("non-empty");
         self.start_busy = true;
@@ -530,10 +526,10 @@ impl FluxInstanceSim {
                 placement,
             },
         );
-        vec![FluxAction::Timer {
+        out.push(FluxAction::Timer {
             after: cost,
             token: FluxToken::Started(job.id),
-        }]
+        });
     }
 }
 
@@ -585,15 +581,34 @@ mod tests {
                 }
             }
         };
-        let acts = inst.boot();
-        apply(acts, 0, &mut heap, &mut seq, &mut events);
+        let mut acts = Vec::new();
+        inst.boot(&mut acts);
+        apply(
+            std::mem::take(&mut acts),
+            0,
+            &mut heap,
+            &mut seq,
+            &mut events,
+        );
         for j in jobs {
-            let acts = inst.submit(SimTime::ZERO, j);
-            apply(acts, 0, &mut heap, &mut seq, &mut events);
+            inst.submit(SimTime::ZERO, j, &mut acts);
+            apply(
+                std::mem::take(&mut acts),
+                0,
+                &mut heap,
+                &mut seq,
+                &mut events,
+            );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = inst.on_token(SimTime::from_micros(t), tok);
-            apply(acts, t, &mut heap, &mut seq, &mut events);
+            inst.on_token(SimTime::from_micros(t), tok, &mut acts);
+            apply(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut events,
+            );
         }
         assert!(inst.is_idle(), "pipeline must drain");
         events
@@ -667,15 +682,17 @@ mod tests {
         let mut heap: BinaryHeap<Reverse<(u64, u64, FluxToken)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut peak_busy = 0u64;
-        let acts = inst.boot();
-        for a in acts {
+        let mut acts = Vec::new();
+        inst.boot(&mut acts);
+        for a in acts.drain(..) {
             if let FluxAction::Timer { after, token } = a {
                 heap.push(Reverse((after.as_micros(), seq, token)));
                 seq += 1;
             }
         }
         for j in jobs {
-            for a in inst.submit(SimTime::ZERO, j) {
+            inst.submit(SimTime::ZERO, j, &mut acts);
+            for a in acts.drain(..) {
                 if let FluxAction::Timer { after, token } = a {
                     heap.push(Reverse((after.as_micros(), seq, token)));
                     seq += 1;
@@ -683,7 +700,8 @@ mod tests {
             }
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            for a in inst.on_token(SimTime::from_micros(t), tok) {
+            inst.on_token(SimTime::from_micros(t), tok, &mut acts);
+            for a in acts.drain(..) {
                 if let FluxAction::Timer { after, token } = a {
                     heap.push(Reverse((t + after.as_micros(), seq, token)));
                     seq += 1;
@@ -698,13 +716,15 @@ mod tests {
     #[test]
     fn unsatisfiable_job_raises_exception() {
         let mut inst = instance(1, false);
-        let acts = inst.submit(
+        let mut acts = Vec::new();
+        inst.submit(
             SimTime::ZERO,
             JobSpec {
                 id: JobId(99),
                 req: ResourceRequest::mpi(2, 1, 0), // needs 2 nodes, has 1
                 duration: SimDuration::ZERO,
             },
+            &mut acts,
         );
         assert!(matches!(
             acts.as_slice(),

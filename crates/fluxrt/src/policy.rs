@@ -9,8 +9,8 @@
 
 use crate::job::{JobId, JobSpec};
 use rp_platform::ResourcePool;
-use rp_sim::SimTime;
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{FxHashMap, SimTime};
+use std::collections::VecDeque;
 
 /// A running job's remaining footprint, as visible to backfill.
 #[derive(Debug, Clone)]
@@ -30,7 +30,7 @@ pub trait SchedPolicy: Send {
         now: SimTime,
         queue: &VecDeque<JobSpec>,
         pool: &ResourcePool,
-        running: &HashMap<JobId, RunningJob>,
+        running: &FxHashMap<JobId, RunningJob>,
     ) -> Option<usize>;
 
     /// Human-readable policy name (for reports).
@@ -49,7 +49,7 @@ impl SchedPolicy for Fcfs {
         _now: SimTime,
         queue: &VecDeque<JobSpec>,
         pool: &ResourcePool,
-        _running: &HashMap<JobId, RunningJob>,
+        _running: &FxHashMap<JobId, RunningJob>,
     ) -> Option<usize> {
         let head = queue.front()?;
         pool.fits_now(&head.req).then_some(0)
@@ -84,7 +84,7 @@ impl SchedPolicy for EasyBackfill {
         now: SimTime,
         queue: &VecDeque<JobSpec>,
         pool: &ResourcePool,
-        running: &HashMap<JobId, RunningJob>,
+        running: &FxHashMap<JobId, RunningJob>,
     ) -> Option<usize> {
         let head = queue.front()?;
         if pool.fits_now(&head.req) {
@@ -94,7 +94,7 @@ impl SchedPolicy for EasyBackfill {
         // Compute the shadow time: clone the pool, free running placements
         // in end-time order until the head fits. (Only reached when the
         // head is blocked — the hot path above never touches `running`.)
-        let mut shadow_pool = pool.clone();
+        let mut shadow_pool = pool.scratch_clone();
         let mut order: Vec<&RunningJob> = running.values().collect();
         order.sort_by_key(|r| r.expected_end);
         let mut shadow_time = None;
@@ -164,7 +164,7 @@ mod tests {
     fn fcfs_only_looks_at_head() {
         let pool = ResourcePool::over_range(frontier().node, 0, 1); // 56 cores
         let queue: VecDeque<JobSpec> = vec![job(0, 57, 10), job(1, 1, 10)].into();
-        let none = HashMap::new();
+        let none = FxHashMap::default();
         // job 0 can never fit one node; FCFS refuses to skip it.
         assert_eq!(Fcfs.select(SimTime::ZERO, &queue, &pool, &none), None);
         let queue2: VecDeque<JobSpec> = vec![job(1, 1, 10)].into();
@@ -178,7 +178,7 @@ mod tests {
         let big = pool
             .try_alloc(&ResourceRequest::mpi(1, 56, 0))
             .expect("fits");
-        let running = HashMap::from([(
+        let running = FxHashMap::from_iter([(
             JobId(90),
             RunningJob {
                 expected_end: SimTime::from_secs(100),
@@ -198,7 +198,7 @@ mod tests {
     fn backfill_rejects_job_that_would_delay_reservation() {
         let mut pool = ResourcePool::over_range(frontier().node, 0, 2);
         let big = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
-        let running = HashMap::from([(
+        let running = FxHashMap::from_iter([(
             JobId(90),
             RunningJob {
                 expected_end: SimTime::from_secs(100),
@@ -219,7 +219,7 @@ mod tests {
         // it fits NOW? nodes 0,1 free => head fits immediately.
         let mut pool = ResourcePool::over_range(frontier().node, 0, 3);
         let filler = pool.try_alloc(&ResourceRequest::mpi(1, 56, 0)).unwrap();
-        let running = HashMap::from([(
+        let running = FxHashMap::from_iter([(
             JobId(90),
             RunningJob {
                 expected_end: SimTime::from_secs(100),
@@ -237,7 +237,7 @@ mod tests {
         let filler = pool
             .try_alloc(&ResourceRequest::single(56, 0))
             .expect("fill the node");
-        let running = HashMap::from([(
+        let running = FxHashMap::from_iter([(
             JobId(90),
             RunningJob {
                 expected_end: SimTime::from_secs(100),
@@ -260,7 +260,7 @@ mod tests {
         // Free half the node: now job 3 fits and deep finds it.
         let mut pool2 = ResourcePool::over_range(frontier().node, 0, 1);
         let half = pool2.try_alloc(&ResourceRequest::single(28, 0)).unwrap();
-        let running2 = HashMap::from([(
+        let running2 = FxHashMap::from_iter([(
             JobId(91),
             RunningJob {
                 expected_end: SimTime::from_secs(100),

@@ -32,7 +32,7 @@ fn selection_always_fits() {
     let mut rng = RngStream::derive(0xF10C, "selection_always_fits");
     for case in 0..128 {
         let mut pool = ResourcePool::over_range(frontier().node, 0, 4);
-        let mut running = std::collections::HashMap::new();
+        let mut running = rp_sim::FxHashMap::default();
         for i in 0..rng.index(10) {
             let r = random_req(&mut rng);
             if let Some(p) = pool.try_alloc(&r) {
@@ -121,9 +121,10 @@ fn instance_conserves_jobs() {
             }
         };
 
-        let acts = inst.boot();
+        let mut acts = Vec::new();
+        inst.boot(&mut acts);
         push(
-            acts,
+            std::mem::take(&mut acts),
             0,
             &mut heap,
             &mut seq,
@@ -141,9 +142,9 @@ fn instance_conserves_jobs() {
                 req: *req,
                 duration: SimDuration::from_secs(*secs),
             };
-            let acts = inst.submit(SimTime::ZERO, job);
+            inst.submit(SimTime::ZERO, job, &mut acts);
             push(
-                acts,
+                std::mem::take(&mut acts),
                 0,
                 &mut heap,
                 &mut seq,
@@ -153,9 +154,9 @@ fn instance_conserves_jobs() {
             );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = inst.on_token(SimTime::from_micros(t), tok);
+            inst.on_token(SimTime::from_micros(t), tok, &mut acts);
             push(
-                acts,
+                std::mem::take(&mut acts),
                 t,
                 &mut heap,
                 &mut seq,

@@ -20,9 +20,8 @@
 //! bucket layout exists for.
 
 use crate::registry::{Counter, Histogram, Registry};
-use rp_sim::SimTime;
+use rp_sim::{FxHashMap, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
 
 /// Instrument bundle a backend holds while metrics are attached.
 ///
@@ -40,8 +39,8 @@ pub struct BackendInstruments {
     contended: Counter,
     submitted: Counter,
     completed: Counter,
-    submitted_at: RefCell<HashMap<u64, SimTime>>,
-    started_at: RefCell<HashMap<u64, SimTime>>,
+    submitted_at: RefCell<FxHashMap<u64, SimTime>>,
+    started_at: RefCell<FxHashMap<u64, SimTime>>,
 }
 
 impl BackendInstruments {
@@ -77,8 +76,8 @@ impl BackendInstruments {
             submitted: reg.counter("rp_backend_submitted_total", &l, "Tasks submitted"),
             completed: reg.counter("rp_backend_completed_total", &l, "Tasks completed"),
             reg: reg.clone(),
-            submitted_at: RefCell::new(HashMap::new()),
-            started_at: RefCell::new(HashMap::new()),
+            submitted_at: RefCell::new(FxHashMap::default()),
+            started_at: RefCell::new(FxHashMap::default()),
         }
     }
 

@@ -8,6 +8,7 @@
 //! the invariants are enforced with debug assertions and property tests.
 
 use crate::node::{NodeId, NodeSpec};
+use std::cell::RefCell;
 
 /// How ranks of a request may be laid out across nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,6 +142,160 @@ struct NodeFree {
     mem_gb: u32,
 }
 
+/// A segment tree over the pool's nodes holding per-subtree maxima of
+/// `(free core count, free GPU count, free memory)`.
+///
+/// Rank eligibility in [`carve`] is purely count-based — a rank fits a node
+/// iff `popcount(free_cores) >= cores && popcount(free_gpus) >= gpus &&
+/// free_mem >= mem`, never contiguity — so "leftmost node at index ≥ lo
+/// where a rank fits" is answerable from these maxima in O(log n). The
+/// descent prefers the left child, which makes the result *exactly* the
+/// node a left-to-right linear scan would pick; the original linear scan is
+/// kept verbatim as `plan_linear` (also the production path for wide
+/// requests) and differential tests assert placement-for-placement
+/// equality.
+///
+/// Internal maxima are taken per component, so an internal node can look
+/// eligible when no single leaf below it is (core max from one leaf, GPU
+/// max from another); the descent then discards that subtree in O(log n).
+/// Worst case degrades to the linear scan's O(n); the dominant single-core
+/// no-GPU requests never produce such false positives.
+#[derive(Debug, Clone)]
+struct FitIndex {
+    /// Number of real leaves (pool nodes).
+    n: usize,
+    /// Leaf `i` lives at `base + i`; `base` is a power of two. Padding
+    /// leaves hold zero free resources.
+    base: usize,
+    max_cores: Vec<u16>,
+    max_gpus: Vec<u16>,
+    max_mem: Vec<u32>,
+}
+
+impl FitIndex {
+    /// Sentinel for pools that opt out of index maintenance (scratch
+    /// clones used for what-if planning): no storage, never consulted.
+    fn disabled() -> Self {
+        FitIndex {
+            n: 0,
+            base: 0,
+            max_cores: Vec::new(),
+            max_gpus: Vec::new(),
+            max_mem: Vec::new(),
+        }
+    }
+
+    fn is_disabled(&self) -> bool {
+        self.max_cores.is_empty()
+    }
+
+    fn build(nodes: &[NodeFree]) -> Self {
+        let n = nodes.len();
+        let base = n.next_power_of_two().max(1);
+        let mut idx = FitIndex {
+            n,
+            base,
+            max_cores: vec![0; 2 * base],
+            max_gpus: vec![0; 2 * base],
+            max_mem: vec![0; 2 * base],
+        };
+        for (i, node) in nodes.iter().enumerate() {
+            idx.max_cores[base + i] = node.cores.count_ones() as u16;
+            idx.max_gpus[base + i] = node.gpus.count_ones() as u16;
+            idx.max_mem[base + i] = node.mem_gb;
+        }
+        for i in (1..base).rev() {
+            idx.pull_up(i);
+        }
+        idx
+    }
+
+    #[inline]
+    fn pull_up(&mut self, i: usize) {
+        self.max_cores[i] = self.max_cores[2 * i].max(self.max_cores[2 * i + 1]);
+        self.max_gpus[i] = self.max_gpus[2 * i].max(self.max_gpus[2 * i + 1]);
+        self.max_mem[i] = self.max_mem[2 * i].max(self.max_mem[2 * i + 1]);
+    }
+
+    /// Refresh leaf `idx` from its node's current free state. Pull-ups stop
+    /// as soon as an ancestor's maxima are unchanged (typical when a
+    /// sibling subtree dominates — e.g. packing one node of a mostly-free
+    /// pool), making the common update O(1) amortized.
+    fn update(&mut self, idx: usize, node: &NodeFree) {
+        let mut i = self.base + idx;
+        self.max_cores[i] = node.cores.count_ones() as u16;
+        self.max_gpus[i] = node.gpus.count_ones() as u16;
+        self.max_mem[i] = node.mem_gb;
+        i /= 2;
+        while i >= 1 {
+            let before = (self.max_cores[i], self.max_gpus[i], self.max_mem[i]);
+            self.pull_up(i);
+            if (self.max_cores[i], self.max_gpus[i], self.max_mem[i]) == before {
+                break;
+            }
+            i /= 2;
+        }
+    }
+
+    /// Refresh every leaf and rebuild all internal maxima in one O(n)
+    /// bottom-up pass. Cheaper than per-leaf `update` when a single
+    /// placement touches a large fraction of the pool (wide MPI jobs:
+    /// k·log n pull-ups vs n+k work).
+    fn rebuild(&mut self, nodes: &[NodeFree]) {
+        for (i, node) in nodes.iter().enumerate() {
+            self.max_cores[self.base + i] = node.cores.count_ones() as u16;
+            self.max_gpus[self.base + i] = node.gpus.count_ones() as u16;
+            self.max_mem[self.base + i] = node.mem_gb;
+        }
+        for i in (1..self.base).rev() {
+            self.pull_up(i);
+        }
+    }
+
+    /// Leftmost node index `>= lo` whose free counts satisfy the rank
+    /// thresholds, or `None`.
+    fn find_first(&self, lo: usize, cores: u16, gpus: u16, mem: u32) -> Option<usize> {
+        if self.n == 0 || lo >= self.n {
+            return None;
+        }
+        // Fast path: when `lo` itself is eligible it is by definition the
+        // leftmost answer — the shape of every Pack alloc on a mostly-free
+        // pool (the `first_not_full` node keeps fitting), restoring the
+        // O(1) behavior the linear scan had there.
+        let leaf = self.base + lo;
+        if self.max_cores[leaf] >= cores && self.max_gpus[leaf] >= gpus && self.max_mem[leaf] >= mem
+        {
+            return Some(lo);
+        }
+        self.descend(1, 0, self.base, lo, cores, gpus, mem)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        i: usize,
+        seg_lo: usize,
+        seg_hi: usize,
+        lo: usize,
+        cores: u16,
+        gpus: u16,
+        mem: u32,
+    ) -> Option<usize> {
+        if seg_hi <= lo || seg_lo >= self.n {
+            return None;
+        }
+        if self.max_cores[i] < cores || self.max_gpus[i] < gpus || self.max_mem[i] < mem {
+            return None;
+        }
+        if seg_hi - seg_lo == 1 {
+            return Some(seg_lo);
+        }
+        let mid = seg_lo.midpoint(seg_hi);
+        self.descend(2 * i, seg_lo, mid, lo, cores, gpus, mem)
+            .or_else(|| self.descend(2 * i + 1, mid, seg_hi, lo, cores, gpus, mem))
+    }
+}
+
 /// Occupancy bookkeeping over a fixed set of nodes.
 ///
 /// ```
@@ -167,6 +322,33 @@ pub struct ResourcePool {
     /// scan accelerator — never changes placement decisions, because only
     /// exhausted nodes are skipped.
     first_not_full: usize,
+    /// Count-maxima segment tree answering "leftmost node where a rank
+    /// fits" in O(log n); returns exactly what the linear first-fit scan
+    /// would (see [`FitIndex`]).
+    index: FitIndex,
+    /// Whether the index's maxima lag the free state. Wide placements
+    /// (a large fraction of the pool) mark the index stale instead of
+    /// paying an O(n) rebuild per commit; planning falls back to the
+    /// always-correct linear scan while stale, and the next narrow
+    /// `try_alloc` repairs the index with a single rebuild. Workloads of
+    /// mostly-wide jobs therefore never rebuild at all.
+    index_stale: bool,
+    /// Monotone state stamp: bumped by every committed alloc/free, so
+    /// cached plans can tell whether the free state they saw is current.
+    version: u64,
+    /// One-slot memo of the most recent plan. Schedulers probe feasibility
+    /// (`fits_now`) and then commit (`try_alloc`) with the same request,
+    /// and re-probe blocked queue heads after every event; both patterns
+    /// hit this slot and skip the whole planning pass.
+    plan_cache: RefCell<Option<PlanCache>>,
+}
+
+/// See [`ResourcePool::plan_cache`].
+#[derive(Debug, Clone)]
+struct PlanCache {
+    version: u64,
+    req: ResourceRequest,
+    plan: Option<Placement>,
 }
 
 impl ResourcePool {
@@ -186,12 +368,17 @@ impl ResourcePool {
             .collect();
         let free_cores = nodes.len() as u64 * spec.cores as u64;
         let free_gpus = nodes.len() as u64 * spec.gpus as u64;
+        let index = FitIndex::build(&nodes);
         ResourcePool {
             spec,
             nodes,
             free_cores,
             free_gpus,
             first_not_full: 0,
+            index,
+            index_stale: false,
+            version: 0,
+            plan_cache: RefCell::new(None),
         }
     }
 
@@ -287,6 +474,24 @@ impl ResourcePool {
         by_cores.min(by_gpus).min(by_mem)
     }
 
+    /// Clone for what-if planning (backfill shadow pools): identical
+    /// placement behavior through the linear planner, but no [`FitIndex`]
+    /// maintenance — a throwaway clone that frees many wide placements
+    /// would otherwise pay an O(n) index rebuild per free.
+    pub fn scratch_clone(&self) -> ResourcePool {
+        ResourcePool {
+            spec: self.spec,
+            nodes: self.nodes.clone(),
+            free_cores: self.free_cores,
+            free_gpus: self.free_gpus,
+            first_not_full: self.first_not_full,
+            index: FitIndex::disabled(),
+            index_stale: false,
+            version: self.version,
+            plan_cache: self.plan_cache.clone(),
+        }
+    }
+
     /// Try to place `req`. On success every rank's cores/GPUs are marked
     /// busy and the exact placement is returned; on failure the pool is
     /// untouched. Placement is deterministic: first-fit in node order.
@@ -299,8 +504,25 @@ impl ResourcePool {
             return None;
         }
 
-        let plan = self.plan(req)?;
-        // Commit.
+        let indexed = !self.index.is_disabled();
+        // A narrow request wants the indexed planner; repair a stale index
+        // first. One O(n) rebuild here amortizes every wide commit since
+        // the last narrow alloc.
+        if indexed && self.index_stale && (req.ranks as usize) * 8 < self.nodes.len() {
+            self.index.rebuild(&self.nodes);
+            self.index_stale = false;
+        }
+
+        let plan = self.plan_cached(req)?;
+        self.version += 1;
+        // Commit. Ranks on the same node are consecutive in plan order, so
+        // one index refresh per touched node suffices; a placement touching
+        // a large fraction of the pool just marks the index stale — the
+        // next narrow alloc rebuilds it once, and all-wide workloads never
+        // pay for it.
+        let maintain = indexed && !self.index_stale;
+        let wide = plan.ranks.len() * 8 >= self.nodes.len();
+        let mut dirty: Option<u32> = None;
         for r in &plan.ranks {
             let n = &mut self.nodes[r.node_idx as usize];
             debug_assert_eq!(n.cores & r.core_mask, r.core_mask, "double-booked cores");
@@ -311,6 +533,20 @@ impl ResourcePool {
             n.mem_gb -= r.mem_gb;
             self.free_cores -= r.core_mask.count_ones() as u64;
             self.free_gpus -= r.gpu_mask.count_ones() as u64;
+            if maintain && !wide {
+                if dirty.is_some_and(|d| d != r.node_idx) {
+                    let d = dirty.expect("checked") as usize;
+                    self.index.update(d, &self.nodes[d]);
+                }
+                dirty = Some(r.node_idx);
+            }
+        }
+        if maintain {
+            if wide {
+                self.index_stale = true;
+            } else if let Some(d) = dirty {
+                self.index.update(d as usize, &self.nodes[d as usize]);
+            }
         }
         while self.first_not_full < self.nodes.len() {
             let n = &self.nodes[self.first_not_full];
@@ -324,7 +560,151 @@ impl ResourcePool {
     }
 
     /// Plan without committing (used by backfill look-ahead).
+    ///
+    /// Hybrid dispatch: narrow requests (the single-core tasks that
+    /// dominate every experiment) go through the [`FitIndex`]-driven
+    /// planner, amortized O(log n) per placed rank; requests whose rank
+    /// count is a large fraction of the pool fall back to the linear scan,
+    /// whose O(n + k) beats k·log n there. Both planners return identical
+    /// placements (differential tests prove it), so the cutover is purely
+    /// a cost decision.
     fn plan(&self, req: &ResourceRequest) -> Option<Placement> {
+        if self.index.is_disabled()
+            || self.index_stale
+            || req.ranks as usize * 8 >= self.nodes.len()
+        {
+            self.plan_linear(req)
+        } else {
+            self.plan_indexed(req)
+        }
+    }
+
+    /// Index-driven planner: jump between eligible nodes via
+    /// [`FitIndex::find_first`] instead of scanning every node. Placements
+    /// are identical to [`ResourcePool::plan_linear`]: the index descent is
+    /// left-biased, eligibility is the same count-based predicate `carve`
+    /// uses, and ties therefore resolve to the same node in the same order.
+    fn plan_indexed(&self, req: &ResourceRequest) -> Option<Placement> {
+        let mut ranks = Vec::with_capacity(req.ranks as usize);
+        match req.policy {
+            PlacementPolicy::Pack => {
+                let mut remaining = req.ranks;
+                // Skip the fully-busy prefix (pure acceleration, exactly as
+                // the linear scan did).
+                let mut next = self.first_not_full;
+                while remaining > 0 {
+                    let idx = self.index.find_first(
+                        next,
+                        req.cores_per_rank,
+                        req.gpus_per_rank,
+                        req.mem_per_rank_gb,
+                    )?;
+                    let n = &self.nodes[idx];
+                    // Local shadow masks so later ranks of this same request
+                    // see the resources its earlier ranks already carved.
+                    let mut cores = n.cores;
+                    let mut gpus = n.gpus;
+                    let mut mem = n.mem_gb;
+                    while remaining > 0 {
+                        let Some((cm, gm)) = carve(
+                            cores,
+                            gpus,
+                            mem,
+                            req.cores_per_rank,
+                            req.gpus_per_rank,
+                            req.mem_per_rank_gb,
+                        ) else {
+                            break;
+                        };
+                        cores &= !cm;
+                        gpus &= !gm;
+                        mem -= req.mem_per_rank_gb;
+                        ranks.push(RankPlacement {
+                            node: n.id,
+                            node_idx: idx as u32,
+                            core_mask: cm,
+                            gpu_mask: gm,
+                            mem_gb: req.mem_per_rank_gb,
+                        });
+                        remaining -= 1;
+                    }
+                    next = idx + 1;
+                }
+            }
+            PlacementPolicy::Spread => {
+                let mut remaining = req.ranks;
+                let mut next = 0usize;
+                while remaining > 0 {
+                    let idx = self.index.find_first(
+                        next,
+                        req.cores_per_rank,
+                        req.gpus_per_rank,
+                        req.mem_per_rank_gb,
+                    )?;
+                    let n = &self.nodes[idx];
+                    let (cm, gm) = carve(
+                        n.cores,
+                        n.gpus,
+                        n.mem_gb,
+                        req.cores_per_rank,
+                        req.gpus_per_rank,
+                        req.mem_per_rank_gb,
+                    )
+                    .expect("index said the rank fits");
+                    ranks.push(RankPlacement {
+                        node: n.id,
+                        node_idx: idx as u32,
+                        core_mask: cm,
+                        gpu_mask: gm,
+                        mem_gb: req.mem_per_rank_gb,
+                    });
+                    remaining -= 1;
+                    next = idx + 1;
+                }
+            }
+            PlacementPolicy::NodeExclusive => {
+                // A node is fully free iff its free *counts* equal the spec
+                // (free masks are subsets of the full mask, so count
+                // equality implies mask equality) — answerable by the same
+                // index query with full-node thresholds.
+                let full_cores = mask_of(self.spec.cores);
+                let full_gpus = mask_of(self.spec.gpus) as u16;
+                let mut remaining = req.ranks;
+                let mut next = 0usize;
+                while remaining > 0 {
+                    let idx = self.index.find_first(
+                        next,
+                        self.spec.cores,
+                        self.spec.gpus,
+                        self.spec.mem_gb,
+                    )?;
+                    let n = &self.nodes[idx];
+                    debug_assert!(
+                        n.cores == full_cores
+                            && n.gpus == full_gpus
+                            && n.mem_gb == self.spec.mem_gb
+                    );
+                    ranks.push(RankPlacement {
+                        node: n.id,
+                        node_idx: idx as u32,
+                        core_mask: full_cores,
+                        gpu_mask: full_gpus,
+                        mem_gb: self.spec.mem_gb,
+                    });
+                    remaining -= 1;
+                    next = idx + 1;
+                }
+            }
+        }
+        Some(Placement { ranks })
+    }
+
+    /// The original O(nodes) linear first-fit scan, kept verbatim. It is
+    /// both the reference implementation for differential tests (`plan`
+    /// must return placement-for-placement identical results) and the
+    /// production path for wide requests, where one sweep over the node
+    /// array beats `ranks` separate index descents.
+    fn plan_linear(&self, req: &ResourceRequest) -> Option<Placement> {
         let mut ranks = Vec::with_capacity(req.ranks as usize);
         match req.policy {
             PlacementPolicy::Pack => {
@@ -432,12 +812,35 @@ impl ResourcePool {
         {
             return false;
         }
-        self.plan(req).is_some()
+        self.plan_cached(req).is_some()
+    }
+
+    /// Plan through the one-slot memo: a hit costs one `u64` compare and a
+    /// `Placement` clone instead of a planning pass. Correct because the
+    /// planner is a pure function of the free state (stamped by
+    /// `version`) and the request.
+    fn plan_cached(&self, req: &ResourceRequest) -> Option<Placement> {
+        if let Some(c) = self.plan_cache.borrow().as_ref() {
+            if c.version == self.version && c.req == *req {
+                return c.plan.clone();
+            }
+        }
+        let plan = self.plan(req);
+        *self.plan_cache.borrow_mut() = Some(PlanCache {
+            version: self.version,
+            req: *req,
+            plan: plan.clone(),
+        });
+        plan
     }
 
     /// Return a placement's resources to the pool. Freeing resources that
     /// are not currently busy is a bookkeeping bug and panics.
     pub fn free(&mut self, placement: &Placement) {
+        self.version += 1;
+        let maintain = !self.index.is_disabled() && !self.index_stale;
+        let wide = placement.ranks.len() * 8 >= self.nodes.len();
+        let mut dirty: Option<u32> = None;
         for r in &placement.ranks {
             let n = &mut self.nodes[r.node_idx as usize];
             assert_eq!(
@@ -463,6 +866,20 @@ impl ResourcePool {
             self.free_cores += r.core_mask.count_ones() as u64;
             self.free_gpus += r.gpu_mask.count_ones() as u64;
             self.first_not_full = self.first_not_full.min(r.node_idx as usize);
+            if maintain && !wide {
+                if dirty.is_some_and(|d| d != r.node_idx) {
+                    let d = dirty.expect("checked") as usize;
+                    self.index.update(d, &self.nodes[d]);
+                }
+                dirty = Some(r.node_idx);
+            }
+        }
+        if maintain {
+            if wide {
+                self.index_stale = true;
+            } else if let Some(d) = dirty {
+                self.index.update(d as usize, &self.nodes[d as usize]);
+            }
         }
         debug_assert!(self.free_cores <= self.total_cores());
         debug_assert!(self.free_gpus <= self.total_gpus());
@@ -671,6 +1088,137 @@ mod tests {
         assert_eq!(p.free_cores(), free_before_drop + 3);
         let big = ResourceRequest::single(1, 0).with_mem(512);
         assert!(p.try_alloc(&big).is_some(), "full-node memory free again");
+    }
+
+    /// Exercise the indexed planner against the linear scan over a long
+    /// randomized alloc/free churn covering every policy, asserting
+    /// placement-for-placement equality at every step. `plan_indexed` is
+    /// called directly (not via the hybrid `plan` dispatcher) so wide
+    /// requests also take the index path here, proving the dispatch cutover
+    /// is purely a cost decision and never changes results.
+    /// A scratch clone must make exactly the same alloc/free decisions as
+    /// the indexed pool it was cloned from (backfill shadows depend on it).
+    #[test]
+    fn scratch_clone_matches_indexed_pool() {
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = pool(64);
+        let mut scratch = p.scratch_clone();
+        let mut live: Vec<Placement> = Vec::new();
+        for _ in 0..800 {
+            let r = rng();
+            if r % 5 < 3 || live.is_empty() {
+                let req = match r % 4 {
+                    0 => ResourceRequest::single(1, 0),
+                    1 => ResourceRequest::single((r as u16 % 56) + 1, r as u16 % 3),
+                    2 => ResourceRequest::mpi((r as u32 % 24) + 1, 56, 2),
+                    _ => ResourceRequest::single(2, 1).with_mem((r as u32 % 300) + 1),
+                };
+                let a = p.try_alloc(&req);
+                let b = scratch.try_alloc(&req);
+                assert_eq!(a, b, "alloc divergence for {req:?}");
+                if let Some(pl) = a {
+                    live.push(pl);
+                }
+            } else {
+                let pl = live.swap_remove(r as usize % live.len());
+                p.free(&pl);
+                scratch.free(&pl);
+            }
+            assert_eq!(p.free_cores(), scratch.free_cores());
+            assert_eq!(p.free_gpus(), scratch.free_gpus());
+        }
+    }
+
+    #[test]
+    fn indexed_plan_matches_linear_reference() {
+        // Deterministic xorshift so the test is reproducible without deps.
+        let mut state = 0x9E37_79B9_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = pool(17); // odd size: exercises segment-tree padding
+        let mut held: Vec<Placement> = Vec::new();
+        for step in 0..4000 {
+            let r = rng();
+            let req = match r % 7 {
+                0 => ResourceRequest::single(1, 0),
+                1 => ResourceRequest::single((r as u16 % 56) + 1, r as u16 % 3),
+                2 => ResourceRequest::single(2, 1).with_mem((r as u32 % 300) + 1),
+                3 => ResourceRequest::mpi((r as u32 % 6) + 1, 8, 1),
+                4 => ResourceRequest {
+                    ranks: (r as u32 % 3) + 1,
+                    cores_per_rank: 1,
+                    gpus_per_rank: 0,
+                    mem_per_rank_gb: 0,
+                    policy: PlacementPolicy::NodeExclusive,
+                },
+                5 => ResourceRequest::single(0, 1), // GPU-only rank
+                _ => ResourceRequest {
+                    ranks: (r as u32 % 90) + 1,
+                    cores_per_rank: 3,
+                    gpus_per_rank: 0,
+                    mem_per_rank_gb: 2,
+                    policy: PlacementPolicy::Pack,
+                },
+            };
+            // `plan_indexed` is only ever consulted on a fresh index (the
+            // `plan` dispatcher routes stale pools to the linear scan), so
+            // repair staleness before comparing the two planners.
+            if p.index_stale {
+                p.index.rebuild(&p.nodes);
+                p.index_stale = false;
+            }
+            assert_eq!(
+                p.plan_indexed(&req),
+                p.plan_linear(&req),
+                "divergence at step {step} for {req:?}"
+            );
+            // Mutate: alloc (keeping the placement) or free a random hold.
+            if r % 3 != 0 || held.is_empty() {
+                if let Some(pl) = p.try_alloc(&req) {
+                    held.push(pl);
+                }
+            } else {
+                let i = (r as usize / 7) % held.len();
+                let pl = held.swap_remove(i);
+                p.free(&pl);
+            }
+        }
+        // Drain and confirm the index agrees on the fully-free pool too.
+        for pl in held.drain(..) {
+            p.free(&pl);
+        }
+        if p.index_stale {
+            p.index.rebuild(&p.nodes);
+            p.index_stale = false;
+        }
+        let req = ResourceRequest::mpi(17, 56, 8);
+        assert_eq!(p.plan_indexed(&req), p.plan_linear(&req));
+        assert_eq!(p.free_cores(), p.total_cores());
+    }
+
+    /// The `first_not_full` accelerator must interact with the index the
+    /// same way it did with the linear scan: a GPU-only request must still
+    /// find a node whose cores are exhausted but whose GPUs are free.
+    #[test]
+    fn gpu_only_request_finds_core_exhausted_node() {
+        let mut p = pool(2);
+        // Exhaust node 0's cores, leaving its GPUs free.
+        let filler = p.try_alloc(&ResourceRequest::single(56, 0)).unwrap();
+        assert_eq!(filler.ranks[0].node, NodeId(0));
+        let req = ResourceRequest::single(0, 1);
+        assert_eq!(p.plan_indexed(&req), p.plan_linear(&req));
+        let pl = p.try_alloc(&req).expect("gpu free on node 0");
+        assert_eq!(pl.ranks[0].node, NodeId(0), "must not skip node 0");
     }
 
     #[test]

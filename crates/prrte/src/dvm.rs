@@ -15,8 +15,8 @@
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym, NO_UID};
-use rp_sim::{Dist, RngStream, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// Interned profiler symbols: HNP launch spans on `<comp>.hnp` (the HNP is
 /// serial, so spans never overlap), DVM lifecycle and task instants on the
@@ -79,7 +79,7 @@ pub struct PrrteDvm {
     launch_cost: Dist,
     boot_cost: Dist,
     rng: RngStream,
-    in_flight: HashMap<u64, PrrteTask>,
+    in_flight: FxHashMap<u64, PrrteTask>,
     completed: u64,
     alive: bool,
     prof: Profiler,
@@ -99,7 +99,7 @@ impl PrrteDvm {
             launch_cost: cal.prrte_launch_cost(alloc.count),
             boot_cost: cal.prrte_bootstrap(alloc.count),
             rng: RngStream::derive(seed, "prrte-dvm"),
-            in_flight: HashMap::new(),
+            in_flight: FxHashMap::default(),
             completed: 0,
             alive: true,
             prof: Profiler::disabled(),
@@ -155,26 +155,28 @@ impl PrrteDvm {
         self.queue.is_empty() && self.in_flight.is_empty()
     }
 
-    /// Start the DVM daemons.
-    pub fn boot(&mut self) -> Vec<PrrteAction> {
+    /// Start the DVM daemons. Actions are appended to `out` — callers
+    /// reuse one buffer so the hot path stays allocation-free.
+    pub fn boot(&mut self, out: &mut Vec<PrrteAction>) {
         if let Some(s) = &self.syms {
             self.prof.instant(s.comp, NO_UID, s.dvm_boot);
         }
         let cost = self.boot_cost.sample(&mut self.rng);
-        vec![PrrteAction::Timer {
+        out.push(PrrteAction::Timer {
             after: cost,
             token: PrrteToken::DvmReady,
-        }]
+        });
     }
 
-    /// Submit a placed task for launch (FIFO through the HNP).
-    pub fn submit(&mut self, task: PrrteTask) -> Vec<PrrteAction> {
+    /// Submit a placed task for launch (FIFO through the HNP). Actions
+    /// are appended to `out`.
+    pub fn submit(&mut self, task: PrrteTask, out: &mut Vec<PrrteAction>) {
         if let Some(m) = &self.metrics {
             let contended = !self.ready || self.hnp_busy || !self.queue.is_empty();
             m.on_submit(task.id, self.queue.len(), contended);
         }
         self.queue.push_back(task);
-        self.pump()
+        self.pump(out);
     }
 
     /// Best-effort cancel of a queued (unlaunched) task.
@@ -215,10 +217,10 @@ impl PrrteDvm {
         lost
     }
 
-    /// Deliver a timer token.
-    pub fn on_token(&mut self, _now: SimTime, token: PrrteToken) -> Vec<PrrteAction> {
+    /// Deliver a timer token. Actions are appended to `out`.
+    pub fn on_token(&mut self, _now: SimTime, token: PrrteToken, out: &mut Vec<PrrteAction>) {
         if !self.alive {
-            return Vec::new();
+            return;
         }
         match token {
             PrrteToken::DvmReady => {
@@ -226,9 +228,8 @@ impl PrrteDvm {
                 if let Some(s) = &self.syms {
                     self.prof.instant(s.comp, NO_UID, s.dvm_ready);
                 }
-                let mut out = vec![PrrteAction::Ready];
-                out.extend(self.pump());
-                out
+                out.push(PrrteAction::Ready);
+                self.pump(out);
             }
             PrrteToken::Launched(id) => {
                 self.hnp_busy = false;
@@ -241,15 +242,12 @@ impl PrrteDvm {
                 if let Some(m) = &self.metrics {
                     m.on_started(id);
                 }
-                let mut out = vec![
-                    PrrteAction::Started(id),
-                    PrrteAction::Timer {
-                        after: task.duration,
-                        token: PrrteToken::Done(id),
-                    },
-                ];
-                out.extend(self.pump());
-                out
+                out.push(PrrteAction::Started(id));
+                out.push(PrrteAction::Timer {
+                    after: task.duration,
+                    token: PrrteToken::Done(id),
+                });
+                self.pump(out);
             }
             PrrteToken::Done(id) => {
                 self.in_flight.remove(&id).expect("done unknown task");
@@ -261,17 +259,17 @@ impl PrrteDvm {
                     self.prof
                         .instant_detail(s.comp, id, s.finish, self.in_flight.len() as f64);
                 }
-                vec![PrrteAction::Completed(id)]
+                out.push(PrrteAction::Completed(id));
             }
         }
     }
 
-    fn pump(&mut self) -> Vec<PrrteAction> {
+    fn pump(&mut self, out: &mut Vec<PrrteAction>) {
         if !self.ready || self.hnp_busy {
-            return Vec::new();
+            return;
         }
         let Some(task) = self.queue.pop_front() else {
-            return Vec::new();
+            return;
         };
         self.hnp_busy = true;
         if let Some(m) = &self.metrics {
@@ -283,10 +281,10 @@ impl PrrteDvm {
         }
         let cost = self.launch_cost.sample(&mut self.rng);
         self.in_flight.insert(task.id, task);
-        vec![PrrteAction::Timer {
+        out.push(PrrteAction::Timer {
             after: cost,
             token: PrrteToken::Launched(task.id),
-        }]
+        });
     }
 }
 
@@ -329,15 +327,34 @@ mod tests {
                 }
             }
         };
-        let acts = d.boot();
-        sink(acts, 0, &mut heap, &mut seq, &mut starts);
+        let mut acts = Vec::new();
+        d.boot(&mut acts);
+        sink(
+            std::mem::take(&mut acts),
+            0,
+            &mut heap,
+            &mut seq,
+            &mut starts,
+        );
         for t in tasks {
-            let acts = d.submit(t);
-            sink(acts, 0, &mut heap, &mut seq, &mut starts);
+            d.submit(t, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                0,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+            );
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = d.on_token(SimTime::from_micros(t), tok);
-            sink(acts, t, &mut heap, &mut seq, &mut starts);
+            d.on_token(SimTime::from_micros(t), tok, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+            );
         }
         assert!(d.is_idle());
         (starts, d)
@@ -381,31 +398,26 @@ mod tests {
     #[test]
     fn kill_loses_everything_for_rp_to_recover() {
         let mut d = dvm(4);
-        let _ = d.boot();
+        d.boot(&mut Vec::new());
         for t in nulls(5) {
-            let _ = d.submit(t);
+            d.submit(t, &mut Vec::new());
         }
         let lost = d.kill();
         assert_eq!(lost.len(), 5);
         assert!(!d.is_alive());
-        assert!(
-            d.submit(PrrteTask {
-                id: 99,
-                duration: SimDuration::ZERO
-            })
-            .is_empty()
-                || !d.is_alive()
-        );
     }
 
     #[test]
     fn cancel_removes_queued_only() {
         let mut d = dvm(4);
-        let _ = d.boot();
-        let _ = d.submit(PrrteTask {
-            id: 1,
-            duration: SimDuration::from_secs(10),
-        });
+        d.boot(&mut Vec::new());
+        d.submit(
+            PrrteTask {
+                id: 1,
+                duration: SimDuration::from_secs(10),
+            },
+            &mut Vec::new(),
+        );
         assert!(d.cancel(1), "still queued pre-ready");
         assert!(!d.cancel(1), "already gone");
     }

@@ -31,15 +31,37 @@ fn drive(mut dvm: PrrteDvm, tasks: Vec<PrrteTask>) -> (usize, usize, PrrteDvm) {
             }
         }
     };
-    let acts = dvm.boot();
-    sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+    let mut acts = Vec::new();
+    dvm.boot(&mut acts);
+    sink(
+        std::mem::take(&mut acts),
+        0,
+        &mut heap,
+        &mut seq,
+        &mut started,
+        &mut completed,
+    );
     for t in tasks {
-        let acts = dvm.submit(t);
-        sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+        dvm.submit(t, &mut acts);
+        sink(
+            std::mem::take(&mut acts),
+            0,
+            &mut heap,
+            &mut seq,
+            &mut started,
+            &mut completed,
+        );
     }
     while let Some(Reverse((t, _, tok))) = heap.pop() {
-        let acts = dvm.on_token(SimTime::from_micros(t), tok);
-        sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+        dvm.on_token(SimTime::from_micros(t), tok, &mut acts);
+        sink(
+            std::mem::take(&mut acts),
+            t,
+            &mut heap,
+            &mut seq,
+            &mut started,
+            &mut completed,
+        );
     }
     (started, completed, dvm)
 }
@@ -85,12 +107,15 @@ fn cancel_accounting() {
             count: 4,
         };
         let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
-        let _ = dvm.boot();
+        dvm.boot(&mut Vec::new());
         for i in 0..n as u64 {
-            let _ = dvm.submit(PrrteTask {
-                id: i,
-                duration: SimDuration::ZERO,
-            });
+            dvm.submit(
+                PrrteTask {
+                    id: i,
+                    duration: SimDuration::ZERO,
+                },
+                &mut Vec::new(),
+            );
         }
         let mut canceled = 0;
         for i in 0..cancel_count as u64 {
@@ -120,12 +145,15 @@ fn kill_returns_everything() {
             count: 4,
         };
         let mut dvm = PrrteDvm::new(&alloc, &Calibration::frontier(), 7);
-        let _ = dvm.boot();
+        dvm.boot(&mut Vec::new());
         for i in 0..n as u64 {
-            let _ = dvm.submit(PrrteTask {
-                id: i,
-                duration: SimDuration::from_secs(60),
-            });
+            dvm.submit(
+                PrrteTask {
+                    id: i,
+                    duration: SimDuration::from_secs(60),
+                },
+                &mut Vec::new(),
+            );
         }
         let mut lost = dvm.kill();
         lost.sort_unstable();

@@ -127,6 +127,14 @@ pub struct Engine<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     clock: SimClock,
     samplers: Vec<Sampler>,
+    /// Earliest pending sampler boundary (`None` when no samplers are
+    /// registered). Lets `step()` skip the sampler scan entirely on the
+    /// overwhelmingly common deliveries that cross no boundary.
+    samplers_next: Option<SimTime>,
+    /// Reusable outbox buffer handed to actors via [`Ctx`]; drained back
+    /// into the heap after each delivery so the steady state allocates
+    /// nothing per event.
+    outbox_pool: Vec<(SimTime, ActorId, M)>,
 }
 
 /// A periodic observer registered with [`Engine::add_sampler`].
@@ -154,6 +162,8 @@ impl<M> Engine<M> {
             actors: Vec::new(),
             clock: SimClock::new(),
             samplers: Vec::new(),
+            samplers_next: None,
+            outbox_pool: Vec::new(),
         }
     }
 
@@ -172,10 +182,11 @@ impl<M> Engine<M> {
     /// the state as of the sampling instant).
     pub fn add_sampler(&mut self, period: SimDuration, f: Box<dyn FnMut(SimTime)>) {
         assert!(!period.is_zero(), "sampler period must be positive");
-        self.samplers.push(Sampler {
-            period,
-            next: self.now + period,
-            f,
+        let next = self.now + period;
+        self.samplers.push(Sampler { period, next, f });
+        self.samplers_next = Some(match self.samplers_next {
+            Some(t) => t.min(next),
+            None => next,
         });
     }
 
@@ -228,7 +239,9 @@ impl<M> Engine<M> {
             return false;
         };
         debug_assert!(env.at >= self.now, "event time went backwards");
-        self.fire_samplers(env.at);
+        if self.samplers_next.is_some_and(|t| t <= env.at) {
+            self.fire_samplers(env.at);
+        }
         self.now = env.at;
         self.clock.set(self.now);
         self.delivered += 1;
@@ -240,12 +253,12 @@ impl<M> Engine<M> {
         let mut ctx = Ctx {
             now: self.now,
             self_id: env.dst,
-            outbox: Vec::new(),
+            outbox: std::mem::take(&mut self.outbox_pool),
         };
         actor.handle(env.msg, &mut ctx);
         self.actors[slot] = Some(actor);
 
-        for (at, dst, msg) in ctx.outbox {
+        for (at, dst, msg) in ctx.outbox.drain(..) {
             self.heap.push(Envelope {
                 at,
                 seq: self.seq,
@@ -254,12 +267,17 @@ impl<M> Engine<M> {
             });
             self.seq += 1;
         }
+        self.outbox_pool = ctx.outbox;
         self.peak_queue = self.peak_queue.max(self.heap.len());
         true
     }
 
     /// Fire every sampler boundary at or before `upto`, in chronological
-    /// order across samplers.
+    /// order across samplers. Ties across samplers keep firing in the same
+    /// order as always (`min_by_key` returns the *last* minimal element, so
+    /// the latest-registered sampler wins a shared boundary) — callers gate
+    /// on `samplers_next`, which only short-circuits the scan, never
+    /// reorders it.
     fn fire_samplers(&mut self, upto: SimTime) {
         while let Some((i, t)) = self
             .samplers
@@ -274,6 +292,7 @@ impl<M> Engine<M> {
             (s.f)(t);
             s.next = t + s.period;
         }
+        self.samplers_next = self.samplers.iter().map(|s| s.next).min();
     }
 
     /// Run until no messages remain. Returns the final virtual time.
@@ -302,9 +321,10 @@ impl<M> Engine<M> {
             }
             self.step();
         }
-        let target = self
-            .now
-            .max(horizon.min(self.heap.peek().map(|e| e.at).unwrap_or(horizon)));
+        // After the pop loop any pending event is already past `horizon`,
+        // so the target is simply the horizon (or `now` if the engine had
+        // already run past it before this call).
+        let target = self.now.max(horizon);
         self.fire_samplers(target);
         self.now = target;
         self.clock.set(self.now);
@@ -399,6 +419,90 @@ mod tests {
         // remaining messages still pending
         let end = eng.run_until_idle(1_000);
         assert_eq!(end, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_advances_to_horizon_on_empty_heap() {
+        let mut eng: Engine<Msg> = Engine::new();
+        let samples = {
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let samples = Rc::new(RefCell::new(Vec::new()));
+            let sink = samples.clone();
+            eng.add_sampler(
+                SimDuration::from_secs(2),
+                Box::new(move |t| sink.borrow_mut().push(t)),
+            );
+            samples
+        };
+        // Nothing queued at all: the clock must still advance to the horizon
+        // and sampler boundaries inside it must fire.
+        let end = eng.run_until(SimTime::from_secs(5));
+        assert_eq!(end, SimTime::from_secs(5));
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(
+            *samples.borrow(),
+            vec![SimTime::from_secs(2), SimTime::from_secs(4)]
+        );
+    }
+
+    #[test]
+    fn run_until_with_pending_later_event_stops_exactly_at_horizon() {
+        let mut eng = Engine::new();
+        let id = eng.add_actor(Box::new(Echo { log: vec![] }));
+        eng.schedule(SimTime::from_secs(10), id, Msg::Tick);
+        // The only pending event is past the horizon: it must stay queued
+        // and the clock must land exactly on the horizon, not on the event.
+        let end = eng.run_until(SimTime::from_secs(4));
+        assert_eq!(end, SimTime::from_secs(4));
+        assert_eq!(eng.queue_depth(), 1);
+        // A horizon behind the clock is a no-op (time never goes backwards).
+        let end = eng.run_until(SimTime::from_secs(1));
+        assert_eq!(end, SimTime::from_secs(4));
+        let end = eng.run_until_idle(100);
+        assert_eq!(end, SimTime::from_secs(10));
+        assert_eq!(eng.delivered(), 1);
+    }
+
+    #[test]
+    fn outbox_pool_preserves_fifo_across_steps() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A fan-out actor that sends several same-instant messages per
+        // delivery: the pooled outbox must preserve scheduling order
+        // exactly as the fresh-Vec-per-delivery implementation did.
+        struct Fan {
+            sink: ActorId,
+        }
+        impl Actor<u32> for Fan {
+            fn handle(&mut self, msg: u32, ctx: &mut Ctx<u32>) {
+                if msg < 3 {
+                    for k in 0..4 {
+                        ctx.send(self.sink, msg * 10 + k);
+                    }
+                    ctx.timer(SimDuration::from_secs(1), msg + 1);
+                }
+            }
+        }
+        struct Collect {
+            seen: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Actor<u32> for Collect {
+            fn handle(&mut self, msg: u32, _ctx: &mut Ctx<u32>) {
+                self.seen.borrow_mut().push(msg);
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut eng: Engine<u32> = Engine::new();
+        let sink = eng.add_actor(Box::new(Collect { seen: seen.clone() }));
+        let fan = eng.add_actor(Box::new(Fan { sink }));
+        eng.schedule(SimTime::ZERO, fan, 0);
+        eng.run_until_idle(100);
+        assert_eq!(
+            *seen.borrow(),
+            vec![0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23]
+        );
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Fast, deterministic hashing for hot-path maps.
+//!
+//! The simulation's inner loop is dominated by `HashMap` probes keyed by
+//! small integer ids (task uids, job ids, step ids). `std`'s default
+//! `RandomState` is SipHash-1-3 with a per-map random seed — robust against
+//! adversarial keys, but an order of magnitude slower than necessary for
+//! trusted integer keys, and randomly seeded (map iteration order differs
+//! run to run, so nothing in the simulation may depend on it anyway).
+//!
+//! [`FxHasher`] is the multiply-rotate hash used by the Rust compiler
+//! itself (Firefox's "Fx" hash): one wrapping multiply and a rotate per
+//! word of input. It is deterministic across runs and platforms, which is
+//! strictly *more* reproducible than `RandomState`. It must only be used
+//! for trusted keys (simulation-internal ids), never for attacker-supplied
+//! input — HashDoS resistance is traded away for speed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc/Firefox multiply-rotate hasher over 64-bit words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The golden-ratio multiplier (2^64 / φ), the same constant rustc uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) | (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by trusted simulation-internal ids.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by trusted simulation-internal ids.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in 0..1000u64 {
+            a.insert(i, i * 2);
+            b.insert(i, i * 2);
+        }
+        // Same contents + same (unseeded) hasher => same iteration order.
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let hash = |k: u64| bh.hash_one(k);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("alpha".into(), 1);
+        m.insert("beta".into(), 2);
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert_eq!(m.get("beta"), Some(&2));
+        assert_eq!(m.get("gamma"), None);
+    }
+}

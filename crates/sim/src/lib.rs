@@ -26,13 +26,17 @@
 pub mod clock;
 pub mod dist;
 pub mod engine;
+pub mod fxmap;
 pub mod record;
 pub mod rng;
 pub mod time;
+pub mod uidmap;
 
 pub use clock::SimClock;
 pub use dist::Dist;
 pub use engine::{Actor, ActorId, Ctx, Engine};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use record::Recorder;
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};
+pub use uidmap::UidMap;

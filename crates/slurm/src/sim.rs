@@ -10,16 +10,18 @@
 //!    allocation's node count (`n^0.66`, fitted to the measured
 //!    152 → 61 t/s drop from 1 to 4 nodes).
 //!
-//! Being reactive (methods return [`SrunAction`]s instead of touching a
-//! clock), the machine is driven by the DES engine in experiments and by
-//! plain unit tests without any engine at all.
+//! Being reactive (methods push [`SrunAction`]s into a caller-provided
+//! buffer instead of touching a clock), the machine is driven by the DES
+//! engine in experiments and by plain unit tests without any engine at
+//! all. The out-parameter style lets the driver reuse one buffer across
+//! every call, keeping the per-event hot path allocation-free.
 
 use crate::step::{StepId, StepRequest};
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Calibration, SrunSlots};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{RngStream, SimDuration};
-use std::collections::{HashMap, VecDeque};
+use rp_sim::{FxHashMap, RngStream, SimDuration};
+use std::collections::VecDeque;
 
 /// Interned profiler symbols for the launcher's hook sites.
 #[derive(Debug, Clone)]
@@ -65,7 +67,7 @@ pub struct SrunSim {
     queue: VecDeque<StepRequest>,
     /// Steps past slot-acquisition, keyed by id: payload duration (None for
     /// persistent holds, which release only via `release_persistent`).
-    in_flight: HashMap<StepId, Option<SimDuration>>,
+    in_flight: FxHashMap<StepId, Option<SimDuration>>,
     prof: Profiler,
     syms: Option<ProfSyms>,
     metrics: Option<BackendInstruments>,
@@ -81,7 +83,7 @@ impl SrunSim {
             rng: RngStream::derive(seed, "srun"),
             cal,
             queue: VecDeque::new(),
-            in_flight: HashMap::new(),
+            in_flight: FxHashMap::default(),
             prof: Profiler::disabled(),
             syms: None,
             metrics: None,
@@ -129,21 +131,21 @@ impl SrunSim {
     }
 
     /// Submit a step; it launches immediately if a slot is free, otherwise
-    /// it queues FIFO.
-    pub fn submit(&mut self, step: StepRequest) -> Vec<SrunAction> {
+    /// it queues FIFO. Actions are appended to `out`.
+    pub fn submit(&mut self, step: StepRequest, out: &mut Vec<SrunAction>) {
         if let Some(m) = &self.metrics {
             let contended =
                 !self.queue.is_empty() || self.slots.in_use() >= self.cal.srun_concurrency_ceiling;
             m.on_submit(step.id.0, self.queue.len(), contended);
         }
         self.queue.push_back(step);
-        self.pump()
+        self.pump(out);
     }
 
     /// Acquire a slot held indefinitely (used for the `srun`s that carry
     /// Flux/Dragon instance bootstraps). Queues like any other step; the
     /// driver gets `Started` when the slot is live.
-    pub fn submit_persistent(&mut self, id: StepId, step_nodes: u32) -> Vec<SrunAction> {
+    pub fn submit_persistent(&mut self, id: StepId, step_nodes: u32, out: &mut Vec<SrunAction>) {
         self.queue.push_back(StepRequest {
             id,
             step_nodes,
@@ -151,11 +153,11 @@ impl SrunSim {
         });
         // Mark as persistent before the pump can see it launch.
         self.in_flight.insert(id, None);
-        self.pump()
+        self.pump(out);
     }
 
     /// Release a persistent slot (instance teardown).
-    pub fn release_persistent(&mut self, id: StepId) -> Vec<SrunAction> {
+    pub fn release_persistent(&mut self, id: StepId, out: &mut Vec<SrunAction>) {
         match self.in_flight.remove(&id) {
             Some(None) => {
                 self.slots.release();
@@ -163,7 +165,7 @@ impl SrunSim {
                     self.prof
                         .instant_detail(s.comp, id.0, s.release, self.slots.in_use() as f64);
                 }
-                self.pump()
+                self.pump(out);
             }
             other => panic!("release_persistent({id:?}) on non-persistent entry {other:?}"),
         }
@@ -184,8 +186,8 @@ impl SrunSim {
         }
     }
 
-    /// Deliver a timer token.
-    pub fn on_token(&mut self, token: SrunToken) -> Vec<SrunAction> {
+    /// Deliver a timer token. Actions are appended to `out`.
+    pub fn on_token(&mut self, token: SrunToken, out: &mut Vec<SrunAction>) {
         match token {
             SrunToken::Launched(id) => match self.in_flight.get(&id) {
                 Some(Some(duration)) => {
@@ -193,15 +195,13 @@ impl SrunSim {
                     if let Some(m) = &self.metrics {
                         m.on_started(id.0);
                     }
-                    vec![
-                        SrunAction::Started(id),
-                        SrunAction::Timer {
-                            after: d,
-                            token: SrunToken::Exited(id),
-                        },
-                    ]
+                    out.push(SrunAction::Started(id));
+                    out.push(SrunAction::Timer {
+                        after: d,
+                        token: SrunToken::Exited(id),
+                    });
                 }
-                Some(None) => vec![SrunAction::Started(id)], // persistent hold
+                Some(None) => out.push(SrunAction::Started(id)), // persistent hold
                 None => panic!("Launched token for unknown step {id:?}"),
             },
             SrunToken::Exited(id) => {
@@ -218,16 +218,14 @@ impl SrunSim {
                     self.prof
                         .instant_detail(s.comp, id.0, s.release, self.slots.in_use() as f64);
                 }
-                let mut out = vec![SrunAction::Completed(id)];
-                out.extend(self.pump());
-                out
+                out.push(SrunAction::Completed(id));
+                self.pump(out);
             }
         }
     }
 
     /// Launch queued steps while slots are free.
-    fn pump(&mut self) -> Vec<SrunAction> {
-        let mut out = Vec::new();
+    fn pump(&mut self, out: &mut Vec<SrunAction>) {
         while let Some(head) = self.queue.front() {
             let _ = head;
             if !self.slots.try_acquire() {
@@ -252,7 +250,6 @@ impl SrunSim {
                 token: SrunToken::Launched(step.id),
             });
         }
-        out
     }
 }
 
@@ -295,15 +292,30 @@ mod tests {
             }
         };
 
+        let mut acts = Vec::new();
         for s in steps {
-            let acts = sim.submit(s);
-            apply(acts, now, &mut heap, &mut seq, &mut starts, &mut ends);
+            sim.submit(s, &mut acts);
+            apply(
+                std::mem::take(&mut acts),
+                now,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+                &mut ends,
+            );
         }
         while let Some(Reverse((t, _, token))) = heap.pop() {
             now = t;
             high_water = high_water.max(sim.slots_in_use());
-            let acts = sim.on_token(token);
-            apply(acts, now, &mut heap, &mut seq, &mut starts, &mut ends);
+            sim.on_token(token, &mut acts);
+            apply(
+                std::mem::take(&mut acts),
+                now,
+                &mut heap,
+                &mut seq,
+                &mut starts,
+                &mut ends,
+            );
         }
         (starts, ends, high_water.max(sim.slots_high_water()))
     }
@@ -348,16 +360,18 @@ mod tests {
     fn persistent_slots_reduce_capacity() {
         let mut sim = launcher(4);
         for i in 0..112 {
-            let acts = sim.submit_persistent(StepId(10_000 + i), 1);
+            let mut acts = Vec::new();
+            sim.submit_persistent(StepId(10_000 + i), 1, &mut acts);
             assert!(!acts.is_empty());
         }
         assert_eq!(sim.slots_in_use(), 112);
         // A regular step now queues.
-        let acts = sim.submit(StepRequest::serial(1, SimDuration::ZERO));
+        let mut acts = Vec::new();
+        sim.submit(StepRequest::serial(1, SimDuration::ZERO), &mut acts);
         assert!(acts.is_empty(), "no slot -> no timer yet");
         assert_eq!(sim.queued(), 1);
         // Releasing one persistent slot lets it launch.
-        let acts = sim.release_persistent(StepId(10_000));
+        sim.release_persistent(StepId(10_000), &mut acts);
         assert!(acts.iter().any(|a| matches!(
             a,
             SrunAction::Timer {
@@ -371,16 +385,19 @@ mod tests {
     #[should_panic(expected = "non-persistent")]
     fn release_of_regular_step_panics() {
         let mut sim = launcher(1);
-        sim.submit(StepRequest::serial(3, SimDuration::ZERO));
-        sim.release_persistent(StepId(3));
+        sim.submit(StepRequest::serial(3, SimDuration::ZERO), &mut Vec::new());
+        sim.release_persistent(StepId(3), &mut Vec::new());
     }
 
     #[test]
     fn fifo_order_preserved() {
         let mut sim = launcher(1);
         let mut launched = Vec::new();
+        let mut acts = Vec::new();
         for i in 0..200 {
-            for a in sim.submit(StepRequest::serial(i, SimDuration::ZERO)) {
+            acts.clear();
+            sim.submit(StepRequest::serial(i, SimDuration::ZERO), &mut acts);
+            for a in acts.drain(..) {
                 if let SrunAction::Timer {
                     token: SrunToken::Launched(id),
                     ..

@@ -48,29 +48,47 @@ fn ceiling_and_fifo_hold() {
             }
         };
 
+        let mut acts = Vec::new();
         for (i, d) in durations.iter().enumerate() {
             let is_persistent = persistent.get(i).copied().unwrap_or(false);
-            let acts = if is_persistent {
+            if is_persistent {
                 persistent_ids.push(i as u64);
-                sim.submit_persistent(StepId(i as u64), 1)
+                sim.submit_persistent(StepId(i as u64), 1, &mut acts);
             } else {
                 expected_completions += 1;
-                sim.submit(StepRequest::serial(i as u64, SimDuration::from_secs(*d)))
-            };
-            sink(acts, 0, &mut heap, &mut seq, &mut started, &mut completed);
+                sim.submit(
+                    StepRequest::serial(i as u64, SimDuration::from_secs(*d)),
+                    &mut acts,
+                );
+            }
+            sink(
+                std::mem::take(&mut acts),
+                0,
+                &mut heap,
+                &mut seq,
+                &mut started,
+                &mut completed,
+            );
             assert!(sim.slots_in_use() <= ceiling, "case {case}");
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = sim.on_token(tok);
-            sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+            sim.on_token(tok, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut started,
+                &mut completed,
+            );
             assert!(sim.slots_in_use() <= ceiling, "case {case}");
         }
         // Persistent slots may still be held; release them to drain.
         for id in &persistent_ids {
             if started.contains(id) {
-                let acts = sim.release_persistent(StepId(*id));
+                sim.release_persistent(StepId(*id), &mut acts);
                 sink(
-                    acts,
+                    std::mem::take(&mut acts),
                     u64::MAX / 2,
                     &mut heap,
                     &mut seq,
@@ -80,8 +98,15 @@ fn ceiling_and_fifo_hold() {
             }
         }
         while let Some(Reverse((t, _, tok))) = heap.pop() {
-            let acts = sim.on_token(tok);
-            sink(acts, t, &mut heap, &mut seq, &mut started, &mut completed);
+            sim.on_token(tok, &mut acts);
+            sink(
+                std::mem::take(&mut acts),
+                t,
+                &mut heap,
+                &mut seq,
+                &mut started,
+                &mut completed,
+            );
         }
 
         assert_eq!(

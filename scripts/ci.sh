@@ -19,3 +19,13 @@ test -s "$METRICS_DIR/overhead_flux_n_4.om.txt"
 ./target/release/compare_metrics baselines/metrics.txt \
     "$METRICS_DIR/overhead_flux_n_4.om.txt" --warn-only
 rm -rf "$METRICS_DIR"
+
+# Perf smoke: build the hot-path benchmark in release and run it at quick
+# sizes. The baseline compare is warn-only, mirroring the metrics smoke:
+# ::warning:: annotations past a 25% wall-clock regression, never a
+# failure (cross-machine wall clocks are noisy; same-machine trajectories
+# are the signal). Full-size regeneration is documented in DESIGN.md 8.2.
+./target/release/bench_hotpaths --quick \
+    --baseline BENCH_hotpaths.json \
+    --warn-threshold 25 \
+    --out "$(mktemp -d)/BENCH_hotpaths.quick.json"
