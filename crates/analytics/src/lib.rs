@@ -11,6 +11,7 @@
 
 pub mod compare;
 pub mod critical_path;
+pub mod dashboard;
 pub mod durations;
 pub mod metrics;
 pub mod plot;
@@ -22,6 +23,7 @@ pub mod trace;
 
 pub use compare::{compare, paired_timeline_csv, Comparison};
 pub use critical_path::{critical_path, CriticalPath, TaskAttribution};
+pub use dashboard::render_dashboard;
 pub use durations::{duration_breakdown, duration_breakdown_by, DurationBreakdown, Interval};
 pub use metrics::{overheads, throughput, utilization, Overheads, Throughput, Utilization};
 pub use plot::{bar_chart, line_plot, md_table};

@@ -201,6 +201,7 @@ mod tests {
             end: SimTime::from_secs(100),
             profile: None,
             metrics: None,
+            telemetry: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-9, "{u:?}");
@@ -230,6 +231,7 @@ mod tests {
             end: SimTime::from_secs(720),
             profile: None,
             metrics: None,
+            telemetry: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-6, "{}", u.cores);

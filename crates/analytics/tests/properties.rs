@@ -54,6 +54,7 @@ fn utilization_bounded_and_exact() {
             end: SimTime::from_secs(1_000),
             profile: None,
             metrics: None,
+            telemetry: None,
         };
         let u = utilization(&report).expect("tasks ran");
         assert!(

@@ -225,20 +225,76 @@ fn run_report(label: &str, mk: impl Fn() -> RunReport, out: &mut Vec<BenchEntry>
     out.push(entry(label, tasks, wall));
 }
 
-fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) {
+/// Returns the telemetry overhead fraction on the flux_1 null cell — the
+/// median of order-alternating instrumented/bare wall ratios, minus 1.
+fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
     // Paper-scale flux_1 cell (Fig. 5(b) rightmost point): 1,024 nodes,
     // nodes*56*4 single-core tasks, seed 1000 (= exp_flux1 rep 0).
     let nodes: u32 = if quick { 64 } else { 1024 };
-    run_report(
-        &format!("e2e_flux1_null_n{nodes}"),
-        || {
-            SimSession::with_tasks(
-                PilotConfig::flux(nodes, 1).with_seed(1000),
-                null_workload(nodes),
-            )
-            .run()
-        },
-        out,
+    // Bare cell and the same cell with the streaming-telemetry collector
+    // attached. The ratio is the telemetry overhead on the hot path
+    // (design budget: <3% on the null workload, where the collector's
+    // per-transition cost is least amortized). Overhead is the median of
+    // order-alternating bare/instrumented pairs — each pair runs
+    // back-to-back and alternates which side goes first, so thermal and
+    // turbo drift cancel instead of biasing whichever entry runs later.
+    let mk_bare = || {
+        SimSession::with_tasks(
+            PilotConfig::flux(nodes, 1).with_seed(1000),
+            null_workload(nodes),
+        )
+        .run()
+    };
+    let mk_tel = || {
+        SimSession::with_tasks(
+            PilotConfig::flux(nodes, 1).with_seed(1000),
+            null_workload(nodes),
+        )
+        .with_telemetry(SimDuration::from_secs(1))
+        .run()
+    };
+    let time = |f: &dyn Fn() -> RunReport| {
+        let t = Instant::now();
+        let report = std::hint::black_box(f());
+        (t.elapsed().as_secs_f64(), report.tasks.len() as u64)
+    };
+    std::hint::black_box(mk_bare()); // warmup
+    let pairs = if quick { 3 } else { 7 };
+    let mut tasks = 0u64;
+    let (mut bares, mut tels, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for k in 0..pairs {
+        let (bare, tel) = if k % 2 == 0 {
+            let (b, n) = time(&mk_bare);
+            let (t, _) = time(&mk_tel);
+            tasks = n;
+            (b, t)
+        } else {
+            let (t, _) = time(&mk_tel);
+            let (b, n) = time(&mk_bare);
+            tasks = n;
+            (b, t)
+        };
+        bares.push(bare);
+        tels.push(tel);
+        ratios.push(tel / bare);
+    }
+    bares.sort_by(f64::total_cmp);
+    tels.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    out.push(entry(
+        format!("e2e_flux1_null_n{nodes}"),
+        tasks,
+        bares[bares.len() / 2],
+    ));
+    out.push(entry(
+        format!("e2e_flux1_null_telemetry_n{nodes}"),
+        tasks,
+        tels[tels.len() / 2],
+    ));
+    let overhead = ratios[ratios.len() / 2] - 1.0;
+    println!(
+        "telemetry overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
+        overhead * 100.0
     );
     run_report(
         &format!("e2e_flux1_dummy360_n{nodes}"),
@@ -270,6 +326,7 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) {
             out,
         );
     }
+    overhead
 }
 
 /// Parse `--<flag> <value>` (or `--<flag>=<value>`) from argv.
@@ -341,7 +398,7 @@ fn main() {
     engine_benches(&mut entries);
     instrumentation_benches(&mut entries);
     placement_benches(&mut entries, if quick { 64 } else { 1024 });
-    e2e_benches(&mut entries, quick);
+    let telemetry_overhead = e2e_benches(&mut entries, quick);
 
     // Compare against a committed baseline, warn-only (cross-machine wall
     // clocks are noisy; same-machine trajectories are the real signal).
@@ -379,6 +436,12 @@ fn main() {
         json,
         "  \"mode\": \"{}\",",
         if quick { "quick" } else { "full" }
+    );
+    // Drift-cancelling pairwise median — NOT the ratio of the two
+    // e2e_flux1_null entry medians, which are timed independently.
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead_frac\": {telemetry_overhead:.4},"
     );
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {

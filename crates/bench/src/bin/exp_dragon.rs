@@ -7,7 +7,8 @@
 //! peak 622 → 272) — the centralized single-dispatcher limit.
 
 use rp_bench::{
-    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, telemetry_dir_from_args,
+    write_results, ExpRow,
 };
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
@@ -18,6 +19,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let telemetry_dir = telemetry_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
@@ -33,6 +35,7 @@ fn main() {
             move || null_workload(nodes),
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
+            telemetry_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -47,6 +50,7 @@ fn main() {
             move || dummy_workload(nodes, SimDuration::from_secs(180)),
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
+            telemetry_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

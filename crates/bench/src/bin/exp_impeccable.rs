@@ -21,6 +21,7 @@ fn run_one(
     text: &mut String,
     profile_dir: Option<&std::path::Path>,
     metrics_dir: Option<&std::path::Path>,
+    telemetry_dir: Option<&std::path::Path>,
 ) -> (rp_analytics::RunDigest, rp_core::RunReport) {
     let cfg = match backend {
         "srun" => PilotConfig::srun(nodes),
@@ -37,12 +38,18 @@ fn run_one(
     if metrics_dir.is_some() {
         session = session.with_metrics(rp_sim::SimDuration::from_secs(60));
     }
+    if telemetry_dir.is_some() {
+        session = session.with_telemetry(rp_sim::SimDuration::from_secs(60));
+    }
     let report = session.run();
     if let (Some(dir), Some(p)) = (profile_dir, &report.profile) {
         rp_bench::write_profile(dir, &format!("impeccable {backend} n={nodes}"), p);
     }
     if let Some(dir) = metrics_dir {
         rp_bench::write_metrics(dir, &format!("impeccable {backend} n={nodes}"), &report);
+    }
+    if let Some(dir) = telemetry_dir {
+        rp_bench::write_telemetry(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
     let d = digest(&report);
     let line = format!(
@@ -90,6 +97,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
+    let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
     let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
 
     let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
@@ -102,6 +110,7 @@ fn main() {
             &mut text,
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
+            telemetry_dir.as_deref(),
         );
         let (df, rf) = run_one(
             "flux",
@@ -110,6 +119,7 @@ fn main() {
             &mut text,
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
+            telemetry_dir.as_deref(),
         );
         let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
         let line = format!(

@@ -8,7 +8,8 @@
 
 use rp_analytics::{line_plot, timeline};
 use rp_bench::{
-    metrics_dir_from_args, profile_dir_from_args, repeat_static, write_results, ExpRow,
+    metrics_dir_from_args, profile_dir_from_args, repeat_static, telemetry_dir_from_args,
+    write_results, ExpRow,
 };
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
@@ -19,6 +20,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
+    let telemetry_dir = telemetry_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
@@ -40,6 +42,7 @@ fn main() {
             move || null_workload(nodes),
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
+            telemetry_dir.as_deref(),
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -60,6 +63,7 @@ fn main() {
         || dummy_workload(4, SimDuration::from_secs(180)),
         profile_dir.as_deref(),
         metrics_dir.as_deref(),
+        telemetry_dir.as_deref(),
     );
     println!("{}", row.table_line());
     text.push_str(&row.table_line());

@@ -8,6 +8,9 @@
 //! runtime profiles (CSV + Chrome trace) for one rep per configuration;
 //! `--metrics-dir <dir>` is forwarded so every experiment also writes
 //! OpenMetrics documents + summary tables for one rep per configuration;
+//! `--telemetry-dir <dir>` is forwarded so every experiment also writes
+//! streaming-telemetry time-series + flight-recorder JSONL and an HTML
+//! dashboard for one rep per configuration;
 //! `--jobs N` runs up to N experiment binaries concurrently (each
 //! simulation is single-threaded and seeded, so configurations are
 //! embarrassingly parallel) and is forwarded so each experiment also
@@ -23,6 +26,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
+    let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
@@ -135,6 +139,9 @@ fn main() {
         }
         if let Some(dir) = &metrics_dir {
             cmd.arg("--metrics-dir").arg(dir);
+        }
+        if let Some(dir) = &telemetry_dir {
+            cmd.arg("--telemetry-dir").arg(dir);
         }
         cmd.arg("--jobs").arg(jobs.to_string());
         cmd

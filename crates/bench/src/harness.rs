@@ -137,6 +137,15 @@ pub fn metrics_dir_from_args(args: &[String]) -> Option<PathBuf> {
     dir_from_args(args, "metrics-dir")
 }
 
+/// Parse `--telemetry-dir <dir>` (or `--telemetry-dir=<dir>`) from argv.
+/// When present, the repetition helpers run rep 0 of every configuration
+/// with the streaming-telemetry collector attached and write the
+/// time-series JSONL, the flight-recorder JSONL, and a self-contained HTML
+/// dashboard there.
+pub fn telemetry_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    dir_from_args(args, "telemetry-dir")
+}
+
 /// Parse `--jobs <n>` (or `--jobs=<n>`) from argv: the number of worker
 /// threads the repetition helpers may use. Defaults to 1 (sequential);
 /// values below 1 are clamped up. Every simulation is single-threaded and
@@ -199,19 +208,48 @@ pub fn write_metrics(dir: &Path, label: &str, report: &RunReport) {
     let _ = fs::write(dir.join(format!("{base}.summary.txt")), summary);
 }
 
+/// Write one run's telemetry under `dir`: the sampler time-series
+/// (`<label>.telemetry.jsonl`), the flight-recorder alarm log
+/// (`<label>.flightrec.jsonl`), and a self-contained HTML dashboard
+/// (`<label>.dashboard.html`). The dashboard includes the span-side
+/// critical path when the report also carries a metrics snapshot. No-op
+/// when the report carries no telemetry.
+pub fn write_telemetry(dir: &Path, label: &str, report: &RunReport) {
+    let Some(tel) = &report.telemetry else { return };
+    let _ = fs::create_dir_all(dir);
+    let base = sanitize(label);
+    let _ = fs::write(
+        dir.join(format!("{base}.telemetry.jsonl")),
+        tel.timeseries_jsonl(),
+    );
+    let _ = fs::write(
+        dir.join(format!("{base}.flightrec.jsonl")),
+        tel.flight_recorder_jsonl(),
+    );
+    let cp = report
+        .metrics
+        .as_ref()
+        .map(|snap| critical_path(&snap.spans));
+    let html = rp_analytics::render_dashboard(label, tel, cp.as_ref());
+    let _ = fs::write(dir.join(format!("{base}.dashboard.html")), html);
+}
+
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
 /// each. `mk_workload` builds a fresh workload per rep (workload sources
 /// are consumed by the run); `mk_cfg` gets the rep's seed. With a
 /// `profile_dir`, rep 0 runs with profiling enabled and its profile CSV +
 /// Chrome trace land in that directory under the experiment label; with a
 /// `metrics_dir`, rep 0 runs with metrics attached and its OpenMetrics
-/// document + summary land there the same way.
+/// document + summary land there the same way; with a `telemetry_dir`,
+/// rep 0 runs with the streaming-telemetry collector attached and its
+/// JSONL time-series + flight recorder + HTML dashboard land there too.
 /// `jobs > 1` runs repetitions across that many scoped worker threads.
 /// Each rep's seed depends only on its index and each simulation is
 /// single-threaded and deterministic, so the reports are identical to the
 /// sequential run's; results are collected into per-rep slots and
 /// aggregated in rep order, making the output independent of completion
 /// order.
+#[allow(clippy::too_many_arguments)] // positional instrumentation dirs mirror the CLI flags
 pub fn repeat(
     label: &str,
     reps: usize,
@@ -220,6 +258,7 @@ pub fn repeat(
     mk_workload: impl (Fn() -> Box<dyn WorkloadSource>) + Sync,
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
+    telemetry_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     let run_rep = |rep: usize| -> RunReport {
         let seed = 1000 + 7919 * rep as u64;
@@ -230,6 +269,9 @@ pub fn repeat(
         }
         if rep == 0 && metrics_dir.is_some() {
             session = session.with_metrics(PROFILE_PERIOD);
+        }
+        if rep == 0 && telemetry_dir.is_some() {
+            session = session.with_telemetry(PROFILE_PERIOD);
         }
         session.run()
     };
@@ -265,11 +307,15 @@ pub fn repeat(
     if let Some(dir) = metrics_dir {
         write_metrics(dir, label, &reports[0]);
     }
+    if let Some(dir) = telemetry_dir {
+        write_telemetry(dir, label, &reports[0]);
+    }
     let digests: Vec<RunDigest> = reports.iter().map(digest).collect();
     (ExpRow::from_digests(label.to_string(), &digests), reports)
 }
 
 /// Convenience: repeat with a static task batch.
+#[allow(clippy::too_many_arguments)]
 pub fn repeat_static(
     label: &str,
     reps: usize,
@@ -278,6 +324,7 @@ pub fn repeat_static(
     mk_tasks: impl Fn() -> Vec<TaskDescription> + Sync,
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
+    telemetry_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     repeat(
         label,
@@ -287,6 +334,7 @@ pub fn repeat_static(
         || Box::new(rp_core::StaticWorkload::new(mk_tasks())),
         profile_dir,
         metrics_dir,
+        telemetry_dir,
     )
 }
 
@@ -321,6 +369,7 @@ mod tests {
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
+            None,
             None,
             None,
         );
@@ -359,6 +408,7 @@ mod tests {
             },
             None,
             Some(&dir),
+            None,
         );
         assert!(reports[0].metrics.is_some(), "rep 0 must carry a snapshot");
         let om = fs::read_to_string(dir.join("tiny_metrics.om.txt")).expect("om written");
@@ -377,6 +427,41 @@ mod tests {
         );
         let summary = fs::read_to_string(dir.join("tiny_metrics.summary.txt")).expect("summary");
         assert!(summary.contains("critical path"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `--telemetry-dir` plumbing end to end: rep 0 runs with the
+    /// collector attached and the JSONL pair plus the HTML dashboard land
+    /// under the sanitized label.
+    #[test]
+    fn write_telemetry_emits_jsonl_and_dashboard() {
+        let dir = std::env::temp_dir().join(format!("rp-bench-tel-{}", std::process::id()));
+        let (_, reports) = repeat_static(
+            "tiny tel",
+            2,
+            1,
+            |seed| PilotConfig::flux(2, 1).with_seed(seed),
+            || {
+                (0..20)
+                    .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
+                    .collect()
+            },
+            None,
+            None,
+            Some(&dir),
+        );
+        assert!(reports[0].telemetry.is_some(), "rep 0 must carry telemetry");
+        assert!(
+            reports[1].telemetry.is_none(),
+            "other reps stay uninstrumented"
+        );
+        let ts = fs::read_to_string(dir.join("tiny_tel.telemetry.jsonl")).expect("timeseries");
+        assert!(ts.lines().count() > 1, "multi-second run ⇒ several samples");
+        assert!(ts.lines().all(|l| l.starts_with("{\"t\":")));
+        let _ = fs::read_to_string(dir.join("tiny_tel.flightrec.jsonl")).expect("flight recorder");
+        let html = fs::read_to_string(dir.join("tiny_tel.dashboard.html")).expect("dashboard");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("tiny tel"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

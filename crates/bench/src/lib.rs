@@ -12,6 +12,6 @@ pub mod microbench;
 
 pub use harness::{
     jobs_from_args, metrics_dir_from_args, profile_dir_from_args, repeat, repeat_static,
-    write_metrics, write_profile, write_results, ExpRow,
+    telemetry_dir_from_args, write_metrics, write_profile, write_results, write_telemetry, ExpRow,
 };
 pub use microbench::Micro;

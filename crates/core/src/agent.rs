@@ -35,6 +35,7 @@ use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
 use rp_sim::{Actor, Ctx, Dist, FxHashMap, RngStream, SimTime, UidMap};
 use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
+use rp_telemetry::{SampleInput, Telemetry};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -214,6 +215,13 @@ pub struct AgentGauges {
     /// `(busy cores, busy gpus)` per backend partition, flux → dragon →
     /// prrte, matching [`AgentProfSyms::part_tracks`].
     parts: RefCell<Vec<(f64, f64)>>,
+    /// Backend-local queued tasks per kind, indexed by
+    /// `BackendKind as usize` (telemetry attributes saturation with it).
+    backend_queues: Cell<[f64; 4]>,
+    /// Exact backend queue high-waters per kind (tracked by the backends
+    /// themselves at every enqueue, so no spike is missed between
+    /// telemetry samples).
+    backend_queue_peaks: Cell<[f64; 4]>,
 }
 
 /// Which lifecycle child span is currently open for a task. The four
@@ -469,6 +477,14 @@ pub struct SimAgent {
     gauges: Rc<AgentGauges>,
     /// Metrics instruments (None unless [`Self::attach_metrics`] ran).
     metrics: Option<AgentMetrics>,
+    /// Streaming telemetry (None unless [`Self::attach_telemetry`] ran).
+    telemetry: Option<Telemetry>,
+    /// Delivery counter for the decimated gauge refresh on telemetry-only
+    /// runs (see `update_gauges`).
+    gauge_tick: std::cell::Cell<u32>,
+    /// Cached `Telemetry::straggler_sample_mask` — the transition funnel
+    /// only assembles backend/partition context for sampled uids.
+    tel_sample_mask: u64,
 }
 
 impl SimAgent {
@@ -689,6 +705,9 @@ impl SimAgent {
             psyms: None,
             gauges: Rc::new(AgentGauges::default()),
             metrics: None,
+            telemetry: None,
+            gauge_tick: std::cell::Cell::new(0),
+            tel_sample_mask: u64::MAX,
         }
     }
 
@@ -934,10 +953,79 @@ impl SimAgent {
         })
     }
 
+    /// Attach a streaming-telemetry collector: the task transition funnel
+    /// feeds its SLO tracker and straggler detector (with backend/partition
+    /// causal context from the routing assignment), and the shared gauges
+    /// feed its periodic sampler.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel_sample_mask = tel.straggler_sample_mask();
+        self.telemetry = Some(tel);
+        self.update_gauges();
+    }
+
+    /// A sampler closure for [`rp_sim::Engine::add_sampler`]: snapshots the
+    /// shared gauges into the telemetry time-series and runs the online
+    /// detectors. Call after [`Self::attach_telemetry`].
+    pub fn telemetry_sampler(&self) -> Box<dyn FnMut(SimTime)> {
+        let tel = self
+            .telemetry
+            .as_ref()
+            .expect("attach_telemetry first")
+            .clone();
+        let gauges = Rc::clone(&self.gauges);
+        // Fixed core capacity across non-srun partitions (denominator for
+        // collapse detection), mirroring `metrics_sampler`.
+        let mut capacity = 0.0f64;
+        for f in &self.flux {
+            capacity += f.allocation().total_cores() as f64;
+        }
+        for d in &self.dragon {
+            capacity += d.worker_capacity() as f64;
+        }
+        for pb in &self.prrte {
+            capacity += pb.pool.total_cores() as f64;
+        }
+        Box::new(move |now| {
+            let (busy_cores, busy_gpus) = gauges
+                .parts
+                .borrow()
+                .iter()
+                .fold((0.0, 0.0), |(c, g), &(pc, pg)| (c + pc, g + pg));
+            tel.on_sample(
+                now,
+                &SampleInput {
+                    queue_depth: gauges.queue_depth.get(),
+                    srun_inflight: gauges.srun_inflight.get(),
+                    busy_cores,
+                    busy_gpus,
+                    capacity_cores: capacity,
+                    backend_queues: gauges.backend_queues.get(),
+                    backend_queue_peaks: gauges.backend_queue_peaks.get(),
+                },
+            );
+        })
+    }
+
     /// Refresh the shared gauge counters from live agent/backend state.
     fn update_gauges(&self) {
         if self.psyms.is_none() && self.metrics.is_none() {
-            return;
+            if self.telemetry.is_none() {
+                return;
+            }
+            // Telemetry-only runs refresh the shared gauges every 128th
+            // delivery: the telemetry sampler reads them at >=1 s sim
+            // cadence — thousands of deliveries apart — so a decimated
+            // refresh keeps rows representative (stale by well under one
+            // sample period) while keeping per-delivery cost inside the
+            // telemetry overhead budget. It is deterministic: the delivery
+            // sequence is a pure function of config and seed. Profiler and
+            // metrics runs keep the exact per-delivery refresh — their
+            // sampled distributions and baselines depend on it.
+            let t = self.gauge_tick.get().wrapping_add(1);
+            self.gauge_tick.set(t);
+            if t & 127 != 0 {
+                return;
+            }
         }
         let mut depth = self.stage_q.len() + self.sched_q.len();
         depth += self
@@ -968,6 +1056,34 @@ impl SimAgent {
                 (pb.pool.total_cores() - pb.pool.free_cores()) as f64,
                 (pb.pool.total_gpus() - pb.pool.free_gpus()) as f64,
             ));
+        }
+        if self.telemetry.is_some() {
+            let mut bq = [0.0f64; 4];
+            let mut peaks = [0.0f64; 4];
+            bq[BackendKind::Srun as usize] = self.site_srun.queued() as f64;
+            peaks[BackendKind::Srun as usize] = self.site_srun.queued_peak() as f64;
+            bq[BackendKind::Flux as usize] =
+                self.flux.iter().map(|f| f.queued_count()).sum::<usize>() as f64;
+            peaks[BackendKind::Flux as usize] =
+                self.flux.iter().map(|f| f.queued_peak()).max().unwrap_or(0) as f64;
+            bq[BackendKind::Dragon as usize] =
+                self.dragon.iter().map(|d| d.queued()).sum::<usize>() as f64;
+            peaks[BackendKind::Dragon as usize] = self
+                .dragon
+                .iter()
+                .map(|d| d.queued_peak())
+                .max()
+                .unwrap_or(0) as f64;
+            bq[BackendKind::Prrte as usize] =
+                self.prrte.iter().map(|p| p.dvm.queued()).sum::<usize>() as f64;
+            peaks[BackendKind::Prrte as usize] = self
+                .prrte
+                .iter()
+                .map(|p| p.dvm.queued_peak())
+                .max()
+                .unwrap_or(0) as f64;
+            self.gauges.backend_queues.set(bq);
+            self.gauges.backend_queue_peaks.set(peaks);
         }
         if let Some(m) = &self.metrics {
             m.queue_depth.set(depth as f64);
@@ -1053,6 +1169,26 @@ impl SimAgent {
             if let Some(m) = &self.metrics {
                 m.on_transition(uid.0, before, rec.state);
             }
+            if let Some(t) = &self.telemetry {
+                // Backend/partition context only matters for the
+                // straggler-sampled cohort; skip the routing lookup on the
+                // other seven-eighths of transitions.
+                let (backend, partition) = if uid.0 & self.tel_sample_mask == 0 {
+                    match self.assignment.get(uid.0) {
+                        Some(&(kind, part)) => (Some(kind as usize), Some(part)),
+                        None => (None, None),
+                    }
+                } else {
+                    (None, None)
+                };
+                t.on_transition(
+                    uid.0,
+                    state_index(before),
+                    state_index(rec.state),
+                    backend,
+                    partition,
+                );
+            }
         }
         out
     }
@@ -1082,6 +1218,9 @@ impl SimAgent {
             }
             if let Some(m) = &self.metrics {
                 m.task_open(desc.uid.0);
+            }
+            if let Some(t) = &self.telemetry {
+                t.on_submitted(desc.uid.0);
             }
             {
                 let mut st = self.state.borrow_mut();

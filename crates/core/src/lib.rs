@@ -35,7 +35,7 @@ pub use pilot::{PilotState, PilotTrajectory};
 pub use report::{InstanceReport, RunReport, RunState};
 pub use router::{RouteError, Router, RoutingPolicy};
 pub use rp_metrics::{Registry as MetricsRegistry, Snapshot as MetricsSnapshot};
-pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask};
+pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask, RtTelemetry};
 pub use service::{ServiceDescription, ServiceId, ServiceRecord};
 pub use session::{FailureInjection, SimSession, UidGen};
 pub use task::{TaskDescription, TaskId, TaskKind, TaskRecord, TaskState};

@@ -90,6 +90,10 @@ pub struct RunReport {
     /// Metrics snapshot (counters, histograms, span trees), when the
     /// session ran with [`crate::SimSession::with_metrics`].
     pub metrics: Option<rp_metrics::Snapshot>,
+    /// Streaming-telemetry capture (time-series ring, flight recorder,
+    /// SLO digest), when the session ran with
+    /// [`crate::SimSession::with_telemetry`].
+    pub telemetry: Option<rp_telemetry::TelemetryData>,
 }
 
 impl RunReport {

@@ -16,7 +16,8 @@ use rp_dragonrt::{decode_event, DragonPool, FunctionCall, FunctionRegistry, Pipe
 use rp_fluxrt::FluxRt;
 use rp_platform::{NodeSpec, ResourcePool, ResourceRequest};
 use rp_slurm::SrunRt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use rp_telemetry::{SampleInput, Telemetry, TelemetryConfig, TelemetryData};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +80,9 @@ pub struct RtRecord {
     pub uid: TaskId,
     /// Backend that executed the task.
     pub backend: BackendKind,
+    /// Submit offset from pilot start (for wall-clock time-to-launch /
+    /// time-to-completion telemetry).
+    pub submitted: Duration,
     /// Start offset from pilot start.
     pub started: Duration,
     /// End offset from pilot start.
@@ -99,6 +103,9 @@ pub enum RtError {
 struct Shared {
     records: Mutex<Vec<RtRecord>>,
     dragon_pending: AtomicU64,
+    // Submit stamps for Dragon tasks: the watcher thread needs them when it
+    // writes the completion record (Flux/srun closures capture theirs).
+    dragon_submitted: Mutex<std::collections::HashMap<u64, Duration>>,
 }
 
 /// The threaded pilot.
@@ -141,6 +148,7 @@ impl RtPilot {
         let shared = Arc::new(Shared {
             records: Mutex::new(Vec::new()),
             dragon_pending: AtomicU64::new(0),
+            dragon_submitted: Mutex::new(std::collections::HashMap::new()),
         });
         let t0 = Instant::now();
         let mut deployed = Vec::new();
@@ -178,10 +186,17 @@ impl RtPilot {
                                 Ok(PipeEvent::Completed { id, .. }) => {
                                     let started =
                                         starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                    let submitted = shared2
+                                        .dragon_submitted
+                                        .lock()
+                                        .expect("submits poisoned")
+                                        .remove(&id)
+                                        .unwrap_or(started);
                                     shared2.records.lock().expect("records poisoned").push(
                                         RtRecord {
                                             uid: TaskId(id),
                                             backend: BackendKind::Dragon,
+                                            submitted,
                                             started,
                                             ended: t0.elapsed(),
                                             failed: false,
@@ -192,10 +207,17 @@ impl RtPilot {
                                 Ok(PipeEvent::Failed { id, .. }) => {
                                     let started =
                                         starts.remove(&id).unwrap_or_else(|| t0.elapsed());
+                                    let submitted = shared2
+                                        .dragon_submitted
+                                        .lock()
+                                        .expect("submits poisoned")
+                                        .remove(&id)
+                                        .unwrap_or(started);
                                     shared2.records.lock().expect("records poisoned").push(
                                         RtRecord {
                                             uid: TaskId(id),
                                             backend: BackendKind::Dragon,
+                                            submitted,
                                             started,
                                             ended: t0.elapsed(),
                                             failed: true,
@@ -243,9 +265,15 @@ impl RtPilot {
             crate::task::TaskDescription::dummy(task.uid, rp_sim::SimDuration::ZERO)
         };
         let kind = self.router.route(&desc).map_err(RtError::Route)?;
+        let submitted = self.t0.elapsed();
         match (kind, task.payload) {
             (BackendKind::Dragon, RtPayload::Func { name, args }) => {
                 self.shared.dragon_pending.fetch_add(1, Ordering::AcqRel);
+                self.shared
+                    .dragon_submitted
+                    .lock()
+                    .expect("submits poisoned")
+                    .insert(task.uid, submitted);
                 let call = FunctionCall {
                     id: task.uid,
                     name,
@@ -260,6 +288,11 @@ impl RtPilot {
                         Err(rp_dragonrt::PoolError::QueueFull) => std::thread::yield_now(),
                         Err(e) => {
                             self.shared.dragon_pending.fetch_sub(1, Ordering::AcqRel);
+                            self.shared
+                                .dragon_submitted
+                                .lock()
+                                .expect("submits poisoned")
+                                .remove(&call.id);
                             return Err(RtError::Backend(format!("{e:?}")));
                         }
                     }
@@ -292,6 +325,7 @@ impl RtPilot {
                             .push(RtRecord {
                                 uid,
                                 backend: BackendKind::Flux,
+                                submitted,
                                 started,
                                 ended: t0.elapsed(),
                                 failed: false,
@@ -318,6 +352,7 @@ impl RtPilot {
                         .push(RtRecord {
                             uid,
                             backend: BackendKind::Srun,
+                            submitted,
                             started,
                             ended: t0.elapsed(),
                             failed: false,
@@ -368,6 +403,74 @@ impl RtPilot {
         self.t0.elapsed()
     }
 
+    /// Start a wall-clock telemetry sampler for this pilot.
+    ///
+    /// The sampler thread owns its own [`Telemetry`] collector (the
+    /// collector is single-threaded by design) and, every `period`, stamps
+    /// its virtual clock from the pilot's wall clock, folds any newly
+    /// finished completion records into the SLO tracker, and snapshots the
+    /// Dragon backlog as the queue-depth gauge. Stop it with
+    /// [`RtTelemetry::stop`] before [`RtPilot::shutdown`] to collect the
+    /// [`TelemetryData`]. Wall-clock timestamps mean rt-plane output is
+    /// not byte-deterministic — that guarantee holds on the sim plane.
+    pub fn telemetry(&self, period: Duration) -> RtTelemetry {
+        let shared = self.shared.clone();
+        let t0 = self.t0;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("rp-rt-telemetry".into())
+            .spawn(move || {
+                let clock = rp_sim::SimClock::new();
+                let cfg = TelemetryConfig::with_period(rp_sim::SimDuration::from_micros(
+                    period.as_micros().max(1) as u64,
+                ));
+                let tel = Telemetry::new(clock.clone(), cfg);
+                let mut seen = 0usize;
+                loop {
+                    let last = stop2.load(Ordering::Acquire);
+                    let now = rp_sim::SimTime::from_micros(t0.elapsed().as_micros() as u64);
+                    clock.set(now);
+                    {
+                        let records = shared.records.lock().expect("records poisoned");
+                        for r in &records[seen..] {
+                            let ttl = r
+                                .started
+                                .checked_sub(r.submitted)
+                                .unwrap_or_default()
+                                .as_secs_f64();
+                            let ttc = r
+                                .ended
+                                .checked_sub(r.submitted)
+                                .unwrap_or_default()
+                                .as_secs_f64();
+                            tel.observe_completed(ttl, ttc, r.failed);
+                        }
+                        seen = records.len();
+                    }
+                    let pending = shared.dragon_pending.load(Ordering::Acquire) as f64;
+                    let mut backend_queues = [0.0; rp_telemetry::BACKENDS];
+                    backend_queues[BackendKind::Dragon as usize] = pending;
+                    tel.on_sample(
+                        now,
+                        &SampleInput {
+                            queue_depth: pending,
+                            backend_queues,
+                            backend_queue_peaks: backend_queues,
+                            ..SampleInput::default()
+                        },
+                    );
+                    if last {
+                        break;
+                    }
+                    std::thread::sleep(period);
+                }
+                tel.snapshot()
+            })
+            .expect("spawn rt telemetry sampler");
+        RtTelemetry { stop, handle }
+    }
+
     /// Drain everything, stop all backends, and return the records.
     pub fn shutdown(mut self) -> Vec<RtRecord> {
         self.wait_idle();
@@ -387,6 +490,22 @@ impl RtPilot {
             .expect("records poisoned")
             .clone();
         records
+    }
+}
+
+/// Handle to a running rt-plane telemetry sampler (see
+/// [`RtPilot::telemetry`]).
+pub struct RtTelemetry {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<TelemetryData>,
+}
+
+impl RtTelemetry {
+    /// Signal the sampler thread to take one final sample and exit, then
+    /// join it and return the collected telemetry.
+    pub fn stop(self) -> TelemetryData {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("rt telemetry sampler panicked")
     }
 }
 
@@ -472,6 +591,34 @@ mod tests {
         assert_eq!(ok, Ok(BackendKind::Srun));
         pilot.wait_idle();
         assert_eq!(pilot.records().len(), 1);
+    }
+
+    #[test]
+    fn rt_telemetry_collects_slo_and_samples() {
+        let pilot = RtPilot::start(RtConfig::default(), registry());
+        let tel = pilot.telemetry(Duration::from_millis(5));
+        for uid in 0..8 {
+            pilot
+                .submit(RtTask {
+                    uid,
+                    cores: 1,
+                    payload: RtPayload::Func {
+                        name: "square".into(),
+                        args: 3u64.to_le_bytes().to_vec(),
+                    },
+                })
+                .unwrap();
+        }
+        pilot.wait_idle();
+        let data = tel.stop();
+        let records = pilot.shutdown();
+        assert_eq!(records.len(), 8);
+        assert!(records.iter().all(|r| r.started >= r.submitted));
+        // The final sample (taken at stop) folds in every record.
+        assert_eq!(data.slo.completions, 8);
+        assert_eq!(data.completed, 8);
+        assert!(!data.samples.is_empty());
+        assert!(data.slo.completion_p99 >= data.slo.launch_p50);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub struct SimSession {
     max_events: u64,
     profile_every: Option<SimDuration>,
     metrics_every: Option<SimDuration>,
+    telemetry_every: Option<SimDuration>,
 }
 
 impl SimSession {
@@ -61,6 +62,7 @@ impl SimSession {
             max_events: 2_000_000_000,
             profile_every: None,
             metrics_every: None,
+            telemetry_every: None,
         }
     }
 
@@ -106,6 +108,15 @@ impl SimSession {
         self
     }
 
+    /// Enable streaming telemetry: a ring-buffered time-series sampled
+    /// every `period` of virtual time, running SLO percentiles over the
+    /// task stream, and online anomaly detectors feeding a flight
+    /// recorder. The capture lands in [`RunReport::telemetry`].
+    pub fn with_telemetry(mut self, period: SimDuration) -> Self {
+        self.telemetry_every = Some(period);
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
@@ -128,6 +139,16 @@ impl SimSession {
             agent.attach_metrics(&reg);
             (reg, period, agent.metrics_sampler())
         });
+        // Telemetry likewise: sim-clock timestamps keep the stream
+        // deterministic per seed.
+        let telemetry = self.telemetry_every.map(|period| {
+            let tel = rp_telemetry::Telemetry::new(
+                engine.clock(),
+                rp_telemetry::TelemetryConfig::with_period(period),
+            );
+            agent.attach_telemetry(tel.clone());
+            (tel, period, agent.telemetry_sampler())
+        });
         let id = engine.add_actor(Box::new(agent));
         let profiler = profiler.map(|(prof, period, sampler)| {
             engine.add_sampler(period, sampler);
@@ -136,6 +157,10 @@ impl SimSession {
         let registry = registry.map(|(reg, period, sampler)| {
             engine.add_sampler(period, sampler);
             reg
+        });
+        let telemetry = telemetry.map(|(tel, period, sampler)| {
+            engine.add_sampler(period, sampler);
+            tel
         });
         engine.schedule(SimTime::ZERO, id, AgentMsg::Init);
         for f in &self.failures {
@@ -195,6 +220,7 @@ impl SimSession {
                 .set(engine.peak_queue_depth() as f64);
                 reg.snapshot()
             }),
+            telemetry: telemetry.map(|tel| tel.snapshot()),
         }
     }
 }

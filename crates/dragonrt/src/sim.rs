@@ -88,6 +88,8 @@ pub struct DragonSim {
     rng: RngStream,
     in_flight: FxHashMap<u64, DragonTask>,
     completed: u64,
+    /// Deepest the dispatch queue has ever been.
+    queued_peak: usize,
     alive: bool,
     prof: Profiler,
     syms: Option<ProfSyms>,
@@ -112,6 +114,7 @@ impl DragonSim {
             rng: RngStream::derive(seed, "dragon"),
             in_flight: FxHashMap::default(),
             completed: 0,
+            queued_peak: 0,
             alive: true,
             prof: Profiler::disabled(),
             syms: None,
@@ -154,6 +157,12 @@ impl DragonSim {
     /// Tasks waiting for dispatch.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Deepest the dispatch queue has ever been (exact: updated at every
+    /// enqueue, so it can't miss spikes between samples).
+    pub fn queued_peak(&self) -> usize {
+        self.queued_peak
     }
 
     /// Tasks completed.
@@ -257,6 +266,7 @@ impl DragonSim {
             m.on_submit(task.id, self.queue.len(), contended);
         }
         self.queue.push_back(task);
+        self.queued_peak = self.queued_peak.max(self.queue.len());
         self.pump(out);
     }
 

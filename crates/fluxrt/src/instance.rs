@@ -105,6 +105,8 @@ pub struct FluxInstanceSim {
     running: FxHashMap<JobId, RunningJob>,
     /// Completed job count (diagnostics).
     completed: u64,
+    /// Deepest the ingest + sched backlog has ever been.
+    queued_peak: usize,
     /// False once killed by failure injection.
     alive: bool,
     prof: Profiler,
@@ -146,6 +148,7 @@ impl FluxInstanceSim {
             matched: FxHashMap::default(),
             running: FxHashMap::default(),
             completed: 0,
+            queued_peak: 0,
             alive: true,
             prof: Profiler::disabled(),
             syms: None,
@@ -205,6 +208,12 @@ impl FluxInstanceSim {
     /// Jobs waiting (ingest + sched queues).
     pub fn queued_count(&self) -> usize {
         self.pending_ingest.len() + self.queue.len()
+    }
+
+    /// Deepest the ingest + sched backlog has ever been (exact: updated
+    /// at every enqueue, so it can't miss spikes between samples).
+    pub fn queued_peak(&self) -> usize {
+        self.queued_peak
     }
 
     /// Jobs completed so far.
@@ -363,6 +372,11 @@ impl FluxInstanceSim {
             m.on_submit(job.id.0, depth, contended);
         }
         self.pending_ingest.push_back(job);
+        // Ingest→sched moves jobs between the two queues without changing
+        // the total, so submit is the only site where the peak can move.
+        self.queued_peak = self
+            .queued_peak
+            .max(self.pending_ingest.len() + self.queue.len());
         out.push(FluxAction::Event(JobEvent::Submitted(job.id)));
         self.pump_ingest(out);
         let _ = now;

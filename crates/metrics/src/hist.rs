@@ -90,6 +90,51 @@ impl HistData {
         self.buckets[Self::bucket_index(v)] += 1;
     }
 
+    /// Index of the bucket a sample lands in, computed from the float's
+    /// bit pattern instead of `log2()`/`ceil()` — same layout, ~4x
+    /// cheaper, for per-task-transition hot paths (the telemetry SLO
+    /// tracker). For a normal `v = m·2^k` (`m ∈ [1,2)`): the smallest `i`
+    /// with `2^(MIN_LOG2 + i/2) ≥ v` is `2(k−MIN_LOG2)` when `m = 1`,
+    /// `+1` while `m ≤ √2`, else `+2`. The `m` vs `√2` comparison is done
+    /// on raw mantissa bits. May disagree with [`Self::bucket_index`] by
+    /// one bucket for samples within a ulp of a bucket boundary (float
+    /// `log2` rounding); both are valid √2-bucketings and each is
+    /// individually deterministic, so don't mix them in one histogram
+    /// family that is snapshot-diffed against a baseline.
+    #[inline]
+    pub fn bucket_index_fast(v: f64) -> usize {
+        if v.is_nan() || v <= Self::bucket_upper(0) {
+            return 0; // NaN, non-positive, or below the first upper bound
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        // Mantissa bits of √2 (1.4142…): m <= √2 ⟺ mantissa ≤ this.
+        const SQRT2_MANTISSA: u64 = 0x6A09E667F3BCD; // (√2).to_bits() & mask
+        let mantissa = bits & 0xF_FFFF_FFFF_FFFF;
+        let within = if mantissa == 0 {
+            0 // exactly 2^k
+        } else if mantissa <= SQRT2_MANTISSA {
+            1
+        } else {
+            2
+        };
+        let i = 2 * (exp - MIN_LOG2 as i64) + within;
+        (i.max(0) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one sample via [`Self::bucket_index_fast`]. Same counters
+    /// and layout as [`Self::record`]; see the bucket-boundary caveat
+    /// there before mixing the two in one baseline-diffed family.
+    #[inline]
+    pub fn record_fast(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index_fast(v)] += 1;
+    }
+
     /// Fold `other` into `self`. Element-wise bucket addition: associative,
     /// commutative, and lossless because every histogram shares the layout.
     pub fn merge(&mut self, other: &HistData) {

@@ -32,6 +32,8 @@ mod span;
 
 pub use backend::BackendInstruments;
 pub use hist::{HistData, BUCKETS};
-pub use openmetrics::{diff_openmetrics, parse_openmetrics, DiffEntry, MetricsDiff};
+pub use openmetrics::{
+    diff_openmetrics, diff_openmetrics_with, parse_openmetrics, DiffEntry, MetricsDiff, Tolerances,
+};
 pub use registry::{Counter, Gauge, Histogram, MetricMeta, Registry, Snapshot};
 pub use span::{SpanData, SpanId, SpanRecord};

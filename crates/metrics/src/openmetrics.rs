@@ -265,6 +265,67 @@ fn higher_is_worse(key: &str) -> bool {
         .any(|pat| name.contains(pat))
 }
 
+/// Per-metric tolerance overrides for [`diff_openmetrics_with`].
+///
+/// Entries map a sample key to the relative tolerance that replaces the
+/// default for that sample. A key with labels (e.g.
+/// `rp_launch_seconds_sum{backend="flux"}`) matches exactly that sample; a
+/// bare family name (e.g. `rp_launch_seconds_sum`) matches every sample of
+/// the family regardless of labels. Exact matches win over family matches.
+#[derive(Debug, Clone, Default)]
+pub struct Tolerances {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Tolerances {
+    /// Parse a tolerance file: one `<sample-or-family> <tolerance>` pair
+    /// per line, `#` comments and blank lines ignored. Tolerances are
+    /// relative (`0.25` allows a 25% increase). Rejects negative values
+    /// and malformed lines with the offending line number.
+    pub fn parse(text: &str) -> Result<Tolerances, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, val)) = line.rsplit_once(char::is_whitespace) else {
+                return Err(format!("line {}: expected `<metric> <tolerance>`", idx + 1));
+            };
+            let tol: f64 = val
+                .parse()
+                .map_err(|_| format!("line {}: `{val}` is not a number", idx + 1))?;
+            if !tol.is_finite() || tol < 0.0 {
+                return Err(format!(
+                    "line {}: tolerance must be finite and non-negative",
+                    idx + 1
+                ));
+            }
+            entries.insert(key.trim().to_string(), tol);
+        }
+        Ok(Tolerances { entries })
+    }
+
+    /// Number of overrides.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tolerance for `key`, or `default` when no override matches.
+    pub fn for_key(&self, key: &str, default: f64) -> f64 {
+        if let Some(&t) = self.entries.get(key) {
+            return t;
+        }
+        let family = key.split('{').next().unwrap_or(key);
+        self.entries.get(family).copied().unwrap_or(default)
+    }
+}
+
 /// Diff two OpenMetrics documents.
 ///
 /// Histogram `_bucket` series are excluded (bucket occupancy shifts with
@@ -273,6 +334,19 @@ fn higher_is_worse(key: &str) -> bool {
 /// regression / improvement (for higher-is-worse families) or neutral
 /// change.
 pub fn diff_openmetrics(base: &str, cand: &str, tolerance: f64) -> Result<MetricsDiff, String> {
+    diff_openmetrics_with(base, cand, tolerance, &Tolerances::default())
+}
+
+/// [`diff_openmetrics`] with per-metric tolerance overrides: each sample
+/// is judged against `overrides.for_key(key, tolerance)`, so noisy
+/// families can be held to a looser bound without loosening the whole
+/// gate.
+pub fn diff_openmetrics_with(
+    base: &str,
+    cand: &str,
+    tolerance: f64,
+    overrides: &Tolerances,
+) -> Result<MetricsDiff, String> {
     let base = parse_openmetrics(base).map_err(|e| format!("baseline: {e}"))?;
     let cand = parse_openmetrics(cand).map_err(|e| format!("candidate: {e}"))?;
     let mut diff = MetricsDiff::default();
@@ -289,7 +363,7 @@ pub fn diff_openmetrics(base: &str, cand: &str, tolerance: f64) -> Result<Metric
             continue;
         }
         let rel = (c - b) / b.abs().max(1e-9);
-        if rel.abs() <= tolerance {
+        if rel.abs() <= overrides.for_key(key, tolerance) {
             continue;
         }
         let entry = DiffEntry {
@@ -365,5 +439,56 @@ mod tests {
         assert_eq!(d.improvements.len(), 1);
         assert_eq!(d.changed.len(), 1);
         assert!(d.is_clean());
+    }
+
+    #[test]
+    fn tolerances_parse_and_match() {
+        let t = Tolerances::parse(
+            "# comment\n\nrp_launch_seconds_sum 0.5\nrp_exec_seconds_sum{backend=\"flux\"}\t0.1\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        // Family match covers any labels.
+        assert_eq!(
+            t.for_key("rp_launch_seconds_sum{backend=\"srun\"}", 0.05),
+            0.5
+        );
+        assert_eq!(t.for_key("rp_launch_seconds_sum", 0.05), 0.5);
+        // Exact (labeled) match only covers that sample.
+        assert_eq!(
+            t.for_key("rp_exec_seconds_sum{backend=\"flux\"}", 0.05),
+            0.1
+        );
+        assert_eq!(
+            t.for_key("rp_exec_seconds_sum{backend=\"srun\"}", 0.05),
+            0.05
+        );
+        // No match falls back to the default.
+        assert_eq!(t.for_key("rp_other_seconds_sum", 0.05), 0.05);
+    }
+
+    #[test]
+    fn tolerances_reject_malformed_lines() {
+        assert!(Tolerances::parse("rp_x\n").unwrap_err().contains("line 1"));
+        assert!(Tolerances::parse("rp_x nope\n")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(Tolerances::parse("rp_x -0.1\n")
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+
+    #[test]
+    fn per_metric_override_loosens_one_family_only() {
+        let base = "rp_launch_seconds_sum 1.0\nrp_exec_seconds_sum 1.0\n";
+        let cand = "rp_launch_seconds_sum 1.2\nrp_exec_seconds_sum 1.2\n";
+        // Default 5%: both regress.
+        let d = diff_openmetrics(base, cand, 0.05).unwrap();
+        assert_eq!(d.regressions.len(), 2);
+        // Loosen only launch: exec still regresses.
+        let t = Tolerances::parse("rp_launch_seconds_sum 0.5\n").unwrap();
+        let d = diff_openmetrics_with(base, cand, 0.05, &t).unwrap();
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].key, "rp_exec_seconds_sum");
     }
 }

@@ -513,7 +513,7 @@ impl ResourcePool {
             self.index_stale = false;
         }
 
-        let plan = self.plan_cached(req)?;
+        let plan = self.plan_take_cached(req)?;
         self.version += 1;
         // Commit. Ranks on the same node are consecutive in plan order, so
         // one index refresh per touched node suffices; a placement touching
@@ -832,6 +832,22 @@ impl ResourcePool {
             plan: plan.clone(),
         });
         plan
+    }
+
+    /// [`ResourcePool::plan_cached`] for the commit path: a hit is *moved*
+    /// out of the cache (the commit bumps `version` immediately, so the
+    /// entry dies either way) and a miss plans directly without storing.
+    /// Populating the memo here would clone a plan the very next statement
+    /// invalidates — for whole-machine placements that clone is the
+    /// dominant cost of `try_alloc` (the `placement_spread_n1024`
+    /// regression).
+    fn plan_take_cached(&mut self, req: &ResourceRequest) -> Option<Placement> {
+        if let Some(c) = self.plan_cache.get_mut() {
+            if c.version == self.version && c.req == *req {
+                return c.plan.take();
+            }
+        }
+        self.plan(req)
     }
 
     /// Return a placement's resources to the pool. Freeing resources that

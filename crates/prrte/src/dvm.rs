@@ -81,6 +81,8 @@ pub struct PrrteDvm {
     rng: RngStream,
     in_flight: FxHashMap<u64, PrrteTask>,
     completed: u64,
+    /// Deepest the HNP queue has ever been.
+    queued_peak: usize,
     alive: bool,
     prof: Profiler,
     syms: Option<ProfSyms>,
@@ -101,6 +103,7 @@ impl PrrteDvm {
             rng: RngStream::derive(seed, "prrte-dvm"),
             in_flight: FxHashMap::default(),
             completed: 0,
+            queued_peak: 0,
             alive: true,
             prof: Profiler::disabled(),
             syms: None,
@@ -140,6 +143,12 @@ impl PrrteDvm {
         self.queue.len()
     }
 
+    /// Deepest the HNP queue has ever been (exact: updated at every
+    /// enqueue, so it can't miss spikes between samples).
+    pub fn queued_peak(&self) -> usize {
+        self.queued_peak
+    }
+
     /// Tasks launched and still running.
     pub fn running_count(&self) -> usize {
         self.in_flight.len()
@@ -176,6 +185,7 @@ impl PrrteDvm {
             m.on_submit(task.id, self.queue.len(), contended);
         }
         self.queue.push_back(task);
+        self.queued_peak = self.queued_peak.max(self.queue.len());
         self.pump(out);
     }
 

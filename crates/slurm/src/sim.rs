@@ -65,6 +65,9 @@ pub struct SrunSim {
     cal: Calibration,
     rng: RngStream,
     queue: VecDeque<StepRequest>,
+    /// Longest the pending queue has ever been (exact: updated at every
+    /// enqueue, so it can't miss spikes between telemetry samples).
+    queued_peak: usize,
     /// Steps past slot-acquisition, keyed by id: payload duration (None for
     /// persistent holds, which release only via `release_persistent`).
     in_flight: FxHashMap<StepId, Option<SimDuration>>,
@@ -83,6 +86,7 @@ impl SrunSim {
             rng: RngStream::derive(seed, "srun"),
             cal,
             queue: VecDeque::new(),
+            queued_peak: 0,
             in_flight: FxHashMap::default(),
             prof: Profiler::disabled(),
             syms: None,
@@ -115,6 +119,11 @@ impl SrunSim {
         self.queue.len()
     }
 
+    /// Deepest the pending-step queue has ever been.
+    pub fn queued_peak(&self) -> usize {
+        self.queued_peak
+    }
+
     /// Slots currently held.
     pub fn slots_in_use(&self) -> usize {
         self.slots.in_use()
@@ -139,6 +148,7 @@ impl SrunSim {
             m.on_submit(step.id.0, self.queue.len(), contended);
         }
         self.queue.push_back(step);
+        self.queued_peak = self.queued_peak.max(self.queue.len());
         self.pump(out);
     }
 
@@ -151,6 +161,7 @@ impl SrunSim {
             step_nodes,
             duration: SimDuration::ZERO,
         });
+        self.queued_peak = self.queued_peak.max(self.queue.len());
         // Mark as persistent before the pump can see it launch.
         self.in_flight.insert(id, None);
         self.pump(out);

@@ -1,0 +1,523 @@
+//! Online anomaly detectors over the sampled stream.
+//!
+//! All detectors run at sample-tick granularity, in a fixed order, over
+//! deterministic inputs — the flight recorder is golden-testable. Each
+//! sustained condition uses rising/falling-edge semantics: one alarm when
+//! the condition starts, one `*_cleared` info record when it ends, no
+//! per-tick spam in between.
+
+use crate::json::{kv_f64, kv_str, kv_u64};
+use crate::series::Sample;
+use crate::{Inner, BACKEND_NAMES, STATE_NAMES};
+use rp_sim::{FxHashSet, SimTime};
+use std::collections::VecDeque;
+
+/// Alarm severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A condition ended or is informational.
+    Info,
+    /// Degradation worth investigating.
+    Warning,
+    /// The run is likely mis-provisioned or wedged.
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase label used in the flight-recorder JSONL and dashboards.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One flight-recorder record: what fired, when, how bad, and the causal
+/// context (task / backend / partition) when the detector has it.
+#[derive(Debug, Clone)]
+pub struct Alarm {
+    /// Sample tick the condition was observed at.
+    pub t: SimTime,
+    /// Detector identifier (`straggler`, `queue_growth`,
+    /// `dispatcher_saturation`, `utilization_collapse`, or a `*_cleared`
+    /// variant).
+    pub kind: &'static str,
+    /// How bad.
+    pub severity: Severity,
+    /// The observed value that tripped the rule.
+    pub value: f64,
+    /// The threshold it tripped.
+    pub threshold: f64,
+    /// Offending task uid, when the detector is task-scoped.
+    pub uid: Option<u64>,
+    /// Task state index ([`STATE_NAMES`]) the condition refers to.
+    pub state: Option<u8>,
+    /// Backend kind index ([`BACKEND_NAMES`]) when attributable.
+    pub backend: Option<u8>,
+    /// Partition id when attributable.
+    pub partition: Option<u32>,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+impl Alarm {
+    /// Append this record as one JSONL line (fixed key order; context
+    /// keys present only when known, which is itself deterministic).
+    pub fn write_jsonl(&self, out: &mut String) {
+        let mut first = true;
+        out.push('{');
+        kv_f64(out, &mut first, "t", self.t.as_secs_f64());
+        kv_str(out, &mut first, "kind", self.kind);
+        kv_str(out, &mut first, "severity", self.severity.as_str());
+        kv_f64(out, &mut first, "value", self.value);
+        kv_f64(out, &mut first, "threshold", self.threshold);
+        if let Some(uid) = self.uid {
+            kv_u64(out, &mut first, "uid", uid);
+        }
+        if let Some(s) = self.state {
+            kv_str(out, &mut first, "state", STATE_NAMES[usize::from(s).min(8)]);
+        }
+        if let Some(b) = self.backend {
+            kv_str(
+                out,
+                &mut first,
+                "backend",
+                BACKEND_NAMES[usize::from(b).min(3)],
+            );
+        }
+        if let Some(p) = self.partition {
+            kv_u64(out, &mut first, "partition", u64::from(p));
+        }
+        kv_str(out, &mut first, "msg", &self.message);
+        out.push_str("}\n");
+    }
+}
+
+/// Cross-tick detector memory.
+pub(crate) struct DetectorState {
+    /// `(uid, state)` pairs already flagged as stragglers — one alarm per
+    /// task per state, not one per tick.
+    flagged: FxHashSet<(u64, u8)>,
+    /// Recent queue depths for the growth-rate regression.
+    depth_window: VecDeque<f64>,
+    growth_active: bool,
+    saturated: bool,
+    collapsed: bool,
+    peak_util: f64,
+}
+
+impl DetectorState {
+    pub(crate) fn new() -> Self {
+        DetectorState {
+            flagged: FxHashSet::default(),
+            depth_window: VecDeque::new(),
+            growth_active: false,
+            saturated: false,
+            collapsed: false,
+            peak_util: 0.0,
+        }
+    }
+}
+
+fn push_alarm(inner: &mut Inner, alarm: Alarm) {
+    if inner.alarms.len() >= inner.cfg.max_alarms {
+        inner.alarms_dropped += 1;
+    } else {
+        inner.alarms.push(alarm);
+    }
+}
+
+/// Run every detector against the tick that produced `sample`. Called
+/// with the sample not yet pushed into the ring.
+pub(crate) fn run_detectors(inner: &mut Inner, sample: &Sample) {
+    stragglers(inner, sample.t);
+    queue_growth(inner, sample);
+    saturation(inner, sample);
+    collapse(inner, sample);
+}
+
+/// Straggler rule: an in-flight task has dwelt in its current state
+/// longer than `straggler_factor ×` the rolling median dwell completed
+/// tasks showed for that state (with an absolute floor so µs-scale null
+/// workloads never alarm, and a minimum sample count so the median is
+/// meaningful). One alarm per `(task, state)`.
+///
+/// Cost: O(crossings), not O(in-flight). Each per-state arrival queue is
+/// sorted by entry time (sim time is monotonic), so only queue fronts can
+/// have crossed the dwell threshold; popped entries are validated lazily
+/// against the task table (the task may have moved on, re-entered the
+/// state, or finished since it was enqueued). A paper-scale run keeps
+/// ~200k tasks in flight — a full scan per tick was the sampler's whole
+/// overhead budget many times over.
+fn stragglers(inner: &mut Inner, now: SimTime) {
+    let cfg_factor = inner.cfg.straggler_factor;
+    let cfg_floor = inner.cfg.straggler_min_seconds;
+    let cfg_min = inner.cfg.straggler_min_samples;
+    struct Hit {
+        uid: u64,
+        state: u8,
+        backend: Option<u8>,
+        partition: Option<u32>,
+        dwell: f64,
+        threshold: f64,
+    }
+    // Collect first (pop order follows entry time, not uid), then sort by
+    // uid so the flight recorder is deterministic.
+    let mut hits: Vec<Hit> = Vec::new();
+    for s in 0..crate::STATES {
+        if inner.dwell[s].count() < cfg_min {
+            continue;
+        }
+        // One median per state per tick; the threshold is identical for
+        // every task in the state.
+        let threshold = (cfg_factor * inner.dwell[s].quantile(0.5)).max(cfg_floor);
+        while let Some(&(uid, entered)) = inner.arrivals[s].front() {
+            let dwell = now.saturating_since(entered).as_secs_f64();
+            if dwell <= threshold {
+                break;
+            }
+            inner.arrivals[s].pop_front();
+            let Some(track) = inner.tracks.get((uid >> inner.sample_shift) as usize) else {
+                continue;
+            };
+            if usize::from(track.state) != s || track.entered != entered {
+                continue; // finished, moved on, or re-entered the state since
+            }
+            if inner.detect.flagged.contains(&(uid, track.state)) {
+                continue;
+            }
+            hits.push(Hit {
+                uid,
+                state: track.state,
+                backend: (track.backend != crate::NO_BACKEND).then_some(track.backend),
+                partition: (track.partition != crate::NO_PARTITION).then_some(track.partition),
+                dwell,
+                threshold,
+            });
+        }
+    }
+    hits.sort_unstable_by_key(|h| h.uid);
+    for h in hits {
+        inner.detect.flagged.insert((h.uid, h.state));
+        push_alarm(
+            inner,
+            Alarm {
+                t: now,
+                kind: "straggler",
+                severity: Severity::Warning,
+                value: h.dwell,
+                threshold: h.threshold,
+                uid: Some(h.uid),
+                state: Some(h.state),
+                backend: h.backend,
+                partition: h.partition,
+                message: format!(
+                    "task {} dwelt {:.3}s in {} (limit {:.3}s)",
+                    h.uid,
+                    h.dwell,
+                    STATE_NAMES[usize::from(h.state).min(8)],
+                    h.threshold
+                ),
+            },
+        );
+    }
+}
+
+/// Queue-growth rule: linear growth rate over the last `growth_window`
+/// ticks exceeds `growth_min_rate` tasks/s while the depth is already at
+/// least `growth_min_depth` — the dispatcher is falling behind open-loop
+/// arrivals (ROADMAP item 2's failure mode).
+fn queue_growth(inner: &mut Inner, sample: &Sample) {
+    let window = inner.cfg.growth_window.max(2);
+    if inner.detect.depth_window.len() >= window {
+        inner.detect.depth_window.pop_front();
+    }
+    inner.detect.depth_window.push_back(sample.queue_depth);
+    if inner.detect.depth_window.len() < window {
+        return;
+    }
+    let first = inner.detect.depth_window.front().copied().unwrap_or(0.0);
+    let span_s = (window - 1) as f64 * inner.cfg.period.as_secs_f64().max(1e-9);
+    let rate = (sample.queue_depth - first) / span_s;
+    let growing =
+        sample.queue_depth >= inner.cfg.growth_min_depth && rate >= inner.cfg.growth_min_rate;
+    if growing && !inner.detect.growth_active {
+        inner.detect.growth_active = true;
+        let threshold = inner.cfg.growth_min_rate;
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "queue_growth",
+                severity: Severity::Warning,
+                value: rate,
+                threshold,
+                uid: None,
+                state: None,
+                backend: None,
+                partition: None,
+                message: format!(
+                    "agent queue growing {rate:.3} tasks/s at depth {:.0}",
+                    sample.queue_depth
+                ),
+            },
+        );
+    } else if !growing && inner.detect.growth_active && rate <= inner.cfg.growth_min_rate * 0.5 {
+        inner.detect.growth_active = false;
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "queue_growth_cleared",
+                severity: Severity::Info,
+                value: rate,
+                threshold: inner.cfg.growth_min_rate,
+                uid: None,
+                state: None,
+                backend: None,
+                partition: None,
+                message: format!("queue growth subsided ({rate:.3} tasks/s)"),
+            },
+        );
+    }
+}
+
+/// Dispatcher-saturation rule: the agent queue sits at or above
+/// `saturation_depth`. Attribution points at the deepest backend queue
+/// when one dominates.
+fn saturation(inner: &mut Inner, sample: &Sample) {
+    let depth = sample.queue_depth;
+    let threshold = inner.cfg.saturation_depth;
+    if depth >= threshold && !inner.detect.saturated {
+        inner.detect.saturated = true;
+        // Attribute to the deepest backend queue if any work is queued
+        // backend-side; ties break toward the lowest index (fixed order).
+        let backend = sample
+            .backend_queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| **q > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i as u8);
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "dispatcher_saturation",
+                severity: Severity::Critical,
+                value: depth,
+                threshold,
+                uid: None,
+                state: None,
+                backend,
+                partition: None,
+                message: format!("dispatcher saturated: queue depth {depth:.0}"),
+            },
+        );
+    } else if inner.detect.saturated && depth < threshold * 0.5 {
+        inner.detect.saturated = false;
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "dispatcher_saturation_cleared",
+                severity: Severity::Info,
+                value: depth,
+                threshold,
+                uid: None,
+                state: None,
+                backend: None,
+                partition: None,
+                message: format!("dispatcher drained to depth {depth:.0}"),
+            },
+        );
+    }
+}
+
+/// Utilization-collapse rule: core utilization fell below
+/// `collapse_fraction ×` its rolling peak while tasks are still queued —
+/// resources went idle with work waiting (a wedged backend, a placement
+/// livelock, or a draining bug). Ramp-up never alarms: the peak must
+/// clear `collapse_min_peak` first.
+fn collapse(inner: &mut Inner, sample: &Sample) {
+    inner.detect.peak_util = inner.detect.peak_util.max(sample.util);
+    let peak = inner.detect.peak_util;
+    if peak < inner.cfg.collapse_min_peak {
+        return;
+    }
+    let threshold = inner.cfg.collapse_fraction * peak;
+    let queued = sample.queue_depth + sample.backend_queues.iter().sum::<f64>();
+    let collapsed = sample.util < threshold && queued >= 1.0;
+    if collapsed && !inner.detect.collapsed {
+        inner.detect.collapsed = true;
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "utilization_collapse",
+                severity: Severity::Critical,
+                value: sample.util,
+                threshold,
+                uid: None,
+                state: None,
+                backend: None,
+                partition: None,
+                message: format!(
+                    "utilization {:.3} below {threshold:.3} (peak {peak:.3}) with {queued:.0} tasks queued",
+                    sample.util
+                ),
+            },
+        );
+    } else if inner.detect.collapsed && (sample.util >= threshold || queued < 1.0) {
+        inner.detect.collapsed = false;
+        push_alarm(
+            inner,
+            Alarm {
+                t: sample.t,
+                kind: "utilization_collapse_cleared",
+                severity: Severity::Info,
+                value: sample.util,
+                threshold,
+                uid: None,
+                state: None,
+                backend: None,
+                partition: None,
+                message: format!("utilization recovered to {:.3}", sample.util),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SampleInput, Telemetry, TelemetryConfig};
+    use rp_sim::{SimClock, SimDuration, SimTime};
+
+    fn tick(tel: &Telemetry, clock: &SimClock, s: u64, input: SampleInput) {
+        let t = SimTime::from_secs(s);
+        clock.set(t);
+        tel.on_sample(t, &input);
+    }
+
+    #[test]
+    fn straggler_fires_once_per_task_state() {
+        let clock = SimClock::new();
+        let cfg = TelemetryConfig {
+            straggler_min_samples: 4,
+            straggler_factor: 4.0,
+            straggler_min_seconds: 1.0,
+            straggler_sample_shift: 0,
+            ..TelemetryConfig::default()
+        };
+        let tel = Telemetry::new(clock.clone(), cfg);
+        // Four fast tasks build a median dwell of ~1 s in EXECUTING.
+        for uid in 0..4 {
+            tel.on_submitted(uid);
+            tel.on_transition(uid, 1, 5, Some(1), Some(0));
+        }
+        clock.set(SimTime::from_secs(1));
+        for uid in 0..4 {
+            tel.on_transition(uid, 5, 6, None, None);
+        }
+        // Task 99 enters EXECUTING and never leaves.
+        tel.on_submitted(99);
+        tel.on_transition(99, 1, 5, Some(2), Some(1));
+        for s in 2..=10 {
+            tick(&tel, &clock, s, SampleInput::default());
+        }
+        let snap = tel.snapshot();
+        let stragglers: Vec<_> = snap
+            .alarms
+            .iter()
+            .filter(|a| a.kind == "straggler")
+            .collect();
+        assert_eq!(stragglers.len(), 1, "{:?}", snap.alarms);
+        assert_eq!(stragglers[0].uid, Some(99));
+        assert_eq!(stragglers[0].state, Some(5));
+        assert_eq!(stragglers[0].backend, Some(2));
+        assert_eq!(stragglers[0].partition, Some(1));
+    }
+
+    #[test]
+    fn saturation_edges_fire_once() {
+        let clock = SimClock::new();
+        let cfg = TelemetryConfig {
+            saturation_depth: 10.0,
+            ..TelemetryConfig::default()
+        };
+        let tel = Telemetry::new(clock.clone(), cfg);
+        let deep = SampleInput {
+            queue_depth: 50.0,
+            backend_queues: [0.0, 40.0, 10.0, 0.0],
+            ..SampleInput::default()
+        };
+        for s in 1..=5 {
+            tick(&tel, &clock, s, deep);
+        }
+        tick(&tel, &clock, 6, SampleInput::default());
+        let snap = tel.snapshot();
+        let kinds: Vec<&str> = snap.alarms.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            ["dispatcher_saturation", "dispatcher_saturation_cleared"]
+        );
+        // Attribution picks the deepest backend queue: flux.
+        assert_eq!(snap.alarms[0].backend, Some(1));
+    }
+
+    #[test]
+    fn collapse_requires_ramp_then_drop_with_backlog() {
+        let clock = SimClock::new();
+        let tel = Telemetry::new(clock.clone(), TelemetryConfig::default());
+        let busy = SampleInput {
+            busy_cores: 90.0,
+            capacity_cores: 100.0,
+            ..SampleInput::default()
+        };
+        let idle_with_backlog = SampleInput {
+            busy_cores: 1.0,
+            capacity_cores: 100.0,
+            queue_depth: 30.0,
+            ..SampleInput::default()
+        };
+        tick(&tel, &clock, 1, busy);
+        tick(&tel, &clock, 2, idle_with_backlog);
+        tick(&tel, &clock, 3, busy);
+        let kinds: Vec<&str> = tel.snapshot().alarms.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            ["utilization_collapse", "utilization_collapse_cleared"]
+        );
+    }
+
+    #[test]
+    fn queue_growth_needs_full_window() {
+        let clock = SimClock::new();
+        let cfg = TelemetryConfig {
+            period: SimDuration::from_secs(1),
+            growth_window: 4,
+            growth_min_depth: 10.0,
+            growth_min_rate: 2.0,
+            ..TelemetryConfig::default()
+        };
+        let tel = Telemetry::new(clock.clone(), cfg);
+        for (s, depth) in [(1, 0.0), (2, 10.0), (3, 20.0), (4, 30.0), (5, 40.0)] {
+            tick(
+                &tel,
+                &clock,
+                s,
+                SampleInput {
+                    queue_depth: depth,
+                    ..SampleInput::default()
+                },
+            );
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.alarms.len(), 1);
+        assert_eq!(snap.alarms[0].kind, "queue_growth");
+        // 0 → 30 over 3 s at the first full window = 10 tasks/s.
+        assert!(snap.alarms[0].value >= 2.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal hand-rolled JSON emission with fixed formatting, so that the
+//! telemetry exports are byte-stable golden-test material: keys always in
+//! declaration order, floats always `{:.6}`, no whitespace.
+
+use std::fmt::Write as _;
+
+/// `"key":` — callers append the value right after.
+pub(crate) fn key(out: &mut String, first: &mut bool, k: &str) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(k);
+    out.push_str("\":");
+}
+
+/// `"key":1.234567` (fixed six decimals; non-finite values map to 0 so a
+/// NaN can never poison a golden file).
+pub(crate) fn kv_f64(out: &mut String, first: &mut bool, k: &str, v: f64) {
+    key(out, first, k);
+    let v = if v.is_finite() { v } else { 0.0 };
+    let _ = write!(out, "{v:.6}");
+}
+
+/// `"key":42`.
+pub(crate) fn kv_u64(out: &mut String, first: &mut bool, k: &str, v: u64) {
+    key(out, first, k);
+    let _ = write!(out, "{v}");
+}
+
+/// `"key":"value"` with minimal escaping (quotes, backslashes, control
+/// chars — telemetry strings are ASCII identifiers and messages).
+pub(crate) fn kv_str(out: &mut String, first: &mut bool, k: &str, v: &str) {
+    key(out, first, k);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

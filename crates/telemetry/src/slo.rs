@@ -1,0 +1,129 @@
+//! Running SLO percentiles over the task transition stream.
+//!
+//! Two latency distributions matter for open-loop traffic (ROADMAP item
+//! 2): *time-to-launch* (submit → first EXECUTING, the scheduling +
+//! dispatch latency the runtime owns) and *time-to-completion* (submit →
+//! DONE, what the campaign experiences). Both accumulate into the same
+//! 64-bucket log histograms the metrics registry uses, so percentiles are
+//! O(1)-memory, mergeable, and cheap enough to read at every sample tick.
+
+use rp_metrics::HistData;
+
+/// Streaming TTL/TTC percentile tracker.
+#[derive(Debug, Clone, Default)]
+pub struct SloTracker {
+    launch: HistData,
+    completion: HistData,
+}
+
+impl SloTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        SloTracker::default()
+    }
+
+    /// Record one submit→EXECUTING latency (seconds). Hot path: one
+    /// call per task at paper scale, so this uses the bit-pattern
+    /// bucketing (`HistData::record_fast`).
+    #[inline]
+    pub fn record_launch(&mut self, seconds: f64) {
+        self.launch.record_fast(seconds);
+    }
+
+    /// Record one submit→DONE latency (seconds); see
+    /// [`Self::record_launch`] on the fast bucketing.
+    #[inline]
+    pub fn record_completion(&mut self, seconds: f64) {
+        self.completion.record_fast(seconds);
+    }
+
+    /// Estimated time-to-launch quantile (0 when no launches yet).
+    pub fn launch_quantile(&self, q: f64) -> f64 {
+        self.launch.quantile(q)
+    }
+
+    /// Estimated time-to-completion quantile (0 when no completions yet).
+    pub fn completion_quantile(&self, q: f64) -> f64 {
+        self.completion.quantile(q)
+    }
+
+    /// The underlying time-to-launch histogram.
+    pub fn launch_hist(&self) -> &HistData {
+        &self.launch
+    }
+
+    /// The underlying time-to-completion histogram.
+    pub fn completion_hist(&self) -> &HistData {
+        &self.completion
+    }
+
+    /// The standard p50/p99/p999 digest.
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            launches: self.launch.count(),
+            launch_p50: self.launch.quantile(0.50),
+            launch_p99: self.launch.quantile(0.99),
+            launch_p999: self.launch.quantile(0.999),
+            launch_max: self.launch.max(),
+            completions: self.completion.count(),
+            completion_p50: self.completion.quantile(0.50),
+            completion_p99: self.completion.quantile(0.99),
+            completion_p999: self.completion.quantile(0.999),
+            completion_max: self.completion.max(),
+        }
+    }
+}
+
+/// Point-in-time SLO digest (all latencies in seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloSnapshot {
+    /// Launch observations so far.
+    pub launches: u64,
+    /// Median time-to-launch.
+    pub launch_p50: f64,
+    /// p99 time-to-launch.
+    pub launch_p99: f64,
+    /// p999 time-to-launch.
+    pub launch_p999: f64,
+    /// Worst observed time-to-launch.
+    pub launch_max: f64,
+    /// Completion observations so far.
+    pub completions: u64,
+    /// Median time-to-completion.
+    pub completion_p50: f64,
+    /// p99 time-to-completion.
+    pub completion_p99: f64,
+    /// p999 time-to-completion.
+    pub completion_p999: f64,
+    /// Worst observed time-to-completion.
+    pub completion_max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut slo = SloTracker::new();
+        for i in 1..=1000 {
+            slo.record_launch(i as f64 / 100.0); // 0.01 .. 10.0 s
+        }
+        let s = slo.snapshot();
+        assert_eq!(s.launches, 1000);
+        assert!(s.launch_p50 <= s.launch_p99);
+        assert!(s.launch_p99 <= s.launch_p999);
+        assert!(s.launch_p999 <= s.launch_max);
+        assert_eq!(s.launch_max, 10.0);
+        // Log buckets are within one √2 step of the exact percentile.
+        assert!(s.launch_p50 >= 5.0 && s.launch_p50 <= 5.0 * std::f64::consts::SQRT_2);
+    }
+
+    #[test]
+    fn empty_tracker_reads_zero() {
+        let s = SloTracker::new().snapshot();
+        assert_eq!(s.launch_p999, 0.0);
+        assert_eq!(s.completion_p50, 0.0);
+        assert_eq!(s.completions, 0);
+    }
+}

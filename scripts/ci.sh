@@ -12,13 +12,25 @@ cargo test -q --offline --workspace
 
 # Metrics smoke: a quick deterministic run must produce a parseable
 # OpenMetrics document, and the snapshot diff vs the checked-in baseline
-# runs warn-only (real regressions are caught by same-machine diffs).
+# is ENFORCING — the simulation is seeded and deterministic, so any drift
+# is a real behavior change. Known-noisy micro-latency families carry
+# looser per-metric bounds in baselines/metrics.tolerances.
 METRICS_DIR="$(mktemp -d)"
 ./target/release/exp_overhead --quick --metrics-dir "$METRICS_DIR" > /dev/null
 test -s "$METRICS_DIR/overhead_flux_n_4.om.txt"
 ./target/release/compare_metrics baselines/metrics.txt \
-    "$METRICS_DIR/overhead_flux_n_4.om.txt" --warn-only
+    "$METRICS_DIR/overhead_flux_n_4.om.txt" \
+    --tolerances baselines/metrics.tolerances
 rm -rf "$METRICS_DIR"
+
+# Telemetry smoke: a quick flux_1 run with the streaming-telemetry
+# collector attached must produce non-empty JSONL time-series and a
+# self-contained HTML dashboard (uploaded as a CI artifact in ci.yml).
+TELEMETRY_DIR="${TELEMETRY_DIR:-$(mktemp -d)}"
+./target/release/exp_flux1 --quick --telemetry-dir "$TELEMETRY_DIR" > /dev/null
+test -s "$TELEMETRY_DIR/flux_1_null_n_1.telemetry.jsonl"
+test -s "$TELEMETRY_DIR/flux_1_null_n_1.dashboard.html"
+grep -q "<!DOCTYPE html>" "$TELEMETRY_DIR/flux_1_null_n_1.dashboard.html"
 
 # Perf smoke: build the hot-path benchmark in release and run it at quick
 # sizes. The baseline compare is warn-only, mirroring the metrics smoke:

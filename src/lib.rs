@@ -11,7 +11,9 @@
 //! - [`platform`]: the simulated machine, resource algebra, calibration;
 //! - [`sim`]: the discrete-event kernel;
 //! - [`workloads`]: synthetic batches and the IMPECCABLE campaign;
-//! - [`analytics`]: throughput/utilization/overhead metrics and timelines.
+//! - [`analytics`]: throughput/utilization/overhead metrics and timelines;
+//! - [`telemetry`]: streaming time-series sampling, SLO percentiles, and
+//!   the online-detector flight recorder.
 //!
 //! # Quickstart
 //!
@@ -35,4 +37,5 @@ pub use rp_platform as platform;
 pub use rp_prrte as prrte;
 pub use rp_sim as sim;
 pub use rp_slurm as slurm;
+pub use rp_telemetry as telemetry;
 pub use rp_workloads as workloads;
