@@ -8,7 +8,7 @@
 //! no timestamps other than the ones in the data.
 
 use crate::critical_path::CriticalPath;
-use rp_telemetry::{Sample, TelemetryData, BACKEND_NAMES, STATE_NAMES};
+use rp_telemetry::{ExemplarSet, Sample, TelemetryData, BACKEND_NAMES, STATE_NAMES};
 use std::fmt::Write as _;
 
 /// Chart canvas geometry (viewBox units; the SVGs scale to fit).
@@ -148,31 +148,54 @@ fn pick<F: Fn(&Sample) -> f64>(samples: &[Sample], f: F) -> Vec<(f64, f64)> {
     samples.iter().map(|s| (s.t.as_secs_f64(), f(s))).collect()
 }
 
+/// Render a tail-exemplar ring as `12, 34` (or `—` when the feed carried
+/// no task identities, e.g. the rt plane's completion records).
+fn exemplar_uids(ex: &ExemplarSet) -> String {
+    if ex.is_empty() {
+        "—".into()
+    } else {
+        ex.uids()
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
 fn slo_table(tel: &TelemetryData) -> String {
     let s = &tel.slo;
     let mut out = String::from(
         "<h2>SLO percentiles</h2>\n<table><tr><th>metric</th><th>n</th>\
-         <th>p50</th><th>p99</th><th>p999</th><th>max</th></tr>",
+         <th>p50</th><th>p99</th><th>p999</th><th>max</th>\
+         <th>p99 exemplars</th><th>p999 exemplars</th></tr>",
     );
     let _ = write!(
         out,
-        "<tr><td>time-to-launch (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+        "<tr><td>time-to-launch (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
         s.launches,
         num(s.launch_p50),
         num(s.launch_p99),
         num(s.launch_p999),
-        num(s.launch_max)
+        num(s.launch_max),
+        esc(&exemplar_uids(&s.launch_p99_exemplars)),
+        esc(&exemplar_uids(&s.launch_p999_exemplars)),
     );
     let _ = write!(
         out,
-        "<tr><td>time-to-completion (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+        "<tr><td>time-to-completion (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
         s.completions,
         num(s.completion_p50),
         num(s.completion_p99),
         num(s.completion_p999),
-        num(s.completion_max)
+        num(s.completion_max),
+        esc(&exemplar_uids(&s.completion_p99_exemplars)),
+        esc(&exemplar_uids(&s.completion_p999_exemplars)),
     );
-    out.push_str("</table>\n");
+    out.push_str(
+        "</table>\n<p>Exemplars are real task uids from the tail buckets; \
+         narrate one with <code>rp-explain &lt;uid&gt;</code> against the \
+         run's <code>--lineage-dir</code>.</p>\n",
+    );
     out
 }
 
@@ -489,6 +512,9 @@ mod tests {
         assert!(!html.contains("http://"));
         assert!(!html.contains("https://"));
         assert!(html.contains("No alarms"));
+        // Tail rows carry the exemplar columns linking to rp-explain.
+        assert!(html.contains("p999 exemplars"));
+        assert!(html.contains("rp-explain"));
     }
 
     #[test]

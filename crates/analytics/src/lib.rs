@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod compare;
 pub mod critical_path;
 pub mod dashboard;
@@ -21,6 +22,10 @@ pub mod stats;
 pub mod timeline;
 pub mod trace;
 
+pub use blame::{
+    blame_report, blame_task, diff_reports, explain, render_report, BlameReport, BlameSegment,
+    TaskBlame, PHASES,
+};
 pub use compare::{compare, paired_timeline_csv, Comparison};
 pub use critical_path::{critical_path, CriticalPath, TaskAttribution};
 pub use dashboard::render_dashboard;

@@ -202,6 +202,7 @@ mod tests {
             profile: None,
             metrics: None,
             telemetry: None,
+            lineage: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-9, "{u:?}");
@@ -232,6 +233,7 @@ mod tests {
             profile: None,
             metrics: None,
             telemetry: None,
+            lineage: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-6, "{}", u.cores);

@@ -55,6 +55,7 @@ fn utilization_bounded_and_exact() {
             profile: None,
             metrics: None,
             telemetry: None,
+            lineage: None,
         };
         let u = utilization(&report).expect("tasks ran");
         assert!(

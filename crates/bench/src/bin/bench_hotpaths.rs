@@ -296,6 +296,21 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
         "telemetry overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
         overhead * 100.0
     );
+    // The same cell with the causal-lineage recorder attached: lineage
+    // records every task (no sampling), so this bounds the tracked-path
+    // cost of `--lineage-dir`.
+    run_report(
+        &format!("e2e_flux1_null_lineage_n{nodes}"),
+        || {
+            SimSession::with_tasks(
+                PilotConfig::flux(nodes, 1).with_seed(1000),
+                null_workload(nodes),
+            )
+            .with_lineage()
+            .run()
+        },
+        out,
+    );
     run_report(
         &format!("e2e_flux1_dummy360_n{nodes}"),
         || {
@@ -443,6 +458,18 @@ fn main() {
         json,
         "  \"telemetry_overhead_frac\": {telemetry_overhead:.4},"
     );
+    // Carry the baseline's overhead fraction forward so the before/after
+    // pair for the instrumentation budget lives in one file.
+    let before_overhead = baseline_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|t| {
+            t.lines()
+                .find_map(|l| field_f64(l, "telemetry_overhead_frac"))
+        });
+    if let Some(before) = before_overhead {
+        let _ = writeln!(json, "  \"telemetry_overhead_frac_before\": {before:.4},");
+    }
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(

@@ -32,6 +32,7 @@ fn main() {
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
     let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
+    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
     let mut text = String::from("Ablation experiments (DESIGN.md §7)\n\n");
 
@@ -212,6 +213,7 @@ fn main() {
                 profile_dir.as_deref(),
                 metrics_dir.as_deref(),
                 telemetry_dir.as_deref(),
+                lineage_dir.as_deref(),
             );
             let line = format!(
                 "   {:<22} thr_avg={:>7.1}/s peak={:>6.0}\n",

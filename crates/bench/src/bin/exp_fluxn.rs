@@ -9,8 +9,8 @@
 //! nodes, dropping (≈75 %) at 1024/16.
 
 use rp_bench::{
-    metrics_dir_from_args, profile_dir_from_args, repeat_static, telemetry_dir_from_args,
-    write_results, ExpRow,
+    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
+    telemetry_dir_from_args, write_results, ExpRow,
 };
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
@@ -22,6 +22,7 @@ fn main() {
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
     let telemetry_dir = telemetry_dir_from_args(&args);
+    let lineage_dir = lineage_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
@@ -53,6 +54,7 @@ fn main() {
                 profile_dir.as_deref(),
                 metrics_dir.as_deref(),
                 telemetry_dir.as_deref(),
+                lineage_dir.as_deref(),
             );
             println!("{}", row.table_line());
             text.push_str(&row.table_line());

@@ -14,6 +14,7 @@ use rp_core::{PilotConfig, SimSession};
 use rp_workloads::{impeccable_campaign, ImpeccableParams};
 use std::fmt::Write as _;
 
+#[allow(clippy::too_many_arguments)] // positional instrumentation dirs mirror the CLI flags
 fn run_one(
     backend: &str,
     nodes: u32,
@@ -22,6 +23,7 @@ fn run_one(
     profile_dir: Option<&std::path::Path>,
     metrics_dir: Option<&std::path::Path>,
     telemetry_dir: Option<&std::path::Path>,
+    lineage_dir: Option<&std::path::Path>,
 ) -> (rp_analytics::RunDigest, rp_core::RunReport) {
     let cfg = match backend {
         "srun" => PilotConfig::srun(nodes),
@@ -41,6 +43,9 @@ fn run_one(
     if telemetry_dir.is_some() {
         session = session.with_telemetry(rp_sim::SimDuration::from_secs(60));
     }
+    if lineage_dir.is_some() {
+        session = session.with_lineage();
+    }
     let report = session.run();
     if let (Some(dir), Some(p)) = (profile_dir, &report.profile) {
         rp_bench::write_profile(dir, &format!("impeccable {backend} n={nodes}"), p);
@@ -50,6 +55,9 @@ fn run_one(
     }
     if let Some(dir) = telemetry_dir {
         rp_bench::write_telemetry(dir, &format!("impeccable {backend} n={nodes}"), &report);
+    }
+    if let Some(dir) = lineage_dir {
+        rp_bench::write_lineage(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
     let d = digest(&report);
     let line = format!(
@@ -98,6 +106,7 @@ fn main() {
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
     let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
+    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
     let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
 
     let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
@@ -111,6 +120,7 @@ fn main() {
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
             telemetry_dir.as_deref(),
+            lineage_dir.as_deref(),
         );
         let (df, rf) = run_one(
             "flux",
@@ -120,6 +130,7 @@ fn main() {
             profile_dir.as_deref(),
             metrics_dir.as_deref(),
             telemetry_dir.as_deref(),
+            lineage_dir.as_deref(),
         );
         let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
         let line = format!(

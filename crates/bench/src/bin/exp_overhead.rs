@@ -12,8 +12,8 @@
 
 use rp_analytics::overheads;
 use rp_bench::{
-    metrics_dir_from_args, profile_dir_from_args, telemetry_dir_from_args, write_metrics,
-    write_profile, write_results, write_telemetry,
+    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, telemetry_dir_from_args,
+    write_lineage, write_metrics, write_profile, write_results, write_telemetry,
 };
 use rp_core::{PilotConfig, SimSession, TaskDescription};
 use rp_sim::SimDuration;
@@ -25,6 +25,7 @@ fn main() {
     let profile_dir = profile_dir_from_args(&args);
     let metrics_dir = metrics_dir_from_args(&args);
     let telemetry_dir = telemetry_dir_from_args(&args);
+    let lineage_dir = lineage_dir_from_args(&args);
     let mut text = String::from("Experiment overheads — instance bootstrap, Fig. 7\n\n");
 
     // Per-size overheads: one instance over n nodes, trivial workload.
@@ -48,6 +49,9 @@ fn main() {
             if telemetry_dir.is_some() {
                 session = session.with_telemetry(SimDuration::from_secs(1));
             }
+            if lineage_dir.is_some() {
+                session = session.with_lineage();
+            }
             let report = session.run();
             let label = format!("overhead {kind} n={nodes}");
             if let (Some(dir), Some(p)) = (&profile_dir, &report.profile) {
@@ -58,6 +62,9 @@ fn main() {
             }
             if let Some(dir) = &telemetry_dir {
                 write_telemetry(dir, &label, &report);
+            }
+            if let Some(dir) = &lineage_dir {
+                write_lineage(dir, &label, &report);
             }
             let ov = overheads(&report);
             for (k, p, n, o) in &ov.instances {
@@ -79,12 +86,18 @@ fn main() {
     if telemetry_dir.is_some() {
         session = session.with_telemetry(SimDuration::from_secs(1));
     }
+    if lineage_dir.is_some() {
+        session = session.with_lineage();
+    }
     let report = session.run();
     if let Some(dir) = &metrics_dir {
         write_metrics(dir, "overhead flux concurrent", &report);
     }
     if let Some(dir) = &telemetry_dir {
         write_telemetry(dir, "overhead flux concurrent", &report);
+    }
+    if let Some(dir) = &lineage_dir {
+        write_lineage(dir, "overhead flux concurrent", &report);
     }
     let ov = overheads(&report);
     let per_instance: Vec<f64> = ov.instances.iter().map(|i| i.3).collect();

@@ -11,6 +11,9 @@
 //! `--telemetry-dir <dir>` is forwarded so every experiment also writes
 //! streaming-telemetry time-series + flight-recorder JSONL and an HTML
 //! dashboard for one rep per configuration;
+//! `--lineage-dir <dir>` is forwarded so every experiment also writes
+//! per-task causal lineage JSONL + blame reports (`rp-explain` input) for
+//! one rep per configuration;
 //! `--jobs N` runs up to N experiment binaries concurrently (each
 //! simulation is single-threaded and seeded, so configurations are
 //! embarrassingly parallel) and is forwarded so each experiment also
@@ -27,6 +30,7 @@ fn main() {
     let profile_dir = rp_bench::profile_dir_from_args(&args);
     let metrics_dir = rp_bench::metrics_dir_from_args(&args);
     let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
+    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
     let jobs = rp_bench::jobs_from_args(&args);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
@@ -142,6 +146,9 @@ fn main() {
         }
         if let Some(dir) = &telemetry_dir {
             cmd.arg("--telemetry-dir").arg(dir);
+        }
+        if let Some(dir) = &lineage_dir {
+            cmd.arg("--lineage-dir").arg(dir);
         }
         cmd.arg("--jobs").arg(jobs.to_string());
         cmd

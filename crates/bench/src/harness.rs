@@ -146,6 +146,15 @@ pub fn telemetry_dir_from_args(args: &[String]) -> Option<PathBuf> {
     dir_from_args(args, "telemetry-dir")
 }
 
+/// Parse `--lineage-dir <dir>` (or `--lineage-dir=<dir>`) from argv. When
+/// present, the repetition helpers run rep 0 of every configuration with
+/// the causal-lineage recorder attached and write the per-task event
+/// chains as byte-deterministic JSONL plus an aggregate blame report
+/// there. `rp-explain` consumes these files.
+pub fn lineage_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    dir_from_args(args, "lineage-dir")
+}
+
 /// Parse `--jobs <n>` (or `--jobs=<n>`) from argv: the number of worker
 /// threads the repetition helpers may use. Defaults to 1 (sequential);
 /// values below 1 are clamped up. Every simulation is single-threaded and
@@ -234,6 +243,23 @@ pub fn write_telemetry(dir: &Path, label: &str, report: &RunReport) {
     let _ = fs::write(dir.join(format!("{base}.dashboard.html")), html);
 }
 
+/// Write one run's causal lineage under `dir`: the per-task event chains
+/// (`<label>.lineage.jsonl`, byte-deterministic per seed) and the
+/// aggregate blame decomposition (`<label>.blame.txt`). `rp-explain`
+/// answers `why was task X slow?` and `what moved between runs A and B?`
+/// from these files. No-op when the report carries no lineage.
+pub fn write_lineage(dir: &Path, label: &str, report: &RunReport) {
+    let Some(lin) = &report.lineage else { return };
+    let _ = fs::create_dir_all(dir);
+    let base = sanitize(label);
+    let _ = fs::write(dir.join(format!("{base}.lineage.jsonl")), lin.to_jsonl());
+    let rep = rp_analytics::blame_report(lin);
+    let _ = fs::write(
+        dir.join(format!("{base}.blame.txt")),
+        rp_analytics::render_report(label, &rep),
+    );
+}
+
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
 /// each. `mk_workload` builds a fresh workload per rep (workload sources
 /// are consumed by the run); `mk_cfg` gets the rep's seed. With a
@@ -242,7 +268,9 @@ pub fn write_telemetry(dir: &Path, label: &str, report: &RunReport) {
 /// `metrics_dir`, rep 0 runs with metrics attached and its OpenMetrics
 /// document + summary land there the same way; with a `telemetry_dir`,
 /// rep 0 runs with the streaming-telemetry collector attached and its
-/// JSONL time-series + flight recorder + HTML dashboard land there too.
+/// JSONL time-series + flight recorder + HTML dashboard land there too;
+/// with a `lineage_dir`, rep 0 records every task's causal chain and its
+/// lineage JSONL + blame report land there for `rp-explain`.
 /// `jobs > 1` runs repetitions across that many scoped worker threads.
 /// Each rep's seed depends only on its index and each simulation is
 /// single-threaded and deterministic, so the reports are identical to the
@@ -259,6 +287,7 @@ pub fn repeat(
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
     telemetry_dir: Option<&Path>,
+    lineage_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     let run_rep = |rep: usize| -> RunReport {
         let seed = 1000 + 7919 * rep as u64;
@@ -272,6 +301,9 @@ pub fn repeat(
         }
         if rep == 0 && telemetry_dir.is_some() {
             session = session.with_telemetry(PROFILE_PERIOD);
+        }
+        if rep == 0 && lineage_dir.is_some() {
+            session = session.with_lineage();
         }
         session.run()
     };
@@ -310,6 +342,9 @@ pub fn repeat(
     if let Some(dir) = telemetry_dir {
         write_telemetry(dir, label, &reports[0]);
     }
+    if let Some(dir) = lineage_dir {
+        write_lineage(dir, label, &reports[0]);
+    }
     let digests: Vec<RunDigest> = reports.iter().map(digest).collect();
     (ExpRow::from_digests(label.to_string(), &digests), reports)
 }
@@ -325,6 +360,7 @@ pub fn repeat_static(
     profile_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
     telemetry_dir: Option<&Path>,
+    lineage_dir: Option<&Path>,
 ) -> (ExpRow, Vec<RunReport>) {
     repeat(
         label,
@@ -335,6 +371,7 @@ pub fn repeat_static(
         profile_dir,
         metrics_dir,
         telemetry_dir,
+        lineage_dir,
     )
 }
 
@@ -369,6 +406,7 @@ mod tests {
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
+            None,
             None,
             None,
             None,
@@ -408,6 +446,7 @@ mod tests {
             },
             None,
             Some(&dir),
+            None,
             None,
         );
         assert!(reports[0].metrics.is_some(), "rep 0 must carry a snapshot");
@@ -449,6 +488,7 @@ mod tests {
             None,
             None,
             Some(&dir),
+            None,
         );
         assert!(reports[0].telemetry.is_some(), "rep 0 must carry telemetry");
         assert!(
@@ -462,6 +502,45 @@ mod tests {
         let html = fs::read_to_string(dir.join("tiny_tel.dashboard.html")).expect("dashboard");
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("tiny tel"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `--lineage-dir` plumbing end to end: rep 0 records causal chains,
+    /// the JSONL round-trips, every task's blame identity holds exactly,
+    /// and the blame report renders.
+    #[test]
+    fn write_lineage_emits_jsonl_and_blame() {
+        let dir = std::env::temp_dir().join(format!("rp-bench-lin-{}", std::process::id()));
+        let (_, reports) = repeat_static(
+            "tiny lin",
+            2,
+            1,
+            |seed| PilotConfig::flux(2, 1).with_seed(seed),
+            || {
+                (0..20)
+                    .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
+                    .collect()
+            },
+            None,
+            None,
+            None,
+            Some(&dir),
+        );
+        assert!(reports[0].lineage.is_some(), "rep 0 must carry lineage");
+        assert!(reports[1].lineage.is_none(), "other reps stay untracked");
+        let text = fs::read_to_string(dir.join("tiny_lin.lineage.jsonl")).expect("jsonl");
+        let parsed = rp_lineage::LineageData::from_jsonl(&text).expect("parses");
+        let lin = reports[0].lineage.as_ref().unwrap();
+        assert_eq!(&parsed, lin, "JSONL round-trips losslessly");
+        assert_eq!(lin.task_count(), 20);
+        for uid in lin.uids() {
+            let tb = rp_analytics::blame_task(lin, uid).expect("blamed");
+            assert_eq!(tb.segments_total_us(), tb.end_to_end_us, "uid {uid}");
+            assert_eq!(tb.outcome, "done");
+        }
+        let blame = fs::read_to_string(dir.join("tiny_lin.blame.txt")).expect("blame");
+        assert!(blame.contains("20 tasks"));
+        assert!(blame.contains("execute"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -11,7 +11,8 @@ pub mod harness;
 pub mod microbench;
 
 pub use harness::{
-    jobs_from_args, metrics_dir_from_args, profile_dir_from_args, repeat, repeat_static,
-    telemetry_dir_from_args, write_metrics, write_profile, write_results, write_telemetry, ExpRow,
+    jobs_from_args, lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat,
+    repeat_static, telemetry_dir_from_args, write_lineage, write_metrics, write_profile,
+    write_results, write_telemetry, ExpRow,
 };
 pub use microbench::Micro;

@@ -29,6 +29,7 @@ use rp_fluxrt::{
     EasyBackfill, ExceptionKind, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId,
     JobSpec, SchedPolicy,
 };
+use rp_lineage::Lineage;
 use rp_metrics::{Counter as MCounter, Gauge as MGauge, Histogram as MHistogram, Registry, SpanId};
 use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
@@ -128,6 +129,9 @@ struct PrrteBackend {
     pool: ResourcePool,
     waiting: VecDeque<TaskId>,
     placements: UidMap<Placement>,
+    /// Head task already blamed for the current RP-side placement stall
+    /// (one lineage PLACE_REJECT per distinct blocked head).
+    lin_reject: Option<u64>,
 }
 
 /// The srun execution backend: agent-side capacity accounting plus the
@@ -485,6 +489,11 @@ pub struct SimAgent {
     /// Cached `Telemetry::straggler_sample_mask` — the transition funnel
     /// only assembles backend/partition context for sampled uids.
     tel_sample_mask: u64,
+    /// Causal-lineage recorder (None unless [`Self::attach_lineage`] ran).
+    /// Untracked runs pay exactly one `Option` check per hook site.
+    lineage: Option<Lineage>,
+    /// Head task already blamed for the current srun capacity stall.
+    lin_srun_reject: Option<u64>,
 }
 
 impl SimAgent {
@@ -602,6 +611,7 @@ impl SimAgent {
                                 pool: part.pool(),
                                 waiting: VecDeque::new(),
                                 placements: UidMap::default(),
+                                lin_reject: None,
                             });
                         }
                     }
@@ -708,6 +718,8 @@ impl SimAgent {
             telemetry: None,
             gauge_tick: std::cell::Cell::new(0),
             tel_sample_mask: u64::MAX,
+            lineage: None,
+            lin_srun_reject: None,
         }
     }
 
@@ -963,6 +975,55 @@ impl SimAgent {
         self.update_gauges();
     }
 
+    /// Attach a causal-lineage recorder: the agent contributes pipeline
+    /// milestones (submit, stage/schedule done, routing decisions, adapter
+    /// handoff, terminal states) and every backend sub-machine records its
+    /// own queue, placement, and launch events into the same stream.
+    /// Unlike telemetry's straggler cohort, lineage covers *every* task
+    /// when attached — tail exemplars are unknowable in advance — and
+    /// detached runs pay one `Option` check per hook site.
+    pub fn attach_lineage(&mut self, lin: Lineage) {
+        self.site_srun.attach_lineage(lin.clone());
+        for (i, f) in self.flux.iter_mut().enumerate() {
+            f.attach_lineage(lin.clone(), i as u32);
+        }
+        for (i, d) in self.dragon.iter_mut().enumerate() {
+            d.attach_lineage(lin.clone(), i as u32);
+        }
+        for (i, pb) in self.prrte.iter_mut().enumerate() {
+            pb.dvm.attach_lineage(lin.clone(), i as u32);
+        }
+        self.lineage = Some(lin);
+    }
+
+    /// Record a routing decision in the lineage stream (no-op untracked).
+    fn note_route(&self, t: TaskId, detail: u16, kind: BackendKind, part: u32) {
+        if let Some(l) = &self.lineage {
+            l.record_ctx(
+                t.0,
+                rp_lineage::EV_ROUTE,
+                detail,
+                kind as u8,
+                part,
+                rp_lineage::NO_VALUE,
+            );
+        }
+    }
+
+    /// Record a pilot lifecycle advance in the lineage run scope.
+    fn note_pilot(&self, st: PilotState) {
+        if let Some(l) = &self.lineage {
+            l.record_ctx(
+                rp_lineage::META_UID,
+                rp_lineage::EV_PILOT,
+                st as u16,
+                rp_lineage::NO_BACKEND,
+                rp_lineage::NO_PARTITION,
+                rp_lineage::NO_VALUE,
+            );
+        }
+    }
+
     /// A sampler closure for [`rp_sim::Engine::add_sampler`]: snapshots the
     /// shared gauges into the telemetry time-series and runs the online
     /// detectors. Call after [`Self::attach_telemetry`].
@@ -1189,6 +1250,25 @@ impl SimAgent {
                     partition,
                 );
             }
+            if let Some(l) = &self.lineage {
+                // Initial StagingInput is recorded as EV_SUBMIT in
+                // `submit_tasks` (the record is inserted pre-advanced), so
+                // a StagingInput transition seen here is always a retry.
+                let kind = match rec.state {
+                    TaskState::New => None,
+                    TaskState::StagingInput => Some(rp_lineage::EV_RETRY),
+                    TaskState::Scheduling => Some(rp_lineage::EV_STAGE_DONE),
+                    TaskState::Submitting => Some(rp_lineage::EV_SCHED_DONE),
+                    TaskState::Submitted => Some(rp_lineage::EV_HANDOFF),
+                    TaskState::Executing => Some(rp_lineage::EV_EXEC),
+                    TaskState::Done => Some(rp_lineage::EV_DONE),
+                    TaskState::Failed => Some(rp_lineage::EV_FAILED),
+                    TaskState::Canceled => Some(rp_lineage::EV_CANCELED),
+                };
+                if let Some(k) = kind {
+                    l.record(uid.0, k);
+                }
+            }
         }
         out
     }
@@ -1204,6 +1284,17 @@ impl SimAgent {
         }
         self.descs.reserve(descs.len());
         self.stage_q.reserve(descs.len());
+        // Batched observability hooks: one table borrow and one clock read
+        // per submission batch instead of one per task (the whole batch
+        // shares `now`, so the stream is byte-identical either way).
+        if let Some(t) = &self.telemetry {
+            t.on_submitted_batch(descs.iter().map(|d| d.uid.0));
+        }
+        if let Some(l) = &self.lineage {
+            for d in &descs {
+                l.record(d.uid.0, rp_lineage::EV_SUBMIT);
+            }
+        }
         for desc in descs {
             let mut rec = TaskRecord::new(&desc, now);
             rec.advance(TaskState::StagingInput, now);
@@ -1218,9 +1309,6 @@ impl SimAgent {
             }
             if let Some(m) = &self.metrics {
                 m.task_open(desc.uid.0);
-            }
-            if let Some(t) = &self.telemetry {
-                t.on_submitted(desc.uid.0);
             }
             {
                 let mut st = self.state.borrow_mut();
@@ -1355,6 +1443,7 @@ impl SimAgent {
                 }
             }
             if let Some((_, kind, part)) = best {
+                self.note_route(t, rp_lineage::ROUTE_LEAST_LOADED, kind, part);
                 return Some((kind, part));
             }
             return None;
@@ -1362,6 +1451,7 @@ impl SimAgent {
 
         let kind = self.router.route(desc).ok()?;
         if let Some(p) = self.pick_partition(kind) {
+            self.note_route(t, rp_lineage::ROUTE_TYPE_AWARE, kind, p);
             return Some((kind, p));
         }
         // Routed kind has no live partitions (failover path): try others in
@@ -1374,6 +1464,7 @@ impl SimAgent {
         ] {
             if alt != kind && self.router.has(alt) {
                 if let Some(p) = self.pick_partition(alt) {
+                    self.note_route(t, rp_lineage::ROUTE_FAILOVER, alt, p);
                     return Some((alt, p));
                 }
             }
@@ -1518,6 +1609,7 @@ impl SimAgent {
                 .borrow_mut()
                 .pilot
                 .advance(PilotState::Active, ctx.now());
+            self.note_pilot(PilotState::Active);
             if let Some(s) = &self.psyms {
                 self.prof
                     .instant(s.comp, rp_profiler::NO_UID, s.pilot_active);
@@ -1632,18 +1724,25 @@ impl SimAgent {
 
     /// Enqueue an event for `kind`'s watcher thread.
     fn watch(&mut self, kind: BackendKind, ev: WatcherEvent, ctx: &mut Ctx<AgentMsg>) {
-        if let (Some(m), WatcherEvent::Term(t)) = (&self.metrics, &ev) {
-            // The launcher is done; everything until the record update is
-            // collection overhead. Guard against stale events for tasks
-            // already failed over elsewhere.
-            let executing = self
-                .state
-                .borrow()
-                .tasks
-                .get(t.0)
-                .is_some_and(|r| r.state == TaskState::Executing);
-            if executing {
-                m.mark_collect(t.0);
+        if let WatcherEvent::Term(t) = &ev {
+            if self.metrics.is_some() || self.lineage.is_some() {
+                // The launcher is done; everything until the record update
+                // is collection overhead. Guard against stale events for
+                // tasks already failed over elsewhere.
+                let executing = self
+                    .state
+                    .borrow()
+                    .tasks
+                    .get(t.0)
+                    .is_some_and(|r| r.state == TaskState::Executing);
+                if executing {
+                    if let Some(m) = &self.metrics {
+                        m.mark_collect(t.0);
+                    }
+                    if let Some(l) = &self.lineage {
+                        l.record(t.0, rp_lineage::EV_TERM_SEEN);
+                    }
+                }
             }
         }
         self.watcher_q[kind as usize].push_back(ev);
@@ -1731,9 +1830,42 @@ impl SimAgent {
             while let Some(&t) = pb.waiting.front() {
                 let desc = self.descs.get(t.0).expect("desc");
                 let Some(pl) = pb.pool.try_alloc(&desc.req) else {
+                    if let Some(l) = &self.lineage {
+                        // RP-side FCFS placement stalled: blame the head
+                        // once per distinct blocked task.
+                        if pb.lin_reject != Some(t.0) {
+                            pb.lin_reject = Some(t.0);
+                            let reason = if desc.req.total_cores() > pb.pool.free_cores() {
+                                rp_lineage::REJ_INSUFFICIENT_CORES
+                            } else if desc.req.total_gpus() > pb.pool.free_gpus() {
+                                rp_lineage::REJ_INSUFFICIENT_GPUS
+                            } else {
+                                rp_lineage::REJ_FRAGMENTATION
+                            };
+                            l.record_ctx(
+                                t.0,
+                                rp_lineage::EV_PLACE_REJECT,
+                                reason,
+                                BackendKind::Prrte as u8,
+                                part,
+                                pb.pool.free_cores(),
+                            );
+                        }
+                    }
                     break; // head-of-line wait for completions
                 };
                 pb.waiting.pop_front();
+                if let Some(l) = &self.lineage {
+                    pb.lin_reject = None;
+                    l.record_ctx(
+                        t.0,
+                        rp_lineage::EV_PLACE_OK,
+                        rp_lineage::NO_DETAIL,
+                        BackendKind::Prrte as u8,
+                        part,
+                        desc.req.total_cores(),
+                    );
+                }
                 pb.placements.insert(t.0, pl);
                 pb.dvm.submit(
                     PrrteTask {
@@ -1803,9 +1935,42 @@ impl SimAgent {
             let need_cores = desc.req.total_cores();
             let need_gpus = desc.req.total_gpus();
             if need_cores > sb.free_core_slots || need_gpus > sb.free_gpus {
+                if let Some(l) = &self.lineage {
+                    // Agent-side srun capacity stall: blame the head once
+                    // per distinct blocked task.
+                    if self.lin_srun_reject != Some(t.0) {
+                        let reason = if need_cores > sb.free_core_slots {
+                            rp_lineage::REJ_INSUFFICIENT_CORES
+                        } else {
+                            rp_lineage::REJ_INSUFFICIENT_GPUS
+                        };
+                        l.record_ctx(
+                            t.0,
+                            rp_lineage::EV_PLACE_REJECT,
+                            reason,
+                            BackendKind::Srun as u8,
+                            0,
+                            sb.free_core_slots,
+                        );
+                    }
+                }
+                if self.lineage.is_some() {
+                    self.lin_srun_reject = Some(t.0);
+                }
                 break; // wait for completions to free capacity
             }
             sb.waiting.pop_front();
+            if let Some(l) = &self.lineage {
+                self.lin_srun_reject = None;
+                l.record_ctx(
+                    t.0,
+                    rp_lineage::EV_PLACE_OK,
+                    rp_lineage::NO_DETAIL,
+                    BackendKind::Srun as u8,
+                    0,
+                    need_cores,
+                );
+            }
             sb.free_core_slots -= need_cores;
             sb.free_gpus -= need_gpus;
             sb.holds.insert(t.0, (need_cores, need_gpus));
@@ -2172,6 +2337,7 @@ impl Actor<AgentMsg> for SimAgent {
                     .borrow_mut()
                     .pilot
                     .advance(PilotState::Launching, ctx.now());
+                self.note_pilot(PilotState::Launching);
                 if let Some(s) = &self.psyms {
                     self.prof
                         .instant(s.comp, rp_profiler::NO_UID, s.pilot_launching);
@@ -2185,6 +2351,7 @@ impl Actor<AgentMsg> for SimAgent {
                     st.agent_ready = Some(ctx.now());
                     st.pilot.advance(PilotState::Bootstrapping, ctx.now());
                 }
+                self.note_pilot(PilotState::Bootstrapping);
                 if let Some(s) = &self.psyms {
                     self.prof
                         .instant(s.comp, rp_profiler::NO_UID, s.pilot_bootstrapping);
@@ -2229,6 +2396,7 @@ impl Actor<AgentMsg> for SimAgent {
                         .borrow_mut()
                         .pilot
                         .advance(PilotState::Active, ctx.now());
+                    self.note_pilot(PilotState::Active);
                     if let Some(s) = &self.psyms {
                         self.prof
                             .instant(s.comp, rp_profiler::NO_UID, s.pilot_active);

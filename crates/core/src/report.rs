@@ -94,6 +94,9 @@ pub struct RunReport {
     /// SLO digest), when the session ran with
     /// [`crate::SimSession::with_telemetry`].
     pub telemetry: Option<rp_telemetry::TelemetryData>,
+    /// Per-task causal-lineage capture, when the session ran with
+    /// [`crate::SimSession::with_lineage`].
+    pub lineage: Option<rp_lineage::LineageData>,
 }
 
 impl RunReport {

@@ -48,6 +48,7 @@ pub struct SimSession {
     profile_every: Option<SimDuration>,
     metrics_every: Option<SimDuration>,
     telemetry_every: Option<SimDuration>,
+    lineage: bool,
 }
 
 impl SimSession {
@@ -63,6 +64,7 @@ impl SimSession {
             profile_every: None,
             metrics_every: None,
             telemetry_every: None,
+            lineage: false,
         }
     }
 
@@ -117,6 +119,17 @@ impl SimSession {
         self
     }
 
+    /// Enable causal-lineage recording: every task's full causal chain
+    /// (submit → route → queue dwell → placement attempts → launch →
+    /// execute → collect) as compact interned events on the sim clock.
+    /// The capture lands in [`RunReport::lineage`]; export it with
+    /// [`rp_lineage::LineageData::to_jsonl`] for a byte-deterministic
+    /// on-disk trace.
+    pub fn with_lineage(mut self) -> Self {
+        self.lineage = true;
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
@@ -148,6 +161,13 @@ impl SimSession {
             );
             agent.attach_telemetry(tel.clone());
             (tel, period, agent.telemetry_sampler())
+        });
+        // Lineage reads the engine clock directly and schedules nothing,
+        // so recording never perturbs the event stream.
+        let lineage = self.lineage.then(|| {
+            let lin = rp_lineage::Lineage::new(engine.clock());
+            agent.attach_lineage(lin.clone());
+            lin
         });
         let id = engine.add_actor(Box::new(agent));
         let profiler = profiler.map(|(prof, period, sampler)| {
@@ -186,6 +206,29 @@ impl SimSession {
                 let done = prof.intern("PILOT_DONE");
                 prof.instant(comp, rp_profiler::NO_UID, done);
             }
+            if let Some(lin) = &lineage {
+                lin.record_ctx(
+                    rp_lineage::META_UID,
+                    rp_lineage::EV_PILOT,
+                    crate::pilot::PilotState::Done as u16,
+                    rp_lineage::NO_BACKEND,
+                    rp_lineage::NO_PARTITION,
+                    rp_lineage::NO_VALUE,
+                );
+            }
+        }
+        if let Some(lin) = &lineage {
+            // Run-scope closing record: total engine deliveries, so a
+            // lineage file alone can certify two runs executed the same
+            // event count.
+            lin.record_ctx(
+                rp_lineage::META_UID,
+                rp_lineage::EV_RUN_END,
+                rp_lineage::NO_DETAIL,
+                rp_lineage::NO_BACKEND,
+                rp_lineage::NO_PARTITION,
+                engine.delivered(),
+            );
         }
         let tasks = st
             .order
@@ -221,6 +264,7 @@ impl SimSession {
                 reg.snapshot()
             }),
             telemetry: telemetry.map(|tel| tel.snapshot()),
+            lineage: lineage.map(|lin| lin.snapshot()),
         }
     }
 }

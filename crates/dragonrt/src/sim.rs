@@ -12,11 +12,15 @@
 //! usable core, no placement bookkeeping, FIFO dispatch with worker-pool
 //! backpressure.
 
+use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Lineage backend code for dragon (`BackendKind::Dragon as u8`).
+const LIN_BACKEND_DRAGON: u8 = 2;
 
 /// Interned profiler symbols: dispatch spans on `<comp>.dispatch` (the
 /// dispatcher is serial, so spans never overlap), lifecycle instants on
@@ -96,6 +100,10 @@ pub struct DragonSim {
     /// Uid in the dispatcher, closed on kill to keep B/E pairs matched.
     open_dispatch: Option<u64>,
     metrics: Option<BackendInstruments>,
+    /// Lineage recorder plus this runtime's partition index.
+    lineage: Option<(Lineage, u32)>,
+    /// Last queue head a worker-backpressure reject was recorded for.
+    last_reject: Option<u64>,
 }
 
 impl DragonSim {
@@ -120,6 +128,8 @@ impl DragonSim {
             syms: None,
             open_dispatch: None,
             metrics: None,
+            lineage: None,
+            last_reject: None,
         }
     }
 
@@ -136,6 +146,14 @@ impl DragonSim {
             proc_finish: prof.intern("PROC_FINISH"),
         });
         self.prof = prof;
+    }
+
+    /// Attach a lineage recorder for this runtime (`partition` is its
+    /// index within the dragon deployment). Dispatcher-queue entry,
+    /// worker-pool backpressure rejects, grants, and dispatch starts are
+    /// recorded from here on.
+    pub fn attach_lineage(&mut self, lin: Lineage, partition: u32) {
+        self.lineage = Some((lin, partition));
     }
 
     /// Attach metrics under the `backend` label: dispatch/launch latency,
@@ -267,6 +285,16 @@ impl DragonSim {
         }
         self.queue.push_back(task);
         self.queued_peak = self.queued_peak.max(self.queue.len());
+        if let Some((l, part)) = &self.lineage {
+            l.record_ctx(
+                task.id,
+                rp_lineage::EV_BACKEND_QUEUE,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_DRAGON,
+                *part,
+                self.queue.len() as u64,
+            );
+        }
         self.pump(out);
     }
 
@@ -336,11 +364,45 @@ impl DragonSim {
             return;
         };
         if head.workers as u64 > self.free_workers {
+            // Worker-pool backpressure: one lineage reject per distinct
+            // blocked head, not one per pump.
+            if let Some((l, part)) = &self.lineage {
+                if self.last_reject != Some(head.id) {
+                    self.last_reject = Some(head.id);
+                    l.record_ctx(
+                        head.id,
+                        rp_lineage::EV_PLACE_REJECT,
+                        rp_lineage::REJ_WORKERS_BUSY,
+                        LIN_BACKEND_DRAGON,
+                        *part,
+                        self.queue.len() as u64,
+                    );
+                }
+            }
             return; // pool backpressure; wait for a Done
         }
         let task = self.queue.pop_front().expect("non-empty");
         self.free_workers -= task.workers as u64;
         self.dispatch_busy = true;
+        if let Some((l, part)) = &self.lineage {
+            self.last_reject = None;
+            l.record_ctx(
+                task.id,
+                rp_lineage::EV_PLACE_OK,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_DRAGON,
+                *part,
+                self.busy_workers(),
+            );
+            l.record_ctx(
+                task.id,
+                rp_lineage::EV_LAUNCH_START,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_DRAGON,
+                *part,
+                self.queue.len() as u64,
+            );
+        }
         if let Some(m) = &self.metrics {
             m.on_accepted(task.id);
         }

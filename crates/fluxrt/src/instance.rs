@@ -21,11 +21,15 @@
 
 use crate::job::{ExceptionKind, JobEvent, JobId, JobSpec};
 use crate::policy::{RunningJob, SchedPolicy};
+use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Lineage backend code for flux (`BackendKind::Flux as u8`).
+const LIN_BACKEND_FLUX: u8 = 1;
 
 /// Interned profiler symbols. The three serial servers each get their own
 /// track (`<comp>.ingest` / `.match` / `.start`) so their B/E spans never
@@ -117,6 +121,12 @@ pub struct FluxInstanceSim {
     open_match: Option<u64>,
     open_start: Option<u64>,
     metrics: Option<BackendInstruments>,
+    /// Lineage recorder plus this instance's partition index.
+    lineage: Option<(Lineage, u32)>,
+    /// Last `(head job, reason)` a placement reject was recorded for, so a
+    /// blocked queue head produces one lineage event per cause, not one
+    /// per pump.
+    last_reject: Option<(JobId, u16)>,
 }
 
 impl FluxInstanceSim {
@@ -156,6 +166,8 @@ impl FluxInstanceSim {
             open_match: None,
             open_start: None,
             metrics: None,
+            lineage: None,
+            last_reject: None,
         }
     }
 
@@ -176,6 +188,14 @@ impl FluxInstanceSim {
             launch: prof.intern("launch"),
         });
         self.prof = prof;
+    }
+
+    /// Attach a lineage recorder for this instance (`partition` is the
+    /// instance's index within the flux deployment). Backend-queue entry,
+    /// the broker ingest hop, placement rejects with their reason, grants,
+    /// and start-server launches are recorded from here on.
+    pub fn attach_lineage(&mut self, lin: Lineage, partition: u32) {
+        self.lineage = Some((lin, partition));
     }
 
     /// Attach metrics under the `backend` label. Partitioned deployments
@@ -371,13 +391,24 @@ impl FluxInstanceSim {
             let contended = !self.ready || self.ingest_busy || depth > 0;
             m.on_submit(job.id.0, depth, contended);
         }
+        let uid = job.id.0;
         self.pending_ingest.push_back(job);
         // Ingest→sched moves jobs between the two queues without changing
         // the total, so submit is the only site where the peak can move.
         self.queued_peak = self
             .queued_peak
             .max(self.pending_ingest.len() + self.queue.len());
-        out.push(FluxAction::Event(JobEvent::Submitted(job.id)));
+        if let Some((l, part)) = &self.lineage {
+            l.record_ctx(
+                uid,
+                rp_lineage::EV_BACKEND_QUEUE,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_FLUX,
+                *part,
+                (self.pending_ingest.len() + self.queue.len()) as u64,
+            );
+        }
+        out.push(FluxAction::Event(JobEvent::Submitted(JobId(uid))));
         self.pump_ingest(out);
         let _ = now;
     }
@@ -402,6 +433,16 @@ impl FluxInstanceSim {
                 if let Some(s) = &self.syms {
                     self.prof.end(s.t_ingest, job.id.0, s.ingest);
                     self.open_ingest = None;
+                }
+                if let Some((l, part)) = &self.lineage {
+                    l.record_ctx(
+                        job.id.0,
+                        rp_lineage::EV_BROKER_HOP,
+                        rp_lineage::NO_DETAIL,
+                        LIN_BACKEND_FLUX,
+                        *part,
+                        (self.queue.len() + 1) as u64,
+                    );
                 }
                 self.queue.push_back(job);
                 self.pump_ingest(out);
@@ -499,6 +540,29 @@ impl FluxInstanceSim {
             .policy
             .select(now, &self.queue, &self.pool, &self.running)
         else {
+            // The head can't be placed right now. Classify why for the
+            // head's lineage, once per distinct (head, reason).
+            if let Some((l, part)) = &self.lineage {
+                let head = self.queue.front().expect("non-empty queue");
+                let reason = if head.req.total_cores() > self.pool.free_cores() {
+                    rp_lineage::REJ_INSUFFICIENT_CORES
+                } else if head.req.total_gpus() > self.pool.free_gpus() {
+                    rp_lineage::REJ_INSUFFICIENT_GPUS
+                } else {
+                    rp_lineage::REJ_FRAGMENTATION
+                };
+                if self.last_reject != Some((head.id, reason)) {
+                    self.last_reject = Some((head.id, reason));
+                    l.record_ctx(
+                        head.id.0,
+                        rp_lineage::EV_PLACE_REJECT,
+                        reason,
+                        LIN_BACKEND_FLUX,
+                        *part,
+                        self.queue.len() as u64,
+                    );
+                }
+            }
             return; // wait for a completion to free resources
         };
         let job = self.queue.remove(idx).expect("policy returned valid index");
@@ -506,6 +570,19 @@ impl FluxInstanceSim {
             .pool
             .try_alloc(&job.req)
             .expect("policy selected a job that fits");
+        if let Some((l, part)) = &self.lineage {
+            if self.last_reject.map(|(id, _)| id) == Some(job.id) {
+                self.last_reject = None;
+            }
+            l.record_ctx(
+                job.id.0,
+                rp_lineage::EV_PLACE_OK,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_FLUX,
+                *part,
+                self.pool.busy_cores(),
+            );
+        }
         self.matched.insert(job.id, (job, placement));
         self.match_busy = true;
         if let Some(s) = &self.syms {
@@ -526,6 +603,16 @@ impl FluxInstanceSim {
         }
         let (job, placement) = self.start_queue.pop_front().expect("non-empty");
         self.start_busy = true;
+        if let Some((l, part)) = &self.lineage {
+            l.record_ctx(
+                job.id.0,
+                rp_lineage::EV_LAUNCH_START,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_FLUX,
+                *part,
+                self.start_queue.len() as u64,
+            );
+        }
         if let Some(s) = &self.syms {
             self.prof.begin(s.t_start, job.id.0, s.launch);
             self.open_start = Some(job.id.0);

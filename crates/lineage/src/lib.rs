@@ -1,0 +1,533 @@
+//! `rp-lineage` — per-task causal lineage on the simulation clock.
+//!
+//! Every observability layer so far answers *what happened*: the profiler
+//! records state timestamps, the metrics registry aggregates distributions,
+//! the telemetry sampler streams populations and alarms. This crate records
+//! *why*: for each task, the full causal chain from submission to terminal
+//! state — router decision, scheduler dwell, every placement attempt
+//! (including rejects and the reason), backend handoff, launch-latency wait,
+//! execution, and collection — as compact events stamped on the sim clock.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Recording draws no randomness and schedules no
+//!    events; the recorder only reads the shared [`SimClock`] and appends
+//!    to a `Vec`. A run with lineage attached is therefore byte-identical
+//!    (in every *other* report artifact) to the same run without it, and
+//!    the JSONL export itself is byte-deterministic: timestamps are printed
+//!    from integer microseconds, never through float formatting.
+//! 2. **Tiering.** The recorder is an `Option` at every instrumentation
+//!    site: detached runs pay one predicted-not-taken branch per site and
+//!    allocate nothing. When attached, *all* tasks are recorded — tail
+//!    exemplars are only known to be interesting after the fact, so the
+//!    p999 victim's chain must already be on file.
+//! 3. **Compactness.** One event is a fixed 32-byte record; names are
+//!    interned as `u8`/`u16` codes against static tables and only expanded
+//!    at export time.
+//!
+//! The blame decomposition built on these events lives in
+//! `rp-analytics::blame`; the CLI that narrates a single task is the
+//! `rp-explain` binary in `rp-bench`.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use rp_sim::{SimClock, SimTime};
+
+// ---------------------------------------------------------------------------
+// Event vocabulary
+// ---------------------------------------------------------------------------
+
+/// Task accepted by the agent; input staging begins.
+pub const EV_SUBMIT: u8 = 0;
+/// Input staging finished; task enters the scheduler queue.
+pub const EV_STAGE_DONE: u8 = 1;
+/// Router decision (annotation): which backend/partition and why.
+pub const EV_ROUTE: u8 = 2;
+/// Scheduler released the task to the adapter (enters `Submitting`).
+pub const EV_SCHED_DONE: u8 = 3;
+/// Backend accepted the task (enters `Submitted`).
+pub const EV_HANDOFF: u8 = 4;
+/// Task enqueued inside the backend (annotation; `value` = queue position).
+pub const EV_BACKEND_QUEUE: u8 = 5;
+/// A placement attempt failed (annotation; `detail` = reject reason).
+pub const EV_PLACE_REJECT: u8 = 6;
+/// Placement granted: cores/GPUs allocated.
+pub const EV_PLACE_OK: u8 = 7;
+/// Launch machinery engaged: srun slot acquired, Flux start-server pop,
+/// Dragon dispatch, or PRRTE HNP pop.
+pub const EV_LAUNCH_START: u8 = 8;
+/// Payload started executing (enters `Executing`).
+pub const EV_EXEC: u8 = 9;
+/// Launcher completion observed by the agent; output collection begins.
+pub const EV_TERM_SEEN: u8 = 10;
+/// Terminal: task completed.
+pub const EV_DONE: u8 = 11;
+/// Task failed (may be retried).
+pub const EV_FAILED: u8 = 12;
+/// Failed task re-entered staging for a retry attempt.
+pub const EV_RETRY: u8 = 13;
+/// Terminal: task canceled.
+pub const EV_CANCELED: u8 = 14;
+/// Pilot lifecycle transition (meta event; `detail` = pilot state).
+pub const EV_PILOT: u8 = 15;
+/// Run finished (meta event; `value` = engine messages delivered).
+pub const EV_RUN_END: u8 = 16;
+/// Broker ingest hop finished; the job joined the scheduler queue
+/// (annotation; `value` = scheduler queue depth).
+pub const EV_BROKER_HOP: u8 = 17;
+
+/// Export names for each event kind, indexed by the `EV_*` code.
+pub const EVENT_NAMES: [&str; 18] = [
+    "submit",
+    "stage_done",
+    "route",
+    "sched_done",
+    "handoff",
+    "backend_queue",
+    "place_reject",
+    "place_ok",
+    "launch_start",
+    "exec",
+    "term_seen",
+    "done",
+    "failed",
+    "retry",
+    "canceled",
+    "pilot",
+    "run_end",
+    "broker_hop",
+];
+
+/// Route detail: the type-aware policy matched the task to a backend.
+pub const ROUTE_TYPE_AWARE: u16 = 0;
+/// Route detail: the least-loaded policy picked the emptiest partition.
+pub const ROUTE_LEAST_LOADED: u16 = 1;
+/// Route detail: the routed backend could not take the task; a failover
+/// candidate was substituted.
+pub const ROUTE_FAILOVER: u16 = 2;
+
+/// Reject detail: not enough free cores for the queue head.
+pub const REJ_INSUFFICIENT_CORES: u16 = 0;
+/// Reject detail: not enough free GPUs for the queue head.
+pub const REJ_INSUFFICIENT_GPUS: u16 = 1;
+/// Reject detail: aggregate capacity exists but no node-local placement fits.
+pub const REJ_FRAGMENTATION: u16 = 2;
+/// Reject detail: all backend workers busy (Dragon dispatcher backpressure).
+pub const REJ_WORKERS_BUSY: u16 = 3;
+/// Reject detail: backend concurrency cap reached (srun slot window).
+pub const REJ_CAPACITY: u16 = 4;
+
+/// Pilot detail codes follow `PilotState` declaration order in `rp-core`.
+pub const PILOT_STATE_NAMES: [&str; 7] = [
+    "new",
+    "launching",
+    "bootstrapping",
+    "active",
+    "done",
+    "failed",
+    "canceled",
+];
+
+/// Backend names, indexed by `BackendKind as usize` in `rp-core`.
+pub const BACKEND_NAMES: [&str; 4] = ["srun", "flux", "dragon", "prrte"];
+
+/// Sentinel `uid` for meta events (pilot lifecycle, run end).
+pub const META_UID: u64 = u64::MAX;
+/// Sentinel for "no backend context" on an event.
+pub const NO_BACKEND: u8 = u8::MAX;
+/// Sentinel for "no partition context" on an event.
+pub const NO_PARTITION: u32 = u32::MAX;
+/// Sentinel for "no detail" on an event.
+pub const NO_DETAIL: u16 = u16::MAX;
+/// Sentinel for "no value" on an event.
+pub const NO_VALUE: u64 = u64::MAX;
+
+fn route_name(detail: u16) -> Option<&'static str> {
+    ["type_aware", "least_loaded", "failover"]
+        .get(detail as usize)
+        .copied()
+}
+
+fn reject_name(detail: u16) -> Option<&'static str> {
+    [
+        "insufficient_cores",
+        "insufficient_gpus",
+        "fragmentation",
+        "workers_busy",
+        "capacity",
+    ]
+    .get(detail as usize)
+    .copied()
+}
+
+/// Human name for an event's `detail` code, interpreted per event kind.
+/// Returns `None` for `NO_DETAIL` or out-of-vocabulary codes.
+pub fn detail_name(kind: u8, detail: u16) -> Option<&'static str> {
+    if detail == NO_DETAIL {
+        return None;
+    }
+    match kind {
+        EV_ROUTE => route_name(detail),
+        EV_PLACE_REJECT => reject_name(detail),
+        EV_PILOT => PILOT_STATE_NAMES.get(detail as usize).copied(),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events and the recorder handle
+// ---------------------------------------------------------------------------
+
+/// One causal event: 32 bytes, append-only, stamped on the sim clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event happened on the simulation clock.
+    pub t: SimTime,
+    /// Task uid, or [`META_UID`] for pilot/run meta events.
+    pub uid: u64,
+    /// Event kind (`EV_*`).
+    pub kind: u8,
+    /// Kind-specific detail code (`ROUTE_*`, `REJ_*`, pilot state), or
+    /// [`NO_DETAIL`].
+    pub detail: u16,
+    /// Backend kind (`BackendKind as u8`), or [`NO_BACKEND`].
+    pub backend: u8,
+    /// Partition index within the backend, or [`NO_PARTITION`].
+    pub partition: u32,
+    /// Kind-specific magnitude (queue position, messages delivered), or
+    /// [`NO_VALUE`].
+    pub value: u64,
+}
+
+/// The shared lineage recorder.
+///
+/// Cheap to clone (an `Rc` and a clock handle); the agent, the session,
+/// and every backend instance hold clones of one recorder, mirroring how
+/// `Profiler` and `Telemetry` are attached. Recording is a clock read and
+/// a `Vec` push behind a `RefCell` — no hashing, no allocation beyond the
+/// vector's amortized growth, no event scheduling.
+#[derive(Clone)]
+pub struct Lineage {
+    clock: SimClock,
+    events: Rc<RefCell<Vec<Event>>>,
+}
+
+impl std::fmt::Debug for Lineage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lineage")
+            .field("events", &self.events.borrow().len())
+            .finish()
+    }
+}
+
+impl Lineage {
+    /// New recorder reading timestamps from `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Lineage {
+            clock,
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Record a bare event for `uid` at the current sim time.
+    #[inline]
+    pub fn record(&self, uid: u64, kind: u8) {
+        self.push(Event {
+            t: self.clock.now(),
+            uid,
+            kind,
+            detail: NO_DETAIL,
+            backend: NO_BACKEND,
+            partition: NO_PARTITION,
+            value: NO_VALUE,
+        });
+    }
+
+    /// Record an event with full context at the current sim time. Pass the
+    /// `NO_*` sentinels for fields that do not apply.
+    #[inline]
+    pub fn record_ctx(
+        &self,
+        uid: u64,
+        kind: u8,
+        detail: u16,
+        backend: u8,
+        partition: u32,
+        value: u64,
+    ) {
+        self.push(Event {
+            t: self.clock.now(),
+            uid,
+            kind,
+            detail,
+            backend,
+            partition,
+            value,
+        });
+    }
+
+    #[inline]
+    fn push(&self, ev: Event) {
+        self.events.borrow_mut().push(ev);
+    }
+
+    /// Events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Snapshot the recorded chain, grouped per task.
+    ///
+    /// Events are stably sorted by uid (meta events last), so each task's
+    /// events remain in causal append order — the sim clock never runs
+    /// backwards, so append order *is* chronological order per task.
+    pub fn snapshot(&self) -> LineageData {
+        let mut events = self.events.borrow().clone();
+        events.sort_by_key(|e| e.uid);
+        LineageData { events }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + export
+// ---------------------------------------------------------------------------
+
+/// An immutable lineage snapshot: all events, sorted by uid (stable, so
+/// per-task chronological order is preserved), meta events last.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LineageData {
+    /// All recorded events, sorted by `(uid, causal order)`.
+    pub events: Vec<Event>,
+}
+
+impl LineageData {
+    /// The events for one task, in causal order (empty if unknown).
+    pub fn events_for(&self, uid: u64) -> &[Event] {
+        let start = self.events.partition_point(|e| e.uid < uid);
+        let end = self.events.partition_point(|e| e.uid <= uid);
+        &self.events[start..end]
+    }
+
+    /// Distinct task uids present (meta events excluded), ascending.
+    pub fn uids(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if e.uid == META_UID {
+                continue;
+            }
+            if out.last() != Some(&e.uid) {
+                out.push(e.uid);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct tasks recorded.
+    pub fn task_count(&self) -> usize {
+        self.uids().len()
+    }
+
+    /// Byte-deterministic JSONL export: one event per line, sorted by uid
+    /// with meta events last. Timestamps are printed as exact integer
+    /// microseconds split into `s.uuuuuu` — no float formatting anywhere,
+    /// so the bytes are identical on every platform and at any `--jobs`
+    /// count.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64 + 64);
+        for e in &self.events {
+            if e.uid == META_UID {
+                out.push_str("{\"scope\":\"run\"");
+            } else {
+                let _ = write!(out, "{{\"uid\":{}", e.uid);
+            }
+            let us = e.t.as_micros();
+            let _ = write!(out, ",\"t\":{}.{:06}", us / 1_000_000, us % 1_000_000);
+            let _ = write!(out, ",\"ev\":\"{}\"", EVENT_NAMES[e.kind as usize]);
+            if let Some(d) = detail_name(e.kind, e.detail) {
+                let _ = write!(out, ",\"detail\":\"{d}\"");
+            }
+            if e.backend != NO_BACKEND {
+                let name = BACKEND_NAMES
+                    .get(e.backend as usize)
+                    .copied()
+                    .unwrap_or("unknown");
+                let _ = write!(out, ",\"backend\":\"{name}\"");
+            }
+            if e.partition != NO_PARTITION {
+                let _ = write!(out, ",\"partition\":{}", e.partition);
+            }
+            if e.value != NO_VALUE {
+                let _ = write!(out, ",\"value\":{}", e.value);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into a snapshot. Accepts exactly the
+    /// `to_jsonl` schema; unknown names or malformed lines are errors (the
+    /// export is a machine artifact, not a lenient interchange format).
+    pub fn from_jsonl(text: &str) -> Result<LineageData, String> {
+        let mut events = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            events.push(parse_line(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+        }
+        Ok(LineageData { events })
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Values are either bare numbers or quoted names with no embedded
+    // commas/braces, so scanning for the next `,` or `}` outside a string
+    // suffices.
+    let mut end = rest.len();
+    let mut in_str = false;
+    for (i, &b) in rest.as_bytes().iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' | b'}' if !in_str => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn parse_line(line: &str) -> Result<Event, String> {
+    let uid = match field(line, "uid") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad uid `{v}`"))?,
+        None => {
+            if field(line, "scope") == Some("run") {
+                META_UID
+            } else {
+                return Err("missing uid".into());
+            }
+        }
+    };
+    let t_raw = field(line, "t").ok_or("missing t")?;
+    let (secs, micros) = t_raw
+        .split_once('.')
+        .ok_or_else(|| format!("bad t `{t_raw}`"))?;
+    let t = secs
+        .parse::<u64>()
+        .ok()
+        .zip(micros.parse::<u64>().ok())
+        .map(|(s, u)| SimTime::from_micros(s * 1_000_000 + u))
+        .ok_or_else(|| format!("bad t `{t_raw}`"))?;
+    let ev_name = field(line, "ev").ok_or("missing ev")?;
+    let kind = EVENT_NAMES
+        .iter()
+        .position(|&n| n == ev_name)
+        .ok_or_else(|| format!("unknown ev `{ev_name}`"))? as u8;
+    let detail = match field(line, "detail") {
+        Some(name) => (0..u16::MAX)
+            .take(16)
+            .find(|&code| detail_name(kind, code) == Some(name))
+            .ok_or_else(|| format!("unknown detail `{name}`"))?,
+        None => NO_DETAIL,
+    };
+    let backend = match field(line, "backend") {
+        Some(name) => BACKEND_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| i as u8)
+            .unwrap_or(NO_BACKEND),
+        None => NO_BACKEND,
+    };
+    let partition = match field(line, "partition") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("bad partition `{v}`"))?,
+        None => NO_PARTITION,
+    };
+    let value = match field(line, "value") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad value `{v}`"))?,
+        None => NO_VALUE,
+    };
+    Ok(Event {
+        t,
+        uid,
+        kind,
+        detail,
+        backend,
+        partition,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_sim::SimDuration;
+
+    #[test]
+    fn records_are_stamped_and_grouped_per_uid() {
+        let clock = SimClock::new();
+        let lin = Lineage::new(clock.clone());
+        lin.record(7, EV_SUBMIT);
+        clock.set(SimTime::from_micros(1_500_000));
+        lin.record(3, EV_SUBMIT);
+        lin.record_ctx(7, EV_HANDOFF, NO_DETAIL, 1, 0, NO_VALUE);
+        let data = lin.snapshot();
+        assert_eq!(data.uids(), vec![3, 7]);
+        let seven = data.events_for(7);
+        assert_eq!(seven.len(), 2);
+        assert_eq!(seven[0].kind, EV_SUBMIT);
+        assert_eq!(seven[1].kind, EV_HANDOFF);
+        assert_eq!(
+            seven[1].t,
+            SimTime::ZERO + SimDuration::from_micros(1_500_000)
+        );
+        assert_eq!(data.events_for(99), &[] as &[Event]);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_is_exact_microseconds() {
+        let clock = SimClock::new();
+        clock.set(SimTime::from_micros(1_234_567));
+        let lin = Lineage::new(clock.clone());
+        lin.record_ctx(5, EV_PLACE_REJECT, REJ_FRAGMENTATION, 1, 2, 17);
+        clock.set(SimTime::from_micros(2_000_001));
+        lin.record_ctx(
+            META_UID,
+            EV_RUN_END,
+            NO_DETAIL,
+            NO_BACKEND,
+            NO_PARTITION,
+            42,
+        );
+        let data = lin.snapshot();
+        let text = data.to_jsonl();
+        assert!(text.contains("\"t\":1.234567"));
+        assert!(text.contains("\"detail\":\"fragmentation\""));
+        assert!(text.contains("\"backend\":\"flux\""));
+        assert!(text.contains("{\"scope\":\"run\",\"t\":2.000001,\"ev\":\"run_end\",\"value\":42}"));
+        let back = LineageData::from_jsonl(&text).expect("parse");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn detail_names_are_kind_scoped() {
+        assert_eq!(detail_name(EV_ROUTE, ROUTE_FAILOVER), Some("failover"));
+        assert_eq!(
+            detail_name(EV_PLACE_REJECT, REJ_WORKERS_BUSY),
+            Some("workers_busy")
+        );
+        assert_eq!(detail_name(EV_PILOT, 3), Some("active"));
+        assert_eq!(detail_name(EV_SUBMIT, 0), None);
+        assert_eq!(detail_name(EV_ROUTE, NO_DETAIL), None);
+    }
+}

@@ -189,6 +189,26 @@ impl HistData {
         &self.buckets
     }
 
+    /// The bucket index holding rank `⌈q·count⌉` — the same bucket
+    /// [`Self::quantile`] reads its estimate from — or `None` when empty.
+    /// Lets callers that keep per-bucket side tables (e.g. exemplar uids)
+    /// resolve a quantile back to its bucket's entries.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Some(i);
+            }
+        }
+        Some(BUCKETS - 1)
+    }
+
     /// Estimated `q`-quantile (`q` clamped to `[0, 1]`): the upper bound of
     /// the bucket holding rank `⌈q·count⌉`, clamped into `[min, max]`.
     /// Monotone non-decreasing in `q`; 0 when empty.

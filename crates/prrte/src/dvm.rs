@@ -12,11 +12,15 @@
 //! nothing except what physically cannot run concurrently — the caller is
 //! expected to have placed tasks already.
 
+use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym, NO_UID};
 use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Lineage backend code for prrte (`BackendKind::Prrte as u8`).
+const LIN_BACKEND_PRRTE: u8 = 3;
 
 /// Interned profiler symbols: HNP launch spans on `<comp>.hnp` (the HNP is
 /// serial, so spans never overlap), DVM lifecycle and task instants on the
@@ -89,6 +93,8 @@ pub struct PrrteDvm {
     /// Uid in the HNP launch server, closed on kill so B/E pairs match.
     open_launch: Option<u64>,
     metrics: Option<BackendInstruments>,
+    /// Lineage recorder plus this DVM's partition index.
+    lineage: Option<(Lineage, u32)>,
 }
 
 impl PrrteDvm {
@@ -109,6 +115,7 @@ impl PrrteDvm {
             syms: None,
             open_launch: None,
             metrics: None,
+            lineage: None,
         }
     }
 
@@ -125,6 +132,14 @@ impl PrrteDvm {
             finish: prof.intern("FINISH"),
         });
         self.prof = prof;
+    }
+
+    /// Attach a lineage recorder for this DVM (`partition` is its index
+    /// within the prrte deployment). HNP-queue entry and launch starts are
+    /// recorded from here on — placement happens in the caller, so rejects
+    /// are the agent's to record.
+    pub fn attach_lineage(&mut self, lin: Lineage, partition: u32) {
+        self.lineage = Some((lin, partition));
     }
 
     /// Attach metrics under the `backend` label: HNP launch latency,
@@ -186,6 +201,16 @@ impl PrrteDvm {
         }
         self.queue.push_back(task);
         self.queued_peak = self.queued_peak.max(self.queue.len());
+        if let Some((l, part)) = &self.lineage {
+            l.record_ctx(
+                task.id,
+                rp_lineage::EV_BACKEND_QUEUE,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_PRRTE,
+                *part,
+                self.queue.len() as u64,
+            );
+        }
         self.pump(out);
     }
 
@@ -282,6 +307,16 @@ impl PrrteDvm {
             return;
         };
         self.hnp_busy = true;
+        if let Some((l, part)) = &self.lineage {
+            l.record_ctx(
+                task.id,
+                rp_lineage::EV_LAUNCH_START,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_PRRTE,
+                *part,
+                self.queue.len() as u64,
+            );
+        }
         if let Some(m) = &self.metrics {
             m.on_accepted(task.id);
         }

@@ -17,11 +17,15 @@
 //! every call, keeping the per-event hot path allocation-free.
 
 use crate::step::{StepId, StepRequest};
+use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Calibration, SrunSlots};
 use rp_profiler::{Profiler, Sym};
 use rp_sim::{FxHashMap, RngStream, SimDuration};
 use std::collections::VecDeque;
+
+/// Lineage backend code for srun (`BackendKind::Srun as u8`).
+const LIN_BACKEND_SRUN: u8 = 0;
 
 /// Interned profiler symbols for the launcher's hook sites.
 #[derive(Debug, Clone)]
@@ -74,6 +78,10 @@ pub struct SrunSim {
     prof: Profiler,
     syms: Option<ProfSyms>,
     metrics: Option<BackendInstruments>,
+    lineage: Option<Lineage>,
+    /// Last queue head a capacity reject was recorded for, so a blocked
+    /// head produces one lineage event, not one per pump.
+    last_reject: Option<StepId>,
 }
 
 impl SrunSim {
@@ -91,6 +99,8 @@ impl SrunSim {
             prof: Profiler::disabled(),
             syms: None,
             metrics: None,
+            lineage: None,
+            last_reject: None,
         }
     }
 
@@ -104,6 +114,14 @@ impl SrunSim {
             release: prof.intern("SLOT_RELEASE"),
         });
         self.prof = prof;
+    }
+
+    /// Attach a lineage recorder; step queueing, slot-capacity rejects,
+    /// and launch starts are recorded against the srun backend from here
+    /// on. Persistent instance-bootstrap holds are infrastructure and stay
+    /// unrecorded.
+    pub fn attach_lineage(&mut self, lin: Lineage) {
+        self.lineage = Some(lin);
     }
 
     /// Attach metrics; submit/launch/complete latencies and slot
@@ -147,8 +165,19 @@ impl SrunSim {
                 !self.queue.is_empty() || self.slots.in_use() >= self.cal.srun_concurrency_ceiling;
             m.on_submit(step.id.0, self.queue.len(), contended);
         }
+        let step_uid = step.id.0;
         self.queue.push_back(step);
         self.queued_peak = self.queued_peak.max(self.queue.len());
+        if let Some(l) = &self.lineage {
+            l.record_ctx(
+                step_uid,
+                rp_lineage::EV_BACKEND_QUEUE,
+                rp_lineage::NO_DETAIL,
+                LIN_BACKEND_SRUN,
+                0,
+                self.queue.len() as u64,
+            );
+        }
         self.pump(out);
     }
 
@@ -238,13 +267,45 @@ impl SrunSim {
     /// Launch queued steps while slots are free.
     fn pump(&mut self, out: &mut Vec<SrunAction>) {
         while let Some(head) = self.queue.front() {
-            let _ = head;
+            let head_id = head.id;
             if !self.slots.try_acquire() {
+                // The head is blocked on the concurrency ceiling: one
+                // lineage reject per distinct blocked head (not per pump),
+                // and only for task steps, not persistent infra holds.
+                if let Some(l) = &self.lineage {
+                    if self.last_reject != Some(head_id)
+                        && !matches!(self.in_flight.get(&head_id), Some(None))
+                    {
+                        self.last_reject = Some(head_id);
+                        l.record_ctx(
+                            head_id.0,
+                            rp_lineage::EV_PLACE_REJECT,
+                            rp_lineage::REJ_CAPACITY,
+                            LIN_BACKEND_SRUN,
+                            0,
+                            self.queue.len() as u64,
+                        );
+                    }
+                }
                 break;
             }
             let step = self.queue.pop_front().expect("non-empty queue");
+            self.last_reject = None;
             if let Some(m) = &self.metrics {
                 m.on_accepted(step.id.0);
+            }
+            if let Some(l) = &self.lineage {
+                // Persistent entries were pre-registered with None.
+                if !matches!(self.in_flight.get(&step.id), Some(None)) {
+                    l.record_ctx(
+                        step.id.0,
+                        rp_lineage::EV_LAUNCH_START,
+                        rp_lineage::NO_DETAIL,
+                        LIN_BACKEND_SRUN,
+                        0,
+                        self.slots.in_use() as u64,
+                    );
+                }
             }
             if let Some(s) = &self.syms {
                 self.prof

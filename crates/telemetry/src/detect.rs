@@ -121,6 +121,25 @@ impl DetectorState {
     }
 }
 
+/// The oldest sampled in-flight task at this tick: the exemplar uid a
+/// queue-level alarm hands to `rp-explain` as its causal entry point.
+/// Scans the sampled-cohort slab — bounded (1-in-2^shift of tasks) and
+/// only run at alarm rising edges, never per tick.
+fn oldest_inflight_exemplar(inner: &Inner) -> Option<u64> {
+    let mut best: Option<(SimTime, u64)> = None;
+    for (t, track) in inner.tracks.iter().enumerate() {
+        if track.state == crate::NO_STATE {
+            continue;
+        }
+        if best.is_none_or(|(e, _)| track.entered < e) {
+            // Sampled uids have their low `sample_shift` bits clear, so
+            // the slab index maps back to the uid exactly.
+            best = Some((track.entered, (t as u64) << inner.sample_shift));
+        }
+    }
+    best.map(|(_, uid)| uid)
+}
+
 fn push_alarm(inner: &mut Inner, alarm: Alarm) {
     if inner.alarms.len() >= inner.cfg.max_alarms {
         inner.alarms_dropped += 1;
@@ -246,6 +265,7 @@ fn queue_growth(inner: &mut Inner, sample: &Sample) {
     if growing && !inner.detect.growth_active {
         inner.detect.growth_active = true;
         let threshold = inner.cfg.growth_min_rate;
+        let exemplar = oldest_inflight_exemplar(inner);
         push_alarm(
             inner,
             Alarm {
@@ -254,7 +274,7 @@ fn queue_growth(inner: &mut Inner, sample: &Sample) {
                 severity: Severity::Warning,
                 value: rate,
                 threshold,
-                uid: None,
+                uid: exemplar,
                 state: None,
                 backend: None,
                 partition: None,
@@ -301,6 +321,7 @@ fn saturation(inner: &mut Inner, sample: &Sample) {
             .filter(|(_, q)| **q > 0.0)
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i as u8);
+        let exemplar = oldest_inflight_exemplar(inner);
         push_alarm(
             inner,
             Alarm {
@@ -309,7 +330,7 @@ fn saturation(inner: &mut Inner, sample: &Sample) {
                 severity: Severity::Critical,
                 value: depth,
                 threshold,
-                uid: None,
+                uid: exemplar,
                 state: None,
                 backend,
                 partition: None,
@@ -352,6 +373,7 @@ fn collapse(inner: &mut Inner, sample: &Sample) {
     let collapsed = sample.util < threshold && queued >= 1.0;
     if collapsed && !inner.detect.collapsed {
         inner.detect.collapsed = true;
+        let exemplar = oldest_inflight_exemplar(inner);
         push_alarm(
             inner,
             Alarm {
@@ -360,7 +382,7 @@ fn collapse(inner: &mut Inner, sample: &Sample) {
                 severity: Severity::Critical,
                 value: sample.util,
                 threshold,
-                uid: None,
+                uid: exemplar,
                 state: None,
                 backend: None,
                 partition: None,

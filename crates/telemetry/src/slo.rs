@@ -6,14 +6,83 @@
 //! DONE, what the campaign experiences). Both accumulate into the same
 //! 64-bucket log histograms the metrics registry uses, so percentiles are
 //! O(1)-memory, mergeable, and cheap enough to read at every sample tick.
+//!
+//! Each bucket additionally keeps a tiny ring of **exemplar uids** — the
+//! last few tasks whose latency landed there — so a p99/p999 row in the
+//! dashboard resolves to real tasks whose causal story `rp-explain` can
+//! narrate. Rings are fixed-size and insertion order is the (deterministic)
+//! observation order, so the exemplars are byte-deterministic per seed.
 
-use rp_metrics::HistData;
+use rp_metrics::{HistData, BUCKETS};
 
-/// Streaming TTL/TTC percentile tracker.
-#[derive(Debug, Clone, Default)]
+/// Exemplar uids kept per histogram bucket.
+pub const EXEMPLARS_PER_BUCKET: usize = 4;
+
+/// Sentinel "no uid" for observation feeds that only see latencies (the
+/// rt plane's completion-record stream). Such samples still count in the
+/// histogram but never land in an exemplar ring.
+pub const NO_UID: u64 = u64::MAX;
+
+/// A fixed-capacity ring of the most recent uids observed in one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExemplarSet {
+    uids: [u64; EXEMPLARS_PER_BUCKET],
+    count: u32,
+}
+
+impl ExemplarSet {
+    /// The empty set.
+    pub const EMPTY: ExemplarSet = ExemplarSet {
+        uids: [0; EXEMPLARS_PER_BUCKET],
+        count: 0,
+    };
+
+    #[inline]
+    fn push(&mut self, uid: u64) {
+        self.uids[self.count as usize % EXEMPLARS_PER_BUCKET] = uid;
+        self.count += 1;
+    }
+
+    /// Total observations that passed through this ring (≥ `len`).
+    pub fn observed(&self) -> u64 {
+        self.count as u64
+    }
+
+    /// Exemplars currently held (at most [`EXEMPLARS_PER_BUCKET`]).
+    pub fn len(&self) -> usize {
+        (self.count as usize).min(EXEMPLARS_PER_BUCKET)
+    }
+
+    /// True when no exemplar was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The retained uids, most recent last. Order within the ring is the
+    /// deterministic observation order.
+    pub fn uids(&self) -> &[u64] {
+        &self.uids[..self.len()]
+    }
+}
+
+/// Streaming TTL/TTC percentile tracker with per-bucket tail exemplars.
+#[derive(Debug, Clone)]
 pub struct SloTracker {
     launch: HistData,
     completion: HistData,
+    launch_ex: [ExemplarSet; BUCKETS],
+    completion_ex: [ExemplarSet; BUCKETS],
+}
+
+impl Default for SloTracker {
+    fn default() -> Self {
+        SloTracker {
+            launch: HistData::new(),
+            completion: HistData::new(),
+            launch_ex: [ExemplarSet::EMPTY; BUCKETS],
+            completion_ex: [ExemplarSet::EMPTY; BUCKETS],
+        }
+    }
 }
 
 impl SloTracker {
@@ -22,19 +91,28 @@ impl SloTracker {
         SloTracker::default()
     }
 
-    /// Record one submit→EXECUTING latency (seconds). Hot path: one
+    /// Record one submit→EXECUTING latency (seconds) for `uid` (or
+    /// [`NO_UID`] when the feed has no task identity). Hot path: one
     /// call per task at paper scale, so this uses the bit-pattern
     /// bucketing (`HistData::record_fast`).
     #[inline]
-    pub fn record_launch(&mut self, seconds: f64) {
+    pub fn record_launch(&mut self, seconds: f64, uid: u64) {
         self.launch.record_fast(seconds);
+        if uid != NO_UID {
+            let v = if seconds.is_finite() { seconds } else { 0.0 };
+            self.launch_ex[HistData::bucket_index_fast(v)].push(uid);
+        }
     }
 
-    /// Record one submit→DONE latency (seconds); see
+    /// Record one submit→DONE latency (seconds) for `uid`; see
     /// [`Self::record_launch`] on the fast bucketing.
     #[inline]
-    pub fn record_completion(&mut self, seconds: f64) {
+    pub fn record_completion(&mut self, seconds: f64, uid: u64) {
         self.completion.record_fast(seconds);
+        if uid != NO_UID {
+            let v = if seconds.is_finite() { seconds } else { 0.0 };
+            self.completion_ex[HistData::bucket_index_fast(v)].push(uid);
+        }
     }
 
     /// Estimated time-to-launch quantile (0 when no launches yet).
@@ -47,6 +125,24 @@ impl SloTracker {
         self.completion.quantile(q)
     }
 
+    /// Exemplar uids from the bucket the time-to-launch `q`-quantile
+    /// reads from (empty when no launches yet).
+    pub fn launch_exemplars(&self, q: f64) -> ExemplarSet {
+        match self.launch.quantile_bucket(q) {
+            Some(b) => self.launch_ex[b],
+            None => ExemplarSet::EMPTY,
+        }
+    }
+
+    /// Exemplar uids from the bucket the time-to-completion `q`-quantile
+    /// reads from (empty when no completions yet).
+    pub fn completion_exemplars(&self, q: f64) -> ExemplarSet {
+        match self.completion.quantile_bucket(q) {
+            Some(b) => self.completion_ex[b],
+            None => ExemplarSet::EMPTY,
+        }
+    }
+
     /// The underlying time-to-launch histogram.
     pub fn launch_hist(&self) -> &HistData {
         &self.launch
@@ -57,7 +153,8 @@ impl SloTracker {
         &self.completion
     }
 
-    /// The standard p50/p99/p999 digest.
+    /// The standard p50/p99/p999 digest, with tail exemplars resolved
+    /// from the p99/p999 buckets.
     pub fn snapshot(&self) -> SloSnapshot {
         SloSnapshot {
             launches: self.launch.count(),
@@ -65,11 +162,15 @@ impl SloTracker {
             launch_p99: self.launch.quantile(0.99),
             launch_p999: self.launch.quantile(0.999),
             launch_max: self.launch.max(),
+            launch_p99_exemplars: self.launch_exemplars(0.99),
+            launch_p999_exemplars: self.launch_exemplars(0.999),
             completions: self.completion.count(),
             completion_p50: self.completion.quantile(0.50),
             completion_p99: self.completion.quantile(0.99),
             completion_p999: self.completion.quantile(0.999),
             completion_max: self.completion.max(),
+            completion_p99_exemplars: self.completion_exemplars(0.99),
+            completion_p999_exemplars: self.completion_exemplars(0.999),
         }
     }
 }
@@ -87,6 +188,10 @@ pub struct SloSnapshot {
     pub launch_p999: f64,
     /// Worst observed time-to-launch.
     pub launch_max: f64,
+    /// Real task uids from the p99 time-to-launch bucket.
+    pub launch_p99_exemplars: ExemplarSet,
+    /// Real task uids from the p999 time-to-launch bucket.
+    pub launch_p999_exemplars: ExemplarSet,
     /// Completion observations so far.
     pub completions: u64,
     /// Median time-to-completion.
@@ -97,6 +202,10 @@ pub struct SloSnapshot {
     pub completion_p999: f64,
     /// Worst observed time-to-completion.
     pub completion_max: f64,
+    /// Real task uids from the p99 time-to-completion bucket.
+    pub completion_p99_exemplars: ExemplarSet,
+    /// Real task uids from the p999 time-to-completion bucket.
+    pub completion_p999_exemplars: ExemplarSet,
 }
 
 #[cfg(test)]
@@ -107,7 +216,7 @@ mod tests {
     fn quantiles_are_ordered_and_bounded() {
         let mut slo = SloTracker::new();
         for i in 1..=1000 {
-            slo.record_launch(i as f64 / 100.0); // 0.01 .. 10.0 s
+            slo.record_launch(i as f64 / 100.0, i); // 0.01 .. 10.0 s
         }
         let s = slo.snapshot();
         assert_eq!(s.launches, 1000);
@@ -125,5 +234,46 @@ mod tests {
         assert_eq!(s.launch_p999, 0.0);
         assert_eq!(s.completion_p50, 0.0);
         assert_eq!(s.completions, 0);
+        assert!(s.launch_p999_exemplars.is_empty());
+    }
+
+    #[test]
+    fn tail_exemplars_resolve_to_tail_uids() {
+        let mut slo = SloTracker::new();
+        // 99 fast tasks and one straggler: p999 rank is 100, so its
+        // bucket must hold exactly the straggler's uid.
+        for i in 0..99 {
+            slo.record_completion(1.0, i);
+        }
+        slo.record_completion(500.0, 4242);
+        let s = slo.snapshot();
+        assert_eq!(s.completion_p999_exemplars.uids(), &[4242]);
+        // The p99 bucket (rank 99) holds the fast cohort; its ring saw
+        // all 99 and retains the most recent 4.
+        assert_eq!(s.completion_p99_exemplars.observed(), 99);
+        assert!(s.completion_p99_exemplars.uids().contains(&98));
+    }
+
+    #[test]
+    fn no_uid_counts_without_exemplar() {
+        let mut slo = SloTracker::new();
+        slo.record_launch(3.0, NO_UID);
+        let s = slo.snapshot();
+        assert_eq!(s.launches, 1);
+        assert!(s.launch_p99_exemplars.is_empty());
+    }
+
+    #[test]
+    fn exemplar_ring_keeps_most_recent() {
+        let mut ex = ExemplarSet::EMPTY;
+        for uid in 0..7 {
+            ex.push(uid);
+        }
+        assert_eq!(ex.observed(), 7);
+        assert_eq!(ex.len(), 4);
+        // Ring layout after 7 pushes: slots [4, 5, 6, 3].
+        let mut held: Vec<u64> = ex.uids().to_vec();
+        held.sort_unstable();
+        assert_eq!(held, vec![3, 4, 5, 6]);
     }
 }

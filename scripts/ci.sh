@@ -32,6 +32,27 @@ test -s "$TELEMETRY_DIR/flux_1_null_n_1.telemetry.jsonl"
 test -s "$TELEMETRY_DIR/flux_1_null_n_1.dashboard.html"
 grep -q "<!DOCTYPE html>" "$TELEMETRY_DIR/flux_1_null_n_1.dashboard.html"
 
+# Lineage smoke: the same quick flux_1 cell with the causal-lineage
+# recorder attached must produce per-task JSONL chains and a blame
+# report, every task uid must narrate through `rp-explain`, and two
+# lineage dirs must diff. Artifacts are uploaded in ci.yml.
+LINEAGE_DIR="${LINEAGE_DIR:-$(mktemp -d)}"
+./target/release/exp_flux1 --quick --lineage-dir "$LINEAGE_DIR" > /dev/null
+test -s "$LINEAGE_DIR/flux_1_null_n_1.lineage.jsonl"
+test -s "$LINEAGE_DIR/flux_1_null_n_1.blame.txt"
+UID0="$(sed -n 's/^{"uid":\([0-9]*\).*/\1/p' \
+    "$LINEAGE_DIR/flux_1_null_n_1.lineage.jsonl" | head -n 1)"
+./target/release/rp-explain --dir "$LINEAGE_DIR" "$UID0" \
+    > "$LINEAGE_DIR/explain_task_$UID0.txt"
+grep -q "blame (segments sum exactly to end-to-end)" \
+    "$LINEAGE_DIR/explain_task_$UID0.txt"
+./target/release/rp-explain --dir "$LINEAGE_DIR" --report \
+    > "$LINEAGE_DIR/blame_report.txt"
+test -s "$LINEAGE_DIR/blame_report.txt"
+./target/release/rp-explain --diff "$LINEAGE_DIR" "$LINEAGE_DIR" \
+    > "$LINEAGE_DIR/diff_report.txt"
+grep -q "verdict: no blame segment moved" "$LINEAGE_DIR/diff_report.txt"
+
 # Perf smoke: build the hot-path benchmark in release and run it at quick
 # sizes. The baseline compare is warn-only, mirroring the metrics smoke:
 # ::warning:: annotations past a 25% wall-clock regression, never a

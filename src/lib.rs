@@ -13,7 +13,9 @@
 //! - [`workloads`]: synthetic batches and the IMPECCABLE campaign;
 //! - [`analytics`]: throughput/utilization/overhead metrics and timelines;
 //! - [`telemetry`]: streaming time-series sampling, SLO percentiles, and
-//!   the online-detector flight recorder.
+//!   the online-detector flight recorder;
+//! - [`lineage`]: per-task causal event chains and the blame/attribution
+//!   layer behind `rp-explain`.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use rp_analytics as analytics;
 pub use rp_core as core;
 pub use rp_dragonrt as dragonrt;
 pub use rp_fluxrt as fluxrt;
+pub use rp_lineage as lineage;
 pub use rp_platform as platform;
 pub use rp_prrte as prrte;
 pub use rp_sim as sim;

@@ -149,6 +149,7 @@ fn telemetry_jsonl_is_identical_at_any_jobs_count() {
             None,
             None,
             Some(&dir),
+            None,
         );
         // Rep 0 carries the telemetry; later reps stay uninstrumented.
         assert!(reports[0].telemetry.is_some());
