@@ -22,16 +22,16 @@
 
 use rp_lineage::{
     detail_name, Event, LineageData, EV_BACKEND_QUEUE, EV_BROKER_HOP, EV_CANCELED, EV_DONE,
-    EV_EXEC, EV_FAILED, EV_HANDOFF, EV_LAUNCH_START, EV_PLACE_OK, EV_PLACE_REJECT, EV_RETRY,
-    EV_ROUTE, EV_SCHED_DONE, EV_STAGE_DONE, EV_SUBMIT, EV_TERM_SEEN, NO_BACKEND, NO_PARTITION,
-    NO_VALUE,
+    EV_EXEC, EV_FAILED, EV_FAULT, EV_HANDOFF, EV_LAUNCH_START, EV_PLACE_OK, EV_PLACE_REJECT,
+    EV_RETRY, EV_ROUTE, EV_SCHED_DONE, EV_STAGE_DONE, EV_SUBMIT, EV_TERM_SEEN, NO_BACKEND,
+    NO_PARTITION, NO_VALUE,
 };
 use rp_sim::SimTime;
 use std::fmt::Write as _;
 
 /// Canonical blame phases, in pipeline order. Reports always list all of
 /// them (zeros included) so two runs diff column-by-column.
-pub const PHASES: [&str; 8] = [
+pub const PHASES: [&str; 9] = [
     "stage",
     "schedule",
     "adapter",
@@ -40,6 +40,7 @@ pub const PHASES: [&str; 8] = [
     "execute",
     "collect",
     "retry",
+    "recovery_overhead",
 ];
 
 /// The blame phase the gap *after* a milestone of `kind` belongs to, or
@@ -57,6 +58,10 @@ pub fn phase_after(kind: u8) -> Option<&'static str> {
         EV_EXEC => Some("execute"),
         EV_TERM_SEEN => Some("collect"),
         EV_FAILED => Some("retry"),
+        // A fault marker follows its fault-induced `EV_FAILED` at the same
+        // instant; everything from there to the retry (watchdog drain,
+        // recovery backoff, re-staging delay) is recovery overhead.
+        EV_FAULT => Some("recovery_overhead"),
         _ => None,
     }
 }
@@ -78,6 +83,7 @@ pub fn is_milestone(kind: u8) -> bool {
             | EV_FAILED
             | EV_RETRY
             | EV_CANCELED
+            | EV_FAULT
     )
 }
 
@@ -179,7 +185,9 @@ pub fn blame_task(data: &LineageData, uid: u64) -> Option<TaskBlame> {
     let outcome = match last.kind {
         EV_DONE => "done",
         EV_CANCELED => "canceled",
-        EV_FAILED => "failed",
+        // A trailing fault marker means the task gave up right after its
+        // fault-induced terminal failure.
+        EV_FAILED | EV_FAULT => "failed",
         _ => "incomplete",
     };
     Some(TaskBlame {
@@ -297,6 +305,36 @@ pub fn explain(data: &LineageData, uid: u64) -> Option<String> {
             tb.rejects, tb.retries
         );
     }
+    // Fault story: one line per injected fault, naming the fault kind and
+    // where (or whether) the task came back.
+    for (i, e) in events.iter().enumerate() {
+        if e.kind != EV_FAULT {
+            continue;
+        }
+        let kind = detail_name(EV_FAULT, e.detail).unwrap_or("fault");
+        let _ = write!(out, "  killed by {kind} at t={} s", fmt_us(e.t.as_micros()));
+        // Resubmission target = the first route decision after the fault.
+        let next_route = events[i + 1..].iter().find(|n| n.kind == EV_ROUTE);
+        match next_route {
+            Some(r) if r.backend != NO_BACKEND => {
+                let name = rp_lineage::BACKEND_NAMES
+                    .get(r.backend as usize)
+                    .copied()
+                    .unwrap_or("unknown");
+                if r.partition != NO_PARTITION {
+                    let _ = writeln!(out, ", resubmitted to partition {name}.{}", r.partition);
+                } else {
+                    let _ = writeln!(out, ", resubmitted to {name}");
+                }
+            }
+            _ if events[i + 1..].iter().any(|n| n.kind == EV_RETRY) => {
+                let _ = writeln!(out, ", resubmitted in place");
+            }
+            _ => {
+                let _ = writeln!(out, ", gave up");
+            }
+        }
+    }
     let _ = writeln!(out, "\ncausal chain:");
     for e in events {
         let us = e.t.as_micros();
@@ -325,6 +363,7 @@ pub fn explain(data: &LineageData, uid: u64) -> Option<String> {
                 EV_BACKEND_QUEUE | EV_BROKER_HOP | EV_LAUNCH_START => "queue",
                 EV_PLACE_REJECT => "free",
                 EV_PLACE_OK => "granted",
+                EV_FAULT => "node",
                 _ => "value",
             };
             let _ = write!(out, " ({label}={})", e.value);
@@ -534,6 +573,88 @@ mod tests {
         let diff = diff_reports("a", &a, "b", &b);
         assert!(diff.contains("verdict: `execute` moved most"), "{diff}");
         assert!(diff.contains("grew 4000"), "{diff}");
+    }
+
+    #[test]
+    fn fault_opens_recovery_overhead_and_identity_holds() {
+        let clock = SimClock::new();
+        let lin = Lineage::new(clock.clone());
+        lin.record(3, EV_SUBMIT);
+        at(&clock, 100);
+        lin.record(3, EV_STAGE_DONE);
+        at(&clock, 200);
+        lin.record(3, EV_SCHED_DONE);
+        at(&clock, 300);
+        lin.record(3, EV_HANDOFF);
+        at(&clock, 400);
+        lin.record(3, EV_EXEC);
+        // Node failure kills the task mid-execute at t=900.
+        at(&clock, 900);
+        lin.record(3, EV_FAILED);
+        lin.record_ctx(
+            3,
+            EV_FAULT,
+            rp_lineage::FAULT_NODE,
+            NO_BACKEND,
+            NO_PARTITION,
+            2,
+        );
+        // Recovery backoff + re-staging delay until the retry at t=1400.
+        at(&clock, 1400);
+        lin.record(3, EV_RETRY);
+        at(&clock, 1410);
+        lin.record_ctx(3, EV_ROUTE, rp_lineage::ROUTE_TYPE_AWARE, 1, 1, NO_VALUE);
+        at(&clock, 1500);
+        lin.record(3, EV_STAGE_DONE);
+        at(&clock, 1600);
+        lin.record(3, EV_EXEC);
+        at(&clock, 2000);
+        lin.record(3, EV_DONE);
+        let data = lin.snapshot();
+        let tb = blame_task(&data, 3).expect("blamed");
+        assert_eq!(tb.outcome, "done");
+        assert_eq!(tb.segments_total_us(), tb.end_to_end_us);
+        let recovery: u64 = tb
+            .segments
+            .iter()
+            .filter(|s| s.phase == "recovery_overhead")
+            .map(|s| s.duration_us)
+            .sum();
+        assert_eq!(recovery, 500, "FAULT→RETRY gap");
+        let text = explain(&data, 3).expect("explained");
+        assert!(
+            text.contains(
+                "killed by node_failure at t=0.000900 s, resubmitted to partition flux.1"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("recovery_overhead"), "{text}");
+    }
+
+    #[test]
+    fn give_up_after_fault_is_a_failure() {
+        let clock = SimClock::new();
+        let lin = Lineage::new(clock.clone());
+        lin.record(4, EV_SUBMIT);
+        at(&clock, 100);
+        lin.record(4, EV_EXEC);
+        at(&clock, 200);
+        lin.record(4, EV_FAILED);
+        lin.record_ctx(
+            4,
+            EV_FAULT,
+            rp_lineage::FAULT_CRASH,
+            NO_BACKEND,
+            NO_PARTITION,
+            NO_VALUE,
+        );
+        let data = lin.snapshot();
+        let tb = blame_task(&data, 4).expect("blamed");
+        assert_eq!(tb.outcome, "failed");
+        assert_eq!(tb.segments_total_us(), tb.end_to_end_us);
+        let text = explain(&data, 4).expect("explained");
+        assert!(text.contains("killed by backend_crash"), "{text}");
+        assert!(text.contains("gave up"), "{text}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   `<pct>` percent (default 25; CI mirrors the metrics smoke and never
 //!   fails the build on this).
 
-use rp_core::{PilotConfig, RunReport, SimSession};
+use rp_core::{FaultSpec, PilotConfig, RunReport, SimSession};
 use rp_sim::{Actor, Ctx, Engine, SimDuration, SimTime};
 use rp_workloads::{dummy_workload, impeccable_campaign, null_workload, ImpeccableParams};
 use std::fmt::Write as _;
@@ -225,9 +225,10 @@ fn run_report(label: &str, mk: impl Fn() -> RunReport, out: &mut Vec<BenchEntry>
     out.push(entry(label, tasks, wall));
 }
 
-/// Returns the telemetry overhead fraction on the flux_1 null cell — the
-/// median of order-alternating instrumented/bare wall ratios, minus 1.
-fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
+/// Returns `(telemetry, faults_off)` overhead fractions on the flux_1
+/// null cell — each the median of order-alternating instrumented/bare
+/// wall ratios, minus 1.
+fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> (f64, f64) {
     // Paper-scale flux_1 cell (Fig. 5(b) rightmost point): 1,024 nodes,
     // nodes*56*4 single-core tasks, seed 1000 (= exp_flux1 rep 0).
     let nodes: u32 = if quick { 64 } else { 1024 };
@@ -291,10 +292,10 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
         tasks,
         tels[tels.len() / 2],
     ));
-    let overhead = ratios[ratios.len() / 2] - 1.0;
+    let telemetry_overhead = ratios[ratios.len() / 2] - 1.0;
     println!(
         "telemetry overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
-        overhead * 100.0
+        telemetry_overhead * 100.0
     );
     // The same cell with the causal-lineage recorder attached: lineage
     // records every task (no sampling), so this bounds the tracked-path
@@ -310,6 +311,46 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
             .run()
         },
         out,
+    );
+    // The same cell with an *inactive* fault plan attached: the chaos
+    // plane must be free when no faults are requested (one Option branch
+    // per touchpoint — design budget <1% wall on the null cell).
+    // tests/determinism.rs proves byte-identity; this proves cost, with
+    // the same drift-cancelling order-alternating pair protocol as the
+    // telemetry budget above.
+    let mk_off = || {
+        SimSession::with_tasks(
+            PilotConfig::flux(nodes, 1).with_seed(1000),
+            null_workload(nodes),
+        )
+        .with_faults(FaultSpec::parse("").expect("inactive spec"), 0xFA17, 0)
+        .run()
+    };
+    let (mut offs, mut off_ratios) = (Vec::new(), Vec::new());
+    for k in 0..pairs {
+        let (bare, off) = if k % 2 == 0 {
+            let (b, _) = time(&mk_bare);
+            let (o, _) = time(&mk_off);
+            (b, o)
+        } else {
+            let (o, _) = time(&mk_off);
+            let (b, _) = time(&mk_bare);
+            (b, o)
+        };
+        offs.push(off);
+        off_ratios.push(off / bare);
+    }
+    offs.sort_by(f64::total_cmp);
+    off_ratios.sort_by(f64::total_cmp);
+    out.push(entry(
+        format!("e2e_flux1_null_faults_off_n{nodes}"),
+        tasks,
+        offs[offs.len() / 2],
+    ));
+    let faults_off_overhead = off_ratios[off_ratios.len() / 2] - 1.0;
+    println!(
+        "faults-off chaos overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
+        faults_off_overhead * 100.0
     );
     run_report(
         &format!("e2e_flux1_dummy360_n{nodes}"),
@@ -341,7 +382,7 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> f64 {
             out,
         );
     }
-    overhead
+    (telemetry_overhead, faults_off_overhead)
 }
 
 /// Parse `--<flag> <value>` (or `--<flag>=<value>`) from argv.
@@ -413,7 +454,7 @@ fn main() {
     engine_benches(&mut entries);
     instrumentation_benches(&mut entries);
     placement_benches(&mut entries, if quick { 64 } else { 1024 });
-    let telemetry_overhead = e2e_benches(&mut entries, quick);
+    let (telemetry_overhead, faults_off_overhead) = e2e_benches(&mut entries, quick);
 
     // Compare against a committed baseline, warn-only (cross-machine wall
     // clocks are noisy; same-machine trajectories are the real signal).
@@ -469,6 +510,21 @@ fn main() {
         });
     if let Some(before) = before_overhead {
         let _ = writeln!(json, "  \"telemetry_overhead_frac_before\": {before:.4},");
+    }
+    // Faults-off chaos budget: same protocol, design bound <1% wall.
+    let _ = writeln!(
+        json,
+        "  \"faults_off_overhead_frac\": {faults_off_overhead:.4},"
+    );
+    let before_faults_off = baseline_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|t| {
+            t.lines()
+                .find_map(|l| field_f64(l, "faults_off_overhead_frac"))
+        });
+    if let Some(before) = before_faults_off {
+        let _ = writeln!(json, "  \"faults_off_overhead_frac_before\": {before:.4},");
     }
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {

@@ -1,0 +1,102 @@
+//! CI chaos soak: sweep fault seeds across two backends under a fixed
+//! chaos spec. Every run must finish without panics and conserve its task
+//! set — each submitted uid appears exactly once and ends terminal, so
+//! `done + failed == submitted` on every seed. The final run records
+//! lineage; with `--lineage-dir <dir>` its JSONL lands on disk so CI can
+//! narrate a faulted task through `rp-explain` and upload the story as an
+//! artifact.
+//!
+//! Flags: `--seeds N` (default 16) fault seeds per backend, `--faults
+//! <spec>` overrides the soak spec, `--lineage-dir <dir>` as everywhere.
+
+use rp_bench::RunOpts;
+use rp_core::{FaultSpec, PilotConfig, SimSession, TaskState};
+use rp_sim::SimDuration;
+use rp_workloads::dummy_workload;
+
+const NODES: u32 = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = RunOpts::from_args(&args);
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seeds N: not an integer"))
+        .unwrap_or(16);
+    let spec = opts.faults.clone().map(|(s, _)| s).unwrap_or_else(|| {
+        FaultSpec::parse(
+            "nodes=1,crashes=1,hangs=2,window=30..200,downtime=60,restart=15,watchdog=30,retries=5",
+        )
+        .expect("soak spec parses")
+    });
+
+    type Backend = (&'static str, fn(u32) -> PilotConfig);
+    let backends: &[Backend] = &[
+        ("flux", |n| PilotConfig::flux(n, 2)),
+        ("dragon", PilotConfig::dragon),
+    ];
+    let total_runs = seeds * backends.len() as u64;
+    let mut ran = 0u64;
+    let mut last_lineage: Option<String> = None;
+
+    for fault_seed in 0..seeds {
+        for (name, mk_cfg) in backends {
+            let tasks = dummy_workload(NODES, SimDuration::from_secs(60));
+            let n = tasks.len() as u64;
+            ran += 1;
+            let record_lineage = ran == total_runs;
+            let mut session = SimSession::with_tasks(mk_cfg(NODES).with_seed(97), tasks)
+                .with_faults(spec.clone(), fault_seed, n);
+            if record_lineage {
+                session = session.with_lineage();
+            }
+            let report = session.run();
+
+            // Conservation: every uid exactly once, every task terminal.
+            assert_eq!(
+                report.tasks.len() as u64,
+                n,
+                "{name} seed={fault_seed}: task count"
+            );
+            let mut seen = vec![false; n as usize];
+            let (mut done, mut failed) = (0u64, 0u64);
+            for t in &report.tasks {
+                let uid = t.uid.0 as usize;
+                assert!(!seen[uid], "{name} seed={fault_seed}: uid {uid} duplicated");
+                seen[uid] = true;
+                match t.state {
+                    TaskState::Done => done += 1,
+                    TaskState::Failed => failed += 1,
+                    other => panic!("{name} seed={fault_seed}: uid {uid} non-terminal: {other:?}"),
+                }
+            }
+            assert_eq!(
+                done + failed,
+                n,
+                "{name} seed={fault_seed}: outcomes partition"
+            );
+            println!(
+                "chaos_soak {name:<6} fault_seed={fault_seed:<3} done={done:<4} failed={failed:<3} makespan={:8.1}s",
+                report.makespan().unwrap_or(0.0)
+            );
+            if record_lineage {
+                last_lineage = report.lineage.map(|l| l.to_jsonl());
+            }
+        }
+    }
+
+    if let Some(dir) = &opts.lineage_dir {
+        let jsonl = last_lineage.expect("final run recorded lineage");
+        assert!(
+            jsonl.contains("\"ev\":\"fault\""),
+            "soak lineage must carry fault events for the rp-explain artifact"
+        );
+        std::fs::create_dir_all(dir).expect("create lineage dir");
+        let path = dir.join("chaos_soak.lineage.jsonl");
+        std::fs::write(&path, jsonl).expect("write soak lineage");
+        println!("chaos_soak lineage -> {}", path.display());
+    }
+    println!("chaos_soak: {total_runs} runs, conservation held on every fault seed");
+}

@@ -29,11 +29,7 @@ fn campaign_params() -> ImpeccableParams {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let profile_dir = rp_bench::profile_dir_from_args(&args);
-    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
-    let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
-    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = rp_bench::RunOpts::from_args(&args);
     let mut text = String::from("Ablation experiments (DESIGN.md §7)\n\n");
 
     // ---- 1. FCFS vs EASY backfill -----------------------------------------
@@ -199,7 +195,6 @@ fn main() {
                     if sub { "sub-agents" } else { "global    " }
                 ),
                 2,
-                jobs,
                 move |seed| {
                     PilotConfig::flux(nodes, k)
                         .with_sub_agents(sub)
@@ -210,10 +205,7 @@ fn main() {
                         .map(TaskDescription::null)
                         .collect()
                 },
-                profile_dir.as_deref(),
-                metrics_dir.as_deref(),
-                telemetry_dir.as_deref(),
-                lineage_dir.as_deref(),
+                &opts,
             );
             let line = format!(
                 "   {:<22} thr_avg={:>7.1}/s peak={:>6.0}\n",

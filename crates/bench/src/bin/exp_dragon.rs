@@ -6,10 +6,7 @@
 //! scale (343 t/s @4 nodes, 380 @16) and declining at 64 nodes (204 t/s;
 //! peak 622 → 272) — the centralized single-dispatcher limit.
 
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -17,11 +14,7 @@ use rp_workloads::{dummy_workload, null_workload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -31,13 +24,9 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("dragon null n={nodes}"),
             reps,
-            jobs,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || null_workload(nodes),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -47,13 +36,9 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("dragon dummy180 n={nodes}"),
             reps,
-            jobs,
             move |seed| PilotConfig::dragon(nodes).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(180)),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

@@ -1,0 +1,109 @@
+//! Experiment `faults`: the deterministic chaos sweep. Every backend runs
+//! the same dummy workload fault-free and under the same seeded fault plan
+//! once per recovery policy, so the recovery overhead — extra makespan paid
+//! to re-run work the faults destroyed — is an exact differential, not an
+//! estimate.
+//!
+//! The plan (fault times, victim partitions/nodes, hang victims) is a pure
+//! function of the `--faults` spec, the `--fault-seed`, and the deployment
+//! shape; it never perturbs the workload or backend RNG streams, so the
+//! baseline rows here are byte-identical to the same configurations in the
+//! other experiments.
+//!
+//! Override the injected chaos with the usual `--faults <spec>` /
+//! `--fault-seed N`; pass `--lineage-dir <dir>` to get per-task blame
+//! reports whose `recovery_overhead` segment accounts for the delta.
+
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts, DEFAULT_FAULT_SEED};
+use rp_core::{FaultSpec, PilotConfig, RecoveryPolicy};
+use rp_sim::SimDuration;
+use rp_workloads::dummy_workload;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = RunOpts::from_args(&args);
+    let nodes: u32 = if quick { 4 } else { 8 };
+    let reps = if quick { 2 } else { 3 };
+
+    // The swept spec: user-provided, or a default mix of every fault kind
+    // sized so each backend loses (and recovers) real work.
+    let (base_spec, fault_seed) = opts.faults.clone().unwrap_or_else(|| {
+        let spec = FaultSpec::parse(
+            "nodes=2,crashes=1,hangs=4,window=40..300,downtime=90,restart=20,watchdog=45,retries=6",
+        )
+        .expect("default chaos spec parses");
+        (spec, DEFAULT_FAULT_SEED)
+    });
+
+    let policies: &[(&str, RecoveryPolicy)] = &[
+        (
+            "backoff",
+            RecoveryPolicy::RetryBackoff {
+                base: SimDuration::from_secs(5),
+                factor: 2,
+            },
+        ),
+        ("elsewhere", RecoveryPolicy::ResubmitElsewhere),
+        ("giveup", RecoveryPolicy::GiveUp),
+    ];
+
+    let mut rows: Vec<ExpRow> = Vec::new();
+    let mut text =
+        String::from("Experiment faults — recovery overhead under a deterministic fault plan\n\n");
+
+    for backend in ["srun", "flux", "dragon", "prrte"] {
+        let mk_cfg = move |seed| {
+            match backend {
+                "srun" => PilotConfig::srun(nodes),
+                "flux" => PilotConfig::flux(nodes, 2),
+                "dragon" => PilotConfig::dragon(nodes),
+                _ => PilotConfig::prrte(nodes),
+            }
+            .with_seed(seed)
+        };
+        let mk_tasks = move || dummy_workload(nodes, SimDuration::from_secs(120));
+
+        let (baseline, _) = repeat_static(
+            &format!("{backend} faults=off"),
+            reps,
+            mk_cfg,
+            mk_tasks,
+            &opts.clone().without_faults(),
+        );
+        println!("{}", baseline.table_line());
+        text.push_str(&baseline.table_line());
+        text.push('\n');
+
+        for (name, policy) in policies {
+            let mut spec = base_spec.clone();
+            spec.policy = *policy;
+            let (row, _) = repeat_static(
+                &format!("{backend} policy={name}"),
+                reps,
+                mk_cfg,
+                mk_tasks,
+                &opts.clone().with_faults(spec, fault_seed),
+            );
+            let overhead_s = row.makespan_s - baseline.makespan_s;
+            let line = format!(
+                "{}    recovery_overhead={:+.1}s vs fault-free\n",
+                row.table_line(),
+                overhead_s
+            );
+            print!("{line}");
+            text.push_str(&line);
+            rows.push(row);
+        }
+        rows.push(baseline);
+        text.push('\n');
+    }
+
+    let _ = writeln!(
+        text,
+        "(plan: fault seed {fault_seed}; giveup abandons victims — its `fail` column is the \
+         destroyed work the other policies re-run)"
+    );
+    write_results("exp_faults", &text, &rows);
+}

@@ -6,10 +6,7 @@
 //! node to ≈300 t/s average at 1,024 nodes; single-instance peak ≈744 t/s;
 //! visible run-to-run variability.
 
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -17,11 +14,7 @@ use rp_workloads::{dummy_workload, null_workload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let scales: &[u32] = if quick {
         &[1, 4, 16, 64]
     } else {
@@ -37,13 +30,9 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("flux_1 null n={nodes}"),
             reps,
-            jobs,
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || null_workload(nodes),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -54,13 +43,9 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("flux_1 dummy360 n={nodes}"),
             reps,
-            jobs,
             move |seed| PilotConfig::flux(nodes, 1).with_seed(seed),
             move || dummy_workload(nodes, SimDuration::from_secs(360)),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

@@ -6,10 +6,7 @@
 //! 8 instances per runtime averages 171 t/s (peak 573); 64 nodes peaks
 //! ≈1,547 t/s (the RP task-management ceiling); utilization ≥99.6 %.
 
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::mixed_workload;
@@ -17,11 +14,7 @@ use rp_workloads::mixed_workload;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, instances per runtime); instances*2 <= nodes.
@@ -40,13 +33,9 @@ fn main() {
         let (null_row, _) = repeat_static(
             &format!("flux+dragon null n={nodes} k={k}x2"),
             reps,
-            jobs,
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::ZERO),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", null_row.table_line());
         text.push_str(&null_row.table_line());
@@ -56,13 +45,9 @@ fn main() {
         let (row, reports) = repeat_static(
             &format!("flux+dragon n={nodes} k={k}x2"),
             reps,
-            jobs,
             move |seed| PilotConfig::flux_dragon(nodes, k).with_seed(seed),
             move || mixed_workload(nodes, SimDuration::from_secs(360)),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());

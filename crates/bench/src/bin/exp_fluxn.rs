@@ -8,10 +8,7 @@
 //! 160.6 → 232.9 at 1024/16), max ≈930 t/s, utilization ≥94.5 % up to 64
 //! nodes, dropping (≈75 %) at 1024/16.
 
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::dummy_workload;
@@ -19,11 +16,7 @@ use rp_workloads::dummy_workload;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     // (nodes, partition counts) grid: Table 1 lists 64 and 1024 nodes with
@@ -48,13 +41,9 @@ fn main() {
             let (row, _) = repeat_static(
                 &format!("flux_n n={nodes} k={k}"),
                 reps,
-                jobs,
                 move |seed| PilotConfig::flux(nodes, k).with_seed(seed),
                 move || dummy_workload(nodes, SimDuration::from_secs(180)),
-                profile_dir.as_deref(),
-                metrics_dir.as_deref(),
-                telemetry_dir.as_deref(),
-                lineage_dir.as_deref(),
+                &opts,
             );
             println!("{}", row.table_line());
             text.push_str(&row.table_line());

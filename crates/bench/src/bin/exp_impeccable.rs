@@ -14,16 +14,12 @@ use rp_core::{PilotConfig, SimSession};
 use rp_workloads::{impeccable_campaign, ImpeccableParams};
 use std::fmt::Write as _;
 
-#[allow(clippy::too_many_arguments)] // positional instrumentation dirs mirror the CLI flags
 fn run_one(
     backend: &str,
     nodes: u32,
     seed: u64,
     text: &mut String,
-    profile_dir: Option<&std::path::Path>,
-    metrics_dir: Option<&std::path::Path>,
-    telemetry_dir: Option<&std::path::Path>,
-    lineage_dir: Option<&std::path::Path>,
+    opts: &rp_bench::RunOpts,
 ) -> (rp_analytics::RunDigest, rp_core::RunReport) {
     let cfg = match backend {
         "srun" => PilotConfig::srun(nodes),
@@ -32,31 +28,36 @@ fn run_one(
     .with_seed(seed);
     let params = ImpeccableParams::for_nodes(nodes);
     let mut session = SimSession::new(cfg, Box::new(impeccable_campaign(params)));
-    if profile_dir.is_some() {
+    if opts.profile_dir.is_some() {
         // Campaign makespans run to tens of thousands of virtual seconds;
         // sample gauges coarsely to keep the profile ring within bounds.
         session = session.with_profiling(rp_sim::SimDuration::from_secs(60));
     }
-    if metrics_dir.is_some() {
+    if opts.metrics_dir.is_some() {
         session = session.with_metrics(rp_sim::SimDuration::from_secs(60));
     }
-    if telemetry_dir.is_some() {
+    if opts.telemetry_dir.is_some() {
         session = session.with_telemetry(rp_sim::SimDuration::from_secs(60));
     }
-    if lineage_dir.is_some() {
+    if opts.lineage_dir.is_some() {
         session = session.with_lineage();
     }
+    if let Some((spec, fault_seed)) = &opts.faults {
+        // The campaign is adaptive, so the uid space is unknown up front;
+        // without a hint only node/crash faults land (no hang victims).
+        session = session.with_faults(spec.clone(), *fault_seed, opts.fault_hint.unwrap_or(0));
+    }
     let report = session.run();
-    if let (Some(dir), Some(p)) = (profile_dir, &report.profile) {
+    if let (Some(dir), Some(p)) = (&opts.profile_dir, &report.profile) {
         rp_bench::write_profile(dir, &format!("impeccable {backend} n={nodes}"), p);
     }
-    if let Some(dir) = metrics_dir {
+    if let Some(dir) = &opts.metrics_dir {
         rp_bench::write_metrics(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
-    if let Some(dir) = telemetry_dir {
+    if let Some(dir) = &opts.telemetry_dir {
         rp_bench::write_telemetry(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
-    if let Some(dir) = lineage_dir {
+    if let Some(dir) = &opts.lineage_dir {
         rp_bench::write_lineage(dir, &format!("impeccable {backend} n={nodes}"), &report);
     }
     let d = digest(&report);
@@ -103,35 +104,14 @@ fn run_one(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = rp_bench::profile_dir_from_args(&args);
-    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
-    let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
-    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
+    let opts = rp_bench::RunOpts::from_args(&args);
     let mut text = String::from("Experiment impeccable — campaign at scale, Fig. 8\n\n");
 
     let scales: &[u32] = if quick { &[256] } else { &[256, 1024] };
     let mut digests = Vec::new();
     for &nodes in scales {
-        let (ds, rs) = run_one(
-            "srun",
-            nodes,
-            31,
-            &mut text,
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
-        );
-        let (df, rf) = run_one(
-            "flux",
-            nodes,
-            31,
-            &mut text,
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
-        );
+        let (ds, rs) = run_one("srun", nodes, 31, &mut text, &opts);
+        let (df, rf) = run_one("flux", nodes, 31, &mut text, &opts);
         let reduction = (ds.makespan_s - df.makespan_s) / ds.makespan_s * 100.0;
         let line = format!(
             "  => flux reduces makespan by {reduction:.0}% at {nodes} nodes (paper: 30-60%)\n"

@@ -12,8 +12,7 @@
 
 use rp_analytics::overheads;
 use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, telemetry_dir_from_args,
-    write_lineage, write_metrics, write_profile, write_results, write_telemetry,
+    write_lineage, write_metrics, write_profile, write_results, write_telemetry, RunOpts,
 };
 use rp_core::{PilotConfig, SimSession, TaskDescription};
 use rp_sim::SimDuration;
@@ -22,10 +21,14 @@ use std::fmt::Write as _;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
+    let RunOpts {
+        profile_dir,
+        metrics_dir,
+        telemetry_dir,
+        lineage_dir,
+        faults,
+        ..
+    } = RunOpts::from_args(&args);
     let mut text = String::from("Experiment overheads — instance bootstrap, Fig. 7\n\n");
 
     // Per-size overheads: one instance over n nodes, trivial workload.
@@ -51,6 +54,9 @@ fn main() {
             }
             if lineage_dir.is_some() {
                 session = session.with_lineage();
+            }
+            if let Some((spec, fault_seed)) = &faults {
+                session = session.with_faults(spec.clone(), *fault_seed, 1);
             }
             let report = session.run();
             let label = format!("overhead {kind} n={nodes}");
@@ -88,6 +94,9 @@ fn main() {
     }
     if lineage_dir.is_some() {
         session = session.with_lineage();
+    }
+    if let Some((spec, fault_seed)) = &faults {
+        session = session.with_faults(spec.clone(), *fault_seed, 1);
     }
     let report = session.run();
     if let Some(dir) = &metrics_dir {

@@ -7,20 +7,13 @@
 //! overtakes at large node counts where its distributed brokers win, and
 //! srun trails everywhere beyond one node.
 
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_workloads::null_workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let mut rows: Vec<ExpRow> = Vec::new();
     let mut text = String::from("Experiment prrte — §5 backend comparison\n\n");
 
@@ -29,7 +22,6 @@ fn main() {
             let (row, _) = repeat_static(
                 &format!("{backend} null n={nodes}"),
                 3,
-                jobs,
                 move |seed| {
                     match backend {
                         "prrte" => PilotConfig::prrte(nodes),
@@ -39,10 +31,7 @@ fn main() {
                     .with_seed(seed)
                 },
                 move || null_workload(nodes),
-                profile_dir.as_deref(),
-                metrics_dir.as_deref(),
-                telemetry_dir.as_deref(),
-                lineage_dir.as_deref(),
+                &opts,
             );
             println!("{}", row.table_line());
             text.push_str(&row.table_line());

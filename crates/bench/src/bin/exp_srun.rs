@@ -7,10 +7,7 @@
 //! count (61 t/s at 4 nodes).
 
 use rp_analytics::{line_plot, timeline};
-use rp_bench::{
-    lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat_static,
-    telemetry_dir_from_args, write_results, ExpRow,
-};
+use rp_bench::{repeat_static, write_results, ExpRow, RunOpts};
 use rp_core::PilotConfig;
 use rp_sim::SimDuration;
 use rp_workloads::{dummy_workload, null_workload};
@@ -18,11 +15,7 @@ use rp_workloads::{dummy_workload, null_workload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = profile_dir_from_args(&args);
-    let metrics_dir = metrics_dir_from_args(&args);
-    let telemetry_dir = telemetry_dir_from_args(&args);
-    let lineage_dir = lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = RunOpts::from_args(&args);
     let reps = if quick { 2 } else { 3 };
 
     let mut rows: Vec<ExpRow> = Vec::new();
@@ -34,17 +27,13 @@ fn main() {
         let (row, _) = repeat_static(
             &format!("srun null n={nodes}"),
             reps,
-            jobs,
             move |seed| {
                 PilotConfig::srun(nodes)
                     .with_srun_oversubscribe(4)
                     .with_seed(seed)
             },
             move || null_workload(nodes),
-            profile_dir.as_deref(),
-            metrics_dir.as_deref(),
-            telemetry_dir.as_deref(),
-            lineage_dir.as_deref(),
+            &opts,
         );
         println!("{}", row.table_line());
         text.push_str(&row.table_line());
@@ -56,17 +45,13 @@ fn main() {
     let (row, reports) = repeat_static(
         "srun dummy180 n=4 (Fig.4)",
         reps,
-        jobs,
         |seed| {
             PilotConfig::srun(4)
                 .with_srun_oversubscribe(4)
                 .with_seed(seed)
         },
         || dummy_workload(4, SimDuration::from_secs(180)),
-        profile_dir.as_deref(),
-        metrics_dir.as_deref(),
-        telemetry_dir.as_deref(),
-        lineage_dir.as_deref(),
+        &opts,
     );
     println!("{}", row.table_line());
     text.push_str(&row.table_line());

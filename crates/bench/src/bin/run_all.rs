@@ -14,6 +14,8 @@
 //! `--lineage-dir <dir>` is forwarded so every experiment also writes
 //! per-task causal lineage JSONL + blame reports (`rp-explain` input) for
 //! one rep per configuration;
+//! `--faults <spec>` / `--fault-seed N` are forwarded so every experiment
+//! runs under the same deterministic fault-injection plan;
 //! `--jobs N` runs up to N experiment binaries concurrently (each
 //! simulation is single-threaded and seeded, so configurations are
 //! embarrassingly parallel) and is forwarded so each experiment also
@@ -27,11 +29,14 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let profile_dir = rp_bench::profile_dir_from_args(&args);
-    let metrics_dir = rp_bench::metrics_dir_from_args(&args);
-    let telemetry_dir = rp_bench::telemetry_dir_from_args(&args);
-    let lineage_dir = rp_bench::lineage_dir_from_args(&args);
-    let jobs = rp_bench::jobs_from_args(&args);
+    let opts = rp_bench::RunOpts::from_args(&args);
+    let (profile_dir, metrics_dir, telemetry_dir, lineage_dir) = (
+        &opts.profile_dir,
+        &opts.metrics_dir,
+        &opts.telemetry_dir,
+        &opts.lineage_dir,
+    );
+    let jobs = opts.jobs.max(1);
 
     // Table 1: the experiment matrix (printed up front, as in the paper).
     let matrix = md_table(
@@ -130,6 +135,7 @@ fn main() {
         "exp_impeccable",
         "exp_prrte",
         "exp_ablations",
+        "exp_faults",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
@@ -149,6 +155,16 @@ fn main() {
         }
         if let Some(dir) = &lineage_dir {
             cmd.arg("--lineage-dir").arg(dir);
+        }
+        if let Some((_, fault_seed)) = &opts.faults {
+            // Forward the raw spec string: the spec has no canonical
+            // serialization, and the child re-parses argv anyway.
+            if let Some(pos) = args.iter().position(|a| a == "--faults") {
+                cmd.arg("--faults").arg(&args[pos + 1]);
+            } else if let Some(raw) = args.iter().find_map(|a| a.strip_prefix("--faults=")) {
+                cmd.arg(format!("--faults={raw}"));
+            }
+            cmd.arg("--fault-seed").arg(fault_seed.to_string());
         }
         cmd.arg("--jobs").arg(jobs.to_string());
         cmd

@@ -2,7 +2,7 @@
 //! digest each run, aggregate, and render table rows.
 
 use rp_analytics::{critical_path, digest, RunDigest};
-use rp_core::{PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
+use rp_core::{FaultSpec, PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
 use rp_profiler::ProfileData;
 use rp_sim::SimDuration;
 use std::fmt::Write as _;
@@ -107,19 +107,24 @@ impl ExpRow {
 /// Gauge sampling period used when an experiment rep runs profiled.
 const PROFILE_PERIOD: SimDuration = SimDuration::from_secs(1);
 
-/// Parse `--<flag> <dir>` (or `--<flag>=<dir>`) from argv.
-fn dir_from_args(args: &[String], flag: &str) -> Option<PathBuf> {
+/// Parse `--<flag> <value>` (or `--<flag>=<value>`) from argv.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
     let eq = format!("--{flag}=");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == &format!("--{flag}") {
-            return it.next().map(PathBuf::from);
+            return it.next().cloned();
         }
-        if let Some(dir) = a.strip_prefix(&eq) {
-            return Some(PathBuf::from(dir));
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
         }
     }
     None
+}
+
+/// Parse `--<flag> <dir>` (or `--<flag>=<dir>`) from argv.
+fn dir_from_args(args: &[String], flag: &str) -> Option<PathBuf> {
+    flag_value(args, flag).map(PathBuf::from)
 }
 
 /// Parse `--profile-dir <dir>` (or `--profile-dir=<dir>`) from argv. When
@@ -172,6 +177,94 @@ pub fn jobs_from_args(args: &[String]) -> usize {
         }
     }
     1
+}
+
+/// Fault seed used when `--faults` is given without `--fault-seed`.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// Parse `--faults <spec>` (or `--faults=<spec>`) plus `--fault-seed <n>`
+/// from argv. Returns the parsed [`FaultSpec`] paired with its fault seed
+/// ([`DEFAULT_FAULT_SEED`] unless overridden), or `None` when `--faults`
+/// is absent. Exits with the parse error on a malformed spec, so a typo
+/// fails loudly instead of silently running fault-free.
+pub fn faults_from_args(args: &[String]) -> Option<(FaultSpec, u64)> {
+    let raw = flag_value(args, "faults")?;
+    let spec = match FaultSpec::parse(&raw) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--faults {raw}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = match flag_value(args, "fault-seed") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--fault-seed {v}: not an integer");
+                std::process::exit(2);
+            }
+        },
+        None => DEFAULT_FAULT_SEED,
+    };
+    Some((spec, seed))
+}
+
+/// Common experiment options parsed from argv: worker threads, the four
+/// instrumentation output directories, and the deterministic
+/// fault-injection plan. Every `exp_*` binary accepts the same flags;
+/// build one with [`RunOpts::from_args`] and hand it to the repetition
+/// helpers.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// `--jobs N`: worker threads for the repetition helpers (0 and 1 both
+    /// mean sequential).
+    pub jobs: usize,
+    /// `--profile-dir <dir>`: profile rep 0, write CSV + Chrome trace.
+    pub profile_dir: Option<PathBuf>,
+    /// `--metrics-dir <dir>`: metrics registry on rep 0, write the
+    /// OpenMetrics document + summary table.
+    pub metrics_dir: Option<PathBuf>,
+    /// `--telemetry-dir <dir>`: telemetry collector on rep 0, write the
+    /// JSONL pair + HTML dashboard.
+    pub telemetry_dir: Option<PathBuf>,
+    /// `--lineage-dir <dir>`: causal lineage on rep 0, write the lineage
+    /// JSONL + blame report (`rp-explain` input).
+    pub lineage_dir: Option<PathBuf>,
+    /// `--faults <spec>` (+ `--fault-seed N`): inject this fault plan into
+    /// EVERY rep. The realized plan depends only on the spec, the fault
+    /// seed and the deployment shape — never on the rep's workload seed —
+    /// so each rep sees the identical fault schedule at any `--jobs` count.
+    pub faults: Option<(FaultSpec, u64)>,
+    /// Upper bound on task uids for hang-victim selection; filled from the
+    /// batch size by [`repeat_static`] when unset.
+    pub fault_hint: Option<u64>,
+}
+
+impl RunOpts {
+    /// Parse every common experiment flag from argv.
+    pub fn from_args(args: &[String]) -> RunOpts {
+        RunOpts {
+            jobs: jobs_from_args(args),
+            profile_dir: profile_dir_from_args(args),
+            metrics_dir: metrics_dir_from_args(args),
+            telemetry_dir: telemetry_dir_from_args(args),
+            lineage_dir: lineage_dir_from_args(args),
+            faults: faults_from_args(args),
+            fault_hint: None,
+        }
+    }
+
+    /// Replace the fault plan (e.g. `exp_faults` sweeping policies).
+    pub fn with_faults(mut self, spec: FaultSpec, fault_seed: u64) -> RunOpts {
+        self.faults = Some((spec, fault_seed));
+        self
+    }
+
+    /// Drop the fault plan (fault-free baseline rows).
+    pub fn without_faults(mut self) -> RunOpts {
+        self.faults = None;
+        self
+    }
 }
 
 /// File-name-safe form of an experiment label.
@@ -262,48 +355,49 @@ pub fn write_lineage(dir: &Path, label: &str, report: &RunReport) {
 
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
 /// each. `mk_workload` builds a fresh workload per rep (workload sources
-/// are consumed by the run); `mk_cfg` gets the rep's seed. With a
-/// `profile_dir`, rep 0 runs with profiling enabled and its profile CSV +
-/// Chrome trace land in that directory under the experiment label; with a
-/// `metrics_dir`, rep 0 runs with metrics attached and its OpenMetrics
-/// document + summary land there the same way; with a `telemetry_dir`,
-/// rep 0 runs with the streaming-telemetry collector attached and its
-/// JSONL time-series + flight recorder + HTML dashboard land there too;
-/// with a `lineage_dir`, rep 0 records every task's causal chain and its
-/// lineage JSONL + blame report land there for `rp-explain`.
-/// `jobs > 1` runs repetitions across that many scoped worker threads.
-/// Each rep's seed depends only on its index and each simulation is
-/// single-threaded and deterministic, so the reports are identical to the
-/// sequential run's; results are collected into per-rep slots and
+/// are consumed by the run); `mk_cfg` gets the rep's seed. With
+/// `opts.profile_dir`, rep 0 runs with profiling enabled and its profile
+/// CSV + Chrome trace land in that directory under the experiment label;
+/// with `opts.metrics_dir`, rep 0 runs with metrics attached and its
+/// OpenMetrics document + summary land there the same way; with
+/// `opts.telemetry_dir`, rep 0 runs with the streaming-telemetry collector
+/// attached and its JSONL time-series + flight recorder + HTML dashboard
+/// land there too; with `opts.lineage_dir`, rep 0 records every task's
+/// causal chain and its lineage JSONL + blame report land there for
+/// `rp-explain`. With `opts.faults`, every rep runs under the same
+/// deterministic fault plan.
+/// `opts.jobs > 1` runs repetitions across that many scoped worker
+/// threads. Each rep's seed depends only on its index and each simulation
+/// is single-threaded and deterministic, so the reports are identical to
+/// the sequential run's; results are collected into per-rep slots and
 /// aggregated in rep order, making the output independent of completion
 /// order.
-#[allow(clippy::too_many_arguments)] // positional instrumentation dirs mirror the CLI flags
 pub fn repeat(
     label: &str,
     reps: usize,
-    jobs: usize,
     mk_cfg: impl Fn(u64) -> PilotConfig + Sync,
     mk_workload: impl (Fn() -> Box<dyn WorkloadSource>) + Sync,
-    profile_dir: Option<&Path>,
-    metrics_dir: Option<&Path>,
-    telemetry_dir: Option<&Path>,
-    lineage_dir: Option<&Path>,
+    opts: &RunOpts,
 ) -> (ExpRow, Vec<RunReport>) {
+    let jobs = opts.jobs.max(1);
     let run_rep = |rep: usize| -> RunReport {
         let seed = 1000 + 7919 * rep as u64;
         let cfg = mk_cfg(seed);
         let mut session = SimSession::new(cfg, mk_workload());
-        if rep == 0 && profile_dir.is_some() {
+        if rep == 0 && opts.profile_dir.is_some() {
             session = session.with_profiling(PROFILE_PERIOD);
         }
-        if rep == 0 && metrics_dir.is_some() {
+        if rep == 0 && opts.metrics_dir.is_some() {
             session = session.with_metrics(PROFILE_PERIOD);
         }
-        if rep == 0 && telemetry_dir.is_some() {
+        if rep == 0 && opts.telemetry_dir.is_some() {
             session = session.with_telemetry(PROFILE_PERIOD);
         }
-        if rep == 0 && lineage_dir.is_some() {
+        if rep == 0 && opts.lineage_dir.is_some() {
             session = session.with_lineage();
+        }
+        if let Some((spec, fault_seed)) = &opts.faults {
+            session = session.with_faults(spec.clone(), *fault_seed, opts.fault_hint.unwrap_or(0));
         }
         session.run()
     };
@@ -331,47 +425,44 @@ pub fn repeat(
             .map(|r| r.expect("every rep slot filled"))
             .collect()
     };
-    if let Some(dir) = profile_dir {
+    if let Some(dir) = &opts.profile_dir {
         if let Some(data) = &reports[0].profile {
             write_profile(dir, label, data);
         }
     }
-    if let Some(dir) = metrics_dir {
+    if let Some(dir) = &opts.metrics_dir {
         write_metrics(dir, label, &reports[0]);
     }
-    if let Some(dir) = telemetry_dir {
+    if let Some(dir) = &opts.telemetry_dir {
         write_telemetry(dir, label, &reports[0]);
     }
-    if let Some(dir) = lineage_dir {
+    if let Some(dir) = &opts.lineage_dir {
         write_lineage(dir, label, &reports[0]);
     }
     let digests: Vec<RunDigest> = reports.iter().map(digest).collect();
     (ExpRow::from_digests(label.to_string(), &digests), reports)
 }
 
-/// Convenience: repeat with a static task batch.
-#[allow(clippy::too_many_arguments)]
+/// Convenience: repeat with a static task batch. When faults are on and no
+/// explicit `fault_hint` is set, the batch size bounds the uid space for
+/// hang-victim selection (static batches use uids `0..n`).
 pub fn repeat_static(
     label: &str,
     reps: usize,
-    jobs: usize,
     mk_cfg: impl Fn(u64) -> PilotConfig + Sync,
     mk_tasks: impl Fn() -> Vec<TaskDescription> + Sync,
-    profile_dir: Option<&Path>,
-    metrics_dir: Option<&Path>,
-    telemetry_dir: Option<&Path>,
-    lineage_dir: Option<&Path>,
+    opts: &RunOpts,
 ) -> (ExpRow, Vec<RunReport>) {
+    let mut opts = opts.clone();
+    if opts.faults.is_some() && opts.fault_hint.is_none() {
+        opts.fault_hint = Some(mk_tasks().len() as u64);
+    }
     repeat(
         label,
         reps,
-        jobs,
         mk_cfg,
         || Box::new(rp_core::StaticWorkload::new(mk_tasks())),
-        profile_dir,
-        metrics_dir,
-        telemetry_dir,
-        lineage_dir,
+        &opts,
     )
 }
 
@@ -399,17 +490,13 @@ mod tests {
         let (row, reports) = repeat_static(
             "tiny",
             2,
-            1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {
                 (0..40)
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
-            None,
-            None,
-            None,
-            None,
+            &RunOpts::default(),
         );
         assert_eq!(row.reps, 2);
         assert_eq!(reports.len(), 2);
@@ -437,17 +524,16 @@ mod tests {
         let (_, reports) = repeat_static(
             "tiny metrics",
             1,
-            1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {
                 (0..20)
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
-            None,
-            Some(&dir),
-            None,
-            None,
+            &RunOpts {
+                metrics_dir: Some(dir.clone()),
+                ..RunOpts::default()
+            },
         );
         assert!(reports[0].metrics.is_some(), "rep 0 must carry a snapshot");
         let om = fs::read_to_string(dir.join("tiny_metrics.om.txt")).expect("om written");
@@ -478,17 +564,16 @@ mod tests {
         let (_, reports) = repeat_static(
             "tiny tel",
             2,
-            1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {
                 (0..20)
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
-            None,
-            None,
-            Some(&dir),
-            None,
+            &RunOpts {
+                telemetry_dir: Some(dir.clone()),
+                ..RunOpts::default()
+            },
         );
         assert!(reports[0].telemetry.is_some(), "rep 0 must carry telemetry");
         assert!(
@@ -514,17 +599,16 @@ mod tests {
         let (_, reports) = repeat_static(
             "tiny lin",
             2,
-            1,
             |seed| PilotConfig::flux(2, 1).with_seed(seed),
             || {
                 (0..20)
                     .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
                     .collect()
             },
-            None,
-            None,
-            None,
-            Some(&dir),
+            &RunOpts {
+                lineage_dir: Some(dir.clone()),
+                ..RunOpts::default()
+            },
         );
         assert!(reports[0].lineage.is_some(), "rep 0 must carry lineage");
         assert!(reports[1].lineage.is_none(), "other reps stay untracked");
@@ -542,5 +626,60 @@ mod tests {
         assert!(blame.contains("20 tasks"));
         assert!(blame.contains("execute"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `--faults` flag parsing: spec + seed round-trip, default seed
+    /// applies, absent flag disables.
+    #[test]
+    fn faults_from_args_parses_spec_and_seed() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+        assert!(faults_from_args(&argv(&["exp"])).is_none());
+        let (spec, seed) =
+            faults_from_args(&argv(&["exp", "--faults", "nodes=2,crashes=1"])).expect("parsed");
+        assert_eq!(spec.node_failures, 2);
+        assert_eq!(spec.crashes, 1);
+        assert_eq!(seed, DEFAULT_FAULT_SEED);
+        let (_, seed) = faults_from_args(&argv(&["exp", "--faults=nodes=1", "--fault-seed", "99"]))
+            .expect("parsed");
+        assert_eq!(seed, 99);
+    }
+
+    /// Faults flow through the repetition helper into every rep: the same
+    /// deterministic plan hits each rep, tasks recover, and the fault-free
+    /// row is unaffected by the machinery.
+    #[test]
+    fn repeat_applies_fault_plan_to_every_rep() {
+        let mk_cfg = |seed| PilotConfig::flux(4, 2).with_seed(seed);
+        let mk_tasks = || {
+            (0..120)
+                .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(30)))
+                .collect::<Vec<_>>()
+        };
+        let (spec, seed) = (
+            FaultSpec::parse("nodes=1,window=40..120,retries=4").expect("spec"),
+            7,
+        );
+        let opts = RunOpts::default().with_faults(spec, seed);
+        let (row, reports) = repeat_static("chaos tiny", 2, mk_cfg, mk_tasks, &opts);
+        assert_eq!(row.reps, 2);
+        assert!((row.done - 120.0).abs() < 1e-9, "all tasks recover");
+        for rep in &reports {
+            assert!(
+                rep.tasks.iter().any(|t| t.retries > 0),
+                "the fault plan must actually bite"
+            );
+        }
+        let (baseline, _) = repeat_static(
+            "chaos off",
+            2,
+            mk_cfg,
+            mk_tasks,
+            &opts.clone().without_faults(),
+        );
+        assert!((baseline.done - 120.0).abs() < 1e-9);
+        assert!(
+            baseline.makespan_s < row.makespan_s,
+            "recovery overhead must show up in the faulted makespan"
+        );
     }
 }

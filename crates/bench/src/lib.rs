@@ -11,8 +11,9 @@ pub mod harness;
 pub mod microbench;
 
 pub use harness::{
-    jobs_from_args, lineage_dir_from_args, metrics_dir_from_args, profile_dir_from_args, repeat,
-    repeat_static, telemetry_dir_from_args, write_lineage, write_metrics, write_profile,
-    write_results, write_telemetry, ExpRow,
+    faults_from_args, jobs_from_args, lineage_dir_from_args, metrics_dir_from_args,
+    profile_dir_from_args, repeat, repeat_static, telemetry_dir_from_args, write_lineage,
+    write_metrics, write_profile, write_results, write_telemetry, ExpRow, RunOpts,
+    DEFAULT_FAULT_SEED,
 };
 pub use microbench::Micro;

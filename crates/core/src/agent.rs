@@ -24,6 +24,7 @@ use crate::router::{Router, RoutingPolicy};
 use crate::service::{ServiceDescription, ServiceRecord};
 use crate::task::{TaskDescription, TaskId, TaskRecord, TaskState};
 use crate::workload::{ResourceView, WorkloadSource};
+use rp_chaos::{FaultAction, FaultPlan, RecoveryPolicy};
 use rp_dragonrt::{DragonAction, DragonSim, DragonTask, DragonToken};
 use rp_fluxrt::{
     EasyBackfill, ExceptionKind, Fcfs, FluxAction, FluxInstanceSim, FluxToken, JobEvent, JobId,
@@ -36,7 +37,7 @@ use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
 use rp_sim::{Actor, Ctx, Dist, FxHashMap, RngStream, SimTime, UidMap};
 use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
-use rp_telemetry::{SampleInput, Telemetry};
+use rp_telemetry::{SampleInput, Severity, Telemetry};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -81,6 +82,14 @@ pub enum AgentMsg {
     CancelTasks(Vec<TaskId>),
     /// Failure injection: crash one backend instance.
     KillInstance(BackendKind, u32),
+    /// A scheduled chaos-plan action fires (node/backend fault or its
+    /// paired recovery transition).
+    Fault(FaultAction),
+    /// Watchdog check for a possibly hung task (scheduled at its
+    /// swallowed launch; fires the hang fault if it never progressed).
+    Watchdog(TaskId),
+    /// A backoff-delayed fault retry re-enters the staging queue.
+    RetryFire(TaskId),
 }
 
 /// An event awaiting the watcher thread of a backend kind.
@@ -407,6 +416,49 @@ impl AgentMetrics {
     }
 }
 
+/// Chaos-plane run state, present only when fault injection is armed via
+/// [`SimAgent::enable_faults`] — faults-off runs carry `None` and stay
+/// byte-identical to a chaos-free build (no extra RNG draws, no extra
+/// metric series, no extra events).
+struct ChaosState {
+    /// The realized fault plan (all randomness drawn up front from its
+    /// own seed, never from the workload/backend streams).
+    plan: FaultPlan,
+    /// Placement each fault-failed task should avoid on its next routing
+    /// decision (`ResubmitElsewhere` policy), keyed by uid. Point
+    /// lookups only — never iterated — so determinism is unaffected.
+    avoid: FxHashMap<u64, (BackendKind, u32)>,
+    /// Tasks that found no live partition while a restart/restore was
+    /// still pending: they wait here (in submission order) and re-stage
+    /// when capacity returns, instead of failing permanently.
+    parked: Vec<TaskId>,
+    /// Fault counters, registered lazily by `enable_faults` so the
+    /// OpenMetrics text of a faults-off run is unchanged.
+    counters: Option<ChaosCounters>,
+}
+
+/// Metrics instruments for the chaos plane (faults-on runs only).
+struct ChaosCounters {
+    /// Injected fault events by kind, indexed by the lineage fault codes
+    /// (`FAULT_NODE` / `FAULT_CRASH` / `FAULT_HANG`).
+    faults: [MCounter; 3],
+    /// Fault-failed tasks resubmitted by the recovery policy.
+    recoveries: MCounter,
+    /// Tasks the recovery policy abandoned (give-up or retry budget).
+    given_up: MCounter,
+}
+
+/// Which sub-machine a flat chaos-plan partition index maps to: flux
+/// partitions first, then dragon, then prrte, matching the instance
+/// order reports use; srun absorbs node faults when no instance-
+/// structured backend is deployed.
+enum FaultTarget {
+    Flux(usize),
+    Dragon(usize),
+    Prrte(usize),
+    Srun,
+}
+
 /// The simulated agent actor.
 pub struct SimAgent {
     cfg: PilotConfig,
@@ -468,8 +520,10 @@ pub struct SimAgent {
     /// Reusable backend action buffers. Backends append into these
     /// (out-param API) and `process_*_actions` drains them, so
     /// steady-state event handling allocates nothing. Taken with
-    /// `std::mem::take` around each use; a rare reentrant call (failure
-    /// retry paths) simply works on a fresh buffer.
+    /// `std::mem::take` around each use; a reentrant call (failure
+    /// retry and fault paths) works on a fresh buffer, and
+    /// [`Self::restore_scratch`] keeps whichever buffer grew larger so
+    /// reentrancy can't permanently shrink the steady-state capacity.
     scratch_srun: Vec<SrunAction>,
     scratch_flux: Vec<FluxAction>,
     scratch_dragon: Vec<DragonAction>,
@@ -494,6 +548,8 @@ pub struct SimAgent {
     lineage: Option<Lineage>,
     /// Head task already blamed for the current srun capacity stall.
     lin_srun_reject: Option<u64>,
+    /// Fault-injection plane (None unless [`Self::enable_faults`] ran).
+    chaos: Option<ChaosState>,
 }
 
 impl SimAgent {
@@ -720,6 +776,7 @@ impl SimAgent {
             tel_sample_mask: u64::MAX,
             lineage: None,
             lin_srun_reject: None,
+            chaos: None,
         }
     }
 
@@ -994,6 +1051,58 @@ impl SimAgent {
             pb.dvm.attach_lineage(lin.clone(), i as u32);
         }
         self.lineage = Some(lin);
+    }
+
+    /// Arm the fault-injection plane with a realized [`FaultPlan`]. Call
+    /// AFTER the observability attachments: the chaos counters register
+    /// only here, so a faults-off run's OpenMetrics output is
+    /// byte-identical to a build without the chaos plane. Inactive plans
+    /// are dropped outright — the agent then carries no chaos state at
+    /// all.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        if !plan.is_active() {
+            return;
+        }
+        // `retries=N` governs the whole run, not just the fault path: a
+        // task resubmitted into a still-down backend fails through the
+        // ordinary exception path and must get the same allowance.
+        if let Some(n) = plan.max_retries {
+            self.cfg.max_retries = n;
+        }
+        let counters = self.metrics.as_ref().map(|m| ChaosCounters {
+            // Indexed by the lineage fault codes: FAULT_NODE=0,
+            // FAULT_CRASH=1, FAULT_HANG=2.
+            faults: ["node_failure", "backend_crash", "task_hang"].map(|label| {
+                m.reg.counter(
+                    "rp_faults_injected_total",
+                    &[("kind", label)],
+                    "Chaos-plan faults injected, by kind",
+                )
+            }),
+            recoveries: m.reg.counter(
+                "rp_fault_recoveries_total",
+                &[],
+                "Fault-failed tasks resubmitted by the recovery policy",
+            ),
+            given_up: m.reg.counter(
+                "rp_fault_give_ups_total",
+                &[],
+                "Tasks abandoned by the recovery policy",
+            ),
+        });
+        self.chaos = Some(ChaosState {
+            plan,
+            avoid: FxHashMap::default(),
+            parked: Vec::new(),
+            counters,
+        });
+    }
+
+    /// Bump one chaos fault counter (no-op when metrics are detached).
+    fn note_fault(&self, code: u16) {
+        if let Some(c) = self.chaos.as_ref().and_then(|c| c.counters.as_ref()) {
+            c.faults[usize::from(code.min(2))].inc();
+        }
     }
 
     /// Record a routing decision in the lineage stream (no-op untracked).
@@ -1431,14 +1540,28 @@ impl SimAgent {
     /// competes on queue pressure. Falls back across kinds when a whole
     /// backend is dead.
     fn select_backend(&mut self, t: TaskId) -> Option<(BackendKind, u32)> {
+        // One-shot resubmit-elsewhere hint from the chaos plane: prefer
+        // any partition other than the one that just failed the task
+        // (falling back to it only when nothing else is alive).
+        let avoid = self.chaos.as_mut().and_then(|c| c.avoid.remove(&t.0));
         let desc = self.descs.get(t.0).expect("desc exists");
         if self.cfg.routing == RoutingPolicy::LeastLoaded && desc.backend_hint.is_none() {
             let candidates = self.router.candidates(desc);
             let mut best: Option<(f64, BackendKind, u32)> = None;
             for kind in candidates {
-                if let Some((pressure, part)) = self.least_loaded_partition(kind) {
+                if let Some((pressure, part)) = self.least_loaded_partition(kind, avoid) {
                     if best.is_none_or(|(bp, _, _)| pressure < bp) {
                         best = Some((pressure, kind, part));
+                    }
+                }
+            }
+            if best.is_none() && avoid.is_some() {
+                // Every alternative is dead: resubmit in place.
+                for kind in self.router.candidates(desc) {
+                    if let Some((pressure, part)) = self.least_loaded_partition(kind, None) {
+                        if best.is_none_or(|(bp, _, _)| pressure < bp) {
+                            best = Some((pressure, kind, part));
+                        }
                     }
                 }
             }
@@ -1450,7 +1573,7 @@ impl SimAgent {
         }
 
         let kind = self.router.route(desc).ok()?;
-        if let Some(p) = self.pick_partition(kind) {
+        if let Some(p) = self.pick_partition(kind, avoid) {
             self.note_route(t, rp_lineage::ROUTE_TYPE_AWARE, kind, p);
             return Some((kind, p));
         }
@@ -1463,7 +1586,7 @@ impl SimAgent {
             BackendKind::Srun,
         ] {
             if alt != kind && self.router.has(alt) {
-                if let Some(p) = self.pick_partition(alt) {
+                if let Some(p) = self.pick_partition(alt, avoid) {
                     self.note_route(t, rp_lineage::ROUTE_FAILOVER, alt, p);
                     return Some((alt, p));
                 }
@@ -1473,18 +1596,30 @@ impl SimAgent {
     }
 
     /// The live partition of `kind` with the lowest backlog, and that
-    /// backlog normalized by the partition's capacity.
-    fn least_loaded_partition(&self, kind: BackendKind) -> Option<(f64, u32)> {
+    /// backlog normalized by the partition's capacity. `avoid` excludes
+    /// one (backend, partition) pair — the chaos plane's
+    /// resubmit-elsewhere hint; callers fall back to an unfiltered pick
+    /// when the exclusion empties every candidate set.
+    fn least_loaded_partition(
+        &self,
+        kind: BackendKind,
+        avoid: Option<(BackendKind, u32)>,
+    ) -> Option<(f64, u32)> {
+        let avoided = |part: u32| avoid == Some((kind, part));
         match kind {
-            BackendKind::Srun => self.srun_backend.as_ref().map(|sb| {
-                let backlog = sb.waiting.len() + self.site_srun.queued();
-                (backlog as f64, 0)
-            }),
+            BackendKind::Srun => self
+                .srun_backend
+                .as_ref()
+                .filter(|_| !avoided(0))
+                .map(|sb| {
+                    let backlog = sb.waiting.len() + self.site_srun.queued();
+                    (backlog as f64, 0)
+                }),
             BackendKind::Flux => self
                 .flux
                 .iter()
                 .enumerate()
-                .filter(|(_, f)| f.is_alive())
+                .filter(|(i, f)| f.is_alive() && !avoided(*i as u32))
                 .map(|(i, f)| {
                     let cap = f.allocation().total_cores().max(1) as f64;
                     let pressure = (f.queued_count() + f.running_count()) as f64 / cap;
@@ -1495,7 +1630,7 @@ impl SimAgent {
                 .prrte
                 .iter()
                 .enumerate()
-                .filter(|(_, pb)| pb.dvm.is_alive())
+                .filter(|(i, pb)| pb.dvm.is_alive() && !avoided(*i as u32))
                 .map(|(i, pb)| {
                     let cap = pb.pool.total_cores().max(1) as f64;
                     let pressure =
@@ -1507,7 +1642,7 @@ impl SimAgent {
                 .dragon
                 .iter()
                 .enumerate()
-                .filter(|(_, d)| d.is_alive())
+                .filter(|(i, d)| d.is_alive() && !avoided(*i as u32))
                 .map(|(i, d)| {
                     let cap = d.worker_capacity().max(1) as f64;
                     let parked = self.dragon_parked[i].len();
@@ -1518,7 +1653,15 @@ impl SimAgent {
         }
     }
 
-    fn pick_partition(&mut self, kind: BackendKind) -> Option<u32> {
+    /// Round-robin over `kind`'s live partitions. `avoid` is the chaos
+    /// plane's resubmit-elsewhere hint: the avoided partition is chosen
+    /// only when it is the sole live one (resubmit in place beats
+    /// permanent failure).
+    fn pick_partition(
+        &mut self,
+        kind: BackendKind,
+        avoid: Option<(BackendKind, u32)>,
+    ) -> Option<u32> {
         let count = match kind {
             BackendKind::Srun => {
                 return self.srun_backend.as_ref().map(|_| 0);
@@ -1530,7 +1673,12 @@ impl SimAgent {
         if count == 0 {
             return None;
         }
+        let avoid_idx = match avoid {
+            Some((k, p)) if k == kind => Some(p as usize),
+            _ => None,
+        };
         let start = self.rr[kind as usize];
+        let mut fallback = None;
         for off in 0..count {
             let idx = (start + off) % count;
             let alive = match kind {
@@ -1539,12 +1687,20 @@ impl SimAgent {
                 BackendKind::Prrte => self.prrte[idx].dvm.is_alive(),
                 BackendKind::Srun => true,
             };
-            if alive {
-                self.rr[kind as usize] = idx + 1;
-                return Some(idx as u32);
+            if !alive {
+                continue;
             }
+            if avoid_idx == Some(idx) {
+                fallback = Some(idx);
+                continue;
+            }
+            self.rr[kind as usize] = idx + 1;
+            return Some(idx as u32);
         }
-        None
+        fallback.map(|idx| {
+            self.rr[kind as usize] = idx + 1;
+            idx as u32
+        })
     }
 
     // --------------------------------------------------- backend dispatch
@@ -1552,11 +1708,21 @@ impl SimAgent {
     fn dispatch_to_backend(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
         let (kind, part) = *self.assignment.get(t.0).expect("assigned");
         let now = ctx.now();
-        self.with_task(t, |rec| {
+        let attempt = self.with_task(t, |rec| {
             rec.advance(TaskState::Submitted, now);
             rec.backend = Some(kind);
             rec.partition = Some(part);
+            rec.retries
         });
+        if let Some(chaos) = &self.chaos {
+            if attempt == 0 && chaos.plan.hang_victims.binary_search(&t.0).is_ok() {
+                // Planned hang: the payload wedges silently downstream of
+                // the adapter on its first launch attempt. Nothing
+                // reaches the backend — only the watchdog will notice.
+                ctx.timer(chaos.plan.watchdog, AgentMsg::Watchdog(t));
+                return;
+            }
+        }
         match kind {
             BackendKind::Srun => {
                 self.srun_backend
@@ -1576,7 +1742,7 @@ impl SimAgent {
                 let mut acts = std::mem::take(&mut self.scratch_flux);
                 self.flux[part as usize].submit(now, job, &mut acts);
                 self.process_flux_actions(part, &mut acts, ctx);
-                self.scratch_flux = acts;
+                Self::restore_scratch(&mut self.scratch_flux, acts);
             }
             BackendKind::Prrte => {
                 if self.prrte[part as usize].dvm.is_alive() {
@@ -1598,6 +1764,21 @@ impl SimAgent {
                 }
             }
         }
+    }
+
+    /// Stamp `ready` on an instance report and decide whether this is its
+    /// FIRST readiness (which feeds the pilot-activation gate). A re-boot
+    /// after a chaos restart re-stamps `ready` but returns false: the
+    /// gate already counted the instance once — either at its original
+    /// `Ready` or when `kill_instance` released the gate on its behalf
+    /// (`killed` records that history, so a kill-during-boot followed by
+    /// a restart cannot double-release).
+    fn mark_instance_ready(&mut self, slot: usize, now: SimTime) -> bool {
+        let mut st = self.state.borrow_mut();
+        let inst = &mut st.instances[slot];
+        let first = inst.ready.is_none() && !inst.killed;
+        inst.ready = Some(now);
+        first
     }
 
     /// One backend instance finished booting; release the scheduler when
@@ -1818,7 +1999,7 @@ impl SimAgent {
         let mut acts = std::mem::take(&mut self.scratch_dragon);
         self.dragon[part as usize].submit(task, &mut acts);
         self.process_dragon_actions(part, &mut acts, ctx);
-        self.scratch_dragon = acts;
+        Self::restore_scratch(&mut self.scratch_dragon, acts);
     }
 
     /// Place and launch waiting PRRTE tasks (RP-side FCFS placement over
@@ -1877,7 +2058,7 @@ impl SimAgent {
             }
         }
         self.process_prrte_actions(part, &mut acts, ctx);
-        self.scratch_prrte = acts;
+        Self::restore_scratch(&mut self.scratch_prrte, acts);
     }
 
     fn process_prrte_actions(
@@ -1893,12 +2074,9 @@ impl SimAgent {
                     ctx.timer(after, AgentMsg::Prrte(part, token))
                 }
                 PrrteAction::Ready => {
-                    {
-                        let mut st = self.state.borrow_mut();
-                        let slot = self.prrte_report[part as usize];
-                        st.instances[slot].ready = Some(now);
+                    if self.mark_instance_ready(self.prrte_report[part as usize], now) {
+                        self.instance_ready(ctx);
                     }
-                    self.instance_ready(ctx);
                 }
                 PrrteAction::Started(id) => {
                     self.watch(
@@ -1990,7 +2168,7 @@ impl SimAgent {
             );
         }
         self.process_srun_actions(&mut acts, ctx);
-        self.scratch_srun = acts;
+        Self::restore_scratch(&mut self.scratch_srun, acts);
     }
 
     // ----------------------------------------------------- action routing
@@ -2036,7 +2214,7 @@ impl SimAgent {
             let mut acts = std::mem::take(&mut self.scratch_prrte);
             self.prrte[idx].dvm.boot(&mut acts);
             self.process_prrte_actions(idx as u32, &mut acts, ctx);
-            self.scratch_prrte = acts;
+            Self::restore_scratch(&mut self.scratch_prrte, acts);
         } else if infra_id >= DRAGON_INFRA_BASE {
             let idx = (infra_id - DRAGON_INFRA_BASE) as usize;
             {
@@ -2047,7 +2225,7 @@ impl SimAgent {
             let mut acts = std::mem::take(&mut self.scratch_dragon);
             self.dragon[idx].boot(&mut acts);
             self.process_dragon_actions(idx as u32, &mut acts, ctx);
-            self.scratch_dragon = acts;
+            Self::restore_scratch(&mut self.scratch_dragon, acts);
         } else {
             let idx = (infra_id - FLUX_INFRA_BASE) as usize;
             {
@@ -2058,7 +2236,7 @@ impl SimAgent {
             let mut acts = std::mem::take(&mut self.scratch_flux);
             self.flux[idx].boot(&mut acts);
             self.process_flux_actions(idx as u32, &mut acts, ctx);
-            self.scratch_flux = acts;
+            Self::restore_scratch(&mut self.scratch_flux, acts);
         }
     }
 
@@ -2073,12 +2251,9 @@ impl SimAgent {
             match a {
                 FluxAction::Timer { after, token } => ctx.timer(after, AgentMsg::Flux(part, token)),
                 FluxAction::Ready => {
-                    {
-                        let mut st = self.state.borrow_mut();
-                        let slot = self.flux_report[part as usize];
-                        st.instances[slot].ready = Some(now);
+                    if self.mark_instance_ready(self.flux_report[part as usize], now) {
+                        self.instance_ready(ctx);
                     }
-                    self.instance_ready(ctx);
                 }
                 FluxAction::Event(ev) => match ev {
                     JobEvent::Submitted(_) | JobEvent::Alloc(_) => {}
@@ -2110,12 +2285,9 @@ impl SimAgent {
                     ctx.timer(after, AgentMsg::Dragon(part, token))
                 }
                 DragonAction::Ready => {
-                    {
-                        let mut st = self.state.borrow_mut();
-                        let slot = self.dragon_report[part as usize];
-                        st.instances[slot].ready = Some(now);
+                    if self.mark_instance_ready(self.dragon_report[part as usize], now) {
+                        self.instance_ready(ctx);
                     }
-                    self.instance_ready(ctx);
                 }
                 DragonAction::Started(id) => {
                     self.watch(
@@ -2256,6 +2428,20 @@ impl SimAgent {
     }
 
     fn kill_instance(&mut self, kind: BackendKind, part: u32, ctx: &mut Ctx<AgentMsg>) {
+        for t in self.kill_instance_collect(kind, part, ctx) {
+            self.fail_task(t, true, ctx);
+        }
+    }
+
+    /// Crash one backend instance and return the tasks it took down; the
+    /// caller decides the recovery path (plain retry for injected kills,
+    /// policy-driven for chaos crashes).
+    fn kill_instance_collect(
+        &mut self,
+        kind: BackendKind,
+        part: u32,
+        ctx: &mut Ctx<AgentMsg>,
+    ) -> Vec<TaskId> {
         let (lost, was_booting): (Vec<TaskId>, bool) = match kind {
             BackendKind::Flux => {
                 let idx = part as usize;
@@ -2303,8 +2489,561 @@ impl SimAgent {
             // pilot-activation gate on its behalf so the survivors proceed.
             self.instance_ready(ctx);
         }
+        lost
+    }
+
+    // ------------------------------------------------------- chaos plane
+
+    /// Fault-path task failure. Mirrors [`Self::fail_task`], but recovery
+    /// is governed by the chaos plan's policy and the fault is surfaced
+    /// as data: an `EV_FAULT` lineage event carrying the fault kind and
+    /// causal context is recorded immediately after the `EV_FAILED`
+    /// transition (same timestamp, so the FAILED→FAULT blame gap is zero
+    /// and the FAULT→retry gap is pure `recovery_overhead`), and the
+    /// recovery/give-up counters feed the chaos metrics.
+    fn fail_task_fault(
+        &mut self,
+        t: TaskId,
+        detail: u16,
+        node_value: u64,
+        ctx: &mut Ctx<AgentMsg>,
+    ) {
+        let now = ctx.now();
+        let prior = self.assignment.get(t.0).copied();
+        self.with_task(t, |rec| rec.advance(TaskState::Failed, now));
+        if let Some(l) = &self.lineage {
+            let (bk, part) = match prior {
+                Some((kind, part)) => (kind as u8, part),
+                None => (rp_lineage::NO_BACKEND, rp_lineage::NO_PARTITION),
+            };
+            l.record_ctx(t.0, rp_lineage::EV_FAULT, detail, bk, part, node_value);
+        }
+        self.assignment.remove(t.0);
+        let (policy, plan_max) = {
+            let c = self.chaos.as_ref().expect("fault without chaos plan");
+            (c.plan.policy, c.plan.max_retries)
+        };
+        let max_retries = plan_max.unwrap_or(self.cfg.max_retries);
+        let retry = !matches!(policy, RecoveryPolicy::GiveUp)
+            && self.with_task(t, |rec| rec.retries < max_retries);
+        if retry {
+            if let Some(c) = self.chaos.as_ref().and_then(|c| c.counters.as_ref()) {
+                c.recoveries.inc();
+            }
+            match policy {
+                RecoveryPolicy::RetryBackoff { .. } => {
+                    let prior_retries = self.with_task(t, |rec| {
+                        let p = rec.retries;
+                        rec.retries += 1;
+                        p
+                    });
+                    // The StagingInput advance happens when the backoff
+                    // timer fires, so the FAULT→EV_RETRY lineage gap is
+                    // exactly the recovery delay.
+                    ctx.timer(policy.backoff(prior_retries), AgentMsg::RetryFire(t));
+                }
+                RecoveryPolicy::ResubmitElsewhere => {
+                    if let (Some(c), Some(pk)) = (self.chaos.as_mut(), prior) {
+                        c.avoid.insert(t.0, pk);
+                    }
+                    self.with_task(t, |rec| {
+                        rec.retries += 1;
+                        rec.advance(TaskState::StagingInput, now);
+                    });
+                    self.stage_q.push_back(t);
+                    self.pump_stagers(ctx);
+                }
+                RecoveryPolicy::GiveUp => unreachable!("filtered above"),
+            }
+        } else {
+            if let Some(c) = self.chaos.as_ref().and_then(|c| c.counters.as_ref()) {
+                c.given_up.inc();
+            }
+            if let Some(tel) = &self.telemetry {
+                let retries = self.with_task(t, |rec| rec.retries);
+                tel.on_fault(
+                    "fault_give_up",
+                    Severity::Critical,
+                    Some(t.0),
+                    prior.map(|(k, _)| k as u8),
+                    prior.map(|(_, p)| p),
+                    f64::from(retries),
+                    format!("task {} abandoned after {} retries", t.0, retries),
+                );
+            }
+            if let Some(m) = &self.metrics {
+                m.abandon(t.0);
+            }
+            self.state.borrow_mut().failed += 1;
+            self.on_terminal(t, ctx);
+        }
+    }
+
+    /// Resolve a flat chaos-plan partition index (flux, then dragon, then
+    /// prrte — the instance-report order) to the owning sub-machine.
+    /// Srun-only pilots direct node faults at the site srun.
+    fn fault_target(&self, partition: u32) -> FaultTarget {
+        let nf = self.flux.len();
+        let nd = self.dragon.len();
+        let np = self.prrte.len();
+        let total = nf + nd + np;
+        if total == 0 {
+            return FaultTarget::Srun;
+        }
+        let p = partition as usize % total;
+        if p < nf {
+            FaultTarget::Flux(p)
+        } else if p < nf + nd {
+            FaultTarget::Dragon(p - nf)
+        } else {
+            FaultTarget::Prrte(p - nf - nd)
+        }
+    }
+
+    /// Flight-recorder alarm for a fault event (no-op untracked).
+    #[allow(clippy::too_many_arguments)]
+    fn fault_alarm(
+        &self,
+        kind: &'static str,
+        severity: Severity,
+        backend: Option<BackendKind>,
+        partition: Option<u32>,
+        value: f64,
+        message: String,
+    ) {
+        if let Some(tel) = &self.telemetry {
+            tel.on_fault(
+                kind,
+                severity,
+                None,
+                backend.map(|k| k as u8),
+                partition,
+                value,
+                message,
+            );
+        }
+    }
+
+    /// Apply one scheduled chaos-plan action.
+    fn apply_fault(&mut self, action: FaultAction, ctx: &mut Ctx<AgentMsg>) {
+        match action {
+            FaultAction::FailNode {
+                partition,
+                node_idx,
+            } => self.fault_fail_node(partition, node_idx, ctx),
+            FaultAction::RestoreNode {
+                partition,
+                node_idx,
+            } => self.fault_restore_node(partition, node_idx, ctx),
+            FaultAction::CrashBackend { partition } => self.fault_crash(partition, ctx),
+            FaultAction::RestartBackend { partition } => self.fault_restart(partition, ctx),
+        }
+        if matches!(
+            action,
+            FaultAction::RestartBackend { .. } | FaultAction::RestoreNode { .. }
+        ) {
+            self.drain_parked(ctx);
+        }
+    }
+
+    /// No live partition can host `t`. Fault-free (or once the chaos plan
+    /// has no recovery left to wait for) that is terminal — the historical
+    /// "no live backend could host" semantic. Under an outage with a
+    /// pending restart/restore the condition is transient: the task parks
+    /// and [`Self::drain_parked`] re-stages it when capacity returns.
+    fn route_failed(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let now = ctx.now();
+        let transient = self.chaos.as_ref().is_some_and(|c| {
+            c.plan.events.iter().any(|e| {
+                e.at > now
+                    && matches!(
+                        e.action,
+                        FaultAction::RestartBackend { .. } | FaultAction::RestoreNode { .. }
+                    )
+            })
+        });
+        if transient {
+            // Failed is the legal waypoint out of Scheduling; the task sits
+            // there (its dwell is the outage) until drain_parked re-stages.
+            self.with_task(t, |rec| rec.advance(TaskState::Failed, now));
+            self.assignment.remove(t.0);
+            self.chaos
+                .as_mut()
+                .expect("transient implies chaos")
+                .parked
+                .push(t);
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.routing_failed.inc();
+        }
+        self.fail_task(t, false, ctx);
+    }
+
+    /// Re-stage every parked task after a restart/restore: capacity (or a
+    /// fresh instance) is back, so routing gets another chance. Insertion
+    /// order is submission order — deterministic.
+    fn drain_parked(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        let parked = match self.chaos.as_mut() {
+            Some(c) if !c.parked.is_empty() => std::mem::take(&mut c.parked),
+            _ => return,
+        };
+        let now = ctx.now();
+        for t in parked {
+            self.with_task(t, |rec| rec.advance(TaskState::StagingInput, now));
+            self.stage_q.push_back(t);
+        }
+        self.pump_stagers(ctx);
+    }
+
+    /// Take one node down: resident tasks die (policy-driven recovery),
+    /// the node's capacity leaves its partition until `RestoreNode`.
+    fn fault_fail_node(&mut self, partition: u32, node_idx: u32, ctx: &mut Ctx<AgentMsg>) {
+        self.note_fault(rp_lineage::FAULT_NODE);
+        match self.fault_target(partition) {
+            FaultTarget::Flux(idx) => {
+                let node_idx = node_idx % self.flux[idx].allocation().count.max(1);
+                self.fault_alarm(
+                    "fault_node",
+                    Severity::Warning,
+                    Some(BackendKind::Flux),
+                    Some(idx as u32),
+                    f64::from(node_idx),
+                    format!("node {node_idx} of flux partition {idx} failed"),
+                );
+                let now = ctx.now();
+                let mut acts = std::mem::take(&mut self.scratch_flux);
+                let lost = self.flux[idx].fail_node(now, node_idx, &mut acts);
+                self.process_flux_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_flux, acts);
+                for JobId(id) in lost {
+                    self.fail_task_fault(
+                        TaskId(id),
+                        rp_lineage::FAULT_NODE,
+                        u64::from(node_idx),
+                        ctx,
+                    );
+                }
+            }
+            FaultTarget::Dragon(idx) => {
+                let node_idx = node_idx % self.dragon_allocs[idx].count.max(1);
+                self.fault_alarm(
+                    "fault_node",
+                    Severity::Warning,
+                    Some(BackendKind::Dragon),
+                    Some(idx as u32),
+                    f64::from(node_idx),
+                    format!("node {node_idx} of dragon partition {idx} failed"),
+                );
+                let mut acts = std::mem::take(&mut self.scratch_dragon);
+                let lost = self.dragon[idx].fail_node(node_idx, &mut acts);
+                self.process_dragon_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_dragon, acts);
+                for id in lost {
+                    // A victim that never produced a `Started` event still
+                    // holds a flow-control window slot no watcher event
+                    // will return: free it and feed the park queue. (An
+                    // Exec still queued at the watcher frees the slot on
+                    // its own when it drains.)
+                    let submitted = self
+                        .state
+                        .borrow()
+                        .tasks
+                        .get(id)
+                        .is_some_and(|r| r.state == TaskState::Submitted);
+                    let exec_pending = self.watcher_q[BackendKind::Dragon as usize]
+                        .iter()
+                        .any(|ev| matches!(ev, WatcherEvent::Exec(x, _) if x.0 == id));
+                    if submitted && !exec_pending {
+                        self.dragon_inflight[idx] = self.dragon_inflight[idx].saturating_sub(1);
+                        if let Some(next) = self.dragon_parked[idx].pop_front() {
+                            if self.dragon[idx].is_alive() {
+                                self.push_to_dragon(idx as u32, next, ctx);
+                            } else {
+                                self.fail_task(next, true, ctx);
+                            }
+                        }
+                    }
+                    self.fail_task_fault(
+                        TaskId(id),
+                        rp_lineage::FAULT_NODE,
+                        u64::from(node_idx),
+                        ctx,
+                    );
+                }
+            }
+            FaultTarget::Prrte(idx) => {
+                // The DVM has no node model — placement lives with the
+                // agent (§5), so victim selection does too: every resident
+                // whose placement touches the node is reaped.
+                let node_idx = node_idx as usize % self.prrte[idx].pool.node_count().max(1);
+                if !self.prrte[idx].pool.node_down(node_idx) {
+                    return; // already down: nothing new to fail
+                }
+                self.fault_alarm(
+                    "fault_node",
+                    Severity::Warning,
+                    Some(BackendKind::Prrte),
+                    Some(idx as u32),
+                    node_idx as f64,
+                    format!("node {node_idx} of prrte partition {idx} failed"),
+                );
+                let victims: Vec<u64> = self.prrte[idx]
+                    .dvm
+                    .resident_ids()
+                    .into_iter()
+                    .filter(|id| {
+                        self.prrte[idx].placements.get(*id).is_some_and(|pl| {
+                            pl.ranks.iter().any(|r| r.node_idx == node_idx as u32)
+                        })
+                    })
+                    .collect();
+                for &id in &victims {
+                    let pb = &mut self.prrte[idx];
+                    if let Some(pl) = pb.placements.remove(id) {
+                        // Down-node ranks park inside the pool; surviving
+                        // ranks free normally.
+                        pb.pool.free(&pl);
+                    }
+                    pb.dvm.reap(id);
+                }
+                self.pump_prrte(idx as u32, ctx);
+                for id in victims {
+                    self.fail_task_fault(TaskId(id), rp_lineage::FAULT_NODE, node_idx as u64, ctx);
+                }
+            }
+            FaultTarget::Srun => {
+                let node_idx = node_idx % self.cfg.nodes.max(1);
+                self.fault_alarm(
+                    "fault_node",
+                    Severity::Warning,
+                    Some(BackendKind::Srun),
+                    Some(0),
+                    f64::from(node_idx),
+                    format!("node {node_idx} of the srun allocation failed"),
+                );
+                let mut acts = std::mem::take(&mut self.scratch_srun);
+                let lost = self.site_srun.fail_node(node_idx, &mut acts);
+                self.process_srun_actions(&mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_srun, acts);
+                for id in &lost {
+                    if let Some(sb) = self.srun_backend.as_mut() {
+                        if let Some((c, g)) = sb.holds.remove(*id) {
+                            sb.free_core_slots += c;
+                            sb.free_gpus += g;
+                        }
+                    }
+                }
+                for id in lost {
+                    self.fail_task_fault(
+                        TaskId(id),
+                        rp_lineage::FAULT_NODE,
+                        u64::from(node_idx),
+                        ctx,
+                    );
+                }
+                self.pump_srun_backend(ctx);
+            }
+        }
+    }
+
+    /// Bring a previously failed node back into its partition's pool.
+    fn fault_restore_node(&mut self, partition: u32, node_idx: u32, ctx: &mut Ctx<AgentMsg>) {
+        match self.fault_target(partition) {
+            FaultTarget::Flux(idx) => {
+                let node_idx = node_idx % self.flux[idx].allocation().count.max(1);
+                let now = ctx.now();
+                let mut acts = std::mem::take(&mut self.scratch_flux);
+                self.flux[idx].node_up(now, node_idx, &mut acts);
+                self.process_flux_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_flux, acts);
+                self.fault_alarm(
+                    "fault_node_cleared",
+                    Severity::Info,
+                    Some(BackendKind::Flux),
+                    Some(idx as u32),
+                    f64::from(node_idx),
+                    format!("node {node_idx} of flux partition {idx} restored"),
+                );
+            }
+            FaultTarget::Dragon(idx) => {
+                let node_idx = node_idx % self.dragon_allocs[idx].count.max(1);
+                let mut acts = std::mem::take(&mut self.scratch_dragon);
+                self.dragon[idx].node_up(node_idx, &mut acts);
+                self.process_dragon_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_dragon, acts);
+                self.fault_alarm(
+                    "fault_node_cleared",
+                    Severity::Info,
+                    Some(BackendKind::Dragon),
+                    Some(idx as u32),
+                    f64::from(node_idx),
+                    format!("node {node_idx} of dragon partition {idx} restored"),
+                );
+            }
+            FaultTarget::Prrte(idx) => {
+                let node_idx = node_idx as usize % self.prrte[idx].pool.node_count().max(1);
+                if self.prrte[idx].pool.node_up(node_idx) {
+                    self.pump_prrte(idx as u32, ctx);
+                    self.fault_alarm(
+                        "fault_node_cleared",
+                        Severity::Info,
+                        Some(BackendKind::Prrte),
+                        Some(idx as u32),
+                        node_idx as f64,
+                        format!("node {node_idx} of prrte partition {idx} restored"),
+                    );
+                }
+            }
+            FaultTarget::Srun => {
+                // The site srun models a site-wide RPC ceiling, not
+                // per-node slots: nothing was removed at failure time, so
+                // restoration is a no-op.
+            }
+        }
+    }
+
+    /// Crash a whole backend instance via the chaos plane.
+    fn fault_crash(&mut self, partition: u32, ctx: &mut Ctx<AgentMsg>) {
+        let (kind, idx) = match self.fault_target(partition) {
+            FaultTarget::Flux(i) => (BackendKind::Flux, i),
+            FaultTarget::Dragon(i) => (BackendKind::Dragon, i),
+            FaultTarget::Prrte(i) => (BackendKind::Prrte, i),
+            // Srun is not instance-structured; plan generation degrades
+            // crashes to node failures there, so this is unreachable in
+            // practice — ignore defensively.
+            FaultTarget::Srun => return,
+        };
+        let alive = match kind {
+            BackendKind::Flux => self.flux[idx].is_alive(),
+            BackendKind::Dragon => self.dragon[idx].is_alive(),
+            BackendKind::Prrte => self.prrte[idx].dvm.is_alive(),
+            BackendKind::Srun => unreachable!(),
+        };
+        if !alive {
+            return; // already down; nothing new to kill
+        }
+        self.note_fault(rp_lineage::FAULT_CRASH);
+        self.fault_alarm(
+            "fault_crash",
+            Severity::Critical,
+            Some(kind),
+            Some(idx as u32),
+            0.0,
+            format!("{kind} partition {idx} crashed"),
+        );
+        let lost = self.kill_instance_collect(kind, idx as u32, ctx);
         for t in lost {
-            self.fail_task(t, true, ctx);
+            self.fail_task_fault(t, rp_lineage::FAULT_CRASH, rp_lineage::NO_VALUE, ctx);
+        }
+    }
+
+    /// Restart a chaos-crashed instance: full re-bootstrap over whatever
+    /// capacity is in service. The instance report keeps `killed` as the
+    /// historical record; its `ready` timestamp is re-stamped at
+    /// re-readiness (which does NOT re-fire pilot activation — see
+    /// [`Self::mark_instance_ready`]).
+    fn fault_restart(&mut self, partition: u32, ctx: &mut Ctx<AgentMsg>) {
+        match self.fault_target(partition) {
+            FaultTarget::Flux(idx) => {
+                if self.flux[idx].is_alive() {
+                    return;
+                }
+                let mut acts = std::mem::take(&mut self.scratch_flux);
+                self.flux[idx].restart(&mut acts);
+                self.process_flux_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_flux, acts);
+                self.fault_alarm(
+                    "fault_crash_cleared",
+                    Severity::Info,
+                    Some(BackendKind::Flux),
+                    Some(idx as u32),
+                    0.0,
+                    format!("flux partition {idx} restarting"),
+                );
+            }
+            FaultTarget::Dragon(idx) => {
+                if self.dragon[idx].is_alive() {
+                    return;
+                }
+                let mut acts = std::mem::take(&mut self.scratch_dragon);
+                self.dragon[idx].restart(&mut acts);
+                self.process_dragon_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_dragon, acts);
+                self.fault_alarm(
+                    "fault_crash_cleared",
+                    Severity::Info,
+                    Some(BackendKind::Dragon),
+                    Some(idx as u32),
+                    0.0,
+                    format!("dragon partition {idx} restarting"),
+                );
+            }
+            FaultTarget::Prrte(idx) => {
+                if self.prrte[idx].dvm.is_alive() {
+                    return;
+                }
+                let mut acts = std::mem::take(&mut self.scratch_prrte);
+                self.prrte[idx].dvm.restart(&mut acts);
+                self.process_prrte_actions(idx as u32, &mut acts, ctx);
+                Self::restore_scratch(&mut self.scratch_prrte, acts);
+                self.fault_alarm(
+                    "fault_crash_cleared",
+                    Severity::Info,
+                    Some(BackendKind::Prrte),
+                    Some(idx as u32),
+                    0.0,
+                    format!("prrte partition {idx} restarting"),
+                );
+            }
+            FaultTarget::Srun => {}
+        }
+    }
+
+    /// Watchdog fired for a planned hang victim: if the task never
+    /// progressed past `Submitted`, the payload is wedged — surface the
+    /// hang fault and recover by policy. Tasks that progressed (or were
+    /// canceled) make the check a no-op.
+    fn watchdog_check(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let hung = self
+            .state
+            .borrow()
+            .tasks
+            .get(t.0)
+            .is_some_and(|r| r.state == TaskState::Submitted);
+        if !hung {
+            return;
+        }
+        self.note_fault(rp_lineage::FAULT_HANG);
+        if let Some(tel) = &self.telemetry {
+            let prior = self.assignment.get(t.0).copied();
+            let watchdog = self
+                .chaos
+                .as_ref()
+                .map(|c| c.plan.watchdog.as_secs_f64())
+                .unwrap_or(0.0);
+            tel.on_fault(
+                "fault_hang",
+                Severity::Warning,
+                Some(t.0),
+                prior.map(|(k, _)| k as u8),
+                prior.map(|(_, p)| p),
+                watchdog,
+                format!("task {} hung past the {watchdog}s watchdog", t.0),
+            );
+        }
+        self.fail_task_fault(t, rp_lineage::FAULT_HANG, rp_lineage::NO_VALUE, ctx);
+    }
+
+    /// Restore a scratch action buffer after a drain. A reentrant handler
+    /// (failure-retry path) may have parked its own — possibly larger —
+    /// buffer in the slot while this frame held `acts`; keep whichever
+    /// has more capacity so retry reentrancy can never permanently
+    /// downgrade the steady-state buffer to a fresh allocation.
+    fn restore_scratch<T>(slot: &mut Vec<T>, acts: Vec<T>) {
+        debug_assert!(acts.is_empty(), "scratch buffer restored undrained");
+        if acts.capacity() >= slot.capacity() {
+            *slot = acts;
         }
     }
 }
@@ -2383,7 +3122,7 @@ impl Actor<AgentMsg> for SimAgent {
                     );
                 }
                 self.process_srun_actions(&mut acts, ctx);
-                self.scratch_srun = acts;
+                Self::restore_scratch(&mut self.scratch_srun, acts);
                 // Collect services (started once the pilot is active) and
                 // the initial workload.
                 self.pending_services = self.workload.services();
@@ -2427,12 +3166,7 @@ impl Actor<AgentMsg> for SimAgent {
                             self.subs[idx].sched_q.push_back(t);
                             self.pump_sub_sched(idx as u32, ctx);
                         }
-                        None => {
-                            if let Some(m) = &self.metrics {
-                                m.routing_failed.inc();
-                            }
-                            self.fail_task(t, false, ctx);
-                        }
+                        None => self.route_failed(t, ctx),
                     }
                 }
                 self.pump_stagers(ctx);
@@ -2457,12 +3191,7 @@ impl Actor<AgentMsg> for SimAgent {
                             .push_back(t);
                         self.pump_adapter(kind, ctx);
                     }
-                    None => {
-                        if let Some(m) = &self.metrics {
-                            m.routing_failed.inc();
-                        }
-                        self.fail_task(t, false, ctx);
-                    }
+                    None => self.route_failed(t, ctx),
                 }
                 self.pump_sched(ctx);
             }
@@ -2496,19 +3225,19 @@ impl Actor<AgentMsg> for SimAgent {
                 let mut acts = std::mem::take(&mut self.scratch_srun);
                 self.site_srun.on_token(token, &mut acts);
                 self.process_srun_actions(&mut acts, ctx);
-                self.scratch_srun = acts;
+                Self::restore_scratch(&mut self.scratch_srun, acts);
             }
             AgentMsg::Flux(part, token) => {
                 let mut acts = std::mem::take(&mut self.scratch_flux);
                 self.flux[part as usize].on_token(ctx.now(), token, &mut acts);
                 self.process_flux_actions(part, &mut acts, ctx);
-                self.scratch_flux = acts;
+                Self::restore_scratch(&mut self.scratch_flux, acts);
             }
             AgentMsg::Dragon(part, token) => {
                 let mut acts = std::mem::take(&mut self.scratch_dragon);
                 self.dragon[part as usize].on_token(ctx.now(), token, &mut acts);
                 self.process_dragon_actions(part, &mut acts, ctx);
-                self.scratch_dragon = acts;
+                Self::restore_scratch(&mut self.scratch_dragon, acts);
             }
             AgentMsg::Prrte(part, token) => {
                 let mut acts = std::mem::take(&mut self.scratch_prrte);
@@ -2516,7 +3245,7 @@ impl Actor<AgentMsg> for SimAgent {
                     .dvm
                     .on_token(ctx.now(), token, &mut acts);
                 self.process_prrte_actions(part, &mut acts, ctx);
-                self.scratch_prrte = acts;
+                Self::restore_scratch(&mut self.scratch_prrte, acts);
             }
             AgentMsg::WatcherDone(kind) => {
                 self.watcher_busy[kind as usize] = false;
@@ -2532,6 +3261,14 @@ impl Actor<AgentMsg> for SimAgent {
             }
             AgentMsg::KillInstance(kind, part) => {
                 self.kill_instance(kind, part, ctx);
+            }
+            AgentMsg::Fault(action) => self.apply_fault(action, ctx),
+            AgentMsg::Watchdog(t) => self.watchdog_check(t, ctx),
+            AgentMsg::RetryFire(t) => {
+                let now = ctx.now();
+                self.with_task(t, |rec| rec.advance(TaskState::StagingInput, now));
+                self.stage_q.push_back(t);
+                self.pump_stagers(ctx);
             }
         }
         // Gauge counters reflect post-message state; the engine's sampler

@@ -34,6 +34,7 @@ pub use config::PilotConfig;
 pub use pilot::{PilotState, PilotTrajectory};
 pub use report::{InstanceReport, RunReport, RunState};
 pub use router::{RouteError, Router, RoutingPolicy};
+pub use rp_chaos::{FaultAction, FaultEvent, FaultPlan, FaultSpec, PlanShape, RecoveryPolicy};
 pub use rp_metrics::{Registry as MetricsRegistry, Snapshot as MetricsSnapshot};
 pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask, RtTelemetry};
 pub use service::{ServiceDescription, ServiceId, ServiceRecord};

@@ -49,6 +49,7 @@ pub struct SimSession {
     metrics_every: Option<SimDuration>,
     telemetry_every: Option<SimDuration>,
     lineage: bool,
+    faults: Option<(rp_chaos::FaultSpec, u64, u64)>,
 }
 
 impl SimSession {
@@ -65,6 +66,7 @@ impl SimSession {
             metrics_every: None,
             telemetry_every: None,
             lineage: false,
+            faults: None,
         }
     }
 
@@ -130,11 +132,59 @@ impl SimSession {
         self
     }
 
+    /// Enable the deterministic fault-injection plane: realize `spec`
+    /// against this pilot's deployment shape under `fault_seed` (an RNG
+    /// stream separate from the experiment seed, so the workload and
+    /// backend draws are untouched) and schedule every resulting fault as
+    /// an ordinary engine event. `task_hint` bounds the uid space used to
+    /// pick hang victims — pass the workload size (0 disables hangs).
+    ///
+    /// A fixed `fault_seed` yields a byte-identical fault schedule — and
+    /// therefore byte-identical reports — across repeat runs; an inactive
+    /// `spec` leaves the run byte-identical to one without this call.
+    pub fn with_faults(
+        mut self,
+        spec: rp_chaos::FaultSpec,
+        fault_seed: u64,
+        task_hint: u64,
+    ) -> Self {
+        self.faults = Some((spec, fault_seed, task_hint));
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
         let nodes = self.cfg.nodes;
         let spec = rp_platform::frontier().node;
+        // Realize the fault plan against the deployment shape before the
+        // config moves into the agent. An inactive spec produces no plan
+        // at all, so faults-off runs stay byte-identical to runs that
+        // never called `with_faults`.
+        let fault_plan = self
+            .faults
+            .as_ref()
+            .and_then(|(fspec, fault_seed, task_hint)| {
+                if !fspec.is_active() {
+                    return None;
+                }
+                let non_srun: u32 = self
+                    .cfg
+                    .backends
+                    .iter()
+                    .filter(|b| b.kind() != BackendKind::Srun)
+                    .map(|b| b.partitions())
+                    .sum();
+                let instance_structured = non_srun > 0;
+                let partitions = if instance_structured { non_srun } else { 1 };
+                let shape = rp_chaos::PlanShape {
+                    partitions,
+                    nodes_per_partition: (nodes / partitions).max(1),
+                    instance_structured,
+                    task_hint: *task_hint,
+                };
+                Some(rp_chaos::FaultPlan::generate(fspec, *fault_seed, &shape))
+            });
         let mut engine: Engine<AgentMsg> = Engine::new();
         let mut agent = SimAgent::new(self.cfg, self.workload, state.clone());
 
@@ -169,6 +219,13 @@ impl SimSession {
             agent.attach_lineage(lin.clone());
             lin
         });
+        // Hand the plan to the agent (policy + hang victims + counters)
+        // and keep the event schedule to feed the engine below.
+        let fault_events = fault_plan.map(|plan| {
+            let events = plan.events.clone();
+            agent.enable_faults(plan);
+            events
+        });
         let id = engine.add_actor(Box::new(agent));
         let profiler = profiler.map(|(prof, period, sampler)| {
             engine.add_sampler(period, sampler);
@@ -183,6 +240,9 @@ impl SimSession {
             tel
         });
         engine.schedule(SimTime::ZERO, id, AgentMsg::Init);
+        for e in fault_events.into_iter().flatten() {
+            engine.schedule(e.at, id, AgentMsg::Fault(e.action));
+        }
         for f in &self.failures {
             engine.schedule(f.at, id, AgentMsg::KillInstance(f.kind, f.partition));
         }
@@ -827,6 +887,162 @@ mod tests {
                 root.uid
             );
         }
+    }
+
+    #[test]
+    fn chaos_node_failures_recover_and_replay_identically() {
+        use rp_chaos::FaultSpec;
+        let tasks = || -> Vec<TaskDescription> {
+            (0..300)
+                .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(60)))
+                .collect()
+        };
+        // retries=4: overlapping faults can kill the same task more than
+        // once (crash victims resubmitted onto a partition that then loses
+        // a node), so the default budget of 1 would abandon the overlap.
+        let spec = FaultSpec::parse("nodes=2,crashes=1,window=40..200,retries=4").unwrap();
+        let run = || {
+            SimSession::with_tasks(PilotConfig::flux(4, 2), tasks())
+                .with_faults(spec.clone(), 7, 300)
+                .run()
+        };
+        let a = run();
+        // Every task recovers under the default backoff policy.
+        assert_eq!(a.done_tasks().count(), 300, "all tasks recover");
+        assert!(
+            a.tasks.iter().any(|t| t.retries > 0),
+            "faults forced retries"
+        );
+        // Fixed fault seed => identical replay, field for field.
+        let b = run();
+        let key = |r: &RunReport| -> Vec<_> {
+            r.tasks
+                .iter()
+                .map(|t| {
+                    (
+                        t.uid,
+                        t.state,
+                        t.retries,
+                        t.backend,
+                        t.partition,
+                        t.exec_end,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b), "same fault seed must replay exactly");
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn chaos_give_up_policy_abandons_victims() {
+        use rp_chaos::FaultSpec;
+        let tasks: Vec<TaskDescription> = (0..200)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(120)))
+            .collect();
+        let spec = FaultSpec::parse("nodes=2,window=60..180,policy=giveup").unwrap();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks)
+            .with_faults(spec, 11, 200)
+            .run();
+        let done = report.done_tasks().count();
+        let failed = report.failed_count();
+        assert_eq!(done + failed, 200, "task conservation under give-up");
+        assert!(failed > 0, "a 120 s wave must straddle the fault window");
+        assert!(
+            report.tasks.iter().all(|t| t.retries == 0),
+            "give-up never retries"
+        );
+    }
+
+    #[test]
+    fn chaos_hangs_detected_and_recovered_by_watchdog() {
+        use rp_chaos::FaultSpec;
+        let tasks: Vec<TaskDescription> = (0..100)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(20)))
+            .collect();
+        let spec = FaultSpec::parse("hangs=5,watchdog=45").unwrap();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks)
+            .with_faults(spec, 3, 100)
+            .run();
+        assert_eq!(report.done_tasks().count(), 100, "watchdog recovers hangs");
+        let retried = report.tasks.iter().filter(|t| t.retries > 0).count();
+        assert!(retried >= 1, "hang victims must have retried");
+    }
+
+    #[test]
+    fn chaos_resubmit_elsewhere_avoids_the_faulted_partition() {
+        use rp_chaos::FaultSpec;
+        let tasks: Vec<TaskDescription> = (0..300)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(90)))
+            .collect();
+        let spec =
+            FaultSpec::parse("crashes=1,window=60..61,restart=never,policy=elsewhere").unwrap();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks)
+            .with_faults(spec, 5, 300)
+            .run();
+        assert_eq!(report.done_tasks().count(), 300);
+        let crashed: Vec<u32> = report
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.killed)
+            .map(|(idx, _)| idx as u32)
+            .collect();
+        assert_eq!(crashed.len(), 1, "exactly one instance crashes");
+        // Every fault-retried task must land away from the dead partition.
+        for t in report.tasks.iter().filter(|t| t.retries > 0) {
+            assert_ne!(
+                t.partition,
+                Some(crashed[0]),
+                "task {} resubmitted onto the crashed partition",
+                t.uid
+            );
+        }
+    }
+
+    #[test]
+    fn faults_off_is_byte_identical_to_no_faults_call() {
+        use rp_chaos::FaultSpec;
+        let tasks = || -> Vec<TaskDescription> { (0..200).map(TaskDescription::null).collect() };
+        let plain = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks()).run();
+        let gated = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks())
+            .with_faults(FaultSpec::default(), 99, 200)
+            .run();
+        let key = |r: &RunReport| -> Vec<_> {
+            r.tasks
+                .iter()
+                .map(|t| (t.uid, t.state, t.partition, t.exec_start, t.exec_end))
+                .collect()
+        };
+        assert_eq!(key(&plain), key(&gated), "inactive spec must be invisible");
+        assert_eq!(plain.end, gated.end);
+    }
+
+    #[test]
+    fn reentrant_retry_during_staging_keeps_scratch_buffers_sound() {
+        // Regression: a kill-instance fired while the stager pipeline is
+        // saturated re-enters `fail_task` -> `pump_stagers` beneath a
+        // scratch-buffer drain; the restore must keep the larger buffer
+        // and the debug assertion must see it fully drained. Crash just
+        // after pilot activation (t=40 s: the 500-task staging burst is
+        // still in flight) so retries overlap staging.
+        let tasks: Vec<TaskDescription> = (0..500)
+            .map(|i| TaskDescription::dummy(i, SimDuration::from_secs(30)))
+            .collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 2).with_seed(3), tasks)
+            .inject_failure(FailureInjection {
+                at: SimTime::from_secs(40),
+                kind: BackendKind::Flux,
+                partition: 1,
+            })
+            .run();
+        let done = report
+            .tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Done)
+            .count();
+        assert_eq!(done, 500, "no task lost to the reentrant retry path");
+        assert!(report.tasks.iter().any(|t| t.retries > 0));
     }
 
     #[test]

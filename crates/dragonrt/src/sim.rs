@@ -16,7 +16,7 @@ use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime, StaleTokens};
 use std::collections::VecDeque;
 
 /// Lineage backend code for dragon (`BackendKind::Dragon as u8`).
@@ -83,6 +83,13 @@ pub enum DragonAction {
 pub struct DragonSim {
     worker_capacity: u64,
     free_workers: u64,
+    /// Worker count of one node (capacity removed/restored per node fault).
+    cores_per_node: u64,
+    /// Per-node outage state: `Some(removed)` is the worker count actually
+    /// taken out when the node failed (≤ `cores_per_node` when the model's
+    /// free+victim workers could not cover a whole node), returned verbatim
+    /// by `node_up` so capacity conservation is exact.
+    node_outage: Vec<Option<u64>>,
     ready: bool,
     dispatch_busy: bool,
     queue: VecDeque<DragonTask>,
@@ -99,6 +106,18 @@ pub struct DragonSim {
     syms: Option<ProfSyms>,
     /// Uid in the dispatcher, closed on kill to keep B/E pairs matched.
     open_dispatch: Option<u64>,
+    /// The task the dispatcher currently holds (its `Dispatched` token is
+    /// in flight); lets fault injection type the orphaned timer correctly.
+    dispatching: Option<u64>,
+    /// Tasks reaped by fault injection while their `Dispatched` / `Done`
+    /// token was in flight; one arrival per entry is swallowed. Genuinely
+    /// unknown ids still panic.
+    stale_dispatched: StaleTokens<u64>,
+    stale_done: StaleTokens<u64>,
+    /// In-flight `Booted` tokens orphaned by a crash mid-bootstrap.
+    stale_booted: u32,
+    /// A `Booted` token is in flight.
+    booting: bool,
     metrics: Option<BackendInstruments>,
     /// Lineage recorder plus this runtime's partition index.
     lineage: Option<(Lineage, u32)>,
@@ -113,6 +132,8 @@ impl DragonSim {
         DragonSim {
             worker_capacity: alloc.total_cores(),
             free_workers: alloc.total_cores(),
+            cores_per_node: alloc.total_cores() / alloc.count.max(1) as u64,
+            node_outage: vec![None; alloc.count as usize],
             ready: false,
             dispatch_busy: false,
             queue: VecDeque::new(),
@@ -127,6 +148,11 @@ impl DragonSim {
             prof: Profiler::disabled(),
             syms: None,
             open_dispatch: None,
+            dispatching: None,
+            stale_dispatched: StaleTokens::default(),
+            stale_done: StaleTokens::default(),
+            stale_booted: 0,
+            booting: false,
             metrics: None,
             lineage: None,
             last_reject: None,
@@ -209,6 +235,20 @@ impl DragonSim {
                 self.prof.end(s.t_dispatch, uid, s.dispatch);
             }
         }
+        // Type the orphaned timers so their arrival (while dead, or after a
+        // restart) is swallowed instead of panicking.
+        let dispatching = self.dispatching.take();
+        self.stale_dispatched.extend(dispatching);
+        self.stale_done.extend(
+            self.in_flight
+                .keys()
+                .copied()
+                .filter(|id| Some(*id) != dispatching),
+        );
+        if self.booting {
+            self.stale_booted += 1;
+            self.booting = false;
+        }
         let mut lost: Vec<u64> = Vec::new();
         lost.extend(self.queue.drain(..).map(|t| t.id));
         lost.extend(self.in_flight.drain().map(|(id, _)| id));
@@ -221,6 +261,75 @@ impl DragonSim {
             }
         }
         lost
+    }
+
+    /// Restart a crashed runtime: full bootstrap over whatever capacity is
+    /// currently in service (nodes still down stay down until their own
+    /// `node_up`). Lost tasks were already returned by [`DragonSim::kill`];
+    /// stale timer tokens are swallowed. The RNG stream continues, keeping
+    /// the run deterministic.
+    pub fn restart(&mut self, out: &mut Vec<DragonAction>) {
+        assert!(!self.alive, "restart of a live runtime");
+        self.alive = true;
+        self.ready = false;
+        self.free_workers = self.worker_capacity;
+        self.last_reject = None;
+        self.boot(out);
+    }
+
+    /// Fail one node's worth of workers. Dragon keeps no placement map, so
+    /// residency is modeled deterministically: in-flight task `uid` lives
+    /// on node `uid % alloc_nodes`. Victims are reaped (ids returned
+    /// sorted), the node's workers leave the pool, and stale timers for the
+    /// victims are tolerated. Empty when dead or the node is already down.
+    pub fn fail_node(&mut self, node_idx: u32, out: &mut Vec<DragonAction>) -> Vec<u64> {
+        let nodes = self.node_outage.len() as u64;
+        if !self.alive || nodes == 0 || self.node_outage[node_idx as usize].is_some() {
+            return Vec::new();
+        }
+        let mut lost: Vec<u64> = self
+            .in_flight
+            .keys()
+            .copied()
+            .filter(|id| id % nodes == node_idx as u64)
+            .collect();
+        lost.sort_unstable();
+        let mut victim_workers = 0u64;
+        for id in &lost {
+            let task = self.in_flight.remove(id).expect("collected above");
+            victim_workers += task.workers as u64;
+            if self.dispatching == Some(*id) {
+                self.dispatching = None;
+                self.stale_dispatched.mark(*id);
+            } else {
+                self.stale_done.mark(*id);
+            }
+            if let Some(m) = &self.metrics {
+                m.forget(*id);
+            }
+        }
+        // The node takes its workers with it; victims' workers return to
+        // the model first, so the removal never eats into surviving tasks.
+        let avail = self.free_workers + victim_workers;
+        let removed = self.cores_per_node.min(avail);
+        self.free_workers = avail - removed;
+        self.worker_capacity -= removed;
+        self.node_outage[node_idx as usize] = Some(removed);
+        self.pump(out);
+        lost
+    }
+
+    /// Restore a failed node: exactly the workers removed at failure time
+    /// rejoin the pool. No-op while dead or when the node is not down.
+    pub fn node_up(&mut self, node_idx: u32, out: &mut Vec<DragonAction>) {
+        if !self.alive {
+            return;
+        }
+        if let Some(removed) = self.node_outage[node_idx as usize].take() {
+            self.worker_capacity += removed;
+            self.free_workers += removed;
+            self.pump(out);
+        }
     }
 
     /// Best-effort cancellation: removes the task if it is still queued for
@@ -261,6 +370,7 @@ impl DragonSim {
     /// — callers reuse one buffer so the hot path stays allocation-free.
     pub fn boot(&mut self, out: &mut Vec<DragonAction>) {
         let cost = self.boot_cost.sample(&mut self.rng);
+        self.booting = true;
         out.push(DragonAction::Timer {
             after: cost,
             token: DragonToken::Booted,
@@ -269,12 +379,16 @@ impl DragonSim {
 
     /// Submit a task (FIFO). Actions are appended to `out`.
     pub fn submit(&mut self, task: DragonTask, out: &mut Vec<DragonAction>) {
+        // Bound against the full in-service shape, not the outage-reduced
+        // pool: a task wider than a temporarily degraded pool waits in the
+        // queue until `node_up` instead of panicking.
+        let full = self.worker_capacity + self.node_outage.iter().flatten().sum::<u64>();
         assert!(
-            task.workers as u64 <= self.worker_capacity,
+            task.workers as u64 <= full,
             "task {} wants {} workers, pool has {}",
             task.id,
             task.workers,
-            self.worker_capacity
+            full
         );
         if let Some(m) = &self.metrics {
             let contended = !self.ready
@@ -301,16 +415,40 @@ impl DragonSim {
     /// Deliver a timer token. Actions are appended to `out`.
     pub fn on_token(&mut self, _now: SimTime, token: DragonToken, out: &mut Vec<DragonAction>) {
         if !self.alive {
-            return; // stale timers from before the crash
+            // Stale timers from before the crash: consume the markers so
+            // they can't swallow fresh tokens after a restart.
+            match token {
+                DragonToken::Booted => self.stale_booted = self.stale_booted.saturating_sub(1),
+                DragonToken::Dispatched(id) => {
+                    self.stale_dispatched.consume(&id);
+                }
+                DragonToken::Done(id) => {
+                    self.stale_done.consume(&id);
+                }
+            }
+            return;
         }
         match token {
             DragonToken::Booted => {
+                if self.stale_booted > 0 {
+                    self.stale_booted -= 1;
+                    return;
+                }
+                self.booting = false;
                 self.ready = true;
                 out.push(DragonAction::Ready);
                 self.pump(out);
             }
             DragonToken::Dispatched(id) => {
+                if self.stale_dispatched.consume(&id) {
+                    // Reaped by fault injection while the dispatcher held
+                    // it; free the dispatcher and move on.
+                    self.dispatch_busy = false;
+                    self.pump(out);
+                    return;
+                }
                 self.dispatch_busy = false;
+                self.dispatching = None;
                 let task = self.in_flight.get(&id).expect("dispatched unknown task");
                 if let Some(s) = &self.syms {
                     self.prof.end(s.t_dispatch, id, s.dispatch);
@@ -334,6 +472,12 @@ impl DragonSim {
                 self.pump(out);
             }
             DragonToken::Done(id) => {
+                if self.stale_done.consume(&id) {
+                    // Reaped while running; its workers were re-pooled (or
+                    // removed with the node) at reap time.
+                    self.pump(out);
+                    return;
+                }
                 let task = self.in_flight.remove(&id).expect("done unknown task");
                 self.free_workers += task.workers as u64;
                 self.completed += 1;
@@ -410,6 +554,7 @@ impl DragonSim {
             self.prof.begin(s.t_dispatch, task.id, s.dispatch);
             self.open_dispatch = Some(task.id);
         }
+        self.dispatching = Some(task.id);
         let cost = if task.is_function {
             self.func_cost.sample(&mut self.rng)
         } else {
@@ -580,6 +725,153 @@ mod tests {
             },
             &mut Vec::new(),
         );
+    }
+
+    #[test]
+    fn node_failure_reaps_by_uid_and_node_up_restores() {
+        // 2 nodes = 112 workers; long tasks so plenty are resident when the
+        // node dies.
+        let tasks: Vec<DragonTask> = (0..112)
+            .map(|id| DragonTask {
+                id,
+                workers: 1,
+                duration: SimDuration::from_secs(60),
+                is_function: false,
+            })
+            .collect();
+        let mut sim = runtime(2);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        sim.boot(&mut acts);
+        for t in tasks {
+            sim.submit(t, &mut acts);
+        }
+        for a in acts.drain(..) {
+            if let DragonAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let mut lost: Vec<u64> = Vec::new();
+        let mut injected = false;
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            if !injected && sim.busy_workers() > 20 {
+                injected = true;
+                lost = sim.fail_node(0, &mut acts);
+                assert!(!lost.is_empty());
+                assert!(lost.iter().all(|id| id % 2 == 0), "node 0 residents");
+                assert_eq!(sim.worker_capacity(), 56, "one node's workers gone");
+            }
+            for a in acts.drain(..) {
+                if let DragonAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(injected);
+        assert!(sim.is_idle(), "survivors drain past the fault");
+        assert_eq!(sim.completed_count() + lost.len() as u64, 112);
+        sim.node_up(0, &mut acts);
+        assert_eq!(sim.worker_capacity(), 112);
+        // The reaped tasks resubmit and complete on the restored pool.
+        for id in &lost {
+            sim.submit(
+                DragonTask {
+                    id: *id,
+                    workers: 1,
+                    duration: SimDuration::from_secs(60),
+                    is_function: false,
+                },
+                &mut acts,
+            );
+        }
+        for a in acts.drain(..) {
+            if let DragonAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            for a in acts.drain(..) {
+                if let DragonAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(sim.is_idle());
+        assert_eq!(sim.completed_count(), 112);
+        assert_eq!(sim.busy_workers(), 0);
+    }
+
+    #[test]
+    fn crash_then_restart_runs_again() {
+        let mut sim = runtime(1);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, DragonToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        sim.boot(&mut acts);
+        for t in null_tasks(50) {
+            sim.submit(t, &mut acts);
+        }
+        for a in acts.drain(..) {
+            if let DragonAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let mut lost: Vec<u64> = Vec::new();
+        let mut crash_t = 0u64;
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            if lost.is_empty() && sim.completed_count() > 5 {
+                crash_t = t;
+                lost = sim.kill();
+                assert!(!lost.is_empty());
+            }
+            for a in acts.drain(..) {
+                if let DragonAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(!sim.is_alive());
+        let t0 = crash_t + 10_000_000;
+        sim.restart(&mut acts);
+        assert!(sim.is_alive());
+        for id in &lost {
+            sim.submit(
+                DragonTask {
+                    id: *id,
+                    workers: 1,
+                    duration: SimDuration::ZERO,
+                    is_function: false,
+                },
+                &mut acts,
+            );
+        }
+        for a in acts.drain(..) {
+            if let DragonAction::Timer { after, token } = a {
+                heap.push(Reverse((t0 + after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(SimTime::from_micros(t), tok, &mut acts);
+            for a in acts.drain(..) {
+                if let DragonAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(sim.is_idle(), "restarted runtime must drain");
+        assert_eq!(sim.completed_count(), 50);
     }
 
     #[test]

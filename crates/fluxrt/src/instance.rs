@@ -25,7 +25,7 @@ use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime, StaleTokens};
 use std::collections::VecDeque;
 
 /// Lineage backend code for flux (`BackendKind::Flux as u8`).
@@ -121,6 +121,23 @@ pub struct FluxInstanceSim {
     open_match: Option<u64>,
     open_start: Option<u64>,
     metrics: Option<BackendInstruments>,
+    /// The job the start server currently holds (set by `pump_start`,
+    /// cleared when its `Started` token arrives); lets fault injection tell
+    /// a stale `Started` from a stale `Done` for a reaped running job.
+    starting: Option<JobId>,
+    /// Jobs reaped by fault injection while their `Matched` / `Started` /
+    /// `Done` timer token was in flight; exactly one arrival per entry is
+    /// swallowed instead of panicking. Genuinely unknown ids still panic.
+    stale_matched: StaleTokens<JobId>,
+    stale_started: StaleTokens<JobId>,
+    stale_done: StaleTokens<JobId>,
+    /// In-flight `Ingested` tokens orphaned by a crash; that many arrivals
+    /// are swallowed (the token carries no id to match against).
+    stale_ingested: u32,
+    /// In-flight `Booted` tokens orphaned by a crash mid-bootstrap.
+    stale_booted: u32,
+    /// A `Booted` token is in flight (set by `boot`, cleared on arrival).
+    booting: bool,
     /// Lineage recorder plus this instance's partition index.
     lineage: Option<(Lineage, u32)>,
     /// Last `(head job, reason)` a placement reject was recorded for, so a
@@ -166,6 +183,13 @@ impl FluxInstanceSim {
             open_match: None,
             open_start: None,
             metrics: None,
+            starting: None,
+            stale_matched: StaleTokens::default(),
+            stale_started: StaleTokens::default(),
+            stale_done: StaleTokens::default(),
+            stale_ingested: 0,
+            stale_booted: 0,
+            booting: false,
             lineage: None,
             last_reject: None,
         }
@@ -273,6 +297,29 @@ impl FluxInstanceSim {
                 self.prof.end(s.t_start, uid, s.launch);
             }
         }
+        // Record exactly which timer tokens are orphaned so their arrival
+        // (while dead, or after a restart) is swallowed: the match server's
+        // job, the start server's job, and every other running job's Done.
+        if self.match_busy {
+            self.stale_matched.extend(self.matched.keys().copied());
+        }
+        let starting = self.starting.take();
+        if self.start_busy {
+            self.stale_started.extend(starting);
+        }
+        self.stale_done.extend(
+            self.running
+                .keys()
+                .copied()
+                .filter(|id| Some(*id) != starting),
+        );
+        if self.ingest_busy {
+            self.stale_ingested += 1;
+        }
+        if self.booting {
+            self.stale_booted += 1;
+            self.booting = false;
+        }
         let mut lost: Vec<JobId> = Vec::new();
         lost.extend(self.pending_ingest.drain(..).map(|j| j.id));
         lost.extend(self.queue.drain(..).map(|j| j.id));
@@ -280,6 +327,7 @@ impl FluxInstanceSim {
         lost.extend(self.start_queue.drain(..).map(|(j, _)| j.id));
         lost.extend(self.running.drain().map(|(id, _)| id));
         // Pool state is irrelevant now — the partition's nodes are gone.
+        // (A later `restart` rebuilds the pool from the allocation.)
         self.ingest_busy = false;
         self.match_busy = false;
         self.start_busy = false;
@@ -290,6 +338,101 @@ impl FluxInstanceSim {
             }
         }
         lost
+    }
+
+    /// Restart a crashed instance: fresh pool over the same allocation,
+    /// then a full bootstrap (the paper's restart-latency model — the
+    /// caller schedules this after the configured restart delay). Jobs
+    /// lost in the crash were already returned by
+    /// [`FluxInstanceSim::kill`]; stale timer tokens from before the crash
+    /// are swallowed. The RNG stream continues, keeping the run
+    /// deterministic.
+    pub fn restart(&mut self, out: &mut Vec<FluxAction>) {
+        assert!(!self.alive, "restart of a live instance");
+        self.alive = true;
+        self.ready = false;
+        self.pool = self.alloc.pool();
+        self.last_reject = None;
+        self.boot(out);
+    }
+
+    /// Fail node `node_idx` (pool-local index) inside this instance: its
+    /// free capacity leaves the pool and every matched/starting/running job
+    /// with a rank on it is reaped — resources freed (parking the dead
+    /// node's share), ids returned sorted so the caller can fail/retry
+    /// them. Stale timer tokens for reaped jobs are tolerated. Returns an
+    /// empty list when the instance is dead or the node was already down.
+    pub fn fail_node(
+        &mut self,
+        now: SimTime,
+        node_idx: u32,
+        out: &mut Vec<FluxAction>,
+    ) -> Vec<JobId> {
+        if !self.alive || !self.pool.node_down(node_idx as usize) {
+            return Vec::new();
+        }
+        let touches = |p: &Placement| p.ranks.iter().any(|r| r.node_idx == node_idx);
+        let mut victims: Vec<(JobId, Placement)> = Vec::new();
+        let matched_hit: Vec<JobId> = self
+            .matched
+            .iter()
+            .filter(|(_, (_, pl))| touches(pl))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in matched_hit {
+            let (_, pl) = self.matched.remove(&id).expect("collected above");
+            // A matched entry always has its `Matched` token in flight.
+            self.stale_matched.mark(id);
+            victims.push((id, pl));
+        }
+        let mut i = 0;
+        while i < self.start_queue.len() {
+            if touches(&self.start_queue[i].1) {
+                let (j, pl) = self.start_queue.remove(i).expect("index valid");
+                victims.push((j.id, pl));
+            } else {
+                i += 1;
+            }
+        }
+        let running_hit: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, r)| touches(&r.placement))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in running_hit {
+            let r = self.running.remove(&id).expect("collected above");
+            // The victim's orphaned timer: `Started` if the start server
+            // still holds it, `Done` once launched.
+            if self.starting == Some(id) {
+                self.starting = None;
+                self.stale_started.mark(id);
+            } else {
+                self.stale_done.mark(id);
+            }
+            victims.push((id, r.placement));
+        }
+        victims.sort_unstable_by_key(|(id, _)| *id);
+        let mut lost = Vec::with_capacity(victims.len());
+        for (id, pl) in &victims {
+            self.pool.free(pl);
+            self.forget_metrics(*id);
+            lost.push(*id);
+        }
+        // Reaping multi-node jobs returns their surviving ranks to the
+        // pool, which can unblock a queued head with nothing else in
+        // flight to trigger the next match.
+        self.pump_match(now, out);
+        lost
+    }
+
+    /// Restore a failed node: its capacity (including resources parked by
+    /// frees during the outage) rejoins the pool and the scheduler is
+    /// re-pumped. No-op while dead or when the node is not down.
+    pub fn node_up(&mut self, now: SimTime, node_idx: u32, out: &mut Vec<FluxAction>) {
+        if self.alive && self.pool.node_up(node_idx as usize) {
+            self.pump_match(now, out);
+        }
     }
 
     /// Best-effort cancellation: removes the job if it has not yet reached
@@ -360,6 +503,7 @@ impl FluxInstanceSim {
     /// every call so the per-event hot path stays allocation-free.
     pub fn boot(&mut self, out: &mut Vec<FluxAction>) {
         let cost = self.bootstrap_cost.sample(&mut self.rng);
+        self.booting = true;
         out.push(FluxAction::Timer {
             after: cost,
             token: FluxToken::Booted,
@@ -416,15 +560,39 @@ impl FluxInstanceSim {
     /// Deliver a timer token. Actions are appended to `out`.
     pub fn on_token(&mut self, now: SimTime, token: FluxToken, out: &mut Vec<FluxAction>) {
         if !self.alive {
-            return; // stale timers from before the crash
+            // Stale timers from before the crash: consume the stale markers
+            // so they can't swallow fresh tokens after a restart.
+            match token {
+                FluxToken::Booted => self.stale_booted = self.stale_booted.saturating_sub(1),
+                FluxToken::Ingested => self.stale_ingested = self.stale_ingested.saturating_sub(1),
+                FluxToken::Matched(id) => {
+                    self.stale_matched.consume(&id);
+                }
+                FluxToken::Started(id) => {
+                    self.stale_started.consume(&id);
+                }
+                FluxToken::Done(id) => {
+                    self.stale_done.consume(&id);
+                }
+            }
+            return;
         }
         match token {
             FluxToken::Booted => {
+                if self.stale_booted > 0 {
+                    self.stale_booted -= 1;
+                    return;
+                }
+                self.booting = false;
                 self.ready = true;
                 out.push(FluxAction::Ready);
                 self.pump_ingest(out);
             }
             FluxToken::Ingested => {
+                if self.stale_ingested > 0 {
+                    self.stale_ingested -= 1;
+                    return;
+                }
                 self.ingest_busy = false;
                 let job = self
                     .pending_ingest
@@ -449,6 +617,13 @@ impl FluxInstanceSim {
                 self.pump_match(now, out);
             }
             FluxToken::Matched(id) => {
+                if self.stale_matched.consume(&id) {
+                    // The job was reaped by fault injection while the match
+                    // server held it; free the server and move on.
+                    self.match_busy = false;
+                    self.pump_match(now, out);
+                    return;
+                }
                 self.match_busy = false;
                 let (job, placement) = self
                     .matched
@@ -469,7 +644,14 @@ impl FluxInstanceSim {
                 self.pump_match(now, out);
             }
             FluxToken::Started(id) => {
+                if self.stale_started.consume(&id) {
+                    // Reaped while the start server was launching it.
+                    self.start_busy = false;
+                    self.pump_start(now, out);
+                    return;
+                }
                 self.start_busy = false;
+                self.starting = None;
                 if let Some(s) = &self.syms {
                     self.prof.end(s.t_start, id.0, s.launch);
                     self.open_start = None;
@@ -494,6 +676,12 @@ impl FluxInstanceSim {
                 self.pump_start(now, out);
             }
             FluxToken::Done(id) => {
+                if self.stale_done.consume(&id) {
+                    // Reaped while running; its resources were already
+                    // freed (or parked on the dead node) at reap time.
+                    self.pump_match(now, out);
+                    return;
+                }
                 let run = self
                     .running
                     .remove(&id)
@@ -603,6 +791,7 @@ impl FluxInstanceSim {
         }
         let (job, placement) = self.start_queue.pop_front().expect("non-empty");
         self.start_busy = true;
+        self.starting = Some(job.id);
         if let Some((l, part)) = &self.lineage {
             l.record_ctx(
                 job.id.0,
@@ -812,6 +1001,154 @@ mod tests {
         }
         assert_eq!(peak_busy, 112, "all cores must be reachable");
         assert_eq!(inst.completed_count(), 224);
+    }
+
+    /// Drain the token heap, applying actions, until quiescence. Calls
+    /// `hook(t, &mut inst, &mut out)` after every token so tests can inject
+    /// faults mid-run; timers the hook pushes are honored.
+    fn drain_with_hook(
+        inst: &mut FluxInstanceSim,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, FluxToken)>>,
+        seq: &mut u64,
+        mut hook: impl FnMut(u64, &mut FluxInstanceSim, &mut Vec<FluxAction>),
+    ) {
+        let mut acts = Vec::new();
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            inst.on_token(SimTime::from_micros(t), tok, &mut acts);
+            hook(t, inst, &mut acts);
+            for a in acts.drain(..) {
+                if let FluxAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), *seq, token)));
+                    *seq += 1;
+                }
+            }
+        }
+    }
+
+    fn submit_all(
+        inst: &mut FluxInstanceSim,
+        jobs: Vec<JobSpec>,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, FluxToken)>>,
+        seq: &mut u64,
+        at: u64,
+    ) {
+        let mut acts = Vec::new();
+        for j in jobs {
+            inst.submit(SimTime::from_micros(at), j, &mut acts);
+            for a in acts.drain(..) {
+                if let FluxAction::Timer { after, token } = a {
+                    heap.push(Reverse((at + after.as_micros(), *seq, token)));
+                    *seq += 1;
+                }
+            }
+        }
+    }
+
+    fn timed_jobs(n: u64, secs: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                req: ResourceRequest::single(1, 0),
+                duration: SimDuration::from_secs(secs),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn node_failure_reaps_residents_and_node_up_recovers() {
+        let mut inst = instance(2, false);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, FluxToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        inst.boot(&mut acts);
+        for a in acts.drain(..) {
+            if let FluxAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        submit_all(&mut inst, timed_jobs(150, 30), &mut heap, &mut seq, 0);
+        let mut lost: Vec<JobId> = Vec::new();
+        let mut injected = false;
+        drain_with_hook(&mut inst, &mut heap, &mut seq, |t, inst, out| {
+            if !injected && inst.running_count() > 10 {
+                injected = true;
+                lost = inst.fail_node(SimTime::from_micros(t), 0, out);
+            }
+        });
+        assert!(injected, "fault must have fired");
+        assert!(!lost.is_empty(), "node 0 had residents");
+        assert!(inst.is_idle(), "survivors must drain past the fault");
+        assert_eq!(inst.completed_count() + lost.len() as u64, 150);
+        // Node restored: the lost jobs resubmit and the pool is whole.
+        let mut acts = Vec::new();
+        inst.node_up(SimTime::from_micros(0), 0, &mut acts);
+        let resubmits: Vec<JobSpec> = lost
+            .iter()
+            .map(|id| JobSpec {
+                id: *id,
+                req: ResourceRequest::single(1, 0),
+                duration: SimDuration::from_secs(30),
+            })
+            .collect();
+        let n = resubmits.len() as u64;
+        submit_all(&mut inst, resubmits, &mut heap, &mut seq, 0);
+        drain_with_hook(&mut inst, &mut heap, &mut seq, |_, _, _| {});
+        assert!(inst.is_idle());
+        assert_eq!(inst.completed_count(), 150 - n + n);
+        assert_eq!(inst.busy_cores(), 0);
+    }
+
+    #[test]
+    fn crash_then_restart_drains_resubmissions() {
+        let mut inst = instance(2, false);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, FluxToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        inst.boot(&mut acts);
+        for a in acts.drain(..) {
+            if let FluxAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        submit_all(&mut inst, timed_jobs(100, 20), &mut heap, &mut seq, 0);
+        let mut lost: Vec<JobId> = Vec::new();
+        let mut crash_t = 0u64;
+        let mut crashed = false;
+        drain_with_hook(&mut inst, &mut heap, &mut seq, |t, inst, _| {
+            if !crashed && inst.running_count() > 5 {
+                crashed = true;
+                crash_t = t;
+                lost = inst.kill();
+            }
+        });
+        assert!(crashed);
+        assert!(!inst.is_alive());
+        assert!(!lost.is_empty());
+        // Restart after a 30 s outage, then resubmit everything lost.
+        let t0 = crash_t + 30_000_000;
+        inst.restart(&mut acts);
+        assert!(inst.is_alive());
+        for a in acts.drain(..) {
+            if let FluxAction::Timer { after, token } = a {
+                heap.push(Reverse((t0 + after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let resubmits: Vec<JobSpec> = lost
+            .iter()
+            .map(|id| JobSpec {
+                id: *id,
+                req: ResourceRequest::single(1, 0),
+                duration: SimDuration::from_secs(20),
+            })
+            .collect();
+        submit_all(&mut inst, resubmits, &mut heap, &mut seq, t0);
+        drain_with_hook(&mut inst, &mut heap, &mut seq, |_, _, _| {});
+        assert!(inst.is_idle(), "restarted instance must drain");
+        assert_eq!(inst.completed_count(), 100);
+        assert_eq!(inst.busy_cores(), 0);
     }
 
     #[test]

@@ -79,9 +79,15 @@ pub const EV_RUN_END: u8 = 16;
 /// Broker ingest hop finished; the job joined the scheduler queue
 /// (annotation; `value` = scheduler queue depth).
 pub const EV_BROKER_HOP: u8 = 17;
+/// A fault killed/failed this task (milestone; `detail` = fault kind,
+/// `value` = victim node index for node failures). Recorded immediately
+/// after the fault-induced `EV_FAILED`, so the gap from here to the next
+/// milestone (`EV_RETRY`, including any recovery backoff) is attributed to
+/// the `recovery_overhead` blame phase.
+pub const EV_FAULT: u8 = 18;
 
 /// Export names for each event kind, indexed by the `EV_*` code.
-pub const EVENT_NAMES: [&str; 18] = [
+pub const EVENT_NAMES: [&str; 19] = [
     "submit",
     "stage_done",
     "route",
@@ -100,6 +106,7 @@ pub const EVENT_NAMES: [&str; 18] = [
     "pilot",
     "run_end",
     "broker_hop",
+    "fault",
 ];
 
 /// Route detail: the type-aware policy matched the task to a backend.
@@ -120,6 +127,13 @@ pub const REJ_FRAGMENTATION: u16 = 2;
 pub const REJ_WORKERS_BUSY: u16 = 3;
 /// Reject detail: backend concurrency cap reached (srun slot window).
 pub const REJ_CAPACITY: u16 = 4;
+
+/// Fault detail: a node failed, killing resident tasks.
+pub const FAULT_NODE: u16 = 0;
+/// Fault detail: the backend instance crashed.
+pub const FAULT_CRASH: u16 = 1;
+/// Fault detail: the task hung at launch; the watchdog reclaimed it.
+pub const FAULT_HANG: u16 = 2;
 
 /// Pilot detail codes follow `PilotState` declaration order in `rp-core`.
 pub const PILOT_STATE_NAMES: [&str; 7] = [
@@ -152,6 +166,12 @@ fn route_name(detail: u16) -> Option<&'static str> {
         .copied()
 }
 
+fn fault_name(detail: u16) -> Option<&'static str> {
+    ["node_failure", "backend_crash", "task_hang"]
+        .get(detail as usize)
+        .copied()
+}
+
 fn reject_name(detail: u16) -> Option<&'static str> {
     [
         "insufficient_cores",
@@ -173,6 +193,7 @@ pub fn detail_name(kind: u8, detail: u16) -> Option<&'static str> {
     match kind {
         EV_ROUTE => route_name(detail),
         EV_PLACE_REJECT => reject_name(detail),
+        EV_FAULT => fault_name(detail),
         EV_PILOT => PILOT_STATE_NAMES.get(detail as usize).copied(),
         _ => None,
     }

@@ -140,6 +140,28 @@ struct NodeFree {
     gpus: u16,
     /// Free memory, GiB.
     mem_gb: u32,
+    /// Out of service (fault injection). The free masks keep tracking what
+    /// *would* be free — frees park into them — but the node contributes
+    /// nothing to the pool totals and both planners skip it until
+    /// [`ResourcePool::node_up`].
+    down: bool,
+}
+
+impl NodeFree {
+    /// Free-count triple the [`FitIndex`] sees: forced to zero while the
+    /// node is down, so the indexed planner skips it exactly like the
+    /// linear scan's `down` check.
+    fn index_counts(&self) -> (u16, u16, u32) {
+        if self.down {
+            (0, 0, 0)
+        } else {
+            (
+                self.cores.count_ones() as u16,
+                self.gpus.count_ones() as u16,
+                self.mem_gb,
+            )
+        }
+    }
 }
 
 /// A segment tree over the pool's nodes holding per-subtree maxima of
@@ -200,9 +222,10 @@ impl FitIndex {
             max_mem: vec![0; 2 * base],
         };
         for (i, node) in nodes.iter().enumerate() {
-            idx.max_cores[base + i] = node.cores.count_ones() as u16;
-            idx.max_gpus[base + i] = node.gpus.count_ones() as u16;
-            idx.max_mem[base + i] = node.mem_gb;
+            let (c, g, m) = node.index_counts();
+            idx.max_cores[base + i] = c;
+            idx.max_gpus[base + i] = g;
+            idx.max_mem[base + i] = m;
         }
         for i in (1..base).rev() {
             idx.pull_up(i);
@@ -223,9 +246,10 @@ impl FitIndex {
     /// pool), making the common update O(1) amortized.
     fn update(&mut self, idx: usize, node: &NodeFree) {
         let mut i = self.base + idx;
-        self.max_cores[i] = node.cores.count_ones() as u16;
-        self.max_gpus[i] = node.gpus.count_ones() as u16;
-        self.max_mem[i] = node.mem_gb;
+        let (c, g, m) = node.index_counts();
+        self.max_cores[i] = c;
+        self.max_gpus[i] = g;
+        self.max_mem[i] = m;
         i /= 2;
         while i >= 1 {
             let before = (self.max_cores[i], self.max_gpus[i], self.max_mem[i]);
@@ -243,9 +267,10 @@ impl FitIndex {
     /// k·log n pull-ups vs n+k work).
     fn rebuild(&mut self, nodes: &[NodeFree]) {
         for (i, node) in nodes.iter().enumerate() {
-            self.max_cores[self.base + i] = node.cores.count_ones() as u16;
-            self.max_gpus[self.base + i] = node.gpus.count_ones() as u16;
-            self.max_mem[self.base + i] = node.mem_gb;
+            let (c, g, m) = node.index_counts();
+            self.max_cores[self.base + i] = c;
+            self.max_gpus[self.base + i] = g;
+            self.max_mem[self.base + i] = m;
         }
         for i in (1..self.base).rev() {
             self.pull_up(i);
@@ -364,6 +389,7 @@ impl ResourcePool {
                 cores: full_cores,
                 gpus: full_gpus,
                 mem_gb: spec.mem_gb,
+                down: false,
             })
             .collect();
         let free_cores = nodes.len() as u64 * spec.cores as u64;
@@ -715,6 +741,9 @@ impl ResourcePool {
                     if remaining == 0 {
                         break;
                     }
+                    if n.down {
+                        continue;
+                    }
                     // Local shadow masks so later ranks of this same request
                     // see the resources its earlier ranks already carved.
                     let mut cores = n.cores;
@@ -754,6 +783,9 @@ impl ResourcePool {
                     if remaining == 0 {
                         break;
                     }
+                    if n.down {
+                        continue;
+                    }
                     if let Some((cm, gm)) = carve(
                         n.cores,
                         n.gpus,
@@ -783,6 +815,9 @@ impl ResourcePool {
                 for (idx, n) in self.nodes.iter().enumerate() {
                     if remaining == 0 {
                         break;
+                    }
+                    if n.down {
+                        continue;
                     }
                     if n.cores == full_cores && n.gpus == full_gpus && n.mem_gb == self.spec.mem_gb
                     {
@@ -879,6 +914,12 @@ impl ResourcePool {
                 "freeing more memory than the node has on {}",
                 n.id
             );
+            if n.down {
+                // Parked: the node is out of service, so these resources do
+                // not return to the pool totals (node_up re-counts them) and
+                // the index leaf stays zero.
+                continue;
+            }
             self.free_cores += r.core_mask.count_ones() as u64;
             self.free_gpus += r.gpu_mask.count_ones() as u64;
             self.first_not_full = self.first_not_full.min(r.node_idx as usize);
@@ -899,6 +940,54 @@ impl ResourcePool {
         }
         debug_assert!(self.free_cores <= self.total_cores());
         debug_assert!(self.free_gpus <= self.total_gpus());
+    }
+
+    /// Take node `idx` out of service (fault injection). Its free capacity
+    /// vanishes from the pool totals and both planners skip it; resources
+    /// still held by placements stay attributed until those placements are
+    /// freed (they park on the node rather than returning to the totals).
+    /// Returns `false` when the node was already down.
+    pub fn node_down(&mut self, idx: usize) -> bool {
+        if self.nodes[idx].down {
+            return false;
+        }
+        self.nodes[idx].down = true;
+        self.free_cores -= self.nodes[idx].cores.count_ones() as u64;
+        self.free_gpus -= self.nodes[idx].gpus.count_ones() as u64;
+        self.version += 1;
+        if !self.index.is_disabled() && !self.index_stale {
+            self.index.update(idx, &self.nodes[idx]);
+        }
+        true
+    }
+
+    /// Return node `idx` to service: whatever is free on it (including
+    /// resources parked by frees during the outage) rejoins the pool
+    /// totals and both planners. Returns `false` when the node was not
+    /// down.
+    pub fn node_up(&mut self, idx: usize) -> bool {
+        if !self.nodes[idx].down {
+            return false;
+        }
+        self.nodes[idx].down = false;
+        self.free_cores += self.nodes[idx].cores.count_ones() as u64;
+        self.free_gpus += self.nodes[idx].gpus.count_ones() as u64;
+        self.first_not_full = self.first_not_full.min(idx);
+        self.version += 1;
+        if !self.index.is_disabled() && !self.index_stale {
+            self.index.update(idx, &self.nodes[idx]);
+        }
+        true
+    }
+
+    /// Whether node `idx` is currently out of service.
+    pub fn is_node_down(&self, idx: usize) -> bool {
+        self.nodes[idx].down
+    }
+
+    /// Number of nodes currently out of service.
+    pub fn down_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.down).count()
     }
 }
 
@@ -1235,6 +1324,113 @@ mod tests {
         assert_eq!(p.plan_indexed(&req), p.plan_linear(&req));
         let pl = p.try_alloc(&req).expect("gpu free on node 0");
         assert_eq!(pl.ranks[0].node, NodeId(0), "must not skip node 0");
+    }
+
+    #[test]
+    fn node_down_removes_capacity_and_planners_skip() {
+        let mut p = pool(4);
+        let total = p.free_cores();
+        assert!(p.node_down(0));
+        assert!(!p.node_down(0), "already down");
+        assert!(p.is_node_down(0));
+        assert_eq!(p.down_nodes(), 1);
+        assert_eq!(p.free_cores(), total - 56);
+        let pl = p.try_alloc(&ResourceRequest::single(1, 0)).unwrap();
+        assert_eq!(pl.ranks[0].node, NodeId(1), "pack skips the down node");
+        assert_eq!(p.plan_indexed(&pl_req()), p.plan_linear(&pl_req()));
+        assert!(p.node_up(0));
+        assert!(!p.node_up(0), "already up");
+        assert_eq!(p.free_cores(), total - 1);
+        let pl2 = p.try_alloc(&ResourceRequest::single(1, 0)).unwrap();
+        assert_eq!(pl2.ranks[0].node, NodeId(0), "restored node packs first");
+    }
+
+    fn pl_req() -> ResourceRequest {
+        ResourceRequest::single(1, 0)
+    }
+
+    #[test]
+    fn free_on_down_node_parks_until_node_up() {
+        let mut p = pool(2);
+        let total = p.free_cores();
+        let held = p.try_alloc(&ResourceRequest::single(8, 2)).unwrap();
+        assert_eq!(held.ranks[0].node, NodeId(0));
+        p.node_down(0);
+        assert_eq!(p.free_cores(), 56, "only node 1 contributes");
+        // Freeing the dead node's placement parks it: totals unchanged.
+        p.free(&held);
+        assert_eq!(p.free_cores(), 56);
+        assert_eq!(p.free_gpus(), 8);
+        // node_up returns the parked resources with the rest of the node.
+        p.node_up(0);
+        assert_eq!(p.free_cores(), total);
+        assert_eq!(p.free_gpus(), 16);
+        let wide = p.try_alloc(&ResourceRequest::mpi(2, 56, 8)).unwrap();
+        assert_eq!(wide.node_count(), 2, "whole machine placeable again");
+    }
+
+    #[test]
+    fn indexed_matches_linear_under_down_up_churn() {
+        let mut state = 0xC0FF_EE00_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = pool(17);
+        let mut held: Vec<Placement> = Vec::new();
+        for step in 0..3000 {
+            let r = rng();
+            match r % 11 {
+                0 => {
+                    p.node_down((r as usize / 11) % 17);
+                }
+                1 => {
+                    p.node_up((r as usize / 11) % 17);
+                }
+                2..=7 => {
+                    let req = match r % 3 {
+                        0 => ResourceRequest::single(1, 0),
+                        1 => ResourceRequest::single((r as u16 % 56) + 1, r as u16 % 3),
+                        _ => ResourceRequest::mpi((r as u32 % 6) + 1, 8, 1),
+                    };
+                    if p.index_stale {
+                        p.index.rebuild(&p.nodes);
+                        p.index_stale = false;
+                    }
+                    assert_eq!(
+                        p.plan_indexed(&req),
+                        p.plan_linear(&req),
+                        "divergence at step {step} for {req:?}"
+                    );
+                    if let Some(pl) = p.try_alloc(&req) {
+                        for rk in &pl.ranks {
+                            assert!(
+                                !p.is_node_down(rk.node_idx as usize),
+                                "placed on a down node at step {step}"
+                            );
+                        }
+                        held.push(pl);
+                    }
+                }
+                _ => {
+                    if !held.is_empty() {
+                        let pl = held.swap_remove((r as usize / 11) % held.len());
+                        p.free(&pl);
+                    }
+                }
+            }
+        }
+        // Restore all nodes, drain all holds: the pool must be whole again.
+        for pl in held.drain(..) {
+            p.free(&pl);
+        }
+        for i in 0..17 {
+            p.node_up(i);
+        }
+        assert_eq!(p.free_cores(), p.total_cores());
+        assert_eq!(p.free_gpus(), p.total_gpus());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Allocation, Calibration};
 use rp_profiler::{Profiler, Sym, NO_UID};
-use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime};
+use rp_sim::{Dist, FxHashMap, RngStream, SimDuration, SimTime, StaleTokens};
 use std::collections::VecDeque;
 
 /// Lineage backend code for prrte (`BackendKind::Prrte as u8`).
@@ -95,6 +95,18 @@ pub struct PrrteDvm {
     metrics: Option<BackendInstruments>,
     /// Lineage recorder plus this DVM's partition index.
     lineage: Option<(Lineage, u32)>,
+    /// Uid currently in the HNP launch server (always tracked, unlike
+    /// `open_launch` which exists only for profiler span pairing).
+    launching: Option<u64>,
+    /// `Launched` tokens for reaped/killed tasks; consumed on arrival so a
+    /// resubmitted uid's fresh token is not confused with the orphan.
+    stale_launched: StaleTokens<u64>,
+    /// `Done` tokens for reaped/killed tasks, same discipline.
+    stale_done: StaleTokens<u64>,
+    /// `DvmReady` tokens from boots that died before they landed.
+    stale_booted: u32,
+    /// A `DvmReady` is in flight for the current boot.
+    booting: bool,
 }
 
 impl PrrteDvm {
@@ -116,6 +128,11 @@ impl PrrteDvm {
             open_launch: None,
             metrics: None,
             lineage: None,
+            launching: None,
+            stale_launched: StaleTokens::default(),
+            stale_done: StaleTokens::default(),
+            stale_booted: 0,
+            booting: false,
         }
     }
 
@@ -179,6 +196,21 @@ impl PrrteDvm {
         self.queue.is_empty() && self.in_flight.is_empty()
     }
 
+    /// Uids of every resident task — queued at the HNP, mid-launch, or
+    /// running — in ascending uid order (sorted so fault-plane victim
+    /// scans are deterministic regardless of hash-map iteration order).
+    pub fn resident_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .queue
+            .iter()
+            .map(|t| t.id)
+            .chain(self.launching)
+            .chain(self.in_flight.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Start the DVM daemons. Actions are appended to `out` — callers
     /// reuse one buffer so the hot path stays allocation-free.
     pub fn boot(&mut self, out: &mut Vec<PrrteAction>) {
@@ -186,10 +218,60 @@ impl PrrteDvm {
             self.prof.instant(s.comp, NO_UID, s.dvm_boot);
         }
         let cost = self.boot_cost.sample(&mut self.rng);
+        self.booting = true;
         out.push(PrrteAction::Timer {
             after: cost,
             token: PrrteToken::DvmReady,
         });
+    }
+
+    /// Bring a killed DVM back up. The RNG stream continues where it left
+    /// off, so a fixed fault seed replays byte-identically.
+    pub fn restart(&mut self, out: &mut Vec<PrrteAction>) {
+        assert!(!self.alive, "restart of a live DVM");
+        self.alive = true;
+        self.ready = false;
+        self.hnp_busy = false;
+        self.launching = None;
+        self.boot(out);
+    }
+
+    /// Forcibly fail one task (queued, launching, or running) — the DVM has
+    /// no node model, so node-failure victim selection is the caller's job
+    /// (the agent owns placement, §5). Returns whether the id was known.
+    /// In-flight timer tokens for the reaped task are remembered and
+    /// swallowed on arrival.
+    pub fn reap(&mut self, id: u64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
+            self.queue.remove(pos);
+            if let Some(m) = &self.metrics {
+                m.forget(id);
+            }
+            return true;
+        }
+        if self.in_flight.remove(&id).is_none() {
+            return false;
+        }
+        if self.launching == Some(id) {
+            // The HNP stays busy until the orphaned `Launched` arrives; the
+            // stale handler frees it and pumps.
+            self.launching = None;
+            self.stale_launched.mark(id);
+            if let Some(s) = &self.syms {
+                if self.open_launch.take().is_some() {
+                    self.prof.end(s.t_hnp, id, s.launch);
+                }
+            }
+        } else {
+            self.stale_done.mark(id);
+        }
+        if let Some(m) = &self.metrics {
+            m.forget(id);
+        }
+        true
     }
 
     /// Submit a placed task for launch (FIFO through the HNP). Actions
@@ -241,7 +323,22 @@ impl PrrteDvm {
         }
         let mut lost: Vec<u64> = Vec::new();
         lost.extend(self.queue.drain(..).map(|t| t.id));
+        // Orphaned timers are typed by where the task was when the DVM died:
+        // the launching task owes a `Launched`, the rest owe a `Done`. A
+        // resubmission reuses the uid, so these must be per-token-kind sets.
+        let launching = self.launching.take();
+        self.stale_launched.extend(launching);
+        self.stale_done.extend(
+            self.in_flight
+                .keys()
+                .copied()
+                .filter(|id| Some(*id) != launching),
+        );
         lost.extend(self.in_flight.drain().map(|(id, _)| id));
+        if self.booting {
+            self.stale_booted += 1;
+            self.booting = false;
+        }
         self.hnp_busy = false;
         lost.sort_unstable();
         if let Some(m) = &self.metrics {
@@ -255,10 +352,27 @@ impl PrrteDvm {
     /// Deliver a timer token. Actions are appended to `out`.
     pub fn on_token(&mut self, _now: SimTime, token: PrrteToken, out: &mut Vec<PrrteAction>) {
         if !self.alive {
+            // Dead DVMs drop tokens, but must still consume the stale
+            // markers — otherwise a fresh post-restart token of the same
+            // kind would be wrongly swallowed.
+            match token {
+                PrrteToken::DvmReady => self.stale_booted = self.stale_booted.saturating_sub(1),
+                PrrteToken::Launched(id) => {
+                    self.stale_launched.consume(&id);
+                }
+                PrrteToken::Done(id) => {
+                    self.stale_done.consume(&id);
+                }
+            }
             return;
         }
         match token {
             PrrteToken::DvmReady => {
+                if self.stale_booted > 0 {
+                    self.stale_booted -= 1;
+                    return;
+                }
+                self.booting = false;
                 self.ready = true;
                 if let Some(s) = &self.syms {
                     self.prof.instant(s.comp, NO_UID, s.dvm_ready);
@@ -267,7 +381,14 @@ impl PrrteDvm {
                 self.pump(out);
             }
             PrrteToken::Launched(id) => {
+                if self.stale_launched.consume(&id) {
+                    // Orphan of a reaped task: the HNP frees up now.
+                    self.hnp_busy = false;
+                    self.pump(out);
+                    return;
+                }
                 self.hnp_busy = false;
+                self.launching = None;
                 let task = self.in_flight.get(&id).expect("launched unknown task");
                 if let Some(s) = &self.syms {
                     self.prof.end(s.t_hnp, id, s.launch);
@@ -285,6 +406,9 @@ impl PrrteDvm {
                 self.pump(out);
             }
             PrrteToken::Done(id) => {
+                if self.stale_done.consume(&id) {
+                    return;
+                }
                 self.in_flight.remove(&id).expect("done unknown task");
                 self.completed += 1;
                 if let Some(m) = &self.metrics {
@@ -324,6 +448,7 @@ impl PrrteDvm {
             self.prof.begin(s.t_hnp, task.id, s.launch);
             self.open_launch = Some(task.id);
         }
+        self.launching = Some(task.id);
         let cost = self.launch_cost.sample(&mut self.rng);
         self.in_flight.insert(task.id, task);
         out.push(PrrteAction::Timer {
@@ -450,6 +575,137 @@ mod tests {
         let lost = d.kill();
         assert_eq!(lost.len(), 5);
         assert!(!d.is_alive());
+    }
+
+    #[test]
+    fn reap_tolerates_orphaned_timers_and_resubmission() {
+        let mut d = dvm(4);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, PrrteToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        d.boot(&mut acts);
+        for t in (0..40).map(|id| PrrteTask {
+            id,
+            duration: SimDuration::from_secs(30),
+        }) {
+            d.submit(t, &mut acts);
+        }
+        for a in acts.drain(..) {
+            if let PrrteAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let mut reaped: Vec<u64> = Vec::new();
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            d.on_token(SimTime::from_micros(t), tok, &mut acts);
+            if reaped.is_empty() && d.running_count() > 5 {
+                // One running, one queued, one mid-launch if any.
+                for id in [0u64, 39] {
+                    assert!(d.reap(id));
+                    reaped.push(id);
+                }
+                assert!(!d.reap(0), "already reaped");
+            }
+            for a in acts.drain(..) {
+                if let PrrteAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(d.is_idle(), "survivors drain past the reap");
+        assert_eq!(d.completed_count(), 38);
+        // Resubmitted uids complete normally despite the earlier orphans.
+        for id in &reaped {
+            d.submit(
+                PrrteTask {
+                    id: *id,
+                    duration: SimDuration::ZERO,
+                },
+                &mut acts,
+            );
+        }
+        for a in acts.drain(..) {
+            if let PrrteAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            d.on_token(SimTime::from_micros(t), tok, &mut acts);
+            for a in acts.drain(..) {
+                if let PrrteAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(d.is_idle());
+        assert_eq!(d.completed_count(), 40);
+    }
+
+    #[test]
+    fn kill_then_restart_drains_resubmissions() {
+        let mut d = dvm(4);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, PrrteToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        d.boot(&mut acts);
+        for t in nulls(30) {
+            d.submit(t, &mut acts);
+        }
+        for a in acts.drain(..) {
+            if let PrrteAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let mut lost: Vec<u64> = Vec::new();
+        let mut crash_t = 0u64;
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            d.on_token(SimTime::from_micros(t), tok, &mut acts);
+            if lost.is_empty() && d.completed_count() > 3 {
+                crash_t = t;
+                lost = d.kill();
+                assert!(!lost.is_empty());
+            }
+            for a in acts.drain(..) {
+                if let PrrteAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        let t0 = crash_t + 5_000_000;
+        d.restart(&mut acts);
+        assert!(d.is_alive());
+        for id in &lost {
+            d.submit(
+                PrrteTask {
+                    id: *id,
+                    duration: SimDuration::ZERO,
+                },
+                &mut acts,
+            );
+        }
+        for a in acts.drain(..) {
+            if let PrrteAction::Timer { after, token } = a {
+                heap.push(Reverse((t0 + after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            d.on_token(SimTime::from_micros(t), tok, &mut acts);
+            for a in acts.drain(..) {
+                if let PrrteAction::Timer { after, token } = a {
+                    heap.push(Reverse((t + after.as_micros(), seq, token)));
+                    seq += 1;
+                }
+            }
+        }
+        assert!(d.is_idle(), "restarted DVM must drain");
+        assert_eq!(d.completed_count(), 30);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod fxmap;
 pub mod record;
 pub mod rng;
+pub mod stale;
 pub mod time;
 pub mod uidmap;
 
@@ -38,5 +39,6 @@ pub use engine::{Actor, ActorId, Ctx, Engine};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use record::Recorder;
 pub use rng::RngStream;
+pub use stale::StaleTokens;
 pub use time::{SimDuration, SimTime};
 pub use uidmap::UidMap;

@@ -21,7 +21,7 @@ use rp_lineage::Lineage;
 use rp_metrics::{BackendInstruments, Registry};
 use rp_platform::{Calibration, SrunSlots};
 use rp_profiler::{Profiler, Sym};
-use rp_sim::{FxHashMap, RngStream, SimDuration};
+use rp_sim::{FxHashMap, FxHashSet, RngStream, SimDuration, StaleTokens};
 use std::collections::VecDeque;
 
 /// Lineage backend code for srun (`BackendKind::Srun as u8`).
@@ -82,6 +82,18 @@ pub struct SrunSim {
     /// Last queue head a capacity reject was recorded for, so a blocked
     /// head produces one lineage event, not one per pump.
     last_reject: Option<StepId>,
+    /// Steps whose `Launched` token is still in flight (slot acquired,
+    /// payload not started). Needed to type orphaned timers when a node
+    /// failure reaps a step: a launching victim owes a `Launched`, a
+    /// running one an `Exited`.
+    launching: FxHashSet<StepId>,
+    /// Orphaned `Launched` tokens of reaped steps, swallowed on arrival.
+    stale_launched: StaleTokens<StepId>,
+    /// Orphaned `Exited` tokens of reaped steps, same discipline. Typed
+    /// sets (not one) because a reaped uid can be resubmitted: the orphan
+    /// of the first attempt always precedes the same-kind token of the
+    /// retry, so first-arrival consumption is safe per kind.
+    stale_exited: StaleTokens<StepId>,
 }
 
 impl SrunSim {
@@ -101,6 +113,9 @@ impl SrunSim {
             metrics: None,
             lineage: None,
             last_reject: None,
+            launching: FxHashSet::default(),
+            stale_launched: StaleTokens::default(),
+            stale_exited: StaleTokens::default(),
         }
     }
 
@@ -226,11 +241,60 @@ impl SrunSim {
         }
     }
 
+    /// Fail one node of the allocation: every launched, non-persistent step
+    /// resident there (uid mod `alloc_nodes` — srun steps carry no placement
+    /// map) is reaped and its slot released. Returns the lost uids, sorted.
+    /// The concurrency ceiling is unaffected — it is a site-wide RPC limit,
+    /// not node capacity — so there is no `node_up` counterpart here;
+    /// queued steps are not resident anywhere and survive.
+    pub fn fail_node(&mut self, node_idx: u32, out: &mut Vec<SrunAction>) -> Vec<u64> {
+        let nodes = self.alloc_nodes.max(1) as u64;
+        let mut lost: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(id, dur)| dur.is_some() && id.0 % nodes == node_idx as u64)
+            .map(|(id, _)| id.0)
+            .collect();
+        lost.sort_unstable();
+        for uid in &lost {
+            let id = StepId(*uid);
+            self.in_flight.remove(&id);
+            if self.launching.remove(&id) {
+                self.stale_launched.mark(id);
+            } else {
+                self.stale_exited.mark(id);
+            }
+            self.slots.release();
+            if let Some(m) = &self.metrics {
+                m.forget(*uid);
+            }
+            if let Some(s) = &self.syms {
+                self.prof
+                    .instant_detail(s.comp, *uid, s.release, self.slots.in_use() as f64);
+            }
+        }
+        if !lost.is_empty() {
+            self.pump(out);
+        }
+        lost
+    }
+
     /// Deliver a timer token. Actions are appended to `out`.
     pub fn on_token(&mut self, token: SrunToken, out: &mut Vec<SrunAction>) {
         match token {
+            SrunToken::Launched(id) if self.stale_launched.consume(&id) => {
+                // Orphan of a reaped attempt — swallowed. (If the uid was
+                // resubmitted, the orphan is consumed by whichever arrival
+                // comes first; exactly one real `Launched` remains.)
+            }
+            SrunToken::Exited(id) if self.stale_exited.consume(&id) => {
+                // Orphan of a reaped attempt: its first-attempt exit always
+                // precedes the retry's (the retry restarts the payload from
+                // zero later), so first-arrival consumption is safe.
+            }
             SrunToken::Launched(id) => match self.in_flight.get(&id) {
                 Some(Some(duration)) => {
+                    self.launching.remove(&id);
                     let d = *duration;
                     if let Some(m) = &self.metrics {
                         m.on_started(id.0);
@@ -317,6 +381,11 @@ impl SrunSim {
                 .sample(&mut self.rng);
             // Persistent entries were pre-registered with None.
             self.in_flight.entry(step.id).or_insert(Some(step.duration));
+            // Persistent holds are infrastructure, never reaped by node
+            // failures, so only task steps need launch-phase tracking.
+            if !matches!(self.in_flight.get(&step.id), Some(None)) {
+                self.launching.insert(step.id);
+            }
             out.push(SrunAction::Timer {
                 after: overhead,
                 token: SrunToken::Launched(step.id),
@@ -459,6 +528,100 @@ mod tests {
         let mut sim = launcher(1);
         sim.submit(StepRequest::serial(3, SimDuration::ZERO), &mut Vec::new());
         sim.release_persistent(StepId(3), &mut Vec::new());
+    }
+
+    #[test]
+    fn fail_node_reaps_residents_and_frees_slots() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut sim = launcher(4);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, SrunToken)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut acts = Vec::new();
+        for i in 0..300 {
+            sim.submit(
+                StepRequest::serial(i, SimDuration::from_secs(60)),
+                &mut acts,
+            );
+        }
+        for a in acts.drain(..) {
+            if let SrunAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        let mut lost: Vec<u64> = Vec::new();
+        let mut completed = 0u64;
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(tok, &mut acts);
+            if lost.is_empty() && sim.slots_in_use() == 112 && sim.launching.is_empty() {
+                lost = sim.fail_node(1, &mut acts);
+                assert!(!lost.is_empty());
+                assert!(lost.iter().all(|uid| uid % 4 == 1), "node-1 residents only");
+                // Freed slots refill from the 188-deep queue immediately.
+                assert_eq!(sim.slots_in_use(), 112, "freed slots refilled");
+            }
+            for a in acts.drain(..) {
+                match a {
+                    SrunAction::Timer { after, token } => {
+                        heap.push(Reverse((t + after.as_micros(), seq, token)));
+                        seq += 1;
+                    }
+                    SrunAction::Completed(_) => completed += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(!lost.is_empty(), "fault injected");
+        assert_eq!(sim.queued(), 0);
+        assert_eq!(sim.slots_in_use(), 0, "everything drained past the fault");
+        assert_eq!(completed as usize + lost.len(), 300);
+        // Resubmitting the lost uids completes them all.
+        for uid in &lost {
+            sim.submit(StepRequest::serial(*uid, SimDuration::ZERO), &mut acts);
+        }
+        for a in acts.drain(..) {
+            if let SrunAction::Timer { after, token } = a {
+                heap.push(Reverse((after.as_micros(), seq, token)));
+                seq += 1;
+            }
+        }
+        while let Some(Reverse((t, _, tok))) = heap.pop() {
+            sim.on_token(tok, &mut acts);
+            for a in acts.drain(..) {
+                match a {
+                    SrunAction::Timer { after, token } => {
+                        heap.push(Reverse((t + after.as_micros(), seq, token)));
+                        seq += 1;
+                    }
+                    SrunAction::Completed(_) => completed += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(completed, 300);
+        assert_eq!(sim.slots_in_use(), 0);
+    }
+
+    #[test]
+    fn fail_node_mid_launch_swallows_orphaned_launched() {
+        let mut sim = launcher(4);
+        let mut acts = Vec::new();
+        // Step 5 lives on node 1 (5 % 4); reap it while its Launched token
+        // is still in flight.
+        sim.submit(
+            StepRequest::serial(5, SimDuration::from_secs(10)),
+            &mut acts,
+        );
+        assert_eq!(sim.slots_in_use(), 1);
+        let lost = sim.fail_node(1, &mut acts);
+        assert_eq!(lost, vec![5]);
+        assert_eq!(sim.slots_in_use(), 0);
+        // The orphaned Launched arrives: swallowed, no Started/Exited.
+        acts.clear();
+        sim.on_token(SrunToken::Launched(StepId(5)), &mut acts);
+        assert!(acts.is_empty(), "orphan must be silent, got {acts:?}");
     }
 
     #[test]

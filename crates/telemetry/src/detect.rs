@@ -140,7 +140,7 @@ fn oldest_inflight_exemplar(inner: &Inner) -> Option<u64> {
     best.map(|(_, uid)| uid)
 }
 
-fn push_alarm(inner: &mut Inner, alarm: Alarm) {
+pub(crate) fn push_alarm(inner: &mut Inner, alarm: Alarm) {
     if inner.alarms.len() >= inner.cfg.max_alarms {
         inner.alarms_dropped += 1;
     } else {

@@ -328,6 +328,45 @@ impl Telemetry {
         }
     }
 
+    /// Record a fault-injection event in the flight recorder. Called by
+    /// the chaos plane when a scheduled fault fires (node failure,
+    /// backend crash, hang detection) or a task exhausts its retry
+    /// budget. `kind` must be a `'static` detector-style label (e.g.
+    /// `"fault_node"`, `"fault_crash"`, `"fault_hang"`,
+    /// `"fault_give_up"`); `value` carries the fault-specific magnitude
+    /// (node index, retry count). Faults-off runs never call this, so
+    /// their alarm stream stays byte-identical to a faultless build.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_fault(
+        &self,
+        kind: &'static str,
+        severity: Severity,
+        uid: Option<u64>,
+        backend: Option<u8>,
+        partition: Option<u32>,
+        value: f64,
+        message: String,
+    ) {
+        let mut i = self.inner.borrow_mut();
+        let i = &mut *i;
+        let t = i.clock.now();
+        detect::push_alarm(
+            i,
+            Alarm {
+                t,
+                kind,
+                severity,
+                value,
+                threshold: 0.0,
+                uid,
+                state: None,
+                backend,
+                partition,
+                message,
+            },
+        );
+    }
+
     /// Batched [`Telemetry::on_submitted`]: one interior borrow and one
     /// clock read for the whole batch. Workload submissions arrive in
     /// bulk inside a single engine delivery, so every uid in the batch

@@ -53,6 +53,21 @@ test -s "$LINEAGE_DIR/blame_report.txt"
     > "$LINEAGE_DIR/diff_report.txt"
 grep -q "verdict: no blame segment moved" "$LINEAGE_DIR/diff_report.txt"
 
+# Chaos soak: 16 fault seeds x {flux, dragon} under a fixed fault spec.
+# Every run must finish without panics and conserve its task set (each
+# uid exactly once, every task terminal) — the binary asserts this and
+# exits nonzero otherwise. The final run writes lineage so a fault-killed
+# task narrates through `rp-explain` (uploaded as a CI artifact in
+# ci.yml).
+CHAOS_DIR="${CHAOS_DIR:-$(mktemp -d)}"
+./target/release/chaos_soak --seeds 16 --lineage-dir "$CHAOS_DIR"
+test -s "$CHAOS_DIR/chaos_soak.lineage.jsonl"
+FUID="$(sed -n 's/^{"uid":\([0-9]*\),.*"ev":"fault".*/\1/p' \
+    "$CHAOS_DIR/chaos_soak.lineage.jsonl" | head -n 1)"
+./target/release/rp-explain --dir "$CHAOS_DIR" "$FUID" \
+    > "$CHAOS_DIR/explain_fault_$FUID.txt"
+grep -q "fault" "$CHAOS_DIR/explain_fault_$FUID.txt"
+
 # Perf smoke: build the hot-path benchmark in release and run it at quick
 # sizes. The baseline compare is warn-only, mirroring the metrics smoke:
 # ::warning:: annotations past a 25% wall-clock regression, never a

@@ -10,6 +10,8 @@
 //! - [`fluxrt`] / [`dragonrt`] / [`slurm`]: the runtime substrates;
 //! - [`platform`]: the simulated machine, resource algebra, calibration;
 //! - [`sim`]: the discrete-event kernel;
+//! - [`chaos`]: the deterministic fault-injection plane — seeded fault
+//!   plans, recovery policies, and the watchdog/restart machinery;
 //! - [`workloads`]: synthetic batches and the IMPECCABLE campaign;
 //! - [`analytics`]: throughput/utilization/overhead metrics and timelines;
 //! - [`telemetry`]: streaming time-series sampling, SLO percentiles, and
@@ -32,6 +34,7 @@
 //! ```
 
 pub use rp_analytics as analytics;
+pub use rp_chaos as chaos;
 pub use rp_core as core;
 pub use rp_dragonrt as dragonrt;
 pub use rp_fluxrt as fluxrt;

@@ -99,13 +99,13 @@ fn lineage_jsonl_is_identical_at_any_jobs_count() {
         let (_, reports) = rp_bench::repeat_static(
             "jobs invariance",
             4,
-            jobs,
             |seed| PilotConfig::flux(NODES, 2).with_seed(seed),
             || null_workload(NODES),
-            None,
-            None,
-            None,
-            Some(&dir),
+            &rp_bench::RunOpts {
+                jobs,
+                lineage_dir: Some(dir.clone()),
+                ..rp_bench::RunOpts::default()
+            },
         );
         assert!(reports[0].lineage.is_some());
         assert!(reports[1..].iter().all(|r| r.lineage.is_none()));

@@ -143,13 +143,13 @@ fn telemetry_jsonl_is_identical_at_any_jobs_count() {
         let (_, reports) = rp_bench::repeat_static(
             "jobs invariance",
             4,
-            jobs,
             |seed| PilotConfig::flux(NODES, 2).with_seed(seed),
             || null_workload(NODES),
-            None,
-            None,
-            Some(&dir),
-            None,
+            &rp_bench::RunOpts {
+                jobs,
+                telemetry_dir: Some(dir.clone()),
+                ..rp_bench::RunOpts::default()
+            },
         );
         // Rep 0 carries the telemetry; later reps stay uninstrumented.
         assert!(reports[0].telemetry.is_some());
