@@ -305,10 +305,87 @@ fn critical_path_section(cp: &CriticalPath) -> String {
     out
 }
 
+/// Render the serving-plane books: conservation counters, per-client
+/// admission split, and the client-perceived SLO percentiles measured
+/// from *arrival* (admission queue wait included).
+fn serving_table(s: &rp_core::ServingReport) -> String {
+    let mut out = String::from("<h2>Serving plane</h2>\n<table><tr>");
+    for h in [
+        "offered",
+        "admitted",
+        "shed",
+        "queued",
+        "done",
+        "failed",
+        "canceled",
+        "peak queue",
+        "peak inflight",
+    ] {
+        let _ = write!(out, "<th>{h}</th>");
+    }
+    out.push_str("</tr><tr>");
+    for v in [
+        s.offered,
+        s.admitted,
+        s.shed,
+        s.queued,
+        s.done,
+        s.failed,
+        s.canceled,
+        s.peak_queue,
+        s.peak_inflight,
+    ] {
+        let _ = write!(out, "<td>{v}</td>");
+    }
+    out.push_str("</tr></table>\n");
+    out.push_str("<h2>Serving clients</h2>\n<table><tr><th>client</th><th>weight</th><th>offered</th><th>admitted</th><th>shed</th></tr>");
+    for (i, c) in s.clients.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<tr><td>{i}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            c.weight, c.offered, c.admitted, c.shed
+        );
+    }
+    out.push_str("</table>\n");
+    let slo = &s.slo;
+    out.push_str(
+        "<h2>Serving SLO (from arrival)</h2>\n<table><tr><th>metric</th><th>n</th>\
+         <th>p50</th><th>p99</th><th>p999</th><th>max</th><th>p999 exemplars</th></tr>",
+    );
+    let _ = write!(
+        out,
+        "<tr><td>time-to-launch (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+        slo.launches,
+        num(slo.launch_p50),
+        num(slo.launch_p99),
+        num(slo.launch_p999),
+        num(slo.launch_max),
+        esc(&exemplar_uids(&slo.launch_p999_exemplars)),
+    );
+    let _ = write!(
+        out,
+        "<tr><td>time-to-completion (s)</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+        slo.completions,
+        num(slo.completion_p50),
+        num(slo.completion_p99),
+        num(slo.completion_p999),
+        num(slo.completion_max),
+        esc(&exemplar_uids(&slo.completion_p999_exemplars)),
+    );
+    out.push_str("</table>\n");
+    out
+}
+
 /// Render a self-contained HTML dashboard: summary counters, time-series
-/// charts, SLO table, flight-recorder log, and (optionally) the span-side
+/// charts, SLO table, serving books (when the run carried open-loop
+/// traffic), flight-recorder log, and (optionally) the span-side
 /// critical path. `title` names the run (e.g. the experiment label).
-pub fn render_dashboard(title: &str, tel: &TelemetryData, cp: Option<&CriticalPath>) -> String {
+pub fn render_dashboard(
+    title: &str,
+    tel: &TelemetryData,
+    cp: Option<&CriticalPath>,
+    serving: Option<&rp_core::ServingReport>,
+) -> String {
     let mut html = String::with_capacity(32 * 1024);
     let _ = write!(
         html,
@@ -441,6 +518,10 @@ pub fn render_dashboard(title: &str, tel: &TelemetryData, cp: Option<&CriticalPa
 
     html.push_str(&slo_table(tel));
 
+    if let Some(s) = serving {
+        html.push_str(&serving_table(s));
+    }
+
     // Backend queue high-waters.
     html.push_str("<h2>Backend queue high-waters</h2>\n<table><tr>");
     for name in BACKEND_NAMES {
@@ -498,7 +579,7 @@ mod tests {
     #[test]
     fn dashboard_is_selfcontained_html() {
         let data = collect(5);
-        let html = render_dashboard("unit <test>", &data, None);
+        let html = render_dashboard("unit <test>", &data, None, None);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.ends_with("</body></html>\n"));
         // Title is escaped.
@@ -520,15 +601,39 @@ mod tests {
     #[test]
     fn dashboard_renders_empty_telemetry() {
         let data = collect(0);
-        let html = render_dashboard("empty", &data, None);
+        let html = render_dashboard("empty", &data, None, None);
         assert!(html.contains("No samples collected"));
         assert!(html.ends_with("</body></html>\n"));
     }
 
     #[test]
+    fn dashboard_renders_serving_section() {
+        use rp_core::{PilotConfig, ServingSpec, SimSession};
+        let report = SimSession::with_tasks(PilotConfig::dragon(2).with_seed(3), vec![])
+            .with_telemetry(rp_sim::SimDuration::from_secs(5))
+            .with_serving(
+                ServingSpec::parse("rate=20,horizon=10,clients=2,weights=2:1").expect("parses"),
+                7,
+            )
+            .run();
+        let tel = report.telemetry.as_ref().expect("telemetry attached");
+        let serving = report.serving.as_ref().expect("serving books attached");
+        let html = render_dashboard("serving", tel, None, Some(serving));
+        assert!(html.contains("Serving plane"));
+        assert!(html.contains("Serving clients"));
+        assert!(html.contains("Serving SLO (from arrival)"));
+        // Both clients render with their weights.
+        assert!(html.contains("<td>0</td><td>2</td>"));
+        assert!(html.contains("<td>1</td><td>1</td>"));
+        // Without books the section is absent.
+        let bare = render_dashboard("serving", tel, None, None);
+        assert!(!bare.contains("Serving plane"));
+    }
+
+    #[test]
     fn dashboard_is_deterministic() {
-        let a = render_dashboard("same", &collect(3), None);
-        let b = render_dashboard("same", &collect(3), None);
+        let a = render_dashboard("same", &collect(3), None, None);
+        let b = render_dashboard("same", &collect(3), None, None);
         assert_eq!(a, b);
     }
 }

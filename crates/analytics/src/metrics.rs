@@ -203,6 +203,7 @@ mod tests {
             metrics: None,
             telemetry: None,
             lineage: None,
+            serving: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-9, "{u:?}");
@@ -234,6 +235,7 @@ mod tests {
             metrics: None,
             telemetry: None,
             lineage: None,
+            serving: None,
         };
         let u = utilization(&report).unwrap();
         assert!((u.cores - 0.5).abs() < 1e-6, "{}", u.cores);

@@ -58,6 +58,7 @@ fn utilization_bounded_and_exact() {
             metrics: None,
             telemetry: None,
             lineage: None,
+            serving: None,
         };
         let u = utilization(&report).expect("tasks ran");
         assert!(

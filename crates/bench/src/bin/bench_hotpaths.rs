@@ -18,7 +18,7 @@
 //!   `<pct>` percent (default 25; CI mirrors the metrics smoke and never
 //!   fails the build on this).
 
-use rp_core::{FaultSpec, PilotConfig, RunReport, SimSession};
+use rp_core::{FaultSpec, PilotConfig, RunReport, ServingSpec, SimSession};
 use rp_sim::{Actor, Ctx, Engine, SimDuration, SimTime};
 use rp_workloads::{dummy_workload, impeccable_campaign, null_workload, ImpeccableParams};
 use std::fmt::Write as _;
@@ -225,10 +225,10 @@ fn run_report(label: &str, mk: impl Fn() -> RunReport, out: &mut Vec<BenchEntry>
     out.push(entry(label, tasks, wall));
 }
 
-/// Returns `(telemetry, faults_off)` overhead fractions on the flux_1
-/// null cell — each the median of order-alternating instrumented/bare
-/// wall ratios, minus 1.
-fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> (f64, f64) {
+/// Returns `(telemetry, faults_off, serving_off)` overhead fractions on
+/// the flux_1 null cell — each the median of order-alternating
+/// instrumented/bare wall ratios, minus 1.
+fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> (f64, f64, f64) {
     // Paper-scale flux_1 cell (Fig. 5(b) rightmost point): 1,024 nodes,
     // nodes*56*4 single-core tasks, seed 1000 (= exp_flux1 rep 0).
     let nodes: u32 = if quick { 64 } else { 1024 };
@@ -352,6 +352,59 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> (f64, f64) {
         "faults-off chaos overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
         faults_off_overhead * 100.0
     );
+    // The same cell with an *inactive* serving spec attached: like the
+    // chaos plane, serving-off must be one Option branch per touchpoint
+    // (design budget <3% wall on the null cell). tests/serving.rs proves
+    // byte-identity; this proves cost, same order-alternating protocol.
+    let mk_serving_off = || {
+        SimSession::with_tasks(
+            PilotConfig::flux(nodes, 1).with_seed(1000),
+            null_workload(nodes),
+        )
+        .with_serving(ServingSpec::default(), 0x5EED)
+        .run()
+    };
+    let (mut soffs, mut soff_ratios) = (Vec::new(), Vec::new());
+    for k in 0..pairs {
+        let (bare, soff) = if k % 2 == 0 {
+            let (b, _) = time(&mk_bare);
+            let (s, _) = time(&mk_serving_off);
+            (b, s)
+        } else {
+            let (s, _) = time(&mk_serving_off);
+            let (b, _) = time(&mk_bare);
+            (b, s)
+        };
+        soffs.push(soff);
+        soff_ratios.push(soff / bare);
+    }
+    soffs.sort_by(f64::total_cmp);
+    soff_ratios.sort_by(f64::total_cmp);
+    out.push(entry(
+        format!("e2e_flux1_null_serving_off_n{nodes}"),
+        tasks,
+        soffs[soffs.len() / 2],
+    ));
+    let serving_off_overhead = soff_ratios[soff_ratios.len() / 2] - 1.0;
+    println!(
+        "serving-off overhead on flux_1 null: {:+.2}% wall (median of {pairs} order-alternating pairs)",
+        serving_off_overhead * 100.0
+    );
+    // An open-loop serving cell at the flux knee rate from the
+    // results/exp_serving sweep (200 tasks/s on 4 nodes): the sustained
+    // end-to-end tasks/sec the serving plane adds to the perf trajectory.
+    let horizon = if quick { 10u64 } else { 60 };
+    let knee_spec =
+        ServingSpec::parse(&format!("rate=200,horizon={horizon}")).expect("knee spec parses");
+    run_report(
+        &format!("e2e_serving_knee_flux_h{horizon}"),
+        || {
+            SimSession::with_tasks(PilotConfig::flux(4, 2).with_seed(1000), vec![])
+                .with_serving(knee_spec.clone(), 0x5EED)
+                .run()
+        },
+        out,
+    );
     run_report(
         &format!("e2e_flux1_dummy360_n{nodes}"),
         || {
@@ -382,7 +435,11 @@ fn e2e_benches(out: &mut Vec<BenchEntry>, quick: bool) -> (f64, f64) {
             out,
         );
     }
-    (telemetry_overhead, faults_off_overhead)
+    (
+        telemetry_overhead,
+        faults_off_overhead,
+        serving_off_overhead,
+    )
 }
 
 /// Parse `--<flag> <value>` (or `--<flag>=<value>`) from argv.
@@ -454,7 +511,8 @@ fn main() {
     engine_benches(&mut entries);
     instrumentation_benches(&mut entries);
     placement_benches(&mut entries, if quick { 64 } else { 1024 });
-    let (telemetry_overhead, faults_off_overhead) = e2e_benches(&mut entries, quick);
+    let (telemetry_overhead, faults_off_overhead, serving_off_overhead) =
+        e2e_benches(&mut entries, quick);
 
     // Compare against a committed baseline, warn-only (cross-machine wall
     // clocks are noisy; same-machine trajectories are the real signal).
@@ -525,6 +583,21 @@ fn main() {
         });
     if let Some(before) = before_faults_off {
         let _ = writeln!(json, "  \"faults_off_overhead_frac_before\": {before:.4},");
+    }
+    // Serving-off budget: same protocol, design bound <3% wall.
+    let _ = writeln!(
+        json,
+        "  \"serving_overhead_frac\": {serving_off_overhead:.4},"
+    );
+    let before_serving_off = baseline_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|t| {
+            t.lines()
+                .find_map(|l| field_f64(l, "serving_overhead_frac"))
+        });
+    if let Some(before) = before_serving_off {
+        let _ = writeln!(json, "  \"serving_overhead_frac_before\": {before:.4},");
     }
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {

@@ -1,0 +1,155 @@
+//! Experiment `serving`: open-loop arrival-rate sweep per backend — where
+//! is the knee at which p99 time-to-launch blows up?
+//!
+//! Each cell runs one serving session (no batch workload): a Poisson
+//! arrival stream of null tasks at the cell's rate for a fixed horizon,
+//! admitted through the default bounded queues, against a 4-node pilot of
+//! one backend. The client-perceived time-to-launch percentiles (measured
+//! from *arrival*, so admission queue wait is inside the number) come
+//! straight from the serving SLO tracker. The knee is the first swept
+//! rate where p99 time-to-launch exceeds 10× the backend's lowest-rate
+//! p99 (floored at 100 ms) or admission control starts shedding — i.e.
+//! where the offered load has clearly crossed the service capacity.
+//!
+//! Flags: `--quick` (short horizon, sparse sweep), plus the common
+//! harness flags (`--jobs`, instrumentation dirs; `--serving` is ignored
+//! here — the sweep owns the serving spec).
+
+use rp_bench::{repeat_static, RunOpts, DEFAULT_SERVING_SEED};
+use rp_core::{PilotConfig, ServingSpec};
+use std::fmt::Write as _;
+
+struct Cell {
+    backend: &'static str,
+    rate: f64,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    done: u64,
+    failed: u64,
+    ttl_p50: f64,
+    ttl_p99: f64,
+    ttl_p999: f64,
+    ttc_p50: f64,
+    ttc_p99: f64,
+    ttc_p999: f64,
+    knee: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = RunOpts::from_args(&args);
+    let horizon = if quick { 10.0 } else { 60.0 };
+    let rates: &[f64] = if quick {
+        &[50.0, 200.0, 800.0]
+    } else {
+        &[25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0]
+    };
+
+    type MkCfg = fn(u64) -> PilotConfig;
+    let backends: [(&'static str, MkCfg); 4] = [
+        ("srun", |seed| PilotConfig::srun(4).with_seed(seed)),
+        ("flux", |seed| PilotConfig::flux(4, 2).with_seed(seed)),
+        ("dragon", |seed| PilotConfig::dragon(4).with_seed(seed)),
+        ("prrte", |seed| PilotConfig::prrte(4).with_seed(seed)),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut text = format!(
+        "Experiment serving — open-loop arrival-rate sweep (poisson null tasks, \
+         horizon {horizon} s, 4 nodes per backend)\n\
+         knee: first rate with p99 TTL > 10x the lowest-rate p99 (>=0.1 s) or any shedding\n\n"
+    );
+
+    for (backend, mk_cfg) in backends {
+        let mut backend_cells: Vec<Cell> = Vec::new();
+        for &rate in rates {
+            let spec = ServingSpec::parse(&format!("rate={rate},horizon={horizon}"))
+                .expect("sweep spec parses");
+            let label = format!("serving {backend} rate={rate}");
+            let cell_opts = opts.clone().with_serving(spec, DEFAULT_SERVING_SEED);
+            let (_, reports) = repeat_static(&label, 1, mk_cfg, Vec::new, &cell_opts);
+            let s = reports[0]
+                .serving
+                .as_ref()
+                .expect("serving session must carry books");
+            assert_eq!(s.offered, s.admitted + s.shed + s.queued, "conservation");
+            backend_cells.push(Cell {
+                backend,
+                rate,
+                offered: s.offered,
+                admitted: s.admitted,
+                shed: s.shed,
+                done: s.done,
+                failed: s.failed,
+                ttl_p50: s.slo.launch_p50,
+                ttl_p99: s.slo.launch_p99,
+                ttl_p999: s.slo.launch_p999,
+                ttc_p50: s.slo.completion_p50,
+                ttc_p99: s.slo.completion_p99,
+                ttc_p999: s.slo.completion_p999,
+                knee: false,
+            });
+        }
+        // Knee detection against the backend's own unloaded baseline.
+        let baseline = backend_cells[0].ttl_p99;
+        let threshold = (10.0 * baseline).max(0.1);
+        if let Some(k) = backend_cells
+            .iter()
+            .position(|c| c.ttl_p99 > threshold || c.shed > 0)
+        {
+            backend_cells[k].knee = true;
+        }
+        for c in &backend_cells {
+            let line = format!(
+                "{:<7} rate={:>6.0}  offered={:>6} admitted={:>6} shed={:>6}  \
+                 ttl p50={:>9.4}s p99={:>9.4}s p999={:>9.4}s  ttc p99={:>9.4}s{}",
+                c.backend,
+                c.rate,
+                c.offered,
+                c.admitted,
+                c.shed,
+                c.ttl_p50,
+                c.ttl_p99,
+                c.ttl_p999,
+                c.ttc_p99,
+                if c.knee { "   <-- knee" } else { "" },
+            );
+            println!("{line}");
+            text.push_str(&line);
+            text.push('\n');
+        }
+        text.push('\n');
+        cells.extend(backend_cells);
+    }
+
+    let mut csv = String::from(
+        "backend,rate,offered,admitted,shed,done,failed,\
+         ttl_p50,ttl_p99,ttl_p999,ttc_p50,ttc_p99,ttc_p999,knee\n",
+    );
+    for c in &cells {
+        let _ = writeln!(
+            csv,
+            "{},{:.0},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+            c.backend,
+            c.rate,
+            c.offered,
+            c.admitted,
+            c.shed,
+            c.done,
+            c.failed,
+            c.ttl_p50,
+            c.ttl_p99,
+            c.ttl_p999,
+            c.ttc_p50,
+            c.ttc_p99,
+            c.ttc_p999,
+            c.knee as u8
+        );
+    }
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("exp_serving.txt"), &text);
+    let _ = std::fs::write(dir.join("exp_serving.csv"), &csv);
+}

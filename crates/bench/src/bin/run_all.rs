@@ -16,6 +16,8 @@
 //! one rep per configuration;
 //! `--faults <spec>` / `--fault-seed N` are forwarded so every experiment
 //! runs under the same deterministic fault-injection plan;
+//! `--serving <spec>` / `--serving-seed N` are forwarded so every
+//! experiment also carries the same deterministic open-loop serving plan;
 //! `--jobs N` runs up to N experiment binaries concurrently (each
 //! simulation is single-threaded and seeded, so configurations are
 //! embarrassingly parallel) and is forwarded so each experiment also
@@ -136,6 +138,7 @@ fn main() {
         "exp_prrte",
         "exp_ablations",
         "exp_faults",
+        "exp_serving",
     ];
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
@@ -165,6 +168,14 @@ fn main() {
                 cmd.arg(format!("--faults={raw}"));
             }
             cmd.arg("--fault-seed").arg(fault_seed.to_string());
+        }
+        if let Some((_, serving_seed)) = &opts.serving {
+            if let Some(pos) = args.iter().position(|a| a == "--serving") {
+                cmd.arg("--serving").arg(&args[pos + 1]);
+            } else if let Some(raw) = args.iter().find_map(|a| a.strip_prefix("--serving=")) {
+                cmd.arg(format!("--serving={raw}"));
+            }
+            cmd.arg("--serving-seed").arg(serving_seed.to_string());
         }
         cmd.arg("--jobs").arg(jobs.to_string());
         cmd

@@ -2,7 +2,9 @@
 //! digest each run, aggregate, and render table rows.
 
 use rp_analytics::{critical_path, digest, RunDigest};
-use rp_core::{FaultSpec, PilotConfig, RunReport, SimSession, TaskDescription, WorkloadSource};
+use rp_core::{
+    FaultSpec, PilotConfig, RunReport, ServingSpec, SimSession, TaskDescription, WorkloadSource,
+};
 use rp_profiler::ProfileData;
 use rp_sim::SimDuration;
 use std::fmt::Write as _;
@@ -209,6 +211,36 @@ pub fn faults_from_args(args: &[String]) -> Option<(FaultSpec, u64)> {
     Some((spec, seed))
 }
 
+/// Serving seed used when `--serving` is given without `--serving-seed`.
+pub const DEFAULT_SERVING_SEED: u64 = 0x5EED;
+
+/// Parse `--serving <spec>` (or `--serving=<spec>`) plus `--serving-seed
+/// <n>` from argv. Returns the parsed [`ServingSpec`] paired with its
+/// serving seed ([`DEFAULT_SERVING_SEED`] unless overridden), or `None`
+/// when `--serving` is absent. Exits with the parse error on a malformed
+/// spec, so a typo fails loudly instead of silently running batch-only.
+pub fn serving_from_args(args: &[String]) -> Option<(ServingSpec, u64)> {
+    let raw = flag_value(args, "serving")?;
+    let spec = match ServingSpec::parse(&raw) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--serving {raw}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seed = match flag_value(args, "serving-seed") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--serving-seed {v}: not an integer");
+                std::process::exit(2);
+            }
+        },
+        None => DEFAULT_SERVING_SEED,
+    };
+    Some((spec, seed))
+}
+
 /// Common experiment options parsed from argv: worker threads, the four
 /// instrumentation output directories, and the deterministic
 /// fault-injection plan. Every `exp_*` binary accepts the same flags;
@@ -238,6 +270,12 @@ pub struct RunOpts {
     /// Upper bound on task uids for hang-victim selection; filled from the
     /// batch size by [`repeat_static`] when unset.
     pub fault_hint: Option<u64>,
+    /// `--serving <spec>` (+ `--serving-seed N`): run EVERY rep with this
+    /// open-loop serving plan on top of the batch workload. Like the fault
+    /// plan, the realized arrival schedule depends only on the spec and
+    /// the serving seed — never on the rep's workload seed — so each rep
+    /// sees the identical traffic at any `--jobs` count.
+    pub serving: Option<(ServingSpec, u64)>,
 }
 
 impl RunOpts {
@@ -251,7 +289,14 @@ impl RunOpts {
             lineage_dir: lineage_dir_from_args(args),
             faults: faults_from_args(args),
             fault_hint: None,
+            serving: serving_from_args(args),
         }
+    }
+
+    /// Replace the serving plan (e.g. `exp_serving` sweeping rates).
+    pub fn with_serving(mut self, spec: ServingSpec, serving_seed: u64) -> RunOpts {
+        self.serving = Some((spec, serving_seed));
+        self
     }
 
     /// Replace the fault plan (e.g. `exp_faults` sweeping policies).
@@ -332,7 +377,7 @@ pub fn write_telemetry(dir: &Path, label: &str, report: &RunReport) {
         .metrics
         .as_ref()
         .map(|snap| critical_path(&snap.spans));
-    let html = rp_analytics::render_dashboard(label, tel, cp.as_ref());
+    let html = rp_analytics::render_dashboard(label, tel, cp.as_ref(), report.serving.as_ref());
     let _ = fs::write(dir.join(format!("{base}.dashboard.html")), html);
 }
 
@@ -351,6 +396,19 @@ pub fn write_lineage(dir: &Path, label: &str, report: &RunReport) {
         dir.join(format!("{base}.blame.txt")),
         rp_analytics::render_report(label, &rep),
     );
+}
+
+/// Write one run's serving books under `dir`: the byte-deterministic
+/// JSONL record (`<label>.serving.jsonl`) and the human-readable digest
+/// (`<label>.serving.txt`) with the conservation counters and the
+/// client-perceived time-to-launch/-completion percentiles. No-op when
+/// the report carries no serving books.
+pub fn write_serving(dir: &Path, label: &str, report: &RunReport) {
+    let Some(s) = &report.serving else { return };
+    let _ = fs::create_dir_all(dir);
+    let base = sanitize(label);
+    let _ = fs::write(dir.join(format!("{base}.serving.jsonl")), s.to_jsonl());
+    let _ = fs::write(dir.join(format!("{base}.serving.txt")), s.summary());
 }
 
 /// Run `reps` repetitions of a configuration with distinct seeds, digesting
@@ -399,6 +457,9 @@ pub fn repeat(
         if let Some((spec, fault_seed)) = &opts.faults {
             session = session.with_faults(spec.clone(), *fault_seed, opts.fault_hint.unwrap_or(0));
         }
+        if let Some((spec, serving_seed)) = &opts.serving {
+            session = session.with_serving(spec.clone(), *serving_seed);
+        }
         session.run()
     };
     let reports: Vec<RunReport> = if jobs <= 1 || reps <= 1 {
@@ -435,6 +496,9 @@ pub fn repeat(
     }
     if let Some(dir) = &opts.telemetry_dir {
         write_telemetry(dir, label, &reports[0]);
+        // Serving books ride the telemetry directory: they are the same
+        // observability surface (SLO percentiles + exemplars).
+        write_serving(dir, label, &reports[0]);
     }
     if let Some(dir) = &opts.lineage_dir {
         write_lineage(dir, label, &reports[0]);
@@ -642,6 +706,61 @@ mod tests {
         let (_, seed) = faults_from_args(&argv(&["exp", "--faults=nodes=1", "--fault-seed", "99"]))
             .expect("parsed");
         assert_eq!(seed, 99);
+    }
+
+    /// `--serving` flag parsing: spec + seed round-trip, default seed
+    /// applies, absent flag disables.
+    #[test]
+    fn serving_from_args_parses_spec_and_seed() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+        assert!(serving_from_args(&argv(&["exp"])).is_none());
+        let (spec, seed) =
+            serving_from_args(&argv(&["exp", "--serving", "rate=100,horizon=30"])).expect("parsed");
+        assert_eq!(spec.rate, 100.0);
+        assert_eq!(spec.horizon_s, 30.0);
+        assert_eq!(seed, DEFAULT_SERVING_SEED);
+        let (_, seed) = serving_from_args(&argv(&[
+            "exp",
+            "--serving=rate=10,horizon=5",
+            "--serving-seed",
+            "77",
+        ]))
+        .expect("parsed");
+        assert_eq!(seed, 77);
+    }
+
+    /// Serving flows through the repetition helper into every rep with the
+    /// identical plan, and rep 0's books land next to the telemetry.
+    #[test]
+    fn repeat_applies_serving_plan_to_every_rep() {
+        let dir = std::env::temp_dir().join(format!("rp-bench-serve-{}", std::process::id()));
+        let spec = ServingSpec::parse("rate=20,horizon=20").expect("spec");
+        let opts = RunOpts {
+            telemetry_dir: Some(dir.clone()),
+            ..RunOpts::default()
+        }
+        .with_serving(spec, 5);
+        let (_, reports) = repeat_static(
+            "tiny serve",
+            2,
+            |seed| PilotConfig::flux(2, 1).with_seed(seed),
+            || {
+                (0..20)
+                    .map(|i| rp_core::TaskDescription::dummy(i, SimDuration::from_secs(2)))
+                    .collect()
+            },
+            &opts,
+        );
+        let s0 = reports[0].serving.as_ref().expect("rep 0 serving books");
+        let s1 = reports[1].serving.as_ref().expect("rep 1 serving books");
+        assert_eq!(s0.offered, s1.offered, "same plan hits every rep");
+        assert_eq!(s0.offered, s0.admitted + s0.shed + s0.queued);
+        assert_eq!(s0.queued, 0);
+        let jsonl = fs::read_to_string(dir.join("tiny_serve.serving.jsonl")).expect("jsonl");
+        assert_eq!(jsonl, s0.to_jsonl(), "written books match the report");
+        let txt = fs::read_to_string(dir.join("tiny_serve.serving.txt")).expect("summary");
+        assert!(txt.contains("offered"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     /// Faults flow through the repetition helper into every rep: the same

@@ -12,8 +12,8 @@ pub mod microbench;
 
 pub use harness::{
     faults_from_args, jobs_from_args, lineage_dir_from_args, metrics_dir_from_args,
-    profile_dir_from_args, repeat, repeat_static, telemetry_dir_from_args, write_lineage,
-    write_metrics, write_profile, write_results, write_telemetry, ExpRow, RunOpts,
-    DEFAULT_FAULT_SEED,
+    profile_dir_from_args, repeat, repeat_static, serving_from_args, telemetry_dir_from_args,
+    write_lineage, write_metrics, write_profile, write_results, write_serving, write_telemetry,
+    ExpRow, RunOpts, DEFAULT_FAULT_SEED, DEFAULT_SERVING_SEED,
 };
 pub use microbench::Micro;

@@ -35,6 +35,7 @@ use rp_metrics::{Counter as MCounter, Gauge as MGauge, Histogram as MHistogram, 
 use rp_platform::{Allocation, Cluster, Placement, ResourcePool};
 use rp_profiler::{Profiler, Sym};
 use rp_prrte::{PrrteAction, PrrteDvm, PrrteTask, PrrteToken};
+use rp_serving::{ServingOutcome, ServingState, ServingTaskKind};
 use rp_sim::{Actor, Ctx, Dist, FxHashMap, RngStream, SimTime, UidMap};
 use rp_slurm::{SrunAction, SrunSim, SrunToken, StepId, StepRequest};
 use rp_telemetry::{SampleInput, Severity, Telemetry};
@@ -90,6 +91,9 @@ pub enum AgentMsg {
     Watchdog(TaskId),
     /// A backoff-delayed fault retry re-enters the staging queue.
     RetryFire(TaskId),
+    /// An open-loop serving batch arrives (index into the serving plan's
+    /// batch list).
+    ServingArrive(u32),
 }
 
 /// An event awaiting the watcher thread of a backend kind.
@@ -550,6 +554,9 @@ pub struct SimAgent {
     lin_srun_reject: Option<u64>,
     /// Fault-injection plane (None unless [`Self::enable_faults`] ran).
     chaos: Option<ChaosState>,
+    /// Open-loop serving plane (None unless [`Self::enable_serving`] ran).
+    /// Batch runs pay exactly one `Option` check per hook site.
+    serving: Option<Rc<RefCell<ServingState>>>,
 }
 
 impl SimAgent {
@@ -777,6 +784,7 @@ impl SimAgent {
             lineage: None,
             lin_srun_reject: None,
             chaos: None,
+            serving: None,
         }
     }
 
@@ -1098,6 +1106,79 @@ impl SimAgent {
         });
     }
 
+    /// Attach the open-loop serving plane. The session realizes the plan
+    /// and schedules one [`AgentMsg::ServingArrive`] per batch; the agent
+    /// admits through `state`'s weighted-fair queues and maps released
+    /// plan indices onto task descriptions. Sessions without serving
+    /// never call this — batch runs stay byte-identical.
+    pub fn enable_serving(&mut self, state: Rc<RefCell<ServingState>>) {
+        self.serving = Some(state);
+    }
+
+    /// One serving batch arrives: offer it to the admission queues, then
+    /// pump whatever the window allows into the pipeline.
+    fn serving_arrive(&mut self, b: u32, ctx: &mut Ctx<AgentMsg>) {
+        if let Some(s) = &self.serving {
+            s.borrow_mut().on_batch(b);
+        }
+        self.serving_pump(ctx);
+    }
+
+    /// Admit up to one release batch from the serving queues and submit
+    /// the mapped task descriptions. The admission borrow ends before
+    /// `submit_tasks` so the observability hooks can re-enter freely.
+    fn serving_pump(&mut self, ctx: &mut Ctx<AgentMsg>) {
+        let Some(s) = &self.serving else { return };
+        let s = Rc::clone(s);
+        let descs: Vec<TaskDescription> = {
+            let mut st = s.borrow_mut();
+            let mut released: Vec<u32> = Vec::new();
+            st.pump_into(&mut released);
+            let dur = rp_sim::SimDuration::from_secs_f64(st.spec().dur_s);
+            released
+                .iter()
+                .map(|&idx| {
+                    let uid = st.uid_for(idx);
+                    match st.plan().tasks[idx as usize].kind {
+                        ServingTaskKind::Null => TaskDescription::null(uid),
+                        ServingTaskKind::Dummy => TaskDescription::dummy(uid, dur),
+                        ServingTaskKind::Function => TaskDescription::function(uid, "serve", dur),
+                    }
+                })
+                .collect()
+        };
+        if !descs.is_empty() {
+            self.submit_tasks(descs, ctx);
+        }
+    }
+
+    /// Terminal accounting for a possibly-serving task: release its
+    /// window slot exactly once (outcome read from the record's terminal
+    /// state) and refill the freed capacity from the admission queues.
+    fn serving_terminal(&mut self, t: TaskId, ctx: &mut Ctx<AgentMsg>) {
+        let Some(s) = &self.serving else { return };
+        let outcome = {
+            let st = self.state.borrow();
+            match st.tasks.get(t.0).map(|r| r.state) {
+                Some(TaskState::Done) => ServingOutcome::Done,
+                Some(TaskState::Canceled) => ServingOutcome::Canceled,
+                _ => ServingOutcome::Failed,
+            }
+        };
+        let handled = s
+            .borrow_mut()
+            .on_terminal(t.0, ctx.now().as_secs_f64(), outcome);
+        if handled {
+            self.serving_pump(ctx);
+        }
+    }
+
+    /// Whether the serving plane (if any) has delivered and drained every
+    /// planned arrival — the extra gate on stopping persistent services.
+    fn serving_drained(&self) -> bool {
+        self.serving.as_ref().is_none_or(|s| s.borrow().drained())
+    }
+
     /// Bump one chaos fault counter (no-op when metrics are detached).
     fn note_fault(&self, code: u16) {
         if let Some(c) = self.chaos.as_ref().and_then(|c| c.counters.as_ref()) {
@@ -1376,6 +1457,15 @@ impl SimAgent {
                 };
                 if let Some(k) = kind {
                     l.record(uid.0, k);
+                }
+            }
+            if rec.state == TaskState::Executing {
+                if let Some(s) = &self.serving {
+                    // Client-perceived time-to-launch: the record's own
+                    // exec timestamp minus the planned arrival (idempotent
+                    // across transient retry re-entries).
+                    let now = rec.exec_start.unwrap_or(rec.submitted).as_secs_f64();
+                    s.borrow_mut().on_launch(uid.0, now);
                 }
             }
         }
@@ -2321,7 +2411,12 @@ impl SimAgent {
         if !follow_ups.is_empty() {
             self.submit_tasks(follow_ups, ctx);
         }
-        if self.outstanding == 0 && !self.service_holds.is_empty() {
+        if self.serving.is_some() {
+            // Serving accounting + window refill before the drain check:
+            // the pump may put new work in flight.
+            self.serving_terminal(t, ctx);
+        }
+        if self.outstanding == 0 && !self.service_holds.is_empty() && self.serving_drained() {
             // Workload drained: stop persistent services so the pilot can
             // wind down.
             self.stop_services(ctx);
@@ -2419,8 +2514,11 @@ impl SimAgent {
             self.with_task(t, |rec| rec.advance(TaskState::Canceled, now));
             self.assignment.remove(t.0);
             self.outstanding = self.outstanding.saturating_sub(1);
+            if self.serving.is_some() {
+                self.serving_terminal(t, ctx);
+            }
             // Stop services if the cancel drained the workload.
-            if self.outstanding == 0 && !self.service_holds.is_empty() {
+            if self.outstanding == 0 && !self.service_holds.is_empty() && self.serving_drained() {
                 self.stop_services(ctx);
             }
         }
@@ -3270,6 +3368,7 @@ impl Actor<AgentMsg> for SimAgent {
                 self.stage_q.push_back(t);
                 self.pump_stagers(ctx);
             }
+            AgentMsg::ServingArrive(b) => self.serving_arrive(b, ctx),
         }
         // Gauge counters reflect post-message state; the engine's sampler
         // reads them between deliveries.

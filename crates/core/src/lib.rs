@@ -36,6 +36,10 @@ pub use report::{InstanceReport, RunReport, RunState};
 pub use router::{RouteError, Router, RoutingPolicy};
 pub use rp_chaos::{FaultAction, FaultEvent, FaultPlan, FaultSpec, PlanShape, RecoveryPolicy};
 pub use rp_metrics::{Registry as MetricsRegistry, Snapshot as MetricsSnapshot};
+pub use rp_serving::{
+    ArrivalProcess, ServingPlan, ServingReport, ServingSink, ServingSpec, ServingState, ShedPolicy,
+    TaskMix,
+};
 pub use rt::{RtConfig, RtError, RtPayload, RtPilot, RtRecord, RtTask, RtTelemetry};
 pub use service::{ServiceDescription, ServiceId, ServiceRecord};
 pub use session::{FailureInjection, SimSession, UidGen};

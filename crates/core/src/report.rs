@@ -97,6 +97,9 @@ pub struct RunReport {
     /// Per-task causal-lineage capture, when the session ran with
     /// [`crate::SimSession::with_lineage`].
     pub lineage: Option<rp_lineage::LineageData>,
+    /// Serving-plane books and client-perceived SLO digest, when the
+    /// session ran with [`crate::SimSession::with_serving`].
+    pub serving: Option<rp_serving::ServingReport>,
 }
 
 impl RunReport {

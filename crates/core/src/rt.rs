@@ -15,6 +15,9 @@ use crate::task::TaskId;
 use rp_dragonrt::{decode_event, DragonPool, FunctionCall, FunctionRegistry, PipeEvent};
 use rp_fluxrt::FluxRt;
 use rp_platform::{NodeSpec, ResourcePool, ResourceRequest};
+use rp_serving::{
+    ServingOutcome, ServingPlan, ServingReport, ServingSpec, ServingState, ServingTaskKind,
+};
 use rp_slurm::SrunRt;
 use rp_telemetry::{SampleInput, Telemetry, TelemetryConfig, TelemetryData};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -471,6 +474,125 @@ impl RtPilot {
         RtTelemetry { stop, handle }
     }
 
+    /// Drive an open-loop serving session against this pilot on the wall
+    /// clock — the threaded twin of `SimSession::with_serving`.
+    ///
+    /// The arrival schedule is realized up front from `spec` and `seed`
+    /// (byte-identical to the DES plane's plan for the same inputs) and
+    /// replayed at `speed`× real time: a batch planned at `t` sim seconds
+    /// arrives at `t / speed` wall seconds. Admission runs through the
+    /// same [`rp_serving::ServingState`] — bounded weighted-fair queues,
+    /// shedding, in-flight window — and the books in the returned report
+    /// are exact. Latencies are reported in *plan* seconds (wall time ×
+    /// `speed`), so knees line up across speeds; like [`Self::telemetry`],
+    /// the wall-clock timestamps make them non-deterministic — the
+    /// byte-identical guarantee holds on the sim plane only.
+    ///
+    /// Payload mapping: `null`/`dummy` become closures (sleeping
+    /// `dur / speed` wall seconds), `function` calls the registered
+    /// function named `"serve"` with empty args (register one, or the
+    /// calls are reported failed). Tasks the router cannot place are
+    /// accounted as failed terminals so conservation still closes.
+    pub fn serve(&self, spec: &ServingSpec, seed: u64, speed: f64) -> ServingReport {
+        let speed = if speed > 0.0 { speed } else { 1.0 };
+        let plan = ServingPlan::generate(spec, seed);
+        let mut state = ServingState::new(spec.clone(), plan);
+        let t0 = Instant::now();
+        let mut seen = 0usize;
+        let batches = state.plan().batches.len() as u32;
+        for b in 0..batches {
+            let at = state.plan().batches[b as usize].at.as_secs_f64() / speed;
+            let at_wall = Duration::from_secs_f64(at);
+            loop {
+                let now = t0.elapsed();
+                if now >= at_wall {
+                    break;
+                }
+                if self.serve_poll(&mut state, &mut seen, speed) {
+                    self.serve_pump(&mut state, t0, speed);
+                }
+                std::thread::sleep((at_wall - now).min(Duration::from_micros(500)));
+            }
+            state.on_batch(b);
+            self.serve_pump(&mut state, t0, speed);
+        }
+        // Arrivals done: drain the queues and the in-flight window.
+        loop {
+            if self.serve_poll(&mut state, &mut seen, speed) {
+                self.serve_pump(&mut state, t0, speed);
+            }
+            let r = state.report();
+            if state.drained() && r.admitted == r.done + r.failed + r.canceled {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        state.report()
+    }
+
+    /// Fold newly finished completion records into the serving state.
+    /// Returns whether any serving task reached a terminal (a freed
+    /// window slot means the pump may admit more).
+    fn serve_poll(&self, state: &mut ServingState, seen: &mut usize, speed: f64) -> bool {
+        let records = self.shared.records.lock().expect("records poisoned");
+        let mut freed = false;
+        for r in &records[*seen..] {
+            if state.index_of(r.uid.0).is_none() {
+                continue;
+            }
+            state.on_launch(r.uid.0, r.started.as_secs_f64() * speed);
+            let outcome = if r.failed {
+                ServingOutcome::Failed
+            } else {
+                ServingOutcome::Done
+            };
+            freed |= state.on_terminal(r.uid.0, r.ended.as_secs_f64() * speed, outcome);
+        }
+        *seen = records.len();
+        freed
+    }
+
+    /// Admit what the window allows and submit the mapped payloads.
+    fn serve_pump(&self, state: &mut ServingState, t0: Instant, speed: f64) {
+        loop {
+            let mut released: Vec<u32> = Vec::new();
+            state.pump_into(&mut released);
+            if released.is_empty() {
+                return;
+            }
+            let dur = Duration::from_secs_f64(state.spec().dur_s / speed);
+            for idx in released {
+                let uid = state.uid_for(idx);
+                let kind = state.plan().tasks[idx as usize].kind;
+                let payload = match kind {
+                    ServingTaskKind::Null => RtPayload::Exec(Box::new(|| {})),
+                    ServingTaskKind::Dummy => RtPayload::Exec(Box::new(move || {
+                        std::thread::sleep(dur);
+                    })),
+                    ServingTaskKind::Function => RtPayload::Func {
+                        name: "serve".into(),
+                        args: Vec::new(),
+                    },
+                };
+                if self
+                    .submit(RtTask {
+                        uid,
+                        cores: 1,
+                        payload,
+                    })
+                    .is_err()
+                {
+                    // Unroutable: close the books as a failed terminal.
+                    state.on_terminal(
+                        uid,
+                        t0.elapsed().as_secs_f64() * speed,
+                        ServingOutcome::Failed,
+                    );
+                }
+            }
+        }
+    }
+
     /// Drain everything, stop all backends, and return the records.
     pub fn shutdown(mut self) -> Vec<RtRecord> {
         self.wait_idle();
@@ -619,6 +741,38 @@ mod tests {
         assert_eq!(data.completed, 8);
         assert!(!data.samples.is_empty());
         assert!(data.slo.completion_p99 >= data.slo.launch_p50);
+    }
+
+    #[test]
+    fn rt_serve_drains_open_loop_traffic_with_exact_books() {
+        let reg = FunctionRegistry::new();
+        reg.register("serve", |_args| Vec::new());
+        let pilot = RtPilot::start(RtConfig::default(), reg);
+        // 2 plan-seconds of 200/s mixed traffic at 20× speed ≈ 0.1 s wall.
+        let spec = ServingSpec::parse("rate=200,horizon=2,clients=2,kind=mixed,dur=0.01")
+            .expect("spec parses");
+        let report = pilot.serve(&spec, 42, 20.0);
+        assert!(report.offered > 0, "horizon must produce arrivals");
+        assert_eq!(
+            report.offered,
+            report.admitted + report.shed + report.queued,
+            "conservation"
+        );
+        assert_eq!(report.queued, 0, "serve() drains before returning");
+        assert_eq!(
+            report.admitted,
+            report.done + report.failed + report.canceled,
+            "every admitted task reached a terminal"
+        );
+        assert_eq!(report.failed, 0, "registered function must not fail");
+        assert_eq!(report.slo.completions, report.done);
+        // The plan itself is the deterministic half: same spec + seed
+        // yields the same arrival schedule the DES plane uses.
+        assert_eq!(
+            ServingPlan::generate(&spec, 42),
+            ServingPlan::generate(&spec, 42)
+        );
+        pilot.shutdown();
     }
 
     #[test]

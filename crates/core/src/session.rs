@@ -50,6 +50,7 @@ pub struct SimSession {
     telemetry_every: Option<SimDuration>,
     lineage: bool,
     faults: Option<(rp_chaos::FaultSpec, u64, u64)>,
+    serving: Option<(rp_serving::ServingSpec, u64)>,
 }
 
 impl SimSession {
@@ -67,6 +68,7 @@ impl SimSession {
             telemetry_every: None,
             lineage: false,
             faults: None,
+            serving: None,
         }
     }
 
@@ -152,6 +154,22 @@ impl SimSession {
         self
     }
 
+    /// Enable the open-loop serving plane: realize `spec`'s arrival
+    /// process under `serving_seed` (its own RNG lane, separate from the
+    /// experiment and fault seeds, so workload and backend draws are
+    /// untouched) and schedule every arrival batch as an ordinary engine
+    /// event. The agent admits arrivals through weighted-fair bounded
+    /// queues and reports the books in [`RunReport::serving`].
+    ///
+    /// A fixed `serving_seed` yields a byte-identical arrival schedule —
+    /// and therefore byte-identical reports — across repeat runs; an
+    /// inactive `spec` leaves the run byte-identical to one without this
+    /// call.
+    pub fn with_serving(mut self, spec: rp_serving::ServingSpec, serving_seed: u64) -> Self {
+        self.serving = Some((spec, serving_seed));
+        self
+    }
+
     /// Run to quiescence and report.
     pub fn run(self) -> RunReport {
         let state = Rc::new(RefCell::new(RunState::default()));
@@ -226,6 +244,22 @@ impl SimSession {
             agent.enable_faults(plan);
             events
         });
+        // Realize the serving plan the same way: an inactive spec yields
+        // no state at all, so serving-off runs stay byte-identical to
+        // runs that never called `with_serving`.
+        let serving = self.serving.as_ref().and_then(|(sspec, serving_seed)| {
+            if !sspec.is_active() {
+                return None;
+            }
+            let plan = rp_serving::ServingPlan::generate(sspec, *serving_seed);
+            let batch_times: Vec<SimTime> = plan.batches.iter().map(|b| b.at).collect();
+            let state = Rc::new(RefCell::new(rp_serving::ServingState::new(
+                sspec.clone(),
+                plan,
+            )));
+            agent.enable_serving(Rc::clone(&state));
+            Some((state, batch_times))
+        });
         let id = engine.add_actor(Box::new(agent));
         let profiler = profiler.map(|(prof, period, sampler)| {
             engine.add_sampler(period, sampler);
@@ -251,6 +285,11 @@ impl SimSession {
         }
         for (at, tasks) in self.timed_submissions {
             engine.schedule(at, id, AgentMsg::Submit(tasks));
+        }
+        if let Some((_, batch_times)) = &serving {
+            for (b, at) in batch_times.iter().enumerate() {
+                engine.schedule(*at, id, AgentMsg::ServingArrive(b as u32));
+            }
         }
         let end = engine.run_until_idle(self.max_events);
 
@@ -325,6 +364,7 @@ impl SimSession {
             }),
             telemetry: telemetry.map(|tel| tel.snapshot()),
             lineage: lineage.map(|lin| lin.snapshot()),
+            serving: serving.map(|(state, _)| state.borrow().report()),
         }
     }
 }
@@ -1016,6 +1056,79 @@ mod tests {
         };
         assert_eq!(key(&plain), key(&gated), "inactive spec must be invisible");
         assert_eq!(plain.end, gated.end);
+    }
+
+    #[test]
+    fn serving_off_is_byte_identical_to_no_serving_call() {
+        let tasks = || -> Vec<TaskDescription> { (0..200).map(TaskDescription::null).collect() };
+        let plain = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks()).run();
+        let gated = SimSession::with_tasks(PilotConfig::flux(4, 2), tasks())
+            .with_serving(rp_serving::ServingSpec::default(), 99)
+            .run();
+        let key = |r: &RunReport| -> Vec<_> {
+            r.tasks
+                .iter()
+                .map(|t| (t.uid, t.state, t.partition, t.exec_start, t.exec_end))
+                .collect()
+        };
+        assert_eq!(key(&plain), key(&gated), "inactive spec must be invisible");
+        assert_eq!(plain.end, gated.end);
+        assert!(gated.serving.is_none(), "inactive spec yields no report");
+    }
+
+    #[test]
+    fn serving_session_drains_with_exact_books() {
+        let spec = rp_serving::ServingSpec::parse("rate=50,horizon=30,clients=2,weights=2:1")
+            .expect("spec parses");
+        let base = spec.base;
+        let tasks: Vec<TaskDescription> = (0..20).map(TaskDescription::null).collect();
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 1), tasks)
+            .with_serving(spec, 11)
+            .run();
+        let s = report.serving.expect("serving report present");
+        assert!(s.offered > 0, "horizon must produce arrivals");
+        assert_eq!(s.offered, s.admitted + s.shed + s.queued, "conservation");
+        assert_eq!(s.queued, 0, "session must drain the admission queues");
+        assert_eq!(s.shed, 0, "default queue depth must not shed at 50/s");
+        assert_eq!(s.done, s.admitted, "every admitted task completes");
+        assert_eq!(s.failed + s.canceled, 0);
+        assert_eq!(s.slo.launches, s.admitted);
+        assert_eq!(s.slo.completions, s.done);
+        assert!(s.slo.launch_p50 > 0.0, "launch latency is observable");
+        // Serving tasks coexist with the batch workload in the task table,
+        // on their own uid plane.
+        let serving_done = report
+            .tasks
+            .iter()
+            .filter(|t| t.uid.0 >= base && t.state == TaskState::Done)
+            .count() as u64;
+        assert_eq!(serving_done, s.done);
+        let batch_done = report
+            .tasks
+            .iter()
+            .filter(|t| t.uid.0 < base && t.state == TaskState::Done)
+            .count();
+        assert_eq!(batch_done, 20, "batch workload still completes");
+    }
+
+    #[test]
+    fn serving_shed_policy_drops_under_overload() {
+        // 2000 t/s of 5 s tasks into 4 nodes with a 16-deep queue and a
+        // small window: admission control must shed rather than grow.
+        let spec = rp_serving::ServingSpec::parse(
+            "rate=2000,horizon=5,queue=16,window=32,batch=8,kind=dummy,dur=5",
+        )
+        .expect("spec parses");
+        let report = SimSession::with_tasks(PilotConfig::flux(4, 1), vec![])
+            .with_serving(spec, 7)
+            .run();
+        let s = report.serving.expect("serving report present");
+        assert_eq!(s.offered, s.admitted + s.shed + s.queued, "conservation");
+        assert!(s.shed > 0, "overload must shed");
+        assert!(s.peak_queue <= 16, "queue bound holds");
+        assert!(s.peak_inflight <= 32, "window bound holds");
+        assert_eq!(s.queued, 0, "drains after the horizon");
+        assert_eq!(s.done + s.failed + s.canceled, s.admitted);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `rp-serving` — the open-loop serving plane.
+//!
+//! Every workload so far is a batch campaign: submit, drain, report. The
+//! AI side of the hybrid story is the opposite shape — clients submit
+//! short tasks *continuously* against a running agent, and the questions
+//! that matter are queueing questions: time-to-launch percentiles under a
+//! given arrival rate, where the p99 knee sits per backend, what admission
+//! control sheds when the offered load exceeds the service rate.
+//!
+//! This crate holds the plane's backend-agnostic half, in three layers:
+//!
+//! 1. **Traffic** ([`spec`], [`plan`]): a comma `key=value` grammar
+//!    ([`ServingSpec::parse`]) describing an arrival process (Poisson,
+//!    bursty/MMPP, diurnal), a multi-client population with weights, and
+//!    the admission-control envelope; [`ServingPlan::generate`] realizes
+//!    it into a concrete arrival schedule. All randomness is drawn up
+//!    front from one `RngStream::derive(seed, "serving.plan")` lane, so
+//!    the workload/backend/fault streams are never perturbed and a fixed
+//!    seed replays byte-identically — the same contract the chaos plane
+//!    keeps.
+//! 2. **Admission** ([`state`]): bounded per-client queues with a
+//!    load-shedding policy, smooth weighted round-robin fairness across
+//!    clients, an in-flight window for backpressure, and batched release
+//!    into whatever implements [`ServingSink`] — the one trait both
+//!    execution planes drive (the DES agent deterministically, the
+//!    threaded rt pilot on the wall clock).
+//! 3. **Accounting** ([`report`]): exact conservation counters
+//!    (`offered == admitted + shed + queued` at every instant) and
+//!    client-perceived SLO percentiles — time-to-launch/-completion
+//!    measured from *arrival*, so admission queue wait is inside the
+//!    number — via the telemetry crate's `SloTracker`.
+//!
+//! Nothing here depends on `rp-core`: the plane speaks plan indices and
+//! uids, and the core agent maps them onto task descriptions, exactly how
+//! the chaos plane stays decoupled.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod report;
+pub mod spec;
+pub mod state;
+
+pub use plan::{ServingBatch, ServingPlan, ServingTask, ServingTaskKind};
+pub use report::{ServingClientReport, ServingReport};
+pub use spec::{ArrivalProcess, ServingSpec, ShedPolicy, TaskMix};
+pub use state::{ServingOutcome, ServingSink, ServingState};

@@ -1,0 +1,258 @@
+//! Plan realization: turn a [`ServingSpec`] into a concrete, fully
+//! deterministic arrival schedule.
+//!
+//! All randomness is drawn **up front** from one
+//! `RngStream::derive(seed, "serving.plan")` lane — the same
+//! realize-then-replay discipline the chaos plane uses — so the agent,
+//! backend, and fault RNG streams never see a serving-dependent draw, and
+//! a fixed serving seed replays byte-identically on every backend and at
+//! any `--jobs` count.
+
+use crate::spec::{ArrivalProcess, ServingSpec, TaskMix};
+use rp_sim::{RngStream, SimTime};
+
+/// Resolved payload of one generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingTaskKind {
+    /// Zero-duration executable.
+    Null,
+    /// Executable sleep of the spec's `dur` seconds.
+    Dummy,
+    /// Function task of the spec's `dur` seconds.
+    Function,
+}
+
+/// One planned arrival. Its uid is `spec.base + index` where `index` is
+/// its position in [`ServingPlan::tasks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingTask {
+    /// Submitting client.
+    pub client: u32,
+    /// Arrival time on the sim clock (client-perceived submission; SLO
+    /// latencies are measured from here).
+    pub at: SimTime,
+    /// Resolved payload kind.
+    pub kind: ServingTaskKind,
+}
+
+/// A run of consecutive plan indices sharing one arrival timestamp —
+/// the unit delivered to the agent as a single engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingBatch {
+    /// Shared arrival time.
+    pub at: SimTime,
+    /// First plan index (inclusive).
+    pub start: u32,
+    /// Last plan index (exclusive).
+    pub end: u32,
+}
+
+/// The realized arrival schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingPlan {
+    /// Every arrival, sorted by `at` (generation order).
+    pub tasks: Vec<ServingTask>,
+    /// Arrivals grouped by identical timestamp, in time order.
+    pub batches: Vec<ServingBatch>,
+}
+
+/// Exponential draw with rate `lambda` (inverse CDF; `u ∈ [0,1)` keeps
+/// the argument of `ln` in `(0,1]`, so the result is finite).
+fn exp_draw(rng: &mut RngStream, lambda: f64) -> f64 {
+    -(1.0 - rng.uniform()).ln() / lambda
+}
+
+impl ServingPlan {
+    /// Realize `spec` under `seed`. Inactive specs yield an empty plan.
+    pub fn generate(spec: &ServingSpec, seed: u64) -> ServingPlan {
+        let mut tasks = Vec::new();
+        if spec.is_active() {
+            let mut rng = RngStream::derive(seed, "serving.plan");
+            let weights = spec.effective_weights();
+            let total_w: usize = weights.iter().map(|&w| w as usize).sum();
+            let horizon = spec.horizon_s;
+
+            // Bursty (MMPP) parameters: equal mean sojourns in a calm and
+            // a burst phase, with the burst phase `burst`× hotter, scaled
+            // so the long-run average is exactly the nominal rate:
+            //   r_hi = rate·2·burst/(1+burst),  r_lo = rate·2/(1+burst).
+            // Eight expected phase cycles fit in the horizon.
+            let r_hi = spec.rate * 2.0 * spec.burst / (1.0 + spec.burst);
+            let r_lo = spec.rate * 2.0 / (1.0 + spec.burst);
+            let sojourn = horizon / 16.0;
+            let mut hot = false;
+            let mut switch_at = exp_draw(&mut rng, 1.0 / sojourn);
+
+            // Diurnal parameters: thinning against the peak rate. The
+            // default period (= horizon) integrates the sinusoid to zero,
+            // making the realized mean exactly the nominal rate.
+            let period = if spec.period_s > 0.0 {
+                spec.period_s
+            } else {
+                horizon
+            };
+            let lambda_max = spec.rate * (1.0 + spec.amp);
+
+            let mut t = 0.0f64;
+            loop {
+                match spec.process {
+                    ArrivalProcess::Poisson => t += exp_draw(&mut rng, spec.rate),
+                    ArrivalProcess::Bursty => loop {
+                        let r = if hot { r_hi } else { r_lo };
+                        let dt = exp_draw(&mut rng, r);
+                        // Crossing a phase switch: jump to the switch and
+                        // redraw — exact by memorylessness.
+                        if t + dt > switch_at && switch_at <= horizon {
+                            t = switch_at;
+                            hot = !hot;
+                            switch_at += exp_draw(&mut rng, 1.0 / sojourn);
+                            continue;
+                        }
+                        t += dt;
+                        break;
+                    },
+                    ArrivalProcess::Diurnal => loop {
+                        t += exp_draw(&mut rng, lambda_max);
+                        if t > horizon {
+                            break;
+                        }
+                        let lam = spec.rate
+                            * (1.0 + spec.amp * (2.0 * std::f64::consts::PI * t / period).sin());
+                        if rng.uniform() * lambda_max <= lam {
+                            break;
+                        }
+                    },
+                }
+                if t > horizon {
+                    break;
+                }
+                // Client: weight-proportional draw per arrival.
+                let mut pick = rng.index(total_w);
+                let mut client = 0u32;
+                for (i, &w) in weights.iter().enumerate() {
+                    if pick < w as usize {
+                        client = i as u32;
+                        break;
+                    }
+                    pick -= w as usize;
+                }
+                let kind = match spec.kind {
+                    TaskMix::Null => ServingTaskKind::Null,
+                    TaskMix::Dummy => ServingTaskKind::Dummy,
+                    TaskMix::Function => ServingTaskKind::Function,
+                    TaskMix::Mixed => {
+                        if rng.index(2) == 0 {
+                            ServingTaskKind::Dummy
+                        } else {
+                            ServingTaskKind::Function
+                        }
+                    }
+                };
+                tasks.push(ServingTask {
+                    client,
+                    at: SimTime::from_micros((t * 1e6).round() as u64),
+                    kind,
+                });
+            }
+        }
+
+        // Group identical timestamps into delivery batches.
+        let mut batches = Vec::new();
+        let mut i = 0u32;
+        while (i as usize) < tasks.len() {
+            let at = tasks[i as usize].at;
+            let mut j = i + 1;
+            while (j as usize) < tasks.len() && tasks[j as usize].at == at {
+                j += 1;
+            }
+            batches.push(ServingBatch {
+                at,
+                start: i,
+                end: j,
+            });
+            i = j;
+        }
+        ServingPlan { tasks, batches }
+    }
+
+    /// Number of planned arrivals.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan is empty (inactive spec).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ServingSpec;
+
+    #[test]
+    fn inactive_spec_generates_nothing() {
+        let plan = ServingPlan::generate(&ServingSpec::default(), 7);
+        assert!(plan.is_empty());
+        assert!(plan.batches.is_empty());
+    }
+
+    #[test]
+    fn same_seed_is_identical_and_different_seed_differs() {
+        let spec = ServingSpec::parse("rate=50,horizon=60,clients=3,process=bursty").unwrap();
+        let a = ServingPlan::generate(&spec, 1);
+        let b = ServingPlan::generate(&spec, 1);
+        let c = ServingPlan::generate(&spec, 2);
+        assert_eq!(a, b, "same seed must replay exactly");
+        assert_ne!(a, c, "the seed must steer the plan");
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_batched_exactly() {
+        for process in ["poisson", "bursty", "diurnal"] {
+            let spec =
+                ServingSpec::parse(&format!("rate=100,horizon=30,process={process}")).unwrap();
+            let plan = ServingPlan::generate(&spec, 11);
+            assert!(!plan.is_empty(), "{process}: plan must have arrivals");
+            for w in plan.tasks.windows(2) {
+                assert!(w[0].at <= w[1].at, "{process}: arrivals sorted");
+            }
+            // Batches tile the plan exactly, in order, one timestamp each.
+            let mut covered = 0u32;
+            for b in &plan.batches {
+                assert_eq!(b.start, covered, "{process}: batches tile");
+                assert!(b.end > b.start);
+                for i in b.start..b.end {
+                    assert_eq!(plan.tasks[i as usize].at, b.at);
+                }
+                covered = b.end;
+            }
+            assert_eq!(covered as usize, plan.len());
+        }
+    }
+
+    #[test]
+    fn mixed_kind_draws_both_payloads() {
+        let spec = ServingSpec::parse("rate=100,horizon=20,kind=mixed").unwrap();
+        let plan = ServingPlan::generate(&spec, 3);
+        let funcs = plan
+            .tasks
+            .iter()
+            .filter(|t| t.kind == ServingTaskKind::Function)
+            .count();
+        assert!(funcs > 0 && funcs < plan.len(), "both payload kinds drawn");
+    }
+
+    #[test]
+    fn weighted_clients_get_proportional_offered_share() {
+        let spec = ServingSpec::parse("rate=400,horizon=50,clients=2,weights=3:1").unwrap();
+        let plan = ServingPlan::generate(&spec, 5);
+        let c0 = plan.tasks.iter().filter(|t| t.client == 0).count() as f64;
+        let share = c0 / plan.len() as f64;
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "client 0 offered share {share} vs weight share 0.75"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Serving-plane accounting: exact admission books plus client-perceived
+//! SLO percentiles, in a byte-deterministic shape suitable for goldens.
+
+use rp_telemetry::SloSnapshot;
+
+/// Per-client admission books.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingClientReport {
+    /// Admission weight.
+    pub weight: u32,
+    /// Arrivals offered to this client's queue.
+    pub offered: u64,
+    /// Arrivals admitted into the agent.
+    pub admitted: u64,
+    /// Arrivals shed by admission control.
+    pub shed: u64,
+}
+
+/// End-of-run serving summary, embedded in the session `RunReport`.
+///
+/// The conservation identity `offered == admitted + shed + queued` holds
+/// exactly (`queued` is whatever was still waiting when the run ended —
+/// zero whenever the session drains).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Total arrivals offered across all clients.
+    pub offered: u64,
+    /// Total admitted into the agent.
+    pub admitted: u64,
+    /// Total shed by admission control.
+    pub shed: u64,
+    /// Still queued at end of run.
+    pub queued: u64,
+    /// Admitted tasks that completed successfully.
+    pub done: u64,
+    /// Admitted tasks abandoned after retries.
+    pub failed: u64,
+    /// Admitted tasks canceled before completion.
+    pub canceled: u64,
+    /// High-water mark of the total admission queue.
+    pub peak_queue: u64,
+    /// High-water mark of the in-flight window.
+    pub peak_inflight: u64,
+    /// Per-client books, client index order.
+    pub clients: Vec<ServingClientReport>,
+    /// Client-perceived SLO digest: time-to-launch/-completion measured
+    /// from *arrival*, so admission queue wait is inside the number.
+    pub slo: SloSnapshot,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_uids(uids: &[u64]) -> String {
+    let inner: Vec<String> = uids.iter().map(|u| u.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl ServingReport {
+    /// One-record JSONL encoding, byte-deterministic for a fixed report:
+    /// fields appear in declaration order, floats via Rust's shortest
+    /// round-trip formatting (the profiler's convention).
+    pub fn to_jsonl(&self) -> String {
+        let clients: Vec<String> = self
+            .clients
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"weight\":{},\"offered\":{},\"admitted\":{},\"shed\":{}}}",
+                    c.weight, c.offered, c.admitted, c.shed
+                )
+            })
+            .collect();
+        let s = &self.slo;
+        format!(
+            "{{\"offered\":{},\"admitted\":{},\"shed\":{},\"queued\":{},\
+             \"done\":{},\"failed\":{},\"canceled\":{},\
+             \"peak_queue\":{},\"peak_inflight\":{},\"clients\":[{}],\
+             \"slo\":{{\"launches\":{},\"launch_p50\":{},\"launch_p99\":{},\
+             \"launch_p999\":{},\"launch_max\":{},\"launch_p99_uids\":{},\
+             \"launch_p999_uids\":{},\"completions\":{},\"completion_p50\":{},\
+             \"completion_p99\":{},\"completion_p999\":{},\"completion_max\":{},\
+             \"completion_p99_uids\":{},\"completion_p999_uids\":{}}}}}\n",
+            self.offered,
+            self.admitted,
+            self.shed,
+            self.queued,
+            self.done,
+            self.failed,
+            self.canceled,
+            self.peak_queue,
+            self.peak_inflight,
+            clients.join(","),
+            s.launches,
+            json_f64(s.launch_p50),
+            json_f64(s.launch_p99),
+            json_f64(s.launch_p999),
+            json_f64(s.launch_max),
+            json_uids(s.launch_p99_exemplars.uids()),
+            json_uids(s.launch_p999_exemplars.uids()),
+            s.completions,
+            json_f64(s.completion_p50),
+            json_f64(s.completion_p99),
+            json_f64(s.completion_p999),
+            json_f64(s.completion_max),
+            json_uids(s.completion_p99_exemplars.uids()),
+            json_uids(s.completion_p999_exemplars.uids()),
+        )
+    }
+
+    /// Human-readable digest for logs and CI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "serving: offered {} admitted {} shed {} queued {} | done {} failed {} canceled {} | \
+             peak queue {} inflight {} | ttl p50 {:.4}s p99 {:.4}s p999 {:.4}s | \
+             ttc p50 {:.4}s p99 {:.4}s p999 {:.4}s",
+            self.offered,
+            self.admitted,
+            self.shed,
+            self.queued,
+            self.done,
+            self.failed,
+            self.canceled,
+            self.peak_queue,
+            self.peak_inflight,
+            self.slo.launch_p50,
+            self.slo.launch_p99,
+            self.slo.launch_p999,
+            self.slo.completion_p50,
+            self.slo.completion_p99,
+            self.slo.completion_p999,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServingReport {
+        ServingReport {
+            offered: 10,
+            admitted: 7,
+            shed: 2,
+            queued: 1,
+            done: 6,
+            failed: 1,
+            canceled: 0,
+            peak_queue: 4,
+            peak_inflight: 3,
+            clients: vec![
+                ServingClientReport {
+                    weight: 2,
+                    offered: 6,
+                    admitted: 4,
+                    shed: 1,
+                },
+                ServingClientReport {
+                    weight: 1,
+                    offered: 4,
+                    admitted: 3,
+                    shed: 1,
+                },
+            ],
+            slo: SloSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_single_line() {
+        let a = sample().to_jsonl();
+        let b = sample().to_jsonl();
+        assert_eq!(a, b, "encoding must be byte-deterministic");
+        assert_eq!(a.matches('\n').count(), 1);
+        assert!(a.ends_with("}\n"));
+        assert!(a.contains("\"offered\":10"));
+        assert!(a.contains("\"clients\":[{\"weight\":2,"));
+        assert!(a.contains("\"launch_p99_uids\":[]"));
+    }
+
+    #[test]
+    fn summary_carries_the_books() {
+        let s = sample().summary();
+        assert!(s.contains("offered 10"));
+        assert!(s.contains("shed 2"));
+        assert!(s.contains("ttl p50"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the serving plane, swept over 32 random seeds.
+//!
+//! The arrival generators must hit their nominal rate within Chernoff
+//! bounds, admission control must conserve every offered task with zero
+//! tolerance at every step, and the smooth-WRR picker must keep weighted
+//! clients within one task of their entitlement.
+
+use rp_serving::{ArrivalProcess, ServingPlan, ServingSpec, ServingState};
+
+const SEEDS: u64 = 32;
+
+fn spec(rate: f64, horizon: f64, process: ArrivalProcess) -> ServingSpec {
+    ServingSpec {
+        rate,
+        horizon_s: horizon,
+        process,
+        ..ServingSpec::default()
+    }
+}
+
+/// For a counting process with nominal mean `lam = rate * horizon`, the
+/// observed count over independent seeds must stay within a Chernoff-style
+/// envelope of `slack * sqrt(lam)` — 6 sigma leaves the per-seed failure
+/// probability far below 1e-6, so 32 seeds never trip it honestly.
+fn assert_rate(process: ArrivalProcess, rate: f64, horizon: f64, slack: f64) {
+    let lam = rate * horizon;
+    let bound = slack * lam.sqrt();
+    for seed in 0..SEEDS {
+        let plan = ServingPlan::generate(&spec(rate, horizon, process), seed);
+        let n = plan.len() as f64;
+        assert!(
+            (n - lam).abs() <= bound,
+            "{process:?} seed {seed}: {n} arrivals vs nominal {lam} (bound {bound:.1})"
+        );
+        // Arrivals must be time-ordered and inside the horizon.
+        let mut prev = rp_sim::SimTime::ZERO;
+        for t in &plan.tasks {
+            assert!(t.at >= prev, "arrivals must be non-decreasing in time");
+            assert!(t.at.as_secs_f64() <= horizon, "arrival past the horizon");
+            prev = t.at;
+        }
+    }
+}
+
+#[test]
+fn poisson_hits_nominal_rate_within_chernoff_bounds() {
+    assert_rate(ArrivalProcess::Poisson, 100.0, 50.0, 6.0);
+    assert_rate(ArrivalProcess::Poisson, 7.5, 200.0, 6.0);
+}
+
+/// The MMPP mean is pinned at `rate * horizon` but its variance has two
+/// components: the Poisson term `lam`, plus the phase-mix term — each of
+/// the 16 sojourns (length `horizon/16`) is independently hi or lo, and
+/// contributes `(sojourn * (r_hi - lam_rate))^2` of count variance. The
+/// 6-sigma envelope uses the full sum.
+#[test]
+fn bursty_hits_nominal_rate_within_widened_bounds() {
+    for burst in [2.0f64, 8.0] {
+        let mut s = spec(100.0, 50.0, ArrivalProcess::Bursty);
+        s.burst = burst;
+        let lam = s.rate * s.horizon_s;
+        let dr = s.rate * (burst - 1.0) / (burst + 1.0);
+        let sojourn = s.horizon_s / 16.0;
+        let var = lam + 16.0 * (sojourn * dr).powi(2);
+        let bound = 6.0 * var.sqrt();
+        for seed in 0..SEEDS {
+            let n = ServingPlan::generate(&s, seed).len() as f64;
+            assert!(
+                (n - lam).abs() <= bound,
+                "bursty burst={burst} seed {seed}: {n} vs {lam} (bound {bound:.1})"
+            );
+        }
+    }
+}
+
+/// Diurnal thinning preserves the mean exactly over whole periods (the
+/// default period equals the horizon), so the plain envelope applies.
+#[test]
+fn diurnal_hits_nominal_rate_within_chernoff_bounds() {
+    let mut s = spec(100.0, 50.0, ArrivalProcess::Diurnal);
+    s.amp = 0.8;
+    let lam = s.rate * s.horizon_s;
+    let bound = 6.0 * lam.sqrt();
+    for seed in 0..SEEDS {
+        let n = ServingPlan::generate(&s, seed).len() as f64;
+        assert!(
+            (n - lam).abs() <= bound,
+            "diurnal seed {seed}: {n} vs {lam} (bound {bound:.1})"
+        );
+    }
+}
+
+/// offered == admitted + shed + queued after EVERY batch, with zero
+/// tolerance, across seeds, queue depths, and both shed policies.
+#[test]
+fn admission_conserves_every_offered_task_at_every_step() {
+    for seed in 0..SEEDS {
+        for (queue, shed) in [(4, "newest"), (16, "oldest"), (0, "newest")] {
+            let s = ServingSpec::parse(&format!(
+                "rate=200,horizon=10,clients=3,weights=3:2:1,queue={queue},shed={shed},window=8"
+            ))
+            .expect("spec parses");
+            let mut state = ServingState::new(s.clone(), ServingPlan::generate(&s, seed));
+            let batches = state.plan().batches.len();
+            let mut sink: Vec<u32> = Vec::new();
+            for b in 0..batches {
+                state.on_batch(b as u32);
+                state.pump_into(&mut sink);
+                state.assert_conservation();
+            }
+            // Drain: complete everything admitted so far, pumping as the
+            // window frees up; conservation must hold throughout.
+            let mut done = 0;
+            while done < sink.len() {
+                let uid = state.uid_for(sink[done]);
+                state.on_terminal(uid, 1.0, rp_serving::ServingOutcome::Done);
+                done += 1;
+                state.pump_into(&mut sink);
+                state.assert_conservation();
+            }
+            let r = state.report();
+            assert_eq!(r.offered, r.admitted + r.shed + r.queued, "final books");
+            assert_eq!(r.queued, 0, "fully drained after completions");
+        }
+    }
+}
+
+/// Weighted clients must be admitted within one task of their weight
+/// ratio at every pump, for any weight vector — the smooth-WRR bound.
+#[test]
+fn weighted_fairness_within_one_task_of_entitlement() {
+    for seed in 0..SEEDS {
+        let s = ServingSpec::parse(
+            "rate=400,horizon=10,clients=4,weights=7:4:2:1,queue=4096,window=4096,batch=256",
+        )
+        .expect("spec parses");
+        let mut state = ServingState::new(s.clone(), ServingPlan::generate(&s, seed));
+        let batches = state.plan().batches.len();
+        let mut sink: Vec<u32> = Vec::new();
+        for b in 0..batches {
+            state.on_batch(b as u32);
+        }
+        while state.pump_into(&mut sink) > 0 {}
+        let r = state.report();
+        let total_w: u64 = r.clients.iter().map(|c| u64::from(c.weight)).sum();
+        let admitted: u64 = r.admitted;
+        for (i, c) in r.clients.iter().enumerate() {
+            // Entitlement is capped by what the client actually offered —
+            // a light client cannot absorb a heavy one's share.
+            let fair = admitted as f64 * f64::from(c.weight) / total_w as f64;
+            let entitled = fair.min(c.offered as f64);
+            assert!(
+                c.admitted as f64 >= entitled.floor() - 1.0,
+                "seed {seed} client {i}: admitted {} below entitlement {entitled:.1}",
+                c.admitted
+            );
+        }
+    }
+}

@@ -68,6 +68,25 @@ FUID="$(sed -n 's/^{"uid":\([0-9]*\),.*"ev":"fault".*/\1/p' \
     > "$CHAOS_DIR/explain_fault_$FUID.txt"
 grep -q "fault" "$CHAOS_DIR/explain_fault_$FUID.txt"
 
+# Serving soak: 8 serving seeds x {flux, dragon} x {poisson, bursty}
+# under sustained open-loop pressure. Every run must drain with exact
+# books (conservation, all-terminal, bounded queue) — the binary asserts
+# this and exits nonzero otherwise. The final run records lineage +
+# telemetry: its p999 exemplar uids must narrate through `rp-explain`,
+# and the serving dashboard/books land as CI artifacts in ci.yml.
+SERVING_DIR="${SERVING_DIR:-$(mktemp -d)}"
+./target/release/serving_soak --seeds 8 \
+    --lineage-dir "$SERVING_DIR" --telemetry-dir "$SERVING_DIR"
+test -s "$SERVING_DIR/serving_soak.lineage.jsonl"
+test -s "$SERVING_DIR/serving_soak.dashboard.html"
+test -s "$SERVING_DIR/serving_soak.serving.jsonl"
+SUID="$(sed -n 's/^{"uid":\(1[0-9]\{6,\}\),.*/\1/p' \
+    "$SERVING_DIR/serving_soak.lineage.jsonl" | head -n 1)"
+./target/release/rp-explain --dir "$SERVING_DIR" "$SUID" \
+    > "$SERVING_DIR/explain_serving_$SUID.txt"
+grep -q "blame (segments sum exactly to end-to-end)" \
+    "$SERVING_DIR/explain_serving_$SUID.txt"
+
 # Perf smoke: build the hot-path benchmark in release and run it at quick
 # sizes. The baseline compare is warn-only, mirroring the metrics smoke:
 # ::warning:: annotations past a 25% wall-clock regression, never a
